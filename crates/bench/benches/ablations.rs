@@ -1,0 +1,140 @@
+//! Ablation studies for the design choices DESIGN.md calls out: what does
+//! each of Pravega's mechanisms actually buy?
+//!
+//!   cargo bench -p pravega-bench --bench ablations
+//!
+//! 1. **Adaptive frame delay** (§4.1 formula) vs fixed linger values.
+//! 2. **Segment multiplexing** (few containers, one WAL log each) vs
+//!    per-segment logs (the design §6 argues other systems suffer from).
+//! 3. **Journal group commit** (one sync covers concurrent frames) vs a
+//!    sync per frame.
+//!
+//! Each table reports throughput + latency on the same workload grid so the
+//! mechanism's contribution is isolated.
+
+use pravega_bench::{fmt, FigureTable};
+use pravega_sim::{simulate_pravega, CalibratedEnv, PravegaOptions, WorkloadSpec};
+
+fn env() -> CalibratedEnv {
+    CalibratedEnv {
+        duration: 1.0,
+        ..CalibratedEnv::default()
+    }
+}
+
+/// Ablation 1: the adaptive data-frame delay formula vs fixed lingers.
+fn ablation_frame_delay() {
+    let env = env();
+    let mut t = FigureTable::new(
+        "ablation_frame_delay",
+        "Ablation 1 — adaptive frame delay vs fixed linger (100B, 16 segments)",
+        &["variant", "offered_keps", "achieved_keps", "w_p50_ms", "w_p95_ms", "status"],
+    );
+    let variants: [(&str, Option<f64>); 4] = [
+        ("adaptive (paper)", None),
+        ("fixed 0 (no wait)", Some(0.0)),
+        ("fixed 1ms", Some(1e-3)),
+        ("fixed 10ms", Some(10e-3)),
+    ];
+    for &rate in &[5e3, 50e3, 300e3, 900e3] {
+        for (name, linger) in variants {
+            let spec = WorkloadSpec::new(1, 16, 100.0, rate);
+            let r = simulate_pravega(
+                &env,
+                &spec,
+                &PravegaOptions {
+                    frame_linger_override: linger,
+                    ..PravegaOptions::default()
+                },
+            );
+            t.row(vec![
+                name.into(),
+                fmt(rate / 1e3, 0),
+                fmt(r.achieved_eps / 1e3, 0),
+                fmt(r.write_p50_ms, 2),
+                fmt(r.write_p95_ms, 2),
+                if r.stable { "ok".into() } else { "saturated".into() },
+            ]);
+        }
+    }
+    t.emit();
+}
+
+/// Ablation 2: multiplexing — containers per cluster vs per-segment logs.
+fn ablation_multiplexing() {
+    let env = CalibratedEnv {
+        duration: 1.0,
+        ..CalibratedEnv::large_servers()
+    };
+    let mut t = FigureTable::new(
+        "ablation_multiplexing",
+        "Ablation 2 — segment multiplexing (250 MB/s target, 1KB events, 10 producers)",
+        &["containers", "partitions", "achieved_MBps", "w_p95_ms", "status"],
+    );
+    for &partitions in &[100usize, 1000, 5000] {
+        for (label, containers) in [
+            ("12 (multiplexed)", Some(12usize)),
+            ("per-segment", None), // None here means = partitions
+        ] {
+            let spec = WorkloadSpec {
+                client_vms: 10,
+                ..WorkloadSpec::new(10, partitions, 1000.0, 250_000.0)
+            };
+            let r = simulate_pravega(
+                &env,
+                &spec,
+                &PravegaOptions {
+                    containers_override: Some(containers.unwrap_or(partitions)),
+                    per_container_journals: containers.is_none(),
+                    ..PravegaOptions::default()
+                },
+            );
+            t.row(vec![
+                label.into(),
+                partitions.to_string(),
+                fmt(r.achieved_mbps.max(r.capacity_mbps.min(r.offered_mbps)), 0),
+                fmt(r.write_p95_ms, 1),
+                if r.stable { "ok".into() } else { "degraded".into() },
+            ]);
+        }
+    }
+    t.emit();
+}
+
+/// Ablation 3: journal group commit on/off.
+fn ablation_group_commit() {
+    let env = env();
+    let mut t = FigureTable::new(
+        "ablation_group_commit",
+        "Ablation 3 — journal group commit (100B, 16 segments, durable)",
+        &["variant", "offered_keps", "achieved_keps", "w_p50_ms", "w_p95_ms", "status"],
+    );
+    for &rate in &[20e3, 100e3, 400e3, 900e3] {
+        for (name, group) in [("group commit (paper)", true), ("sync per frame", false)] {
+            let spec = WorkloadSpec::new(4, 16, 100.0, rate);
+            let r = simulate_pravega(
+                &env,
+                &spec,
+                &PravegaOptions {
+                    group_commit: group,
+                    ..PravegaOptions::default()
+                },
+            );
+            t.row(vec![
+                name.into(),
+                fmt(rate / 1e3, 0),
+                fmt(r.achieved_eps / 1e3, 0),
+                fmt(r.write_p50_ms, 2),
+                fmt(r.write_p95_ms, 2),
+                if r.stable { "ok".into() } else { "saturated".into() },
+            ]);
+        }
+    }
+    t.emit();
+}
+
+fn main() {
+    ablation_frame_delay();
+    ablation_multiplexing();
+    ablation_group_commit();
+}

@@ -1,0 +1,659 @@
+//! Regenerates every table and figure of the paper's evaluation (§5).
+//!
+//! Run everything:   `cargo bench --bench figures`
+//! Run one figure:   `cargo bench --bench figures -- fig10`
+//!
+//! Figures 5–12 run on the calibrated simulator (see `pravega-sim` and
+//! EXPERIMENTS.md for the substitution rationale); Figure 13 drives the
+//! *real* embedded engine with the real auto-scaler. Output: paper-style
+//! tables on stdout plus CSV series in `bench_results/`.
+
+use std::time::{Duration, Instant};
+
+use pravega_bench::{fmt, FigureTable};
+use pravega_sim::{
+    pravega_catchup, pulsar_catchup, simulate_kafka, simulate_pravega, simulate_pulsar,
+    CalibratedEnv, CatchupSpec, KafkaOptions, LtsMode, PravegaOptions, PulsarOptions, RoutingKeys,
+    RunResult, WorkloadSpec,
+};
+
+fn env1s() -> CalibratedEnv {
+    CalibratedEnv {
+        duration: 1.0,
+        ..CalibratedEnv::default()
+    }
+}
+
+fn push_run(table: &mut FigureTable, system: &str, segments: usize, r: &RunResult) {
+    table.row(vec![
+        system.to_string(),
+        segments.to_string(),
+        fmt(r.offered_eps / 1e3, 0),
+        fmt(r.achieved_eps / 1e3, 0),
+        fmt(r.achieved_mbps, 1),
+        fmt(r.write_p50_ms, 2),
+        fmt(r.write_p95_ms, 2),
+        fmt(r.e2e_p50_ms, 2),
+        fmt(r.e2e_p95_ms, 2),
+        fmt(r.read_eps / 1e3, 0),
+        if r.crashed {
+            "CRASH".into()
+        } else if r.stable {
+            "ok".into()
+        } else {
+            "saturated".into()
+        },
+    ]);
+}
+
+const RUN_HEADERS: &[&str] = &[
+    "system",
+    "segments",
+    "offered_keps",
+    "achieved_keps",
+    "MBps",
+    "w_p50_ms",
+    "w_p95_ms",
+    "e2e_p50_ms",
+    "e2e_p95_ms",
+    "read_keps",
+    "status",
+];
+
+/// Table 1: the deployment configuration this reproduction models.
+fn table01() {
+    let mut t = FigureTable::new(
+        "table01_config",
+        "Table 1 — experiment configuration (paper → this reproduction)",
+        &["aspect", "paper", "reproduction"],
+    );
+    for (a, p, r) in [
+        ("versions", "Pravega 0.9 / Kafka 2.6 / Pulsar 2.6", "from-scratch Rust engine + calibrated models"),
+        ("replication", "ensemble=3 writeQ=3 ackQ=2", "identical (pravega-wal quorum)"),
+        ("durability", "Pravega/Pulsar yes, Kafka no (defaults)", "identical defaults"),
+        ("tiering", "Pravega EFS / Pulsar S3 / Kafka none", "LTS models: 160 MB/s per stream, 760 MB/s aggregate"),
+        ("journal drives", "1 NVMe (~800 MB/s sync, dd)", "drive model: 800 MB/s, 60 us sync"),
+        ("servers", "3 broker/segment-store + bookie", "3 simulated servers / 3 stores + 3 bookies embedded"),
+        ("benchmark VMs", "2 (10 for section 5.6)", "client_vms parameter"),
+        ("client batching", "Pravega dynamic / others time+size", "identical mechanisms"),
+    ] {
+        t.row(vec![a.into(), p.into(), r.into()]);
+    }
+    t.emit();
+}
+
+/// Fig. 5: impact of data durability on write performance.
+fn fig05() {
+    let env = env1s();
+    let mut t = FigureTable::new(
+        "fig05_durability",
+        "Fig. 5 — durability: latency vs throughput (100B events, 1 writer)",
+        RUN_HEADERS,
+    );
+    for &segments in &[1usize, 16] {
+        for &rate in &[10e3, 50e3, 100e3, 200e3, 400e3, 600e3, 800e3, 1000e3, 1200e3, 1400e3, 1600e3] {
+            let spec = WorkloadSpec::new(1, segments, 100.0, rate);
+            push_run(
+                &mut t,
+                "pravega(flush)",
+                segments,
+                &simulate_pravega(&env, &spec, &PravegaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "pravega(noflush)",
+                segments,
+                &simulate_pravega(
+                    &env,
+                    &spec,
+                    &PravegaOptions {
+                        durability: false,
+                        ..PravegaOptions::default()
+                    },
+                ),
+            );
+            push_run(
+                &mut t,
+                "kafka(noflush)",
+                segments,
+                &simulate_kafka(&env, &spec, &KafkaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "kafka(flush)",
+                segments,
+                &simulate_kafka(
+                    &env,
+                    &spec,
+                    &KafkaOptions {
+                        flush: true,
+                        ..KafkaOptions::default()
+                    },
+                ),
+            );
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 6: client batching strategies.
+fn fig06() {
+    let env = env1s();
+    let mut t = FigureTable::new(
+        "fig06_batching",
+        "Fig. 6 — batching strategies (100B events, 1 writer)",
+        RUN_HEADERS,
+    );
+    for &segments in &[1usize, 16] {
+        for &rate in &[2e3, 5e3, 10e3, 30e3, 80e3, 150e3, 300e3, 600e3, 1000e3] {
+            let spec = WorkloadSpec::new(1, segments, 100.0, rate);
+            push_run(
+                &mut t,
+                "pravega(dynamic)",
+                segments,
+                &simulate_pravega(&env, &spec, &PravegaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "pulsar(batch)",
+                segments,
+                &simulate_pulsar(&env, &spec, &PulsarOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "pulsar(nobatch)",
+                segments,
+                &simulate_pulsar(
+                    &env,
+                    &spec,
+                    &PulsarOptions {
+                        batching: false,
+                        ..PulsarOptions::default()
+                    },
+                ),
+            );
+            push_run(
+                &mut t,
+                "kafka(1ms/128KB)",
+                segments,
+                &simulate_kafka(&env, &spec, &KafkaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "kafka(10ms/1MB)",
+                segments,
+                &simulate_kafka(
+                    &env,
+                    &spec,
+                    &KafkaOptions {
+                        linger: 10e-3,
+                        batch_bytes: 1e6,
+                        ..KafkaOptions::default()
+                    },
+                ),
+            );
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 7: write performance for large (10KB) events + the LTS bottleneck.
+fn fig07() {
+    let env = env1s();
+    let mut t = FigureTable::new(
+        "fig07_large_events",
+        "Fig. 7 — 10KB events: byte throughput and the LTS wall",
+        RUN_HEADERS,
+    );
+    for &segments in &[1usize, 16] {
+        for &rate in &[2e3, 5e3, 10e3, 16e3, 25e3, 35e3, 50e3] {
+            let spec = WorkloadSpec::new(1, segments, 10_000.0, rate);
+            push_run(
+                &mut t,
+                "pravega(efs)",
+                segments,
+                &simulate_pravega(&env, &spec, &PravegaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "pravega(noop-lts)",
+                segments,
+                &simulate_pravega(
+                    &env,
+                    &spec,
+                    &PravegaOptions {
+                        lts: LtsMode::NoOp,
+                        ..PravegaOptions::default()
+                    },
+                ),
+            );
+            push_run(
+                &mut t,
+                "kafka",
+                segments,
+                &simulate_kafka(&env, &spec, &KafkaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "pulsar(tiering)",
+                segments,
+                &simulate_pulsar(&env, &spec, &PulsarOptions::default()),
+            );
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 8: tail-read end-to-end latency and read throughput.
+fn fig08() {
+    let env = env1s();
+    let mut t = FigureTable::new(
+        "fig08_tail_reads",
+        "Fig. 8 — tail reads: e2e latency vs throughput (100B, 1 reader)",
+        RUN_HEADERS,
+    );
+    for &segments in &[1usize, 16] {
+        for &rate in &[5e3, 20e3, 50e3, 100e3, 200e3, 400e3, 700e3, 1000e3] {
+            let spec = WorkloadSpec::new(1, segments, 100.0, rate);
+            push_run(
+                &mut t,
+                "pravega",
+                segments,
+                &simulate_pravega(&env, &spec, &PravegaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "kafka",
+                segments,
+                &simulate_kafka(&env, &spec, &KafkaOptions::default()),
+            );
+            push_run(
+                &mut t,
+                "pulsar",
+                segments,
+                &simulate_pulsar(&env, &spec, &PulsarOptions::default()),
+            );
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 9: impact of routing keys on read performance (16 partitions).
+fn fig09() {
+    let env = env1s();
+    let mut t = FigureTable::new(
+        "fig09_routing_keys",
+        "Fig. 9 — routing keys vs none: reader performance (16 partitions)",
+        &[
+            "system",
+            "routing",
+            "offered_keps",
+            "read_keps",
+            "e2e_p50_ms",
+            "e2e_p95_ms",
+            "status",
+        ],
+    );
+    for &routing in &[RoutingKeys::Random, RoutingKeys::None] {
+        let label = match routing {
+            RoutingKeys::Random => "random-keys",
+            RoutingKeys::None => "no-keys",
+        };
+        for &rate in &[10e3, 50e3, 150e3, 400e3, 800e3] {
+            let spec = WorkloadSpec {
+                routing,
+                ..WorkloadSpec::new(1, 16, 100.0, rate)
+            };
+            for (system, r) in [
+                (
+                    "pravega",
+                    simulate_pravega(&env, &spec, &PravegaOptions::default()),
+                ),
+                ("kafka", simulate_kafka(&env, &spec, &KafkaOptions::default())),
+                (
+                    "pulsar",
+                    simulate_pulsar(&env, &spec, &PulsarOptions::default()),
+                ),
+            ] {
+                t.row(vec![
+                    system.into(),
+                    label.into(),
+                    fmt(r.offered_eps / 1e3, 0),
+                    fmt(r.read_eps / 1e3, 0),
+                    fmt(r.e2e_p50_ms, 2),
+                    fmt(r.e2e_p95_ms, 2),
+                    if r.stable { "ok".into() } else { "saturated".into() },
+                ]);
+            }
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 10: 250 MB/s target with growing producers × segments.
+fn fig10() {
+    let env = CalibratedEnv {
+        duration: 1.0,
+        ..CalibratedEnv::large_servers()
+    };
+    let mut t = FigureTable::new(
+        "fig10_parallelism",
+        "Fig. 10 — 250 MB/s target (1KB events), producers x partitions",
+        &["system", "producers", "partitions", "achieved_MBps", "status"],
+    );
+    let partitions_sweep = [10usize, 50, 100, 500, 1000, 5000];
+    let producer_sweep = [10usize, 50, 100];
+    for &producers in &producer_sweep {
+        for &partitions in &partitions_sweep {
+            let spec = WorkloadSpec {
+                client_vms: 10,
+                ..WorkloadSpec::new(producers, partitions, 1000.0, 250_000.0)
+            };
+            let runs = [
+                (
+                    "pravega",
+                    simulate_pravega(&env, &spec, &PravegaOptions::default()),
+                ),
+                (
+                    "kafka(noflush)",
+                    simulate_kafka(&env, &spec, &KafkaOptions::default()),
+                ),
+                (
+                    "kafka(flush)",
+                    simulate_kafka(
+                        &env,
+                        &spec,
+                        &KafkaOptions {
+                            flush: true,
+                            ..KafkaOptions::default()
+                        },
+                    ),
+                ),
+                (
+                    "pulsar",
+                    simulate_pulsar(&env, &spec, &PulsarOptions::default()),
+                ),
+                (
+                    "pulsar(favorable)",
+                    simulate_pulsar(
+                        &env,
+                        &WorkloadSpec {
+                            routing: RoutingKeys::None,
+                            ..spec
+                        },
+                        &PulsarOptions {
+                            ack_quorum_all: true,
+                            ..PulsarOptions::default()
+                        },
+                    ),
+                ),
+            ];
+            for (system, r) in runs {
+                t.row(vec![
+                    system.into(),
+                    producers.to_string(),
+                    partitions.to_string(),
+                    if r.crashed {
+                        "-".into()
+                    } else {
+                        fmt(r.achieved_mbps.max(r.capacity_mbps.min(r.offered_mbps)), 0)
+                    },
+                    if r.crashed {
+                        "CRASH".into()
+                    } else if r.stable {
+                        "ok".into()
+                    } else {
+                        "degraded".into()
+                    },
+                ]);
+            }
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 11: maximum sustained throughput (10 producers, 1KB events):
+/// offer far beyond capacity and report the drain rate.
+fn fig11() {
+    let env = CalibratedEnv {
+        duration: 1.0,
+        ..CalibratedEnv::large_servers()
+    };
+    let mut t = FigureTable::new(
+        "fig11_max_throughput",
+        "Fig. 11 — max sustained throughput (10 producers, 1KB events)",
+        &["system", "partitions", "max_MBps"],
+    );
+    let offered = 1_500_000.0; // 1.5 GB/s: beyond every system's ceiling
+    for &partitions in &[10usize, 500] {
+        let spec = WorkloadSpec {
+            client_vms: 10,
+            ..WorkloadSpec::new(10, partitions, 1000.0, offered)
+        };
+        let runs = [
+            (
+                "pravega",
+                simulate_pravega(&env, &spec, &PravegaOptions::default()),
+            ),
+            (
+                "kafka(noflush)",
+                simulate_kafka(&env, &spec, &KafkaOptions::default()),
+            ),
+            (
+                "kafka(flush)",
+                simulate_kafka(
+                    &env,
+                    &spec,
+                    &KafkaOptions {
+                        flush: true,
+                        ..KafkaOptions::default()
+                    },
+                ),
+            ),
+            (
+                "pulsar",
+                simulate_pulsar(
+                    &env,
+                    &spec,
+                    &PulsarOptions {
+                        ack_quorum_all: true, // §5.6 favorable config: no crash
+                        ..PulsarOptions::default()
+                    },
+                ),
+            ),
+        ];
+        for (system, r) in runs {
+            t.row(vec![
+                system.into(),
+                partitions.to_string(),
+                if r.crashed { "-".into() } else { fmt(r.capacity_mbps, 0) },
+            ]);
+        }
+    }
+    t.emit();
+}
+
+/// Fig. 12: historical (catch-up) reads of a 100 GB backlog @ 100 MB/s.
+fn fig12() {
+    let env = CalibratedEnv::default();
+    let spec = CatchupSpec::default();
+    let mut t = FigureTable::new(
+        "fig12_historical",
+        "Fig. 12 — catch-up reads: 100GB backlog, 100MB/s writers, 16 segments",
+        &["system", "t_s", "read_MBps", "write_MBps", "backlog_GB"],
+    );
+    let pravega = pravega_catchup(&env, &spec);
+    for p in &pravega.series {
+        t.row(vec![
+            "pravega".into(),
+            fmt(p.t, 0),
+            fmt(p.read_mbps, 0),
+            fmt(p.write_mbps, 0),
+            fmt(p.backlog_gb, 1),
+        ]);
+    }
+    let pulsar = pulsar_catchup(&env, &spec);
+    for p in &pulsar.series {
+        t.row(vec![
+            "pulsar".into(),
+            fmt(p.t, 0),
+            fmt(p.read_mbps, 0),
+            fmt(p.write_mbps, 0),
+            fmt(p.backlog_gb, 1),
+        ]);
+    }
+    t.emit();
+    println!(
+        "pravega: peak {} MB/s, caught up after {:?} s; pulsar: peak {} MB/s, caught up: {}",
+        fmt(pravega.peak_read_mbps, 0),
+        pravega.caught_up_after.map(|t| t as u64),
+        fmt(pulsar.peak_read_mbps, 0),
+        pulsar.caught_up_after.is_some(),
+    );
+}
+
+/// Fig. 13: stream auto-scaling on the REAL embedded engine (scaled down
+/// ~10×: ~10 MB/s offered against a 2 MB/s-per-segment policy).
+fn fig13() {
+    use pravega_client::{BytesSerializer, WriterConfig};
+    use pravega_common::id::ScopedStream;
+    use pravega_common::policy::{ScalingPolicy, StreamConfiguration};
+    use pravega_controller::AutoScalerConfig;
+    use pravega_core::{ClusterConfig, PravegaCluster};
+
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(2);
+    config.autoscaler = AutoScalerConfig {
+        hot_threshold: 2,
+        cold_threshold: 20,
+        cooldown: Duration::from_millis(1000),
+    };
+    let cluster = PravegaCluster::start(config).expect("cluster starts");
+    let stream = ScopedStream::new("fig13", "elastic").expect("name");
+    cluster.create_scope("fig13").expect("scope");
+    cluster
+        .create_stream(
+            &stream,
+            StreamConfiguration::new(ScalingPolicy::ByThroughput {
+                target_kbytes_per_sec: 2048, // 2 MB/s per segment
+                scale_factor: 2,
+                min_segments: 1,
+            }),
+        )
+        .expect("stream");
+
+    let mut t = FigureTable::new(
+        "fig13_autoscaling",
+        "Fig. 13 — auto-scaling (real engine): ~10 MB/s vs 2 MB/s/segment policy",
+        &["t_s", "segments", "scale_events", "write_p50_ms", "write_p95_ms", "MBps"],
+    );
+
+    let mut writer =
+        cluster.create_writer(stream.clone(), BytesSerializer, WriterConfig::default());
+    let payload = bytes::Bytes::from(vec![7u8; 1024]);
+    let run_for = Duration::from_secs(20);
+    let started = Instant::now();
+    let mut scale_events = 0usize;
+    let mut next_sample = Duration::from_secs(1);
+    let mut sampled_latencies: Vec<Duration> = Vec::new();
+    let mut written: u64 = 0;
+    let mut window_written: u64 = 0;
+    let mut window_started = Instant::now();
+
+    while started.elapsed() < run_for {
+        // ~10 MB/s: bursts of 200 events (1 KB each), paced.
+        let burst_start = Instant::now();
+        for i in 0..200u32 {
+            let key = format!("key-{}", (written + i as u64) % 61);
+            let pr = writer.write_raw(&key, payload.clone());
+            if i == 0 {
+                // Sample one event's durability latency per burst.
+                let t0 = Instant::now();
+                let _ = pr.wait();
+                sampled_latencies.push(t0.elapsed());
+            }
+        }
+        written += 200;
+        window_written += 200;
+        // Feedback loop: one auto-scaler pass every 500 ms (the controller
+        // evaluates smoothed rates, not instantaneous bursts).
+        if started.elapsed().as_millis() / 500 != (started.elapsed() + Duration::from_millis(20)).as_millis() / 500 {
+            scale_events += cluster.run_autoscaler_once().map(|d| d.len()).unwrap_or(0);
+        }
+        // Pace to 10 MB/s => 200 KB per 20 ms.
+        let elapsed = burst_start.elapsed();
+        if elapsed < Duration::from_millis(20) {
+            std::thread::sleep(Duration::from_millis(20) - elapsed);
+        }
+        if started.elapsed() >= next_sample {
+            sampled_latencies.sort();
+            let p50 = sampled_latencies
+                .get(sampled_latencies.len() / 2)
+                .copied()
+                .unwrap_or_default();
+            let p95 = sampled_latencies
+                .get(sampled_latencies.len() * 95 / 100)
+                .copied()
+                .unwrap_or_default();
+            let segments = cluster
+                .controller()
+                .current_segments(&stream)
+                .map(|s| s.len())
+                .unwrap_or(0);
+            let mbps = window_written as f64 * 1024.0 / 1e6
+                / window_started.elapsed().as_secs_f64().max(1e-9);
+            t.row(vec![
+                fmt(started.elapsed().as_secs_f64(), 0),
+                segments.to_string(),
+                scale_events.to_string(),
+                fmt(p50.as_secs_f64() * 1e3, 2),
+                fmt(p95.as_secs_f64() * 1e3, 2),
+                fmt(mbps, 1),
+            ]);
+            sampled_latencies.clear();
+            window_written = 0;
+            window_started = Instant::now();
+            next_sample += Duration::from_secs(1);
+        }
+    }
+    let _ = writer.flush();
+    drop(writer);
+    let epochs = cluster
+        .controller()
+        .stream_metadata(&stream)
+        .map(|m| m.epochs.len())
+        .unwrap_or(0);
+    t.emit();
+    println!("stream finished with {epochs} epochs ({} scale events)", epochs - 1);
+    cluster.shutdown();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let filters: Vec<&String> = args
+        .iter()
+        .filter(|a| a.starts_with("fig") || a.starts_with("table"))
+        .collect();
+    let should_run = |name: &str| filters.is_empty() || filters.iter().any(|f| name.starts_with(f.as_str()));
+
+    let figures: &[(&str, fn())] = &[
+        ("table01", table01),
+        ("fig05", fig05),
+        ("fig06", fig06),
+        ("fig07", fig07),
+        ("fig08", fig08),
+        ("fig09", fig09),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+    ];
+    for (name, run) in figures {
+        if should_run(name) {
+            let t = Instant::now();
+            run();
+            eprintln!("[{name} done in {:?}]", t.elapsed());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Criterion micro-benchmarks for the core data structures and IO-path
+//! components: the Figure-4 block cache, the AVL read index, data-frame
+//! batching, the replicated WAL, table segments and the end-to-end container
+//! append path.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pravega_common::clock::SystemClock;
+use pravega_common::id::{ContainerId, WriterId};
+use pravega_lts::{ChunkedSegmentStorage, ChunkedStorageConfig, InMemoryChunkStorage, InMemoryMetadataStore};
+use pravega_segmentstore::avl::AvlTree;
+use pravega_segmentstore::cache::{BlockCache, CacheConfig};
+use pravega_segmentstore::dataframe::DataFrameBuilder;
+use pravega_segmentstore::operations::Operation;
+use pravega_segmentstore::{ContainerConfig, SegmentContainer};
+use pravega_wal::bookie::mem_bookies;
+use pravega_wal::journal::JournalConfig;
+use pravega_wal::ledger::{BookiePool, LedgerManager, ReplicationConfig};
+use pravega_wal::log::{DurableDataLog, InMemoryLog};
+use pravega_coordination::CoordinationService;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_cache");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("insert_4k", |b| {
+        let mut cache = BlockCache::new(CacheConfig::default());
+        let data = vec![7u8; 4096];
+        let mut addrs = Vec::new();
+        b.iter(|| {
+            if cache.used_bytes() + 4096 > cache.capacity_bytes() {
+                for a in addrs.drain(..) {
+                    let _ = cache.delete(a);
+                }
+            }
+            addrs.push(cache.insert(&data).expect("capacity"));
+        });
+    });
+
+    group.throughput(Throughput::Bytes(100));
+    group.bench_function("append_100b", |b| {
+        let mut cache = BlockCache::new(CacheConfig::default());
+        let data = vec![7u8; 100];
+        let mut addr = cache.insert(&data).expect("capacity");
+        let mut entry_bytes = 100usize;
+        b.iter(|| {
+            // Start a fresh entry before this one exceeds practical size.
+            if entry_bytes > 512 * 1024 {
+                let _ = cache.delete(addr);
+                addr = cache.insert(&data).expect("capacity");
+                entry_bytes = 100;
+            }
+            addr = cache.append(addr, &data).expect("capacity");
+            entry_bytes += 100;
+        });
+    });
+
+    group.bench_function("get_64k_entry", |b| {
+        let mut cache = BlockCache::new(CacheConfig::default());
+        let addr = cache.insert(&vec![1u8; 65536]).expect("capacity");
+        b.iter(|| cache.get(addr).expect("present"));
+    });
+    group.finish();
+}
+
+fn bench_avl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avl_read_index");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+
+    group.bench_function("insert_10k_sequential", |b| {
+        b.iter(|| {
+            let mut t = AvlTree::new();
+            for k in 0..10_000u64 {
+                t.insert(k * 4096, k);
+            }
+            t
+        });
+    });
+
+    group.bench_function("floor_lookup", |b| {
+        let mut t = AvlTree::new();
+        for k in 0..100_000u64 {
+            t.insert(k * 4096, k);
+        }
+        let mut probe = 1u64;
+        b.iter(|| {
+            probe = probe.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t.floor(probe % (100_000 * 4096))
+        });
+    });
+    group.finish();
+}
+
+fn bench_dataframe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("data_frames");
+    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group.throughput(Throughput::Bytes(100 * 128));
+    group.bench_function("build_frame_128_ops", |b| {
+        let op = Operation::Append {
+            segment: "scope/stream/0.#epoch.0".into(),
+            offset: 0,
+            data: Bytes::from(vec![0u8; 100]),
+            writer_id: WriterId(42),
+            last_event_number: 1,
+            event_count: 1,
+        };
+        b.iter(|| {
+            let mut builder = DataFrameBuilder::new(1 << 20);
+            for seq in 0..128 {
+                builder.add(seq, &op);
+            }
+            builder.seal().expect("non-empty")
+        });
+    });
+    group.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("replicated_append_1k_q3a2", |b| {
+        let coord = CoordinationService::new();
+        let pool = BookiePool::new(mem_bookies(3, JournalConfig::default()));
+        let mgr = LedgerManager::new(&coord, &pool);
+        let writer = mgr.create(ReplicationConfig::default(), 1).expect("ledger");
+        let data = Bytes::from(vec![0u8; 1024]);
+        b.iter(|| {
+            writer
+                .append(data.clone())
+                .wait()
+                .expect("pipeline alive")
+                .expect("quorum")
+        });
+    });
+    group.finish();
+}
+
+fn bench_container(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_container");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+
+    let make_container = || {
+        let lts = ChunkedSegmentStorage::new(
+            Arc::new(InMemoryChunkStorage::new()),
+            Arc::new(InMemoryMetadataStore::new()),
+            ChunkedStorageConfig::default(),
+        );
+        let container = SegmentContainer::start(
+            ContainerId(0),
+            Arc::new(InMemoryLog::new()) as Arc<dyn DurableDataLog>,
+            lts,
+            Arc::new(SystemClock::new()),
+            ContainerConfig {
+                max_batch_delay: Duration::from_micros(100),
+                ..ContainerConfig::default()
+            },
+        )
+        .expect("container");
+        container.create_segment("bench-segment", false).expect("create");
+        container
+    };
+
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("append_1k_durable", |b| {
+        let container = make_container();
+        let writer = WriterId::random();
+        let data = Bytes::from(vec![0u8; 1024]);
+        let mut event = 0i64;
+        b.iter(|| {
+            event += 1;
+            container
+                .append("bench-segment", data.clone(), writer, event, 1, None)
+                .wait()
+                .expect("append")
+        });
+        container.stop();
+    });
+
+    group.bench_function("table_conditional_update", |b| {
+        let container = make_container();
+        container.create_segment("bench-table", true).expect("create");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            container
+                .table_update(
+                    "bench-table",
+                    vec![(
+                        Bytes::from(format!("key-{}", i % 64)),
+                        Bytes::from(vec![0u8; 64]),
+                        None,
+                    )],
+                )
+                .expect("update")
+        });
+        container.stop();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_avl,
+    bench_dataframe,
+    bench_wal,
+    bench_container
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Connection management: how the client reaches segment stores.
+//!
+//! Clients contact the segment store hosting a segment's container directly
+//! (§3.2); the controller resolves segments to endpoints. The factory
+//! abstraction lets the embedded cluster hand out in-process connections.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pravega_common::wire::{Connection, Reply, Request, RequestEnvelope};
+
+use crate::error::ClientError;
+
+/// Creates connections to segment-store endpoints.
+pub trait ConnectionFactory: Send + Sync {
+    /// Opens a connection to `endpoint`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] when the endpoint is unreachable.
+    fn connect(&self, endpoint: &str) -> Result<Connection, ClientError>;
+}
+
+/// A convenience wrapper for strict request/response exchanges over a
+/// dedicated connection (metadata ops, reads). Not for pipelined appends.
+#[derive(Debug)]
+pub struct RpcClient {
+    connection: Connection,
+    next_id: AtomicU64,
+}
+
+impl RpcClient {
+    /// Wraps a connection.
+    pub fn new(connection: Connection) -> Self {
+        Self {
+            connection,
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Sends `request` and waits for its reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Disconnected`] if the peer went away.
+    pub fn call(&self, request: Request) -> Result<Reply, ClientError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.connection
+            .send(RequestEnvelope {
+                request_id: id,
+                request,
+            })
+            .map_err(|e| ClientError::Disconnected(e.to_string()))?;
+        loop {
+            let envelope = self
+                .connection
+                .recv()
+                .map_err(|e| ClientError::Disconnected(e.to_string()))?;
+            if envelope.request_id == id {
+                return Ok(envelope.reply);
+            }
+        }
+    }
+}
+
+/// A factory that always yields connections to a single in-process store
+/// (ignoring endpoints) — useful in tests.
+pub struct SingleEndpointFactory<F: Fn() -> Connection + Send + Sync> {
+    connect_fn: F,
+}
+
+impl<F: Fn() -> Connection + Send + Sync> SingleEndpointFactory<F> {
+    /// Wraps a connect closure.
+    pub fn new(connect_fn: F) -> Self {
+        Self { connect_fn }
+    }
+}
+
+impl<F: Fn() -> Connection + Send + Sync> ConnectionFactory for SingleEndpointFactory<F> {
+    fn connect(&self, _endpoint: &str) -> Result<Connection, ClientError> {
+        Ok((self.connect_fn)())
+    }
+}
+
+/// Boxed factory alias used throughout the client.
+pub type SharedConnectionFactory = Arc<dyn ConnectionFactory>;

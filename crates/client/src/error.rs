@@ -1,0 +1,67 @@
+//! Client-side error type.
+
+use std::fmt;
+
+use pravega_controller::ControllerError;
+
+/// Errors surfaced by the client library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Controller operation failed.
+    Controller(ControllerError),
+    /// The connection to a segment store was lost and could not be
+    /// re-established.
+    Disconnected(String),
+    /// The segment store reported an unexpected reply.
+    Protocol(String),
+    /// The stream (or segment) does not exist.
+    NotFound,
+    /// The target is sealed (stream sealed, or writing raced a scale that
+    /// could not be resolved).
+    Sealed,
+    /// (De)serialization failed.
+    Serde(String),
+    /// Timed out waiting for an operation.
+    Timeout,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Controller(e) => write!(f, "controller error: {e}"),
+            ClientError::Disconnected(msg) => write!(f, "disconnected: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::NotFound => write!(f, "stream or segment not found"),
+            ClientError::Sealed => write!(f, "target is sealed"),
+            ClientError::Serde(msg) => write!(f, "serialization error: {msg}"),
+            ClientError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Controller(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ControllerError> for ClientError {
+    fn from(e: ControllerError) -> Self {
+        ClientError::Controller(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_and_display() {
+        let e: ClientError = ControllerError::StreamNotFound.into();
+        assert!(e.to_string().contains("controller"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,323 @@
+//! The event reader (§3.3): reads its assigned segments, follows successors
+//! at end-of-segment, and participates in reader-group rebalancing.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use pravega_common::id::ScopedSegment;
+use pravega_common::wire::{Reply, Request};
+
+use crate::connection::RpcClient;
+use crate::error::ClientError;
+use crate::readergroup::ReaderGroup;
+use crate::serializer::{EventDeframer, Serializer};
+
+/// How often a reader syncs with the group (acquire/release/rebalance).
+const ACQUIRE_INTERVAL: Duration = Duration::from_millis(200);
+/// Read request size.
+const READ_CHUNK: u32 = 256 * 1024;
+
+/// An event delivered by [`EventStreamReader::read_next`], with its position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRead<T> {
+    /// The deserialized event.
+    pub event: T,
+    /// Segment it came from.
+    pub segment: ScopedSegment,
+    /// Offset of the first byte *after* the event (resume position).
+    pub offset: u64,
+}
+
+struct AssignedSegment {
+    segment: ScopedSegment,
+    rpc: RpcClient,
+    /// Next byte to request from the store.
+    fetch_offset: u64,
+    /// Offset of the next event boundary not yet returned to the caller.
+    consumed_offset: u64,
+    deframer: EventDeframer,
+    end_seen: bool,
+}
+
+impl std::fmt::Debug for AssignedSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AssignedSegment")
+            .field("segment", &self.segment)
+            .field("offset", &self.consumed_offset)
+            .finish()
+    }
+}
+
+/// A single reader within a reader group.
+pub struct EventStreamReader<T, S: Serializer<T>> {
+    reader_id: String,
+    group: Arc<ReaderGroup>,
+    serializer: S,
+    assigned: Vec<AssignedSegment>,
+    rr_cursor: usize,
+    last_acquire: Option<Instant>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, S: Serializer<T>> std::fmt::Debug for EventStreamReader<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStreamReader")
+            .field("reader_id", &self.reader_id)
+            .field("assigned", &self.assigned.len())
+            .finish()
+    }
+}
+
+impl<T, S: Serializer<T>> EventStreamReader<T, S> {
+    /// Creates a reader registered in `group`.
+    pub fn new(reader_id: &str, group: Arc<ReaderGroup>, serializer: S) -> Self {
+        Self {
+            reader_id: reader_id.to_string(),
+            group,
+            serializer,
+            assigned: Vec::new(),
+            rr_cursor: 0,
+            last_acquire: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// This reader's id.
+    pub fn reader_id(&self) -> &str {
+        &self.reader_id
+    }
+
+    /// Segments currently assigned (diagnostics).
+    pub fn assigned_segments(&self) -> Vec<ScopedSegment> {
+        self.assigned.iter().map(|a| a.segment.clone()).collect()
+    }
+
+    fn current_offsets(&self) -> BTreeMap<ScopedSegment, u64> {
+        self.assigned
+            .iter()
+            .map(|a| (a.segment.clone(), a.consumed_offset))
+            .collect()
+    }
+
+    fn sync_with_group(&mut self) -> Result<(), ClientError> {
+        let offsets = self.current_offsets();
+        let assignment = self.group.acquire_segments(&self.reader_id, &offsets)?;
+        // Drop segments no longer ours.
+        self.assigned
+            .retain(|a| assignment.contains_key(&a.segment));
+        // Open newly acquired segments.
+        for (segment, offset) in assignment {
+            if self.assigned.iter().any(|a| a.segment == segment) {
+                continue;
+            }
+            let endpoint = self.group.controller().endpoint_for(&segment);
+            let rpc = RpcClient::new(self.group.factory().connect(&endpoint)?);
+            self.assigned.push(AssignedSegment {
+                segment,
+                rpc,
+                fetch_offset: offset,
+                consumed_offset: offset,
+                deframer: EventDeframer::new(),
+                end_seen: false,
+            });
+        }
+        self.last_acquire = Some(Instant::now());
+        Ok(())
+    }
+
+    /// Reads the next event, blocking up to `timeout`. Returns `None` when
+    /// no event arrived in time (callers loop — this mirrors the real
+    /// client's `readNextEvent` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Connection/controller failures and deserialization errors.
+    pub fn read_next(&mut self, timeout: Duration) -> Result<Option<EventRead<T>>, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let need_sync = match self.last_acquire {
+                None => true,
+                Some(t) => t.elapsed() >= ACQUIRE_INTERVAL || self.assigned.is_empty(),
+            };
+            if need_sync {
+                self.sync_with_group()?;
+            }
+            // Serve a buffered event if any segment has one.
+            for i in 0..self.assigned.len() {
+                let idx = (self.rr_cursor + i) % self.assigned.len();
+                if let Some(event) = self.pop_event(idx)? {
+                    self.rr_cursor = (idx + 1) % self.assigned.len().max(1);
+                    return Ok(Some(event));
+                }
+            }
+            // Fetch more data, round-robin; handle end-of-segment.
+            let mut fetched_any = false;
+            let mut completed: Vec<usize> = Vec::new();
+            for i in 0..self.assigned.len() {
+                let idx = (self.rr_cursor + i) % self.assigned.len();
+                match self.fetch_more(idx)? {
+                    FetchOutcome::Data => {
+                        fetched_any = true;
+                        break;
+                    }
+                    FetchOutcome::End => completed.push(idx),
+                    FetchOutcome::AtTail => {}
+                }
+            }
+            for idx in completed.into_iter().rev() {
+                let done = self.assigned.remove(idx);
+                self.group
+                    .segment_completed(&self.reader_id, &done.segment)?;
+                // New successors may be assignable right away.
+                self.last_acquire = None;
+            }
+            if !fetched_any {
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    fn pop_event(&mut self, idx: usize) -> Result<Option<EventRead<T>>, ClientError> {
+        let a = &mut self.assigned[idx];
+        if let Some(payload) = a.deframer.next_event() {
+            a.consumed_offset += 4 + payload.len() as u64;
+            let event = self.serializer.deserialize(payload)?;
+            return Ok(Some(EventRead {
+                event,
+                segment: a.segment.clone(),
+                offset: a.consumed_offset,
+            }));
+        }
+        Ok(None)
+    }
+
+    fn fetch_more(&mut self, idx: usize) -> Result<FetchOutcome, ClientError> {
+        let a = &mut self.assigned[idx];
+        if a.end_seen {
+            // All buffered events consumed? Then the segment is done.
+            return if a.deframer.buffered_bytes() == 0 {
+                Ok(FetchOutcome::End)
+            } else {
+                Ok(FetchOutcome::AtTail)
+            };
+        }
+        let reply = a.rpc.call(Request::ReadSegment {
+            segment: a.segment.clone(),
+            offset: a.fetch_offset,
+            max_bytes: READ_CHUNK,
+            wait_for_data: false,
+        })?;
+        match reply {
+            Reply::SegmentRead {
+                data,
+                end_of_segment,
+                ..
+            } => {
+                let got_data = !data.is_empty();
+                if got_data {
+                    a.fetch_offset += data.len() as u64;
+                    a.deframer.feed(&data);
+                }
+                if end_of_segment {
+                    a.end_seen = true;
+                    if a.deframer.buffered_bytes() == 0 && !got_data {
+                        return Ok(FetchOutcome::End);
+                    }
+                }
+                if got_data {
+                    Ok(FetchOutcome::Data)
+                } else {
+                    Ok(FetchOutcome::AtTail)
+                }
+            }
+            Reply::OffsetTruncated { start_offset } => {
+                // Data below was retention-truncated; resume at the head.
+                a.fetch_offset = start_offset;
+                a.consumed_offset = start_offset;
+                Ok(FetchOutcome::AtTail)
+            }
+            Reply::NoSuchSegment => {
+                // Segment deleted by retention: treat as ended.
+                a.end_seen = true;
+                Ok(FetchOutcome::End)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "unexpected read reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Gracefully leaves the group, releasing assigned segments at their
+    /// current offsets.
+    ///
+    /// # Errors
+    ///
+    /// Synchronizer failures.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        // Record final offsets, then go offline.
+        let offsets = self.current_offsets();
+        let _ = self.group.acquire_segments(&self.reader_id, &offsets);
+        self.assigned.clear();
+        self.group.reader_offline(&self.reader_id)
+    }
+}
+
+enum FetchOutcome {
+    /// New bytes were fetched.
+    Data,
+    /// Caught up with the tail (no new data).
+    AtTail,
+    /// The segment is fully consumed.
+    End,
+}
+
+/// Reads a whole sealed segment as raw event payloads (historical reads
+/// outside a reader group, used by benchmarks).
+///
+/// # Errors
+///
+/// Connection/protocol failures.
+pub fn read_segment_events(
+    rpc: &RpcClient,
+    segment: &ScopedSegment,
+    mut offset: u64,
+) -> Result<Vec<Bytes>, ClientError> {
+    let mut deframer = EventDeframer::new();
+    let mut out = Vec::new();
+    loop {
+        let reply = rpc.call(Request::ReadSegment {
+            segment: segment.clone(),
+            offset,
+            max_bytes: READ_CHUNK,
+            wait_for_data: false,
+        })?;
+        match reply {
+            Reply::SegmentRead {
+                data,
+                end_of_segment,
+                at_tail,
+                ..
+            } => {
+                offset += data.len() as u64;
+                deframer.feed(&data);
+                while let Some(event) = deframer.next_event() {
+                    out.push(event);
+                }
+                if end_of_segment || (at_tail && data.is_empty()) {
+                    return Ok(out);
+                }
+            }
+            Reply::NoSuchSegment => return Err(ClientError::NotFound),
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected read reply: {other:?}"
+                )))
+            }
+        }
+    }
+}

@@ -1,0 +1,564 @@
+//! Reader groups (§3.3): coordinated, exactly-once distribution of a
+//! stream's segments across a set of readers.
+//!
+//! Invariants (directly from the paper):
+//!
+//! - at any time, no segment is assigned to two readers
+//!   (`s(r) ∩ s(r') = ∅`);
+//! - every live segment is *eventually* assigned to some reader;
+//! - a successor created by a scale-down is **held** until every one of its
+//!   predecessors has been fully read — otherwise per-key order could break.
+//!
+//! The group state lives in a [`StateSynchronizer`] so any reader can update
+//! it with optimistic concurrency.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
+use pravega_common::wire::{Reply, Request};
+use pravega_controller::ControllerService;
+
+use crate::connection::{RpcClient, SharedConnectionFactory};
+use crate::error::ClientError;
+use crate::statesync::{StateSynchronizer, Synchronized};
+
+fn encode_segment(buf: &mut BytesMut, segment: &ScopedSegment) {
+    pravega_common::buf::put_string(buf, segment.stream().scope());
+    pravega_common::buf::put_string(buf, segment.stream().stream());
+    buf.put_u64(segment.segment_id().as_u64());
+}
+
+fn decode_segment(buf: &mut Bytes) -> Result<ScopedSegment, ClientError> {
+    let scope = pravega_common::buf::get_string(buf, "scope")
+        .map_err(|e| ClientError::Serde(e.to_string()))?;
+    let stream = pravega_common::buf::get_string(buf, "stream")
+        .map_err(|e| ClientError::Serde(e.to_string()))?;
+    if buf.remaining() < 8 {
+        return Err(ClientError::Serde("truncated segment".into()));
+    }
+    let id = SegmentId::from_u64(buf.get_u64());
+    let stream =
+        ScopedStream::new(scope, stream).map_err(|e| ClientError::Serde(e.to_string()))?;
+    Ok(stream.segment(id))
+}
+
+/// The shared state of a reader group.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReaderGroupState {
+    /// Reader → (segment → next read offset).
+    pub readers: BTreeMap<String, BTreeMap<ScopedSegment, u64>>,
+    /// Segments nobody owns yet (with resume offsets).
+    pub unassigned: BTreeMap<ScopedSegment, u64>,
+    /// Future segments awaiting predecessors: segment → remaining count.
+    pub future: BTreeMap<ScopedSegment, u32>,
+    /// Fully consumed segments (guards against double decrements).
+    pub completed: BTreeMap<ScopedSegment, ()>,
+}
+
+impl ReaderGroupState {
+    /// Total segments currently assigned or assignable.
+    fn active_count(&self) -> usize {
+        self.unassigned.len() + self.readers.values().map(|m| m.len()).sum::<usize>()
+    }
+
+    /// Fair target per reader (ceiling).
+    fn quota(&self) -> usize {
+        let readers = self.readers.len().max(1);
+        self.active_count().div_ceil(readers)
+    }
+
+    /// Registers a reader.
+    pub fn add_reader(&mut self, reader: &str) {
+        self.readers.entry(reader.to_string()).or_default();
+    }
+
+    /// Removes a reader, returning its segments to the pool at the offsets
+    /// recorded for it.
+    pub fn remove_reader(&mut self, reader: &str) {
+        if let Some(owned) = self.readers.remove(reader) {
+            for (segment, offset) in owned {
+                self.unassigned.insert(segment, offset);
+            }
+        }
+    }
+
+    /// Updates offsets, releases over-quota segments, and acquires segments
+    /// up to quota. Returns the reader's post-call assignment.
+    pub fn rebalance(
+        &mut self,
+        reader: &str,
+        offsets: &BTreeMap<ScopedSegment, u64>,
+    ) -> BTreeMap<ScopedSegment, u64> {
+        self.add_reader(reader);
+        let quota = self.quota();
+        let owned = self.readers.get_mut(reader).expect("reader added");
+        // Record progress.
+        for (segment, offset) in offsets {
+            if let Some(o) = owned.get_mut(segment) {
+                *o = (*o).max(*offset);
+            }
+        }
+        // Release over-quota (the most recently acquired go back first).
+        while owned.len() > quota {
+            let victim = owned
+                .keys()
+                .next_back()
+                .cloned()
+                .expect("non-empty over quota");
+            let offset = owned.remove(&victim).expect("victim owned");
+            self.unassigned.insert(victim, offset);
+        }
+        // Acquire up to quota.
+        while owned.len() < quota && !self.unassigned.is_empty() {
+            let segment = self
+                .unassigned
+                .keys()
+                .next()
+                .cloned()
+                .expect("non-empty unassigned");
+            let offset = self.unassigned.remove(&segment).expect("present");
+            owned.insert(segment, offset);
+        }
+        owned.clone()
+    }
+
+    /// Marks a segment fully consumed by `reader` and processes successors:
+    /// each successor's remaining-predecessor count decreases; at zero it
+    /// becomes assignable (the scale-down hold of §3.3).
+    pub fn segment_completed(
+        &mut self,
+        reader: &str,
+        segment: &ScopedSegment,
+        successors: &[(ScopedSegment, u32)],
+    ) {
+        // Completion is a fact about the segment, not about the reporter:
+        // drop it from every reader's assignment (defensive against stale
+        // reporters after a rebalance).
+        let _ = reader;
+        for owned in self.readers.values_mut() {
+            owned.remove(segment);
+        }
+        self.unassigned.remove(segment);
+        if self.completed.insert(segment.clone(), ()).is_some() {
+            return; // already processed
+        }
+        for (succ, predecessor_count) in successors {
+            if self.completed.contains_key(succ)
+                || self.unassigned.contains_key(succ)
+                || self.readers.values().any(|m| m.contains_key(succ))
+            {
+                continue; // already live
+            }
+            let remaining = self
+                .future
+                .entry(succ.clone())
+                .or_insert(*predecessor_count);
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                self.future.remove(succ);
+                self.unassigned.insert(succ.clone(), 0);
+            }
+        }
+    }
+
+    /// Verifies the no-double-assignment invariant (test helper).
+    pub fn assignments_disjoint(&self) -> bool {
+        let mut seen = BTreeMap::new();
+        for (reader, owned) in &self.readers {
+            for segment in owned.keys() {
+                if seen.insert(segment.clone(), reader.clone()).is_some() {
+                    return false;
+                }
+            }
+        }
+        !self.unassigned.keys().any(|s| seen.contains_key(s))
+    }
+}
+
+impl Synchronized for ReaderGroupState {
+    fn encode_state(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32(self.readers.len() as u32);
+        for (reader, owned) in &self.readers {
+            pravega_common::buf::put_string(&mut buf, reader);
+            buf.put_u32(owned.len() as u32);
+            for (segment, offset) in owned {
+                encode_segment(&mut buf, segment);
+                buf.put_u64(*offset);
+            }
+        }
+        buf.put_u32(self.unassigned.len() as u32);
+        for (segment, offset) in &self.unassigned {
+            encode_segment(&mut buf, segment);
+            buf.put_u64(*offset);
+        }
+        buf.put_u32(self.future.len() as u32);
+        for (segment, remaining) in &self.future {
+            encode_segment(&mut buf, segment);
+            buf.put_u32(*remaining);
+        }
+        buf.put_u32(self.completed.len() as u32);
+        for segment in self.completed.keys() {
+            encode_segment(&mut buf, segment);
+        }
+        buf.freeze()
+    }
+
+    fn decode_state(data: &Bytes) -> Result<Self, ClientError> {
+        let mut buf = data.clone();
+        let err = || ClientError::Serde("truncated reader group state".into());
+        let mut state = ReaderGroupState::default();
+        if buf.remaining() < 4 {
+            return Err(err());
+        }
+        let reader_count = buf.get_u32() as usize;
+        for _ in 0..reader_count {
+            let reader = pravega_common::buf::get_string(&mut buf, "reader")
+                .map_err(|e| ClientError::Serde(e.to_string()))?;
+            if buf.remaining() < 4 {
+                return Err(err());
+            }
+            let n = buf.get_u32() as usize;
+            let mut owned = BTreeMap::new();
+            for _ in 0..n {
+                let segment = decode_segment(&mut buf)?;
+                if buf.remaining() < 8 {
+                    return Err(err());
+                }
+                owned.insert(segment, buf.get_u64());
+            }
+            state.readers.insert(reader, owned);
+        }
+        if buf.remaining() < 4 {
+            return Err(err());
+        }
+        let n = buf.get_u32() as usize;
+        for _ in 0..n {
+            let segment = decode_segment(&mut buf)?;
+            if buf.remaining() < 8 {
+                return Err(err());
+            }
+            state.unassigned.insert(segment, buf.get_u64());
+        }
+        if buf.remaining() < 4 {
+            return Err(err());
+        }
+        let n = buf.get_u32() as usize;
+        for _ in 0..n {
+            let segment = decode_segment(&mut buf)?;
+            if buf.remaining() < 4 {
+                return Err(err());
+            }
+            state.future.insert(segment, buf.get_u32());
+        }
+        if buf.remaining() < 4 {
+            return Err(err());
+        }
+        let n = buf.get_u32() as usize;
+        for _ in 0..n {
+            let segment = decode_segment(&mut buf)?;
+            state.completed.insert(segment, ());
+        }
+        Ok(state)
+    }
+}
+
+/// A reader group coordinating readers over one or more streams.
+pub struct ReaderGroup {
+    name: String,
+    streams: Vec<ScopedStream>,
+    controller: Arc<ControllerService>,
+    factory: SharedConnectionFactory,
+    sync: Mutex<StateSynchronizer<ReaderGroupState>>,
+}
+
+impl std::fmt::Debug for ReaderGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReaderGroup")
+            .field("name", &self.name)
+            .field("streams", &self.streams)
+            .finish()
+    }
+}
+
+impl ReaderGroup {
+    /// Creates (or joins) a reader group named `name` over `streams`. The
+    /// group's state segment lives in the same scope.
+    ///
+    /// # Errors
+    ///
+    /// Controller and segment-store failures.
+    pub fn create(
+        scope: &str,
+        name: &str,
+        streams: Vec<ScopedStream>,
+        controller: Arc<ControllerService>,
+        factory: SharedConnectionFactory,
+    ) -> Result<Arc<Self>, ClientError> {
+        let state_stream = ScopedStream::new(scope, format!("rg-{name}"))
+            .map_err(|e| ClientError::Serde(e.to_string()))?;
+        let state_segment = state_stream.segment(SegmentId::new(0, 0));
+        let endpoint = controller.endpoint_for(&state_segment);
+        let rpc = RpcClient::new(factory.connect(&endpoint)?);
+        // Create the state segment if it does not exist.
+        match rpc.call(Request::CreateSegment {
+            segment: state_segment.clone(),
+            is_table: false,
+        })? {
+            Reply::SegmentCreated | Reply::SegmentAlreadyExists => {}
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected create reply: {other:?}"
+                )))
+            }
+        }
+        // Initial state: the head segments of every stream are unassigned.
+        let mut initial = ReaderGroupState::default();
+        for stream in &streams {
+            for (sw, start_offset) in controller.head_segments(stream)? {
+                initial.unassigned.insert(sw.segment, start_offset);
+            }
+        }
+        let sync = StateSynchronizer::new(rpc, state_segment, initial)?;
+        Ok(Arc::new(Self {
+            name: name.to_string(),
+            streams,
+            controller: controller.clone(),
+            factory,
+            sync: Mutex::new(sync),
+        }))
+    }
+
+    /// The group's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The streams the group reads.
+    pub fn streams(&self) -> &[ScopedStream] {
+        &self.streams
+    }
+
+    /// Controller handle (used by readers).
+    pub(crate) fn controller(&self) -> &Arc<ControllerService> {
+        &self.controller
+    }
+
+    /// Connection factory (used by readers).
+    pub(crate) fn factory(&self) -> &SharedConnectionFactory {
+        &self.factory
+    }
+
+    /// Registers a reader and acquires a fair share of segments.
+    ///
+    /// # Errors
+    ///
+    /// Synchronizer failures.
+    pub fn acquire_segments(
+        &self,
+        reader: &str,
+        offsets: &BTreeMap<ScopedSegment, u64>,
+    ) -> Result<BTreeMap<ScopedSegment, u64>, ClientError> {
+        let mut sync = self.sync.lock();
+        let state = sync.update(|state| {
+            let mut next = state.clone();
+            next.rebalance(reader, offsets);
+            Some(next)
+        })?;
+        Ok(state.readers.get(reader).cloned().unwrap_or_default())
+    }
+
+    /// Reports a segment fully consumed; fetches successors from the
+    /// controller and updates the group state (§3.3 semantics).
+    ///
+    /// # Errors
+    ///
+    /// Controller/synchronizer failures.
+    pub fn segment_completed(
+        &self,
+        reader: &str,
+        segment: &ScopedSegment,
+    ) -> Result<(), ClientError> {
+        let successors = self
+            .controller
+            .successors(segment.stream(), segment.segment_id())?;
+        let with_counts: Vec<(ScopedSegment, u32)> = successors
+            .into_iter()
+            .map(|(sw, preds)| (sw.segment, preds.len() as u32))
+            .collect();
+        let mut sync = self.sync.lock();
+        sync.update(|state| {
+            let mut next = state.clone();
+            next.segment_completed(reader, segment, &with_counts);
+            Some(next)
+        })?;
+        Ok(())
+    }
+
+    /// Removes a (dead) reader; its segments return to the pool and will be
+    /// re-acquired by surviving readers.
+    ///
+    /// # Errors
+    ///
+    /// Synchronizer failures.
+    pub fn reader_offline(&self, reader: &str) -> Result<(), ClientError> {
+        let mut sync = self.sync.lock();
+        sync.update(|state| {
+            if !state.readers.contains_key(reader) {
+                return None;
+            }
+            let mut next = state.clone();
+            next.remove_reader(reader);
+            Some(next)
+        })?;
+        Ok(())
+    }
+
+    /// A snapshot of the group state (diagnostics/tests).
+    ///
+    /// # Errors
+    ///
+    /// Synchronizer failures.
+    pub fn state(&self) -> Result<ReaderGroupState, ClientError> {
+        let mut sync = self.sync.lock();
+        sync.fetch()?
+            .ok_or_else(|| ClientError::Protocol("reader group state missing".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(n: u32) -> ScopedSegment {
+        ScopedStream::new("s", "t")
+            .unwrap()
+            .segment(SegmentId::new(0, n))
+    }
+
+    fn seg_epoch(e: u32, n: u32) -> ScopedSegment {
+        ScopedStream::new("s", "t")
+            .unwrap()
+            .segment(SegmentId::new(e, n))
+    }
+
+    #[test]
+    fn state_codec_roundtrip() {
+        let mut state = ReaderGroupState::default();
+        state.add_reader("r1");
+        state.readers.get_mut("r1").unwrap().insert(seg(0), 42);
+        state.unassigned.insert(seg(1), 0);
+        state.future.insert(seg_epoch(1, 2), 2);
+        state.completed.insert(seg(3), ());
+        let decoded = ReaderGroupState::decode_state(&state.encode_state()).unwrap();
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn rebalance_is_fair_and_disjoint() {
+        let mut state = ReaderGroupState::default();
+        for n in 0..6 {
+            state.unassigned.insert(seg(n), 0);
+        }
+        let r1 = state.rebalance("r1", &BTreeMap::new());
+        assert_eq!(r1.len(), 6, "sole reader takes everything");
+        // A second reader arrives: r1 must shed on its next rebalance.
+        state.add_reader("r2");
+        let r1 = state.rebalance("r1", &BTreeMap::new());
+        assert_eq!(r1.len(), 3);
+        let r2 = state.rebalance("r2", &BTreeMap::new());
+        assert_eq!(r2.len(), 3);
+        assert!(state.assignments_disjoint());
+        assert!(state.unassigned.is_empty());
+    }
+
+    #[test]
+    fn rebalance_records_progress() {
+        let mut state = ReaderGroupState::default();
+        state.unassigned.insert(seg(0), 0);
+        state.rebalance("r1", &BTreeMap::new());
+        let mut offsets = BTreeMap::new();
+        offsets.insert(seg(0), 1234u64);
+        state.rebalance("r1", &offsets);
+        assert_eq!(state.readers["r1"][&seg(0)], 1234);
+        // Offsets never move backwards.
+        let mut back = BTreeMap::new();
+        back.insert(seg(0), 10u64);
+        state.rebalance("r1", &back);
+        assert_eq!(state.readers["r1"][&seg(0)], 1234);
+    }
+
+    #[test]
+    fn removed_reader_returns_segments_at_offsets() {
+        let mut state = ReaderGroupState::default();
+        state.unassigned.insert(seg(0), 0);
+        let mut offsets = BTreeMap::new();
+        offsets.insert(seg(0), 77u64);
+        state.rebalance("r1", &BTreeMap::new());
+        state.rebalance("r1", &offsets);
+        state.remove_reader("r1");
+        assert_eq!(state.unassigned[&seg(0)], 77);
+        // Another reader resumes from there.
+        let r2 = state.rebalance("r2", &BTreeMap::new());
+        assert_eq!(r2[&seg(0)], 77);
+    }
+
+    #[test]
+    fn scale_down_hold_requires_all_predecessors() {
+        // Two predecessors merge into one successor (Fig. 2c): the successor
+        // is held until BOTH are completed.
+        let mut state = ReaderGroupState::default();
+        state.unassigned.insert(seg(0), 0);
+        state.unassigned.insert(seg(1), 0);
+        state.rebalance("r1", &BTreeMap::new());
+        state.rebalance("r2", &BTreeMap::new());
+        let merged = seg_epoch(1, 2);
+        let successors = vec![(merged.clone(), 2u32)];
+        // First predecessor done: successor still held.
+        state.segment_completed("r1", &seg(0), &successors);
+        assert!(state.future.contains_key(&merged));
+        assert!(!state.unassigned.contains_key(&merged));
+        // Duplicate completion must not double-decrement.
+        state.segment_completed("r1", &seg(0), &successors);
+        assert_eq!(state.future[&merged], 1);
+        // Second predecessor done: successor released.
+        state.segment_completed("r2", &seg(1), &successors);
+        assert!(!state.future.contains_key(&merged));
+        assert_eq!(state.unassigned[&merged], 0);
+    }
+
+    #[test]
+    fn scale_up_successors_release_immediately() {
+        let mut state = ReaderGroupState::default();
+        state.unassigned.insert(seg(0), 0);
+        state.rebalance("r1", &BTreeMap::new());
+        let s1 = seg_epoch(1, 1);
+        let s2 = seg_epoch(1, 2);
+        let successors = vec![(s1.clone(), 1u32), (s2.clone(), 1u32)];
+        state.segment_completed("r1", &seg(0), &successors);
+        assert!(state.unassigned.contains_key(&s1));
+        assert!(state.unassigned.contains_key(&s2));
+        assert!(state.future.is_empty());
+    }
+
+    #[test]
+    fn completed_successor_is_not_resurrected() {
+        let mut state = ReaderGroupState::default();
+        state.unassigned.insert(seg(0), 0);
+        state.unassigned.insert(seg(1), 0);
+        state.rebalance("r1", &BTreeMap::new());
+        let succ = seg_epoch(1, 2);
+        // succ released, consumed, completed...
+        state.segment_completed("r1", &seg(0), &[(succ.clone(), 1)]);
+        state.rebalance("r1", &BTreeMap::new());
+        state.segment_completed("r1", &succ, &[]);
+        // ...then a late duplicate completion of another predecessor names it
+        // again: it must stay completed.
+        state.segment_completed("r1", &seg(1), &[(succ.clone(), 1)]);
+        assert!(!state.unassigned.contains_key(&succ));
+        assert!(!state.future.contains_key(&succ));
+    }
+}

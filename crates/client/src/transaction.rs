@@ -1,0 +1,129 @@
+//! Transactions: atomic multi-event writes.
+//!
+//! Pravega supports writing a set of events as a transaction; §2.1 lists
+//! segment *merge* among the allowed operations, which the real system uses
+//! to fold transaction segments into their parents on commit. This
+//! reproduction implements the **buffered-commit** variant: events are
+//! buffered client-side, and on commit the whole batch is routed and — per
+//! segment — appended as **one atomic operation** through the container's
+//! durable log. A reader therefore observes, per segment, either all of the
+//! transaction's events (in order) or none of them, and the usual
+//! exactly-once writer bookkeeping covers retries.
+//!
+//! Differences from the real system are deliberate and documented: the real
+//! implementation writes to shadow *transaction segments* while the
+//! transaction is open (so huge transactions do not live in client memory)
+//! and merges them on commit; here the buffer lives in the client, so
+//! transactions should stay comfortably under the writer's maximum batch
+//! size per segment. Cross-segment atomicity matches the real system's
+//! visibility model: per-segment commits become visible independently.
+
+use bytes::Bytes;
+
+use crate::error::ClientError;
+use crate::serializer::Serializer;
+use crate::writer::EventStreamWriter;
+
+/// State of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransactionStatus {
+    /// Accepting events.
+    Open,
+    /// Successfully committed.
+    Committed,
+    /// Dropped or explicitly aborted; no event was written.
+    Aborted,
+}
+
+/// A buffered transaction on an [`EventStreamWriter`].
+///
+/// Obtain one with [`EventStreamWriter::begin_transaction`]; write events
+/// with a routing key, then [`Transaction::commit`] or
+/// [`Transaction::abort`]. Dropping an open transaction aborts it.
+#[derive(Debug)]
+pub struct Transaction<'w, T, S: Serializer<T>> {
+    writer: &'w mut EventStreamWriter<T, S>,
+    buffered: Vec<(String, Bytes)>,
+    status: TransactionStatus,
+}
+
+impl<'w, T, S: Serializer<T>> Transaction<'w, T, S> {
+    pub(crate) fn new(writer: &'w mut EventStreamWriter<T, S>) -> Self {
+        Self {
+            writer,
+            buffered: Vec::new(),
+            status: TransactionStatus::Open,
+        }
+    }
+
+    /// Buffers an event; nothing is visible to readers until commit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Serde`] if serialization fails;
+    /// [`ClientError::Sealed`] if the transaction is no longer open.
+    pub fn write_event(&mut self, routing_key: &str, event: &T) -> Result<(), ClientError> {
+        if self.status != TransactionStatus::Open {
+            return Err(ClientError::Sealed);
+        }
+        let payload = self.writer.serializer().serialize(event)?;
+        self.buffered.push((routing_key.to_string(), payload));
+        Ok(())
+    }
+
+    /// Events buffered so far.
+    pub fn len(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Whether the transaction holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buffered.is_empty()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> TransactionStatus {
+        self.status
+    }
+
+    /// Commits: all buffered events become durable (and visible) atomically
+    /// per segment. Blocks until durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; on error nothing may be assumed committed
+    /// and the caller should retry via a new transaction (the writer's
+    /// exactly-once bookkeeping deduplicates successful segments).
+    pub fn commit(mut self) -> Result<(), ClientError> {
+        if self.status != TransactionStatus::Open {
+            return Err(ClientError::Sealed);
+        }
+        let items = std::mem::take(&mut self.buffered);
+        if items.is_empty() {
+            self.status = TransactionStatus::Committed;
+            return Ok(());
+        }
+        let promises = self.writer.write_raw_atomic(items);
+        for pr in promises {
+            pr.wait()
+                .map_err(|_| ClientError::Disconnected("writer closed".into()))??;
+        }
+        self.status = TransactionStatus::Committed;
+        Ok(())
+    }
+
+    /// Aborts: the buffer is discarded; nothing was written.
+    pub fn abort(mut self) {
+        self.buffered.clear();
+        self.status = TransactionStatus::Aborted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Transaction behaviour over a real cluster is exercised in the
+    // cross-crate integration tests (`tests/transactions.rs`); here we only
+    // test the pure buffer state machine via a writer-free mock, which is
+    // impossible without a cluster — so the unit surface is the status
+    // transitions covered there.
+}

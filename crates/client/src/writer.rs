@@ -1,0 +1,743 @@
+//! The event writer (§3.2, §4.1).
+//!
+//! Routing: an event's key hashes onto `[0, 1)`; the open segment owning
+//! that position receives the event, so all events with one key hit one
+//! segment between scale events.
+//!
+//! Batching: the writer accumulates framed events into an *append block*
+//! whose target size follows the paper's heuristic —
+//! `min(max_batch, rate · RTT/2)` — and ships blocks without waiting for
+//! acknowledgements (pipelining). A background pump acknowledges completed
+//! blocks, measures the round trip, closes stale blocks (bounding latency at
+//! low rates), reconnects after failures and re-routes pending events when a
+//! segment is sealed by auto-scaling.
+//!
+//! Exactly-once: every event carries a per-writer monotonically increasing
+//! event number. On (re)connection the writer handshakes with the store,
+//! learns the last durable event number, and resends only what is missing;
+//! the store deduplicates anything already applied (§3.2).
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use pravega_common::future::{promise, Completer, Promise};
+use pravega_common::hashing::routing_key_position;
+use pravega_common::id::{ScopedStream, WriterId};
+use pravega_common::rate::{EwmaRate, EwmaValue};
+use pravega_common::wire::{Connection, Reply, Request, RequestEnvelope};
+use pravega_controller::{ControllerService, SegmentWithRange};
+
+use crate::connection::SharedConnectionFactory;
+use crate::error::ClientError;
+use crate::serializer::{frame_event, Serializer};
+
+/// Writer tuning.
+#[derive(Debug, Clone)]
+pub struct WriterConfig {
+    /// Maximum append-block size (the cap in the batch heuristic).
+    pub max_batch_bytes: usize,
+    /// Longest an open block may wait for more events.
+    pub max_batch_delay: Duration,
+    /// Initial round-trip estimate before any acks arrive.
+    pub initial_rtt: Duration,
+}
+
+impl Default for WriterConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_bytes: 1024 * 1024,
+            max_batch_delay: Duration::from_millis(5),
+            initial_rtt: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A pending event retained until acknowledged (for resends/re-routing).
+#[derive(Debug)]
+struct PendingEvent {
+    event_number: i64,
+    routing_key: String,
+    framed: Bytes,
+    completer: Option<Completer<Result<(), ClientError>>>,
+}
+
+#[derive(Debug)]
+struct InflightBlock {
+    last_event_number: i64,
+    events: Vec<PendingEvent>,
+    sent_at: Instant,
+}
+
+struct OpenSegment {
+    info: SegmentWithRange,
+    connection: Connection,
+    next_request_id: u64,
+    block: BytesMut,
+    block_events: Vec<PendingEvent>,
+    block_opened: Option<Instant>,
+    inflight: VecDeque<InflightBlock>,
+    sealed: bool,
+    rtt_secs: EwmaValue,
+    byte_rate: EwmaRate,
+    rate_origin: Instant,
+}
+
+impl std::fmt::Debug for OpenSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenSegment")
+            .field("segment", &self.info.segment)
+            .field("sealed", &self.sealed)
+            .finish()
+    }
+}
+
+struct WriterState {
+    segments: Vec<OpenSegment>,
+    next_event_number: i64,
+    initialized: bool,
+    failed: Option<ClientError>,
+}
+
+struct WriterShared {
+    stream: ScopedStream,
+    controller: Arc<ControllerService>,
+    factory: SharedConnectionFactory,
+    writer_id: WriterId,
+    config: WriterConfig,
+    state: Mutex<WriterState>,
+    pending_events: AtomicUsize,
+    stopped: AtomicBool,
+}
+
+/// Writes events to a stream. Not thread-safe by design (clone-free,
+/// `&mut self`), matching the real client's writer semantics; the internal
+/// pump thread handles acknowledgements concurrently.
+pub struct EventStreamWriter<T, S: Serializer<T>> {
+    serializer: S,
+    shared: Arc<WriterShared>,
+    pump: Option<JoinHandle<()>>,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T, S: Serializer<T>> std::fmt::Debug for EventStreamWriter<T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventStreamWriter")
+            .field("stream", &self.shared.stream)
+            .field("writer_id", &self.shared.writer_id)
+            .finish()
+    }
+}
+
+impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
+    /// Creates a writer for `stream`.
+    pub fn new(
+        stream: ScopedStream,
+        controller: Arc<ControllerService>,
+        factory: SharedConnectionFactory,
+        serializer: S,
+        config: WriterConfig,
+    ) -> Self {
+        let shared = Arc::new(WriterShared {
+            stream,
+            controller,
+            factory,
+            writer_id: WriterId::random(),
+            config,
+            state: Mutex::new(WriterState {
+                segments: Vec::new(),
+                next_event_number: 0,
+                initialized: false,
+                failed: None,
+            }),
+            pending_events: AtomicUsize::new(0),
+            stopped: AtomicBool::new(false),
+        });
+        let pump_shared = shared.clone();
+        let pump = std::thread::Builder::new()
+            .name("writer-pump".into())
+            .spawn(move || pump_loop(pump_shared))
+            .expect("spawn writer pump");
+        Self {
+            serializer,
+            shared,
+            pump: Some(pump),
+            _marker: PhantomData,
+        }
+    }
+
+    /// This writer's id (visible for tests/diagnostics).
+    pub fn writer_id(&self) -> WriterId {
+        self.shared.writer_id
+    }
+
+    /// The writer's serializer (used by transactions).
+    pub(crate) fn serializer(&self) -> &S {
+        &self.serializer
+    }
+
+    /// Begins a buffered transaction: events written to it become visible
+    /// atomically (per segment) on commit. See [`crate::transaction`].
+    pub fn begin_transaction(&mut self) -> crate::transaction::Transaction<'_, T, S> {
+        crate::transaction::Transaction::new(self)
+    }
+
+    /// Writes an event with a routing key. Returns immediately with a
+    /// promise resolved once the event is durably stored.
+    pub fn write_event(&mut self, routing_key: &str, event: &T) -> Promise<Result<(), ClientError>> {
+        let payload = match self.serializer.serialize(event) {
+            Ok(p) => p,
+            Err(e) => return Promise::ready(Err(e)),
+        };
+        self.write_raw(routing_key, payload)
+    }
+
+    /// Writes a pre-serialized event payload.
+    pub fn write_raw(&mut self, routing_key: &str, payload: Bytes) -> Promise<Result<(), ClientError>> {
+        if self.shared.stopped.load(Ordering::SeqCst) {
+            return Promise::ready(Err(ClientError::Disconnected("writer closed".into())));
+        }
+        let framed = frame_event(&payload);
+        let (completer, pr) = promise();
+        let mut state = self.shared.state.lock();
+        if let Some(e) = &state.failed {
+            let e = e.clone();
+            drop(state);
+            completer.complete(Err(e.clone()));
+            return pr;
+        }
+        if let Err(e) = ensure_initialized(&self.shared, &mut state) {
+            drop(state);
+            completer.complete(Err(e));
+            return pr;
+        }
+        let position = routing_key_position(routing_key);
+        let event_number = state.next_event_number;
+        state.next_event_number += 1;
+        self.shared.pending_events.fetch_add(1, Ordering::SeqCst);
+        let pending = PendingEvent {
+            event_number,
+            routing_key: routing_key.to_string(),
+            framed,
+            completer: Some(completer),
+        };
+        if let Err(e) = route_event(&self.shared, &mut state, position, pending) {
+            state.failed = Some(e.clone());
+        }
+        pr
+    }
+
+    /// Writes a batch of pre-serialized events so that, **per segment**, the
+    /// batch is appended as a single atomic operation: a reader observes
+    /// either all of a segment's share of the batch or none of it, even
+    /// across crashes. This is the commit path of [`crate::transaction`].
+    ///
+    /// Returns one promise per event, in input order.
+    pub fn write_raw_atomic(
+        &mut self,
+        items: Vec<(String, Bytes)>,
+    ) -> Vec<Promise<Result<(), ClientError>>> {
+        let mut promises = Vec::with_capacity(items.len());
+        if self.shared.stopped.load(Ordering::SeqCst) {
+            return items
+                .iter()
+                .map(|_| Promise::ready(Err(ClientError::Disconnected("writer closed".into()))))
+                .collect();
+        }
+        let mut state = self.shared.state.lock();
+        if let Err(e) = ensure_initialized(&self.shared, &mut state) {
+            drop(state);
+            return items.iter().map(|_| Promise::ready(Err(e.clone()))).collect();
+        }
+        let mut touched: Vec<usize> = Vec::new();
+        for (routing_key, payload) in items {
+            let framed = frame_event(&payload);
+            let (completer, pr) = promise();
+            promises.push(pr);
+            let position = routing_key_position(&routing_key);
+            let event_number = state.next_event_number;
+            state.next_event_number += 1;
+            self.shared.pending_events.fetch_add(1, Ordering::SeqCst);
+            let pending = PendingEvent {
+                event_number,
+                routing_key,
+                framed,
+                completer: Some(completer),
+            };
+            match route_event_inner(&self.shared, &mut state, position, pending, true) {
+                Ok(idx) => {
+                    if !touched.contains(&idx) {
+                        touched.push(idx);
+                    }
+                }
+                Err(e) => {
+                    state.failed = Some(e);
+                    break;
+                }
+            }
+        }
+        // Ship every affected block: each becomes one atomic append op on
+        // its segment.
+        let max_batch = self.shared.config.max_batch_bytes;
+        for idx in touched {
+            if idx < state.segments.len() {
+                send_block(&self.shared, &mut state.segments[idx], max_batch);
+            }
+        }
+        promises
+    }
+
+    /// Blocks until every previously written event is durable.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] after 60 s; writer failures.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        {
+            let mut state = self.shared.state.lock();
+            let max_batch = self.shared.config.max_batch_bytes;
+            for seg in &mut state.segments {
+                send_block(&self.shared, seg, max_batch);
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while self.shared.pending_events.load(Ordering::SeqCst) > 0 {
+            if let Some(e) = self.shared.state.lock().failed.clone() {
+                return Err(e);
+            }
+            if Instant::now() > deadline {
+                return Err(ClientError::Timeout);
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        match self.shared.state.lock().failed.clone() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Events written but not yet acknowledged.
+    pub fn pending_events(&self) -> usize {
+        self.shared.pending_events.load(Ordering::SeqCst)
+    }
+
+    /// Flushes and shuts the writer down.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        let result = self.flush();
+        self.shutdown();
+        result
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        if let Some(h) = self.pump.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T, S: Serializer<T>> Drop for EventStreamWriter<T, S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn open_segment(
+    shared: &Arc<WriterShared>,
+    info: SegmentWithRange,
+) -> Result<OpenSegment, ClientError> {
+    let connection = shared.factory.connect(&info.endpoint)?;
+    let mut seg = OpenSegment {
+        info,
+        connection,
+        next_request_id: 1,
+        block: BytesMut::new(),
+        block_events: Vec::new(),
+        block_opened: None,
+        inflight: VecDeque::new(),
+        sealed: false,
+        rtt_secs: EwmaValue::new(0.3),
+        byte_rate: EwmaRate::new(Duration::from_secs(1)),
+        rate_origin: Instant::now(),
+    };
+    // Handshake: learn the last durable event number for this writer.
+    let _last = handshake(shared, &mut seg)?;
+    Ok(seg)
+}
+
+/// Performs SetupAppend and returns the last durable event number.
+fn handshake(shared: &Arc<WriterShared>, seg: &mut OpenSegment) -> Result<i64, ClientError> {
+    let request_id = seg.next_request_id;
+    seg.next_request_id += 1;
+    seg.connection
+        .send(RequestEnvelope {
+            request_id,
+            request: Request::SetupAppend {
+                writer_id: shared.writer_id,
+                segment: seg.info.segment.clone(),
+            },
+        })
+        .map_err(|e| ClientError::Disconnected(e.to_string()))?;
+    loop {
+        let envelope = seg
+            .connection
+            .recv_timeout(Duration::from_secs(10))
+            .map_err(|e| ClientError::Disconnected(e.to_string()))?
+            .ok_or(ClientError::Timeout)?;
+        if envelope.request_id != request_id {
+            continue; // stale append ack from a previous connection epoch
+        }
+        return match envelope.reply {
+            Reply::AppendSetup { last_event_number } => Ok(last_event_number),
+            Reply::NoSuchSegment => Err(ClientError::NotFound),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected handshake reply: {other:?}"
+            ))),
+        };
+    }
+}
+
+fn ensure_initialized(
+    shared: &Arc<WriterShared>,
+    state: &mut WriterState,
+) -> Result<(), ClientError> {
+    if state.initialized {
+        return Ok(());
+    }
+    let current = shared.controller.current_segments(&shared.stream)?;
+    if current.is_empty() {
+        return Err(ClientError::Sealed);
+    }
+    for info in current {
+        state.segments.push(open_segment(shared, info)?);
+    }
+    state.initialized = true;
+    Ok(())
+}
+
+/// Routes one pending event to the open segment owning `position`,
+/// re-resolving successors if that segment is sealed.
+fn route_event(
+    shared: &Arc<WriterShared>,
+    state: &mut WriterState,
+    position: f64,
+    event: PendingEvent,
+) -> Result<(), ClientError> {
+    route_event_inner(shared, state, position, event, false).map(|_| ())
+}
+
+/// As [`route_event`], optionally deferring the block send (used by atomic
+/// batches to keep all their events contiguous in one append block).
+/// Returns the index of the segment the event landed on.
+fn route_event_inner(
+    shared: &Arc<WriterShared>,
+    state: &mut WriterState,
+    position: f64,
+    event: PendingEvent,
+    defer_send: bool,
+) -> Result<usize, ClientError> {
+    loop {
+        let idx = state
+            .segments
+            .iter()
+            .position(|s| s.info.range.contains(position));
+        let Some(idx) = idx else {
+            // Key space hole: our view is stale; refresh from the controller.
+            refresh_segments(shared, state)?;
+            if !state
+                .segments
+                .iter()
+                .any(|s| s.info.range.contains(position))
+            {
+                return Err(ClientError::Protocol(format!(
+                    "no open segment covers position {position}"
+                )));
+            }
+            continue;
+        };
+        if state.segments[idx].sealed {
+            handle_sealed(shared, state, idx)?;
+            continue;
+        }
+        let max_batch = shared.config.max_batch_bytes;
+        let seg = &mut state.segments[idx];
+        append_to_block(shared, seg, event);
+        if !defer_send {
+            let estimate = batch_size_estimate(shared, seg, max_batch);
+            if seg.block.len() >= estimate {
+                send_block(shared, seg, max_batch);
+            }
+        }
+        return Ok(idx);
+    }
+}
+
+fn append_to_block(_shared: &Arc<WriterShared>, seg: &mut OpenSegment, event: PendingEvent) {
+    if seg.block_opened.is_none() {
+        seg.block_opened = Some(Instant::now());
+    }
+    seg.byte_rate.record(
+        event.framed.len() as u64,
+        seg.rate_origin.elapsed().as_nanos() as u64,
+    );
+    seg.block.put_slice(&event.framed);
+    seg.block_events.push(event);
+}
+
+/// The paper's client batch heuristic: `min(max_batch, rate · RTT/2)`.
+fn batch_size_estimate(shared: &Arc<WriterShared>, seg: &OpenSegment, max_batch: usize) -> usize {
+    let rtt = seg
+        .rtt_secs
+        .value_or(shared.config.initial_rtt.as_secs_f64());
+    let rate = seg
+        .byte_rate
+        .rate(seg.rate_origin.elapsed().as_nanos() as u64);
+    let estimate = (rate * rtt / 2.0) as usize;
+    estimate.clamp(1, max_batch)
+}
+
+fn send_block(shared: &Arc<WriterShared>, seg: &mut OpenSegment, _max_batch: usize) {
+    if seg.block_events.is_empty() || seg.sealed {
+        return;
+    }
+    let data = std::mem::take(&mut seg.block).freeze();
+    let events = std::mem::take(&mut seg.block_events);
+    seg.block_opened = None;
+    let last_event_number = events.last().expect("non-empty block").event_number;
+    let request_id = seg.next_request_id;
+    seg.next_request_id += 1;
+    let sent = seg.connection.send(RequestEnvelope {
+        request_id,
+        request: Request::AppendBlock {
+            writer_id: shared.writer_id,
+            segment: seg.info.segment.clone(),
+            last_event_number,
+            event_count: events.len() as u32,
+            data,
+            expected_offset: None,
+        },
+    });
+    seg.inflight.push_back(InflightBlock {
+        last_event_number,
+        events,
+        sent_at: Instant::now(),
+    });
+    if sent.is_err() {
+        // Connection is gone; the pump will reconnect and resend.
+    }
+}
+
+fn refresh_segments(shared: &Arc<WriterShared>, state: &mut WriterState) -> Result<(), ClientError> {
+    let current = shared.controller.current_segments(&shared.stream)?;
+    for info in current {
+        if !state
+            .segments
+            .iter()
+            .any(|s| s.info.segment == info.segment)
+        {
+            state.segments.push(open_segment(shared, info)?);
+        }
+    }
+    Ok(())
+}
+
+/// Handles a sealed segment: fetch successors, open them, and re-route every
+/// unacknowledged event (in event-number order, preserving per-key order).
+fn handle_sealed(
+    shared: &Arc<WriterShared>,
+    state: &mut WriterState,
+    idx: usize,
+) -> Result<(), ClientError> {
+    let mut seg = state.segments.remove(idx);
+    // Collect unacked events in order: inflight blocks first, then the open
+    // block.
+    let mut pending: Vec<PendingEvent> = Vec::new();
+    for block in seg.inflight.drain(..) {
+        pending.extend(block.events);
+    }
+    pending.append(&mut seg.block_events);
+    pending.sort_by_key(|e| e.event_number);
+
+    let successors = shared
+        .controller
+        .successors(&shared.stream, seg.info.segment.segment_id())?;
+    if successors.is_empty() {
+        // Stream sealed: fail the events.
+        for mut e in pending {
+            if let Some(c) = e.completer.take() {
+                shared.pending_events.fetch_sub(1, Ordering::SeqCst);
+                c.complete(Err(ClientError::Sealed));
+            }
+        }
+        return Err(ClientError::Sealed);
+    }
+    for (info, _preds) in successors {
+        if !state
+            .segments
+            .iter()
+            .any(|s| s.info.segment == info.segment)
+        {
+            state.segments.push(open_segment(shared, info)?);
+        }
+    }
+    // Re-route pending events (their positions may now map to different
+    // successors).
+    for event in pending {
+        let position = routing_key_position(&event.routing_key);
+        route_event(shared, state, position, event)?;
+    }
+    Ok(())
+}
+
+/// Rebuilds and resends everything unacknowledged after a reconnect, using
+/// the handshake watermark to drop already-durable events.
+fn reconnect(shared: &Arc<WriterShared>, seg: &mut OpenSegment) -> Result<(), ClientError> {
+    seg.connection = shared.factory.connect(&seg.info.endpoint)?;
+    let last_durable = handshake(shared, seg)?;
+    let mut pending: Vec<PendingEvent> = Vec::new();
+    for block in seg.inflight.drain(..) {
+        pending.extend(block.events);
+    }
+    pending.sort_by_key(|e| e.event_number);
+    for mut event in pending {
+        if event.event_number <= last_durable {
+            if let Some(c) = event.completer.take() {
+                shared.pending_events.fetch_sub(1, Ordering::SeqCst);
+                c.complete(Ok(()));
+            }
+        } else {
+            append_to_block(shared, seg, event);
+        }
+    }
+    send_block(shared, seg, shared.config.max_batch_bytes);
+    Ok(())
+}
+
+/// Background pump: acknowledge inflight blocks, close stale blocks, handle
+/// seals and reconnects.
+fn pump_loop(shared: Arc<WriterShared>) {
+    // Adaptive poll interval: hot while acks flow, backing off to 2 ms when
+    // idle (matters on small machines where polling threads compete).
+    let mut idle_sleep = Duration::from_micros(200);
+    while !shared.stopped.load(Ordering::SeqCst) {
+        let mut did_work = false;
+        {
+            let mut state = shared.state.lock();
+            let mut sealed_indices: Vec<usize> = Vec::new();
+            let mut broken_indices: Vec<usize> = Vec::new();
+            let max_batch = shared.config.max_batch_bytes;
+            for (i, seg) in state.segments.iter_mut().enumerate() {
+                // Drain acknowledgements.
+                loop {
+                    match seg.connection.try_recv() {
+                        Ok(Some(envelope)) => match envelope.reply {
+                            Reply::DataAppended {
+                                last_event_number, ..
+                            } => {
+                                did_work = true;
+                                while let Some(front) = seg.inflight.front() {
+                                    if front.last_event_number > last_event_number {
+                                        break;
+                                    }
+                                    let block =
+                                        seg.inflight.pop_front().expect("front exists");
+                                    let rtt = block.sent_at.elapsed().as_secs_f64();
+                                    seg.rtt_secs.record(rtt);
+                                    for mut e in block.events {
+                                        if let Some(c) = e.completer.take() {
+                                            shared
+                                                .pending_events
+                                                .fetch_sub(1, Ordering::SeqCst);
+                                            c.complete(Ok(()));
+                                        }
+                                    }
+                                }
+                            }
+                            Reply::SegmentIsSealed | Reply::SegmentSealed { .. } => {
+                                seg.sealed = true;
+                                sealed_indices.push(i);
+                            }
+                            Reply::NoSuchSegment => {
+                                seg.sealed = true;
+                                sealed_indices.push(i);
+                            }
+                            Reply::ContainerNotReady | Reply::WrongHost => {
+                                broken_indices.push(i);
+                            }
+                            _ => {}
+                        },
+                        Ok(None) => break,
+                        Err(_) => {
+                            broken_indices.push(i);
+                            break;
+                        }
+                    }
+                }
+                // Close stale blocks (latency bound at low rates).
+                if let Some(opened) = seg.block_opened {
+                    if opened.elapsed() >= shared.config.max_batch_delay {
+                        send_block(&shared, seg, max_batch);
+                        did_work = true;
+                    }
+                }
+            }
+            // Handle seals (highest index first to keep indices valid).
+            sealed_indices.sort_unstable();
+            sealed_indices.dedup();
+            for idx in sealed_indices.into_iter().rev() {
+                if idx < state.segments.len() {
+                    if let Err(e) = handle_sealed(&shared, &mut state, idx) {
+                        if e != ClientError::Sealed {
+                            state.failed = Some(e);
+                        }
+                    }
+                }
+            }
+            // Handle reconnects.
+            broken_indices.sort_unstable();
+            broken_indices.dedup();
+            for idx in broken_indices.into_iter().rev() {
+                if idx < state.segments.len() {
+                    let seg = &mut state.segments[idx];
+                    if let Err(e) = reconnect(&shared, seg) {
+                        // Endpoint may have moved: re-resolve once.
+                        let endpoint = shared.controller.endpoint_for(&seg.info.segment);
+                        seg.info.endpoint = endpoint;
+                        if reconnect(&shared, seg).is_err() {
+                            state.failed = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        idle_sleep = if did_work {
+            Duration::from_micros(200)
+        } else {
+            (idle_sleep * 2).min(Duration::from_millis(2))
+        };
+        std::thread::sleep(idle_sleep);
+    }
+    // Fail anything still pending on shutdown.
+    let mut state = shared.state.lock();
+    for seg in &mut state.segments {
+        for block in seg.inflight.drain(..) {
+            for mut e in block.events {
+                if let Some(c) = e.completer.take() {
+                    shared.pending_events.fetch_sub(1, Ordering::SeqCst);
+                    c.complete(Err(ClientError::Disconnected("writer closed".into())));
+                }
+            }
+        }
+        for mut e in seg.block_events.drain(..) {
+            if let Some(c) = e.completer.take() {
+                shared.pending_events.fetch_sub(1, Ordering::SeqCst);
+                c.complete(Err(ClientError::Disconnected("writer closed".into())));
+            }
+        }
+    }
+}

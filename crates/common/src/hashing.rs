@@ -1,0 +1,127 @@
+//! Stable hashing used for routing keys and segment→container mapping.
+//!
+//! Pravega assigns routing keys to segments through a hash onto the unit
+//! interval `[0, 1)` (§2.1), and assigns segments to containers through a
+//! stateless uniform hash known to the control plane (§2.2). Both hashes must
+//! be stable across process restarts, so we implement FNV-1a and a 64-bit
+//! finalizer here instead of relying on `std`'s randomized hasher.
+
+use crate::id::ScopedSegment;
+
+/// FNV-1a 64-bit hash over a byte slice. Deterministic across runs/platforms.
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A 64-bit avalanche finalizer (from MurmurHash3/SplitMix64) applied on top
+/// of FNV to improve high-bit dispersion.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^= x >> 33;
+    x
+}
+
+/// Stable hash of a string.
+pub fn stable_hash(data: &str) -> u64 {
+    mix64(fnv1a64(data.as_bytes()))
+}
+
+/// Maps a 64-bit hash uniformly onto the unit interval `[0, 1)`.
+pub fn hash_to_unit_interval(hash: u64) -> f64 {
+    // Use the top 53 bits so every value is exactly representable in an f64.
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Position of a routing key on the key space `[0, 1)`.
+///
+/// Events with the same routing key always map to the same position, and thus
+/// to the same open segment between two scaling events (§3.2).
+pub fn routing_key_position(key: &str) -> f64 {
+    hash_to_unit_interval(stable_hash(key))
+}
+
+/// The container that owns a segment, via a stateless uniform hash over the
+/// segment's qualified name (§2.2). `container_count` must be non-zero.
+///
+/// # Panics
+///
+/// Panics if `container_count` is zero.
+pub fn container_for_segment(segment: &ScopedSegment, container_count: u32) -> u32 {
+    assert!(container_count > 0, "container_count must be non-zero");
+    (stable_hash(&segment.qualified_name()) % container_count as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{ScopedStream, SegmentId};
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn routing_key_position_is_stable_and_in_range() {
+        let p1 = routing_key_position("device-42");
+        let p2 = routing_key_position("device-42");
+        assert_eq!(p1, p2);
+        assert!((0.0..1.0).contains(&p1));
+    }
+
+    #[test]
+    fn routing_keys_disperse() {
+        // 10k keys should land reasonably uniformly in 10 buckets.
+        let mut buckets = [0usize; 10];
+        for i in 0..10_000 {
+            let p = routing_key_position(&format!("key-{i}"));
+            buckets[(p * 10.0) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "skewed bucket: {buckets:?}");
+        }
+    }
+
+    #[test]
+    fn container_mapping_is_stable_and_bounded() {
+        let stream = ScopedStream::new("s", "t").unwrap();
+        let seg = stream.segment(SegmentId::new(0, 0));
+        let c = container_for_segment(&seg, 8);
+        assert!(c < 8);
+        assert_eq!(c, container_for_segment(&seg, 8));
+    }
+
+    #[test]
+    fn container_mapping_disperses_segments() {
+        let stream = ScopedStream::new("s", "t").unwrap();
+        let mut counts = [0usize; 4];
+        for n in 0..1000 {
+            let seg = stream.segment(SegmentId::new(0, n));
+            counts[container_for_segment(&seg, 4) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((150..400).contains(&c), "skewed containers: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_containers_panics() {
+        let stream = ScopedStream::new("s", "t").unwrap();
+        let seg = stream.segment(SegmentId::new(0, 0));
+        let _ = container_for_segment(&seg, 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Identifiers for scopes, streams, segments, containers, writers and readers.
+//!
+//! Pravega organizes data as `scope / stream / segment`. A [`SegmentId`] packs
+//! the *creation epoch* in the upper 32 bits and the *segment number* in the
+//! lower 32 bits, mirroring the layout used by the real system so that segment
+//! ids remain unique across stream scaling events.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a scope or stream name fails validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidNameError {
+    name: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for InvalidNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid name {:?}: {}", self.name, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidNameError {}
+
+fn validate_name(name: &str) -> Result<(), InvalidNameError> {
+    if name.is_empty() {
+        return Err(InvalidNameError {
+            name: name.to_string(),
+            reason: "name must not be empty",
+        });
+    }
+    if name.len() > 255 {
+        return Err(InvalidNameError {
+            name: name.to_string(),
+            reason: "name must be at most 255 characters",
+        });
+    }
+    if !name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+    {
+        return Err(InvalidNameError {
+            name: name.to_string(),
+            reason: "name may only contain ASCII alphanumerics, '-', '_' and '.'",
+        });
+    }
+    Ok(())
+}
+
+/// A fully-qualified stream name: `scope/stream`.
+///
+/// Scopes act as stream namespaces (§2.1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ScopedStream {
+    scope: String,
+    stream: String,
+}
+
+impl ScopedStream {
+    /// Creates a scoped stream name, validating both components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNameError`] if either component is empty, longer than
+    /// 255 characters, or contains characters outside `[A-Za-z0-9._-]`.
+    pub fn new(
+        scope: impl Into<String>,
+        stream: impl Into<String>,
+    ) -> Result<Self, InvalidNameError> {
+        let scope = scope.into();
+        let stream = stream.into();
+        validate_name(&scope)?;
+        validate_name(&stream)?;
+        Ok(Self { scope, stream })
+    }
+
+    /// The scope (namespace) component.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// The stream name component.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+
+    /// Returns the fully qualified segment for `segment_id` within this stream.
+    pub fn segment(&self, segment_id: SegmentId) -> ScopedSegment {
+        ScopedSegment {
+            stream: self.clone(),
+            segment: segment_id,
+        }
+    }
+}
+
+impl fmt::Display for ScopedStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.scope, self.stream)
+    }
+}
+
+/// Identifier of a stream segment, unique within a stream across its lifetime.
+///
+/// Packs `(creation epoch, segment number)` into a `u64`: the epoch occupies
+/// the upper 32 bits. Two segments created in different scaling epochs never
+/// collide even if they reuse a segment number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SegmentId(u64);
+
+impl SegmentId {
+    /// Creates a segment id from a creation epoch and a segment number.
+    pub fn new(epoch: u32, number: u32) -> Self {
+        Self(((epoch as u64) << 32) | number as u64)
+    }
+
+    /// Creation epoch of the segment (the scaling epoch it was created in).
+    pub fn epoch(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// Segment number within the stream.
+    pub fn number(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// Raw packed representation.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a segment id from its packed representation.
+    pub fn from_u64(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.#epoch.{}", self.number(), self.epoch())
+    }
+}
+
+/// A fully-qualified segment: `scope/stream/number.#epoch.N`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ScopedSegment {
+    stream: ScopedStream,
+    segment: SegmentId,
+}
+
+impl ScopedSegment {
+    /// Creates a fully qualified segment name.
+    pub fn new(stream: ScopedStream, segment: SegmentId) -> Self {
+        Self { stream, segment }
+    }
+
+    /// The stream this segment belongs to.
+    pub fn stream(&self) -> &ScopedStream {
+        &self.stream
+    }
+
+    /// The segment id within the stream.
+    pub fn segment_id(&self) -> SegmentId {
+        self.segment
+    }
+
+    /// Canonical string form, used for hashing and container routing.
+    pub fn qualified_name(&self) -> String {
+        format!("{}/{}", self.stream, self.segment)
+    }
+
+    /// Parses the canonical form `scope/stream/number.#epoch.N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidNameError`] when the string is not a qualified
+    /// segment name.
+    pub fn parse(name: &str) -> Result<Self, InvalidNameError> {
+        let bad = |reason| InvalidNameError {
+            name: name.to_string(),
+            reason,
+        };
+        let mut parts = name.splitn(3, '/');
+        let scope = parts.next().ok_or(bad("missing scope"))?;
+        let stream = parts.next().ok_or(bad("missing stream"))?;
+        let seg = parts.next().ok_or(bad("missing segment"))?;
+        let (number, epoch) = seg
+            .split_once(".#epoch.")
+            .ok_or(bad("missing .#epoch. marker"))?;
+        let number: u32 = number.parse().map_err(|_| bad("bad segment number"))?;
+        let epoch: u32 = epoch.parse().map_err(|_| bad("bad epoch"))?;
+        Ok(ScopedStream::new(scope, stream)?.segment(SegmentId::new(epoch, number)))
+    }
+}
+
+impl fmt::Display for ScopedSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.stream, self.segment)
+    }
+}
+
+/// Identifier of a segment container within the data plane.
+///
+/// A segment maps to exactly one container for its entire life via a
+/// stateless uniform hash (§2.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ContainerId(pub u32);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "container-{}", self.0)
+    }
+}
+
+/// Unique identifier of an event writer, used for exactly-once deduplication.
+///
+/// The segment store persists `(writer id, event number)` in segment
+/// attributes; on reconnection the writer learns the last event number it
+/// successfully wrote (§3.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct WriterId(pub u128);
+
+impl WriterId {
+    /// Generates a random writer id.
+    pub fn random() -> Self {
+        Self(rand::random())
+    }
+}
+
+impl fmt::Display for WriterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "writer-{:032x}", self.0)
+    }
+}
+
+/// Identifier of a reader within a reader group.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ReaderId(pub String);
+
+impl fmt::Display for ReaderId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reader-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_id_packs_epoch_and_number() {
+        let id = SegmentId::new(7, 42);
+        assert_eq!(id.epoch(), 7);
+        assert_eq!(id.number(), 42);
+        assert_eq!(SegmentId::from_u64(id.as_u64()), id);
+    }
+
+    #[test]
+    fn segment_id_distinct_across_epochs() {
+        assert_ne!(SegmentId::new(0, 1), SegmentId::new(1, 1));
+    }
+
+    #[test]
+    fn segment_id_max_values_roundtrip() {
+        let id = SegmentId::new(u32::MAX, u32::MAX);
+        assert_eq!(id.epoch(), u32::MAX);
+        assert_eq!(id.number(), u32::MAX);
+    }
+
+    #[test]
+    fn scoped_stream_validates_names() {
+        assert!(ScopedStream::new("ok", "also-ok_1.2").is_ok());
+        assert!(ScopedStream::new("", "s").is_err());
+        assert!(ScopedStream::new("a", "").is_err());
+        assert!(ScopedStream::new("a/b", "s").is_err());
+        assert!(ScopedStream::new("a", "s p a c e").is_err());
+        assert!(ScopedStream::new("a", "x".repeat(256)).is_err());
+    }
+
+    #[test]
+    fn scoped_segment_display_is_canonical() {
+        let stream = ScopedStream::new("scope", "stream").unwrap();
+        let seg = stream.segment(SegmentId::new(2, 5));
+        assert_eq!(seg.to_string(), "scope/stream/5.#epoch.2");
+        assert_eq!(seg.qualified_name(), seg.to_string());
+    }
+
+    #[test]
+    fn scoped_segment_parse_roundtrip() {
+        let stream = ScopedStream::new("scope", "stream").unwrap();
+        let seg = stream.segment(SegmentId::new(3, 17));
+        assert_eq!(ScopedSegment::parse(&seg.qualified_name()).unwrap(), seg);
+        assert!(ScopedSegment::parse("no-slashes").is_err());
+        assert!(ScopedSegment::parse("a/b/noepoch").is_err());
+        assert!(ScopedSegment::parse("a/b/x.#epoch.1").is_err());
+    }
+
+    #[test]
+    fn writer_ids_are_unique_enough() {
+        let a = WriterId::random();
+        let b = WriterId::random();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,238 @@
+//! Key-space ranges: the half-open intervals of `[0, 1)` owned by segments.
+//!
+//! Parallel segments of a stream partition the routing-key space. Scaling
+//! splits one range into several, or merges adjacent ranges into one (§3.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Error produced when constructing an invalid [`KeyRange`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidRangeError {
+    low: f64,
+    high: f64,
+}
+
+impl fmt::Display for InvalidRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid key range [{}, {}): must satisfy 0 <= low < high <= 1",
+            self.low, self.high
+        )
+    }
+}
+
+impl std::error::Error for InvalidRangeError {}
+
+/// A half-open interval `[low, high)` of the routing-key space `[0, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyRange {
+    low: f64,
+    high: f64,
+}
+
+impl KeyRange {
+    /// Creates a key range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRangeError`] unless `0 <= low < high <= 1`.
+    pub fn new(low: f64, high: f64) -> Result<Self, InvalidRangeError> {
+        if !(0.0..1.0).contains(&low) || !(low..=1.0).contains(&high) || low >= high {
+            return Err(InvalidRangeError { low, high });
+        }
+        Ok(Self { low, high })
+    }
+
+    /// The whole key space `[0, 1)`.
+    pub fn full() -> Self {
+        Self {
+            low: 0.0,
+            high: 1.0,
+        }
+    }
+
+    /// Lower (inclusive) bound.
+    pub fn low(&self) -> f64 {
+        self.low
+    }
+
+    /// Upper (exclusive) bound.
+    pub fn high(&self) -> f64 {
+        self.high
+    }
+
+    /// Width of the range.
+    pub fn width(&self) -> f64 {
+        self.high - self.low
+    }
+
+    /// Whether `position` falls inside this range.
+    pub fn contains(&self, position: f64) -> bool {
+        position >= self.low && position < self.high
+    }
+
+    /// Whether the two ranges intersect (half-open semantics).
+    pub fn overlaps(&self, other: &KeyRange) -> bool {
+        self.low < other.high && other.low < self.high
+    }
+
+    /// Whether `other` starts exactly where `self` ends, or vice versa.
+    pub fn is_adjacent(&self, other: &KeyRange) -> bool {
+        self.high == other.low || other.high == self.low
+    }
+
+    /// Splits the range into `parts` equal sub-ranges, low to high.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn split(&self, parts: u32) -> Vec<KeyRange> {
+        assert!(parts > 0, "parts must be non-zero");
+        let width = self.width() / parts as f64;
+        (0..parts)
+            .map(|i| {
+                let low = self.low + width * i as f64;
+                let high = if i == parts - 1 {
+                    self.high
+                } else {
+                    self.low + width * (i + 1) as f64
+                };
+                KeyRange { low, high }
+            })
+            .collect()
+    }
+
+    /// Merges two adjacent ranges into one covering both.
+    ///
+    /// Returns `None` if the ranges are not adjacent.
+    pub fn merge(&self, other: &KeyRange) -> Option<KeyRange> {
+        if self.high == other.low {
+            Some(KeyRange {
+                low: self.low,
+                high: other.high,
+            })
+        } else if other.high == self.low {
+            Some(KeyRange {
+                low: other.low,
+                high: self.high,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.low, self.high)
+    }
+}
+
+/// Checks that `ranges` exactly partition `[0, 1)`: sorted by `low`, each
+/// range begins where the previous ends, starting at 0 and ending at 1.
+pub fn ranges_partition_keyspace(ranges: &[KeyRange]) -> bool {
+    let mut sorted: Vec<&KeyRange> = ranges.iter().collect();
+    sorted.sort_by(|a, b| a.low.partial_cmp(&b.low).expect("ranges are finite"));
+    let mut cursor = 0.0;
+    for r in sorted {
+        if (r.low - cursor).abs() > 1e-12 {
+            return false;
+        }
+        cursor = r.high;
+    }
+    (cursor - 1.0).abs() < 1e-12
+}
+
+/// Checks that `covering` exactly covers the union of `covered` (both sets
+/// sorted internally). Used to validate scale operations: the new segments'
+/// ranges must exactly replace the sealed segments' ranges (§3.2).
+pub fn ranges_cover_same_span(a: &[KeyRange], b: &[KeyRange]) -> bool {
+    fn span(ranges: &[KeyRange]) -> Option<(f64, f64)> {
+        let mut sorted: Vec<&KeyRange> = ranges.iter().collect();
+        sorted.sort_by(|x, y| x.low.partial_cmp(&y.low).expect("finite"));
+        let first = sorted.first()?;
+        let mut cursor = first.low;
+        for r in &sorted {
+            if (r.low - cursor).abs() > 1e-12 {
+                return None; // gap or overlap
+            }
+            cursor = r.high;
+        }
+        Some((first.low, cursor))
+    }
+    match (span(a), span(b)) {
+        (Some((al, ah)), Some((bl, bh))) => (al - bl).abs() < 1e-12 && (ah - bh).abs() < 1e-12,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_invalid_ranges() {
+        assert!(KeyRange::new(0.5, 0.5).is_err());
+        assert!(KeyRange::new(0.7, 0.3).is_err());
+        assert!(KeyRange::new(-0.1, 0.5).is_err());
+        assert!(KeyRange::new(0.5, 1.1).is_err());
+        assert!(KeyRange::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let r = KeyRange::new(0.25, 0.5).unwrap();
+        assert!(r.contains(0.25));
+        assert!(r.contains(0.499999));
+        assert!(!r.contains(0.5));
+        assert!(!r.contains(0.2));
+    }
+
+    #[test]
+    fn split_partitions_exactly() {
+        let parts = KeyRange::full().split(3);
+        assert_eq!(parts.len(), 3);
+        assert!(ranges_partition_keyspace(&parts));
+        assert_eq!(parts[0].low(), 0.0);
+        assert_eq!(parts[2].high(), 1.0);
+    }
+
+    #[test]
+    fn merge_requires_adjacency() {
+        let a = KeyRange::new(0.0, 0.5).unwrap();
+        let b = KeyRange::new(0.5, 1.0).unwrap();
+        let c = KeyRange::new(0.6, 0.8).unwrap();
+        assert_eq!(a.merge(&b), Some(KeyRange::full()));
+        assert_eq!(b.merge(&a), Some(KeyRange::full()));
+        assert_eq!(a.merge(&c), None);
+    }
+
+    #[test]
+    fn overlap_and_adjacency() {
+        let a = KeyRange::new(0.0, 0.5).unwrap();
+        let b = KeyRange::new(0.5, 1.0).unwrap();
+        let c = KeyRange::new(0.4, 0.6).unwrap();
+        assert!(!a.overlaps(&b));
+        assert!(a.is_adjacent(&b));
+        assert!(a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+
+    #[test]
+    fn cover_same_span_detects_mismatch() {
+        let sealed = [KeyRange::new(0.5, 1.0).unwrap()];
+        let good = [
+            KeyRange::new(0.5, 0.75).unwrap(),
+            KeyRange::new(0.75, 1.0).unwrap(),
+        ];
+        let bad = [
+            KeyRange::new(0.5, 0.7).unwrap(),
+            KeyRange::new(0.75, 1.0).unwrap(),
+        ];
+        assert!(ranges_cover_same_span(&sealed, &good));
+        assert!(!ranges_cover_same_span(&sealed, &bad));
+    }
+}

@@ -1,0 +1,314 @@
+//! Lightweight metrics: lock-free counters and log-linear histograms.
+//!
+//! The benchmark harness and the segment store's load reporting both need
+//! cheap percentile tracking (the paper reports p50/p95 latencies throughout
+//! §5). The histogram uses log-linear buckets (64 sub-buckets per power of
+//! two), the same scheme as HdrHistogram, giving <1.6% relative error.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+const SUB_BUCKET_BITS: u32 = 6;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 64
+const BUCKET_COUNT: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS;
+
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let h = 63 - value.leading_zeros() as usize; // highest set bit, >= 6
+        let sub = ((value >> (h - SUB_BUCKET_BITS as usize)) & (SUB_BUCKETS as u64 - 1)) as usize;
+        (h - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub
+    }
+}
+
+fn bucket_value(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let h = index / SUB_BUCKETS + SUB_BUCKET_BITS as usize - 1;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let base = (SUB_BUCKETS as u64 + sub) << (h - SUB_BUCKET_BITS as usize);
+        // Midpoint of the bucket to halve the representation error.
+        base + ((1u64 << (h - SUB_BUCKET_BITS as usize)) >> 1)
+    }
+}
+
+/// A thread-safe log-linear histogram over `u64` values.
+///
+/// # Example
+///
+/// ```
+/// use pravega_common::metrics::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.percentile(50.0);
+/// assert!((480..=520).contains(&p50));
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a value.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest recorded value, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Largest recorded value, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate value at percentile `p` (0.0–100.0), or 0 if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_value(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Clears all recorded values.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A named registry of counters and histograms.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: HashMap<String, Arc<Counter>>,
+    histograms: HashMap<String, Arc<Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if needed) the counter with the given name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut inner = self.inner.lock();
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Counter::new()))
+            .clone()
+    }
+
+    /// Returns (creating if needed) the histogram with the given name.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Snapshot of all counter values, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let inner = self.inner.lock();
+        let mut v: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut prev = 0usize;
+        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 30, u64::MAX] {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index not monotonic at {v}");
+            prev = idx;
+            assert!(idx < BUCKET_COUNT);
+        }
+    }
+
+    #[test]
+    fn bucket_value_within_relative_error() {
+        for v in [100u64, 1000, 12_345, 999_999, 123_456_789] {
+            let approx = bucket_value(bucket_index(v));
+            let err = (approx as f64 - v as f64).abs() / v as f64;
+            assert!(err < 0.016, "value {v} approx {approx} err {err}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_accurate() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(50.0, 5000u64), (95.0, 9500), (99.0, 9900)] {
+            let got = h.percentile(p);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.02, "p{p}: got {got}, want ~{expect}");
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+    }
+
+    #[test]
+    fn registry_returns_same_instance() {
+        let r = MetricsRegistry::new();
+        r.counter("a").inc();
+        r.counter("a").inc();
+        assert_eq!(r.counter("a").get(), 2);
+        assert_eq!(r.counter_values(), vec![("a".to_string(), 2)]);
+        r.histogram("h").record(1);
+        assert_eq!(r.histogram("h").count(), 1);
+    }
+}

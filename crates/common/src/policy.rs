@@ -1,0 +1,174 @@
+//! Stream policies: auto-scaling and retention (§2.1).
+//!
+//! Streams are policy-driven. A [`ScalingPolicy`] tells the control plane when
+//! to split or merge segments based on the ingestion workload; a
+//! [`RetentionPolicy`] tells it when to truncate the stream head.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Determines how many parallel segments a stream has and when that changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingPolicy {
+    /// A fixed number of segments; the stream never auto-scales.
+    FixedSegmentCount {
+        /// Number of parallel segments.
+        segments: u32,
+    },
+    /// Auto-scale targeting a number of events per second per segment.
+    ByEventRate {
+        /// Target events/second per segment; sustained load beyond
+        /// `2 × target` splits a segment, below `target / 2` is a merge
+        /// candidate.
+        target_events_per_sec: u64,
+        /// How many successors a split creates (usually 2).
+        scale_factor: u32,
+        /// The stream never scales below this many segments.
+        min_segments: u32,
+    },
+    /// Auto-scale targeting a byte throughput per segment.
+    ByThroughput {
+        /// Target kilobytes/second per segment.
+        target_kbytes_per_sec: u64,
+        /// How many successors a split creates (usually 2).
+        scale_factor: u32,
+        /// The stream never scales below this many segments.
+        min_segments: u32,
+    },
+}
+
+impl ScalingPolicy {
+    /// Convenience constructor for a fixed-parallelism stream.
+    pub fn fixed(segments: u32) -> Self {
+        ScalingPolicy::FixedSegmentCount { segments }
+    }
+
+    /// Initial number of segments a stream created with this policy gets.
+    pub fn initial_segments(&self) -> u32 {
+        match *self {
+            ScalingPolicy::FixedSegmentCount { segments } => segments.max(1),
+            ScalingPolicy::ByEventRate { min_segments, .. }
+            | ScalingPolicy::ByThroughput { min_segments, .. } => min_segments.max(1),
+        }
+    }
+
+    /// Minimum segments allowed by this policy.
+    pub fn min_segments(&self) -> u32 {
+        self.initial_segments()
+    }
+
+    /// The number of successors a split creates (1 means no auto-scaling).
+    pub fn scale_factor(&self) -> u32 {
+        match *self {
+            ScalingPolicy::FixedSegmentCount { .. } => 1,
+            ScalingPolicy::ByEventRate { scale_factor, .. }
+            | ScalingPolicy::ByThroughput { scale_factor, .. } => scale_factor.max(2),
+        }
+    }
+
+    /// Whether the policy allows automatic scaling at all.
+    pub fn is_auto(&self) -> bool {
+        !matches!(self, ScalingPolicy::FixedSegmentCount { .. })
+    }
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        ScalingPolicy::fixed(1)
+    }
+}
+
+/// Determines when stream data is automatically truncated from the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum RetentionPolicy {
+    /// Keep everything (unbounded retention — data lives in LTS).
+    #[default]
+    Unbounded,
+    /// Truncate so the retained data stays below `max_bytes`.
+    BySize {
+        /// Maximum retained bytes.
+        max_bytes: u64,
+    },
+    /// Truncate data older than `period`.
+    ByTime {
+        /// Maximum retained age.
+        period: Duration,
+    },
+}
+
+/// Full configuration of a stream: scaling + retention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StreamConfiguration {
+    /// The scaling policy.
+    pub scaling: ScalingPolicy,
+    /// The retention policy.
+    pub retention: RetentionPolicy,
+}
+
+impl StreamConfiguration {
+    /// Configuration with the given scaling policy and unbounded retention.
+    pub fn new(scaling: ScalingPolicy) -> Self {
+        Self {
+            scaling,
+            retention: RetentionPolicy::Unbounded,
+        }
+    }
+
+    /// Sets the retention policy (builder style).
+    pub fn with_retention(mut self, retention: RetentionPolicy) -> Self {
+        self.retention = retention;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_has_no_autoscaling() {
+        let p = ScalingPolicy::fixed(4);
+        assert_eq!(p.initial_segments(), 4);
+        assert!(!p.is_auto());
+        assert_eq!(p.scale_factor(), 1);
+    }
+
+    #[test]
+    fn fixed_zero_segments_clamps_to_one() {
+        assert_eq!(ScalingPolicy::fixed(0).initial_segments(), 1);
+    }
+
+    #[test]
+    fn rate_policy_reports_minimums() {
+        let p = ScalingPolicy::ByEventRate {
+            target_events_per_sec: 2000,
+            scale_factor: 2,
+            min_segments: 3,
+        };
+        assert_eq!(p.initial_segments(), 3);
+        assert_eq!(p.min_segments(), 3);
+        assert!(p.is_auto());
+        assert_eq!(p.scale_factor(), 2);
+    }
+
+    #[test]
+    fn scale_factor_clamps_to_two_for_auto() {
+        let p = ScalingPolicy::ByThroughput {
+            target_kbytes_per_sec: 1024,
+            scale_factor: 0,
+            min_segments: 1,
+        };
+        assert_eq!(p.scale_factor(), 2);
+    }
+
+    #[test]
+    fn configuration_builder() {
+        let cfg = StreamConfiguration::new(ScalingPolicy::fixed(2))
+            .with_retention(RetentionPolicy::BySize { max_bytes: 1 << 30 });
+        assert_eq!(
+            cfg.retention,
+            RetentionPolicy::BySize { max_bytes: 1 << 30 }
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Rate estimation used by the writer batching heuristic (§4.1) and the
+//! auto-scaler's per-segment load tracking (§3.1).
+
+use std::time::Duration;
+
+use crate::clock::Timestamp;
+
+/// Exponentially-weighted moving average of a rate (units/second).
+///
+/// Updates decay with time constant `tau`: samples older than a few `tau`
+/// effectively stop contributing. This mirrors how the segment store reports
+/// smoothed per-segment rates to the controller feedback loop.
+#[derive(Debug, Clone)]
+pub struct EwmaRate {
+    tau_nanos: f64,
+    rate_per_sec: f64,
+    last_update: Option<Timestamp>,
+}
+
+impl EwmaRate {
+    /// Creates an estimator with the given smoothing time constant.
+    pub fn new(tau: Duration) -> Self {
+        Self {
+            tau_nanos: tau.as_nanos() as f64,
+            rate_per_sec: 0.0,
+            last_update: None,
+        }
+    }
+
+    /// Records `amount` units arriving at time `now`.
+    pub fn record(&mut self, amount: u64, now: Timestamp) {
+        match self.last_update {
+            None => {
+                // First sample: seed the rate as if the amount arrived over tau.
+                self.rate_per_sec = amount as f64 / (self.tau_nanos / 1e9);
+                self.last_update = Some(now);
+            }
+            Some(prev) => {
+                let dt = now.saturating_sub(prev) as f64;
+                if dt <= 0.0 {
+                    // Same instant: fold into the current estimate directly.
+                    self.rate_per_sec += amount as f64 / (self.tau_nanos / 1e9);
+                    return;
+                }
+                let alpha = 1.0 - (-dt / self.tau_nanos).exp();
+                let instantaneous = amount as f64 / (dt / 1e9);
+                self.rate_per_sec += alpha * (instantaneous - self.rate_per_sec);
+                self.last_update = Some(now);
+            }
+        }
+    }
+
+    /// Current estimate, decayed to `now` (an idle source decays to zero).
+    pub fn rate(&self, now: Timestamp) -> f64 {
+        match self.last_update {
+            None => 0.0,
+            Some(prev) => {
+                let dt = now.saturating_sub(prev) as f64;
+                self.rate_per_sec * (-dt / self.tau_nanos).exp()
+            }
+        }
+    }
+}
+
+/// Tracks an exponentially-weighted average of scalar samples (e.g. recent
+/// WAL latency or recent write size, used by the data-frame delay formula).
+#[derive(Debug, Clone)]
+pub struct EwmaValue {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl EwmaValue {
+    /// Creates an average where each new sample has weight `alpha` in (0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { alpha, value: None }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// Current average, or `default` if no samples have been recorded.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn has_samples(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Timestamp = 1_000_000_000;
+
+    #[test]
+    fn steady_rate_converges() {
+        let mut r = EwmaRate::new(Duration::from_secs(2));
+        // 1000 units/second, sampled every 100ms for 20 seconds.
+        for i in 1..=200u64 {
+            r.record(100, i * SEC / 10);
+        }
+        let est = r.rate(200 * SEC / 10);
+        assert!(
+            (est - 1000.0).abs() < 50.0,
+            "estimate {est} should approach 1000"
+        );
+    }
+
+    #[test]
+    fn idle_rate_decays() {
+        let mut r = EwmaRate::new(Duration::from_secs(1));
+        for i in 1..=50u64 {
+            r.record(100, i * SEC / 10);
+        }
+        let busy = r.rate(5 * SEC);
+        let idle = r.rate(15 * SEC);
+        assert!(idle < busy / 100.0, "idle {idle} should decay from {busy}");
+    }
+
+    #[test]
+    fn empty_rate_is_zero() {
+        let r = EwmaRate::new(Duration::from_secs(1));
+        assert_eq!(r.rate(SEC), 0.0);
+    }
+
+    #[test]
+    fn rate_increase_is_tracked() {
+        let mut r = EwmaRate::new(Duration::from_secs(1));
+        for i in 1..=100u64 {
+            r.record(10, i * SEC / 10); // 100/s
+        }
+        let low = r.rate(10 * SEC);
+        for i in 101..=200u64 {
+            r.record(100, i * SEC / 10); // 1000/s
+        }
+        let high = r.rate(20 * SEC);
+        assert!(high > low * 5.0, "rate should rise: {low} -> {high}");
+    }
+
+    #[test]
+    fn ewma_value_tracks_samples() {
+        let mut v = EwmaValue::new(0.5);
+        assert!(!v.has_samples());
+        assert_eq!(v.value_or(7.0), 7.0);
+        v.record(10.0);
+        v.record(20.0);
+        assert!((v.value_or(0.0) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_value_rejects_bad_alpha() {
+        let _ = EwmaValue::new(0.0);
+    }
+}

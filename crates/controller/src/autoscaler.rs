@@ -1,0 +1,527 @@
+//! Stream auto-scaling (§3.1): the control-plane side of the feedback loop.
+//!
+//! The data plane reports smoothed per-segment ingest rates; the auto-scaler
+//! compares them against the stream's policy target and, after a sustained
+//! excursion, splits hot segments or merges adjacent cold ones. Decisions
+//! are pure functions over `(policy, current segments, rates, history)` so
+//! they are directly testable; execution goes through
+//! [`ControllerService::scale_stream`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pravega_common::clock::Clock;
+use pravega_common::id::{ScopedStream, SegmentId};
+use pravega_common::keyspace::KeyRange;
+use pravega_common::policy::ScalingPolicy;
+
+use crate::error::ControllerError;
+use crate::records::StreamSegmentRecord;
+use crate::service::ControllerService;
+
+/// One data-plane load sample for a segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentLoadSample {
+    /// The segment reported on.
+    pub segment: SegmentId,
+    /// Smoothed events/second.
+    pub events_per_sec: f64,
+    /// Smoothed bytes/second.
+    pub bytes_per_sec: f64,
+}
+
+/// Auto-scaler tuning.
+#[derive(Debug, Clone)]
+pub struct AutoScalerConfig {
+    /// Consecutive hot evaluations before a split.
+    pub hot_threshold: u32,
+    /// Consecutive cold evaluations before a merge.
+    pub cold_threshold: u32,
+    /// Minimum time between scale events on one stream.
+    pub cooldown: Duration,
+}
+
+impl Default for AutoScalerConfig {
+    fn default() -> Self {
+        Self {
+            hot_threshold: 2,
+            cold_threshold: 4,
+            cooldown: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A decision produced by policy evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaleDecision {
+    /// Split one hot segment into `ranges.len()` successors.
+    Split {
+        /// Segment to seal.
+        segment: SegmentId,
+        /// Replacement ranges.
+        ranges: Vec<KeyRange>,
+    },
+    /// Merge two adjacent cold segments.
+    Merge {
+        /// Segments to seal (adjacent pair).
+        segments: Vec<SegmentId>,
+        /// The single replacement range.
+        range: KeyRange,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SegmentHistory {
+    hot_count: u32,
+    cold_count: u32,
+}
+
+#[derive(Debug, Default)]
+struct StreamScaleState {
+    history: HashMap<SegmentId, SegmentHistory>,
+    last_scale_nanos: Option<u64>,
+}
+
+/// The auto-scaler: feed it load reports, it scales streams.
+pub struct AutoScaler {
+    service: Arc<ControllerService>,
+    clock: Arc<dyn Clock>,
+    config: AutoScalerConfig,
+    state: Mutex<HashMap<ScopedStream, StreamScaleState>>,
+}
+
+impl std::fmt::Debug for AutoScaler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutoScaler").finish()
+    }
+}
+
+/// The policy's target rate for one segment, in the unit the sample uses.
+fn target_rate(policy: &ScalingPolicy) -> Option<f64> {
+    match policy {
+        ScalingPolicy::FixedSegmentCount { .. } => None,
+        ScalingPolicy::ByEventRate {
+            target_events_per_sec,
+            ..
+        } => Some(*target_events_per_sec as f64),
+        ScalingPolicy::ByThroughput {
+            target_kbytes_per_sec,
+            ..
+        } => Some(*target_kbytes_per_sec as f64 * 1024.0),
+    }
+}
+
+fn sample_rate(policy: &ScalingPolicy, sample: &SegmentLoadSample) -> f64 {
+    match policy {
+        ScalingPolicy::ByThroughput { .. } => sample.bytes_per_sec,
+        _ => sample.events_per_sec,
+    }
+}
+
+/// Pure policy evaluation: returns at most one decision per call (split
+/// preferred over merge). `history` is updated in place.
+pub(crate) fn evaluate_policy(
+    policy: &ScalingPolicy,
+    current: &[StreamSegmentRecord],
+    samples: &HashMap<SegmentId, f64>,
+    history: &mut HashMap<SegmentId, SegmentHistory>,
+    config: &AutoScalerConfig,
+) -> Option<ScaleDecision> {
+    let target = target_rate(policy)?;
+    let scale_factor = policy.scale_factor().max(2);
+    let min_segments = policy.min_segments() as usize;
+
+    // Update hot/cold counts.
+    for record in current {
+        let rate = samples.get(&record.id).copied().unwrap_or(0.0);
+        let h = history.entry(record.id).or_default();
+        if rate > 2.0 * target {
+            h.hot_count += 1;
+            h.cold_count = 0;
+        } else if rate < 0.5 * target {
+            h.cold_count += 1;
+            h.hot_count = 0;
+        } else {
+            h.hot_count = 0;
+            h.cold_count = 0;
+        }
+    }
+    history.retain(|id, _| current.iter().any(|s| s.id == *id));
+
+    // Split the hottest sustained segment.
+    let mut hottest: Option<(&StreamSegmentRecord, f64)> = None;
+    for record in current {
+        let h = &history[&record.id];
+        if h.hot_count >= config.hot_threshold {
+            let rate = samples.get(&record.id).copied().unwrap_or(0.0);
+            if hottest.map(|(_, r)| rate > r).unwrap_or(true) {
+                hottest = Some((record, rate));
+            }
+        }
+    }
+    if let Some((record, _)) = hottest {
+        return Some(ScaleDecision::Split {
+            segment: record.id,
+            ranges: record.range.split(scale_factor),
+        });
+    }
+
+    // Merge the first adjacent sustained-cold pair (if above min segments).
+    if current.len() > min_segments.max(1) {
+        let mut sorted: Vec<&StreamSegmentRecord> = current.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.range
+                .low()
+                .partial_cmp(&b.range.low())
+                .expect("finite ranges")
+        });
+        for pair in sorted.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let a_cold = history[&a.id].cold_count >= config.cold_threshold;
+            let b_cold = history[&b.id].cold_count >= config.cold_threshold;
+            if a_cold && b_cold {
+                if let Some(range) = a.range.merge(&b.range) {
+                    return Some(ScaleDecision::Merge {
+                        segments: vec![a.id, b.id],
+                        range,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+impl AutoScaler {
+    /// Creates an auto-scaler over a controller service.
+    pub fn new(
+        service: Arc<ControllerService>,
+        clock: Arc<dyn Clock>,
+        config: AutoScalerConfig,
+    ) -> Self {
+        Self {
+            service,
+            clock,
+            config,
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Processes one round of load reports for `stream`. Returns the scale
+    /// decision executed, if any.
+    ///
+    /// # Errors
+    ///
+    /// Controller/store failures while executing a decision.
+    pub fn process_reports(
+        &self,
+        stream: &ScopedStream,
+        samples: &[SegmentLoadSample],
+    ) -> Result<Option<ScaleDecision>, ControllerError> {
+        let metadata = self.service.stream_metadata(stream)?;
+        if !metadata.config.scaling.is_auto() {
+            return Ok(None);
+        }
+        let now = self.clock.now_nanos();
+        let decision = {
+            let mut states = self.state.lock();
+            let state = states.entry(stream.clone()).or_default();
+            if let Some(last) = state.last_scale_nanos {
+                if now.saturating_sub(last) < self.config.cooldown.as_nanos() as u64 {
+                    return Ok(None);
+                }
+            }
+            let rates: HashMap<SegmentId, f64> = samples
+                .iter()
+                .map(|s| (s.segment, sample_rate(&metadata.config.scaling, s)))
+                .collect();
+            evaluate_policy(
+                &metadata.config.scaling,
+                metadata.current_segments(),
+                &rates,
+                &mut state.history,
+                &self.config,
+            )
+        };
+        let Some(decision) = decision else {
+            return Ok(None);
+        };
+        let (sealed, ranges) = match &decision {
+            ScaleDecision::Split { segment, ranges } => (vec![*segment], ranges.clone()),
+            ScaleDecision::Merge { segments, range } => (segments.clone(), vec![*range]),
+        };
+        self.service.scale_stream(stream, sealed, ranges)?;
+        let mut states = self.state.lock();
+        if let Some(state) = states.get_mut(stream) {
+            state.last_scale_nanos = Some(now);
+            state.history.clear();
+        }
+        Ok(Some(decision))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::InMemoryMetadataBackend;
+    use crate::service::testutil::MockSegmentManager;
+    use crate::service::LocalEndpointResolver;
+    use pravega_common::clock::ManualClock;
+    use pravega_common::policy::StreamConfiguration;
+
+    fn rate_policy(target: u64) -> ScalingPolicy {
+        ScalingPolicy::ByEventRate {
+            target_events_per_sec: target,
+            scale_factor: 2,
+            min_segments: 1,
+        }
+    }
+
+    fn record(epoch: u32, number: u32, low: f64, high: f64) -> StreamSegmentRecord {
+        StreamSegmentRecord {
+            id: SegmentId::new(epoch, number),
+            range: KeyRange::new(low, high).unwrap(),
+            creation_time: 0,
+        }
+    }
+
+    #[test]
+    fn split_requires_sustained_heat() {
+        let policy = rate_policy(100);
+        let current = vec![record(0, 0, 0.0, 1.0)];
+        let mut history = HashMap::new();
+        let config = AutoScalerConfig {
+            hot_threshold: 3,
+            ..AutoScalerConfig::default()
+        };
+        let mut samples = HashMap::new();
+        samples.insert(SegmentId::new(0, 0), 500.0); // 5x target: hot
+        for round in 0..3 {
+            let d = evaluate_policy(&policy, &current, &samples, &mut history, &config);
+            if round < 2 {
+                assert_eq!(d, None, "round {round} must not scale yet");
+            } else {
+                match d {
+                    Some(ScaleDecision::Split { segment, ranges }) => {
+                        assert_eq!(segment, SegmentId::new(0, 0));
+                        assert_eq!(ranges.len(), 2);
+                    }
+                    other => panic!("expected split, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heat_interruption_resets_counter() {
+        let policy = rate_policy(100);
+        let current = vec![record(0, 0, 0.0, 1.0)];
+        let mut history = HashMap::new();
+        let config = AutoScalerConfig {
+            hot_threshold: 2,
+            ..AutoScalerConfig::default()
+        };
+        let mut hot = HashMap::new();
+        hot.insert(SegmentId::new(0, 0), 500.0);
+        let mut normal = HashMap::new();
+        normal.insert(SegmentId::new(0, 0), 100.0);
+        assert_eq!(
+            evaluate_policy(&policy, &current, &hot, &mut history, &config),
+            None
+        );
+        assert_eq!(
+            evaluate_policy(&policy, &current, &normal, &mut history, &config),
+            None
+        );
+        assert_eq!(
+            evaluate_policy(&policy, &current, &hot, &mut history, &config),
+            None,
+            "counter must have reset"
+        );
+    }
+
+    #[test]
+    fn merge_requires_adjacent_sustained_cold_pair() {
+        let policy = rate_policy(100);
+        let current = vec![
+            record(0, 0, 0.0, 0.5),
+            record(0, 1, 0.5, 1.0),
+        ];
+        let mut history = HashMap::new();
+        let config = AutoScalerConfig {
+            cold_threshold: 2,
+            ..AutoScalerConfig::default()
+        };
+        let mut samples = HashMap::new();
+        samples.insert(SegmentId::new(0, 0), 10.0); // cold
+        samples.insert(SegmentId::new(0, 1), 10.0); // cold
+        assert_eq!(
+            evaluate_policy(&policy, &current, &samples, &mut history, &config),
+            None
+        );
+        match evaluate_policy(&policy, &current, &samples, &mut history, &config) {
+            Some(ScaleDecision::Merge { segments, range }) => {
+                assert_eq!(segments.len(), 2);
+                assert_eq!(range, KeyRange::full());
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_respects_min_segments() {
+        let policy = ScalingPolicy::ByEventRate {
+            target_events_per_sec: 100,
+            scale_factor: 2,
+            min_segments: 2,
+        };
+        let current = vec![record(0, 0, 0.0, 0.5), record(0, 1, 0.5, 1.0)];
+        let mut history = HashMap::new();
+        let config = AutoScalerConfig {
+            cold_threshold: 1,
+            ..AutoScalerConfig::default()
+        };
+        let samples: HashMap<SegmentId, f64> =
+            [(SegmentId::new(0, 0), 0.0), (SegmentId::new(0, 1), 0.0)]
+                .into_iter()
+                .collect();
+        for _ in 0..5 {
+            assert_eq!(
+                evaluate_policy(&policy, &current, &samples, &mut history, &config),
+                None,
+                "must not merge below min_segments"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_policy_never_scales() {
+        let policy = ScalingPolicy::fixed(1);
+        let current = vec![record(0, 0, 0.0, 1.0)];
+        let mut history = HashMap::new();
+        let mut samples = HashMap::new();
+        samples.insert(SegmentId::new(0, 0), 1e9);
+        for _ in 0..10 {
+            assert_eq!(
+                evaluate_policy(
+                    &policy,
+                    &current,
+                    &samples,
+                    &mut history,
+                    &AutoScalerConfig::default()
+                ),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_split_through_service() {
+        let clock = Arc::new(ManualClock::new());
+        let service = Arc::new(ControllerService::new(
+            Arc::new(InMemoryMetadataBackend::new()),
+            Arc::new(MockSegmentManager::default()),
+            Arc::new(LocalEndpointResolver),
+            clock.clone(),
+        ));
+        let stream = ScopedStream::new("s", "t").unwrap();
+        service.create_scope("s").unwrap();
+        service
+            .create_stream(&stream, StreamConfiguration::new(rate_policy(100)))
+            .unwrap();
+        let scaler = AutoScaler::new(
+            service.clone(),
+            clock.clone(),
+            AutoScalerConfig {
+                hot_threshold: 2,
+                cold_threshold: 2,
+                cooldown: Duration::from_secs(1),
+            },
+        );
+        let seg = service.current_segments(&stream).unwrap()[0]
+            .segment
+            .segment_id();
+        let hot = vec![SegmentLoadSample {
+            segment: seg,
+            events_per_sec: 1000.0,
+            bytes_per_sec: 0.0,
+        }];
+        assert_eq!(scaler.process_reports(&stream, &hot).unwrap(), None);
+        let decision = scaler.process_reports(&stream, &hot).unwrap();
+        assert!(matches!(decision, Some(ScaleDecision::Split { .. })));
+        assert_eq!(service.current_segments(&stream).unwrap().len(), 2);
+
+        // Cooldown: immediately-following hot reports are ignored.
+        let segs: Vec<SegmentLoadSample> = service
+            .current_segments(&stream)
+            .unwrap()
+            .iter()
+            .map(|s| SegmentLoadSample {
+                segment: s.segment.segment_id(),
+                events_per_sec: 1000.0,
+                bytes_per_sec: 0.0,
+            })
+            .collect();
+        assert_eq!(scaler.process_reports(&stream, &segs).unwrap(), None);
+
+        // After the cooldown, scaling continues.
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(scaler.process_reports(&stream, &segs).unwrap(), None); // builds heat
+        let decision = scaler.process_reports(&stream, &segs).unwrap();
+        assert!(matches!(decision, Some(ScaleDecision::Split { .. })));
+        assert_eq!(service.current_segments(&stream).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn end_to_end_merge_through_service() {
+        let clock = Arc::new(ManualClock::new());
+        let service = Arc::new(ControllerService::new(
+            Arc::new(InMemoryMetadataBackend::new()),
+            Arc::new(MockSegmentManager::default()),
+            Arc::new(LocalEndpointResolver),
+            clock.clone(),
+        ));
+        let stream = ScopedStream::new("s", "t").unwrap();
+        service.create_scope("s").unwrap();
+        service
+            .create_stream(
+                &stream,
+                StreamConfiguration::new(ScalingPolicy::ByEventRate {
+                    target_events_per_sec: 100,
+                    scale_factor: 2,
+                    min_segments: 1,
+                }),
+            )
+            .unwrap();
+        // Manually scale up to 2 segments first.
+        let s0 = service.current_segments(&stream).unwrap()[0].clone();
+        service
+            .scale_stream(&stream, vec![s0.segment.segment_id()], s0.range.split(2))
+            .unwrap();
+        let scaler = AutoScaler::new(
+            service.clone(),
+            clock.clone(),
+            AutoScalerConfig {
+                hot_threshold: 2,
+                cold_threshold: 2,
+                cooldown: Duration::ZERO,
+            },
+        );
+        let cold: Vec<SegmentLoadSample> = service
+            .current_segments(&stream)
+            .unwrap()
+            .iter()
+            .map(|s| SegmentLoadSample {
+                segment: s.segment.segment_id(),
+                events_per_sec: 1.0,
+                bytes_per_sec: 0.0,
+            })
+            .collect();
+        assert_eq!(scaler.process_reports(&stream, &cold).unwrap(), None);
+        let decision = scaler.process_reports(&stream, &cold).unwrap();
+        assert!(matches!(decision, Some(ScaleDecision::Merge { .. })));
+        assert_eq!(service.current_segments(&stream).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for the control plane.
+
+use std::fmt;
+
+/// Errors produced by controller operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControllerError {
+    /// The scope does not exist.
+    ScopeNotFound,
+    /// The scope already exists.
+    ScopeExists,
+    /// The stream does not exist.
+    StreamNotFound,
+    /// The stream already exists.
+    StreamExists,
+    /// The operation requires an unsealed stream.
+    StreamSealed,
+    /// Deletion requires the stream to be sealed first.
+    StreamNotSealed,
+    /// A scale request failed validation (wrong segments/ranges).
+    InvalidScale(String),
+    /// A concurrent metadata update won; retry.
+    Conflict,
+    /// A segment-store operation failed.
+    SegmentService(String),
+    /// Metadata storage failure.
+    Metadata(String),
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::ScopeNotFound => write!(f, "scope not found"),
+            ControllerError::ScopeExists => write!(f, "scope already exists"),
+            ControllerError::StreamNotFound => write!(f, "stream not found"),
+            ControllerError::StreamExists => write!(f, "stream already exists"),
+            ControllerError::StreamSealed => write!(f, "stream is sealed"),
+            ControllerError::StreamNotSealed => write!(f, "stream must be sealed first"),
+            ControllerError::InvalidScale(msg) => write!(f, "invalid scale request: {msg}"),
+            ControllerError::Conflict => write!(f, "concurrent metadata update; retry"),
+            ControllerError::SegmentService(msg) => write!(f, "segment service error: {msg}"),
+            ControllerError::Metadata(msg) => write!(f, "metadata error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ControllerError::InvalidScale("gap".into())
+            .to_string()
+            .contains("gap"));
+    }
+}

@@ -1,0 +1,669 @@
+//! Stream metadata: epochs of segment records and the successor relation
+//! that preserves per-key order across scaling (§3.1, §3.2).
+//!
+//! Every scale event creates a new **epoch**. Within an epoch the open
+//! segments' key ranges exactly partition `[0, 1)`. A segment sealed by a
+//! scale has as **successors** the new segments of the next epoch that cover
+//! its range; readers and writers only move on to successors after the
+//! predecessors are sealed/consumed.
+
+use std::collections::BTreeMap;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pravega_common::buf::{get_string, DecodeError};
+use pravega_common::id::{ScopedStream, SegmentId};
+use pravega_common::keyspace::{ranges_cover_same_span, ranges_partition_keyspace, KeyRange};
+use pravega_common::policy::{RetentionPolicy, ScalingPolicy, StreamConfiguration};
+
+/// A segment with its key-space range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSegmentRecord {
+    /// The segment id (epoch + number).
+    pub id: SegmentId,
+    /// The slice of `[0, 1)` the segment owns.
+    pub range: KeyRange,
+    /// Creation time (nanos, controller clock).
+    pub creation_time: u64,
+}
+
+/// One scaling epoch: the set of open segments between two scale events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Epoch number (0 at stream creation).
+    pub epoch: u32,
+    /// Open segments of this epoch, sorted by range low bound.
+    pub segments: Vec<StreamSegmentRecord>,
+    /// When this epoch was created (nanos).
+    pub creation_time: u64,
+}
+
+/// Lifecycle state of a stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamState {
+    /// Accepting writes.
+    Active,
+    /// Sealed: read-only.
+    Sealed,
+}
+
+/// Full metadata of one stream: configuration + epoch history + truncation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamMetadata {
+    /// The stream's name.
+    pub stream: ScopedStream,
+    /// Scaling + retention configuration.
+    pub config: StreamConfiguration,
+    /// All epochs, oldest first. The last is current.
+    pub epochs: Vec<EpochRecord>,
+    /// Next segment number to assign.
+    pub next_segment_number: u32,
+    /// Lifecycle state.
+    pub state: StreamState,
+    /// Head stream-cut from retention: `segment → start offset`. Segments
+    /// wholly before the cut have been deleted.
+    pub truncation: BTreeMap<u64, u64>,
+}
+
+impl StreamMetadata {
+    /// Creates metadata for a new stream: epoch 0 with
+    /// `config.scaling.initial_segments()` evenly-partitioned segments.
+    pub fn new(stream: ScopedStream, config: StreamConfiguration, now: u64) -> Self {
+        let n = config.scaling.initial_segments();
+        let segments = KeyRange::full()
+            .split(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, range)| StreamSegmentRecord {
+                id: SegmentId::new(0, i as u32),
+                range,
+                creation_time: now,
+            })
+            .collect();
+        Self {
+            stream,
+            config,
+            epochs: vec![EpochRecord {
+                epoch: 0,
+                segments,
+                creation_time: now,
+            }],
+            next_segment_number: n,
+            state: StreamState::Active,
+            truncation: BTreeMap::new(),
+        }
+    }
+
+    /// The current (latest) epoch.
+    pub fn current_epoch(&self) -> &EpochRecord {
+        self.epochs.last().expect("streams always have an epoch")
+    }
+
+    /// The currently-open segments.
+    pub fn current_segments(&self) -> &[StreamSegmentRecord] {
+        &self.current_epoch().segments
+    }
+
+    /// The open segment owning key-space position `pos`.
+    pub fn segment_for_position(&self, pos: f64) -> Option<&StreamSegmentRecord> {
+        self.current_segments().iter().find(|s| s.range.contains(pos))
+    }
+
+    /// Looks a segment record up anywhere in history.
+    pub fn segment_record(&self, id: SegmentId) -> Option<&StreamSegmentRecord> {
+        self.epochs
+            .iter()
+            .flat_map(|e| e.segments.iter())
+            .find(|s| s.id == id)
+    }
+
+    /// The epoch index in which `id` last appears (it was sealed going into
+    /// the next epoch), or `None` if unknown or still current.
+    fn sealing_epoch_index(&self, id: SegmentId) -> Option<usize> {
+        let mut last_seen = None;
+        for (i, epoch) in self.epochs.iter().enumerate() {
+            if epoch.segments.iter().any(|s| s.id == id) {
+                last_seen = Some(i);
+            }
+        }
+        let last_seen = last_seen?;
+        if last_seen + 1 == self.epochs.len() {
+            None // still current
+        } else {
+            Some(last_seen)
+        }
+    }
+
+    /// Successors of a sealed segment, each with its full predecessor list
+    /// (the reader-group needs predecessor counts for the scale-down hold of
+    /// §3.3). Empty if the segment is still open or unknown.
+    pub fn successors(&self, id: SegmentId) -> Vec<(StreamSegmentRecord, Vec<SegmentId>)> {
+        let Some(sealed_idx) = self.sealing_epoch_index(id) else {
+            return Vec::new();
+        };
+        let old_epoch = &self.epochs[sealed_idx];
+        let new_epoch = &self.epochs[sealed_idx + 1];
+        let sealed = old_epoch
+            .segments
+            .iter()
+            .find(|s| s.id == id)
+            .expect("sealed segment in its epoch");
+        new_epoch
+            .segments
+            .iter()
+            .filter(|candidate| {
+                candidate.range.overlaps(&sealed.range)
+                    && !old_epoch.segments.iter().any(|s| s.id == candidate.id)
+            })
+            .map(|succ| {
+                let predecessors = old_epoch
+                    .segments
+                    .iter()
+                    .filter(|p| {
+                        p.range.overlaps(&succ.range)
+                            && !new_epoch.segments.iter().any(|s| s.id == p.id)
+                    })
+                    .map(|p| p.id)
+                    .collect();
+                (succ.clone(), predecessors)
+            })
+            .collect()
+    }
+
+    /// Validates a scale request: all `sealed` segments are open in the
+    /// current epoch, and `new_ranges` exactly replace their key span.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason the request is invalid.
+    pub fn validate_scale(
+        &self,
+        sealed: &[SegmentId],
+        new_ranges: &[KeyRange],
+    ) -> Result<(), String> {
+        if sealed.is_empty() || new_ranges.is_empty() {
+            return Err("scale requires segments to seal and replacement ranges".into());
+        }
+        let current = self.current_segments();
+        let mut sealed_ranges = Vec::new();
+        for id in sealed {
+            match current.iter().find(|s| s.id == *id) {
+                Some(s) => sealed_ranges.push(s.range),
+                None => return Err(format!("segment {id} is not open in the current epoch")),
+            }
+        }
+        if !ranges_cover_same_span(&sealed_ranges, new_ranges) {
+            return Err("replacement ranges must exactly cover the sealed ranges".into());
+        }
+        Ok(())
+    }
+
+    /// Applies a validated scale: seals `sealed`, creates one new segment
+    /// per range in `new_ranges`, and pushes the new epoch. Returns the
+    /// created segment records.
+    ///
+    /// # Panics
+    ///
+    /// Call [`StreamMetadata::validate_scale`] first; invalid input panics
+    /// in debug builds.
+    pub fn apply_scale(
+        &mut self,
+        sealed: &[SegmentId],
+        new_ranges: &[KeyRange],
+        now: u64,
+    ) -> Vec<StreamSegmentRecord> {
+        debug_assert!(self.validate_scale(sealed, new_ranges).is_ok());
+        let new_epoch_number = self.current_epoch().epoch + 1;
+        let mut created = Vec::with_capacity(new_ranges.len());
+        for range in new_ranges {
+            created.push(StreamSegmentRecord {
+                id: SegmentId::new(new_epoch_number, self.next_segment_number),
+                range: *range,
+                creation_time: now,
+            });
+            self.next_segment_number += 1;
+        }
+        let mut segments: Vec<StreamSegmentRecord> = self
+            .current_segments()
+            .iter()
+            .filter(|s| !sealed.contains(&s.id))
+            .cloned()
+            .collect();
+        segments.extend(created.clone());
+        segments.sort_by(|a, b| {
+            a.range
+                .low()
+                .partial_cmp(&b.range.low())
+                .expect("ranges are finite")
+        });
+        debug_assert!(ranges_partition_keyspace(
+            &segments.iter().map(|s| s.range).collect::<Vec<_>>()
+        ));
+        self.epochs.push(EpochRecord {
+            epoch: new_epoch_number,
+            segments,
+            creation_time: now,
+        });
+        created
+    }
+
+    /// Ids of every segment in history (for deletion).
+    pub fn all_segment_ids(&self) -> Vec<SegmentId> {
+        let mut ids: Vec<SegmentId> = self
+            .epochs
+            .iter()
+            .flat_map(|e| e.segments.iter().map(|s| s.id))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    // ---- binary codec ----------------------------------------------------
+
+    /// Binary encoding for the metadata backend.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        pravega_common::buf::put_string(&mut buf, self.stream.scope());
+        pravega_common::buf::put_string(&mut buf, self.stream.stream());
+        encode_config(&mut buf, &self.config);
+        buf.put_u32(self.next_segment_number);
+        buf.put_u8(match self.state {
+            StreamState::Active => 0,
+            StreamState::Sealed => 1,
+        });
+        buf.put_u32(self.epochs.len() as u32);
+        for epoch in &self.epochs {
+            buf.put_u32(epoch.epoch);
+            buf.put_u64(epoch.creation_time);
+            buf.put_u32(epoch.segments.len() as u32);
+            for s in &epoch.segments {
+                buf.put_u64(s.id.as_u64());
+                buf.put_f64(s.range.low());
+                buf.put_f64(s.range.high());
+                buf.put_u64(s.creation_time);
+            }
+        }
+        buf.put_u32(self.truncation.len() as u32);
+        for (seg, offset) in &self.truncation {
+            buf.put_u64(*seg);
+            buf.put_u64(*offset);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes metadata written by [`StreamMetadata::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncation or invalid ranges.
+    pub fn decode(data: &Bytes) -> Result<Self, DecodeError> {
+        let mut buf = data.clone();
+        let scope = get_string(&mut buf, "scope")?;
+        let name = get_string(&mut buf, "stream")?;
+        let stream =
+            ScopedStream::new(scope, name).map_err(|_| DecodeError::new("stream name"))?;
+        let config = decode_config(&mut buf)?;
+        if buf.remaining() < 9 {
+            return Err(DecodeError::new("stream header"));
+        }
+        let next_segment_number = buf.get_u32();
+        let state = match buf.get_u8() {
+            0 => StreamState::Active,
+            1 => StreamState::Sealed,
+            _ => return Err(DecodeError::new("stream state")),
+        };
+        let epoch_count = buf.get_u32() as usize;
+        let mut epochs = Vec::with_capacity(epoch_count);
+        for _ in 0..epoch_count {
+            if buf.remaining() < 16 {
+                return Err(DecodeError::new("epoch header"));
+            }
+            let epoch = buf.get_u32();
+            let creation_time = buf.get_u64();
+            let seg_count = buf.get_u32() as usize;
+            let mut segments = Vec::with_capacity(seg_count);
+            for _ in 0..seg_count {
+                if buf.remaining() < 32 {
+                    return Err(DecodeError::new("segment record"));
+                }
+                let id = SegmentId::from_u64(buf.get_u64());
+                let low = buf.get_f64();
+                let high = buf.get_f64();
+                let creation = buf.get_u64();
+                let range =
+                    KeyRange::new(low, high).map_err(|_| DecodeError::new("segment range"))?;
+                segments.push(StreamSegmentRecord {
+                    id,
+                    range,
+                    creation_time: creation,
+                });
+            }
+            epochs.push(EpochRecord {
+                epoch,
+                segments,
+                creation_time,
+            });
+        }
+        if buf.remaining() < 4 {
+            return Err(DecodeError::new("truncation map"));
+        }
+        let cut_count = buf.get_u32() as usize;
+        let mut truncation = BTreeMap::new();
+        for _ in 0..cut_count {
+            if buf.remaining() < 16 {
+                return Err(DecodeError::new("truncation entry"));
+            }
+            truncation.insert(buf.get_u64(), buf.get_u64());
+        }
+        Ok(Self {
+            stream,
+            config,
+            epochs,
+            next_segment_number,
+            state,
+            truncation,
+        })
+    }
+}
+
+fn encode_config(buf: &mut BytesMut, config: &StreamConfiguration) {
+    match config.scaling {
+        ScalingPolicy::FixedSegmentCount { segments } => {
+            buf.put_u8(0);
+            buf.put_u32(segments);
+            buf.put_u64(0);
+            buf.put_u32(0);
+        }
+        ScalingPolicy::ByEventRate {
+            target_events_per_sec,
+            scale_factor,
+            min_segments,
+        } => {
+            buf.put_u8(1);
+            buf.put_u32(min_segments);
+            buf.put_u64(target_events_per_sec);
+            buf.put_u32(scale_factor);
+        }
+        ScalingPolicy::ByThroughput {
+            target_kbytes_per_sec,
+            scale_factor,
+            min_segments,
+        } => {
+            buf.put_u8(2);
+            buf.put_u32(min_segments);
+            buf.put_u64(target_kbytes_per_sec);
+            buf.put_u32(scale_factor);
+        }
+    }
+    match config.retention {
+        RetentionPolicy::Unbounded => {
+            buf.put_u8(0);
+            buf.put_u64(0);
+        }
+        RetentionPolicy::BySize { max_bytes } => {
+            buf.put_u8(1);
+            buf.put_u64(max_bytes);
+        }
+        RetentionPolicy::ByTime { period } => {
+            buf.put_u8(2);
+            buf.put_u64(period.as_nanos() as u64);
+        }
+    }
+}
+
+fn decode_config(buf: &mut Bytes) -> Result<StreamConfiguration, DecodeError> {
+    if buf.remaining() < 17 + 9 {
+        return Err(DecodeError::new("stream config"));
+    }
+    let kind = buf.get_u8();
+    let count = buf.get_u32();
+    let target = buf.get_u64();
+    let factor = buf.get_u32();
+    let scaling = match kind {
+        0 => ScalingPolicy::FixedSegmentCount { segments: count },
+        1 => ScalingPolicy::ByEventRate {
+            target_events_per_sec: target,
+            scale_factor: factor,
+            min_segments: count,
+        },
+        2 => ScalingPolicy::ByThroughput {
+            target_kbytes_per_sec: target,
+            scale_factor: factor,
+            min_segments: count,
+        },
+        _ => return Err(DecodeError::new("scaling policy")),
+    };
+    let rkind = buf.get_u8();
+    let rvalue = buf.get_u64();
+    let retention = match rkind {
+        0 => RetentionPolicy::Unbounded,
+        1 => RetentionPolicy::BySize { max_bytes: rvalue },
+        2 => RetentionPolicy::ByTime {
+            period: std::time::Duration::from_nanos(rvalue),
+        },
+        _ => return Err(DecodeError::new("retention policy")),
+    };
+    Ok(StreamConfiguration { scaling, retention })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stream() -> ScopedStream {
+        ScopedStream::new("scope", "stream").unwrap()
+    }
+
+    fn meta(segments: u32) -> StreamMetadata {
+        StreamMetadata::new(
+            stream(),
+            StreamConfiguration::new(ScalingPolicy::fixed(segments)),
+            0,
+        )
+    }
+
+    #[test]
+    fn new_stream_partitions_keyspace() {
+        let m = meta(4);
+        assert_eq!(m.current_segments().len(), 4);
+        let ranges: Vec<KeyRange> = m.current_segments().iter().map(|s| s.range).collect();
+        assert!(ranges_partition_keyspace(&ranges));
+        assert!(m.segment_for_position(0.1).is_some());
+        assert!(m.segment_for_position(0.99).is_some());
+    }
+
+    #[test]
+    fn scale_up_split_produces_successors() {
+        // Mirror Fig. 2a: two segments, split the upper one.
+        let mut m = meta(2);
+        let s1 = m.current_segments()[1].clone(); // [0.5, 1)
+        let halves = s1.range.split(2);
+        m.validate_scale(&[s1.id], &halves).unwrap();
+        let created = m.apply_scale(&[s1.id], &halves, 1);
+        assert_eq!(created.len(), 2);
+        assert_eq!(m.current_epoch().epoch, 1);
+        assert_eq!(m.current_segments().len(), 3);
+        // Successors of s1 are exactly the two new segments, whose only
+        // predecessor is s1.
+        let succ = m.successors(s1.id);
+        assert_eq!(succ.len(), 2);
+        for (record, preds) in &succ {
+            assert!(created.iter().any(|c| c.id == record.id));
+            assert_eq!(preds, &vec![s1.id]);
+        }
+        // The untouched segment has no successors (still open).
+        let s0 = m.current_segments()[0].clone();
+        assert!(m.successors(s0.id).is_empty());
+        // New epoch still partitions the key space.
+        let ranges: Vec<KeyRange> = m.current_segments().iter().map(|s| s.range).collect();
+        assert!(ranges_partition_keyspace(&ranges));
+    }
+
+    #[test]
+    fn scale_down_merge_has_multiple_predecessors() {
+        let mut m = meta(2);
+        let ids: Vec<SegmentId> = m.current_segments().iter().map(|s| s.id).collect();
+        let merged = KeyRange::full();
+        m.validate_scale(&ids, &[merged]).unwrap();
+        let created = m.apply_scale(&ids, &[merged], 1);
+        assert_eq!(created.len(), 1);
+        assert_eq!(m.current_segments().len(), 1);
+        for id in &ids {
+            let succ = m.successors(*id);
+            assert_eq!(succ.len(), 1);
+            assert_eq!(succ[0].0.id, created[0].id);
+            let mut preds = succ[0].1.clone();
+            preds.sort();
+            let mut expected = ids.clone();
+            expected.sort();
+            assert_eq!(preds, expected);
+        }
+    }
+
+    #[test]
+    fn segment_ids_are_unique_across_epochs() {
+        let mut m = meta(1);
+        for epoch in 0..5 {
+            let seg = m.current_segments()[0].clone();
+            let parts = seg.range.split(2);
+            m.apply_scale(&[seg.id], &parts, epoch + 1);
+            let seg_ids = m.all_segment_ids();
+            let mut dedup = seg_ids.clone();
+            dedup.dedup();
+            assert_eq!(seg_ids, dedup);
+        }
+        assert_eq!(m.current_segments().len(), 6);
+    }
+
+    #[test]
+    fn validate_rejects_bad_scales() {
+        let m = meta(2);
+        let s0 = &m.current_segments()[0];
+        // Ranges not covering the sealed span.
+        assert!(m
+            .validate_scale(&[s0.id], &[KeyRange::new(0.0, 0.3).unwrap()])
+            .is_err());
+        // Unknown segment.
+        assert!(m
+            .validate_scale(&[SegmentId::new(9, 9)], &[KeyRange::new(0.0, 0.5).unwrap()])
+            .is_err());
+        // Empty request.
+        assert!(m.validate_scale(&[], &[]).is_err());
+        // Sealing an already-sealed segment (previous epoch) fails.
+        let mut m2 = meta(1);
+        let old = m2.current_segments()[0].clone();
+        m2.apply_scale(&[old.id], &old.range.split(2), 1);
+        assert!(m2.validate_scale(&[old.id], &[old.range]).is_err());
+    }
+
+    #[test]
+    fn multi_epoch_successor_chains() {
+        // Reproduce the full Fig. 2a history: s0,s1 → split s1 into s2,s3 →
+        // split s0 into s4,s5 → merge s2,s5 into s6.
+        let mut m = meta(2);
+        let s0 = m.current_segments()[0].clone();
+        let s1 = m.current_segments()[1].clone();
+        let s23 = m.apply_scale(&[s1.id], &s1.range.split(2), 1);
+        let (s2, s3) = (s23[0].clone(), s23[1].clone());
+        let s45 = m.apply_scale(&[s0.id], &s0.range.split(2), 2);
+        let s5 = s45[1].clone();
+        // s5 = [0.25, 0.5), s2 = [0.5, 0.75): adjacent, merge them.
+        let merged_range = s5.range.merge(&s2.range).unwrap();
+        let s6 = m.apply_scale(&[s5.id, s2.id], &[merged_range], 3);
+        assert_eq!(s6.len(), 1);
+        // s1's successors remain s2 and s3 even after further scaling.
+        let succ1: Vec<SegmentId> = m.successors(s1.id).iter().map(|(r, _)| r.id).collect();
+        assert!(succ1.contains(&s2.id) && succ1.contains(&s3.id));
+        // s2's successor is s6 with predecessors {s2, s5}.
+        let succ2 = m.successors(s2.id);
+        assert_eq!(succ2.len(), 1);
+        assert_eq!(succ2[0].0.id, s6[0].id);
+        assert_eq!(succ2[0].1.len(), 2);
+        // s3 is still open.
+        assert!(m.successors(s3.id).is_empty());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut m = StreamMetadata::new(
+            stream(),
+            StreamConfiguration::new(ScalingPolicy::ByEventRate {
+                target_events_per_sec: 2000,
+                scale_factor: 2,
+                min_segments: 2,
+            })
+            .with_retention(RetentionPolicy::BySize { max_bytes: 1 << 30 }),
+            7,
+        );
+        let s = m.current_segments()[0].clone();
+        m.apply_scale(&[s.id], &s.range.split(2), 9);
+        m.truncation.insert(s.id.as_u64(), 1234);
+        m.state = StreamState::Sealed;
+        let decoded = StreamMetadata::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn truncated_codec_is_an_error() {
+        let m = meta(3);
+        let data = m.encode();
+        let cut = data.slice(0..data.len() - 5);
+        assert!(StreamMetadata::decode(&cut).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn random_scale_sequences_keep_keyspace_partitioned(
+            initial in 1u32..4,
+            actions in prop::collection::vec((any::<prop::sample::Index>(), 0u8..2), 1..12),
+        ) {
+            let mut m = meta(initial);
+            let mut now = 1u64;
+            for (pick, kind) in actions {
+                now += 1;
+                let current = m.current_segments().to_vec();
+                match kind {
+                    0 => {
+                        // Split a random segment in two.
+                        let seg = pick.get(&current).clone();
+                        let parts = seg.range.split(2);
+                        prop_assert!(m.validate_scale(&[seg.id], &parts).is_ok());
+                        m.apply_scale(&[seg.id], &parts, now);
+                    }
+                    _ => {
+                        // Merge a random adjacent pair if possible.
+                        if current.len() >= 2 {
+                            let i = pick.index(current.len() - 1);
+                            let a = &current[i];
+                            let b = &current[i + 1];
+                            if let Some(merged) = a.range.merge(&b.range) {
+                                prop_assert!(m.validate_scale(&[a.id, b.id], &[merged]).is_ok());
+                                m.apply_scale(&[a.id, b.id], &[merged], now);
+                            }
+                        }
+                    }
+                }
+                let ranges: Vec<KeyRange> = m.current_segments().iter().map(|s| s.range).collect();
+                prop_assert!(ranges_partition_keyspace(&ranges));
+                // Every sealed segment's successors exactly cover its range.
+                for epoch in &m.epochs[..m.epochs.len() - 1] {
+                    for seg in &epoch.segments {
+                        if m.current_segments().iter().any(|s| s.id == seg.id) {
+                            continue;
+                        }
+                        let succ = m.successors(seg.id);
+                        if succ.is_empty() { continue; }
+                        for (record, preds) in &succ {
+                            prop_assert!(record.range.overlaps(&seg.range));
+                            prop_assert!(preds.contains(&seg.id));
+                        }
+                    }
+                }
+                // Codec roundtrip holds at every step.
+                prop_assert_eq!(StreamMetadata::decode(&m.encode()).unwrap(), m.clone());
+            }
+        }
+    }
+}

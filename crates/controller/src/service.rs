@@ -1,0 +1,693 @@
+//! The controller service: stream lifecycle orchestration (§2.2).
+//!
+//! The service owns stream metadata (through a [`MetadataBackend`]) and
+//! drives segment stores (through a [`SegmentManager`]): creating segments
+//! when streams are created or scaled, sealing predecessors *before* the new
+//! epoch becomes visible (which is what preserves per-key order across
+//! scaling, §3.2), and deleting/truncating segments for retention.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pravega_common::clock::Clock;
+use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
+use pravega_common::keyspace::KeyRange;
+use pravega_common::policy::StreamConfiguration;
+
+use crate::backend::MetadataBackend;
+use crate::error::ControllerError;
+use crate::records::{StreamMetadata, StreamState};
+
+/// Sentinel offset in the truncation map meaning "segment deleted".
+pub(crate) const DELETED: u64 = u64::MAX;
+
+/// Data-plane operations the controller needs.
+pub trait SegmentManager: Send + Sync {
+    /// Creates a segment on its owning segment store.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure (already-exists is *not* an error: the
+    /// workflow retries idempotently).
+    fn create_segment(&self, segment: &ScopedSegment) -> Result<(), String>;
+
+    /// Seals a segment; returns its final length.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure.
+    fn seal_segment(&self, segment: &ScopedSegment) -> Result<u64, String>;
+
+    /// Deletes a segment.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure.
+    fn delete_segment(&self, segment: &ScopedSegment) -> Result<(), String>;
+
+    /// Truncates a segment at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure.
+    fn truncate_segment(&self, segment: &ScopedSegment, offset: u64) -> Result<(), String>;
+
+    /// `(length, start_offset)` of a segment (for retention accounting).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable failure.
+    fn segment_info(&self, segment: &ScopedSegment) -> Result<(u64, u64), String>;
+}
+
+/// Resolves the segment-store endpoint serving a segment (clients connect
+/// directly to the right host, §3.2).
+pub trait EndpointResolver: Send + Sync {
+    /// Endpoint (host id) for the segment.
+    fn endpoint_for(&self, segment: &ScopedSegment) -> String;
+}
+
+/// Resolver for single-host deployments and tests.
+#[derive(Debug, Default, Clone)]
+pub struct LocalEndpointResolver;
+
+impl EndpointResolver for LocalEndpointResolver {
+    fn endpoint_for(&self, _segment: &ScopedSegment) -> String {
+        "local".to_string()
+    }
+}
+
+/// A segment returned to clients: id + key range + endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentWithRange {
+    /// Fully qualified segment.
+    pub segment: ScopedSegment,
+    /// Key-space range the segment owns.
+    pub range: KeyRange,
+    /// Segment-store endpoint serving it.
+    pub endpoint: String,
+}
+
+/// The controller service.
+pub struct ControllerService {
+    backend: Arc<dyn MetadataBackend>,
+    segments: Arc<dyn SegmentManager>,
+    resolver: Arc<dyn EndpointResolver>,
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for ControllerService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerService").finish()
+    }
+}
+
+impl ControllerService {
+    /// Creates a controller service.
+    pub fn new(
+        backend: Arc<dyn MetadataBackend>,
+        segments: Arc<dyn SegmentManager>,
+        resolver: Arc<dyn EndpointResolver>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Self {
+            backend,
+            segments,
+            resolver,
+            clock,
+        }
+    }
+
+    fn with_range(&self, stream: &ScopedStream, id: SegmentId, range: KeyRange) -> SegmentWithRange {
+        let segment = stream.segment(id);
+        let endpoint = self.resolver.endpoint_for(&segment);
+        SegmentWithRange {
+            segment,
+            range,
+            endpoint,
+        }
+    }
+
+    /// Creates a scope (stream namespace).
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::ScopeExists`].
+    pub fn create_scope(&self, scope: &str) -> Result<(), ControllerError> {
+        self.backend.create_scope(scope)
+    }
+
+    /// All scopes.
+    pub fn list_scopes(&self) -> Vec<String> {
+        self.backend.list_scopes()
+    }
+
+    /// Streams within a scope.
+    pub fn list_streams(&self, scope: &str) -> Vec<ScopedStream> {
+        self.backend.list_streams(scope)
+    }
+
+    /// Creates a stream: registers metadata (epoch 0) and creates its
+    /// initial segments on the segment stores.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::ScopeNotFound`], [`ControllerError::StreamExists`],
+    /// segment-store failures.
+    pub fn create_stream(
+        &self,
+        stream: &ScopedStream,
+        config: StreamConfiguration,
+    ) -> Result<(), ControllerError> {
+        if !self.backend.scope_exists(stream.scope()) {
+            return Err(ControllerError::ScopeNotFound);
+        }
+        if self.backend.load(stream).is_some() {
+            return Err(ControllerError::StreamExists);
+        }
+        let metadata = StreamMetadata::new(stream.clone(), config, self.clock.now_nanos());
+        for record in metadata.current_segments() {
+            self.segments
+                .create_segment(&stream.segment(record.id))
+                .map_err(ControllerError::SegmentService)?;
+        }
+        self.backend.store(&metadata, None).map_err(|e| match e {
+            ControllerError::Conflict => ControllerError::StreamExists,
+            other => other,
+        })?;
+        Ok(())
+    }
+
+    /// Loads a stream's metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotFound`].
+    pub fn stream_metadata(&self, stream: &ScopedStream) -> Result<StreamMetadata, ControllerError> {
+        self.backend
+            .load(stream)
+            .map(|(m, _)| m)
+            .ok_or(ControllerError::StreamNotFound)
+    }
+
+    /// The currently-open segments with ranges and endpoints — what a writer
+    /// needs to route events (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotFound`].
+    pub fn current_segments(
+        &self,
+        stream: &ScopedStream,
+    ) -> Result<Vec<SegmentWithRange>, ControllerError> {
+        let metadata = self.stream_metadata(stream)?;
+        Ok(metadata
+            .current_segments()
+            .iter()
+            .map(|s| self.with_range(stream, s.id, s.range))
+            .collect())
+    }
+
+    /// Successors of a sealed segment, each with its predecessor ids —
+    /// what readers need to continue after end-of-segment (§3.3).
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotFound`].
+    pub fn successors(
+        &self,
+        stream: &ScopedStream,
+        segment: SegmentId,
+    ) -> Result<Vec<(SegmentWithRange, Vec<SegmentId>)>, ControllerError> {
+        let metadata = self.stream_metadata(stream)?;
+        Ok(metadata
+            .successors(segment)
+            .into_iter()
+            .map(|(record, preds)| (self.with_range(stream, record.id, record.range), preds))
+            .collect())
+    }
+
+    /// The stream's **head**: for every key-space position, the earliest
+    /// live (not retention-deleted) segment covering it, with its start
+    /// offset. This is where a reader group begins.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotFound`].
+    pub fn head_segments(
+        &self,
+        stream: &ScopedStream,
+    ) -> Result<Vec<(SegmentWithRange, u64)>, ControllerError> {
+        let metadata = self.stream_metadata(stream)?;
+        let mut covered: Vec<KeyRange> = Vec::new();
+        let mut head = Vec::new();
+        for epoch in &metadata.epochs {
+            for s in &epoch.segments {
+                let truncated = metadata.truncation.get(&s.id.as_u64()).copied();
+                if truncated == Some(DELETED) {
+                    continue;
+                }
+                if covered.iter().any(|c| c.overlaps(&s.range)) {
+                    continue;
+                }
+                if head.iter().any(|(sw, _): &(SegmentWithRange, u64)| {
+                    sw.segment.segment_id() == s.id
+                }) {
+                    continue;
+                }
+                head.push((
+                    self.with_range(stream, s.id, s.range),
+                    truncated.unwrap_or(0),
+                ));
+                covered.push(s.range);
+            }
+        }
+        Ok(head)
+    }
+
+    /// The segment-store endpoint for a segment.
+    pub fn endpoint_for(&self, segment: &ScopedSegment) -> String {
+        self.resolver.endpoint_for(segment)
+    }
+
+    /// Scales a stream: validates, creates the successor segments, seals the
+    /// predecessors, then commits the new epoch (§3.1/Fig. 2b: no append to
+    /// successors can happen before predecessors are sealed, because clients
+    /// only learn about successors from the committed epoch).
+    ///
+    /// Returns the created segments.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::InvalidScale`], [`ControllerError::StreamSealed`],
+    /// [`ControllerError::Conflict`] (caller may retry), store failures.
+    pub fn scale_stream(
+        &self,
+        stream: &ScopedStream,
+        sealed: Vec<SegmentId>,
+        new_ranges: Vec<KeyRange>,
+    ) -> Result<Vec<SegmentWithRange>, ControllerError> {
+        let (metadata, version) = self
+            .backend
+            .load(stream)
+            .ok_or(ControllerError::StreamNotFound)?;
+        if metadata.state != StreamState::Active {
+            return Err(ControllerError::StreamSealed);
+        }
+        metadata
+            .validate_scale(&sealed, &new_ranges)
+            .map_err(ControllerError::InvalidScale)?;
+
+        // Compute the new epoch on a copy (commit only after the stores did
+        // their part).
+        let mut updated = metadata.clone();
+        let created = updated.apply_scale(&sealed, &new_ranges, self.clock.now_nanos());
+
+        // 1. Create the successor segments.
+        for record in &created {
+            self.segments
+                .create_segment(&stream.segment(record.id))
+                .map_err(ControllerError::SegmentService)?;
+        }
+        // 2. Seal the predecessors: after this, no more appends to them.
+        for id in &sealed {
+            self.segments
+                .seal_segment(&stream.segment(*id))
+                .map_err(ControllerError::SegmentService)?;
+        }
+        // 3. Commit the epoch.
+        self.backend.store(&updated, Some(version))?;
+        Ok(created
+            .into_iter()
+            .map(|r| self.with_range(stream, r.id, r.range))
+            .collect())
+    }
+
+    /// Seals the stream: seals all open segments; the stream becomes
+    /// read-only.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotFound`], store failures.
+    pub fn seal_stream(&self, stream: &ScopedStream) -> Result<(), ControllerError> {
+        let (mut metadata, version) = self
+            .backend
+            .load(stream)
+            .ok_or(ControllerError::StreamNotFound)?;
+        if metadata.state == StreamState::Sealed {
+            return Ok(());
+        }
+        for record in metadata.current_segments() {
+            self.segments
+                .seal_segment(&stream.segment(record.id))
+                .map_err(ControllerError::SegmentService)?;
+        }
+        metadata.state = StreamState::Sealed;
+        self.backend.store(&metadata, Some(version))?;
+        Ok(())
+    }
+
+    /// Deletes a sealed stream: removes all segments and the metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotSealed`] if still active.
+    pub fn delete_stream(&self, stream: &ScopedStream) -> Result<(), ControllerError> {
+        let (metadata, _) = self
+            .backend
+            .load(stream)
+            .ok_or(ControllerError::StreamNotFound)?;
+        if metadata.state != StreamState::Sealed {
+            return Err(ControllerError::StreamNotSealed);
+        }
+        for id in metadata.all_segment_ids() {
+            let already_deleted =
+                metadata.truncation.get(&id.as_u64()).copied() == Some(DELETED);
+            if !already_deleted {
+                self.segments
+                    .delete_segment(&stream.segment(id))
+                    .map_err(ControllerError::SegmentService)?;
+            }
+        }
+        self.backend.remove(stream);
+        Ok(())
+    }
+
+    /// Updates the stream's configuration (policies can change over the
+    /// stream's life-cycle, §2.1).
+    ///
+    /// # Errors
+    ///
+    /// [`ControllerError::StreamNotFound`], [`ControllerError::Conflict`].
+    pub fn update_config(
+        &self,
+        stream: &ScopedStream,
+        config: StreamConfiguration,
+    ) -> Result<(), ControllerError> {
+        let (mut metadata, version) = self
+            .backend
+            .load(stream)
+            .ok_or(ControllerError::StreamNotFound)?;
+        metadata.config = config;
+        self.backend.store(&metadata, Some(version))?;
+        Ok(())
+    }
+
+    /// Truncates the stream at a cut: `segment → offset` for partial
+    /// truncation, plus deletion of `delete` segments entirely (retention).
+    ///
+    /// # Errors
+    ///
+    /// Store/metadata failures.
+    pub fn truncate_stream(
+        &self,
+        stream: &ScopedStream,
+        offsets: BTreeMap<SegmentId, u64>,
+        delete: Vec<SegmentId>,
+    ) -> Result<(), ControllerError> {
+        let (mut metadata, version) = self
+            .backend
+            .load(stream)
+            .ok_or(ControllerError::StreamNotFound)?;
+        for id in &delete {
+            if metadata.truncation.get(&id.as_u64()).copied() == Some(DELETED) {
+                continue;
+            }
+            self.segments
+                .delete_segment(&stream.segment(*id))
+                .map_err(ControllerError::SegmentService)?;
+            metadata.truncation.insert(id.as_u64(), DELETED);
+        }
+        for (id, offset) in &offsets {
+            let prev = metadata.truncation.get(&id.as_u64()).copied().unwrap_or(0);
+            if prev == DELETED || *offset <= prev {
+                continue;
+            }
+            self.segments
+                .truncate_segment(&stream.segment(*id), *offset)
+                .map_err(ControllerError::SegmentService)?;
+            metadata.truncation.insert(id.as_u64(), *offset);
+        }
+        self.backend.store(&metadata, Some(version))?;
+        Ok(())
+    }
+
+    /// Access to the segment manager (used by the retention manager).
+    pub(crate) fn segment_manager(&self) -> &Arc<dyn SegmentManager> {
+        &self.segments
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// An in-memory [`SegmentManager`] recording calls for assertions.
+    #[derive(Debug, Default)]
+    pub struct MockSegmentManager {
+        pub segments: Mutex<HashMap<String, MockSegment>>,
+    }
+
+    #[derive(Debug, Clone, Default)]
+    pub struct MockSegment {
+        pub sealed: bool,
+        pub length: u64,
+        pub start_offset: u64,
+    }
+
+    impl MockSegmentManager {
+        pub fn set_length(&self, segment: &ScopedSegment, length: u64) {
+            self.segments
+                .lock()
+                .entry(segment.qualified_name())
+                .or_default()
+                .length = length;
+        }
+
+        pub fn get(&self, segment: &ScopedSegment) -> Option<MockSegment> {
+            self.segments.lock().get(&segment.qualified_name()).cloned()
+        }
+    }
+
+    impl SegmentManager for MockSegmentManager {
+        fn create_segment(&self, segment: &ScopedSegment) -> Result<(), String> {
+            self.segments
+                .lock()
+                .entry(segment.qualified_name())
+                .or_default();
+            Ok(())
+        }
+
+        fn seal_segment(&self, segment: &ScopedSegment) -> Result<u64, String> {
+            let mut segments = self.segments.lock();
+            let s = segments
+                .get_mut(&segment.qualified_name())
+                .ok_or("no such segment")?;
+            s.sealed = true;
+            Ok(s.length)
+        }
+
+        fn delete_segment(&self, segment: &ScopedSegment) -> Result<(), String> {
+            self.segments
+                .lock()
+                .remove(&segment.qualified_name())
+                .map(|_| ())
+                .ok_or_else(|| "no such segment".to_string())
+        }
+
+        fn truncate_segment(&self, segment: &ScopedSegment, offset: u64) -> Result<(), String> {
+            let mut segments = self.segments.lock();
+            let s = segments
+                .get_mut(&segment.qualified_name())
+                .ok_or("no such segment")?;
+            s.start_offset = offset;
+            Ok(())
+        }
+
+        fn segment_info(&self, segment: &ScopedSegment) -> Result<(u64, u64), String> {
+            let segments = self.segments.lock();
+            let s = segments
+                .get(&segment.qualified_name())
+                .ok_or("no such segment")?;
+            Ok((s.length, s.start_offset))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::MockSegmentManager;
+    use super::*;
+    use crate::backend::InMemoryMetadataBackend;
+    use pravega_common::clock::ManualClock;
+    use pravega_common::policy::ScalingPolicy;
+
+    fn service() -> (Arc<MockSegmentManager>, ControllerService) {
+        let mock = Arc::new(MockSegmentManager::default());
+        let service = ControllerService::new(
+            Arc::new(InMemoryMetadataBackend::new()),
+            mock.clone(),
+            Arc::new(LocalEndpointResolver),
+            Arc::new(ManualClock::new()),
+        );
+        (mock, service)
+    }
+
+    fn stream() -> ScopedStream {
+        ScopedStream::new("scope", "stream").unwrap()
+    }
+
+    #[test]
+    fn create_stream_creates_segments() {
+        let (mock, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(3)))
+            .unwrap();
+        assert_eq!(mock.segments.lock().len(), 3);
+        let current = svc.current_segments(&stream()).unwrap();
+        assert_eq!(current.len(), 3);
+        assert_eq!(current[0].endpoint, "local");
+    }
+
+    #[test]
+    fn create_requires_scope_and_uniqueness() {
+        let (_, svc) = service();
+        let cfg = StreamConfiguration::new(ScalingPolicy::fixed(1));
+        assert_eq!(
+            svc.create_stream(&stream(), cfg),
+            Err(ControllerError::ScopeNotFound)
+        );
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), cfg).unwrap();
+        assert_eq!(
+            svc.create_stream(&stream(), cfg),
+            Err(ControllerError::StreamExists)
+        );
+    }
+
+    #[test]
+    fn scale_seals_predecessors_and_creates_successors() {
+        let (mock, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(1)))
+            .unwrap();
+        let current = svc.current_segments(&stream()).unwrap();
+        let old = current[0].clone();
+        let created = svc
+            .scale_stream(
+                &stream(),
+                vec![old.segment.segment_id()],
+                old.range.split(2),
+            )
+            .unwrap();
+        assert_eq!(created.len(), 2);
+        // Predecessor is sealed on the store.
+        assert!(mock.get(&old.segment).unwrap().sealed);
+        // Successor metadata is queryable.
+        let succ = svc.successors(&stream(), old.segment.segment_id()).unwrap();
+        assert_eq!(succ.len(), 2);
+        assert_eq!(succ[0].1, vec![old.segment.segment_id()]);
+        // Current segments are the new ones.
+        let now = svc.current_segments(&stream()).unwrap();
+        assert_eq!(now.len(), 2);
+        assert!(now.iter().all(|s| s.segment.segment_id().epoch() == 1));
+    }
+
+    #[test]
+    fn invalid_scale_is_rejected_without_side_effects() {
+        let (mock, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(2)))
+            .unwrap();
+        let current = svc.current_segments(&stream()).unwrap();
+        let err = svc
+            .scale_stream(
+                &stream(),
+                vec![current[0].segment.segment_id()],
+                vec![KeyRange::new(0.0, 0.1).unwrap()],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ControllerError::InvalidScale(_)));
+        assert_eq!(mock.segments.lock().len(), 2, "no segments created");
+    }
+
+    #[test]
+    fn seal_then_delete_stream() {
+        let (mock, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(2)))
+            .unwrap();
+        assert_eq!(
+            svc.delete_stream(&stream()),
+            Err(ControllerError::StreamNotSealed)
+        );
+        svc.seal_stream(&stream()).unwrap();
+        // Sealing twice is fine.
+        svc.seal_stream(&stream()).unwrap();
+        svc.delete_stream(&stream()).unwrap();
+        assert!(mock.segments.lock().is_empty());
+        assert_eq!(
+            svc.current_segments(&stream()),
+            Err(ControllerError::StreamNotFound)
+        );
+    }
+
+    #[test]
+    fn head_segments_track_truncation() {
+        let (_, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(1)))
+            .unwrap();
+        let s0 = svc.current_segments(&stream()).unwrap()[0].clone();
+        // Scale: s0 → two successors.
+        svc.scale_stream(&stream(), vec![s0.segment.segment_id()], s0.range.split(2))
+            .unwrap();
+        // Head is still s0 (it holds the oldest data).
+        let head = svc.head_segments(&stream()).unwrap();
+        assert_eq!(head.len(), 1);
+        assert_eq!(head[0].0.segment, s0.segment);
+        // Retention deletes s0 entirely: head becomes the successors.
+        svc.truncate_stream(&stream(), BTreeMap::new(), vec![s0.segment.segment_id()])
+            .unwrap();
+        let head = svc.head_segments(&stream()).unwrap();
+        assert_eq!(head.len(), 2);
+        assert!(head.iter().all(|(s, _)| s.segment != s0.segment));
+    }
+
+    #[test]
+    fn truncate_stream_records_offsets() {
+        let (mock, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(1)))
+            .unwrap();
+        let s0 = svc.current_segments(&stream()).unwrap()[0].clone();
+        let mut offsets = BTreeMap::new();
+        offsets.insert(s0.segment.segment_id(), 100u64);
+        svc.truncate_stream(&stream(), offsets.clone(), vec![]).unwrap();
+        assert_eq!(mock.get(&s0.segment).unwrap().start_offset, 100);
+        let head = svc.head_segments(&stream()).unwrap();
+        assert_eq!(head[0].1, 100);
+        // Truncating backwards is ignored.
+        let mut back = BTreeMap::new();
+        back.insert(s0.segment.segment_id(), 50u64);
+        svc.truncate_stream(&stream(), back, vec![]).unwrap();
+        assert_eq!(mock.get(&s0.segment).unwrap().start_offset, 100);
+    }
+
+    #[test]
+    fn update_config_persists() {
+        let (_, svc) = service();
+        svc.create_scope("scope").unwrap();
+        svc.create_stream(&stream(), StreamConfiguration::new(ScalingPolicy::fixed(1)))
+            .unwrap();
+        let new_cfg = StreamConfiguration::new(ScalingPolicy::ByEventRate {
+            target_events_per_sec: 1000,
+            scale_factor: 2,
+            min_segments: 1,
+        });
+        svc.update_config(&stream(), new_cfg).unwrap();
+        assert_eq!(svc.stream_metadata(&stream()).unwrap().config, new_cfg);
+    }
+}

@@ -1,0 +1,133 @@
+//! Leader election recipe on sequential ephemeral nodes.
+//!
+//! Each candidate creates an ephemeral sequential node under an election
+//! path; the candidate owning the lowest sequence is the leader. When the
+//! leader's session expires its node disappears and the next-lowest candidate
+//! takes over — the standard ZooKeeper election recipe Pravega controllers
+//! use for stream-management partition ownership.
+
+use crate::store::{CoordError, CoordinationService, CreateMode, SessionId};
+
+/// A participant in a leader election.
+#[derive(Debug)]
+pub struct LeaderElection {
+    coord: CoordinationService,
+    election_path: String,
+    my_node: String,
+}
+
+impl LeaderElection {
+    /// Joins the election at `election_path` (e.g. `"/election/controller"`)
+    /// on behalf of `session`. `identity` is stored in the candidate node so
+    /// observers can resolve who the leader is.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the session has already expired.
+    pub fn join(
+        coord: &CoordinationService,
+        election_path: &str,
+        session: SessionId,
+        identity: &str,
+    ) -> Result<Self, CoordError> {
+        let prefix = format!("{}/candidate-", election_path.trim_end_matches('/'));
+        let my_node = coord.create_sequential(
+            &prefix,
+            identity.as_bytes().to_vec(),
+            CreateMode::Ephemeral(session),
+        )?;
+        Ok(Self {
+            coord: coord.clone(),
+            election_path: election_path.trim_end_matches('/').to_string(),
+            my_node,
+        })
+    }
+
+    fn candidates(&self) -> Vec<String> {
+        self.coord.list(&format!("{}/candidate-", self.election_path))
+    }
+
+    /// Whether this participant currently holds leadership.
+    pub fn is_leader(&self) -> bool {
+        self.candidates().first() == Some(&self.my_node)
+    }
+
+    /// Identity string of the current leader, if any candidate is alive.
+    pub fn leader_identity(&self) -> Option<String> {
+        let first = self.candidates().into_iter().next()?;
+        let (data, _) = self.coord.get(&first)?;
+        String::from_utf8(data).ok()
+    }
+
+    /// The path of this participant's candidate node.
+    pub fn candidate_path(&self) -> &str {
+        &self.my_node
+    }
+
+    /// Voluntarily leaves the election (deletes the candidate node).
+    pub fn resign(self) {
+        let _ = self.coord.delete(&self.my_node, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_joiner_leads() {
+        let c = CoordinationService::new();
+        let s1 = c.create_session();
+        let s2 = c.create_session();
+        let e1 = LeaderElection::join(&c, "/election", s1.id(), "one").unwrap();
+        let e2 = LeaderElection::join(&c, "/election", s2.id(), "two").unwrap();
+        assert!(e1.is_leader());
+        assert!(!e2.is_leader());
+        assert_eq!(e1.leader_identity().as_deref(), Some("one"));
+        assert_eq!(e2.leader_identity().as_deref(), Some("one"));
+    }
+
+    #[test]
+    fn leadership_passes_on_session_expiry() {
+        let c = CoordinationService::new();
+        let s1 = c.create_session();
+        let s2 = c.create_session();
+        let e1 = LeaderElection::join(&c, "/election", s1.id(), "one").unwrap();
+        let e2 = LeaderElection::join(&c, "/election", s2.id(), "two").unwrap();
+        assert!(e1.is_leader());
+        c.expire_session(s1.id());
+        assert!(e2.is_leader());
+        assert_eq!(e2.leader_identity().as_deref(), Some("two"));
+    }
+
+    #[test]
+    fn leadership_passes_on_resignation() {
+        let c = CoordinationService::new();
+        let s1 = c.create_session();
+        let s2 = c.create_session();
+        let e1 = LeaderElection::join(&c, "/election", s1.id(), "one").unwrap();
+        let e2 = LeaderElection::join(&c, "/election", s2.id(), "two").unwrap();
+        e1.resign();
+        assert!(e2.is_leader());
+    }
+
+    #[test]
+    fn no_candidates_means_no_leader() {
+        let c = CoordinationService::new();
+        let s = c.create_session();
+        let e = LeaderElection::join(&c, "/election", s.id(), "one").unwrap();
+        c.expire_session(s.id());
+        assert!(!e.is_leader());
+        assert_eq!(e.leader_identity(), None);
+    }
+
+    #[test]
+    fn elections_at_different_paths_are_independent() {
+        let c = CoordinationService::new();
+        let s = c.create_session();
+        let a = LeaderElection::join(&c, "/el-a", s.id(), "x").unwrap();
+        let b = LeaderElection::join(&c, "/el-b", s.id(), "y").unwrap();
+        assert!(a.is_leader());
+        assert!(b.is_leader());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+//! A ZooKeeper stand-in: the consensus/coordination substrate Pravega uses
+//! for leader election and general cluster management (§2.2).
+//!
+//! Pravega needs three things from ZooKeeper:
+//!
+//! 1. a small, consistent, *versioned* key-value store (compare-and-set) for
+//!    cluster metadata such as the segment-container→host assignment,
+//! 2. ephemeral nodes + watches for membership and failure detection,
+//! 3. leader election among controller instances.
+//!
+//! This crate provides all three with an in-process implementation. Versioned
+//! writes are linearizable (a single lock guards the tree), watches are
+//! persistent (simpler than ZooKeeper's one-shot watches but equivalent for
+//! our recipes), and sessions can be expired explicitly for failure-injection
+//! tests.
+//!
+//! # Example
+//!
+//! ```
+//! use pravega_coordination::{CoordinationService, CreateMode};
+//!
+//! let coord = CoordinationService::new();
+//! let session = coord.create_session();
+//! coord
+//!     .create("/cluster/hosts/a", b"host-a".to_vec(), CreateMode::Ephemeral(session.id()))
+//!     .unwrap();
+//! assert!(coord.exists("/cluster/hosts/a"));
+//! coord.expire_session(session.id());
+//! assert!(!coord.exists("/cluster/hosts/a"));
+//! ```
+
+mod assignment;
+mod election;
+mod store;
+
+pub use assignment::{compute_assignment, ContainerAssigner, ASSIGNMENT_PATH, HOSTS_PREFIX};
+pub use election::LeaderElection;
+pub use store::{
+    CoordError, CoordinationService, CreateMode, Session, SessionId, WatchEvent, WatchKind,
+};

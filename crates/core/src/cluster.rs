@@ -1,0 +1,556 @@
+//! The embedded cluster: Figure 1 in one process.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pravega_client::{
+    ClientError, ConnectionFactory, EventStreamReader, EventStreamWriter, ReaderGroup, Serializer,
+    WriterConfig,
+};
+use pravega_common::clock::SystemClock;
+use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
+use pravega_common::policy::StreamConfiguration;
+use pravega_controller::{
+    AutoScaler, AutoScalerConfig, ControllerService, InMemoryMetadataBackend, MetadataBackend,
+    RetentionManager, ScaleDecision, SegmentLoadSample,
+};
+use pravega_coordination::{ContainerAssigner, CoordinationService};
+use pravega_lts::{
+    ChunkStorage, ChunkedSegmentStorage, ChunkedStorageConfig, FileChunkStorage,
+    InMemoryChunkStorage, InMemoryMetadataStore, NoOpChunkStorage, ThrottleModel,
+    ThrottledChunkStorage,
+};
+use pravega_segmentstore::{
+    ContainerConfig, SegmentContainer, SegmentStore, SegmentStoreConfig,
+};
+use pravega_wal::bookie::MemBookie;
+use pravega_wal::bookie::Bookie;
+use pravega_wal::journal::JournalConfig;
+use pravega_wal::ledger::{BookiePool, ReplicationConfig};
+use pravega_wal::log::{BookkeeperLog, DurableDataLog, LogConfig};
+
+use crate::error::ClusterError;
+use crate::tablebackend::TableMetadataBackend;
+use crate::wiring::{
+    Routing, RoutedConnectionFactory, RoutedEndpointResolver, RoutedSegmentManager, StoreHandle,
+};
+
+/// Which long-term storage backend the cluster tiers to.
+#[derive(Debug, Clone)]
+pub enum LtsKind {
+    /// In-memory (tests).
+    InMemory,
+    /// Local filesystem (NFS-like).
+    File(PathBuf),
+    /// In-memory behind a bandwidth/latency model (EFS/S3-like, §5.4).
+    Throttled(ThrottleModel),
+    /// Metadata-only, data discarded (the paper's NoOp LTS test feature).
+    NoOp,
+}
+
+/// Embedded cluster configuration (Table 1's shape, laptop-sized).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Segment store instances.
+    pub segment_store_count: usize,
+    /// Total segment containers (hash space).
+    pub container_count: u32,
+    /// Bookies in the WAL pool.
+    pub bookie_count: usize,
+    /// Ledger replication scheme (Table 1: 3/3/2).
+    pub replication: ReplicationConfig,
+    /// Bookie journal behaviour (sync on add = durability).
+    pub journal: JournalConfig,
+    /// Long-term storage backend.
+    pub lts: LtsKind,
+    /// LTS chunk size.
+    pub max_chunk_bytes: u64,
+    /// Per-container tuning.
+    pub container: ContainerConfig,
+    /// WAL ledger rollover size.
+    pub log_rollover_bytes: u64,
+    /// Store controller metadata in a Pravega table segment (as the paper
+    /// describes) instead of an in-memory map.
+    pub table_metadata: bool,
+    /// Auto-scaler tuning.
+    pub autoscaler: AutoScalerConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            segment_store_count: 3,
+            container_count: 4,
+            bookie_count: 3,
+            replication: ReplicationConfig::default(),
+            journal: JournalConfig::default(),
+            lts: LtsKind::InMemory,
+            max_chunk_bytes: 4 * 1024 * 1024,
+            container: ContainerConfig::default(),
+            log_rollover_bytes: 1024 * 1024,
+            table_metadata: true,
+            autoscaler: AutoScalerConfig::default(),
+        }
+    }
+}
+
+/// A running embedded Pravega cluster.
+pub struct PravegaCluster {
+    config: ClusterConfig,
+    coord: CoordinationService,
+    bookies: Vec<Arc<MemBookie>>,
+    routing: Arc<Routing>,
+    controller: Arc<ControllerService>,
+    autoscaler: AutoScaler,
+    retention: RetentionManager,
+    factory: Arc<dyn ConnectionFactory>,
+    lts: ChunkedSegmentStorage,
+}
+
+impl std::fmt::Debug for PravegaCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PravegaCluster")
+            .field("stores", &self.config.segment_store_count)
+            .field("containers", &self.config.container_count)
+            .finish()
+    }
+}
+
+impl PravegaCluster {
+    /// Starts the whole system: coordination, bookies, LTS, segment stores
+    /// (with container assignment), controller, auto-scaler, retention.
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate bootstrap failures.
+    pub fn start(config: ClusterConfig) -> Result<Self, ClusterError> {
+        let coord = CoordinationService::new();
+        let bookies: Vec<Arc<MemBookie>> = (0..config.bookie_count)
+            .map(|i| Arc::new(MemBookie::new(&format!("bookie-{i}"), config.journal.clone())))
+            .collect();
+        let pool = BookiePool::new(
+            bookies
+                .iter()
+                .map(|b| b.clone() as Arc<dyn Bookie>)
+                .collect(),
+        );
+
+        let chunks: Arc<dyn ChunkStorage> = match &config.lts {
+            LtsKind::InMemory => Arc::new(InMemoryChunkStorage::new()),
+            LtsKind::File(path) => Arc::new(FileChunkStorage::open(path.clone())?),
+            LtsKind::Throttled(model) => {
+                Arc::new(ThrottledChunkStorage::new(InMemoryChunkStorage::new(), *model))
+            }
+            LtsKind::NoOp => Arc::new(NoOpChunkStorage::new()),
+        };
+        // Chunk *metadata* lives in an in-memory conditional-update store;
+        // the paper keeps it in Pravega's own tables (see DESIGN.md for the
+        // substitution rationale).
+        let lts = ChunkedSegmentStorage::new(
+            chunks,
+            Arc::new(InMemoryMetadataStore::new()),
+            ChunkedStorageConfig {
+                max_chunk_bytes: config.max_chunk_bytes,
+            },
+        );
+
+        let routing = Arc::new(Routing {
+            container_count: config.container_count,
+            stores: parking_lot::Mutex::new(HashMap::new()),
+            assignment: parking_lot::Mutex::new(BTreeMap::new()),
+        });
+
+        // Segment stores.
+        for i in 0..config.segment_store_count {
+            let host = format!("segmentstore-{i}");
+            Self::add_store(&config, &coord, &pool, &lts, &routing, &host)?;
+        }
+        Self::rebalance(&config, &coord, &routing)?;
+
+        let factory: Arc<dyn ConnectionFactory> = Arc::new(RoutedConnectionFactory {
+            routing: routing.clone(),
+        });
+        let clock = Arc::new(SystemClock::new());
+
+        let backend: Arc<dyn MetadataBackend> = if config.table_metadata {
+            let table = ScopedStream::new("sys", "stream-metadata")
+                .expect("static name is valid")
+                .segment(SegmentId::new(0, 0));
+            Arc::new(TableMetadataBackend::create(routing.clone(), table)?)
+        } else {
+            Arc::new(InMemoryMetadataBackend::new())
+        };
+
+        let controller = Arc::new(ControllerService::new(
+            backend,
+            Arc::new(RoutedSegmentManager {
+                routing: routing.clone(),
+            }),
+            Arc::new(RoutedEndpointResolver {
+                routing: routing.clone(),
+            }),
+            clock.clone(),
+        ));
+        let autoscaler = AutoScaler::new(controller.clone(), clock.clone(), config.autoscaler.clone());
+        let retention = RetentionManager::new(controller.clone(), clock);
+
+        Ok(Self {
+            config,
+            coord,
+            bookies,
+            routing,
+            controller,
+            autoscaler,
+            retention,
+            factory,
+            lts,
+        })
+    }
+
+    fn add_store(
+        config: &ClusterConfig,
+        coord: &CoordinationService,
+        pool: &BookiePool,
+        lts: &ChunkedSegmentStorage,
+        routing: &Arc<Routing>,
+        host: &str,
+    ) -> Result<(), ClusterError> {
+        let session = coord.create_session();
+        ContainerAssigner::register_host(coord, host, session.id())
+            .map_err(|e| ClusterError::Other(e.to_string()))?;
+        let factory_pool = pool.clone();
+        let factory_coord = coord.clone();
+        let factory_lts = lts.clone();
+        let container_config = config.container.clone();
+        let replication = config.replication;
+        let rollover = config.log_rollover_bytes;
+        let store = SegmentStore::new(
+            SegmentStoreConfig {
+                host_id: host.to_string(),
+                container_count: config.container_count,
+                container: container_config.clone(),
+            },
+            Arc::new(move |id| {
+                let wal: Arc<dyn DurableDataLog> = Arc::new(
+                    BookkeeperLog::open(
+                        &format!("container-{}", id.0),
+                        &factory_pool,
+                        &factory_coord,
+                        LogConfig {
+                            rollover_bytes: rollover,
+                            replication,
+                        },
+                    )
+                    .map_err(pravega_segmentstore::SegmentError::Wal)?,
+                );
+                SegmentContainer::start(
+                    id,
+                    wal,
+                    factory_lts.clone(),
+                    Arc::new(SystemClock::new()),
+                    container_config.clone(),
+                )
+            }),
+        );
+        routing.stores.lock().insert(
+            host.to_string(),
+            StoreHandle {
+                store,
+                session,
+                alive: true,
+            },
+        );
+        Ok(())
+    }
+
+    fn rebalance(
+        config: &ClusterConfig,
+        coord: &CoordinationService,
+        routing: &Arc<Routing>,
+    ) -> Result<(), ClusterError> {
+        let assigner = ContainerAssigner::new(coord, config.container_count);
+        let map = assigner.rebalance();
+        *routing.assignment.lock() = map.clone();
+        // Reconcile every live store with its share.
+        let stores: Vec<(String, Arc<SegmentStore>)> = routing
+            .stores
+            .lock()
+            .iter()
+            .filter(|(_, h)| h.alive)
+            .map(|(host, h)| (host.clone(), h.store.clone()))
+            .collect();
+        for (host, store) in stores {
+            let assigned: Vec<u32> = map
+                .iter()
+                .filter(|(_, h)| **h == host)
+                .map(|(c, _)| *c)
+                .collect();
+            store.reconcile_containers(&assigned)?;
+        }
+        Ok(())
+    }
+
+    /// The controller service.
+    pub fn controller(&self) -> Arc<ControllerService> {
+        self.controller.clone()
+    }
+
+    /// The client connection factory.
+    pub fn connection_factory(&self) -> Arc<dyn ConnectionFactory> {
+        self.factory.clone()
+    }
+
+    /// The long-term storage (diagnostics: chunk layout, historical reads).
+    pub fn lts(&self) -> &ChunkedSegmentStorage {
+        &self.lts
+    }
+
+    /// Host ids of all (live and dead) registered stores.
+    pub fn store_hosts(&self) -> Vec<String> {
+        let mut hosts: Vec<String> = self.routing.stores.lock().keys().cloned().collect();
+        hosts.sort();
+        hosts
+    }
+
+    /// All running containers across live stores.
+    pub fn containers(&self) -> Vec<Arc<SegmentContainer>> {
+        let stores = self.routing.stores.lock();
+        stores
+            .values()
+            .filter(|h| h.alive)
+            .flat_map(|h| {
+                h.store
+                    .running_containers()
+                    .into_iter()
+                    .filter_map(|id| h.store.container(id))
+            })
+            .collect()
+    }
+
+    /// Creates a scope.
+    ///
+    /// # Errors
+    ///
+    /// Controller failures.
+    pub fn create_scope(&self, scope: &str) -> Result<(), ClusterError> {
+        self.controller.create_scope(scope)?;
+        Ok(())
+    }
+
+    /// Creates a stream.
+    ///
+    /// # Errors
+    ///
+    /// Controller failures.
+    pub fn create_stream(
+        &self,
+        stream: &ScopedStream,
+        config: StreamConfiguration,
+    ) -> Result<(), ClusterError> {
+        self.controller.create_stream(stream, config)?;
+        Ok(())
+    }
+
+    /// Creates an event writer for `stream`.
+    pub fn create_writer<T, S: Serializer<T>>(
+        &self,
+        stream: ScopedStream,
+        serializer: S,
+        config: WriterConfig,
+    ) -> EventStreamWriter<T, S> {
+        EventStreamWriter::new(
+            stream,
+            self.controller.clone(),
+            self.factory.clone(),
+            serializer,
+            config,
+        )
+    }
+
+    /// Creates (or joins) a reader group over `streams`.
+    ///
+    /// # Errors
+    ///
+    /// Client/controller failures.
+    pub fn create_reader_group(
+        &self,
+        scope: &str,
+        name: &str,
+        streams: Vec<ScopedStream>,
+    ) -> Result<Arc<ReaderGroup>, ClusterError> {
+        Ok(ReaderGroup::create(
+            scope,
+            name,
+            streams,
+            self.controller.clone(),
+            self.factory.clone(),
+        )?)
+    }
+
+    /// Creates a reader within a group.
+    pub fn create_reader<T, S: Serializer<T>>(
+        &self,
+        group: &Arc<ReaderGroup>,
+        reader_id: &str,
+        serializer: S,
+    ) -> EventStreamReader<T, S> {
+        EventStreamReader::new(reader_id, group.clone(), serializer)
+    }
+
+    /// One auto-scaler pass: collects data-plane load reports (the feedback
+    /// loop of §3.1) and lets the policy engine scale streams. Returns the
+    /// decisions taken.
+    ///
+    /// # Errors
+    ///
+    /// Controller failures while executing a scale.
+    pub fn run_autoscaler_once(&self) -> Result<Vec<(ScopedStream, ScaleDecision)>, ClusterError> {
+        let mut by_stream: HashMap<ScopedStream, Vec<SegmentLoadSample>> = HashMap::new();
+        {
+            let stores = self.routing.stores.lock();
+            for handle in stores.values().filter(|h| h.alive) {
+                for load in handle.store.load_report() {
+                    let Ok(segment) = ScopedSegment::parse(&load.segment) else {
+                        continue;
+                    };
+                    by_stream
+                        .entry(segment.stream().clone())
+                        .or_default()
+                        .push(SegmentLoadSample {
+                            segment: segment.segment_id(),
+                            events_per_sec: load.events_per_sec,
+                            bytes_per_sec: load.bytes_per_sec,
+                        });
+                }
+            }
+        }
+        let mut decisions = Vec::new();
+        for (stream, samples) in by_stream {
+            match self.autoscaler.process_reports(&stream, &samples) {
+                Ok(Some(decision)) => decisions.push((stream, decision)),
+                Ok(None) => {}
+                Err(pravega_controller::ControllerError::StreamNotFound) => {
+                    // System/reader-group segments: not auto-scaled streams.
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(decisions)
+    }
+
+    /// One retention pass over a stream.
+    ///
+    /// # Errors
+    ///
+    /// Controller failures.
+    pub fn run_retention_once(&self, stream: &ScopedStream) -> Result<(), ClusterError> {
+        self.retention.run_once(stream)?;
+        Ok(())
+    }
+
+    /// Failure injection: takes a bookie down. With the default 3/3/2
+    /// replication, one dead bookie leaves the ack quorum intact and writes
+    /// continue (§5.1's replication scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn kill_bookie(&self, index: usize) {
+        self.bookies[index].set_available(false);
+    }
+
+    /// Failure injection: brings a bookie back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn restore_bookie(&self, index: usize) {
+        self.bookies[index].set_available(true);
+    }
+
+    /// Number of bookies in the WAL pool.
+    pub fn bookie_count(&self) -> usize {
+        self.bookies.len()
+    }
+
+    /// Direct access to a segment store (tests/diagnostics).
+    pub fn store(&self, host: &str) -> Option<Arc<SegmentStore>> {
+        self.routing.stores.lock().get(host).map(|h| h.store.clone())
+    }
+
+    /// Kills a segment store (failure injection): its session expires, its
+    /// containers are re-assigned to the survivors, which recover them from
+    /// the WAL (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Rebalance failures.
+    pub fn kill_store(&self, host: &str) -> Result<(), ClusterError> {
+        let (store, session_id) = {
+            let mut stores = self.routing.stores.lock();
+            let handle = stores
+                .get_mut(host)
+                .ok_or_else(|| ClusterError::Other(format!("unknown host {host}")))?;
+            handle.alive = false;
+            (handle.store.clone(), handle.session.id())
+        };
+        store.shutdown();
+        self.coord.expire_session(session_id);
+        Self::rebalance(&self.config, &self.coord, &self.routing)?;
+        Ok(())
+    }
+
+    /// Total bytes committed but not yet tiered to LTS across the cluster.
+    pub fn unflushed_bytes(&self) -> u64 {
+        self.containers().iter().map(|c| c.unflushed_bytes()).sum()
+    }
+
+    /// Waits until all ingested data has been tiered to LTS.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Other`] on timeout.
+    pub fn wait_for_tiering(&self, timeout: Duration) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.unflushed_bytes() == 0 {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(ClusterError::Other(format!(
+                    "tiering did not drain in {timeout:?} ({} bytes left)",
+                    self.unflushed_bytes()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops every store.
+    pub fn shutdown(&self) {
+        let stores: Vec<Arc<SegmentStore>> = self
+            .routing
+            .stores
+            .lock()
+            .values()
+            .map(|h| h.store.clone())
+            .collect();
+        for store in stores {
+            store.shutdown();
+        }
+    }
+}
+
+impl Drop for PravegaCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Convenience: map [`ClientError`] into [`ClusterError`] at call sites that
+/// deal with both.
+pub fn client_err(e: ClientError) -> ClusterError {
+    ClusterError::Client(e)
+}

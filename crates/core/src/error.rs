@@ -1,0 +1,71 @@
+//! Error type for the embedded cluster.
+
+use std::fmt;
+
+use pravega_client::ClientError;
+use pravega_controller::ControllerError;
+use pravega_lts::LtsError;
+use pravega_segmentstore::SegmentError;
+use pravega_wal::WalError;
+
+/// Errors surfaced by the embedded cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// WAL substrate failure.
+    Wal(WalError),
+    /// Segment store failure.
+    Segment(SegmentError),
+    /// Controller failure.
+    Controller(ControllerError),
+    /// Client failure.
+    Client(ClientError),
+    /// Long-term storage failure.
+    Lts(LtsError),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Wal(e) => write!(f, "wal: {e}"),
+            ClusterError::Segment(e) => write!(f, "segment store: {e}"),
+            ClusterError::Controller(e) => write!(f, "controller: {e}"),
+            ClusterError::Client(e) => write!(f, "client: {e}"),
+            ClusterError::Lts(e) => write!(f, "lts: {e}"),
+            ClusterError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<WalError> for ClusterError {
+    fn from(e: WalError) -> Self {
+        ClusterError::Wal(e)
+    }
+}
+
+impl From<SegmentError> for ClusterError {
+    fn from(e: SegmentError) -> Self {
+        ClusterError::Segment(e)
+    }
+}
+
+impl From<ControllerError> for ClusterError {
+    fn from(e: ControllerError) -> Self {
+        ClusterError::Controller(e)
+    }
+}
+
+impl From<ClientError> for ClusterError {
+    fn from(e: ClientError) -> Self {
+        ClusterError::Client(e)
+    }
+}
+
+impl From<LtsError> for ClusterError {
+    fn from(e: LtsError) -> Self {
+        ClusterError::Lts(e)
+    }
+}

@@ -1,0 +1,192 @@
+//! Controller metadata stored in Pravega itself (§2.2): a
+//! [`MetadataBackend`] over a table segment.
+//!
+//! "Controller instances maintain the stream metadata, which is stored in
+//! Pravega itself via the key-value API built on top of streams" — so
+//! ZooKeeper is not a bottleneck. This backend keeps scopes and stream
+//! metadata in one system table segment, using the table's per-key versions
+//! as the CAS tokens the controller needs.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use pravega_common::id::{ScopedSegment, ScopedStream};
+use pravega_common::wire::{Reply, Request, TableUpdateEntry};
+use pravega_controller::{ControllerError, MetadataBackend, StreamMetadata};
+
+use crate::wiring::{call_store, Routing};
+
+/// Table-segment-backed controller metadata.
+pub struct TableMetadataBackend {
+    routing: Arc<Routing>,
+    table: ScopedSegment,
+}
+
+impl std::fmt::Debug for TableMetadataBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableMetadataBackend")
+            .field("table", &self.table)
+            .finish()
+    }
+}
+
+fn scope_key(scope: &str) -> Bytes {
+    Bytes::from(format!("scope:{scope}"))
+}
+
+fn stream_key(stream: &ScopedStream) -> Bytes {
+    Bytes::from(format!("stream:{stream}"))
+}
+
+impl TableMetadataBackend {
+    pub(crate) fn create(routing: Arc<Routing>, table: ScopedSegment) -> Result<Self, ControllerError> {
+        match call_store(
+            &routing,
+            Request::CreateSegment {
+                segment: table.clone(),
+                is_table: true,
+            },
+        )
+        .map_err(ControllerError::Metadata)?
+        {
+            Reply::SegmentCreated | Reply::SegmentAlreadyExists => {}
+            other => {
+                return Err(ControllerError::Metadata(format!(
+                    "cannot create metadata table: {other:?}"
+                )))
+            }
+        }
+        Ok(Self { routing, table })
+    }
+
+    fn get(&self, key: Bytes) -> Option<(Bytes, i64)> {
+        match call_store(
+            &self.routing,
+            Request::TableGet {
+                segment: self.table.clone(),
+                keys: vec![key],
+            },
+        ) {
+            Ok(Reply::TableRead { mut values }) => values.pop().flatten(),
+            _ => None,
+        }
+    }
+
+    fn put(
+        &self,
+        key: Bytes,
+        value: Bytes,
+        expected_version: Option<i64>,
+    ) -> Result<i64, ControllerError> {
+        match call_store(
+            &self.routing,
+            Request::TableUpdate {
+                segment: self.table.clone(),
+                entries: vec![TableUpdateEntry {
+                    key,
+                    value,
+                    expected_version,
+                }],
+            },
+        )
+        .map_err(ControllerError::Metadata)?
+        {
+            Reply::TableUpdated { versions } => Ok(versions[0]),
+            Reply::ConditionalCheckFailed => Err(ControllerError::Conflict),
+            other => Err(ControllerError::Metadata(format!(
+                "table update failed: {other:?}"
+            ))),
+        }
+    }
+
+    fn iterate_keys(&self, prefix: &str) -> Vec<(Bytes, Bytes)> {
+        let mut out = Vec::new();
+        let mut continuation: Option<Bytes> = None;
+        loop {
+            match call_store(
+                &self.routing,
+                Request::TableIterate {
+                    segment: self.table.clone(),
+                    continuation: continuation.clone(),
+                    limit: 256,
+                },
+            ) {
+                Ok(Reply::TableIterated {
+                    entries,
+                    continuation: next,
+                }) => {
+                    for (k, v, _) in entries {
+                        if k.starts_with(prefix.as_bytes()) {
+                            out.push((k, v));
+                        }
+                    }
+                    match next {
+                        Some(c) => continuation = Some(c),
+                        None => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+}
+
+impl MetadataBackend for TableMetadataBackend {
+    fn create_scope(&self, scope: &str) -> Result<(), ControllerError> {
+        match self.put(scope_key(scope), Bytes::new(), Some(-1)) {
+            Ok(_) => Ok(()),
+            Err(ControllerError::Conflict) => Err(ControllerError::ScopeExists),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn scope_exists(&self, scope: &str) -> bool {
+        self.get(scope_key(scope)).is_some()
+    }
+
+    fn list_scopes(&self) -> Vec<String> {
+        self.iterate_keys("scope:")
+            .into_iter()
+            .filter_map(|(k, _)| {
+                std::str::from_utf8(&k)
+                    .ok()
+                    .and_then(|s| s.strip_prefix("scope:"))
+                    .map(|s| s.to_string())
+            })
+            .collect()
+    }
+
+    fn load(&self, stream: &ScopedStream) -> Option<(StreamMetadata, i64)> {
+        let (value, version) = self.get(stream_key(stream))?;
+        StreamMetadata::decode(&value).ok().map(|m| (m, version))
+    }
+
+    fn store(
+        &self,
+        metadata: &StreamMetadata,
+        expected_version: Option<i64>,
+    ) -> Result<i64, ControllerError> {
+        let expected = Some(expected_version.unwrap_or(-1));
+        self.put(stream_key(&metadata.stream), metadata.encode(), expected)
+    }
+
+    fn remove(&self, stream: &ScopedStream) {
+        let _ = call_store(
+            &self.routing,
+            Request::TableRemove {
+                segment: self.table.clone(),
+                keys: vec![(stream_key(stream), None)],
+            },
+        );
+    }
+
+    fn list_streams(&self, scope: &str) -> Vec<ScopedStream> {
+        let prefix = format!("stream:{scope}/");
+        self.iterate_keys(&prefix)
+            .into_iter()
+            .filter_map(|(_, v)| StreamMetadata::decode(&v).ok())
+            .map(|m| m.stream)
+            .collect()
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for the long-term storage tier.
+
+use std::fmt;
+
+/// Errors produced by chunk storage and the chunked segment layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LtsError {
+    /// The chunk does not exist.
+    NoSuchChunk,
+    /// Create failed: the chunk already exists.
+    ChunkExists,
+    /// The addressed segment does not exist in LTS metadata.
+    NoSuchSegment,
+    /// Create failed: the segment already exists in LTS metadata.
+    SegmentExists,
+    /// Write refused: the segment/chunk is sealed.
+    Sealed,
+    /// An append's offset did not match the current length.
+    BadOffset {
+        /// The length the write must have started at.
+        expected: u64,
+        /// The offset the caller supplied.
+        actual: u64,
+    },
+    /// A read requested data below the truncation point.
+    Truncated {
+        /// First available offset.
+        start_offset: u64,
+    },
+    /// A read requested data beyond the end of the segment.
+    BeyondEnd {
+        /// Current segment length.
+        length: u64,
+    },
+    /// A conditional metadata update lost a race.
+    MetadataConflict,
+    /// Metadata is missing or corrupt.
+    Metadata(String),
+    /// The backend is unavailable (failure injection).
+    Unavailable,
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for LtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LtsError::NoSuchChunk => write!(f, "no such chunk"),
+            LtsError::ChunkExists => write!(f, "chunk already exists"),
+            LtsError::NoSuchSegment => write!(f, "no such segment in LTS"),
+            LtsError::SegmentExists => write!(f, "segment already exists in LTS"),
+            LtsError::Sealed => write!(f, "sealed"),
+            LtsError::BadOffset { expected, actual } => {
+                write!(f, "bad offset: expected {expected}, got {actual}")
+            }
+            LtsError::Truncated { start_offset } => {
+                write!(f, "offset truncated: data starts at {start_offset}")
+            }
+            LtsError::BeyondEnd { length } => {
+                write!(f, "read beyond end: length is {length}")
+            }
+            LtsError::MetadataConflict => write!(f, "conditional metadata update failed"),
+            LtsError::Metadata(msg) => write!(f, "metadata error: {msg}"),
+            LtsError::Unavailable => write!(f, "long-term storage unavailable"),
+            LtsError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LtsError::BadOffset {
+            expected: 10,
+            actual: 4
+        }
+        .to_string()
+        .contains("expected 10"));
+    }
+}

@@ -1,0 +1,229 @@
+//! Chunk-metadata store: conditional updates and multi-key transactions.
+//!
+//! "All LTS metadata operations are performed using conditional updates and
+//! using transactions to update multiple keys at once. This guarantees that
+//! concurrent operations will never leave the metadata in an inconsistent
+//! state." (§4.3). In the real system this store is a Pravega table segment;
+//! the segment store wires that implementation in — here we define the trait
+//! plus an in-memory implementation.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::error::LtsError;
+
+/// One update inside a metadata transaction.
+#[derive(Debug, Clone)]
+pub struct MetadataUpdate {
+    /// The key to write or delete.
+    pub key: String,
+    /// New value, or `None` to delete the key.
+    pub value: Option<Bytes>,
+    /// `None` = unconditional; `Some(-1)` = key must not exist;
+    /// `Some(v >= 0)` = current version must equal `v`.
+    pub expected_version: Option<i64>,
+}
+
+impl MetadataUpdate {
+    /// An insert that requires the key to be new.
+    pub fn insert(key: impl Into<String>, value: Bytes) -> Self {
+        Self {
+            key: key.into(),
+            value: Some(value),
+            expected_version: Some(-1),
+        }
+    }
+
+    /// A replace that requires the current version to match.
+    pub fn replace(key: impl Into<String>, value: Bytes, expected_version: i64) -> Self {
+        Self {
+            key: key.into(),
+            value: Some(value),
+            expected_version: Some(expected_version),
+        }
+    }
+
+    /// An unconditional put.
+    pub fn put(key: impl Into<String>, value: Bytes) -> Self {
+        Self {
+            key: key.into(),
+            value: Some(value),
+            expected_version: None,
+        }
+    }
+
+    /// A conditional delete.
+    pub fn remove(key: impl Into<String>, expected_version: Option<i64>) -> Self {
+        Self {
+            key: key.into(),
+            value: None,
+            expected_version,
+        }
+    }
+}
+
+/// A versioned key-value store with atomic multi-key transactions.
+pub trait MetadataStore: Send + Sync + std::fmt::Debug {
+    /// Reads a key, returning `(value, version)`.
+    fn get(&self, key: &str) -> Option<(Bytes, i64)>;
+
+    /// Atomically applies all updates, or none. Returns the new version per
+    /// update (−1 for deletes).
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::MetadataConflict`] if any version precondition fails —
+    /// in that case nothing is applied.
+    fn commit(&self, updates: Vec<MetadataUpdate>) -> Result<Vec<i64>, LtsError>;
+
+    /// All `(key, value, version)` entries whose key starts with `prefix`,
+    /// in key order.
+    fn list_prefix(&self, prefix: &str) -> Vec<(String, Bytes, i64)>;
+}
+
+/// In-memory [`MetadataStore`].
+#[derive(Debug, Default)]
+pub struct InMemoryMetadataStore {
+    entries: Mutex<BTreeMap<String, (Bytes, i64)>>,
+}
+
+impl InMemoryMetadataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MetadataStore for InMemoryMetadataStore {
+    fn get(&self, key: &str) -> Option<(Bytes, i64)> {
+        self.entries.lock().get(key).cloned()
+    }
+
+    fn commit(&self, updates: Vec<MetadataUpdate>) -> Result<Vec<i64>, LtsError> {
+        let mut entries = self.entries.lock();
+        // Validate every precondition first: all-or-nothing.
+        for u in &updates {
+            if let Some(expected) = u.expected_version {
+                let actual = entries.get(&u.key).map(|(_, v)| *v).unwrap_or(-1);
+                if actual != expected {
+                    return Err(LtsError::MetadataConflict);
+                }
+            }
+        }
+        let mut versions = Vec::with_capacity(updates.len());
+        for u in updates {
+            match u.value {
+                Some(value) => {
+                    let next = entries.get(&u.key).map(|(_, v)| v + 1).unwrap_or(0);
+                    entries.insert(u.key, (value, next));
+                    versions.push(next);
+                }
+                None => {
+                    entries.remove(&u.key);
+                    versions.push(-1);
+                }
+            }
+        }
+        Ok(versions)
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Vec<(String, Bytes, i64)> {
+        self.entries
+            .lock()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, (v, ver))| (k.clone(), v.clone(), *ver))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_requires_absence() {
+        let s = InMemoryMetadataStore::new();
+        s.commit(vec![MetadataUpdate::insert("k", Bytes::from_static(b"1"))])
+            .unwrap();
+        assert_eq!(
+            s.commit(vec![MetadataUpdate::insert("k", Bytes::from_static(b"2"))]),
+            Err(LtsError::MetadataConflict)
+        );
+        assert_eq!(s.get("k").unwrap().0.as_ref(), b"1");
+    }
+
+    #[test]
+    fn replace_checks_version() {
+        let s = InMemoryMetadataStore::new();
+        let v = s
+            .commit(vec![MetadataUpdate::insert("k", Bytes::from_static(b"1"))])
+            .unwrap()[0];
+        assert_eq!(v, 0);
+        let v2 = s
+            .commit(vec![MetadataUpdate::replace("k", Bytes::from_static(b"2"), 0)])
+            .unwrap()[0];
+        assert_eq!(v2, 1);
+        assert_eq!(
+            s.commit(vec![MetadataUpdate::replace(
+                "k",
+                Bytes::from_static(b"3"),
+                0
+            )]),
+            Err(LtsError::MetadataConflict)
+        );
+    }
+
+    #[test]
+    fn transactions_are_all_or_nothing() {
+        let s = InMemoryMetadataStore::new();
+        s.commit(vec![MetadataUpdate::insert("a", Bytes::from_static(b"1"))])
+            .unwrap();
+        // Second update's precondition fails: the first must not apply.
+        let result = s.commit(vec![
+            MetadataUpdate::replace("a", Bytes::from_static(b"2"), 0),
+            MetadataUpdate::replace("missing", Bytes::from_static(b"x"), 0),
+        ]);
+        assert_eq!(result, Err(LtsError::MetadataConflict));
+        assert_eq!(s.get("a").unwrap().0.as_ref(), b"1");
+    }
+
+    #[test]
+    fn multi_key_transaction_commits_atomically() {
+        let s = InMemoryMetadataStore::new();
+        let versions = s
+            .commit(vec![
+                MetadataUpdate::insert("x", Bytes::from_static(b"1")),
+                MetadataUpdate::insert("y", Bytes::from_static(b"2")),
+            ])
+            .unwrap();
+        assert_eq!(versions, vec![0, 0]);
+        assert!(s.get("x").is_some() && s.get("y").is_some());
+    }
+
+    #[test]
+    fn delete_with_version_check() {
+        let s = InMemoryMetadataStore::new();
+        s.commit(vec![MetadataUpdate::insert("k", Bytes::from_static(b"1"))])
+            .unwrap();
+        assert_eq!(
+            s.commit(vec![MetadataUpdate::remove("k", Some(5))]),
+            Err(LtsError::MetadataConflict)
+        );
+        s.commit(vec![MetadataUpdate::remove("k", Some(0))]).unwrap();
+        assert!(s.get("k").is_none());
+    }
+
+    #[test]
+    fn list_prefix_in_order() {
+        let s = InMemoryMetadataStore::new();
+        for k in ["seg/b", "seg/a", "other", "seg/c"] {
+            s.commit(vec![MetadataUpdate::put(k, Bytes::from_static(b"v"))])
+                .unwrap();
+        }
+        let keys: Vec<String> = s.list_prefix("seg/").into_iter().map(|(k, _, _)| k).collect();
+        assert_eq!(keys, vec!["seg/a", "seg/b", "seg/c"]);
+    }
+}

@@ -1,0 +1,566 @@
+//! Chunked segment layout: a segment in LTS is a sequence of non-overlapping
+//! chunks (§4.3).
+//!
+//! The chunk list and segment attributes (length, truncation offset, sealed)
+//! live in a [`MetadataStore`] record updated with conditional writes, so a
+//! crashed flush can never corrupt the layout: chunk data written without a
+//! committed metadata update is simply unreferenced.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+
+use crate::chunk::ChunkStorage;
+use crate::error::LtsError;
+use crate::metadata::{MetadataStore, MetadataUpdate};
+
+/// Configuration for the chunked layout.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkedStorageConfig {
+    /// Maximum bytes per chunk before a new one is rolled.
+    pub max_chunk_bytes: u64,
+}
+
+impl Default for ChunkedStorageConfig {
+    fn default() -> Self {
+        Self {
+            max_chunk_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Externally-visible attributes of a segment in LTS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentStorageInfo {
+    /// Total bytes ever written (tail offset).
+    pub length: u64,
+    /// First readable offset.
+    pub start_offset: u64,
+    /// Whether the segment is sealed in LTS.
+    pub sealed: bool,
+    /// Number of chunks currently referenced.
+    pub chunk_count: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChunkRecord {
+    name: String,
+    start: u64,
+    length: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SegmentRecord {
+    length: u64,
+    start_offset: u64,
+    sealed: bool,
+    next_chunk_index: u64,
+    chunks: Vec<ChunkRecord>,
+}
+
+impl SegmentRecord {
+    fn new() -> Self {
+        Self {
+            length: 0,
+            start_offset: 0,
+            sealed: false,
+            next_chunk_index: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.length);
+        buf.put_u64(self.start_offset);
+        buf.put_u8(self.sealed as u8);
+        buf.put_u64(self.next_chunk_index);
+        buf.put_u32(self.chunks.len() as u32);
+        for c in &self.chunks {
+            pravega_common::buf::put_string(&mut buf, &c.name);
+            buf.put_u64(c.start);
+            buf.put_u64(c.length);
+        }
+        buf.freeze()
+    }
+
+    fn decode(data: &Bytes) -> Result<Self, LtsError> {
+        let mut buf = data.clone();
+        let err = |_| LtsError::Metadata("corrupt segment record".into());
+        if buf.remaining() < 29 {
+            return Err(LtsError::Metadata("corrupt segment record".into()));
+        }
+        let length = buf.get_u64();
+        let start_offset = buf.get_u64();
+        let sealed = buf.get_u8() != 0;
+        let next_chunk_index = buf.get_u64();
+        let n = buf.get_u32() as usize;
+        let mut chunks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = pravega_common::buf::get_string(&mut buf, "chunk name").map_err(err)?;
+            if buf.remaining() < 16 {
+                return Err(LtsError::Metadata("corrupt segment record".into()));
+            }
+            chunks.push(ChunkRecord {
+                name,
+                start: buf.get_u64(),
+                length: buf.get_u64(),
+            });
+        }
+        Ok(Self {
+            length,
+            start_offset,
+            sealed,
+            next_chunk_index,
+            chunks,
+        })
+    }
+}
+
+/// Segment storage on top of chunks + metadata: the "storage subsystem" the
+/// storage writer flushes into (§4.3).
+#[derive(Debug, Clone)]
+pub struct ChunkedSegmentStorage {
+    chunks: Arc<dyn ChunkStorage>,
+    metadata: Arc<dyn MetadataStore>,
+    config: ChunkedStorageConfig,
+}
+
+fn record_key(segment: &str) -> String {
+    format!("lts/segments/{segment}")
+}
+
+impl ChunkedSegmentStorage {
+    /// Creates segment storage over the given chunk and metadata backends.
+    pub fn new(
+        chunks: Arc<dyn ChunkStorage>,
+        metadata: Arc<dyn MetadataStore>,
+        config: ChunkedStorageConfig,
+    ) -> Self {
+        Self {
+            chunks,
+            metadata,
+            config,
+        }
+    }
+
+    /// The underlying chunk storage (for parallel historical reads).
+    pub fn chunk_storage(&self) -> &Arc<dyn ChunkStorage> {
+        &self.chunks
+    }
+
+    fn load(&self, segment: &str) -> Result<(SegmentRecord, i64), LtsError> {
+        let (data, version) = self
+            .metadata
+            .get(&record_key(segment))
+            .ok_or(LtsError::NoSuchSegment)?;
+        Ok((SegmentRecord::decode(&data)?, version))
+    }
+
+    fn store(&self, segment: &str, record: &SegmentRecord, version: i64) -> Result<(), LtsError> {
+        self.metadata
+            .commit(vec![MetadataUpdate::replace(
+                record_key(segment),
+                record.encode(),
+                version,
+            )])
+            .map(|_| ())
+    }
+
+    /// Registers a new, empty segment.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::SegmentExists`] if already present.
+    pub fn create(&self, segment: &str) -> Result<(), LtsError> {
+        self.metadata
+            .commit(vec![MetadataUpdate::insert(
+                record_key(segment),
+                SegmentRecord::new().encode(),
+            )])
+            .map(|_| ())
+            .map_err(|e| match e {
+                LtsError::MetadataConflict => LtsError::SegmentExists,
+                other => other,
+            })
+    }
+
+    /// Whether the segment exists in LTS metadata.
+    pub fn exists(&self, segment: &str) -> bool {
+        self.metadata.get(&record_key(segment)).is_some()
+    }
+
+    /// Appends `data` at `offset` (which must equal the current length),
+    /// rolling chunks as needed. Returns the new length.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::BadOffset`] for non-append writes; [`LtsError::Sealed`];
+    /// chunk-backend failures (e.g. [`LtsError::Unavailable`]) propagate and
+    /// leave metadata untouched.
+    pub fn write(&self, segment: &str, offset: u64, data: &[u8]) -> Result<u64, LtsError> {
+        let (mut record, version) = self.load(segment)?;
+        if record.sealed {
+            return Err(LtsError::Sealed);
+        }
+        if offset != record.length {
+            return Err(LtsError::BadOffset {
+                expected: record.length,
+                actual: offset,
+            });
+        }
+        let mut remaining = data;
+        while !remaining.is_empty() {
+            let need_new_chunk = match record.chunks.last() {
+                None => true,
+                Some(last) => last.length >= self.config.max_chunk_bytes,
+            };
+            if need_new_chunk {
+                let name = format!("{segment}.chunk-{:08}", record.next_chunk_index);
+                record.next_chunk_index += 1;
+                self.chunks.create(&name)?;
+                record.chunks.push(ChunkRecord {
+                    name,
+                    start: record.length,
+                    length: 0,
+                });
+            }
+            let last = record.chunks.last_mut().expect("chunk exists");
+            let capacity = (self.config.max_chunk_bytes - last.length) as usize;
+            let take = remaining.len().min(capacity);
+            self.chunks.write(&last.name, last.length, &remaining[..take])?;
+            last.length += take as u64;
+            record.length += take as u64;
+            remaining = &remaining[take..];
+        }
+        self.store(segment, &record, version)?;
+        Ok(record.length)
+    }
+
+    /// Reads up to `len` bytes at `offset`, crossing chunk boundaries.
+    /// Short reads happen only at the segment's end.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::Truncated`] below the start offset; [`LtsError::BeyondEnd`]
+    /// past the tail.
+    pub fn read(&self, segment: &str, offset: u64, len: usize) -> Result<Bytes, LtsError> {
+        let (record, _) = self.load(segment)?;
+        if offset < record.start_offset {
+            return Err(LtsError::Truncated {
+                start_offset: record.start_offset,
+            });
+        }
+        if offset > record.length {
+            return Err(LtsError::BeyondEnd {
+                length: record.length,
+            });
+        }
+        let end = (offset + len as u64).min(record.length);
+        let mut out = BytesMut::with_capacity((end - offset) as usize);
+        let mut cursor = offset;
+        for chunk in &record.chunks {
+            let chunk_end = chunk.start + chunk.length;
+            if chunk_end <= cursor || cursor >= end {
+                continue;
+            }
+            let within = cursor - chunk.start;
+            let take = (chunk_end.min(end) - cursor) as usize;
+            let piece = self.chunks.read(&chunk.name, within, take)?;
+            out.put_slice(&piece);
+            cursor += piece.len() as u64;
+            if cursor >= end {
+                break;
+            }
+        }
+        Ok(out.freeze())
+    }
+
+    /// Seals the segment in LTS: no further writes.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::NoSuchSegment`] if absent.
+    pub fn seal(&self, segment: &str) -> Result<(), LtsError> {
+        let (mut record, version) = self.load(segment)?;
+        record.sealed = true;
+        self.store(segment, &record, version)
+    }
+
+    /// Truncates the segment at `offset`: earlier data becomes unreadable and
+    /// chunks entirely below the offset are deleted from chunk storage.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::BadOffset`] if `offset` exceeds the length.
+    pub fn truncate(&self, segment: &str, offset: u64) -> Result<(), LtsError> {
+        let (mut record, version) = self.load(segment)?;
+        if offset > record.length {
+            return Err(LtsError::BadOffset {
+                expected: record.length,
+                actual: offset,
+            });
+        }
+        if offset <= record.start_offset {
+            return Ok(());
+        }
+        record.start_offset = offset;
+        let (doomed, kept): (Vec<ChunkRecord>, Vec<ChunkRecord>) = record
+            .chunks
+            .into_iter()
+            .partition(|c| c.start + c.length <= offset);
+        record.chunks = kept;
+        self.store(segment, &record, version)?;
+        for chunk in doomed {
+            let _ = self.chunks.delete(&chunk.name);
+        }
+        Ok(())
+    }
+
+    /// Deletes the segment: metadata record and all chunks.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::NoSuchSegment`] if absent.
+    pub fn delete(&self, segment: &str) -> Result<(), LtsError> {
+        let (record, _) = self.load(segment)?;
+        self.metadata
+            .commit(vec![MetadataUpdate::remove(record_key(segment), None)])?;
+        for chunk in record.chunks {
+            let _ = self.chunks.delete(&chunk.name);
+        }
+        Ok(())
+    }
+
+    /// Concatenates a *sealed* `source` segment onto `target` (used when
+    /// merging transaction/scale artifacts): source chunks are re-parented,
+    /// no data is copied, and the source record is removed — all in one
+    /// metadata transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::Metadata`] if the source is not sealed;
+    /// [`LtsError::Sealed`] if the target is sealed.
+    pub fn concat(&self, target: &str, source: &str) -> Result<u64, LtsError> {
+        let (mut target_record, target_version) = self.load(target)?;
+        let (source_record, source_version) = self.load(source)?;
+        if !source_record.sealed {
+            return Err(LtsError::Metadata("concat source must be sealed".into()));
+        }
+        if target_record.sealed {
+            return Err(LtsError::Sealed);
+        }
+        if source_record.start_offset != 0 {
+            return Err(LtsError::Metadata(
+                "cannot concat a truncated source".into(),
+            ));
+        }
+        let base = target_record.length;
+        for chunk in &source_record.chunks {
+            target_record.chunks.push(ChunkRecord {
+                name: chunk.name.clone(),
+                start: base + chunk.start,
+                length: chunk.length,
+            });
+        }
+        target_record.length += source_record.length;
+        // Single transaction: update target + remove source.
+        self.metadata.commit(vec![
+            MetadataUpdate::replace(record_key(target), target_record.encode(), target_version),
+            MetadataUpdate::remove(record_key(source), Some(source_version)),
+        ])?;
+        Ok(target_record.length)
+    }
+
+    /// Returns the segment's LTS attributes.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::NoSuchSegment`] if absent.
+    pub fn info(&self, segment: &str) -> Result<SegmentStorageInfo, LtsError> {
+        let (record, _) = self.load(segment)?;
+        Ok(SegmentStorageInfo {
+            length: record.length,
+            start_offset: record.start_offset,
+            sealed: record.sealed,
+            chunk_count: record.chunks.len(),
+        })
+    }
+
+    /// Names of the chunks currently composing the segment, in order. Used
+    /// by historical readers to issue parallel chunk fetches (§5.7).
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::NoSuchSegment`] if absent.
+    pub fn chunk_names(&self, segment: &str) -> Result<Vec<(String, u64, u64)>, LtsError> {
+        let (record, _) = self.load(segment)?;
+        Ok(record
+            .chunks
+            .iter()
+            .map(|c| (c.name.clone(), c.start, c.length))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::InMemoryChunkStorage;
+    use crate::metadata::InMemoryMetadataStore;
+
+    fn storage(max_chunk: u64) -> (ChunkedSegmentStorage, Arc<InMemoryChunkStorage>) {
+        let chunks = Arc::new(InMemoryChunkStorage::new());
+        (
+            ChunkedSegmentStorage::new(
+                chunks.clone(),
+                Arc::new(InMemoryMetadataStore::new()),
+                ChunkedStorageConfig {
+                    max_chunk_bytes: max_chunk,
+                },
+            ),
+            chunks,
+        )
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_chunks() {
+        let (s, chunks) = storage(8);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"the quick brown fox jumps").unwrap();
+        assert_eq!(s.read("seg", 0, 25).unwrap().as_ref(), b"the quick brown fox jumps");
+        assert_eq!(s.read("seg", 4, 5).unwrap().as_ref(), b"quick");
+        assert_eq!(s.read("seg", 10, 9).unwrap().as_ref(), b"brown fox");
+        let info = s.info("seg").unwrap();
+        assert_eq!(info.length, 25);
+        assert_eq!(info.chunk_count, 4); // ceil(25/8)
+        assert_eq!(chunks.chunk_names().len(), 4);
+    }
+
+    #[test]
+    fn appends_must_be_at_tail() {
+        let (s, _) = storage(1024);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"abc").unwrap();
+        assert_eq!(
+            s.write("seg", 1, b"x"),
+            Err(LtsError::BadOffset {
+                expected: 3,
+                actual: 1
+            })
+        );
+        s.write("seg", 3, b"def").unwrap();
+        assert_eq!(s.read("seg", 0, 6).unwrap().as_ref(), b"abcdef");
+    }
+
+    #[test]
+    fn create_twice_fails() {
+        let (s, _) = storage(16);
+        s.create("seg").unwrap();
+        assert_eq!(s.create("seg"), Err(LtsError::SegmentExists));
+    }
+
+    #[test]
+    fn sealed_segment_rejects_writes() {
+        let (s, _) = storage(16);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"x").unwrap();
+        s.seal("seg").unwrap();
+        assert_eq!(s.write("seg", 1, b"y"), Err(LtsError::Sealed));
+        assert!(s.info("seg").unwrap().sealed);
+        // Reads still work.
+        assert_eq!(s.read("seg", 0, 1).unwrap().as_ref(), b"x");
+    }
+
+    #[test]
+    fn truncate_deletes_covered_chunks() {
+        let (s, chunks) = storage(4);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"0123456789abcdef").unwrap(); // 4 chunks
+        assert_eq!(chunks.chunk_names().len(), 4);
+        s.truncate("seg", 9).unwrap();
+        // Chunks [0..4) and [4..8) fully below 9 are deleted; [8..12) kept.
+        assert_eq!(chunks.chunk_names().len(), 2);
+        assert_eq!(s.info("seg").unwrap().start_offset, 9);
+        assert_eq!(s.read("seg", 9, 7).unwrap().as_ref(), b"9abcdef");
+        assert_eq!(s.read("seg", 2, 2), Err(LtsError::Truncated { start_offset: 9 }));
+        // Truncating backwards is a no-op.
+        s.truncate("seg", 3).unwrap();
+        assert_eq!(s.info("seg").unwrap().start_offset, 9);
+        // Truncating beyond the end fails.
+        assert!(matches!(
+            s.truncate("seg", 100),
+            Err(LtsError::BadOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_removes_chunks_and_metadata() {
+        let (s, chunks) = storage(4);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"0123456789").unwrap();
+        s.delete("seg").unwrap();
+        assert!(!s.exists("seg"));
+        assert!(chunks.chunk_names().is_empty());
+        assert_eq!(s.read("seg", 0, 1), Err(LtsError::NoSuchSegment));
+    }
+
+    #[test]
+    fn concat_reparents_chunks_without_copy() {
+        let (s, chunks) = storage(4);
+        s.create("a").unwrap();
+        s.create("b").unwrap();
+        s.write("a", 0, b"first-").unwrap();
+        s.write("b", 0, b"second").unwrap();
+        // Unsealed source refuses.
+        assert!(s.concat("a", "b").is_err());
+        s.seal("b").unwrap();
+        let new_len = s.concat("a", "b").unwrap();
+        assert_eq!(new_len, 12);
+        assert!(!s.exists("b"));
+        assert_eq!(s.read("a", 0, 12).unwrap().as_ref(), b"first-second");
+        // No data was copied: same chunk count as the two had together.
+        assert_eq!(chunks.chunk_names().len(), 4);
+    }
+
+    #[test]
+    fn read_beyond_end_is_an_error_but_short_reads_ok() {
+        let (s, _) = storage(16);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"abc").unwrap();
+        assert_eq!(s.read("seg", 0, 100).unwrap().as_ref(), b"abc");
+        assert_eq!(s.read("seg", 3, 10).unwrap().len(), 0); // at tail: empty
+        assert_eq!(s.read("seg", 4, 1), Err(LtsError::BeyondEnd { length: 3 }));
+    }
+
+    #[test]
+    fn chunk_backend_failure_leaves_metadata_intact() {
+        let chunks = Arc::new(InMemoryChunkStorage::new());
+        let s = ChunkedSegmentStorage::new(
+            chunks.clone(),
+            Arc::new(InMemoryMetadataStore::new()),
+            ChunkedStorageConfig { max_chunk_bytes: 16 },
+        );
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"ok").unwrap();
+        chunks.set_unavailable(true);
+        assert_eq!(s.write("seg", 2, b"fail"), Err(LtsError::Unavailable));
+        chunks.set_unavailable(false);
+        // Length unchanged: the failed write did not commit.
+        assert_eq!(s.info("seg").unwrap().length, 2);
+        // And the append offset is still 2.
+        s.write("seg", 2, b"recovered").unwrap();
+        assert_eq!(s.read("seg", 0, 11).unwrap().as_ref(), b"okrecovered");
+    }
+
+    #[test]
+    fn chunk_names_report_layout() {
+        let (s, _) = storage(4);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"0123456789").unwrap();
+        let names = s.chunk_names("seg").unwrap();
+        assert_eq!(names.len(), 3);
+        assert_eq!(names[0].1, 0);
+        assert_eq!(names[1].1, 4);
+        assert_eq!(names[2], (names[2].0.clone(), 8, 2));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the chunked segment layout (§4.3): under any
+//! sequence of appends and truncations, reading the segment back must equal
+//! the logical byte string, and truncation must delete exactly the chunks
+//! that lie entirely below the truncation point.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use pravega_lts::{
+    ChunkedSegmentStorage, ChunkedStorageConfig, InMemoryChunkStorage, InMemoryMetadataStore,
+};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Append(Vec<u8>),
+    Truncate(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 1..200).prop_map(Op::Append),
+        (0u16..2000).prop_map(Op::Truncate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn readback_matches_reference(
+        max_chunk in 4u64..64,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+    ) {
+        let chunks = Arc::new(InMemoryChunkStorage::new());
+        let storage = ChunkedSegmentStorage::new(
+            chunks.clone(),
+            Arc::new(InMemoryMetadataStore::new()),
+            ChunkedStorageConfig { max_chunk_bytes: max_chunk },
+        );
+        storage.create("seg").unwrap();
+        let mut reference: Vec<u8> = Vec::new();
+        let mut start_offset = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Append(data) => {
+                    let new_len = storage
+                        .write("seg", reference.len() as u64, &data)
+                        .unwrap();
+                    reference.extend_from_slice(&data);
+                    prop_assert_eq!(new_len, reference.len() as u64);
+                }
+                Op::Truncate(at) => {
+                    let at = (at as u64).min(reference.len() as u64);
+                    storage.truncate("seg", at).unwrap();
+                    start_offset = start_offset.max(at);
+                }
+            }
+            let info = storage.info("seg").unwrap();
+            prop_assert_eq!(info.length, reference.len() as u64);
+            prop_assert_eq!(info.start_offset, start_offset);
+
+            // Full retained range reads back byte-for-byte.
+            if start_offset < reference.len() as u64 {
+                let got = storage
+                    .read("seg", start_offset, reference.len() - start_offset as usize)
+                    .unwrap();
+                prop_assert_eq!(got.as_ref(), &reference[start_offset as usize..]);
+            }
+            // Random interior reads match.
+            if start_offset + 2 < reference.len() as u64 {
+                let mid = start_offset + (reference.len() as u64 - start_offset) / 2;
+                let got = storage.read("seg", mid, 10).unwrap();
+                let end = (mid as usize + 10).min(reference.len());
+                prop_assert_eq!(got.as_ref(), &reference[mid as usize..end]);
+            }
+            // Chunk bookkeeping: no chunk entirely below the start offset
+            // survives, none exceeds the max chunk size.
+            for (_, start, len) in storage.chunk_names("seg").unwrap() {
+                prop_assert!(start + len > start_offset || len == 0);
+                prop_assert!(len <= max_chunk);
+            }
+        }
+
+        // Deleting removes every chunk.
+        storage.delete("seg").unwrap();
+        prop_assert!(chunks.chunk_names().is_empty());
+    }
+}

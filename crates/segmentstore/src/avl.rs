@@ -1,0 +1,444 @@
+//! A custom AVL search tree keyed by `u64` offsets.
+//!
+//! The read index keeps a sorted index of entries per segment, indexed by
+//! their start offsets, "implemented via a custom AVL search tree to minimize
+//! memory usage while not sacrificing access performance" (§4.2). The lookup
+//! the read path needs is *floor*: the greatest entry whose start offset is
+//! `<=` the requested offset.
+
+/// An AVL tree mapping `u64` keys to values of type `V`.
+#[derive(Debug)]
+pub struct AvlTree<V> {
+    root: Option<Box<Node<V>>>,
+    len: usize,
+}
+
+impl<V> Default for AvlTree<V> {
+    fn default() -> Self {
+        Self { root: None, len: 0 }
+    }
+}
+
+#[derive(Debug)]
+struct Node<V> {
+    key: u64,
+    value: V,
+    height: i32,
+    left: Option<Box<Node<V>>>,
+    right: Option<Box<Node<V>>>,
+}
+
+fn height<V>(node: &Option<Box<Node<V>>>) -> i32 {
+    node.as_ref().map(|n| n.height).unwrap_or(0)
+}
+
+impl<V> Node<V> {
+    fn new(key: u64, value: V) -> Box<Self> {
+        Box::new(Self {
+            key,
+            value,
+            height: 1,
+            left: None,
+            right: None,
+        })
+    }
+
+    fn update_height(&mut self) {
+        self.height = 1 + height(&self.left).max(height(&self.right));
+    }
+
+    fn balance_factor(&self) -> i32 {
+        height(&self.left) - height(&self.right)
+    }
+}
+
+fn rotate_right<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
+    let mut left = node.left.take().expect("rotate_right requires left child");
+    node.left = left.right.take();
+    node.update_height();
+    left.right = Some(node);
+    left.update_height();
+    left
+}
+
+fn rotate_left<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
+    let mut right = node.right.take().expect("rotate_left requires right child");
+    node.right = right.left.take();
+    node.update_height();
+    right.left = Some(node);
+    right.update_height();
+    right
+}
+
+fn rebalance<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
+    node.update_height();
+    let bf = node.balance_factor();
+    if bf > 1 {
+        if node.left.as_ref().expect("left exists").balance_factor() < 0 {
+            node.left = Some(rotate_left(node.left.take().expect("left exists")));
+        }
+        rotate_right(node)
+    } else if bf < -1 {
+        if node.right.as_ref().expect("right exists").balance_factor() > 0 {
+            node.right = Some(rotate_right(node.right.take().expect("right exists")));
+        }
+        rotate_left(node)
+    } else {
+        node
+    }
+}
+
+fn insert_node<V>(
+    node: Option<Box<Node<V>>>,
+    key: u64,
+    value: V,
+) -> (Box<Node<V>>, Option<V>) {
+    match node {
+        None => (Node::new(key, value), None),
+        Some(mut n) => {
+            if key < n.key {
+                let (child, old) = insert_node(n.left.take(), key, value);
+                n.left = Some(child);
+                (rebalance(n), old)
+            } else if key > n.key {
+                let (child, old) = insert_node(n.right.take(), key, value);
+                n.right = Some(child);
+                (rebalance(n), old)
+            } else {
+                let old = std::mem::replace(&mut n.value, value);
+                (n, Some(old))
+            }
+        }
+    }
+}
+
+fn take_min<V>(mut node: Box<Node<V>>) -> (Option<Box<Node<V>>>, Box<Node<V>>) {
+    if node.left.is_none() {
+        let right = node.right.take();
+        (right, node)
+    } else {
+        let (new_left, min) = take_min(node.left.take().expect("left exists"));
+        node.left = new_left;
+        (Some(rebalance(node)), min)
+    }
+}
+
+fn remove_node<V>(node: Option<Box<Node<V>>>, key: u64) -> (Option<Box<Node<V>>>, Option<V>) {
+    match node {
+        None => (None, None),
+        Some(mut n) => {
+            if key < n.key {
+                let (child, removed) = remove_node(n.left.take(), key);
+                n.left = child;
+                (Some(rebalance(n)), removed)
+            } else if key > n.key {
+                let (child, removed) = remove_node(n.right.take(), key);
+                n.right = child;
+                (Some(rebalance(n)), removed)
+            } else {
+                match (n.left.take(), n.right.take()) {
+                    (None, None) => (None, Some(n.value)),
+                    (Some(l), None) => (Some(l), Some(n.value)),
+                    (None, Some(r)) => (Some(r), Some(n.value)),
+                    (Some(l), Some(r)) => {
+                        let (new_right, mut successor) = take_min(r);
+                        successor.left = Some(l);
+                        successor.right = new_right;
+                        (Some(rebalance(successor)), Some(n.value))
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<V> AvlTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `key → value`, returning the previous value if the key existed.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        let (root, old) = insert_node(self.root.take(), key, value);
+        self.root = Some(root);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let (root, removed) = remove_node(self.root.take(), key);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Looks up an exact key.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            if key < n.key {
+                cur = n.left.as_deref();
+            } else if key > n.key {
+                cur = n.right.as_deref();
+            } else {
+                return Some(&n.value);
+            }
+        }
+        None
+    }
+
+    /// Mutable lookup of an exact key.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let mut cur = self.root.as_deref_mut();
+        while let Some(n) = cur {
+            if key < n.key {
+                cur = n.left.as_deref_mut();
+            } else if key > n.key {
+                cur = n.right.as_deref_mut();
+            } else {
+                return Some(&mut n.value);
+            }
+        }
+        None
+    }
+
+    /// Greatest entry with key `<= key` — the read path's primary lookup.
+    pub fn floor(&self, key: u64) -> Option<(u64, &V)> {
+        let mut best: Option<(u64, &V)> = None;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            if n.key == key {
+                return Some((n.key, &n.value));
+            } else if n.key < key {
+                best = Some((n.key, &n.value));
+                cur = n.right.as_deref();
+            } else {
+                cur = n.left.as_deref();
+            }
+        }
+        best
+    }
+
+    /// Smallest entry with key `>= key`.
+    pub fn ceiling(&self, key: u64) -> Option<(u64, &V)> {
+        let mut best: Option<(u64, &V)> = None;
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            if n.key == key {
+                return Some((n.key, &n.value));
+            } else if n.key > key {
+                best = Some((n.key, &n.value));
+                cur = n.left.as_deref();
+            } else {
+                cur = n.right.as_deref();
+            }
+        }
+        best
+    }
+
+    /// Smallest entry.
+    pub fn first(&self) -> Option<(u64, &V)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(l) = cur.left.as_deref() {
+            cur = l;
+        }
+        Some((cur.key, &cur.value))
+    }
+
+    /// Largest entry.
+    pub fn last(&self) -> Option<(u64, &V)> {
+        let mut cur = self.root.as_deref()?;
+        while let Some(r) = cur.right.as_deref() {
+            cur = r;
+        }
+        Some((cur.key, &cur.value))
+    }
+
+    /// In-order iteration over `(key, &value)`.
+    pub fn iter(&self) -> Iter<'_, V> {
+        let mut stack = Vec::new();
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            stack.push(n);
+            cur = n.left.as_deref();
+        }
+        Iter { stack }
+    }
+
+    /// All keys in order (test/debug helper).
+    pub fn keys(&self) -> Vec<u64> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+
+    /// Verifies the AVL balance invariant (test helper).
+    pub fn is_balanced(&self) -> bool {
+        fn check<V>(node: &Option<Box<Node<V>>>) -> Option<i32> {
+            match node {
+                None => Some(0),
+                Some(n) => {
+                    let lh = check(&n.left)?;
+                    let rh = check(&n.right)?;
+                    if (lh - rh).abs() > 1 {
+                        return None;
+                    }
+                    Some(1 + lh.max(rh))
+                }
+            }
+        }
+        check(&self.root).is_some()
+    }
+}
+
+/// In-order iterator over an [`AvlTree`].
+#[derive(Debug)]
+pub struct Iter<'a, V> {
+    stack: Vec<&'a Node<V>>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        let mut cur = node.right.as_deref();
+        while let Some(n) = cur {
+            self.stack.push(n);
+            cur = n.left.as_deref();
+        }
+        Some((node.key, &node.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t = AvlTree::new();
+        assert!(t.is_empty());
+        for k in [5u64, 3, 8, 1, 4, 7, 9, 2, 6] {
+            assert_eq!(t.insert(k, k * 10), None);
+        }
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.get(4), Some(&40));
+        assert_eq!(t.insert(4, 44), Some(40));
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.remove(4), Some(44));
+        assert_eq!(t.get(4), None);
+        assert_eq!(t.len(), 8);
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn floor_and_ceiling() {
+        let mut t = AvlTree::new();
+        for k in [10u64, 20, 30] {
+            t.insert(k, ());
+        }
+        assert_eq!(t.floor(5), None);
+        assert_eq!(t.floor(10).map(|(k, _)| k), Some(10));
+        assert_eq!(t.floor(25).map(|(k, _)| k), Some(20));
+        assert_eq!(t.floor(99).map(|(k, _)| k), Some(30));
+        assert_eq!(t.ceiling(5).map(|(k, _)| k), Some(10));
+        assert_eq!(t.ceiling(21).map(|(k, _)| k), Some(30));
+        assert_eq!(t.ceiling(31), None);
+        assert_eq!(t.first().map(|(k, _)| k), Some(10));
+        assert_eq!(t.last().map(|(k, _)| k), Some(30));
+    }
+
+    #[test]
+    fn sequential_inserts_stay_balanced() {
+        let mut t = AvlTree::new();
+        for k in 0..1000u64 {
+            t.insert(k, k);
+        }
+        assert!(t.is_balanced());
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.keys(), (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reverse_inserts_stay_balanced() {
+        let mut t = AvlTree::new();
+        for k in (0..1000u64).rev() {
+            t.insert(k, k);
+        }
+        assert!(t.is_balanced());
+    }
+
+    #[test]
+    fn iter_is_in_order() {
+        let mut t = AvlTree::new();
+        for k in [9u64, 1, 5, 3, 7] {
+            t.insert(k, k as i32);
+        }
+        let items: Vec<(u64, i32)> = t.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(items, vec![(1, 1), (3, 3), (5, 5), (7, 7), (9, 9)]);
+    }
+
+    #[test]
+    fn remove_with_two_children() {
+        let mut t = AvlTree::new();
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        for k in (0..100u64).step_by(3) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert!(t.is_balanced());
+        for k in 0..100u64 {
+            assert_eq!(t.get(k).is_some(), k % 3 != 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn matches_btreemap_reference(ops in prop::collection::vec(
+            (0u8..3, 0u64..200), 1..400,
+        )) {
+            let mut avl = AvlTree::new();
+            let mut reference = BTreeMap::new();
+            for (op, key) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(avl.insert(key, key), reference.insert(key, key));
+                    }
+                    1 => {
+                        prop_assert_eq!(avl.remove(key), reference.remove(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(avl.get(key), reference.get(&key));
+                        let expect_floor = reference.range(..=key).next_back().map(|(k, _)| *k);
+                        prop_assert_eq!(avl.floor(key).map(|(k, _)| k), expect_floor);
+                        let expect_ceil = reference.range(key..).next().map(|(k, _)| *k);
+                        prop_assert_eq!(avl.ceiling(key).map(|(k, _)| k), expect_ceil);
+                    }
+                }
+                prop_assert!(avl.is_balanced());
+                prop_assert_eq!(avl.len(), reference.len());
+            }
+            let avl_items: Vec<u64> = avl.keys();
+            let ref_items: Vec<u64> = reference.keys().copied().collect();
+            prop_assert_eq!(avl_items, ref_items);
+        }
+    }
+}

@@ -1,0 +1,1398 @@
+//! The segment container: the component that does the heavy lifting on
+//! segments (§2.2, §4).
+//!
+//! One container owns many segments and multiplexes all their operations
+//! into a single WAL log. The write path is:
+//!
+//! ```text
+//! append() ──▶ operation processor (validate, dedup, assign offset/seq)
+//!          ──▶ durable log (data frames ─▶ WAL)
+//!          ──▶ apply to committed state (read index + cache, attributes)
+//!          ──▶ ack client promise
+//! ```
+//!
+//! A background storage writer (started with the container) de-multiplexes
+//! committed data by segment, flushes it to LTS, truncates the WAL, and
+//! writes metadata checkpoints. If LTS lags, `append` blocks (writer
+//! throttling, §4.3). If the WAL fails, the container shuts down and must be
+//! recovered (§4.4) — recovery replays the retained WAL over the last
+//! metadata checkpoint.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use pravega_common::clock::Clock;
+use pravega_common::future::{promise, Promise, WaitError};
+use pravega_common::id::{ContainerId, WriterId};
+use pravega_common::metrics::Histogram;
+use pravega_common::rate::EwmaRate;
+use pravega_lts::ChunkedSegmentStorage;
+use pravega_wal::log::DurableDataLog;
+
+use crate::cache::{BlockCache, CacheConfig};
+use crate::dataframe::decode_frame;
+use crate::durablelog::{CommitSink, DurableLog, DurableLogConfig, EnqueuedOp, OpAck};
+use crate::error::SegmentError;
+use crate::metadata::{
+    ContainerSnapshot, SegmentInfoSnapshot, SegmentMetadata, SegmentSnapshotRecord,
+};
+use crate::operations::{Operation, TableEntryUpdate};
+use crate::readindex::{IndexRead, ReadIndex};
+use crate::storagewriter;
+use crate::tablesegment::TableState;
+
+/// Tuning knobs for a segment container.
+#[derive(Debug, Clone)]
+pub struct ContainerConfig {
+    /// WAL data frame capacity (the paper's MaxFrameSize).
+    pub max_frame_bytes: usize,
+    /// Cap on the adaptive batching delay.
+    pub max_batch_delay: Duration,
+    /// Block cache geometry.
+    pub cache: CacheConfig,
+    /// Cache utilization that triggers eviction of flushed entries.
+    pub cache_high_watermark: f64,
+    /// Operations between automatic metadata checkpoints.
+    pub checkpoint_interval_ops: u64,
+    /// Storage-writer pass interval.
+    pub flush_interval: Duration,
+    /// Largest single write to LTS.
+    pub max_flush_bytes: usize,
+    /// Unflushed-byte level at which appends block (writer throttling).
+    pub throttle_threshold_bytes: u64,
+}
+
+impl Default for ContainerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: 1024 * 1024,
+            max_batch_delay: Duration::from_millis(20),
+            cache: CacheConfig::default(),
+            cache_high_watermark: 0.85,
+            checkpoint_interval_ops: 500,
+            flush_interval: Duration::from_millis(10),
+            max_flush_bytes: 1024 * 1024,
+            throttle_threshold_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+/// Result of a segment read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadResult {
+    /// Offset the data starts at.
+    pub offset: u64,
+    /// Bytes read (may be shorter than requested).
+    pub data: Bytes,
+    /// The segment is sealed and this read reached its end.
+    pub end_of_segment: bool,
+    /// The read caught up with the tail of an unsealed segment.
+    pub at_tail: bool,
+}
+
+/// Successful append acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Segment length after this writer's events became durable.
+    pub tail: u64,
+}
+
+/// Smoothed per-segment load, reported to the control plane's auto-scaler
+/// (the data-plane side of the feedback loop, §3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentLoad {
+    /// Qualified segment name.
+    pub segment: String,
+    /// Smoothed events per second.
+    pub events_per_sec: f64,
+    /// Smoothed bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+/// A pending (pipelined) append: wait for durability when needed.
+#[derive(Debug)]
+pub struct AppendHandle {
+    inner: Promise<Result<OpAck, SegmentError>>,
+}
+
+impl AppendHandle {
+    /// Blocks until the append is durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and durability failures.
+    pub fn wait(self) -> Result<AppendOutcome, SegmentError> {
+        match self.inner.wait() {
+            Ok(Ok(OpAck::Appended { tail })) => Ok(AppendOutcome { tail }),
+            Ok(Ok(_)) => Err(SegmentError::Internal("unexpected ack kind".into())),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(SegmentError::ContainerStopped),
+        }
+    }
+
+    /// Non-blocking poll; `None` while pending.
+    pub fn try_take(&self) -> Option<Result<AppendOutcome, SegmentError>> {
+        self.inner.try_take().map(|r| match r {
+            Ok(Ok(OpAck::Appended { tail })) => Ok(AppendOutcome { tail }),
+            Ok(Ok(_)) => Err(SegmentError::Internal("unexpected ack kind".into())),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(SegmentError::ContainerStopped),
+        })
+    }
+}
+
+#[derive(Debug, Default)]
+struct PendingSegment {
+    tail: u64,
+    sealed: bool,
+    deleted: bool,
+    is_table: bool,
+    attributes: HashMap<WriterId, i64>,
+}
+
+#[derive(Debug, Default)]
+struct Processor {
+    next_seq: u64,
+    segments: HashMap<String, PendingSegment>,
+    /// Pending per-key table versions (`-1` = pending removal).
+    table_overlay: HashMap<String, HashMap<Bytes, i64>>,
+}
+
+#[derive(Debug)]
+struct SegmentState {
+    meta: SegmentMetadata,
+    index: ReadIndex,
+    table: Option<TableState>,
+}
+
+pub(crate) struct Core {
+    pub(crate) cache: BlockCache,
+    segments: HashMap<String, SegmentState>,
+    pub(crate) applied_seq: u64,
+    pub(crate) flushed: HashMap<String, u64>,
+    tail_waiters: HashMap<String, Vec<pravega_common::future::Completer<()>>>,
+    pub(crate) pending_lts_deletes: Vec<String>,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("segments", &self.segments.len())
+            .field("applied_seq", &self.applied_seq)
+            .finish()
+    }
+}
+
+impl Core {
+    /// `(name, committed length, sealed, start offset)` for every segment —
+    /// the storage writer's flush-target snapshot.
+    pub(crate) fn segments_overview(&self) -> Vec<(String, u64, bool, u64)> {
+        self.segments
+            .iter()
+            .map(|(name, st)| {
+                (
+                    name.clone(),
+                    st.meta.length,
+                    st.meta.sealed,
+                    st.meta.start_offset,
+                )
+            })
+            .collect()
+    }
+}
+
+pub(crate) struct ContainerInner {
+    pub(crate) id: ContainerId,
+    pub(crate) config: ContainerConfig,
+    clock: Arc<dyn Clock>,
+    pub(crate) core: Mutex<Core>,
+    processor: Mutex<Processor>,
+    pub(crate) lts: ChunkedSegmentStorage,
+    pub(crate) stopped: AtomicBool,
+    pub(crate) unflushed_bytes: AtomicU64,
+    pub(crate) ops_since_checkpoint: AtomicU64,
+    loads: Mutex<HashMap<String, (EwmaRate, EwmaRate)>>,
+    pub(crate) log: OnceLock<Arc<DurableLog>>,
+}
+
+impl std::fmt::Debug for ContainerInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContainerInner").field("id", &self.id).finish()
+    }
+}
+
+enum ReadDecision {
+    Return(ReadResult),
+    Wait(Promise<()>),
+    FetchLts { read_offset: u64, read_len: usize },
+    Fail(SegmentError),
+}
+
+impl ContainerInner {
+    fn log(&self) -> &Arc<DurableLog> {
+        self.log.get().expect("durable log initialized at start")
+    }
+
+    fn check_running(&self) -> Result<(), SegmentError> {
+        if self.stopped.load(Ordering::SeqCst) {
+            Err(SegmentError::ContainerStopped)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Blocks while the unflushed backlog exceeds the throttle threshold —
+    /// the integrated-tiering backpressure of §4.3.
+    fn throttle_wait(&self) -> Result<(), SegmentError> {
+        let limit = self.config.throttle_threshold_bytes;
+        let mut waited = Duration::ZERO;
+        while self.unflushed_bytes.load(Ordering::Relaxed) > limit {
+            self.check_running()?;
+            std::thread::sleep(Duration::from_millis(1));
+            waited += Duration::from_millis(1);
+            if waited > Duration::from_secs(120) {
+                return Err(SegmentError::Internal(
+                    "throttled for too long: LTS cannot absorb the ingest rate".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one committed operation. Idempotent, so recovery can replay
+    /// any retained WAL suffix over a checkpoint.
+    fn apply_committed(&self, seq: u64, op: &Operation) {
+        let now = self.clock.now_nanos();
+        let mut table_overlay_cleanup: Option<(String, Vec<Bytes>)> = None;
+        {
+            let mut guard = self.core.lock();
+            let core = &mut *guard;
+            match op {
+                Operation::CreateSegment { segment, is_table } => {
+                    core.segments.entry(segment.clone()).or_insert_with(|| SegmentState {
+                        meta: SegmentMetadata {
+                            name: segment.clone(),
+                            is_table: *is_table,
+                            last_modified_nanos: now,
+                            ..SegmentMetadata::default()
+                        },
+                        index: ReadIndex::new(),
+                        table: is_table.then(TableState::new),
+                    });
+                    core.flushed.entry(segment.clone()).or_insert(0);
+                }
+                Operation::Append {
+                    segment,
+                    offset,
+                    data,
+                    writer_id,
+                    last_event_number,
+                    ..
+                } => {
+                    let flushed = core.flushed.get(segment).copied().unwrap_or(0);
+                    if let Some(st) = core.segments.get_mut(segment) {
+                        let end = offset + data.len() as u64;
+                        if end <= st.meta.length {
+                            // Replay of an op already reflected in metadata
+                            // (recovery): re-insert only unflushed bytes.
+                            if *offset >= flushed {
+                                st.index.append(&mut core.cache, *offset, data);
+                            }
+                        } else if *offset == st.meta.length {
+                            st.index.append(&mut core.cache, *offset, data);
+                            st.meta.length = end;
+                            self.unflushed_bytes
+                                .fetch_add(data.len() as u64, Ordering::Relaxed);
+                        }
+                        // (An overlapping partial append cannot be produced
+                        // by the operation processor: sequence numbers are
+                        // assigned and enqueued under one lock.)
+                        let attr = st.attributes_entry(*writer_id);
+                        *attr = (*attr).max(*last_event_number);
+                        st.meta.last_modified_nanos = now;
+                        if let Some(waiters) = core.tail_waiters.remove(segment) {
+                            for w in waiters {
+                                w.complete(());
+                            }
+                        }
+                    }
+                }
+                Operation::Seal { segment } => {
+                    if let Some(st) = core.segments.get_mut(segment) {
+                        st.meta.sealed = true;
+                        st.meta.last_modified_nanos = now;
+                    }
+                    if let Some(waiters) = core.tail_waiters.remove(segment) {
+                        for w in waiters {
+                            w.complete(());
+                        }
+                    }
+                }
+                Operation::Truncate { segment, offset } => {
+                    if let Some(st) = core.segments.get_mut(segment) {
+                        if *offset > st.meta.start_offset {
+                            st.meta.start_offset = (*offset).min(st.meta.length);
+                            st.index.evict_below(&mut core.cache, st.meta.start_offset);
+                            st.meta.last_modified_nanos = now;
+                        }
+                    }
+                }
+                Operation::Delete { segment } => {
+                    if let Some(mut st) = core.segments.remove(segment) {
+                        let unflushed_dropped = st
+                            .meta
+                            .length
+                            .saturating_sub(core.flushed.get(segment).copied().unwrap_or(0));
+                        let _ = self.unflushed_bytes.fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |v| Some(v.saturating_sub(unflushed_dropped)),
+                        );
+                        st.index.clear(&mut core.cache);
+                    }
+                    core.flushed.remove(segment);
+                    core.pending_lts_deletes.push(segment.clone());
+                    if let Some(waiters) = core.tail_waiters.remove(segment) {
+                        for w in waiters {
+                            w.complete(());
+                        }
+                    }
+                }
+                Operation::TableUpdate { segment, entries } => {
+                    if let Some(st) = core.segments.get_mut(segment) {
+                        if let Some(table) = st.table.as_mut() {
+                            table.apply_update(seq as i64, entries);
+                            st.meta.last_modified_nanos = now;
+                        }
+                    }
+                    table_overlay_cleanup = Some((
+                        segment.clone(),
+                        entries.iter().map(|e| e.key.clone()).collect(),
+                    ));
+                }
+                Operation::TableRemove { segment, keys } => {
+                    if let Some(st) = core.segments.get_mut(segment) {
+                        if let Some(table) = st.table.as_mut() {
+                            table.apply_remove(keys);
+                            st.meta.last_modified_nanos = now;
+                        }
+                    }
+                    table_overlay_cleanup = Some((segment.clone(), keys.clone()));
+                }
+                Operation::MetadataCheckpoint { .. } => {
+                    // The checkpoint *is* the state; nothing to apply.
+                }
+            }
+            core.applied_seq = core.applied_seq.max(seq);
+            self.evict_if_needed(core);
+        }
+        self.ops_since_checkpoint.fetch_add(1, Ordering::Relaxed);
+        // Overlay entries for this op's keys are now reflected in committed
+        // state; drop them if they still carry this op's version.
+        if let Some((segment, keys)) = table_overlay_cleanup {
+            let mut processor = self.processor.lock();
+            if let Some(overlay) = processor.table_overlay.get_mut(&segment) {
+                for key in keys {
+                    if overlay.get(&key).map(|v| v.unsigned_abs()) == Some(seq) {
+                        overlay.remove(&key);
+                    }
+                }
+                if overlay.is_empty() {
+                    processor.table_overlay.remove(&segment);
+                }
+            }
+        }
+    }
+
+    fn evict_if_needed(&self, core: &mut Core) {
+        if core.cache.utilization() <= self.config.cache_high_watermark {
+            return;
+        }
+        // Evict down to 80% of the high watermark.
+        let low = (core.cache.capacity_bytes() as f64 * self.config.cache_high_watermark * 0.8)
+            as u64;
+        let target = (core.cache.used_bytes() as u64).saturating_sub(low).max(1);
+        let mut freed = 0u64;
+        let names: Vec<String> = core.segments.keys().cloned().collect();
+        for name in names {
+            if freed >= target {
+                break;
+            }
+            let flushed = core.flushed.get(&name).copied().unwrap_or(0);
+            if let Some(st) = core.segments.get_mut(&name) {
+                freed += st
+                    .index
+                    .evict_lru(&mut core.cache, flushed, target - freed);
+            }
+        }
+    }
+
+    /// Committed-state read decision (lock scope kept small; LTS fetches
+    /// happen outside the lock).
+    fn decide_read(
+        &self,
+        segment: &str,
+        offset: u64,
+        max_len: usize,
+        want_wait: bool,
+    ) -> ReadDecision {
+        let mut guard = self.core.lock();
+        let core = &mut *guard;
+        let Some(st) = core.segments.get_mut(segment) else {
+            return ReadDecision::Fail(SegmentError::NoSuchSegment);
+        };
+        if offset < st.meta.start_offset {
+            return ReadDecision::Fail(SegmentError::OffsetTruncated {
+                start_offset: st.meta.start_offset,
+            });
+        }
+        if offset > st.meta.length {
+            return ReadDecision::Fail(SegmentError::BeyondTail {
+                length: st.meta.length,
+            });
+        }
+        if offset == st.meta.length {
+            if st.meta.sealed {
+                return ReadDecision::Return(ReadResult {
+                    offset,
+                    data: Bytes::new(),
+                    end_of_segment: true,
+                    at_tail: false,
+                });
+            }
+            if !want_wait {
+                return ReadDecision::Return(ReadResult {
+                    offset,
+                    data: Bytes::new(),
+                    end_of_segment: false,
+                    at_tail: true,
+                });
+            }
+            let (completer, pr) = promise();
+            core.tail_waiters
+                .entry(segment.to_string())
+                .or_default()
+                .push(completer);
+            return ReadDecision::Wait(pr);
+        }
+        let available = ((st.meta.length - offset) as usize).min(max_len);
+        match st.index.read(&core.cache, offset, available) {
+            IndexRead::Hit(data) => ReadDecision::Return(ReadResult {
+                offset,
+                data,
+                end_of_segment: false,
+                at_tail: false,
+            }),
+            IndexRead::Miss => {
+                // Resident data never misses above the flushed offset, so
+                // this range is in LTS. Cap the fetch at the flushed point.
+                let flushed = core.flushed.get(segment).copied().unwrap_or(0);
+                let read_len = available.min((flushed.saturating_sub(offset)) as usize);
+                if read_len == 0 {
+                    return ReadDecision::Fail(SegmentError::Internal(format!(
+                        "read miss at {offset} with flushed={flushed}: cache/index invariant broken"
+                    )));
+                }
+                ReadDecision::FetchLts {
+                    read_offset: offset,
+                    read_len,
+                }
+            }
+        }
+    }
+
+    fn read(
+        &self,
+        segment: &str,
+        offset: u64,
+        max_len: usize,
+        wait: Option<Duration>,
+    ) -> Result<ReadResult, SegmentError> {
+        let deadline = wait.map(|d| std::time::Instant::now() + d);
+        loop {
+            self.check_running()?;
+            match self.decide_read(segment, offset, max_len, deadline.is_some()) {
+                ReadDecision::Return(r) => return Ok(r),
+                ReadDecision::Fail(e) => return Err(e),
+                ReadDecision::Wait(pr) => {
+                    let remaining = deadline
+                        .expect("wait decision only with deadline")
+                        .saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        return Ok(ReadResult {
+                            offset,
+                            data: Bytes::new(),
+                            end_of_segment: false,
+                            at_tail: true,
+                        });
+                    }
+                    match pr.wait_for(remaining) {
+                        Ok(()) => continue,
+                        Err(WaitError::Timeout) => {
+                            return Ok(ReadResult {
+                                offset,
+                                data: Bytes::new(),
+                                end_of_segment: false,
+                                at_tail: true,
+                            });
+                        }
+                        Err(WaitError::Broken) => return Err(SegmentError::ContainerStopped),
+                    }
+                }
+                ReadDecision::FetchLts {
+                    read_offset,
+                    read_len,
+                } => {
+                    let data = self
+                        .lts
+                        .read(segment, read_offset, read_len)
+                        .map_err(SegmentError::Lts)?;
+                    if data.is_empty() {
+                        return Err(SegmentError::Internal(
+                            "LTS returned no data for a flushed range".into(),
+                        ));
+                    }
+                    let mut guard = self.core.lock();
+                    let core = &mut *guard;
+                    if let Some(st) = core.segments.get_mut(segment) {
+                        st.index.insert_from_storage(&mut core.cache, read_offset, &data);
+                    }
+                    return Ok(ReadResult {
+                        offset: read_offset,
+                        data,
+                        end_of_segment: false,
+                        at_tail: false,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Reads exactly `len` committed bytes at `offset` (used by the storage
+    /// writer; loops over short reads).
+    pub(crate) fn read_committed_range(
+        &self,
+        segment: &str,
+        offset: u64,
+        len: usize,
+    ) -> Result<Bytes, SegmentError> {
+        let mut out = bytes::BytesMut::with_capacity(len);
+        let mut cursor = offset;
+        while out.len() < len {
+            let r = self.read(segment, cursor, len - out.len(), None)?;
+            if r.data.is_empty() {
+                return Err(SegmentError::Internal(format!(
+                    "short committed read at {cursor} (wanted {len} from {offset})"
+                )));
+            }
+            cursor += r.data.len() as u64;
+            out.extend_from_slice(&r.data);
+        }
+        Ok(out.freeze())
+    }
+
+    fn build_snapshot(&self) -> ContainerSnapshot {
+        let core = self.core.lock();
+        ContainerSnapshot {
+            applied_seq: core.applied_seq,
+            segments: core
+                .segments
+                .values()
+                .map(|st| SegmentSnapshotRecord {
+                    metadata: st.meta.clone(),
+                    table_entries: st
+                        .table
+                        .as_ref()
+                        .map(|t| t.snapshot_entries())
+                        .unwrap_or_default(),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn write_checkpoint(&self) -> Result<(), SegmentError> {
+        let snapshot = self.build_snapshot();
+        let pr = {
+            let mut processor = self.processor.lock();
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let (completer, pr) = promise();
+            self.log().enqueue(EnqueuedOp {
+                seq,
+                op: Operation::MetadataCheckpoint {
+                    snapshot: snapshot.encode(),
+                },
+                completer: Some(completer),
+                ack: OpAck::Done,
+            })?;
+            pr
+        };
+        match pr.wait() {
+            Ok(Ok(_)) => {
+                self.ops_since_checkpoint.store(0, Ordering::Relaxed);
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(SegmentError::ContainerStopped),
+        }
+    }
+
+    fn record_load(&self, segment: &str, events: u64, bytes: u64) {
+        let now = self.clock.now_nanos();
+        let mut loads = self.loads.lock();
+        let (ev, by) = loads.entry(segment.to_string()).or_insert_with(|| {
+            (
+                EwmaRate::new(Duration::from_secs(5)),
+                EwmaRate::new(Duration::from_secs(5)),
+            )
+        });
+        ev.record(events, now);
+        by.record(bytes, now);
+    }
+}
+
+impl CommitSink for ContainerInner {
+    fn apply(&self, seq: u64, op: &Operation) {
+        self.apply_committed(seq, op);
+    }
+
+    fn on_log_failure(&self, _error: &SegmentError) {
+        // §4.4: a severe error with a dependency shuts the container down.
+        self.stopped.store(true, Ordering::SeqCst);
+    }
+}
+
+impl SegmentState {
+    fn attributes_entry(&mut self, writer: WriterId) -> &mut i64 {
+        self.meta.attributes.entry(writer).or_insert(-1)
+    }
+}
+
+/// A running segment container.
+pub struct SegmentContainer {
+    inner: Arc<ContainerInner>,
+    log: Arc<DurableLog>,
+    flusher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SegmentContainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentContainer")
+            .field("id", &self.inner.id)
+            .field("stopped", &self.is_stopped())
+            .finish()
+    }
+}
+
+impl SegmentContainer {
+    /// Starts (and if necessary recovers) a container over an exclusively
+    /// owned WAL log and an LTS backend.
+    ///
+    /// Recovery reads the retained WAL, seeds state from the most recent
+    /// metadata checkpoint, and idempotently replays every retained
+    /// operation (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/LTS failures and corrupt-frame errors.
+    pub fn start(
+        id: ContainerId,
+        wal: Arc<dyn DurableDataLog>,
+        lts: ChunkedSegmentStorage,
+        clock: Arc<dyn Clock>,
+        config: ContainerConfig,
+    ) -> Result<Self, SegmentError> {
+        // ---- Recovery: read the retained log -----------------------------
+        let records = wal.read_after(None)?;
+        let mut ops: Vec<(u64, Operation)> = Vec::new();
+        for (_, frame) in &records {
+            let items = decode_frame(frame)
+                .map_err(|e| SegmentError::Internal(format!("corrupt WAL frame: {e}")))?;
+            ops.extend(items);
+        }
+        // Seed from the last checkpoint, if any.
+        let mut snapshot = ContainerSnapshot::default();
+        for (_, op) in ops.iter().rev() {
+            if let Operation::MetadataCheckpoint { snapshot: bytes } = op {
+                snapshot = ContainerSnapshot::decode(bytes)
+                    .map_err(|e| SegmentError::Internal(format!("corrupt checkpoint: {e}")))?;
+                break;
+            }
+        }
+
+        let mut segments: HashMap<String, SegmentState> = HashMap::new();
+        let mut flushed: HashMap<String, u64> = HashMap::new();
+        for record in snapshot.segments {
+            let name = record.metadata.name.clone();
+            let table = record
+                .metadata
+                .is_table
+                .then(|| TableState::from_entries(record.table_entries));
+            let lts_len = lts.info(&name).map(|i| i.length).unwrap_or(0);
+            flushed.insert(name.clone(), lts_len);
+            segments.insert(
+                name,
+                SegmentState {
+                    meta: record.metadata,
+                    index: ReadIndex::new(),
+                    table,
+                },
+            );
+        }
+
+        let inner = Arc::new(ContainerInner {
+            id,
+            clock,
+            core: Mutex::new(Core {
+                cache: BlockCache::new(config.cache),
+                segments,
+                applied_seq: snapshot.applied_seq,
+                flushed,
+                tail_waiters: HashMap::new(),
+                pending_lts_deletes: Vec::new(),
+            }),
+            processor: Mutex::new(Processor::default()),
+            lts,
+            stopped: AtomicBool::new(false),
+            unflushed_bytes: AtomicU64::new(0),
+            ops_since_checkpoint: AtomicU64::new(0),
+            loads: Mutex::new(HashMap::new()),
+            log: OnceLock::new(),
+            config,
+        });
+
+        // Replay every retained operation idempotently.
+        let max_seq = ops.iter().map(|(s, _)| *s).max().unwrap_or(0);
+        for (seq, op) in &ops {
+            if matches!(op, Operation::MetadataCheckpoint { .. }) {
+                continue;
+            }
+            // New segments discovered during replay need flushed offsets.
+            if let Operation::CreateSegment { segment, .. } = op {
+                let lts_len = inner.lts.info(segment).map(|i| i.length).unwrap_or(0);
+                inner.core.lock().flushed.insert(segment.clone(), lts_len);
+            }
+            inner.apply_committed(*seq, op);
+        }
+        // Recompute the unflushed backlog from scratch (replay double-counts
+        // are possible through the idempotent path).
+        {
+            let core = inner.core.lock();
+            let backlog: u64 = core
+                .segments
+                .iter()
+                .map(|(name, st)| {
+                    st.meta
+                        .length
+                        .saturating_sub(core.flushed.get(name).copied().unwrap_or(0))
+                })
+                .sum();
+            inner.unflushed_bytes.store(backlog, Ordering::Relaxed);
+        }
+
+        // Seed the operation processor from committed state.
+        {
+            let core = inner.core.lock();
+            let mut processor = inner.processor.lock();
+            processor.next_seq = core.applied_seq.max(max_seq) + 1;
+            for (name, st) in &core.segments {
+                processor.segments.insert(
+                    name.clone(),
+                    PendingSegment {
+                        tail: st.meta.length,
+                        sealed: st.meta.sealed,
+                        deleted: false,
+                        is_table: st.meta.is_table,
+                        attributes: st.meta.attributes.clone(),
+                    },
+                );
+            }
+        }
+
+        let log = DurableLog::start(
+            wal,
+            inner.clone() as Arc<dyn CommitSink>,
+            DurableLogConfig {
+                max_frame_bytes: inner.config.max_frame_bytes,
+                max_batch_delay: inner.config.max_batch_delay,
+            },
+        );
+        inner
+            .log
+            .set(log.clone())
+            .expect("log set exactly once at startup");
+
+        let flusher = storagewriter::start_flusher(inner.clone());
+        Ok(Self {
+            inner,
+            log,
+            flusher: Mutex::new(Some(flusher)),
+        })
+    }
+
+    /// This container's id.
+    pub fn id(&self) -> ContainerId {
+        self.inner.id
+    }
+
+    /// Whether the container has shut down (WAL failure or explicit stop).
+    pub fn is_stopped(&self) -> bool {
+        self.inner.stopped.load(Ordering::SeqCst)
+    }
+
+    /// Creates a segment.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::SegmentExists`] and pipeline failures.
+    pub fn create_segment(&self, name: &str, is_table: bool) -> Result<(), SegmentError> {
+        self.inner.check_running()?;
+        let pr = {
+            let mut processor = self.inner.processor.lock();
+            if processor.segments.contains_key(name) {
+                return Err(SegmentError::SegmentExists);
+            }
+            processor.segments.insert(
+                name.to_string(),
+                PendingSegment {
+                    is_table,
+                    ..PendingSegment::default()
+                },
+            );
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let (completer, pr) = promise();
+            // Enqueue while holding the lock: sequence order must equal
+            // queue order or recovery/apply would see reordered operations.
+            self.log.enqueue(EnqueuedOp {
+                seq,
+                op: Operation::CreateSegment {
+                    segment: name.to_string(),
+                    is_table,
+                },
+                completer: Some(completer),
+                ack: OpAck::Done,
+            })?;
+            pr
+        };
+        wait_done(pr)
+    }
+
+    /// Appends a block of events (pipelined): returns immediately with a
+    /// handle that resolves once the data is durable.
+    ///
+    /// Deduplication: if `last_event_number` is not beyond the writer's
+    /// recorded watermark the append is acknowledged without re-writing
+    /// (exactly-once, §3.2). Blocks while LTS backpressure is active.
+    pub fn append(
+        &self,
+        name: &str,
+        data: Bytes,
+        writer_id: WriterId,
+        last_event_number: i64,
+        event_count: u32,
+        expected_offset: Option<u64>,
+    ) -> AppendHandle {
+        if let Err(e) = self.inner.check_running().and_then(|()| self.inner.throttle_wait()) {
+            return AppendHandle {
+                inner: Promise::ready(Err(e)),
+            };
+        }
+        let enqueue = {
+            let mut processor = self.inner.processor.lock();
+            let Some(pending) = processor.segments.get_mut(name) else {
+                return AppendHandle {
+                    inner: Promise::ready(Err(SegmentError::NoSuchSegment)),
+                };
+            };
+            if pending.deleted {
+                return AppendHandle {
+                    inner: Promise::ready(Err(SegmentError::NoSuchSegment)),
+                };
+            }
+            if pending.sealed {
+                return AppendHandle {
+                    inner: Promise::ready(Err(SegmentError::SegmentSealed)),
+                };
+            }
+            if let Some(expected) = expected_offset {
+                if pending.tail != expected {
+                    return AppendHandle {
+                        inner: Promise::ready(Err(SegmentError::ConditionalCheckFailed {
+                            expected: pending.tail,
+                            actual: expected,
+                        })),
+                    };
+                }
+            }
+            let watermark = pending.attributes.get(&writer_id).copied().unwrap_or(-1);
+            if last_event_number <= watermark {
+                // Duplicate (reconnection resend): ack without re-writing.
+                return AppendHandle {
+                    inner: Promise::ready(Ok(OpAck::Appended { tail: pending.tail })),
+                };
+            }
+            let offset = pending.tail;
+            pending.tail += data.len() as u64;
+            pending.attributes.insert(writer_id, last_event_number);
+            let tail = pending.tail;
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let (completer, pr) = promise();
+            let bytes = data.len() as u64;
+            let op = Operation::Append {
+                segment: name.to_string(),
+                offset,
+                data,
+                writer_id,
+                last_event_number,
+                event_count,
+            };
+            // Enqueue while holding the lock (sequence order == queue order).
+            if let Err(e) = self.log.enqueue(EnqueuedOp {
+                seq,
+                op,
+                completer: Some(completer),
+                ack: OpAck::Appended { tail },
+            }) {
+                return AppendHandle {
+                    inner: Promise::ready(Err(e)),
+                };
+            }
+            (pr, bytes, event_count)
+        };
+        let (pr, bytes, events) = enqueue;
+        self.inner.record_load(name, events as u64, bytes);
+        AppendHandle { inner: pr }
+    }
+
+    /// Writer handshake: the last *durable* event number for `writer_id`
+    /// (`-1` if it never wrote here). Used to resume exactly-once (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`].
+    pub fn setup_append(&self, name: &str, writer_id: WriterId) -> Result<i64, SegmentError> {
+        self.inner.check_running()?;
+        let core = self.inner.core.lock();
+        let st = core.segments.get(name).ok_or(SegmentError::NoSuchSegment)?;
+        Ok(st.meta.attributes.get(&writer_id).copied().unwrap_or(-1))
+    }
+
+    /// Reads committed data. With `wait`, a read at the tail blocks up to
+    /// that long for new data (tail reads, §4.2). Cache misses are served
+    /// from LTS transparently.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`], [`SegmentError::OffsetTruncated`],
+    /// [`SegmentError::BeyondTail`], LTS failures.
+    pub fn read(
+        &self,
+        name: &str,
+        offset: u64,
+        max_len: usize,
+        wait: Option<Duration>,
+    ) -> Result<ReadResult, SegmentError> {
+        self.inner.read(name, offset, max_len, wait)
+    }
+
+    /// Committed segment metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`].
+    pub fn get_info(&self, name: &str) -> Result<SegmentInfoSnapshot, SegmentError> {
+        self.inner.check_running()?;
+        let core = self.inner.core.lock();
+        let st = core.segments.get(name).ok_or(SegmentError::NoSuchSegment)?;
+        Ok(SegmentInfoSnapshot {
+            name: st.meta.name.clone(),
+            length: st.meta.length,
+            start_offset: st.meta.start_offset,
+            sealed: st.meta.sealed,
+            is_table: st.meta.is_table,
+            last_modified_nanos: st.meta.last_modified_nanos,
+        })
+    }
+
+    /// Seals the segment; returns its final length. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`] and pipeline failures.
+    pub fn seal(&self, name: &str) -> Result<u64, SegmentError> {
+        self.inner.check_running()?;
+        let (pr, final_len) = {
+            let mut processor = self.inner.processor.lock();
+            let pending = processor
+                .segments
+                .get_mut(name)
+                .filter(|p| !p.deleted)
+                .ok_or(SegmentError::NoSuchSegment)?;
+            pending.sealed = true;
+            let final_len = pending.tail;
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let (completer, pr) = promise();
+            self.log.enqueue(EnqueuedOp {
+                seq,
+                op: Operation::Seal {
+                    segment: name.to_string(),
+                },
+                completer: Some(completer),
+                ack: OpAck::Done,
+            })?;
+            (pr, final_len)
+        };
+        wait_done(pr)?;
+        Ok(final_len)
+    }
+
+    /// Truncates the segment at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::BeyondTail`] if `offset` exceeds the tail.
+    pub fn truncate(&self, name: &str, offset: u64) -> Result<(), SegmentError> {
+        self.inner.check_running()?;
+        let pr = {
+            let mut processor = self.inner.processor.lock();
+            let pending = processor
+                .segments
+                .get_mut(name)
+                .filter(|p| !p.deleted)
+                .ok_or(SegmentError::NoSuchSegment)?;
+            if offset > pending.tail {
+                return Err(SegmentError::BeyondTail {
+                    length: pending.tail,
+                });
+            }
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let (completer, pr) = promise();
+            self.log.enqueue(EnqueuedOp {
+                seq,
+                op: Operation::Truncate {
+                    segment: name.to_string(),
+                    offset,
+                },
+                completer: Some(completer),
+                ack: OpAck::Done,
+            })?;
+            pr
+        };
+        wait_done(pr)
+    }
+
+    /// Deletes the segment (data in WAL, cache and LTS is reclaimed).
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`] and pipeline failures.
+    pub fn delete(&self, name: &str) -> Result<(), SegmentError> {
+        self.inner.check_running()?;
+        let pr = {
+            let mut processor = self.inner.processor.lock();
+            let pending = processor
+                .segments
+                .get_mut(name)
+                .filter(|p| !p.deleted)
+                .ok_or(SegmentError::NoSuchSegment)?;
+            pending.deleted = true;
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let (completer, pr) = promise();
+            self.log.enqueue(EnqueuedOp {
+                seq,
+                op: Operation::Delete {
+                    segment: name.to_string(),
+                },
+                completer: Some(completer),
+                ack: OpAck::Done,
+            })?;
+            pr
+        };
+        wait_done(pr)?;
+        self.inner.processor.lock().segments.remove(name);
+        Ok(())
+    }
+
+    /// The writer watermark attribute (committed).
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`].
+    pub fn get_attribute(&self, name: &str, writer_id: WriterId) -> Result<i64, SegmentError> {
+        self.setup_append(name, writer_id)
+    }
+
+    /// Conditionally updates table entries (atomic across keys): each entry
+    /// is `(key, value, expected_version)` with `None` = unconditional and
+    /// `Some(-1)` = must-not-exist. Returns the new version per entry.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::TableKeyBadVersion`] (nothing applied),
+    /// [`SegmentError::NotATable`], pipeline failures.
+    pub fn table_update(
+        &self,
+        name: &str,
+        entries: Vec<(Bytes, Bytes, Option<i64>)>,
+    ) -> Result<Vec<i64>, SegmentError> {
+        self.inner.check_running()?;
+        let enqueue = {
+            let mut processor = self.inner.processor.lock();
+            let pending = processor
+                .segments
+                .get(name)
+                .filter(|p| !p.deleted)
+                .ok_or(SegmentError::NoSuchSegment)?;
+            if !pending.is_table {
+                return Err(SegmentError::NotATable);
+            }
+            // Validate against committed state + pending overlay.
+            {
+                let core = self.inner.core.lock();
+                let table = core
+                    .segments
+                    .get(name)
+                    .and_then(|st| st.table.as_ref())
+                    .cloned()
+                    .unwrap_or_default();
+                let overlay = processor.table_overlay.get(name);
+                table.check_versions(
+                    entries.iter().map(|(k, _, v)| (k.as_ref(), *v)),
+                    |key| overlay.and_then(|o| o.get(key).copied()),
+                )?;
+            }
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let overlay = processor.table_overlay.entry(name.to_string()).or_default();
+            for (k, _, _) in &entries {
+                overlay.insert(k.clone(), seq as i64);
+            }
+            let (completer, pr) = promise();
+            let versions = vec![seq as i64; entries.len()];
+            self.log.enqueue(EnqueuedOp {
+                seq,
+                op: Operation::TableUpdate {
+                    segment: name.to_string(),
+                    entries: entries
+                        .into_iter()
+                        .map(|(key, value, _)| TableEntryUpdate { key, value })
+                        .collect(),
+                },
+                completer: Some(completer),
+                ack: OpAck::TableVersions(versions),
+            })?;
+            pr
+        };
+        let pr = enqueue;
+        match pr.wait() {
+            Ok(Ok(OpAck::TableVersions(v))) => Ok(v),
+            Ok(Ok(_)) => Err(SegmentError::Internal("unexpected ack kind".into())),
+            Ok(Err(e)) => Err(e),
+            Err(_) => Err(SegmentError::ContainerStopped),
+        }
+    }
+
+    /// Conditionally removes table keys: `(key, expected_version)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SegmentContainer::table_update`].
+    pub fn table_remove(
+        &self,
+        name: &str,
+        keys: Vec<(Bytes, Option<i64>)>,
+    ) -> Result<(), SegmentError> {
+        self.inner.check_running()?;
+        let pr = {
+            let mut processor = self.inner.processor.lock();
+            let pending = processor
+                .segments
+                .get(name)
+                .filter(|p| !p.deleted)
+                .ok_or(SegmentError::NoSuchSegment)?;
+            if !pending.is_table {
+                return Err(SegmentError::NotATable);
+            }
+            {
+                let core = self.inner.core.lock();
+                let table = core
+                    .segments
+                    .get(name)
+                    .and_then(|st| st.table.as_ref())
+                    .cloned()
+                    .unwrap_or_default();
+                let overlay = processor.table_overlay.get(name);
+                table.check_versions(
+                    keys.iter().map(|(k, v)| (k.as_ref(), *v)),
+                    |key| {
+                        overlay.and_then(|o| o.get(key).copied()).map(|v| {
+                            if v < 0 {
+                                crate::tablesegment::VERSION_NOT_EXISTS
+                            } else {
+                                v
+                            }
+                        })
+                    },
+                )?;
+            }
+            let seq = processor.next_seq;
+            processor.next_seq += 1;
+            let overlay = processor.table_overlay.entry(name.to_string()).or_default();
+            for (k, _) in &keys {
+                overlay.insert(k.clone(), -(seq as i64));
+            }
+            let (completer, pr) = promise();
+            self.log.enqueue(EnqueuedOp {
+                seq,
+                op: Operation::TableRemove {
+                    segment: name.to_string(),
+                    keys: keys.into_iter().map(|(k, _)| k).collect(),
+                },
+                completer: Some(completer),
+                ack: OpAck::Done,
+            })?;
+            pr
+        };
+        wait_done(pr)
+    }
+
+    /// Point reads from a table segment (committed state).
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NotATable`], [`SegmentError::NoSuchSegment`].
+    pub fn table_get(
+        &self,
+        name: &str,
+        keys: &[Bytes],
+    ) -> Result<Vec<Option<(Bytes, i64)>>, SegmentError> {
+        self.inner.check_running()?;
+        let core = self.inner.core.lock();
+        let st = core.segments.get(name).ok_or(SegmentError::NoSuchSegment)?;
+        let table = st.table.as_ref().ok_or(SegmentError::NotATable)?;
+        Ok(keys.iter().map(|k| table.get(k)).collect())
+    }
+
+    /// Scans a table segment in key order.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NotATable`], [`SegmentError::NoSuchSegment`].
+    pub fn table_iterate(
+        &self,
+        name: &str,
+        after: Option<Bytes>,
+        limit: usize,
+    ) -> Result<(Vec<(Bytes, Bytes, i64)>, Option<Bytes>), SegmentError> {
+        self.inner.check_running()?;
+        let core = self.inner.core.lock();
+        let st = core.segments.get(name).ok_or(SegmentError::NoSuchSegment)?;
+        let table = st.table.as_ref().ok_or(SegmentError::NotATable)?;
+        Ok(table.iterate(after.as_ref(), limit))
+    }
+
+    /// Smoothed load per segment: the feedback the controller's auto-scaler
+    /// consumes (§3.1).
+    pub fn load_report(&self) -> Vec<SegmentLoad> {
+        let now = self.inner.clock.now_nanos();
+        let loads = self.inner.loads.lock();
+        loads
+            .iter()
+            .map(|(segment, (ev, by))| SegmentLoad {
+                segment: segment.clone(),
+                events_per_sec: ev.rate(now),
+                bytes_per_sec: by.rate(now),
+            })
+            .collect()
+    }
+
+    /// Forces one storage-writer pass (flush to LTS + WAL truncation).
+    /// Useful in tests; the background flusher does this continuously.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LTS/pipeline failures.
+    pub fn flush_once(&self) -> Result<bool, SegmentError> {
+        storagewriter::flush_pass(&self.inner)
+    }
+
+    /// Writes a metadata checkpoint now.
+    ///
+    /// # Errors
+    ///
+    /// Pipeline failures.
+    pub fn checkpoint(&self) -> Result<(), SegmentError> {
+        self.inner.write_checkpoint()
+    }
+
+    /// Bytes committed but not yet flushed to LTS.
+    pub fn unflushed_bytes(&self) -> u64 {
+        self.inner.unflushed_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Current cache utilization in `[0, 1]`.
+    pub fn cache_utilization(&self) -> f64 {
+        self.inner.core.lock().cache.utilization()
+    }
+
+    /// Number of committed-but-untruncated WAL frames.
+    pub fn retained_wal_frames(&self) -> usize {
+        self.log.retained_frames()
+    }
+
+    /// Operations queued in the pipeline, not yet durable.
+    pub fn pending_operations(&self) -> usize {
+        self.log.pending_ops()
+    }
+
+    /// Histogram of WAL append latencies (nanoseconds).
+    pub fn wal_latency(&self) -> Arc<Histogram> {
+        self.log.wal_latency()
+    }
+
+    /// Histogram of committed data-frame sizes (bytes).
+    pub fn frame_sizes(&self) -> Arc<Histogram> {
+        self.log.frame_sizes()
+    }
+
+    /// Names of live segments (diagnostics).
+    pub fn segment_names(&self) -> Vec<String> {
+        let core = self.inner.core.lock();
+        let mut names: Vec<String> = core.segments.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Stops the container: drains the pipeline and joins threads.
+    pub fn stop(&self) {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        self.log.stop();
+        if let Some(h) = self.flusher.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SegmentContainer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn wait_done(pr: Promise<Result<OpAck, SegmentError>>) -> Result<(), SegmentError> {
+    match pr.wait() {
+        Ok(Ok(_)) => Ok(()),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(SegmentError::ContainerStopped),
+    }
+}

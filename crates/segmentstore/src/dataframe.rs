@@ -1,0 +1,239 @@
+//! Data frames: the container's second level of batching (§4.1).
+//!
+//! The segment container aggregates multiple segment operations into a data
+//! frame and writes the frame to the WAL. When the processing queue runs
+//! dry, the builder waits for
+//!
+//! ```text
+//! Delay = RecentLatency · (1 − AvgWriteSize / MaxFrameSize)
+//! ```
+//!
+//! before closing the frame: high recent fill rates mean throughput is
+//! already maximized (don't wait), underutilized frames justify waiting a
+//! little for more operations to batch together.
+
+use std::time::Duration;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use pravega_common::buf::{crc32c, get_bytes, get_u32, get_u64, DecodeError};
+
+use crate::operations::Operation;
+
+const FRAME_MAGIC: u32 = 0x5052_4652; // "PRFR"
+
+/// Computes the adaptive batching delay of §4.1.
+///
+/// `recent_latency` is the smoothed recent WAL append latency,
+/// `avg_write_size` the smoothed recent frame size, `max_frame_size` the
+/// frame capacity. The result is capped at `max_delay`.
+pub fn batch_delay(
+    recent_latency: Duration,
+    avg_write_size: f64,
+    max_frame_size: f64,
+    max_delay: Duration,
+) -> Duration {
+    let fill = (avg_write_size / max_frame_size).clamp(0.0, 1.0);
+    let delay = recent_latency.mul_f64(1.0 - fill);
+    delay.min(max_delay)
+}
+
+/// Accumulates serialized operations into a frame.
+#[derive(Debug)]
+pub struct DataFrameBuilder {
+    max_frame_bytes: usize,
+    payload: BytesMut,
+    ops: u32,
+    first_seq: Option<u64>,
+    last_seq: Option<u64>,
+}
+
+impl DataFrameBuilder {
+    /// Creates a builder with the given frame capacity.
+    pub fn new(max_frame_bytes: usize) -> Self {
+        Self {
+            max_frame_bytes,
+            payload: BytesMut::new(),
+            ops: 0,
+            first_seq: None,
+            last_seq: None,
+        }
+    }
+
+    /// Adds `(seq, op)` to the frame.
+    pub fn add(&mut self, seq: u64, op: &Operation) {
+        self.payload.put_u64(seq);
+        let mut op_buf = BytesMut::with_capacity(op.encoded_len());
+        op.encode(&mut op_buf);
+        self.payload.put_u32(op_buf.len() as u32);
+        self.payload.put_slice(&op_buf);
+        self.ops += 1;
+        if self.first_seq.is_none() {
+            self.first_seq = Some(seq);
+        }
+        self.last_seq = Some(seq);
+    }
+
+    /// Current payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the builder holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+
+    /// Number of operations buffered.
+    pub fn op_count(&self) -> u32 {
+        self.ops
+    }
+
+    /// Whether adding more data would exceed the frame capacity.
+    pub fn is_full(&self) -> bool {
+        self.payload.len() >= self.max_frame_bytes
+    }
+
+    /// Serializes the frame and resets the builder. Returns `None` if empty.
+    pub fn seal(&mut self) -> Option<Bytes> {
+        if self.is_empty() {
+            return None;
+        }
+        let payload = std::mem::take(&mut self.payload).freeze();
+        let mut frame = BytesMut::with_capacity(payload.len() + 16);
+        frame.put_u32(FRAME_MAGIC);
+        frame.put_u32(self.ops);
+        frame.put_u32(crc32c(&payload));
+        frame.put_u32(payload.len() as u32);
+        frame.put_slice(&payload);
+        self.ops = 0;
+        self.first_seq = None;
+        self.last_seq = None;
+        Some(frame.freeze())
+    }
+}
+
+/// Decodes a frame into its `(seq, op)` pairs.
+///
+/// # Errors
+///
+/// [`DecodeError`] on bad magic, CRC mismatch or truncation.
+pub fn decode_frame(frame: &Bytes) -> Result<Vec<(u64, Operation)>, DecodeError> {
+    let mut buf = frame.clone();
+    if get_u32(&mut buf, "frame magic")? != FRAME_MAGIC {
+        return Err(DecodeError::new("bad frame magic"));
+    }
+    let count = get_u32(&mut buf, "frame op count")?;
+    let crc = get_u32(&mut buf, "frame crc")?;
+    let payload = get_bytes(&mut buf, "frame payload")?;
+    if crc32c(&payload) != crc {
+        return Err(DecodeError::new("frame crc mismatch"));
+    }
+    let mut items = Vec::with_capacity(count as usize);
+    let mut p = payload;
+    for _ in 0..count {
+        let seq = get_u64(&mut p, "op seq")?;
+        let mut op_bytes = get_bytes(&mut p, "op bytes")?;
+        items.push((seq, Operation::decode(&mut op_bytes)?));
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use pravega_common::id::WriterId;
+
+    fn sample_op(i: u64) -> Operation {
+        Operation::Append {
+            segment: format!("s/t/{i}"),
+            offset: i * 100,
+            data: Bytes::from(format!("payload-{i}")),
+            writer_id: WriterId(i as u128),
+            last_event_number: i as i64,
+            event_count: 1,
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut b = DataFrameBuilder::new(1 << 20);
+        for i in 0..10u64 {
+            b.add(i, &sample_op(i));
+        }
+        assert_eq!(b.op_count(), 10);
+        let frame = b.seal().unwrap();
+        assert!(b.is_empty());
+        let items = decode_frame(&frame).unwrap();
+        assert_eq!(items.len(), 10);
+        for (i, (seq, op)) in items.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(op, &sample_op(i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_builder_seals_to_none() {
+        let mut b = DataFrameBuilder::new(1024);
+        assert!(b.seal().is_none());
+    }
+
+    #[test]
+    fn full_detection() {
+        let mut b = DataFrameBuilder::new(64);
+        assert!(!b.is_full());
+        b.add(0, &sample_op(0));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn corrupt_frame_detected() {
+        let mut b = DataFrameBuilder::new(1024);
+        b.add(0, &sample_op(0));
+        let frame = b.seal().unwrap();
+        let mut bad = frame.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        assert!(decode_frame(&Bytes::from(bad)).is_err());
+        let mut wrong_magic = frame.to_vec();
+        wrong_magic[0] ^= 0xff;
+        assert!(decode_frame(&Bytes::from(wrong_magic)).is_err());
+    }
+
+    #[test]
+    fn delay_formula_matches_paper() {
+        let latency = Duration::from_millis(10);
+        let max_delay = Duration::from_millis(100);
+        // Empty recent frames: wait the full recent latency.
+        assert_eq!(
+            batch_delay(latency, 0.0, 1_000_000.0, max_delay),
+            Duration::from_millis(10)
+        );
+        // Half-full frames: wait half the latency.
+        assert_eq!(
+            batch_delay(latency, 500_000.0, 1_000_000.0, max_delay),
+            Duration::from_millis(5)
+        );
+        // Full frames: throughput already maximized, no wait.
+        assert_eq!(
+            batch_delay(latency, 1_000_000.0, 1_000_000.0, max_delay),
+            Duration::ZERO
+        );
+        // Oversized average clamps to zero rather than going negative.
+        assert_eq!(
+            batch_delay(latency, 2_000_000.0, 1_000_000.0, max_delay),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn delay_is_capped() {
+        let delay = batch_delay(
+            Duration::from_secs(10),
+            0.0,
+            1_000_000.0,
+            Duration::from_millis(20),
+        );
+        assert_eq!(delay, Duration::from_millis(20));
+    }
+}

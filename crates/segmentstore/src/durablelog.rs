@@ -1,0 +1,679 @@
+//! The container's durable log: the operation pipeline of §4.1.
+//!
+//! Operations from *all* of a container's segments are multiplexed into a
+//! single WAL log. A builder thread aggregates operations into data frames
+//! (waiting the adaptive delay when the queue runs dry); a commit thread
+//! waits for WAL acknowledgements **in order**, applies the committed
+//! operations to the container state, and completes client promises.
+//!
+//! The log also tracks, per committed frame, the highest append offset per
+//! segment — the bookkeeping that lets the storage writer truncate the WAL
+//! once data reaches LTS without ever dropping an unflushed byte (§4.3).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use pravega_common::future::Completer;
+use pravega_common::metrics::Histogram;
+use pravega_common::rate::EwmaValue;
+use pravega_wal::log::{DurableDataLog, LogAddress};
+
+use crate::dataframe::{batch_delay, DataFrameBuilder};
+use crate::error::SegmentError;
+use crate::operations::Operation;
+
+/// What an acknowledged operation reports back to the caller.
+#[derive(Debug, Clone)]
+pub(crate) enum OpAck {
+    /// Generic success.
+    Done,
+    /// Append success; `tail` is the segment length after the append.
+    Appended {
+        /// Segment length after the append.
+        tail: u64,
+    },
+    /// Table update success with assigned versions.
+    TableVersions(Vec<i64>),
+}
+
+pub(crate) type OpCompleter = Completer<Result<OpAck, SegmentError>>;
+
+/// An operation queued for durable processing.
+pub(crate) struct EnqueuedOp {
+    pub seq: u64,
+    pub op: Operation,
+    pub completer: Option<OpCompleter>,
+    pub ack: OpAck,
+}
+
+/// The consumer of committed operations (the container).
+pub(crate) trait CommitSink: Send + Sync + 'static {
+    /// Applies a durably-committed operation to in-memory state.
+    fn apply(&self, seq: u64, op: &Operation);
+    /// Called once when the WAL pipeline fails; the container shuts down
+    /// (§4.4 failure handling).
+    fn on_log_failure(&self, error: &SegmentError);
+}
+
+/// Per-committed-frame bookkeeping for WAL truncation.
+#[derive(Debug)]
+struct FrameRecord {
+    addr: LogAddress,
+    /// Highest append end-offset per segment in this frame.
+    append_ends: Vec<(String, u64)>,
+    has_checkpoint: bool,
+}
+
+struct CommitBatch {
+    items: Vec<EnqueuedOp>,
+    future: pravega_wal::log::AppendFuture,
+    enqueued_at: Instant,
+}
+
+/// Tuning for the durable log.
+#[derive(Debug, Clone)]
+pub struct DurableLogConfig {
+    /// Frame capacity (the paper's MaxFrameSize, e.g. 1 MB).
+    pub max_frame_bytes: usize,
+    /// Upper bound on the adaptive batching delay.
+    pub max_batch_delay: Duration,
+}
+
+impl Default for DurableLogConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: 1024 * 1024,
+            max_batch_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+struct LogShared {
+    wal: Arc<dyn DurableDataLog>,
+    frames: Mutex<VecDeque<FrameRecord>>,
+    recent_latency_secs: Mutex<EwmaValue>,
+    avg_frame_size: Mutex<EwmaValue>,
+    failed: AtomicBool,
+    queued_ops: AtomicUsize,
+    queued_bytes: AtomicU64,
+    frame_size_hist: Arc<Histogram>,
+    wal_latency_nanos: Arc<Histogram>,
+}
+
+/// The operation pipeline: enqueue → frame → WAL → apply → ack.
+pub(crate) struct DurableLog {
+    tx: Mutex<Option<Sender<EnqueuedOp>>>,
+    shared: Arc<LogShared>,
+    builder_handle: Mutex<Option<JoinHandle<()>>>,
+    commit_handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for DurableLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLog")
+            .field("failed", &self.is_failed())
+            .field("queued_ops", &self.shared.queued_ops.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl DurableLog {
+    /// Starts the pipeline over `wal`, delivering committed ops to `sink`.
+    pub fn start(
+        wal: Arc<dyn DurableDataLog>,
+        sink: Arc<dyn CommitSink>,
+        config: DurableLogConfig,
+    ) -> Arc<Self> {
+        let shared = Arc::new(LogShared {
+            wal: wal.clone(),
+            frames: Mutex::new(VecDeque::new()),
+            recent_latency_secs: Mutex::new(EwmaValue::new(0.3)),
+            avg_frame_size: Mutex::new(EwmaValue::new(0.3)),
+            failed: AtomicBool::new(false),
+            queued_ops: AtomicUsize::new(0),
+            queued_bytes: AtomicU64::new(0),
+            frame_size_hist: Arc::new(Histogram::new()),
+            wal_latency_nanos: Arc::new(Histogram::new()),
+        });
+
+        let (op_tx, op_rx) = unbounded::<EnqueuedOp>();
+        let (commit_tx, commit_rx) = unbounded::<CommitBatch>();
+
+        let builder_shared = shared.clone();
+        let builder_handle = std::thread::Builder::new()
+            .name("durablelog-builder".into())
+            .spawn(move || builder_loop(op_rx, commit_tx, builder_shared, config))
+            .expect("spawn frame builder");
+
+        let commit_shared = shared.clone();
+        let commit_handle = std::thread::Builder::new()
+            .name("durablelog-commit".into())
+            .spawn(move || commit_loop(commit_rx, commit_shared, sink))
+            .expect("spawn committer");
+
+        Arc::new(Self {
+            tx: Mutex::new(Some(op_tx)),
+            shared,
+            builder_handle: Mutex::new(Some(builder_handle)),
+            commit_handle: Mutex::new(Some(commit_handle)),
+        })
+    }
+
+    /// Queues an operation.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::ContainerStopped`] if the pipeline has failed/stopped.
+    pub fn enqueue(&self, op: EnqueuedOp) -> Result<(), SegmentError> {
+        if self.shared.failed.load(Ordering::SeqCst) {
+            return Err(SegmentError::ContainerStopped);
+        }
+        let size = op.op.encoded_len() as u64;
+        let tx = self.tx.lock();
+        match tx.as_ref() {
+            Some(tx) => {
+                self.shared.queued_ops.fetch_add(1, Ordering::Relaxed);
+                self.shared.queued_bytes.fetch_add(size, Ordering::Relaxed);
+                tx.send(op).map_err(|_| SegmentError::ContainerStopped)
+            }
+            None => Err(SegmentError::ContainerStopped),
+        }
+    }
+
+    /// Whether the pipeline has permanently failed.
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::SeqCst)
+    }
+
+    /// Operations queued but not yet committed.
+    pub fn pending_ops(&self) -> usize {
+        self.shared.queued_ops.load(Ordering::Relaxed)
+    }
+
+    /// Histogram of committed frame sizes (bytes).
+    pub fn frame_sizes(&self) -> Arc<Histogram> {
+        self.shared.frame_size_hist.clone()
+    }
+
+    /// Histogram of WAL append latencies (nanoseconds, enqueue→durable).
+    pub fn wal_latency(&self) -> Arc<Histogram> {
+        self.shared.wal_latency_nanos.clone()
+    }
+
+    /// Truncates the WAL: drops the longest prefix of committed frames whose
+    /// appends are all flushed (per `flushed_offset`) **and** that precede
+    /// the most recent metadata checkpoint. `flushed_offset` returns the
+    /// segment's flushed length, or `None` when the segment no longer exists
+    /// (its data can be dropped).
+    pub fn truncate_flushed(
+        &self,
+        flushed_offset: impl Fn(&str) -> Option<u64>,
+    ) -> Result<usize, SegmentError> {
+        let cut_addr = {
+            let frames = self.shared.frames.lock();
+            let Some(cp_idx) = frames.iter().rposition(|f| f.has_checkpoint) else {
+                return Ok(0);
+            };
+            let mut cut = 0usize;
+            for (i, frame) in frames.iter().enumerate().take(cp_idx) {
+                let all_flushed = frame.append_ends.iter().all(|(segment, end)| {
+                    flushed_offset(segment).is_none_or(|fo| *end <= fo)
+                });
+                if all_flushed {
+                    cut = i + 1;
+                } else {
+                    break;
+                }
+            }
+            if cut == 0 {
+                return Ok(0);
+            }
+            frames[cut - 1].addr
+        };
+        self.shared.wal.truncate(cut_addr)?;
+        let mut frames = self.shared.frames.lock();
+        let mut dropped = 0;
+        while frames
+            .front()
+            .map(|f| f.addr <= cut_addr)
+            .unwrap_or(false)
+        {
+            frames.pop_front();
+            dropped += 1;
+        }
+        Ok(dropped)
+    }
+
+    /// Number of committed frames retained (not yet truncated).
+    pub fn retained_frames(&self) -> usize {
+        self.shared.frames.lock().len()
+    }
+
+    /// Stops the pipeline, draining in-flight operations first.
+    pub fn stop(&self) {
+        self.tx.lock().take();
+        if let Some(h) = self.builder_handle.lock().take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.commit_handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn builder_loop(
+    op_rx: Receiver<EnqueuedOp>,
+    commit_tx: Sender<CommitBatch>,
+    shared: Arc<LogShared>,
+    config: DurableLogConfig,
+) {
+    let mut builder = DataFrameBuilder::new(config.max_frame_bytes);
+    loop {
+        let first = match op_rx.recv() {
+            Ok(op) => op,
+            Err(_) => break,
+        };
+        let mut items = Vec::new();
+        builder.add(first.seq, &first.op);
+        items.push(first);
+        let enqueued_at = Instant::now();
+        let mut disconnected = false;
+        // A frame closes no later than `max_batch_delay` after its first
+        // operation: the adaptive delay only decides how long to wait when
+        // the queue runs dry, never extends the frame's total lifetime
+        // (otherwise a steady trickle of ops would keep a frame open until
+        // it reaches MaxFrameSize, unbounded in time).
+        let frame_deadline = enqueued_at + config.max_batch_delay;
+
+        loop {
+            if builder.is_full() {
+                break;
+            }
+            match op_rx.try_recv() {
+                Ok(op) => {
+                    builder.add(op.seq, &op.op);
+                    items.push(op);
+                }
+                Err(TryRecvError::Empty) => {
+                    // Queue ran dry: wait the adaptive delay of §4.1, bounded
+                    // by the frame deadline.
+                    let latency = Duration::from_secs_f64(
+                        shared.recent_latency_secs.lock().value_or(0.0).max(0.0),
+                    );
+                    let avg_size = shared
+                        .avg_frame_size
+                        .lock()
+                        .value_or(config.max_frame_bytes as f64);
+                    let adaptive = batch_delay(
+                        latency,
+                        avg_size,
+                        config.max_frame_bytes as f64,
+                        config.max_batch_delay,
+                    );
+                    let until_deadline = frame_deadline.saturating_duration_since(Instant::now());
+                    let delay = adaptive.min(until_deadline);
+                    if delay.is_zero() {
+                        break;
+                    }
+                    match op_rx.recv_timeout(delay) {
+                        Ok(op) => {
+                            builder.add(op.seq, &op.op);
+                            items.push(op);
+                        }
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        let frame = builder.seal().expect("frame has at least one op");
+        shared.avg_frame_size.lock().record(frame.len() as f64);
+        shared.frame_size_hist.record(frame.len() as u64);
+        let future = shared.wal.append(frame);
+        if commit_tx
+            .send(CommitBatch {
+                items,
+                future,
+                enqueued_at,
+            })
+            .is_err()
+        {
+            break;
+        }
+        if disconnected {
+            break;
+        }
+    }
+}
+
+fn commit_loop(commit_rx: Receiver<CommitBatch>, shared: Arc<LogShared>, sink: Arc<dyn CommitSink>) {
+    let mut reported_failure = false;
+    while let Ok(batch) = commit_rx.recv() {
+        let already_failed = shared.failed.load(Ordering::SeqCst);
+        let result = if already_failed {
+            Err(SegmentError::ContainerStopped)
+        } else {
+            batch.future.wait().map_err(SegmentError::from)
+        };
+        match result {
+            Ok(addr) => {
+                let latency = batch.enqueued_at.elapsed();
+                shared
+                    .recent_latency_secs
+                    .lock()
+                    .record(latency.as_secs_f64());
+                shared.wal_latency_nanos.record(latency.as_nanos() as u64);
+                let mut append_ends: Vec<(String, u64)> = Vec::new();
+                let mut has_checkpoint = false;
+                for item in &batch.items {
+                    sink.apply(item.seq, &item.op);
+                    match &item.op {
+                        Operation::Append {
+                            segment,
+                            offset,
+                            data,
+                            ..
+                        } => {
+                            let end = offset + data.len() as u64;
+                            match append_ends.iter_mut().find(|(s, _)| s == segment) {
+                                Some((_, e)) => *e = (*e).max(end),
+                                None => append_ends.push((segment.clone(), end)),
+                            }
+                        }
+                        Operation::MetadataCheckpoint { .. } => has_checkpoint = true,
+                        _ => {}
+                    }
+                }
+                shared.frames.lock().push_back(FrameRecord {
+                    addr,
+                    append_ends,
+                    has_checkpoint,
+                });
+                for item in batch.items {
+                    shared.queued_ops.fetch_sub(1, Ordering::Relaxed);
+                    shared
+                        .queued_bytes
+                        .fetch_sub(item.op.encoded_len() as u64, Ordering::Relaxed);
+                    if let Some(completer) = item.completer {
+                        completer.complete(Ok(item.ack.clone()));
+                    }
+                }
+            }
+            Err(error) => {
+                shared.failed.store(true, Ordering::SeqCst);
+                if !reported_failure {
+                    reported_failure = true;
+                    sink.on_log_failure(&error);
+                }
+                for item in batch.items {
+                    shared.queued_ops.fetch_sub(1, Ordering::Relaxed);
+                    shared
+                        .queued_bytes
+                        .fetch_sub(item.op.encoded_len() as u64, Ordering::Relaxed);
+                    if let Some(completer) = item.completer {
+                        completer.complete(Err(error.clone()));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use pravega_common::future::promise;
+    use pravega_common::id::WriterId;
+    use pravega_wal::log::InMemoryLog;
+
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        applied: Mutex<Vec<(u64, Operation)>>,
+        failures: AtomicUsize,
+    }
+
+    impl CommitSink for RecordingSink {
+        fn apply(&self, seq: u64, op: &Operation) {
+            self.applied.lock().push((seq, op.clone()));
+        }
+        fn on_log_failure(&self, _error: &SegmentError) {
+            self.failures.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn append_op(seq: u64) -> Operation {
+        Operation::Append {
+            segment: "s".into(),
+            offset: seq * 10,
+            data: Bytes::from(vec![0u8; 10]),
+            writer_id: WriterId(1),
+            last_event_number: seq as i64,
+            event_count: 1,
+        }
+    }
+
+    #[test]
+    fn ops_commit_in_order_and_ack() {
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        let log = DurableLog::start(wal, sink.clone(), DurableLogConfig::default());
+        let mut promises = Vec::new();
+        for seq in 0..50u64 {
+            let (completer, pr) = promise();
+            log.enqueue(EnqueuedOp {
+                seq,
+                op: append_op(seq),
+                completer: Some(completer),
+                ack: OpAck::Appended {
+                    tail: (seq + 1) * 10,
+                },
+            })
+            .unwrap();
+            promises.push(pr);
+        }
+        for (seq, pr) in promises.into_iter().enumerate() {
+            match pr.wait().unwrap().unwrap() {
+                OpAck::Appended { tail } => assert_eq!(tail, (seq as u64 + 1) * 10),
+                other => panic!("unexpected ack {other:?}"),
+            }
+        }
+        let applied = sink.applied.lock();
+        assert_eq!(applied.len(), 50);
+        for (i, (seq, _)) in applied.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+        }
+        assert_eq!(log.pending_ops(), 0);
+        log.stop();
+    }
+
+    #[test]
+    fn wal_failure_fails_pipeline_and_notifies_sink() {
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        let log = DurableLog::start(wal.clone(), sink.clone(), DurableLogConfig::default());
+        // First op succeeds.
+        let (c1, p1) = promise();
+        log.enqueue(EnqueuedOp {
+            seq: 0,
+            op: append_op(0),
+            completer: Some(c1),
+            ack: OpAck::Done,
+        })
+        .unwrap();
+        p1.wait().unwrap().unwrap();
+        // Fence the WAL: next op must fail.
+        wal.fence();
+        let (c2, p2) = promise();
+        log.enqueue(EnqueuedOp {
+            seq: 1,
+            op: append_op(1),
+            completer: Some(c2),
+            ack: OpAck::Done,
+        })
+        .unwrap();
+        assert!(p2.wait().unwrap().is_err());
+        // Pipeline is now permanently failed.
+        for _ in 0..100 {
+            if log.is_failed() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(log.is_failed());
+        assert_eq!(sink.failures.load(Ordering::SeqCst), 1);
+        let err = log
+            .enqueue(EnqueuedOp {
+                seq: 2,
+                op: append_op(2),
+                completer: None,
+                ack: OpAck::Done,
+            })
+            .unwrap_err();
+        assert_eq!(err, SegmentError::ContainerStopped);
+        log.stop();
+    }
+
+    #[test]
+    fn truncation_respects_flush_boundary_and_checkpoint() {
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        // Force tiny frames so each op is its own frame.
+        let log = DurableLog::start(
+            wal.clone(),
+            sink,
+            DurableLogConfig {
+                max_frame_bytes: 1,
+                max_batch_delay: Duration::ZERO,
+            },
+        );
+        let mut wait_all = Vec::new();
+        for seq in 0..4u64 {
+            let (c, p) = promise();
+            log.enqueue(EnqueuedOp {
+                seq,
+                op: append_op(seq), // appends end at (seq+1)*10
+                completer: Some(c),
+                ack: OpAck::Done,
+            })
+            .unwrap();
+            wait_all.push(p);
+        }
+        let (c, p) = promise();
+        log.enqueue(EnqueuedOp {
+            seq: 4,
+            op: Operation::MetadataCheckpoint {
+                snapshot: Bytes::from_static(b"snap"),
+            },
+            completer: Some(c),
+            ack: OpAck::Done,
+        })
+        .unwrap();
+        wait_all.push(p);
+        for p in wait_all {
+            p.wait().unwrap().unwrap();
+        }
+        assert_eq!(log.retained_frames(), 5);
+
+        // Nothing flushed: nothing truncatable.
+        assert_eq!(log.truncate_flushed(|_| Some(0)).unwrap(), 0);
+
+        // First two appends flushed (up to offset 20).
+        let dropped = log.truncate_flushed(|_| Some(20)).unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(log.retained_frames(), 3);
+
+        // Everything flushed: appends 3 and 4 go, checkpoint frame stays.
+        let dropped = log.truncate_flushed(|_| Some(1_000)).unwrap();
+        assert_eq!(dropped, 2);
+        assert_eq!(log.retained_frames(), 1);
+        assert_eq!(wal.len(), 1, "only the checkpoint frame is retained");
+        log.stop();
+    }
+
+    #[test]
+    fn steady_trickle_does_not_extend_frames_past_the_deadline() {
+        // Regression: the adaptive delay must never re-arm per received op —
+        // a steady trickle once kept frames open until they hit MaxFrameSize
+        // (tens of seconds of latency).
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        let log = DurableLog::start(
+            wal,
+            sink,
+            DurableLogConfig {
+                max_frame_bytes: 1 << 20,
+                max_batch_delay: Duration::from_millis(10),
+            },
+        );
+        // Trickle: one op every 2 ms for ~200 ms — far below the frame size.
+        let start = Instant::now();
+        let mut promises = Vec::new();
+        for seq in 0..100u64 {
+            let (c, p) = promise();
+            log.enqueue(EnqueuedOp {
+                seq,
+                op: append_op(seq),
+                completer: Some(c),
+                ack: OpAck::Done,
+            })
+            .unwrap();
+            promises.push((Instant::now(), p));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut worst = Duration::ZERO;
+        for (sent, p) in promises {
+            p.wait().unwrap().unwrap();
+            worst = worst.max(sent.elapsed());
+        }
+        let _ = start;
+        assert!(
+            worst < Duration::from_millis(250),
+            "a trickled op waited {worst:?} for its frame"
+        );
+        assert!(
+            log.retained_frames() > 3,
+            "the trickle must have been split into multiple frames"
+        );
+        log.stop();
+    }
+
+    #[test]
+    fn batching_groups_concurrent_ops_into_frames() {
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        let log = DurableLog::start(wal, sink, DurableLogConfig::default());
+        let mut promises = Vec::new();
+        for seq in 0..200u64 {
+            let (c, p) = promise();
+            log.enqueue(EnqueuedOp {
+                seq,
+                op: append_op(seq),
+                completer: Some(c),
+                ack: OpAck::Done,
+            })
+            .unwrap();
+            promises.push(p);
+        }
+        for p in promises {
+            p.wait().unwrap().unwrap();
+        }
+        // 200 ops must land in far fewer frames.
+        let frames = log.retained_frames();
+        assert!(frames < 200, "expected batching, got {frames} frames");
+        log.stop();
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type for the segment store data plane.
+
+use std::fmt;
+
+use pravega_lts::LtsError;
+use pravega_wal::WalError;
+
+/// Errors produced by segment containers and stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The addressed segment does not exist (or was deleted).
+    NoSuchSegment,
+    /// Create failed: the segment already exists.
+    SegmentExists,
+    /// The segment is sealed; no modification allowed.
+    SegmentSealed,
+    /// A conditional append's expected offset did not match.
+    ConditionalCheckFailed {
+        /// Current tail offset of the segment.
+        expected: u64,
+        /// Offset the caller required.
+        actual: u64,
+    },
+    /// A table update's expected version did not match.
+    TableKeyBadVersion,
+    /// A read addressed truncated data.
+    OffsetTruncated {
+        /// First readable offset.
+        start_offset: u64,
+    },
+    /// A read addressed data beyond the segment tail.
+    BeyondTail {
+        /// Current tail offset.
+        length: u64,
+    },
+    /// The container has shut down (failure handling, §4.4) and must be
+    /// restarted/recovered before serving again.
+    ContainerStopped,
+    /// The container does not own this segment (stateless hash says another
+    /// container does).
+    WrongContainer,
+    /// The addressed segment is not a table segment (or vice versa).
+    NotATable,
+    /// WAL failure.
+    Wal(WalError),
+    /// Long-term storage failure.
+    Lts(LtsError),
+    /// Unexpected internal failure.
+    Internal(String),
+}
+
+impl fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SegmentError::NoSuchSegment => write!(f, "no such segment"),
+            SegmentError::SegmentExists => write!(f, "segment already exists"),
+            SegmentError::SegmentSealed => write!(f, "segment is sealed"),
+            SegmentError::ConditionalCheckFailed { expected, actual } => {
+                write!(
+                    f,
+                    "conditional append failed: tail is {expected}, caller expected {actual}"
+                )
+            }
+            SegmentError::TableKeyBadVersion => write!(f, "table key version mismatch"),
+            SegmentError::OffsetTruncated { start_offset } => {
+                write!(f, "offset truncated; data starts at {start_offset}")
+            }
+            SegmentError::BeyondTail { length } => {
+                write!(f, "read beyond tail (length {length})")
+            }
+            SegmentError::ContainerStopped => write!(f, "segment container stopped"),
+            SegmentError::WrongContainer => write!(f, "segment owned by another container"),
+            SegmentError::NotATable => write!(f, "segment kind mismatch (table vs event)"),
+            SegmentError::Wal(e) => write!(f, "wal error: {e}"),
+            SegmentError::Lts(e) => write!(f, "lts error: {e}"),
+            SegmentError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SegmentError::Wal(e) => Some(e),
+            SegmentError::Lts(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for SegmentError {
+    fn from(e: WalError) -> Self {
+        SegmentError::Wal(e)
+    }
+}
+
+impl From<LtsError> for SegmentError {
+    fn from(e: LtsError) -> Self {
+        SegmentError::Lts(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: SegmentError = WalError::QuorumLost.into();
+        assert!(matches!(e, SegmentError::Wal(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SegmentError = LtsError::NoSuchChunk.into();
+        assert!(matches!(e, SegmentError::Lts(_)));
+        assert!(e.to_string().contains("lts"));
+    }
+}

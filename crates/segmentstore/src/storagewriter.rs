@@ -1,0 +1,165 @@
+//! The storage writer: integrated tiering on the write path (§4.3).
+//!
+//! A background thread per container de-multiplexes committed operations by
+//! segment, aggregates small appends into large LTS writes, seals/truncates/
+//! deletes segments in LTS, and — once data is safely tiered — writes a
+//! metadata checkpoint and truncates the WAL. If LTS is slow the unflushed
+//! backlog grows and the container throttles its writers rather than letting
+//! the backlog grow without bound.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use pravega_lts::LtsError;
+
+use crate::container::ContainerInner;
+use crate::error::SegmentError;
+
+/// Starts the background flusher thread for a container.
+pub(crate) fn start_flusher(inner: Arc<ContainerInner>) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("storage-writer-{}", inner.id))
+        .spawn(move || {
+            while !inner.stopped.load(Ordering::SeqCst) {
+                let _ = flush_pass(&inner);
+                std::thread::sleep(inner.config.flush_interval);
+            }
+        })
+        .expect("spawn storage writer")
+}
+
+#[derive(Debug, Clone)]
+struct FlushTarget {
+    name: String,
+    committed_len: u64,
+    sealed: bool,
+    start_offset: u64,
+    flushed: u64,
+}
+
+/// One flush pass. Returns whether any data moved to LTS.
+pub(crate) fn flush_pass(inner: &Arc<ContainerInner>) -> Result<bool, SegmentError> {
+    let (targets, deletes) = snapshot_targets(inner);
+    let mut worked = false;
+    let mut flush_error: Option<SegmentError> = None;
+
+    for target in targets {
+        match flush_segment(inner, &target) {
+            Ok(moved) => worked |= moved,
+            Err(e) => {
+                // LTS hiccup: leave the backlog; throttling takes over.
+                flush_error.get_or_insert(e);
+            }
+        }
+    }
+
+    for name in deletes {
+        match inner.lts.delete(&name) {
+            Ok(()) | Err(LtsError::NoSuchSegment) => {}
+            Err(e) => {
+                // Re-queue for the next pass.
+                inner.core.lock().pending_lts_deletes.push(name);
+                flush_error.get_or_insert(SegmentError::Lts(e));
+            }
+        }
+    }
+
+    // Checkpoint + WAL truncation when useful.
+    let ops_since = inner.ops_since_checkpoint.load(Ordering::Relaxed);
+    if (worked || ops_since >= inner.config.checkpoint_interval_ops)
+        && ops_since > 0
+        && !inner.stopped.load(Ordering::SeqCst)
+    {
+        inner.write_checkpoint()?;
+        let flushed_map: std::collections::HashMap<String, u64> =
+            inner.core.lock().flushed.clone();
+        if let Some(log) = inner.log.get() {
+            let _ = log.truncate_flushed(|segment| flushed_map.get(segment).copied());
+        }
+    }
+
+    match flush_error {
+        Some(e) => Err(e),
+        None => Ok(worked),
+    }
+}
+
+fn snapshot_targets(inner: &Arc<ContainerInner>) -> (Vec<FlushTarget>, Vec<String>) {
+    let mut guard = inner.core.lock();
+    let core = &mut *guard;
+    let deletes = std::mem::take(&mut core.pending_lts_deletes);
+    let targets = core
+        .segments_overview()
+        .into_iter()
+        .map(|(name, committed_len, sealed, start_offset)| {
+            let flushed = core.flushed.get(&name).copied().unwrap_or(0);
+            FlushTarget {
+                name,
+                committed_len,
+                sealed,
+                start_offset,
+                flushed,
+            }
+        })
+        .collect();
+    (targets, deletes)
+}
+
+fn flush_segment(inner: &Arc<ContainerInner>, target: &FlushTarget) -> Result<bool, SegmentError> {
+    let mut flushed = target.flushed;
+    let mut worked = false;
+
+    if flushed < target.committed_len && !inner.lts.exists(&target.name) {
+        match inner.lts.create(&target.name) {
+            Ok(()) | Err(LtsError::SegmentExists) => {}
+            Err(e) => return Err(SegmentError::Lts(e)),
+        }
+    }
+
+    while flushed < target.committed_len {
+        if inner.stopped.load(Ordering::SeqCst) {
+            return Ok(worked);
+        }
+        let n = ((target.committed_len - flushed) as usize).min(inner.config.max_flush_bytes);
+        let data = inner.read_committed_range(&target.name, flushed, n)?;
+        let new_len = inner
+            .lts
+            .write(&target.name, flushed, &data)
+            .map_err(SegmentError::Lts)?;
+        let moved = new_len - flushed;
+        flushed = new_len;
+        inner.core.lock().flushed.insert(target.name.clone(), flushed);
+        let _ = inner
+            .unflushed_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(moved))
+            });
+        worked = true;
+    }
+
+    // Propagate truncation to LTS (only below what is already flushed).
+    if target.start_offset > 0 {
+        if let Ok(info) = inner.lts.info(&target.name) {
+            let truncate_at = target.start_offset.min(flushed);
+            if truncate_at > info.start_offset {
+                inner
+                    .lts
+                    .truncate(&target.name, truncate_at)
+                    .map_err(SegmentError::Lts)?;
+            }
+        }
+    }
+
+    // Seal in LTS once fully flushed.
+    if target.sealed && flushed >= target.committed_len {
+        match inner.lts.info(&target.name) {
+            Ok(info) if !info.sealed => {
+                inner.lts.seal(&target.name).map_err(SegmentError::Lts)?;
+            }
+            _ => {}
+        }
+    }
+
+    Ok(worked)
+}

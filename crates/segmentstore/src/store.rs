@@ -1,0 +1,452 @@
+//! The segment store: hosts segment containers and serves the wire protocol
+//! (§2.2).
+//!
+//! Segment stores are agnostic to streams — they only know segments. Each
+//! request is routed to the owning container via the stateless uniform hash
+//! over the segment's qualified name; a store that does not run that
+//! container answers `WrongHost`, prompting the client to re-resolve the
+//! endpoint through the controller.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use parking_lot::Mutex;
+use pravega_common::hashing::container_for_segment;
+use pravega_common::id::ContainerId;
+use pravega_common::wire::{
+    connection_pair, Connection, Reply, ReplyEnvelope, Request, SegmentInfo, ServerEnd,
+};
+
+use crate::container::{ContainerConfig, SegmentContainer, SegmentLoad};
+use crate::error::SegmentError;
+
+/// Configuration of a segment store instance.
+#[derive(Debug, Clone)]
+pub struct SegmentStoreConfig {
+    /// Stable host identifier (registered in the cluster).
+    pub host_id: String,
+    /// Total containers in the cluster (the hash space).
+    pub container_count: u32,
+    /// Per-container tuning.
+    pub container: ContainerConfig,
+}
+
+impl Default for SegmentStoreConfig {
+    fn default() -> Self {
+        Self {
+            host_id: "segmentstore-0".into(),
+            container_count: 4,
+            container: ContainerConfig::default(),
+        }
+    }
+}
+
+/// Creates (starting/recovering) a container by id. The embedding layer
+/// wires WAL logs and LTS in here.
+pub type ContainerFactory =
+    Arc<dyn Fn(ContainerId) -> Result<SegmentContainer, SegmentError> + Send + Sync>;
+
+/// A segment store instance.
+pub struct SegmentStore {
+    config: SegmentStoreConfig,
+    factory: ContainerFactory,
+    containers: Mutex<HashMap<u32, Arc<SegmentContainer>>>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("host", &self.config.host_id)
+            .field("containers", &self.containers.lock().len())
+            .finish()
+    }
+}
+
+impl SegmentStore {
+    /// Creates a store. No containers run until assigned.
+    pub fn new(config: SegmentStoreConfig, factory: ContainerFactory) -> Arc<Self> {
+        Arc::new(Self {
+            config,
+            factory,
+            containers: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Host id of this instance.
+    pub fn host_id(&self) -> &str {
+        &self.config.host_id
+    }
+
+    /// Ids of containers currently running here.
+    pub fn running_containers(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.containers.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Starts (recovering) a container on this store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates recovery failures from the container factory.
+    pub fn start_container(&self, id: u32) -> Result<(), SegmentError> {
+        if self.containers.lock().contains_key(&id) {
+            return Ok(());
+        }
+        let container = (self.factory)(ContainerId(id))?;
+        self.containers.lock().insert(id, Arc::new(container));
+        Ok(())
+    }
+
+    /// Stops a container (its WAL handle is released; a new owner can fence).
+    pub fn stop_container(&self, id: u32) {
+        if let Some(c) = self.containers.lock().remove(&id) {
+            c.stop();
+        }
+    }
+
+    /// Reconciles the set of running containers with `assigned` (start the
+    /// missing, stop the extra) — driven by the coordination assignment map
+    /// when membership changes (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first container start failure (remaining containers
+    /// are still reconciled).
+    pub fn reconcile_containers(&self, assigned: &[u32]) -> Result<(), SegmentError> {
+        let current = self.running_containers();
+        let mut first_error = None;
+        for id in &current {
+            if !assigned.contains(id) {
+                self.stop_container(*id);
+            }
+        }
+        for id in assigned {
+            if let Err(e) = self.start_container(*id) {
+                first_error.get_or_insert(e);
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// The container that owns `segment`, if it runs here.
+    fn container_for(&self, segment_name: &pravega_common::id::ScopedSegment) -> Option<Arc<SegmentContainer>> {
+        let id = container_for_segment(segment_name, self.config.container_count);
+        self.containers.lock().get(&id).cloned()
+    }
+
+    /// Direct access to a running container (embedding/test use).
+    pub fn container(&self, id: u32) -> Option<Arc<SegmentContainer>> {
+        self.containers.lock().get(&id).cloned()
+    }
+
+    /// Aggregated per-segment load across containers (auto-scaler feedback).
+    pub fn load_report(&self) -> Vec<SegmentLoad> {
+        let containers: Vec<Arc<SegmentContainer>> =
+            self.containers.lock().values().cloned().collect();
+        containers.iter().flat_map(|c| c.load_report()).collect()
+    }
+
+    /// Handles one request synchronously (appends wait for durability).
+    pub fn call(&self, request: Request) -> Reply {
+        let Some(container) = self.container_for(request.segment()) else {
+            return Reply::WrongHost;
+        };
+        dispatch(&container, request)
+    }
+
+    /// Opens an in-process connection to this store. Requests are processed
+    /// in order; appends are pipelined (acknowledged asynchronously once
+    /// durable) and blocking tail reads do not stall the connection.
+    pub fn connect(self: &Arc<Self>) -> Connection {
+        let (client, server) = connection_pair();
+        let store = self.clone();
+        std::thread::Builder::new()
+            .name(format!("conn-{}", self.config.host_id))
+            .spawn(move || connection_loop(store, server))
+            .expect("spawn connection handler");
+        client
+    }
+
+    /// Stops all containers.
+    pub fn shutdown(&self) {
+        let ids = self.running_containers();
+        for id in ids {
+            self.stop_container(id);
+        }
+    }
+}
+
+fn error_reply(e: SegmentError) -> Reply {
+    match e {
+        SegmentError::NoSuchSegment => Reply::NoSuchSegment,
+        SegmentError::SegmentExists => Reply::SegmentAlreadyExists,
+        SegmentError::SegmentSealed => Reply::SegmentIsSealed,
+        SegmentError::ConditionalCheckFailed { .. } | SegmentError::TableKeyBadVersion => {
+            Reply::ConditionalCheckFailed
+        }
+        SegmentError::OffsetTruncated { start_offset } => Reply::OffsetTruncated { start_offset },
+        SegmentError::WrongContainer => Reply::WrongHost,
+        SegmentError::ContainerStopped => Reply::ContainerNotReady,
+        other => Reply::InternalError(other.to_string()),
+    }
+}
+
+fn dispatch(container: &SegmentContainer, request: Request) -> Reply {
+    match request {
+        Request::CreateSegment { segment, is_table } => {
+            match container.create_segment(&segment.qualified_name(), is_table) {
+                Ok(()) => Reply::SegmentCreated,
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::SetupAppend { writer_id, segment } => {
+            match container.setup_append(&segment.qualified_name(), writer_id) {
+                Ok(last_event_number) => Reply::AppendSetup { last_event_number },
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::AppendBlock {
+            writer_id,
+            segment,
+            last_event_number,
+            event_count,
+            data,
+            expected_offset,
+        } => {
+            let handle = container.append(
+                &segment.qualified_name(),
+                data,
+                writer_id,
+                last_event_number,
+                event_count,
+                expected_offset,
+            );
+            match handle.wait() {
+                Ok(outcome) => Reply::DataAppended {
+                    writer_id,
+                    last_event_number,
+                    current_tail: outcome.tail,
+                },
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::ReadSegment {
+            segment,
+            offset,
+            max_bytes,
+            wait_for_data,
+        } => {
+            let wait = wait_for_data.then(|| Duration::from_secs(2));
+            match container.read(&segment.qualified_name(), offset, max_bytes as usize, wait) {
+                Ok(r) => Reply::SegmentRead {
+                    offset: r.offset,
+                    data: r.data,
+                    end_of_segment: r.end_of_segment,
+                    at_tail: r.at_tail,
+                },
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::GetSegmentInfo { segment } => {
+            match container.get_info(&segment.qualified_name()) {
+                Ok(info) => Reply::SegmentInfo(SegmentInfo {
+                    segment,
+                    length: info.length,
+                    start_offset: info.start_offset,
+                    sealed: info.sealed,
+                    last_modified_nanos: info.last_modified_nanos,
+                }),
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::SealSegment { segment } => match container.seal(&segment.qualified_name()) {
+            Ok(final_length) => Reply::SegmentSealed { final_length },
+            Err(e) => error_reply(e),
+        },
+        Request::TruncateSegment { segment, offset } => {
+            match container.truncate(&segment.qualified_name(), offset) {
+                Ok(()) => Reply::SegmentTruncated,
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::DeleteSegment { segment } => match container.delete(&segment.qualified_name()) {
+            Ok(()) => Reply::SegmentDeleted,
+            Err(e) => error_reply(e),
+        },
+        Request::GetWriterAttribute { segment, writer_id } => {
+            match container.get_attribute(&segment.qualified_name(), writer_id) {
+                Ok(last_event_number) => Reply::WriterAttribute { last_event_number },
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::TableUpdate { segment, entries } => {
+            let name = segment.qualified_name();
+            // The wire carries table-segment creation implicitly: creating
+            // table segments goes through CreateSegment on the container API
+            // used by the embedding layer; here we only update.
+            let converted = entries
+                .into_iter()
+                .map(|e| (e.key, e.value, e.expected_version))
+                .collect();
+            match container.table_update(&name, converted) {
+                Ok(versions) => Reply::TableUpdated { versions },
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::TableRemove { segment, keys } => {
+            match container.table_remove(&segment.qualified_name(), keys) {
+                Ok(()) => Reply::TableRemoved,
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::TableGet { segment, keys } => {
+            match container.table_get(&segment.qualified_name(), &keys) {
+                Ok(values) => Reply::TableRead { values },
+                Err(e) => error_reply(e),
+            }
+        }
+        Request::TableIterate {
+            segment,
+            continuation,
+            limit,
+        } => {
+            match container.table_iterate(&segment.qualified_name(), continuation, limit as usize)
+            {
+                Ok((entries, continuation)) => Reply::TableIterated {
+                    entries,
+                    continuation,
+                },
+                Err(e) => error_reply(e),
+            }
+        }
+    }
+}
+
+fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
+    // Appends are acknowledged by a dedicated pump so the request loop never
+    // blocks on durability — this is what lets a writer keep the batch
+    // in-flight on the wire while the server collects it (§4.1).
+    enum AckItem {
+        Append {
+            request_id: u64,
+            writer_id: pravega_common::id::WriterId,
+            last_event_number: i64,
+            handle: crate::container::AppendHandle,
+        },
+    }
+    let (ack_tx, ack_rx) = unbounded::<AckItem>();
+    let ack_server = server.clone();
+    let pump = std::thread::Builder::new()
+        .name("conn-ack-pump".into())
+        .spawn(move || {
+            while let Ok(item) = ack_rx.recv() {
+                match item {
+                    AckItem::Append {
+                        request_id,
+                        writer_id,
+                        last_event_number,
+                        handle,
+                    } => {
+                        let reply = match handle.wait() {
+                            Ok(outcome) => Reply::DataAppended {
+                                writer_id,
+                                last_event_number,
+                                current_tail: outcome.tail,
+                            },
+                            Err(e) => error_reply(e),
+                        };
+                        if ack_server
+                            .send(ReplyEnvelope { request_id, reply })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn ack pump");
+
+    while let Ok(envelope) = server.recv() {
+        let request_id = envelope.request_id;
+        match envelope.request {
+            Request::AppendBlock {
+                writer_id,
+                segment,
+                last_event_number,
+                event_count,
+                data,
+                expected_offset,
+            } => {
+                let reply_or_handle = match store.container_for(&segment) {
+                    None => Err(Reply::WrongHost),
+                    Some(container) => Ok(container.append(
+                        &segment.qualified_name(),
+                        data,
+                        writer_id,
+                        last_event_number,
+                        event_count,
+                        expected_offset,
+                    )),
+                };
+                match reply_or_handle {
+                    Ok(handle) => {
+                        if ack_tx
+                            .send(AckItem::Append {
+                                request_id,
+                                writer_id,
+                                last_event_number,
+                                handle,
+                            })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(reply) => {
+                        if server.send(ReplyEnvelope { request_id, reply }).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Request::ReadSegment {
+                segment,
+                offset,
+                max_bytes,
+                wait_for_data,
+            } if wait_for_data => {
+                // Blocking tail read: serve on a detached thread so the
+                // connection keeps flowing.
+                let store = store.clone();
+                let reply_server = server.clone();
+                std::thread::Builder::new()
+                    .name("conn-tail-read".into())
+                    .spawn(move || {
+                        let reply = store.call(Request::ReadSegment {
+                            segment,
+                            offset,
+                            max_bytes,
+                            wait_for_data: true,
+                        });
+                        let _ = reply_server.send(ReplyEnvelope { request_id, reply });
+                    })
+                    .expect("spawn tail read");
+            }
+            other => {
+                let reply = store.call(other);
+                if server.send(ReplyEnvelope { request_id, reply }).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    drop(ack_tx);
+    let _ = pump.join();
+}

@@ -1,0 +1,329 @@
+//! Tests for the segment store layer: container hosting/reconciliation,
+//! wire-protocol dispatch, and wrong-host routing (§2.2, §4.4).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use pravega_common::clock::SystemClock;
+use pravega_common::hashing::container_for_segment;
+use pravega_common::id::{ScopedStream, SegmentId, WriterId};
+use pravega_common::wire::{Reply, Request, RequestEnvelope, TableUpdateEntry};
+use pravega_lts::{
+    ChunkedSegmentStorage, ChunkedStorageConfig, InMemoryChunkStorage, InMemoryMetadataStore,
+};
+use pravega_segmentstore::{ContainerConfig, SegmentContainer, SegmentStore, SegmentStoreConfig};
+use pravega_wal::log::InMemoryLog;
+
+fn new_store(container_count: u32) -> Arc<SegmentStore> {
+    let lts = ChunkedSegmentStorage::new(
+        Arc::new(InMemoryChunkStorage::new()),
+        Arc::new(InMemoryMetadataStore::new()),
+        ChunkedStorageConfig::default(),
+    );
+    SegmentStore::new(
+        SegmentStoreConfig {
+            host_id: "test-store".into(),
+            container_count,
+            container: ContainerConfig {
+                max_batch_delay: Duration::from_millis(1),
+                flush_interval: Duration::from_millis(5),
+                ..ContainerConfig::default()
+            },
+        },
+        Arc::new(move |id| {
+            SegmentContainer::start(
+                id,
+                Arc::new(InMemoryLog::new()),
+                lts.clone(),
+                Arc::new(SystemClock::new()),
+                ContainerConfig {
+                    max_batch_delay: Duration::from_millis(1),
+                    flush_interval: Duration::from_millis(5),
+                    ..ContainerConfig::default()
+                },
+            )
+        }),
+    )
+}
+
+fn segment(name: &str) -> pravega_common::id::ScopedSegment {
+    ScopedStream::new("s", name)
+        .unwrap()
+        .segment(SegmentId::new(0, 0))
+}
+
+#[test]
+fn reconcile_starts_and_stops_containers() {
+    let store = new_store(4);
+    assert!(store.running_containers().is_empty());
+    store.reconcile_containers(&[0, 2]).unwrap();
+    assert_eq!(store.running_containers(), vec![0, 2]);
+    store.reconcile_containers(&[1, 2]).unwrap();
+    assert_eq!(store.running_containers(), vec![1, 2]);
+    // Idempotent.
+    store.reconcile_containers(&[1, 2]).unwrap();
+    assert_eq!(store.running_containers(), vec![1, 2]);
+    store.shutdown();
+    assert!(store.running_containers().is_empty());
+}
+
+#[test]
+fn requests_for_unowned_containers_get_wrong_host() {
+    let store = new_store(4);
+    let seg = segment("t");
+    let owner = container_for_segment(&seg, 4);
+    // Run every container EXCEPT the owner.
+    let assigned: Vec<u32> = (0..4).filter(|c| *c != owner).collect();
+    store.reconcile_containers(&assigned).unwrap();
+    match store.call(Request::CreateSegment {
+        segment: seg.clone(),
+        is_table: false,
+    }) {
+        Reply::WrongHost => {}
+        other => panic!("expected WrongHost, got {other:?}"),
+    }
+    // Now run the owner: the request succeeds.
+    store.reconcile_containers(&[owner]).unwrap();
+    match store.call(Request::CreateSegment {
+        segment: seg,
+        is_table: false,
+    }) {
+        Reply::SegmentCreated => {}
+        other => panic!("expected created, got {other:?}"),
+    }
+    store.shutdown();
+}
+
+#[test]
+fn wire_protocol_full_lifecycle_over_a_connection() {
+    let store = new_store(2);
+    store.reconcile_containers(&[0, 1]).unwrap();
+    let conn = store.connect();
+    let seg = segment("wire");
+    let writer = WriterId::random();
+
+    // Create.
+    assert!(matches!(
+        conn.call(1, Request::CreateSegment { segment: seg.clone(), is_table: false })
+            .unwrap(),
+        Reply::SegmentCreated
+    ));
+    // Handshake: fresh writer.
+    match conn
+        .call(2, Request::SetupAppend { writer_id: writer, segment: seg.clone() })
+        .unwrap()
+    {
+        Reply::AppendSetup { last_event_number } => assert_eq!(last_event_number, -1),
+        other => panic!("{other:?}"),
+    }
+    // Pipelined appends (fire all, then collect acks).
+    for i in 0..5u64 {
+        conn.send(RequestEnvelope {
+            request_id: 10 + i,
+            request: Request::AppendBlock {
+                writer_id: writer,
+                segment: seg.clone(),
+                last_event_number: i as i64,
+                event_count: 1,
+                data: Bytes::from(format!("e{i}")),
+                expected_offset: None,
+            },
+        })
+        .unwrap();
+    }
+    let mut acked = 0;
+    while acked < 5 {
+        let env = conn.recv().unwrap();
+        if let Reply::DataAppended { .. } = env.reply {
+            acked += 1;
+        }
+    }
+    // Read back.
+    match conn
+        .call(
+            20,
+            Request::ReadSegment {
+                segment: seg.clone(),
+                offset: 0,
+                max_bytes: 100,
+                wait_for_data: false,
+            },
+        )
+        .unwrap()
+    {
+        Reply::SegmentRead { data, .. } => assert_eq!(data.as_ref(), b"e0e1e2e3e4"),
+        other => panic!("{other:?}"),
+    }
+    // Seal, verify, truncate, info, delete.
+    assert!(matches!(
+        conn.call(21, Request::SealSegment { segment: seg.clone() }).unwrap(),
+        Reply::SegmentSealed { final_length: 10 }
+    ));
+    assert!(matches!(
+        conn.call(22, Request::TruncateSegment { segment: seg.clone(), offset: 4 })
+            .unwrap(),
+        Reply::SegmentTruncated
+    ));
+    match conn.call(23, Request::GetSegmentInfo { segment: seg.clone() }).unwrap() {
+        Reply::SegmentInfo(info) => {
+            assert_eq!(info.length, 10);
+            assert_eq!(info.start_offset, 4);
+            assert!(info.sealed);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(matches!(
+        conn.call(24, Request::DeleteSegment { segment: seg.clone() }).unwrap(),
+        Reply::SegmentDeleted
+    ));
+    assert!(matches!(
+        conn.call(25, Request::GetSegmentInfo { segment: seg }).unwrap(),
+        Reply::NoSuchSegment
+    ));
+    store.shutdown();
+}
+
+#[test]
+fn wire_table_operations() {
+    let store = new_store(2);
+    store.reconcile_containers(&[0, 1]).unwrap();
+    let conn = store.connect();
+    let seg = segment("table");
+    assert!(matches!(
+        conn.call(1, Request::CreateSegment { segment: seg.clone(), is_table: true })
+            .unwrap(),
+        Reply::SegmentCreated
+    ));
+    // Insert two keys atomically.
+    let versions = match conn
+        .call(
+            2,
+            Request::TableUpdate {
+                segment: seg.clone(),
+                entries: vec![
+                    TableUpdateEntry {
+                        key: Bytes::from_static(b"a"),
+                        value: Bytes::from_static(b"1"),
+                        expected_version: Some(-1),
+                    },
+                    TableUpdateEntry {
+                        key: Bytes::from_static(b"b"),
+                        value: Bytes::from_static(b"2"),
+                        expected_version: Some(-1),
+                    },
+                ],
+            },
+        )
+        .unwrap()
+    {
+        Reply::TableUpdated { versions } => versions,
+        other => panic!("{other:?}"),
+    };
+    // Conditional failure.
+    assert!(matches!(
+        conn.call(
+            3,
+            Request::TableUpdate {
+                segment: seg.clone(),
+                entries: vec![TableUpdateEntry {
+                    key: Bytes::from_static(b"a"),
+                    value: Bytes::from_static(b"x"),
+                    expected_version: Some(-1),
+                }],
+            },
+        )
+        .unwrap(),
+        Reply::ConditionalCheckFailed
+    ));
+    // Point read + iterate.
+    match conn
+        .call(4, Request::TableGet { segment: seg.clone(), keys: vec![Bytes::from_static(b"a")] })
+        .unwrap()
+    {
+        Reply::TableRead { values } => {
+            let (v, ver) = values[0].clone().unwrap();
+            assert_eq!(v.as_ref(), b"1");
+            assert_eq!(ver, versions[0]);
+        }
+        other => panic!("{other:?}"),
+    }
+    match conn
+        .call(5, Request::TableIterate { segment: seg.clone(), continuation: None, limit: 10 })
+        .unwrap()
+    {
+        Reply::TableIterated { entries, continuation } => {
+            assert_eq!(entries.len(), 2);
+            assert!(continuation.is_none());
+        }
+        other => panic!("{other:?}"),
+    }
+    // Remove.
+    assert!(matches!(
+        conn.call(
+            6,
+            Request::TableRemove {
+                segment: seg.clone(),
+                keys: vec![(Bytes::from_static(b"a"), None)],
+            },
+        )
+        .unwrap(),
+        Reply::TableRemoved
+    ));
+    store.shutdown();
+}
+
+#[test]
+fn tail_read_over_the_wire_does_not_block_the_connection() {
+    let store = new_store(1);
+    store.reconcile_containers(&[0]).unwrap();
+    let conn = store.connect();
+    let seg = segment("tail");
+    conn.call(1, Request::CreateSegment { segment: seg.clone(), is_table: false })
+        .unwrap();
+    // Issue a blocking tail read...
+    conn.send(RequestEnvelope {
+        request_id: 2,
+        request: Request::ReadSegment {
+            segment: seg.clone(),
+            offset: 0,
+            max_bytes: 100,
+            wait_for_data: true,
+        },
+    })
+    .unwrap();
+    // ...then, on the SAME connection, an append that must not be stuck
+    // behind it.
+    conn.send(RequestEnvelope {
+        request_id: 3,
+        request: Request::AppendBlock {
+            writer_id: WriterId::random(),
+            segment: seg,
+            last_event_number: 0,
+            event_count: 1,
+            data: Bytes::from_static(b"wake"),
+            expected_offset: None,
+        },
+    })
+    .unwrap();
+    // Both replies arrive: the append ack and the tail read carrying the
+    // appended bytes.
+    let mut got_read = false;
+    let mut got_append = false;
+    for _ in 0..2 {
+        let env = conn
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("reply within timeout");
+        match env.reply {
+            Reply::SegmentRead { data, .. } => {
+                assert_eq!(data.as_ref(), b"wake");
+                got_read = true;
+            }
+            Reply::DataAppended { .. } => got_append = true,
+            other => panic!("{other:?}"),
+        }
+    }
+    assert!(got_read && got_append);
+    store.shutdown();
+}

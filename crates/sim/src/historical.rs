@@ -1,0 +1,163 @@
+//! Historical (catch-up) read model — Fig. 12 (§5.7).
+//!
+//! Writers build a backlog at a constant rate, then readers are released and
+//! must drain it while writes continue. Pravega reads LTS **chunks in
+//! parallel** across segments, so its aggregate read rate is bounded by the
+//! LTS aggregate ceiling (731 MB/s peak in the paper). Pulsar reads
+//! offloaded ledgers through the broker with limited read-ahead per
+//! partition; none of the configurations the paper tested read faster than
+//! the write rate, so the backlog never drains.
+
+use crate::config::CalibratedEnv;
+
+/// Catch-up experiment parameters (§5.7: 100 GB backlog @ 100 MB/s,
+/// 16 partitions, 10 KB events).
+#[derive(Debug, Clone, Copy)]
+pub struct CatchupSpec {
+    /// Backlog accumulated before readers start (bytes).
+    pub backlog_bytes: f64,
+    /// Sustained write rate during the read phase (bytes/s).
+    pub write_rate: f64,
+    /// Stream/topic partitions.
+    pub partitions: usize,
+}
+
+impl Default for CatchupSpec {
+    fn default() -> Self {
+        Self {
+            backlog_bytes: 100e9,
+            write_rate: 100e6,
+            partitions: 16,
+        }
+    }
+}
+
+/// One sample of the catch-up time series.
+#[derive(Debug, Clone, Copy)]
+pub struct CatchupPoint {
+    /// Seconds since readers were released.
+    pub t: f64,
+    /// Read throughput (MB/s).
+    pub read_mbps: f64,
+    /// Write throughput (MB/s).
+    pub write_mbps: f64,
+    /// Remaining backlog (GB).
+    pub backlog_gb: f64,
+}
+
+/// Result of a catch-up run.
+#[derive(Debug, Clone)]
+pub struct CatchupResult {
+    /// Throughput/backlog series, sampled every `sample_interval` seconds.
+    pub series: Vec<CatchupPoint>,
+    /// Seconds until the reader reached the tail, if it ever did.
+    pub caught_up_after: Option<f64>,
+    /// Peak read throughput (MB/s).
+    pub peak_read_mbps: f64,
+}
+
+fn run_catchup(
+    spec: &CatchupSpec,
+    read_rate: f64,
+    sample_interval: f64,
+    max_time: f64,
+) -> CatchupResult {
+    let mut backlog = spec.backlog_bytes;
+    let mut t = 0.0;
+    let mut series = Vec::new();
+    let mut caught_up_after = None;
+    let mut peak = 0.0_f64;
+    while t < max_time {
+        let reading = if backlog > 0.0 {
+            read_rate
+        } else {
+            spec.write_rate // tail reads once caught up
+        };
+        peak = peak.max(reading / 1e6);
+        series.push(CatchupPoint {
+            t,
+            read_mbps: reading / 1e6,
+            write_mbps: spec.write_rate / 1e6,
+            backlog_gb: backlog.max(0.0) / 1e9,
+        });
+        if backlog <= 0.0 && caught_up_after.is_none() {
+            caught_up_after = Some(t);
+            // A few tail samples, then stop.
+            if t + 3.0 * sample_interval >= max_time {
+                break;
+            }
+        }
+        if caught_up_after.is_some() && series.len() > 4 && backlog <= 0.0 {
+            break;
+        }
+        backlog += (spec.write_rate - reading) * sample_interval;
+        t += sample_interval;
+    }
+    CatchupResult {
+        series,
+        caught_up_after,
+        peak_read_mbps: peak,
+    }
+}
+
+/// Pravega catch-up: parallel chunk reads across segments, bounded by the
+/// LTS aggregate read ceiling. Writers stay at their (LTS-sustainable) rate.
+pub fn pravega_catchup(env: &CalibratedEnv, spec: &CatchupSpec) -> CatchupResult {
+    let read_rate = (env.lts.per_stream_bandwidth * spec.partitions as f64)
+        .min(env.lts.aggregate_read_bandwidth)
+        * 0.96; // protocol/framing overhead
+    run_catchup(spec, read_rate, 10.0, 3600.0)
+}
+
+/// Pulsar catch-up: broker-mediated reads of offloaded ledgers with limited
+/// per-partition read-ahead (2 offload/read threads by default); the paper
+/// found no configuration whose historical read rate exceeded the write
+/// rate.
+pub fn pulsar_catchup(env: &CalibratedEnv, spec: &CatchupSpec) -> CatchupResult {
+    let per_partition = env.lts.per_stream_bandwidth * 0.04; // broker-mediated, bounded read-ahead
+    let read_rate = (per_partition * spec.partitions as f64).min(spec.write_rate * 0.9);
+    run_catchup(spec, read_rate, 10.0, 1200.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pravega_catches_up_with_high_read_throughput() {
+        let env = CalibratedEnv::default();
+        let r = pravega_catchup(&env, &CatchupSpec::default());
+        // Fig. 12: peaks above 700 MB/s and drains the 100 GB backlog.
+        assert!(
+            r.peak_read_mbps > 650.0 && r.peak_read_mbps < 800.0,
+            "peak {} MB/s",
+            r.peak_read_mbps
+        );
+        let caught = r.caught_up_after.expect("must catch up");
+        // 100 GB at ~(730−100) MB/s net drain ≈ 160 s.
+        assert!(caught > 60.0 && caught < 400.0, "caught up after {caught}s");
+    }
+
+    #[test]
+    fn pulsar_never_catches_up() {
+        let env = CalibratedEnv::default();
+        let r = pulsar_catchup(&env, &CatchupSpec::default());
+        assert!(r.caught_up_after.is_none(), "Fig. 12: reads < writes");
+        assert!(r.peak_read_mbps < 100.0);
+        // Backlog grows monotonically once writes outpace reads.
+        let first = r.series.first().unwrap().backlog_gb;
+        let last = r.series.last().unwrap().backlog_gb;
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn series_is_well_formed() {
+        let env = CalibratedEnv::default();
+        let r = pravega_catchup(&env, &CatchupSpec::default());
+        assert!(r.series.len() > 3);
+        for w in r.series.windows(2) {
+            assert!(w[1].t > w[0].t);
+            assert!(w[0].backlog_gb >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Pulsar 2.6 write-path model.
+//!
+//! Mechanisms this model executes (the ones §5 measures):
+//!
+//! - **client-knob batching**: either latency-oriented (no batching: one
+//!   request per event) or throughput-oriented (`linger`/`batch.size`) —
+//!   the §5.3 dichotomy Pravega's dynamic batching avoids;
+//! - **broker → BookKeeper indirection**: one extra network hop, and every
+//!   client batch becomes one BookKeeper *entry* — there is no server-side
+//!   aggregation across partitions (no data-frame equivalent), so per-entry
+//!   costs scale with partitions × producers (§5.6);
+//! - **bookie journal group commit**: shared with Pravega's model (both use
+//!   BookKeeper);
+//! - **fixed batching knobs**: `batchingMaxPublishDelay` is a hard deadline,
+//!   so Pulsar batches cannot grow under backpressure the way Kafka's
+//!   accumulator or Pravega's RTT-fed heuristic do — with random routing
+//!   keys and many partitions, the entry rate explodes (§5.6's diagnosis:
+//!   "relying mainly on the client for aggregating data has important
+//!   limitations");
+//! - **instability at high parallelism** (§5.6): when brokers or bookies
+//!   saturate, unacknowledged entries pile up in broker memory until the
+//!   process dies — unless `ackQuorum=3` slows producers to the slowest
+//!   bookie (the paper's "favorable configuration");
+//! - **bolt-on tiering with no write-path coupling**: offloading never
+//!   throttles producers (§5.4, §5.7).
+
+use crate::config::CalibratedEnv;
+use crate::resources::{group_commit, Batcher, FifoResource};
+use crate::result::{assemble, consume, ReadModel, RunResult};
+use crate::workload::{self, RoutingKeys, WorkloadSpec};
+
+/// Pulsar run options.
+#[derive(Debug, Clone, Copy)]
+pub struct PulsarOptions {
+    /// Client batching enabled (`batch` vs `no batch` in Fig. 6a).
+    pub batching: bool,
+    /// `batchingMaxPublishDelay` (seconds).
+    pub linger: f64,
+    /// Maximum batch bytes.
+    pub batch_bytes: f64,
+    /// Wait for all 3 bookie acks (the §5.6 "favorable" configuration that
+    /// avoids out-of-memory crashes at the cost of latency).
+    pub ack_quorum_all: bool,
+}
+
+impl Default for PulsarOptions {
+    fn default() -> Self {
+        Self {
+            batching: true,
+            linger: 1e-3,
+            batch_bytes: 128e3,
+            ack_quorum_all: false,
+        }
+    }
+}
+
+/// Producer client per-event cost.
+const CLIENT_PER_EVENT: f64 = 0.9e-6;
+/// Per-event cost on the serialized per-partition broker path.
+const PARTITION_PER_EVENT: f64 = 1.0e-6;
+/// Bookie CPU per entry (no server-side aggregation: entry count = batch
+/// count, which explodes with partitions × producers under random keys).
+const BOOKIE_PER_ENTRY: f64 = 14e-6;
+/// Broker managed-ledger pipeline throughput for small entries (per-entry
+/// bookkeeping dominates; calibrated to §5.6's ~400 MB/s aggregate).
+const SMALL_ENTRY_PIPE: f64 = 140e6;
+/// Broker pipeline throughput for large entries (§5.4: ~300 MB/s on a
+/// single partition with 10 KB events and full batches).
+const LARGE_ENTRY_PIPE: f64 = 300e6;
+/// Entry size above which the broker pipeline runs at the large-entry rate.
+const LARGE_ENTRY_BYTES: f64 = 32e3;
+/// Broker memory for unacknowledged entries before an OOM crash (bytes).
+const BROKER_MEMORY_LIMIT: f64 = 2e9;
+/// Producer-session count (producers × partitions) beyond which broker
+/// bookkeeping (session maps, per-partition dispatchers, GC pressure)
+/// starts inflating request handling — §5.6: the favorable configuration
+/// "is still showing degraded performance ... especially when increasing
+/// the number of producers".
+const SESSION_SOFT_LIMIT: f64 = 150_000.0;
+
+/// Simulates one Pulsar run.
+pub fn simulate_pulsar(env: &CalibratedEnv, spec: &WorkloadSpec, opts: &PulsarOptions) -> RunResult {
+    let duration = env.duration;
+    let arrivals = workload::generate(spec, duration, 3);
+    if arrivals.is_empty() {
+        return assemble(spec, duration, &arrivals, &[], None, "empty");
+    }
+
+    // ---- 1. Client batching (knob-controlled) ----------------------------
+    let (close_bytes, linger) = if opts.batching {
+        (opts.batch_bytes, opts.linger)
+    } else {
+        (1.0, 0.0) // every event its own request
+    };
+    let mut batcher = Batcher::new(close_bytes, linger.max(1e-9));
+    for (i, a) in arrivals.iter().enumerate() {
+        let key = ((a.producer as u64) << 32) | a.partition as u64;
+        batcher.offer(i, key, a.t, spec.event_size);
+    }
+    let batches = batcher.finish();
+
+    // ---- 2. Broker path ----------------------------------------------------
+    let mut producer_cpu: Vec<FifoResource> = vec![FifoResource::new(); spec.producers.max(1)];
+    let mut nics: Vec<FifoResource> = vec![FifoResource::new(); spec.client_vms.max(1)];
+    let mut dispatch: Vec<FifoResource> = vec![FifoResource::new(); env.servers];
+    let mut partition_cpu: Vec<FifoResource> = vec![FifoResource::new(); spec.partitions.max(1)];
+    let mut entry_arrivals: Vec<(f64, f64, usize)> = Vec::with_capacity(batches.len());
+    for (bi, batch) in batches.iter().enumerate() {
+        let producer = (batch.key >> 32) as usize;
+        let partition = (batch.key & 0xffff_ffff) as usize;
+        let broker = partition % env.servers;
+        let vm = producer % nics.len();
+        let producer_slot = producer % producer_cpu.len();
+        let t = producer_cpu[producer_slot]
+            .process(batch.close_time, CLIENT_PER_EVENT * batch.count as f64);
+        let t = nics[vm].process(t, batch.bytes / env.net.nic_bandwidth) + env.net.rtt / 2.0;
+        // Managed-ledger pipeline: per-entry bookkeeping dominates for small
+        // entries; large full batches stream through a faster path.
+        let pipe = if batch.bytes >= LARGE_ENTRY_BYTES {
+            LARGE_ENTRY_PIPE
+        } else {
+            SMALL_ENTRY_PIPE
+        };
+        let session_pressure =
+            1.0 + (spec.producers as f64 * spec.partitions as f64 / SESSION_SOFT_LIMIT).min(8.0);
+        let t = dispatch[broker].process(
+            t,
+            env.cpu.per_request * session_pressure + batch.bytes / pipe,
+        );
+        let t = partition_cpu[partition].process(t, PARTITION_PER_EVENT * batch.count as f64);
+        // Broker → bookie hop.
+        entry_arrivals.push((t + env.net.rtt / 2.0, batch.bytes, bi));
+    }
+    entry_arrivals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+
+    // ---- 3. Bookie journal: group commit + per-entry cost ----------------
+    // Each entry costs per-entry CPU at the bookie before the group-commit
+    // device; the journal itself is shared across all partitions.
+    let mut bookie_cpu = FifoResource::new();
+    let journal_items: Vec<(f64, f64)> = entry_arrivals
+        .iter()
+        .map(|&(t, bytes, _)| {
+            (
+                bookie_cpu.process(t, BOOKIE_PER_ENTRY),
+                bytes + 64.0,
+            )
+        })
+        .collect();
+    let journal_done = group_commit(
+        &journal_items,
+        env.drive.sync_latency,
+        env.drive.bandwidth,
+        4e6,
+    );
+
+    // ---- 4. Acks + instability detection ---------------------------------
+    let ack_extra = if opts.ack_quorum_all {
+        // Waiting for the slowest bookie adds latency but keeps producer
+        // memory bounded.
+        0.4e-3
+    } else {
+        0.0
+    };
+    let mut acks = vec![f64::INFINITY; arrivals.len()];
+    let mut peak_outstanding = 0.0_f64;
+    let mut completed_in_window = 0usize;
+    for (order, &(arrival, bytes, bi)) in entry_arrivals.iter().enumerate() {
+        let done = journal_done[order] + env.net.rtt + ack_extra;
+        // Outstanding bytes approximation: how far completion lags arrival
+        // times the offered byte rate.
+        let lag = (done - arrival).max(0.0);
+        peak_outstanding = peak_outstanding.max(lag * spec.rate_bytes());
+        let _ = bytes;
+        if done <= duration {
+            completed_in_window += batches[bi].items.len();
+        }
+        for &ei in &batches[bi].items {
+            acks[ei] = done;
+        }
+    }
+    if !opts.ack_quorum_all {
+        // §5.6: without waiting for all bookie acks, producers keep pushing
+        // while unacknowledged entries pile up in broker memory. If the
+        // backlog grows, extrapolate to the experiment's timescale (the
+        // paper ran minutes-long workloads) and crash on OOM.
+        let completed_rate = completed_in_window as f64 / duration;
+        let backlog_growth =
+            (spec.rate_eps - completed_rate).max(0.0) * spec.event_size;
+        let projected = peak_outstanding + backlog_growth * 300.0;
+        if projected > BROKER_MEMORY_LIMIT && backlog_growth > 0.03 * spec.rate_bytes() {
+            return RunResult::crashed(
+                spec,
+                "broker OOM: unacknowledged entries exceeded memory",
+            );
+        }
+    }
+
+    // ---- 5. Consumer: dispatch floor + key overheads ----------------------
+    // Pulsar's broker-mediated dispatch adds a latency floor (§5.5: never
+    // under ~12ms p95 end-to-end); random keys make dispatch substantially
+    // more expensive (3.25× p95 at 10k e/s in Fig. 9); per-partition receive
+    // queues degrade aggregate read throughput as partitions grow (Fig. 8b).
+    let key_factor = match spec.routing {
+        RoutingKeys::Random => 3.0,
+        RoutingKeys::None => 1.0,
+    };
+    let partition_factor = 1.0 + 0.22 * (spec.partitions.saturating_sub(1)).min(32) as f64;
+    let consumed = consume(
+        &arrivals,
+        &acks,
+        ReadModel {
+            dispatch_delay: 3.5e-3 * key_factor,
+            per_event: 1.05e-6 * partition_factor,
+        },
+        env.net.rtt,
+    );
+
+    let note = if opts.batching { "batch" } else { "no batch" };
+    assemble(spec, duration, &arrivals, &acks, Some(&consumed), note)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pravega::{simulate_pravega, PravegaOptions};
+
+    fn env() -> CalibratedEnv {
+        CalibratedEnv {
+            duration: 1.0,
+            ..CalibratedEnv::default()
+        }
+    }
+
+    #[test]
+    fn fig6_shape_batching_dichotomy() {
+        // §5.3: Pulsar targets low latency OR high throughput, not both;
+        // Pravega's dynamic batching gets both.
+        let e = env();
+        let low_rate = WorkloadSpec::new(1, 16, 100.0, 5_000.0);
+        let no_batch_low = simulate_pulsar(
+            &e,
+            &low_rate,
+            &PulsarOptions {
+                batching: false,
+                ..PulsarOptions::default()
+            },
+        );
+        let batch_low = simulate_pulsar(&e, &low_rate, &PulsarOptions::default());
+        let pravega_low = simulate_pravega(&e, &low_rate, &PravegaOptions::default());
+        // At low rate: no-batch beats batch on latency; Pravega matches the
+        // no-batch latency.
+        assert!(no_batch_low.write_p95_ms < batch_low.write_p95_ms);
+        assert!(
+            pravega_low.write_p95_ms <= batch_low.write_p95_ms,
+            "Pravega {} vs Pulsar(batch) {}",
+            pravega_low.write_p95_ms,
+            batch_low.write_p95_ms
+        );
+
+        // At high rate: no-batch saturates far below batch.
+        let mut no_batch_max = 0.0;
+        let mut batch_max = 0.0;
+        for rate in [10e3, 30e3, 60e3, 120e3, 300e3, 600e3, 900e3] {
+            let spec = WorkloadSpec::new(1, 16, 100.0, rate);
+            if simulate_pulsar(
+                &e,
+                &spec,
+                &PulsarOptions {
+                    batching: false,
+                    ..PulsarOptions::default()
+                },
+            )
+            .stable
+            {
+                no_batch_max = rate;
+            }
+            if simulate_pulsar(&e, &spec, &PulsarOptions::default()).stable {
+                batch_max = rate;
+            }
+        }
+        assert!(
+            batch_max >= no_batch_max * 3.0,
+            "batching must raise the ceiling: no_batch={no_batch_max} batch={batch_max}"
+        );
+    }
+
+    #[test]
+    fn e2e_latency_has_a_double_digit_floor() {
+        // §5.5: Pulsar does not achieve end-to-end p95 below ~12ms even
+        // with batching.
+        let spec = WorkloadSpec::new(1, 1, 100.0, 10_000.0);
+        let r = simulate_pulsar(&env(), &spec, &PulsarOptions::default());
+        assert!(r.stable);
+        assert!(
+            r.e2e_p95_ms >= 10.0,
+            "Pulsar e2e floor missing: {} ms",
+            r.e2e_p95_ms
+        );
+    }
+
+    #[test]
+    fn fig10_shape_crashes_at_high_parallelism() {
+        // §5.6: Pulsar becomes unstable / crashes as producers × partitions
+        // grow; ackQuorum=3 avoids the crash but stays degraded.
+        let e = CalibratedEnv {
+            duration: 1.0,
+            ..CalibratedEnv::large_servers()
+        };
+        let spec = WorkloadSpec {
+            client_vms: 10,
+            ..WorkloadSpec::new(100, 5000, 1000.0, 250_000.0)
+        };
+        let default_run = simulate_pulsar(&e, &spec, &PulsarOptions::default());
+        assert!(default_run.crashed, "expected instability: {default_run:?}");
+        let favorable = simulate_pulsar(
+            &e,
+            &spec,
+            &PulsarOptions {
+                ack_quorum_all: true,
+                ..PulsarOptions::default()
+            },
+        );
+        assert!(!favorable.crashed, "ackQ=3 avoids the crash");
+        assert!(!favorable.stable, "but remains degraded: {favorable:?}");
+    }
+
+    #[test]
+    fn keys_hurt_pulsar_reads() {
+        // Fig. 9: random routing keys inflate Pulsar's read latency several
+        // fold while write throughput stays similar.
+        let e = env();
+        let keyed = simulate_pulsar(
+            &e,
+            &WorkloadSpec::new(1, 16, 100.0, 10_000.0),
+            &PulsarOptions::default(),
+        );
+        let unkeyed = simulate_pulsar(
+            &e,
+            &WorkloadSpec {
+                routing: RoutingKeys::None,
+                ..WorkloadSpec::new(1, 16, 100.0, 10_000.0)
+            },
+            &PulsarOptions::default(),
+        );
+        assert!(keyed.stable && unkeyed.stable);
+        assert!(
+            keyed.e2e_p95_ms > unkeyed.e2e_p95_ms * 2.0,
+            "keys should inflate read latency: {} vs {}",
+            keyed.e2e_p95_ms,
+            unkeyed.e2e_p95_ms
+        );
+    }
+
+    #[test]
+    fn single_partition_large_events_beat_pravega_because_no_throttle() {
+        // §5.4: Pulsar outruns Pravega at 1 partition with 10KB events
+        // because it does NOT throttle on LTS — at the cost of an unbounded
+        // offload backlog.
+        let e = env();
+        let spec = WorkloadSpec::new(1, 1, 10_000.0, 25_000.0); // 250 MB/s
+        let pulsar = simulate_pulsar(&e, &spec, &PulsarOptions::default());
+        let pravega = simulate_pravega(&e, &spec, &PravegaOptions::default());
+        assert!(
+            pulsar.achieved_mbps > pravega.achieved_mbps,
+            "Pulsar {} vs Pravega {} MB/s",
+            pulsar.achieved_mbps,
+            pravega.achieved_mbps
+        );
+    }
+}

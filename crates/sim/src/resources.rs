@@ -1,0 +1,298 @@
+//! Trace-driven queueing primitives.
+//!
+//! All simulation is deterministic: items are processed in arrival order
+//! through stateful resources, and queueing delay emerges from resource
+//! occupancy. Times are `f64` seconds; sizes are `f64` bytes.
+
+/// A FIFO server: one item at a time, explicit service time per item.
+#[derive(Debug, Clone, Default)]
+pub struct FifoResource {
+    free_at: f64,
+}
+
+impl FifoResource {
+    /// Creates an idle resource.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves an item that becomes ready at `ready` and needs `service`
+    /// seconds; returns its completion time.
+    pub fn process(&mut self, ready: f64, service: f64) -> f64 {
+        let start = ready.max(self.free_at);
+        self.free_at = start + service;
+        self.free_at
+    }
+
+    /// When the resource next becomes idle.
+    pub fn free_at(&self) -> f64 {
+        self.free_at
+    }
+
+    /// Fraction of `window` the resource was busy (rough utilization).
+    pub fn utilization(&self, window: f64) -> f64 {
+        (self.free_at / window).min(1.0)
+    }
+}
+
+/// Group-commit device (a bookie journal): items that arrive while the
+/// device is busy are persisted together by the next sync — one fixed
+/// `sync_latency` for the whole batch plus the batch bytes at `bandwidth`.
+///
+/// This is the mechanism that makes durable Bookkeeper writes cheap (§5.2):
+/// the more concurrent appends, the fewer syncs per byte.
+pub fn group_commit(
+    items: &[(f64, f64)], // (arrival, bytes), sorted by arrival
+    sync_latency: f64,
+    bandwidth: f64,
+    max_batch_bytes: f64,
+) -> Vec<f64> {
+    let mut completions = vec![0.0; items.len()];
+    let mut free = 0.0_f64;
+    let mut i = 0;
+    while i < items.len() {
+        let start = items[i].0.max(free);
+        let mut j = i;
+        let mut bytes = 0.0;
+        while j < items.len() && items[j].0 <= start && bytes < max_batch_bytes {
+            bytes += items[j].1;
+            j += 1;
+        }
+        let done = start + sync_latency + bytes / bandwidth;
+        for completion in completions.iter_mut().take(j).skip(i) {
+            *completion = done;
+        }
+        free = done;
+        i = j;
+    }
+    completions
+}
+
+/// A batch under construction in a [`Batcher`].
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Key the batch belongs to (producer, partition, …).
+    pub key: u64,
+    /// Time the batch was closed (ready to send).
+    pub close_time: f64,
+    /// Total payload bytes.
+    pub bytes: f64,
+    /// Number of items.
+    pub count: u64,
+    /// Arrival time of the batch's first item.
+    pub first_arrival: f64,
+    /// Indices (into the arrival trace) of the items in this batch.
+    pub items: Vec<usize>,
+}
+
+#[derive(Debug, Default)]
+struct OpenBatch {
+    bytes: f64,
+    count: u64,
+    first_arrival: f64,
+    items: Vec<usize>,
+}
+
+/// Size-or-timeout batching per key — the client-side batching of Kafka and
+/// Pulsar (`batch.size` + `linger.ms`) and, with a dynamic size threshold,
+/// the Pravega writer's append blocks.
+#[derive(Debug)]
+pub struct Batcher {
+    /// Close a batch once it holds at least this many bytes.
+    pub close_bytes: f64,
+    /// Close a batch `linger` seconds after its first item.
+    pub linger: f64,
+    open: std::collections::HashMap<u64, OpenBatch>,
+    closed: Vec<Batch>,
+}
+
+impl Batcher {
+    /// Creates a batcher with a byte threshold and a linger timeout.
+    pub fn new(close_bytes: f64, linger: f64) -> Self {
+        Self {
+            close_bytes,
+            linger,
+            open: std::collections::HashMap::new(),
+            closed: Vec::new(),
+        }
+    }
+
+    fn close(&mut self, key: u64, at: f64) {
+        if let Some(open) = self.open.remove(&key) {
+            if open.count > 0 {
+                self.closed.push(Batch {
+                    key,
+                    close_time: at,
+                    bytes: open.bytes,
+                    count: open.count,
+                    first_arrival: open.first_arrival,
+                    items: open.items,
+                });
+            }
+        }
+    }
+
+    /// Offers one item; must be called in non-decreasing time order.
+    pub fn offer(&mut self, index: usize, key: u64, t: f64, bytes: f64) {
+        // Linger expiry for this key happens before the new item joins.
+        if let Some(open) = self.open.get(&key) {
+            if open.count > 0 && t > open.first_arrival + self.linger {
+                let deadline = open.first_arrival + self.linger;
+                self.close(key, deadline);
+            }
+        }
+        let open = self.open.entry(key).or_default();
+        if open.count == 0 {
+            open.first_arrival = t;
+        }
+        open.bytes += bytes;
+        open.count += 1;
+        open.items.push(index);
+        if open.bytes >= self.close_bytes {
+            self.close(key, t);
+        }
+    }
+
+    /// Flushes every open batch at its linger deadline (end of trace).
+    pub fn finish(mut self) -> Vec<Batch> {
+        let keys: Vec<u64> = self.open.keys().copied().collect();
+        for key in keys {
+            let deadline = self.open[&key].first_arrival + self.linger;
+            self.close(key, deadline);
+        }
+        self.closed.sort_by(|a, b| {
+            a.close_time
+                .partial_cmp(&b.close_time)
+                .expect("finite times")
+        });
+        self.closed
+    }
+}
+
+/// Collects latency samples and reports percentiles in milliseconds.
+#[derive(Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency in seconds.
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Percentile (0–100) in milliseconds; 0.0 when empty.
+    pub fn percentile_ms(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let rank = ((p / 100.0) * (self.samples.len() as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)] * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_resource_queues() {
+        let mut r = FifoResource::new();
+        assert_eq!(r.process(0.0, 1.0), 1.0);
+        // Arrives while busy: waits.
+        assert_eq!(r.process(0.5, 1.0), 2.0);
+        // Arrives after idle: starts immediately.
+        assert_eq!(r.process(5.0, 1.0), 6.0);
+        assert_eq!(r.free_at(), 6.0);
+    }
+
+    #[test]
+    fn group_commit_merges_concurrent_arrivals() {
+        // Three writes arrive while the first sync is in flight: the second
+        // sync covers both laggards.
+        let items = [(0.0, 100.0), (0.001, 100.0), (0.002, 100.0)];
+        let done = group_commit(&items, 0.010, 1e9, 1e9);
+        assert!((done[0] - 0.010).abs() < 1e-6);
+        assert_eq!(done[1], done[2], "grouped into one sync");
+        assert!(done[1] > 0.010 && done[1] < 0.0202);
+    }
+
+    #[test]
+    fn group_commit_idle_items_sync_individually() {
+        let items = [(0.0, 100.0), (1.0, 100.0)];
+        let done = group_commit(&items, 0.010, 1e9, 1e9);
+        assert!((done[0] - 0.010).abs() < 1e-6);
+        assert!((done[1] - 1.010).abs() < 1e-6);
+    }
+
+    #[test]
+    fn group_commit_completions_are_monotonic() {
+        let items: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64 * 1e-5, 500.0)).collect();
+        let done = group_commit(&items, 5e-5, 800e6, 1e7);
+        for w in done.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Group commit must beat individual syncs.
+        let individual: f64 = 1000.0 * 5e-5;
+        assert!(done[999] < individual, "group commit saves syncs");
+    }
+
+    #[test]
+    fn batcher_closes_on_size() {
+        let mut b = Batcher::new(250.0, 1.0);
+        b.offer(0, 7, 0.0, 100.0);
+        b.offer(1, 7, 0.1, 100.0);
+        b.offer(2, 7, 0.2, 100.0); // crosses 250 bytes
+        let batches = b.finish();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].count, 3);
+        assert!((batches[0].close_time - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batcher_closes_on_linger() {
+        let mut b = Batcher::new(1e9, 0.005);
+        b.offer(0, 1, 0.0, 100.0);
+        b.offer(1, 1, 0.050, 100.0); // far past linger: first batch closed at 5ms
+        let batches = b.finish();
+        assert_eq!(batches.len(), 2);
+        assert!((batches[0].close_time - 0.005).abs() < 1e-9);
+        assert_eq!(batches[0].count, 1);
+        assert!((batches[1].close_time - 0.055).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batcher_keys_are_independent() {
+        let mut b = Batcher::new(150.0, 1.0);
+        b.offer(0, 1, 0.0, 100.0);
+        b.offer(1, 2, 0.1, 100.0);
+        b.offer(2, 1, 0.2, 100.0); // key 1 crosses
+        let batches = b.finish();
+        assert_eq!(batches.len(), 2);
+        let key1 = batches.iter().find(|x| x.key == 1).unwrap();
+        assert_eq!(key1.count, 2);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut s = LatencyStats::new();
+        for i in 1..=100 {
+            s.record(i as f64 / 1000.0);
+        }
+        assert!((s.percentile_ms(50.0) - 50.0).abs() <= 1.0);
+        assert!((s.percentile_ms(95.0) - 95.0).abs() <= 1.0);
+        assert_eq!(s.count(), 100);
+    }
+}

@@ -1,0 +1,247 @@
+//! Simulation results and shared measurement plumbing.
+
+use crate::resources::{FifoResource, LatencyStats};
+use crate::workload::{Arrival, WorkloadSpec};
+
+/// Outcome of one simulated benchmark run (one point on a figure).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Offered load, events/s.
+    pub offered_eps: f64,
+    /// Offered load, MB/s.
+    pub offered_mbps: f64,
+    /// Achieved (acknowledged) throughput, events/s.
+    pub achieved_eps: f64,
+    /// Achieved throughput, MB/s.
+    pub achieved_mbps: f64,
+    /// Write (ack) latency p50, milliseconds.
+    pub write_p50_ms: f64,
+    /// Write latency p95.
+    pub write_p95_ms: f64,
+    /// Write latency p99.
+    pub write_p99_ms: f64,
+    /// End-to-end (produce→consume) latency p50, when reads are modeled.
+    pub e2e_p50_ms: f64,
+    /// End-to-end latency p95.
+    pub e2e_p95_ms: f64,
+    /// Read throughput achieved by the consumer path, events/s.
+    pub read_eps: f64,
+    /// Sustained drain capacity, events/s: completions (no deadline) over
+    /// the makespan. This is what "max throughput" figures report — a
+    /// saturated system still drains at its capacity.
+    pub capacity_eps: f64,
+    /// Sustained drain capacity, MB/s.
+    pub capacity_mbps: f64,
+    /// Whether the system kept up with the offered load.
+    pub stable: bool,
+    /// Whether the system failed outright (Pulsar instability, §5.6).
+    pub crashed: bool,
+    /// Free-form annotation (e.g. "LTS throttled").
+    pub note: String,
+}
+
+impl RunResult {
+    /// A crashed run (no useful measurements).
+    pub fn crashed(spec: &WorkloadSpec, note: &str) -> Self {
+        Self {
+            offered_eps: spec.rate_eps,
+            offered_mbps: spec.rate_mbps(),
+            achieved_eps: 0.0,
+            achieved_mbps: 0.0,
+            write_p50_ms: f64::NAN,
+            write_p95_ms: f64::NAN,
+            write_p99_ms: f64::NAN,
+            e2e_p50_ms: f64::NAN,
+            e2e_p95_ms: f64::NAN,
+            read_eps: 0.0,
+            capacity_eps: 0.0,
+            capacity_mbps: 0.0,
+            stable: false,
+            crashed: true,
+            note: note.to_string(),
+        }
+    }
+}
+
+/// Consumer-side model: dispatch delay + per-event consumer cost.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadModel {
+    /// Fixed delay between durability and dispatch to the consumer.
+    pub dispatch_delay: f64,
+    /// Consumer processing cost per event (caps read throughput).
+    pub per_event: f64,
+}
+
+/// Runs acknowledged events through a single consumer, returning per-event
+/// consume-completion times (in ack order).
+pub(crate) fn consume(
+    arrivals: &[Arrival],
+    acks: &[f64],
+    model: ReadModel,
+    rtt: f64,
+) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..acks.len()).filter(|&i| acks[i].is_finite()).collect();
+    order.sort_by(|&a, &b| acks[a].partial_cmp(&acks[b]).expect("finite acks"));
+    let mut consumer = FifoResource::new();
+    let mut consumed = vec![f64::INFINITY; acks.len()];
+    for i in order {
+        let ready = acks[i] + model.dispatch_delay + rtt / 2.0;
+        consumed[i] = consumer.process(ready, model.per_event);
+    }
+    let _ = arrivals;
+    consumed
+}
+
+/// Assembles a [`RunResult`] from per-event arrival and completion times.
+pub(crate) fn assemble(
+    spec: &WorkloadSpec,
+    duration: f64,
+    arrivals: &[Arrival],
+    acks: &[f64],
+    consumed: Option<&[f64]>,
+    note: impl Into<String>,
+) -> RunResult {
+    let grace = duration + 0.5;
+    let warmup = duration * 0.2;
+    let mut write = LatencyStats::new();
+    let mut e2e = LatencyStats::new();
+    let mut completed = 0usize;
+    let mut read_completed = 0usize;
+    let mut drained = 0usize;
+    let mut last_ack = 0.0_f64;
+    for (i, a) in arrivals.iter().enumerate() {
+        let ack = acks[i];
+        if ack.is_finite() {
+            drained += 1;
+            last_ack = last_ack.max(ack);
+        }
+        if ack.is_finite() && ack <= grace {
+            completed += 1;
+            if a.t >= warmup {
+                write.record(ack - a.t);
+            }
+        }
+        if let Some(consumed) = consumed {
+            let c = consumed[i];
+            if c.is_finite() && c <= grace {
+                read_completed += 1;
+                if a.t >= warmup {
+                    e2e.record(c - a.t);
+                }
+            }
+        }
+    }
+    let total = arrivals.len().max(1);
+    let achieved_eps = completed as f64 / duration;
+    let write_p99 = write.percentile_ms(99.0);
+    // Stable = kept up with the offered rate AND latency stayed bounded
+    // (a growing queue shows up as a runaway p99 before events start
+    // missing the grace window).
+    let stable = completed as f64 >= 0.97 * total as f64 && write_p99 < 250.0;
+    let makespan = last_ack.max(duration);
+    let capacity_eps = drained as f64 / makespan;
+    RunResult {
+        offered_eps: spec.rate_eps,
+        offered_mbps: spec.rate_mbps(),
+        achieved_eps,
+        achieved_mbps: achieved_eps * spec.event_size / 1e6,
+        write_p50_ms: write.percentile_ms(50.0),
+        write_p95_ms: write.percentile_ms(95.0),
+        write_p99_ms: write_p99,
+        e2e_p50_ms: e2e.percentile_ms(50.0),
+        e2e_p95_ms: e2e.percentile_ms(95.0),
+        read_eps: read_completed as f64 / duration,
+        capacity_eps,
+        capacity_mbps: capacity_eps * spec.event_size / 1e6,
+        stable,
+        crashed: false,
+        note: note.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::RoutingKeys;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec {
+            producers: 1,
+            partitions: 1,
+            event_size: 100.0,
+            rate_eps: 1000.0,
+            routing: RoutingKeys::Random,
+            client_vms: 2,
+        }
+    }
+
+    #[test]
+    fn assemble_reports_stable_run() {
+        let spec = spec();
+        let arrivals: Vec<Arrival> = (0..1000)
+            .map(|i| Arrival {
+                t: i as f64 / 1000.0,
+                producer: 0,
+                partition: 0,
+            })
+            .collect();
+        let acks: Vec<f64> = arrivals.iter().map(|a| a.t + 0.002).collect();
+        let r = assemble(&spec, 1.0, &arrivals, &acks, None, "");
+        assert!(r.stable);
+        assert!((r.achieved_eps - 1000.0).abs() < 1.0);
+        assert!((r.write_p50_ms - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn assemble_flags_overload() {
+        let spec = spec();
+        let arrivals: Vec<Arrival> = (0..1000)
+            .map(|i| Arrival {
+                t: i as f64 / 1000.0,
+                producer: 0,
+                partition: 0,
+            })
+            .collect();
+        // Half the events never complete.
+        let acks: Vec<f64> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, a)| if i % 2 == 0 { a.t + 0.001 } else { f64::INFINITY })
+            .collect();
+        let r = assemble(&spec, 1.0, &arrivals, &acks, None, "");
+        assert!(!r.stable);
+        assert!((r.achieved_eps - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn consumer_caps_read_throughput() {
+        let arrivals: Vec<Arrival> = (0..10_000)
+            .map(|i| Arrival {
+                t: i as f64 / 10_000.0,
+                producer: 0,
+                partition: 0,
+            })
+            .collect();
+        let acks: Vec<f64> = arrivals.iter().map(|a| a.t + 0.001).collect();
+        // Consumer can only do 5k events/s: e2e latency must blow up.
+        let consumed = consume(
+            &arrivals,
+            &acks,
+            ReadModel {
+                dispatch_delay: 0.0005,
+                per_event: 1.0 / 5000.0,
+            },
+            300e-6,
+        );
+        let last = consumed.iter().cloned().fold(0.0, f64::max);
+        assert!(last > 1.5, "backlog should push completion past 1.5s: {last}");
+    }
+
+    #[test]
+    fn crashed_result_is_marked() {
+        let r = RunResult::crashed(&spec(), "oom");
+        assert!(r.crashed);
+        assert!(!r.stable);
+        assert_eq!(r.note, "oom");
+    }
+}

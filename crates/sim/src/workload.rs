@@ -1,0 +1,187 @@
+//! OpenMessaging-style workload generation.
+//!
+//! Producers generate events at a fixed aggregate rate (open loop, like the
+//! benchmark tool in §5.1), each event carrying a routing key — random keys
+//! by default, mirroring the paper's workloads ("we use routing keys in our
+//! workloads to ensure per-key event order").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Routing-key behaviour (§5.1, §5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingKeys {
+    /// Random routing keys: events scatter across partitions/segments.
+    Random,
+    /// No routing keys: producers may batch per-partition efficiently
+    /// (Kafka's sticky partitioning; Pulsar round-robin at batch
+    /// granularity).
+    None,
+}
+
+/// A benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of producer threads (each its own client instance).
+    pub producers: usize,
+    /// Partitions/segments of the topic/stream.
+    pub partitions: usize,
+    /// Event payload size (bytes).
+    pub event_size: f64,
+    /// Aggregate offered rate, events/second.
+    pub rate_eps: f64,
+    /// Routing-key mode.
+    pub routing: RoutingKeys,
+    /// Benchmark VMs the producers run on (Table 1: 2; §5.6: 10).
+    pub client_vms: usize,
+}
+
+impl WorkloadSpec {
+    /// Standard workload shape (2 benchmark VMs, random routing keys).
+    pub fn new(producers: usize, partitions: usize, event_size: f64, rate_eps: f64) -> Self {
+        Self {
+            producers,
+            partitions,
+            event_size,
+            rate_eps,
+            routing: RoutingKeys::Random,
+            client_vms: 2,
+        }
+    }
+    /// Offered rate in bytes/second.
+    pub fn rate_bytes(&self) -> f64 {
+        self.rate_eps * self.event_size
+    }
+
+    /// Offered rate in MB/s.
+    pub fn rate_mbps(&self) -> f64 {
+        self.rate_bytes() / 1e6
+    }
+}
+
+/// One generated event arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Arrival time (seconds).
+    pub t: f64,
+    /// Producer index.
+    pub producer: u32,
+    /// Partition/segment the event routes to.
+    pub partition: u32,
+}
+
+/// Generates the arrival trace for `duration` seconds, sorted by time.
+///
+/// Each producer emits at `rate/producers` with deterministic jittered
+/// inter-arrival times (seeded), and random routing keys map events
+/// uniformly onto partitions. With [`RoutingKeys::None`] a producer sticks
+/// to one partition and rotates only periodically (batch-friendly).
+pub fn generate(spec: &WorkloadSpec, duration: f64, seed: u64) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_producer = spec.rate_eps / spec.producers as f64;
+    let mut arrivals = Vec::with_capacity((spec.rate_eps * duration) as usize + spec.producers);
+    for producer in 0..spec.producers {
+        let mut t = rng.gen_range(0.0..(1.0 / per_producer).min(duration));
+        let mut sticky = rng.gen_range(0..spec.partitions) as u32;
+        let mut since_rotate = 0u32;
+        while t < duration {
+            let partition = match spec.routing {
+                RoutingKeys::Random => rng.gen_range(0..spec.partitions) as u32,
+                RoutingKeys::None => {
+                    // Sticky partitioning: rotate every ~512 events (roughly
+                    // one full client batch of small events).
+                    since_rotate += 1;
+                    if since_rotate >= 512 {
+                        since_rotate = 0;
+                        sticky = rng.gen_range(0..spec.partitions) as u32;
+                    }
+                    sticky
+                }
+            };
+            arrivals.push(Arrival {
+                t,
+                producer: producer as u32,
+                partition,
+            });
+            // Jittered deterministic inter-arrival (±20%).
+            let jitter = rng.gen_range(0.8..1.2);
+            t += jitter / per_producer;
+        }
+    }
+    arrivals.sort_by(|a, b| a.t.partial_cmp(&b.t).expect("finite times"));
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(routing: RoutingKeys) -> WorkloadSpec {
+        WorkloadSpec {
+            routing,
+            ..WorkloadSpec::new(4, 16, 100.0, 10_000.0)
+        }
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let arrivals = generate(&spec(RoutingKeys::Random), 1.0, 42);
+        let n = arrivals.len() as f64;
+        assert!((n - 10_000.0).abs() < 500.0, "got {n} arrivals");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_bounded() {
+        let arrivals = generate(&spec(RoutingKeys::Random), 0.5, 1);
+        for w in arrivals.windows(2) {
+            assert!(w[1].t >= w[0].t);
+        }
+        assert!(arrivals.iter().all(|a| a.t < 0.5));
+        assert!(arrivals.iter().all(|a| (a.partition as usize) < 16));
+        assert!(arrivals.iter().all(|a| (a.producer as usize) < 4));
+    }
+
+    #[test]
+    fn random_keys_scatter_partitions() {
+        let arrivals = generate(&spec(RoutingKeys::Random), 1.0, 7);
+        let mut counts = vec![0usize; 16];
+        for a in &arrivals {
+            counts[a.partition as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 2.0, "uniform-ish spread: {counts:?}");
+    }
+
+    #[test]
+    fn no_keys_stick_to_partitions() {
+        let arrivals = generate(&spec(RoutingKeys::None), 0.2, 7);
+        // Consecutive events of one producer mostly share a partition.
+        let mut switches = 0;
+        let mut total = 0;
+        let mut last: std::collections::HashMap<u32, u32> = Default::default();
+        for a in &arrivals {
+            if let Some(prev) = last.insert(a.producer, a.partition) {
+                total += 1;
+                if prev != a.partition {
+                    switches += 1;
+                }
+            }
+        }
+        assert!(
+            (switches as f64) < (total as f64) * 0.05,
+            "sticky partitions: {switches}/{total} switches"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec(RoutingKeys::Random), 0.3, 99);
+        let b = generate(&spec(RoutingKeys::Random), 0.3, 99);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.t == y.t && x.partition == y.partition));
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for the WAL substrate.
+
+use std::fmt;
+
+/// Errors produced by a single bookie.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BookieError {
+    /// The caller's fence token is older than the ledger's current token:
+    /// a newer owner has fenced this ledger (§4.4).
+    Fenced {
+        /// Token presented by the caller.
+        presented: u64,
+        /// Token currently required.
+        current: u64,
+    },
+    /// The ledger does not exist on this bookie.
+    NoSuchLedger,
+    /// The entry does not exist in the ledger.
+    NoSuchEntry,
+    /// The bookie is unavailable (crashed / partitioned — failure injection).
+    Unavailable,
+    /// Underlying storage failure.
+    Io(String),
+}
+
+impl fmt::Display for BookieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BookieError::Fenced { presented, current } => {
+                write!(f, "fenced: presented token {presented} < current {current}")
+            }
+            BookieError::NoSuchLedger => write!(f, "no such ledger"),
+            BookieError::NoSuchEntry => write!(f, "no such entry"),
+            BookieError::Unavailable => write!(f, "bookie unavailable"),
+            BookieError::Io(msg) => write!(f, "bookie io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BookieError {}
+
+/// Errors produced by the replicated log layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// Not enough bookies to form the requested ensemble.
+    NotEnoughBookies {
+        /// Bookies required.
+        needed: usize,
+        /// Bookies available.
+        available: usize,
+    },
+    /// An append could not reach its ack quorum.
+    QuorumLost,
+    /// The log/ledger was fenced by a newer owner; this handle is dead.
+    Fenced,
+    /// The log handle was closed.
+    Closed,
+    /// Ledger metadata is missing or corrupt.
+    Metadata(String),
+    /// Underlying bookie failure.
+    Bookie(BookieError),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::NotEnoughBookies { needed, available } => {
+                write!(f, "not enough bookies: need {needed}, have {available}")
+            }
+            WalError::QuorumLost => write!(f, "append lost its ack quorum"),
+            WalError::Fenced => write!(f, "log fenced by a newer owner"),
+            WalError::Closed => write!(f, "log closed"),
+            WalError::Metadata(msg) => write!(f, "ledger metadata error: {msg}"),
+            WalError::Bookie(e) => write!(f, "bookie error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Bookie(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BookieError> for WalError {
+    fn from(e: BookieError) -> Self {
+        WalError::Bookie(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = BookieError::Fenced {
+            presented: 1,
+            current: 2,
+        };
+        assert!(e.to_string().contains("fenced"));
+        let w: WalError = e.into();
+        assert!(w.to_string().contains("bookie error"));
+        assert!(std::error::Error::source(&w).is_some());
+    }
+}

@@ -1,0 +1,870 @@
+//! Replicated ledgers: append-only logs striped across an ensemble of
+//! bookies with quorum acknowledgement (ensemble/writeQuorum/ackQuorum — the
+//! 3/3/2 scheme of Table 1).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use pravega_common::buf::{get_string, get_u64, get_u8};
+use pravega_common::future::{promise, Completer, Promise};
+use pravega_coordination::CoordinationService;
+
+use crate::bookie::Bookie;
+use crate::error::{BookieError, WalError};
+
+/// Identifier of a ledger, unique within the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LedgerId(pub u64);
+
+impl std::fmt::Display for LedgerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ledger-{}", self.0)
+    }
+}
+
+/// Replication scheme for a ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Bookies the ledger's entries are spread over.
+    pub ensemble: usize,
+    /// Bookies each entry is written to.
+    pub write_quorum: usize,
+    /// Acks required before an entry is confirmed durable.
+    pub ack_quorum: usize,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        // Table 1: ensemble=3, writeQuorum=3, ackQuorum=2.
+        Self {
+            ensemble: 3,
+            write_quorum: 3,
+            ack_quorum: 2,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// Validates internal consistency (`ack <= write <= ensemble`, all > 0).
+    pub fn validate(&self) -> Result<(), WalError> {
+        if self.ack_quorum == 0
+            || self.ack_quorum > self.write_quorum
+            || self.write_quorum > self.ensemble
+        {
+            return Err(WalError::Metadata(format!(
+                "invalid replication config {self:?}: need 0 < ack <= write <= ensemble"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Single-bookie configuration, for unit tests.
+    pub fn single() -> Self {
+        Self {
+            ensemble: 1,
+            write_quorum: 1,
+            ack_quorum: 1,
+        }
+    }
+}
+
+/// State of a ledger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerState {
+    /// Accepting appends.
+    Open,
+    /// Closed; `last_entry` is the final confirmed entry (None = empty).
+    Closed {
+        /// Highest entry in the ledger, `None` if it closed empty.
+        last_entry: Option<u64>,
+    },
+}
+
+/// Metadata describing a ledger: its ensemble and state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerMetadata {
+    /// The ledger's id.
+    pub id: LedgerId,
+    /// Bookie ids forming the ensemble, in stripe order.
+    pub ensemble: Vec<String>,
+    /// Replication scheme.
+    pub config: ReplicationConfig,
+    /// Open/closed state.
+    pub state: LedgerState,
+}
+
+impl LedgerMetadata {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u64(self.id.0);
+        buf.put_u8(self.ensemble.len() as u8);
+        for b in &self.ensemble {
+            pravega_common::buf::put_string(&mut buf, b);
+        }
+        buf.put_u8(self.config.ensemble as u8);
+        buf.put_u8(self.config.write_quorum as u8);
+        buf.put_u8(self.config.ack_quorum as u8);
+        match self.state {
+            LedgerState::Open => buf.put_u8(0),
+            LedgerState::Closed { last_entry } => {
+                buf.put_u8(1);
+                buf.put_u64(last_entry.map(|e| e + 1).unwrap_or(0));
+            }
+        }
+        buf.to_vec()
+    }
+
+    fn decode(data: &[u8]) -> Result<Self, WalError> {
+        let mut buf = Bytes::from(data.to_vec());
+        let err = |_| WalError::Metadata("corrupt ledger metadata".into());
+        let id = LedgerId(get_u64(&mut buf, "ledger id").map_err(err)?);
+        let n = get_u8(&mut buf, "ensemble len").map_err(err)? as usize;
+        let mut ensemble = Vec::with_capacity(n);
+        for _ in 0..n {
+            ensemble.push(get_string(&mut buf, "bookie id").map_err(err)?);
+        }
+        let config = ReplicationConfig {
+            ensemble: get_u8(&mut buf, "ensemble").map_err(err)? as usize,
+            write_quorum: get_u8(&mut buf, "writeq").map_err(err)? as usize,
+            ack_quorum: get_u8(&mut buf, "ackq").map_err(err)? as usize,
+        };
+        let state = match get_u8(&mut buf, "state").map_err(err)? {
+            0 => LedgerState::Open,
+            1 => {
+                let raw = get_u64(&mut buf, "last entry").map_err(err)?;
+                LedgerState::Closed {
+                    last_entry: raw.checked_sub(1),
+                }
+            }
+            _ => return Err(WalError::Metadata("unknown ledger state".into())),
+        };
+        Ok(Self {
+            id,
+            ensemble,
+            config,
+            state,
+        })
+    }
+
+    /// The bookies (by stripe order) responsible for `entry`.
+    pub fn stripe_indices(&self, entry: u64) -> Vec<usize> {
+        let e = self.ensemble.len();
+        (0..self.config.write_quorum)
+            .map(|i| ((entry as usize) + i) % e)
+            .collect()
+    }
+}
+
+/// A set of available bookies.
+#[derive(Debug, Clone)]
+pub struct BookiePool {
+    bookies: Vec<Arc<dyn Bookie>>,
+    next: Arc<AtomicUsize>,
+}
+
+impl BookiePool {
+    /// Creates a pool over the given bookies.
+    pub fn new(bookies: Vec<Arc<dyn Bookie>>) -> Self {
+        Self {
+            bookies,
+            next: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of bookies in the pool.
+    pub fn len(&self) -> usize {
+        self.bookies.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bookies.is_empty()
+    }
+
+    /// Finds a bookie by id.
+    pub fn get(&self, id: &str) -> Option<Arc<dyn Bookie>> {
+        self.bookies.iter().find(|b| b.id() == id).cloned()
+    }
+
+    /// Picks `n` distinct bookies round-robin.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::NotEnoughBookies`] if fewer than `n` exist.
+    pub fn select_ensemble(&self, n: usize) -> Result<Vec<Arc<dyn Bookie>>, WalError> {
+        if self.bookies.len() < n {
+            return Err(WalError::NotEnoughBookies {
+                needed: n,
+                available: self.bookies.len(),
+            });
+        }
+        let start = self.next.fetch_add(1, Ordering::Relaxed);
+        Ok((0..n)
+            .map(|i| self.bookies[(start + i) % self.bookies.len()].clone())
+            .collect())
+    }
+}
+
+struct AckMsg {
+    entry: u64,
+    result: Result<(), BookieError>,
+}
+
+struct PendingEntry {
+    acks: usize,
+    nacks: usize,
+    completer: Completer<Result<u64, WalError>>,
+}
+
+struct WriterShared {
+    pending: Mutex<BTreeMap<u64, PendingEntry>>,
+    lac: AtomicI64,
+    failed: AtomicBool,
+    fenced: AtomicBool,
+}
+
+/// An open handle for appending to a ledger with quorum replication.
+///
+/// Appends are pipelined: [`LedgerWriter::append`] returns a [`Promise`]
+/// completed once `ack_quorum` bookies confirm the entry *and* every earlier
+/// entry is confirmed (entries confirm strictly in order, as in BookKeeper).
+pub struct LedgerWriter {
+    metadata: LedgerMetadata,
+    fence_token: u64,
+    shared: Arc<WriterShared>,
+    worker_txs: Vec<Option<Sender<(u64, Bytes)>>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    collector_handle: Option<JoinHandle<()>>,
+    sequencer: Mutex<u64>,
+}
+
+impl std::fmt::Debug for LedgerWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LedgerWriter")
+            .field("ledger", &self.metadata.id)
+            .field("lac", &self.last_add_confirmed())
+            .finish()
+    }
+}
+
+impl LedgerWriter {
+    fn start(
+        metadata: LedgerMetadata,
+        ensemble: Vec<Arc<dyn Bookie>>,
+        fence_token: u64,
+    ) -> Self {
+        let shared = Arc::new(WriterShared {
+            pending: Mutex::new(BTreeMap::new()),
+            lac: AtomicI64::new(-1),
+            failed: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
+        });
+        let (ack_tx, ack_rx) = unbounded::<AckMsg>();
+        let ledger = metadata.id;
+        let mut worker_txs = Vec::new();
+        let mut worker_handles = Vec::new();
+        for bookie in ensemble {
+            let (tx, rx) = unbounded::<(u64, Bytes)>();
+            let ack_tx = ack_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("ledger-{}-{}", ledger.0, bookie.id()))
+                .spawn(move || {
+                    while let Ok((entry, data)) = rx.recv() {
+                        let result = bookie.add_entry(ledger, entry, fence_token, data);
+                        if ack_tx.send(AckMsg { entry, result }).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn ledger worker");
+            worker_txs.push(Some(tx));
+            worker_handles.push(handle);
+        }
+        drop(ack_tx);
+
+        let collector_shared = shared.clone();
+        let config = metadata.config;
+        let collector_handle = std::thread::Builder::new()
+            .name(format!("ledger-{}-acks", ledger.0))
+            .spawn(move || {
+                while let Ok(msg) = ack_rx.recv() {
+                    let mut pending = collector_shared.pending.lock();
+                    let fail_all = {
+                        match pending.get_mut(&msg.entry) {
+                            None => false,
+                            Some(p) => match msg.result {
+                                Ok(()) => {
+                                    p.acks += 1;
+                                    false
+                                }
+                                Err(BookieError::Fenced { .. }) => {
+                                    collector_shared.fenced.store(true, Ordering::SeqCst);
+                                    true
+                                }
+                                Err(_) => {
+                                    p.nacks += 1;
+                                    p.nacks > config.write_quorum - config.ack_quorum
+                                }
+                            },
+                        }
+                    };
+                    if fail_all {
+                        collector_shared.failed.store(true, Ordering::SeqCst);
+                        let error = if collector_shared.fenced.load(Ordering::SeqCst) {
+                            WalError::Fenced
+                        } else {
+                            WalError::QuorumLost
+                        };
+                        for (_, p) in std::mem::take(&mut *pending) {
+                            p.completer.complete(Err(error.clone()));
+                        }
+                        continue;
+                    }
+                    // Confirm in order from the head of the pending map.
+                    loop {
+                        let head_ready = pending
+                            .iter()
+                            .next()
+                            .map(|(e, p)| (*e, p.acks >= config.ack_quorum))
+                            .filter(|(_, ready)| *ready)
+                            .map(|(e, _)| e);
+                        match head_ready {
+                            Some(entry) => {
+                                let p = pending.remove(&entry).expect("head exists");
+                                collector_shared.lac.store(entry as i64, Ordering::SeqCst);
+                                p.completer.complete(Ok(entry));
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            })
+            .expect("spawn ack collector");
+
+        Self {
+            metadata,
+            fence_token,
+            shared,
+            worker_txs,
+            worker_handles,
+            collector_handle: Some(collector_handle),
+            sequencer: Mutex::new(0),
+        }
+    }
+
+    /// This writer's ledger metadata.
+    pub fn metadata(&self) -> &LedgerMetadata {
+        &self.metadata
+    }
+
+    /// The fence token this writer presents to bookies.
+    pub fn fence_token(&self) -> u64 {
+        self.fence_token
+    }
+
+    /// Appends an entry; the promise completes with the entry id once the
+    /// entry (and all earlier ones) reach the ack quorum.
+    pub fn append(&self, data: Bytes) -> Promise<Result<u64, WalError>> {
+        if self.shared.failed.load(Ordering::SeqCst) {
+            let err = if self.shared.fenced.load(Ordering::SeqCst) {
+                WalError::Fenced
+            } else {
+                WalError::QuorumLost
+            };
+            return Promise::ready(Err(err));
+        }
+        let (completer, pr) = promise();
+        let entry = {
+            let mut seq = self.sequencer.lock();
+            let entry = *seq;
+            *seq += 1;
+            self.shared.pending.lock().insert(
+                entry,
+                PendingEntry {
+                    acks: 0,
+                    nacks: 0,
+                    completer,
+                },
+            );
+            for idx in self.metadata.stripe_indices(entry) {
+                if let Some(Some(tx)) = self.worker_txs.get(idx) {
+                    let _ = tx.send((entry, data.clone()));
+                }
+            }
+            entry
+        };
+        let _ = entry;
+        pr
+    }
+
+    /// Highest entry confirmed durable, if any.
+    pub fn last_add_confirmed(&self) -> Option<u64> {
+        let lac = self.shared.lac.load(Ordering::SeqCst);
+        if lac < 0 {
+            None
+        } else {
+            Some(lac as u64)
+        }
+    }
+
+    /// Whether the writer has been fenced out by a newer owner.
+    pub fn is_fenced(&self) -> bool {
+        self.shared.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Whether the writer has permanently failed (fence or quorum loss).
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::SeqCst)
+    }
+
+    /// Shuts down the pipeline and returns the last confirmed entry.
+    /// In-flight appends are waited for (they complete or fail first).
+    pub fn close(mut self) -> Option<u64> {
+        self.shutdown();
+        let lac = self.shared.lac.load(Ordering::SeqCst);
+        if lac < 0 {
+            None
+        } else {
+            Some(lac as u64)
+        }
+    }
+
+    fn shutdown(&mut self) {
+        for tx in &mut self.worker_txs {
+            tx.take();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(h) = self.collector_handle.take() {
+            let _ = h.join();
+        }
+        // Anything still pending can never complete: break the promises.
+        self.shared.pending.lock().clear();
+    }
+}
+
+impl Drop for LedgerWriter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+const LEDGER_PREFIX: &str = "/wal/ledgers/";
+const LEDGER_COUNTER: &str = "/wal/ledger-counter";
+
+/// Creates, recovers, reads and deletes ledgers; metadata lives in the
+/// coordination service (as it does in BookKeeper/ZooKeeper).
+#[derive(Debug, Clone)]
+pub struct LedgerManager {
+    coord: CoordinationService,
+    pool: BookiePool,
+}
+
+impl LedgerManager {
+    /// Creates a manager over a bookie pool.
+    pub fn new(coord: &CoordinationService, pool: &BookiePool) -> Self {
+        Self {
+            coord: coord.clone(),
+            pool: pool.clone(),
+        }
+    }
+
+    fn next_ledger_id(&self) -> LedgerId {
+        loop {
+            match self.coord.get(LEDGER_COUNTER) {
+                None => {
+                    if self
+                        .coord
+                        .create(LEDGER_COUNTER, 1u64.to_be_bytes().to_vec(), pravega_coordination::CreateMode::Persistent)
+                        .is_ok()
+                    {
+                        return LedgerId(0);
+                    }
+                }
+                Some((data, version)) => {
+                    let current = u64::from_be_bytes(data.try_into().unwrap_or([0; 8]));
+                    if self
+                        .coord
+                        .set(LEDGER_COUNTER, (current + 1).to_be_bytes().to_vec(), Some(version))
+                        .is_ok()
+                    {
+                        return LedgerId(current);
+                    }
+                }
+            }
+        }
+    }
+
+    fn metadata_path(id: LedgerId) -> String {
+        format!("{LEDGER_PREFIX}{:020}", id.0)
+    }
+
+    /// Creates a new open ledger and returns a writer presenting
+    /// `fence_token` to the bookies.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::NotEnoughBookies`] or invalid replication config.
+    pub fn create(
+        &self,
+        config: ReplicationConfig,
+        fence_token: u64,
+    ) -> Result<LedgerWriter, WalError> {
+        config.validate()?;
+        let ensemble = self.pool.select_ensemble(config.ensemble)?;
+        let metadata = LedgerMetadata {
+            id: self.next_ledger_id(),
+            ensemble: ensemble.iter().map(|b| b.id().to_string()).collect(),
+            config,
+            state: LedgerState::Open,
+        };
+        self.coord
+            .create(
+                &Self::metadata_path(metadata.id),
+                metadata.encode(),
+                pravega_coordination::CreateMode::Persistent,
+            )
+            .map_err(|e| WalError::Metadata(e.to_string()))?;
+        Ok(LedgerWriter::start(metadata, ensemble, fence_token))
+    }
+
+    /// Loads ledger metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Metadata`] if the ledger is unknown or corrupt.
+    pub fn metadata(&self, id: LedgerId) -> Result<LedgerMetadata, WalError> {
+        let (data, _) = self
+            .coord
+            .get(&Self::metadata_path(id))
+            .ok_or_else(|| WalError::Metadata(format!("unknown ledger {id}")))?;
+        LedgerMetadata::decode(&data)
+    }
+
+    /// Reads one entry, trying each stripe bookie until one succeeds.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Bookie`] if no replica can serve the entry.
+    pub fn read_entry(&self, metadata: &LedgerMetadata, entry: u64) -> Result<Bytes, WalError> {
+        let mut last_err = BookieError::NoSuchEntry;
+        for idx in metadata.stripe_indices(entry) {
+            let Some(bookie) = self.pool.get(&metadata.ensemble[idx]) else {
+                continue;
+            };
+            match bookie.read_entry(metadata.id, entry) {
+                Ok(data) => return Ok(data),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(WalError::Bookie(last_err))
+    }
+
+    /// Reads all entries of a closed ledger, in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures; [`WalError::Metadata`] if the ledger is
+    /// still open (close or recover it first).
+    pub fn read_all(&self, metadata: &LedgerMetadata) -> Result<Vec<Bytes>, WalError> {
+        let LedgerState::Closed { last_entry } = metadata.state else {
+            return Err(WalError::Metadata("cannot read an open ledger".into()));
+        };
+        let Some(last) = last_entry else {
+            return Ok(Vec::new());
+        };
+        (0..=last)
+            .map(|e| self.read_entry(metadata, e))
+            .collect()
+    }
+
+    /// Fences the ledger with `fence_token` and closes it at the highest
+    /// recoverable entry. Returns the closed metadata.
+    ///
+    /// All entries that were ever acknowledged are guaranteed recovered
+    /// (an acked entry lives on ≥ `ack_quorum` bookies; a forward scan
+    /// accepting any readable replica therefore cannot miss it).
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Metadata`] on metadata failures.
+    pub fn recover_and_close(
+        &self,
+        id: LedgerId,
+        fence_token: u64,
+    ) -> Result<LedgerMetadata, WalError> {
+        let mut metadata = self.metadata(id)?;
+        if let LedgerState::Closed { .. } = metadata.state {
+            return Ok(metadata); // already closed
+        }
+        // Fence every reachable ensemble member.
+        for bid in &metadata.ensemble {
+            if let Some(bookie) = self.pool.get(bid) {
+                let _ = bookie.fence(id, fence_token);
+            }
+        }
+        // Forward scan: accept an entry if any replica serves it.
+        let mut last: Option<u64> = None;
+        let mut entry = 0u64;
+        loop {
+            match self.read_entry(&metadata, entry) {
+                Ok(_) => {
+                    last = Some(entry);
+                    entry += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        metadata.state = LedgerState::Closed { last_entry: last };
+        self.coord.put(&Self::metadata_path(id), metadata.encode());
+        Ok(metadata)
+    }
+
+    /// Marks an owned, open ledger closed at `last_entry` (graceful close).
+    pub fn close(&self, id: LedgerId, last_entry: Option<u64>) -> Result<(), WalError> {
+        let mut metadata = self.metadata(id)?;
+        metadata.state = LedgerState::Closed { last_entry };
+        self.coord.put(&Self::metadata_path(id), metadata.encode());
+        Ok(())
+    }
+
+    /// Deletes the ledger's data from all bookies and drops its metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Metadata`] if the ledger is unknown.
+    pub fn delete(&self, id: LedgerId) -> Result<(), WalError> {
+        let metadata = self.metadata(id)?;
+        for bid in &metadata.ensemble {
+            if let Some(bookie) = self.pool.get(bid) {
+                let _ = bookie.delete_ledger(id);
+            }
+        }
+        let _ = self.coord.delete(&Self::metadata_path(id), None);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bookie::{mem_bookies, MemBookie};
+    use crate::journal::JournalConfig;
+
+    fn setup(n: usize) -> (CoordinationService, BookiePool, LedgerManager) {
+        let coord = CoordinationService::new();
+        let pool = BookiePool::new(mem_bookies(n, JournalConfig::default()));
+        let mgr = LedgerManager::new(&coord, &pool);
+        (coord, pool, mgr)
+    }
+
+    #[test]
+    fn append_confirms_in_order_and_reads_back() {
+        let (_c, _p, mgr) = setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        let promises: Vec<_> = (0..50u64)
+            .map(|i| writer.append(Bytes::from(format!("entry-{i}"))))
+            .collect();
+        for (i, p) in promises.into_iter().enumerate() {
+            assert_eq!(p.wait().unwrap().unwrap(), i as u64);
+        }
+        assert_eq!(writer.last_add_confirmed(), Some(49));
+        let meta = writer.metadata().clone();
+        let id = meta.id;
+        let last = writer.close();
+        mgr.close(id, last).unwrap();
+        let closed = mgr.metadata(id).unwrap();
+        let entries = mgr.read_all(&closed).unwrap();
+        assert_eq!(entries.len(), 50);
+        assert_eq!(entries[7].as_ref(), b"entry-7");
+    }
+
+    #[test]
+    fn survives_one_bookie_failure_with_ack_quorum_two() {
+        let bookies: Vec<Arc<MemBookie>> = (0..3)
+            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default())))
+            .collect();
+        let pool = BookiePool::new(bookies.iter().map(|b| b.clone() as Arc<dyn Bookie>).collect());
+        let coord = CoordinationService::new();
+        let mgr = LedgerManager::new(&coord, &pool);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer.append(Bytes::from_static(b"before")).wait().unwrap().unwrap();
+        // Take one bookie down: ack quorum 2/3 still reachable.
+        bookies[2].set_available(false);
+        let r = writer.append(Bytes::from_static(b"after")).wait().unwrap();
+        assert_eq!(r.unwrap(), 1);
+    }
+
+    #[test]
+    fn loses_quorum_with_two_failures() {
+        let bookies: Vec<Arc<MemBookie>> = (0..3)
+            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default())))
+            .collect();
+        let pool = BookiePool::new(bookies.iter().map(|b| b.clone() as Arc<dyn Bookie>).collect());
+        let coord = CoordinationService::new();
+        let mgr = LedgerManager::new(&coord, &pool);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        bookies[1].set_available(false);
+        bookies[2].set_available(false);
+        let r = writer.append(Bytes::from_static(b"x")).wait().unwrap();
+        assert_eq!(r, Err(WalError::QuorumLost));
+        assert!(writer.is_failed());
+        // Subsequent appends fail fast.
+        assert!(writer.append(Bytes::from_static(b"y")).wait().unwrap().is_err());
+    }
+
+    #[test]
+    fn recovery_fences_old_writer() {
+        let (_c, _p, mgr) = setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer.append(Bytes::from_static(b"a")).wait().unwrap().unwrap();
+        writer.append(Bytes::from_static(b"b")).wait().unwrap().unwrap();
+        let id = writer.metadata().id;
+
+        // A new owner fences and recovers with a higher token.
+        let closed = mgr.recover_and_close(id, 2).unwrap();
+        assert_eq!(closed.state, LedgerState::Closed { last_entry: Some(1) });
+
+        // The zombie writer is now rejected.
+        let r = writer.append(Bytes::from_static(b"zombie")).wait().unwrap();
+        assert_eq!(r, Err(WalError::Fenced));
+        assert!(writer.is_fenced());
+
+        // Recovered data is intact.
+        let entries = mgr.read_all(&closed).unwrap();
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn recover_empty_ledger_closes_empty() {
+        let (_c, _p, mgr) = setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        let id = writer.metadata().id;
+        drop(writer);
+        let closed = mgr.recover_and_close(id, 2).unwrap();
+        assert_eq!(closed.state, LedgerState::Closed { last_entry: None });
+        assert!(mgr.read_all(&closed).unwrap().is_empty());
+    }
+
+    #[test]
+    fn recover_is_idempotent() {
+        let (_c, _p, mgr) = setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer.append(Bytes::from_static(b"x")).wait().unwrap().unwrap();
+        let id = writer.metadata().id;
+        let first = mgr.recover_and_close(id, 2).unwrap();
+        let second = mgr.recover_and_close(id, 3).unwrap();
+        assert_eq!(first.state, second.state);
+    }
+
+    #[test]
+    fn delete_removes_data_and_metadata() {
+        let (_c, pool, mgr) = setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer.append(Bytes::from_static(b"x")).wait().unwrap().unwrap();
+        let meta = writer.metadata().clone();
+        let id = meta.id;
+        drop(writer);
+        mgr.delete(id).unwrap();
+        assert!(mgr.metadata(id).is_err());
+        let bookie = pool.get(&meta.ensemble[0]).unwrap();
+        assert_eq!(bookie.read_entry(id, 0), Err(BookieError::NoSuchLedger));
+    }
+
+    #[test]
+    fn not_enough_bookies_is_an_error() {
+        let (_c, _p, mgr) = setup(2);
+        let err = mgr.create(ReplicationConfig::default(), 1).unwrap_err();
+        assert_eq!(
+            err,
+            WalError::NotEnoughBookies {
+                needed: 3,
+                available: 2
+            }
+        );
+    }
+
+    #[test]
+    fn invalid_replication_config_rejected() {
+        let (_c, _p, mgr) = setup(3);
+        let bad = ReplicationConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 3,
+        };
+        assert!(mgr.create(bad, 1).is_err());
+    }
+
+    #[test]
+    fn metadata_roundtrip() {
+        let meta = LedgerMetadata {
+            id: LedgerId(42),
+            ensemble: vec!["a".into(), "b".into(), "c".into()],
+            config: ReplicationConfig::default(),
+            state: LedgerState::Closed {
+                last_entry: Some(17),
+            },
+        };
+        assert_eq!(LedgerMetadata::decode(&meta.encode()).unwrap(), meta);
+        let open = LedgerMetadata {
+            state: LedgerState::Open,
+            ..meta.clone()
+        };
+        assert_eq!(LedgerMetadata::decode(&open.encode()).unwrap(), open);
+        let empty = LedgerMetadata {
+            state: LedgerState::Closed { last_entry: None },
+            ..meta
+        };
+        assert_eq!(LedgerMetadata::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn striping_spreads_entries_when_ensemble_exceeds_write_quorum() {
+        let meta = LedgerMetadata {
+            id: LedgerId(0),
+            ensemble: vec!["a".into(), "b".into(), "c".into()],
+            config: ReplicationConfig {
+                ensemble: 3,
+                write_quorum: 2,
+                ack_quorum: 2,
+            },
+            state: LedgerState::Open,
+        };
+        assert_eq!(meta.stripe_indices(0), vec![0, 1]);
+        assert_eq!(meta.stripe_indices(1), vec![1, 2]);
+        assert_eq!(meta.stripe_indices(2), vec![2, 0]);
+    }
+
+    #[test]
+    fn striped_writes_read_back() {
+        let (_c, _p, mgr) = setup(3);
+        let cfg = ReplicationConfig {
+            ensemble: 3,
+            write_quorum: 2,
+            ack_quorum: 2,
+        };
+        let writer = mgr.create(cfg, 1).unwrap();
+        for i in 0..9u64 {
+            writer
+                .append(Bytes::from(format!("s{i}")))
+                .wait()
+                .unwrap()
+                .unwrap();
+        }
+        let id = writer.metadata().id;
+        let last = writer.close();
+        mgr.close(id, last).unwrap();
+        let meta = mgr.metadata(id).unwrap();
+        let all = mgr.read_all(&meta).unwrap();
+        assert_eq!(all.len(), 9);
+        for (i, e) in all.iter().enumerate() {
+            assert_eq!(e.as_ref(), format!("s{i}").as_bytes());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Elastic streams in action (§3.1, §5.8): a stream starts with one segment;
+//! as the ingest rate ramps up, the data-plane→control-plane feedback loop
+//! splits hot segments, and when the load drops the cold segments merge
+//! back. No human intervention — the policy drives everything.
+//!
+//! Run with: `cargo run --example autoscaling_demo`
+
+use std::time::Duration;
+
+use pravega::client::{StringSerializer, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::core::{ClusterConfig, PravegaCluster};
+use pravega_controller::AutoScalerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.autoscaler = AutoScalerConfig {
+        hot_threshold: 2,
+        cold_threshold: 3,
+        cooldown: Duration::from_millis(100),
+    };
+    let cluster = PravegaCluster::start(config)?;
+
+    let stream = ScopedStream::new("elastic", "workload")?;
+    cluster.create_scope("elastic")?;
+    cluster.create_stream(
+        &stream,
+        StreamConfiguration::new(ScalingPolicy::ByEventRate {
+            target_events_per_sec: 100,
+            scale_factor: 2,
+            min_segments: 1,
+        }),
+    )?;
+
+    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+    println!("phase      round  segments  scale-events");
+
+    // Phase 1: heavy load — expect splits.
+    let mut events = 0usize;
+    for round in 0..25 {
+        for i in 0..400 {
+            writer.write_event(&format!("key-{}", i % 53), &format!("burst-{round}-{i}"));
+            events += 1;
+        }
+        writer.flush()?;
+        let decisions = cluster.run_autoscaler_once()?;
+        let segments = cluster.controller().current_segments(&stream)?.len();
+        if !decisions.is_empty() || round % 5 == 0 {
+            println!("ramp-up    {round:>5}  {segments:>8}  {:?}", decisions.len());
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let peak = cluster.controller().current_segments(&stream)?.len();
+    println!("peak parallelism: {peak} segments after {events} events");
+    assert!(peak > 1, "expected the stream to scale up");
+
+    // Phase 2: trickle load — expect merges back toward 1 segment.
+    for round in 0..60 {
+        writer.write_event("key-1", &format!("idle-{round}"));
+        writer.flush()?;
+        let decisions = cluster.run_autoscaler_once()?;
+        let segments = cluster.controller().current_segments(&stream)?.len();
+        if !decisions.is_empty() {
+            println!("cool-down  {round:>5}  {segments:>8}  merge");
+        }
+        if segments == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    let final_segments = cluster.controller().current_segments(&stream)?.len();
+    println!("final parallelism: {final_segments} segment(s)");
+    assert!(final_segments < peak, "expected scale-down after the burst");
+
+    // The epoch history tells the whole story.
+    let metadata = cluster.controller().stream_metadata(&stream)?;
+    println!(
+        "stream went through {} epochs (scale events: {})",
+        metadata.epochs.len(),
+        metadata.epochs.len() - 1
+    );
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Transactions: writing a group of events that becomes visible atomically.
+//!
+//! A payment touches two accounts; either both ledger entries land or
+//! neither does — even though a crash could interrupt the writer at any
+//! point, the per-segment commit is a single durable-log operation.
+//!
+//! Run with: `cargo run --example transactions`
+
+use std::time::Duration;
+
+use pravega::client::{StringSerializer, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::core::{ClusterConfig, PravegaCluster};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = PravegaCluster::start(ClusterConfig::default())?;
+    let stream = ScopedStream::new("bank", "ledger")?;
+    cluster.create_scope("bank")?;
+    cluster.create_stream(&stream, StreamConfiguration::new(ScalingPolicy::fixed(2)))?;
+
+    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+
+    // A committed transfer: both entries become visible atomically
+    // (per segment — both keys may share or split segments).
+    let mut transfer = writer.begin_transaction();
+    transfer.write_event("account-alice", &"alice -100".to_string())?;
+    transfer.write_event("account-bob", &"bob   +100".to_string())?;
+    transfer.commit()?;
+    println!("transfer committed (2 entries, atomic per segment)");
+
+    // An aborted transfer: nothing is ever visible.
+    let mut doomed = writer.begin_transaction();
+    doomed.write_event("account-alice", &"alice -999999".to_string())?;
+    doomed.write_event("account-mallory", &"mallory +999999".to_string())?;
+    doomed.abort();
+    println!("suspicious transfer aborted (0 entries written)");
+
+    writer.flush()?;
+
+    // Audit the ledger.
+    let group = cluster.create_reader_group("bank", "audit", vec![stream])?;
+    let mut reader = cluster.create_reader(&group, "auditor", StringSerializer);
+    let mut entries = Vec::new();
+    while let Some(e) = reader.read_next(Duration::from_millis(500))? {
+        entries.push(e.event);
+    }
+    println!("ledger contains {} entries:", entries.len());
+    for e in &entries {
+        println!("  {e}");
+    }
+    assert_eq!(entries.len(), 2, "only the committed transfer exists");
+    assert!(entries.iter().all(|e| !e.contains("999999")));
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,163 @@
+//! Integration tests for stream auto-scaling (§3.1, §5.8): the data plane
+//! reports load, the controller's policy engine splits hot segments and
+//! merges cold ones, and clients keep working through it all.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use pravega::client::{StringSerializer, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::core::{ClusterConfig, PravegaCluster};
+use pravega_controller::AutoScalerConfig;
+
+fn autoscale_cluster() -> PravegaCluster {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.autoscaler = AutoScalerConfig {
+        hot_threshold: 2,
+        cold_threshold: 3,
+        cooldown: Duration::from_millis(50),
+    };
+    PravegaCluster::start(config).unwrap()
+}
+
+#[test]
+fn hot_stream_scales_up() {
+    let cluster = autoscale_cluster();
+    let s = ScopedStream::new("auto", "hot").unwrap();
+    cluster.create_scope("auto").unwrap();
+    cluster
+        .create_stream(
+            &s,
+            StreamConfiguration::new(ScalingPolicy::ByEventRate {
+                target_events_per_sec: 50,
+                scale_factor: 2,
+                min_segments: 1,
+            }),
+        )
+        .unwrap();
+    assert_eq!(cluster.controller().current_segments(&s).unwrap().len(), 1);
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    // Drive well above 2× the 50 e/s target while running scaler passes.
+    let mut scaled = 0;
+    for round in 0..40 {
+        for i in 0..200 {
+            writer.write_event(&format!("key-{}", i % 31), &format!("r{round}e{i}"));
+        }
+        writer.flush().unwrap();
+        scaled += cluster.run_autoscaler_once().unwrap().len();
+        if scaled >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let segments = cluster.controller().current_segments(&s).unwrap().len();
+    assert!(
+        segments >= 2,
+        "hot stream should have split (got {segments} segments, {scaled} decisions)"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn autoscale_preserves_per_key_order_end_to_end() {
+    let cluster = autoscale_cluster();
+    let s = ScopedStream::new("auto", "ordered").unwrap();
+    cluster.create_scope("auto").unwrap();
+    cluster
+        .create_stream(
+            &s,
+            StreamConfiguration::new(ScalingPolicy::ByEventRate {
+                target_events_per_sec: 30,
+                scale_factor: 2,
+                min_segments: 1,
+            }),
+        )
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    let keys = 8;
+    let rounds = 60;
+    for round in 0..rounds {
+        for k in 0..keys {
+            writer.write_event(&format!("key-{k}"), &format!("key-{k}:{round:03}"));
+        }
+        if round % 10 == 9 {
+            writer.flush().unwrap();
+            let _ = cluster.run_autoscaler_once().unwrap();
+        }
+    }
+    writer.flush().unwrap();
+
+    let segments = cluster.controller().current_segments(&s).unwrap().len();
+    // Consume everything; per-key order must hold across however many
+    // scale events happened.
+    let group = cluster
+        .create_reader_group("auto", "g-ordered", vec![s])
+        .unwrap();
+    let mut reader = cluster.create_reader(&group, "r1", StringSerializer);
+    let mut per_key: HashMap<String, Vec<u32>> = HashMap::new();
+    let total = keys * rounds;
+    for _ in 0..total {
+        let e = reader
+            .read_next(Duration::from_secs(5))
+            .unwrap()
+            .expect("event within timeout");
+        let (key, seq) = e.event.split_once(':').unwrap();
+        per_key
+            .entry(key.to_string())
+            .or_default()
+            .push(seq.parse().unwrap());
+    }
+    for (key, seqs) in per_key {
+        assert_eq!(seqs.len(), rounds as usize, "missing events for {key}");
+        for (i, seq) in seqs.iter().enumerate() {
+            assert_eq!(
+                *seq as usize, i,
+                "order broken for {key} (stream reached {segments} segments)"
+            );
+        }
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn cold_stream_scales_down() {
+    let cluster = autoscale_cluster();
+    let s = ScopedStream::new("auto", "cold").unwrap();
+    cluster.create_scope("auto").unwrap();
+    cluster
+        .create_stream(
+            &s,
+            StreamConfiguration::new(ScalingPolicy::ByEventRate {
+                target_events_per_sec: 1_000_000, // everything is "cold"
+                scale_factor: 2,
+                min_segments: 1,
+            }),
+        )
+        .unwrap();
+    // Manually scale up to 2 first.
+    let s0 = cluster.controller().current_segments(&s).unwrap()[0].clone();
+    cluster
+        .controller()
+        .scale_stream(&s, vec![s0.segment.segment_id()], s0.range.split(2))
+        .unwrap();
+    assert_eq!(cluster.controller().current_segments(&s).unwrap().len(), 2);
+
+    // Trickle a little traffic so load reports exist, then run passes.
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    let mut merged = false;
+    for _ in 0..30 {
+        writer.write_event("some-key", &"tick".to_string());
+        writer.flush().unwrap();
+        if !cluster.run_autoscaler_once().unwrap().is_empty() {
+            merged = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    assert!(merged, "cold adjacent segments should merge");
+    assert_eq!(cluster.controller().current_segments(&s).unwrap().len(), 1);
+    cluster.shutdown();
+}

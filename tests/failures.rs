@@ -1,0 +1,182 @@
+//! Failure-injection integration tests (§4.4): bookie loss within the ack
+//! quorum, WAL fencing under split-brain container ownership, and recovery
+//! of everything after cascading failures.
+
+use std::time::Duration;
+
+use pravega::common::hashing::container_for_segment;
+use pravega::client::{StringSerializer, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::core::{ClusterConfig, PravegaCluster};
+
+fn cluster() -> PravegaCluster {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    PravegaCluster::start(config).unwrap()
+}
+
+#[test]
+fn one_dead_bookie_does_not_stop_writes() {
+    let cluster = cluster();
+    let s = ScopedStream::new("fail", "bookie").unwrap();
+    cluster.create_scope("fail").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..50 {
+        writer.write_event("k", &format!("pre-{i:03}"));
+    }
+    writer.flush().unwrap();
+
+    // Kill one of three bookies: writeQuorum=3, ackQuorum=2 tolerates it.
+    cluster.kill_bookie(2);
+    for i in 0..50 {
+        writer.write_event("k", &format!("mid-{i:03}"));
+    }
+    writer.flush().unwrap();
+
+    // Restore it; keep writing.
+    cluster.restore_bookie(2);
+    for i in 0..50 {
+        writer.write_event("k", &format!("post-{i:03}"));
+    }
+    writer.flush().unwrap();
+
+    // All 150 events are there, exactly once, in order.
+    let group = cluster.create_reader_group("fail", "g", vec![s]).unwrap();
+    let mut reader = cluster.create_reader(&group, "r", StringSerializer);
+    let mut got = Vec::new();
+    while got.len() < 150 {
+        match reader.read_next(Duration::from_secs(10)).unwrap() {
+            Some(e) => got.push(e.event),
+            None => panic!("timed out after {} events", got.len()),
+        }
+    }
+    for (i, e) in got.iter().enumerate() {
+        let (phase, idx) = (i / 50, i % 50);
+        let want = match phase {
+            0 => format!("pre-{idx:03}"),
+            1 => format!("mid-{idx:03}"),
+            _ => format!("post-{idx:03}"),
+        };
+        assert_eq!(e, &want, "event {i} out of order");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn split_brain_container_ownership_is_fenced() {
+    // Start the same container on a second store while the first still runs
+    // it: the second open fences the first's WAL; the zombie's next durable
+    // operation fails and its container shuts down — no divergent history.
+    let cluster = cluster();
+    let s = ScopedStream::new("fail", "fence").unwrap();
+    cluster.create_scope("fail").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    writer.write_event("k", &"committed".to_string());
+    writer.flush().unwrap();
+
+    // Find the container owning the data segment and the store running it.
+    let segment = cluster.controller().current_segments(&s).unwrap()[0]
+        .segment
+        .clone();
+    let container_id = container_for_segment(&segment, 4);
+    let hosts = cluster.store_hosts();
+    let owner = hosts
+        .iter()
+        .find(|h| {
+            cluster
+                .store(h)
+                .map(|st| st.running_containers().contains(&container_id))
+                .unwrap_or(false)
+        })
+        .cloned()
+        .expect("some store owns the container");
+    let zombie = cluster.store(&owner).unwrap();
+    let usurper_host = hosts.iter().find(|h| **h != owner).cloned().unwrap();
+    let usurper = cluster.store(&usurper_host).unwrap();
+
+    // Split brain: the usurper also starts the container (recovering from
+    // the WAL and fencing the zombie's log).
+    usurper.start_container(container_id).unwrap();
+    let recovered = usurper.container(container_id).unwrap();
+    // The usurper recovered the committed event's bytes.
+    let info = recovered.get_info(&segment.qualified_name()).unwrap();
+    assert!(info.length > 0, "recovered data present");
+
+    // The zombie's next durable write must fail (WAL fenced) and the zombie
+    // container shuts itself down (§4.4).
+    let zombie_container = zombie.container(container_id).unwrap();
+    let handle = zombie_container.append(
+        &segment.qualified_name(),
+        bytes::Bytes::from_static(b"\x00\x00\x00\x05zomb!"),
+        pravega::common::id::WriterId::random(),
+        0,
+        1,
+        None,
+    );
+    let result = handle.wait();
+    assert!(result.is_err(), "zombie write must fail: {result:?}");
+    for _ in 0..200 {
+        if zombie_container.is_stopped() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(zombie_container.is_stopped(), "zombie shuts down");
+    cluster.shutdown();
+}
+
+#[test]
+fn cascading_store_failures_leave_one_survivor_serving() {
+    let cluster = cluster();
+    let s = ScopedStream::new("fail", "cascade").unwrap();
+    cluster.create_scope("fail").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(4)))
+        .unwrap();
+    let mut total = 0;
+    let hosts = cluster.store_hosts();
+    for (round, victim) in hosts.iter().take(2).enumerate() {
+        let mut writer =
+            cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+        for i in 0..60 {
+            writer.write_event(&format!("k{}", i % 9), &format!("r{round}-{i:03}"));
+            total += 1;
+        }
+        writer.flush().unwrap();
+        drop(writer);
+        cluster.kill_store(victim).unwrap();
+    }
+    // One store left, running all containers; everything still readable.
+    let survivors: Vec<String> = cluster
+        .store_hosts()
+        .into_iter()
+        .filter(|h| cluster.store(h).map(|s| !s.running_containers().is_empty()).unwrap_or(false))
+        .collect();
+    assert_eq!(survivors.len(), 1, "one store holds all containers");
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..60 {
+        writer.write_event(&format!("k{}", i % 9), &format!("final-{i:03}"));
+        total += 1;
+    }
+    writer.flush().unwrap();
+
+    let group = cluster.create_reader_group("fail", "g", vec![s]).unwrap();
+    let mut reader = cluster.create_reader(&group, "r", StringSerializer);
+    let mut got = std::collections::HashSet::new();
+    while got.len() < total {
+        match reader.read_next(Duration::from_secs(10)).unwrap() {
+            Some(e) => {
+                assert!(got.insert(e.event.clone()), "duplicate {:?}", e.event);
+            }
+            None => panic!("timed out after {} of {total}", got.len()),
+        }
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,186 @@
+//! Integration tests for transactions: buffered events commit atomically per
+//! segment, aborts leave no trace, and per-key order interleaves correctly
+//! with non-transactional writes.
+
+use std::time::Duration;
+
+use pravega::client::{StringSerializer, TransactionStatus, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::core::{ClusterConfig, PravegaCluster};
+
+fn cluster() -> PravegaCluster {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    PravegaCluster::start(config).unwrap()
+}
+
+#[test]
+fn committed_transaction_delivers_everything_in_key_order() {
+    let cluster = cluster();
+    let s = ScopedStream::new("txn", "basic").unwrap();
+    cluster.create_scope("txn").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(4)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+
+    // Interleave: plain write, transaction, plain write.
+    writer.write_event("key-1", &"before".to_string());
+    let mut txn = writer.begin_transaction();
+    for i in 0..50 {
+        txn.write_event(&format!("key-{}", i % 5), &format!("txn-{i:02}"))
+            .unwrap();
+    }
+    assert_eq!(txn.len(), 50);
+    txn.commit().unwrap();
+    writer.write_event("key-1", &"after".to_string());
+    writer.flush().unwrap();
+
+    let group = cluster.create_reader_group("txn", "g", vec![s]).unwrap();
+    let mut reader = cluster.create_reader(&group, "r", StringSerializer);
+    let mut got = Vec::new();
+    while got.len() < 52 {
+        match reader.read_next(Duration::from_secs(5)).unwrap() {
+            Some(e) => got.push(e.event),
+            None => panic!("timed out after {} events", got.len()),
+        }
+    }
+    assert!(got.contains(&"before".to_string()));
+    assert!(got.contains(&"after".to_string()));
+    for i in 0..50 {
+        assert!(got.contains(&format!("txn-{i:02}")), "missing txn-{i:02}");
+    }
+    // Per key, transactional events keep their write order.
+    let key0: Vec<&String> = got.iter().filter(|e| e.ends_with('0') && e.starts_with("txn-")).collect();
+    let mut sorted = key0.clone();
+    sorted.sort();
+    assert_eq!(key0, sorted, "per-key txn order");
+    cluster.shutdown();
+}
+
+#[test]
+fn aborted_transaction_writes_nothing() {
+    let cluster = cluster();
+    let s = ScopedStream::new("txn", "abort").unwrap();
+    cluster.create_scope("txn").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    {
+        let mut txn = writer.begin_transaction();
+        for i in 0..20 {
+            txn.write_event("k", &format!("doomed-{i}")).unwrap();
+        }
+        txn.abort();
+    }
+    {
+        // Dropping an open transaction also aborts.
+        let mut txn = writer.begin_transaction();
+        txn.write_event("k", &"also-doomed".to_string()).unwrap();
+        drop(txn);
+    }
+    writer.write_event("k", &"survivor".to_string());
+    writer.flush().unwrap();
+
+    let group = cluster.create_reader_group("txn", "g", vec![s]).unwrap();
+    let mut reader = cluster.create_reader(&group, "r", StringSerializer);
+    let e = reader.read_next(Duration::from_secs(5)).unwrap().unwrap();
+    assert_eq!(e.event, "survivor");
+    assert!(reader.read_next(Duration::from_millis(300)).unwrap().is_none());
+    cluster.shutdown();
+}
+
+#[test]
+fn per_segment_share_is_contiguous() {
+    // All of a transaction's events for one segment occupy one atomic
+    // append: a reader must see them back-to-back with nothing interleaved,
+    // even when plain writes race the commit.
+    let cluster = cluster();
+    let s = ScopedStream::new("txn", "contig").unwrap();
+    cluster.create_scope("txn").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    // Racing background noise from a second writer.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let noise_cluster = &cluster;
+        let noise_stream = s.clone();
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut noise = noise_cluster.create_writer(
+                noise_stream,
+                StringSerializer,
+                WriterConfig::default(),
+            );
+            let mut i = 0;
+            while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                noise.write_event("n", &format!("noise-{i}"));
+                i += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = noise.flush();
+        });
+        for round in 0..10 {
+            let mut txn = writer.begin_transaction();
+            for i in 0..10 {
+                txn.write_event("t", &format!("T{round:02}-{i}")).unwrap();
+            }
+            assert_eq!(txn.status(), TransactionStatus::Open);
+            txn.commit().unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    writer.flush().unwrap();
+
+    let group = cluster.create_reader_group("txn", "g", vec![s]).unwrap();
+    let mut reader = cluster.create_reader(&group, "r", StringSerializer);
+    let mut txn_events: Vec<String> = Vec::new();
+    let mut last_progress = std::time::Instant::now();
+    loop {
+        match reader.read_next(Duration::from_millis(800)).unwrap() {
+            Some(e) => {
+                if e.event.starts_with('T') {
+                    txn_events.push(e.event);
+                }
+                last_progress = std::time::Instant::now();
+            }
+            None => {
+                if txn_events.len() >= 100 || last_progress.elapsed() > Duration::from_secs(3) {
+                    break;
+                }
+            }
+        }
+    }
+    assert_eq!(txn_events.len(), 100);
+    // Within the single segment, each transaction's 10 events are contiguous
+    // among transactional events AND in order.
+    for (i, e) in txn_events.iter().enumerate() {
+        let round = i / 10;
+        let pos = i % 10;
+        assert_eq!(
+            e,
+            &format!("T{round:02}-{pos}"),
+            "transaction events interleaved at {i}: {txn_events:?}"
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn empty_transaction_commits_trivially() {
+    let cluster = cluster();
+    let s = ScopedStream::new("txn", "empty").unwrap();
+    cluster.create_scope("txn").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s, StringSerializer, WriterConfig::default());
+    let txn = writer.begin_transaction();
+    assert!(txn.is_empty());
+    txn.commit().unwrap();
+    cluster.shutdown();
+}
