@@ -28,7 +28,14 @@ fn ablation_frame_delay() {
     let mut t = FigureTable::new(
         "ablation_frame_delay",
         "Ablation 1 — adaptive frame delay vs fixed linger (100B, 16 segments)",
-        &["variant", "offered_keps", "achieved_keps", "w_p50_ms", "w_p95_ms", "status"],
+        &[
+            "variant",
+            "offered_keps",
+            "achieved_keps",
+            "w_p50_ms",
+            "w_p95_ms",
+            "status",
+        ],
     );
     let variants: [(&str, Option<f64>); 4] = [
         ("adaptive (paper)", None),
@@ -53,7 +60,11 @@ fn ablation_frame_delay() {
                 fmt(r.achieved_eps / 1e3, 0),
                 fmt(r.write_p50_ms, 2),
                 fmt(r.write_p95_ms, 2),
-                if r.stable { "ok".into() } else { "saturated".into() },
+                if r.stable {
+                    "ok".into()
+                } else {
+                    "saturated".into()
+                },
             ]);
         }
     }
@@ -69,7 +80,13 @@ fn ablation_multiplexing() {
     let mut t = FigureTable::new(
         "ablation_multiplexing",
         "Ablation 2 — segment multiplexing (250 MB/s target, 1KB events, 10 producers)",
-        &["containers", "partitions", "achieved_MBps", "w_p95_ms", "status"],
+        &[
+            "containers",
+            "partitions",
+            "achieved_MBps",
+            "w_p95_ms",
+            "status",
+        ],
     );
     for &partitions in &[100usize, 1000, 5000] {
         for (label, containers) in [
@@ -94,7 +111,11 @@ fn ablation_multiplexing() {
                 partitions.to_string(),
                 fmt(r.achieved_mbps.max(r.capacity_mbps.min(r.offered_mbps)), 0),
                 fmt(r.write_p95_ms, 1),
-                if r.stable { "ok".into() } else { "degraded".into() },
+                if r.stable {
+                    "ok".into()
+                } else {
+                    "degraded".into()
+                },
             ]);
         }
     }
@@ -107,7 +128,14 @@ fn ablation_group_commit() {
     let mut t = FigureTable::new(
         "ablation_group_commit",
         "Ablation 3 — journal group commit (100B, 16 segments, durable)",
-        &["variant", "offered_keps", "achieved_keps", "w_p50_ms", "w_p95_ms", "status"],
+        &[
+            "variant",
+            "offered_keps",
+            "achieved_keps",
+            "w_p50_ms",
+            "w_p95_ms",
+            "status",
+        ],
     );
     for &rate in &[20e3, 100e3, 400e3, 900e3] {
         for (name, group) in [("group commit (paper)", true), ("sync per frame", false)] {
@@ -126,7 +154,11 @@ fn ablation_group_commit() {
                 fmt(r.achieved_eps / 1e3, 0),
                 fmt(r.write_p50_ms, 2),
                 fmt(r.write_p95_ms, 2),
-                if r.stable { "ok".into() } else { "saturated".into() },
+                if r.stable {
+                    "ok".into()
+                } else {
+                    "saturated".into()
+                },
             ]);
         }
     }

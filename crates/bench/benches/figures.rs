@@ -68,14 +68,46 @@ fn table01() {
         &["aspect", "paper", "reproduction"],
     );
     for (a, p, r) in [
-        ("versions", "Pravega 0.9 / Kafka 2.6 / Pulsar 2.6", "from-scratch Rust engine + calibrated models"),
-        ("replication", "ensemble=3 writeQ=3 ackQ=2", "identical (pravega-wal quorum)"),
-        ("durability", "Pravega/Pulsar yes, Kafka no (defaults)", "identical defaults"),
-        ("tiering", "Pravega EFS / Pulsar S3 / Kafka none", "LTS models: 160 MB/s per stream, 760 MB/s aggregate"),
-        ("journal drives", "1 NVMe (~800 MB/s sync, dd)", "drive model: 800 MB/s, 60 us sync"),
-        ("servers", "3 broker/segment-store + bookie", "3 simulated servers / 3 stores + 3 bookies embedded"),
-        ("benchmark VMs", "2 (10 for section 5.6)", "client_vms parameter"),
-        ("client batching", "Pravega dynamic / others time+size", "identical mechanisms"),
+        (
+            "versions",
+            "Pravega 0.9 / Kafka 2.6 / Pulsar 2.6",
+            "from-scratch Rust engine + calibrated models",
+        ),
+        (
+            "replication",
+            "ensemble=3 writeQ=3 ackQ=2",
+            "identical (pravega-wal quorum)",
+        ),
+        (
+            "durability",
+            "Pravega/Pulsar yes, Kafka no (defaults)",
+            "identical defaults",
+        ),
+        (
+            "tiering",
+            "Pravega EFS / Pulsar S3 / Kafka none",
+            "LTS models: 160 MB/s per stream, 760 MB/s aggregate",
+        ),
+        (
+            "journal drives",
+            "1 NVMe (~800 MB/s sync, dd)",
+            "drive model: 800 MB/s, 60 us sync",
+        ),
+        (
+            "servers",
+            "3 broker/segment-store + bookie",
+            "3 simulated servers / 3 stores + 3 bookies embedded",
+        ),
+        (
+            "benchmark VMs",
+            "2 (10 for section 5.6)",
+            "client_vms parameter",
+        ),
+        (
+            "client batching",
+            "Pravega dynamic / others time+size",
+            "identical mechanisms",
+        ),
     ] {
         t.row(vec![a.into(), p.into(), r.into()]);
     }
@@ -91,7 +123,9 @@ fn fig05() {
         RUN_HEADERS,
     );
     for &segments in &[1usize, 16] {
-        for &rate in &[10e3, 50e3, 100e3, 200e3, 400e3, 600e3, 800e3, 1000e3, 1200e3, 1400e3, 1600e3] {
+        for &rate in &[
+            10e3, 50e3, 100e3, 200e3, 400e3, 600e3, 800e3, 1000e3, 1200e3, 1400e3, 1600e3,
+        ] {
             let spec = WorkloadSpec::new(1, segments, 100.0, rate);
             push_run(
                 &mut t,
@@ -309,7 +343,10 @@ fn fig09() {
                     "pravega",
                     simulate_pravega(&env, &spec, &PravegaOptions::default()),
                 ),
-                ("kafka", simulate_kafka(&env, &spec, &KafkaOptions::default())),
+                (
+                    "kafka",
+                    simulate_kafka(&env, &spec, &KafkaOptions::default()),
+                ),
                 (
                     "pulsar",
                     simulate_pulsar(&env, &spec, &PulsarOptions::default()),
@@ -322,7 +359,11 @@ fn fig09() {
                     fmt(r.read_eps / 1e3, 0),
                     fmt(r.e2e_p50_ms, 2),
                     fmt(r.e2e_p95_ms, 2),
-                    if r.stable { "ok".into() } else { "saturated".into() },
+                    if r.stable {
+                        "ok".into()
+                    } else {
+                        "saturated".into()
+                    },
                 ]);
             }
         }
@@ -339,7 +380,13 @@ fn fig10() {
     let mut t = FigureTable::new(
         "fig10_parallelism",
         "Fig. 10 — 250 MB/s target (1KB events), producers x partitions",
-        &["system", "producers", "partitions", "achieved_MBps", "status"],
+        &[
+            "system",
+            "producers",
+            "partitions",
+            "achieved_MBps",
+            "status",
+        ],
     );
     let partitions_sweep = [10usize, 50, 100, 500, 1000, 5000];
     let producer_sweep = [10usize, 50, 100];
@@ -466,7 +513,11 @@ fn fig11() {
             t.row(vec![
                 system.into(),
                 partitions.to_string(),
-                if r.crashed { "-".into() } else { fmt(r.capacity_mbps, 0) },
+                if r.crashed {
+                    "-".into()
+                } else {
+                    fmt(r.capacity_mbps, 0)
+                },
             ]);
         }
     }
@@ -546,7 +597,14 @@ fn fig13() {
     let mut t = FigureTable::new(
         "fig13_autoscaling",
         "Fig. 13 — auto-scaling (real engine): ~10 MB/s vs 2 MB/s/segment policy",
-        &["t_s", "segments", "scale_events", "write_p50_ms", "write_p95_ms", "MBps"],
+        &[
+            "t_s",
+            "segments",
+            "scale_events",
+            "write_p50_ms",
+            "write_p95_ms",
+            "MBps",
+        ],
     );
 
     let mut writer =
@@ -578,7 +636,9 @@ fn fig13() {
         window_written += 200;
         // Feedback loop: one auto-scaler pass every 500 ms (the controller
         // evaluates smoothed rates, not instantaneous bursts).
-        if started.elapsed().as_millis() / 500 != (started.elapsed() + Duration::from_millis(20)).as_millis() / 500 {
+        if started.elapsed().as_millis() / 500
+            != (started.elapsed() + Duration::from_millis(20)).as_millis() / 500
+        {
             scale_events += cluster.run_autoscaler_once().map(|d| d.len()).unwrap_or(0);
         }
         // Pace to 10 MB/s => 200 KB per 20 ms.
@@ -601,7 +661,8 @@ fn fig13() {
                 .current_segments(&stream)
                 .map(|s| s.len())
                 .unwrap_or(0);
-            let mbps = window_written as f64 * 1024.0 / 1e6
+            let mbps = window_written as f64 * 1024.0
+                / 1e6
                 / window_started.elapsed().as_secs_f64().max(1e-9);
             t.row(vec![
                 fmt(started.elapsed().as_secs_f64(), 0),
@@ -625,7 +686,11 @@ fn fig13() {
         .map(|m| m.epochs.len())
         .unwrap_or(0);
     t.emit();
-    println!("stream finished with {epochs} epochs ({} scale events)", epochs - 1);
+    println!(
+        "stream finished with {epochs} epochs ({} scale events)",
+        epochs - 1
+    );
+    pravega_bench::emit_metrics_snapshot("fig13_autoscaling", &cluster.metrics().snapshot());
     cluster.shutdown();
 }
 
@@ -635,7 +700,8 @@ fn main() {
         .iter()
         .filter(|a| a.starts_with("fig") || a.starts_with("table"))
         .collect();
-    let should_run = |name: &str| filters.is_empty() || filters.iter().any(|f| name.starts_with(f.as_str()));
+    let should_run =
+        |name: &str| filters.is_empty() || filters.iter().any(|f| name.starts_with(f.as_str()));
 
     let figures: &[(&str, fn())] = &[
         ("table01", table01),

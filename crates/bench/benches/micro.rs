@@ -10,7 +10,10 @@ use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pravega_common::clock::SystemClock;
 use pravega_common::id::{ContainerId, WriterId};
-use pravega_lts::{ChunkedSegmentStorage, ChunkedStorageConfig, InMemoryChunkStorage, InMemoryMetadataStore};
+use pravega_coordination::CoordinationService;
+use pravega_lts::{
+    ChunkedSegmentStorage, ChunkedStorageConfig, InMemoryChunkStorage, InMemoryMetadataStore,
+};
 use pravega_segmentstore::avl::AvlTree;
 use pravega_segmentstore::cache::{BlockCache, CacheConfig};
 use pravega_segmentstore::dataframe::DataFrameBuilder;
@@ -20,11 +23,12 @@ use pravega_wal::bookie::mem_bookies;
 use pravega_wal::journal::JournalConfig;
 use pravega_wal::ledger::{BookiePool, LedgerManager, ReplicationConfig};
 use pravega_wal::log::{DurableDataLog, InMemoryLog};
-use pravega_coordination::CoordinationService;
 
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("block_cache");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
 
     group.throughput(Throughput::Bytes(4096));
     group.bench_function("insert_4k", |b| {
@@ -69,7 +73,9 @@ fn bench_cache(c: &mut Criterion) {
 
 fn bench_avl(c: &mut Criterion) {
     let mut group = c.benchmark_group("avl_read_index");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
 
     group.bench_function("insert_10k_sequential", |b| {
         b.iter(|| {
@@ -97,7 +103,9 @@ fn bench_avl(c: &mut Criterion) {
 
 fn bench_dataframe(c: &mut Criterion) {
     let mut group = c.benchmark_group("data_frames");
-    group.measurement_time(Duration::from_secs(2)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
     group.throughput(Throughput::Bytes(100 * 128));
     group.bench_function("build_frame_128_ops", |b| {
         let op = Operation::Append {
@@ -121,7 +129,9 @@ fn bench_dataframe(c: &mut Criterion) {
 
 fn bench_wal(c: &mut Criterion) {
     let mut group = c.benchmark_group("wal");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.throughput(Throughput::Bytes(1024));
     group.bench_function("replicated_append_1k_q3a2", |b| {
         let coord = CoordinationService::new();
@@ -142,7 +152,9 @@ fn bench_wal(c: &mut Criterion) {
 
 fn bench_container(c: &mut Criterion) {
     let mut group = c.benchmark_group("segment_container");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
 
     let make_container = || {
         let lts = ChunkedSegmentStorage::new(
@@ -161,7 +173,9 @@ fn bench_container(c: &mut Criterion) {
             },
         )
         .expect("container");
-        container.create_segment("bench-segment", false).expect("create");
+        container
+            .create_segment("bench-segment", false)
+            .expect("create");
         container
     };
 
@@ -183,7 +197,9 @@ fn bench_container(c: &mut Criterion) {
 
     group.bench_function("table_conditional_update", |b| {
         let container = make_container();
-        container.create_segment("bench-table", true).expect("create");
+        container
+            .create_segment("bench-table", true)
+            .expect("create");
         let mut i = 0u64;
         b.iter(|| {
             i += 1;

@@ -98,6 +98,22 @@ impl FigureTable {
     }
 }
 
+/// Prints an end-of-run metrics snapshot and writes
+/// `bench_results/<name>.metrics.json` next to the figure CSVs, so a bench
+/// run leaves behind the per-stage instrument values that produced it.
+pub fn emit_metrics_snapshot(name: &str, snapshot: &pravega_common::metrics::Snapshot) {
+    println!("\n== {name}: per-stage metrics ==\n{snapshot}");
+    let dir = results_dir();
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.metrics.json"));
+        std::fs::write(path, snapshot.to_json())
+    };
+    if let Err(e) = write() {
+        eprintln!("warning: could not write metrics snapshot for {name}: {e}");
+    }
+}
+
 /// `bench_results/` at the workspace root.
 pub fn results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))

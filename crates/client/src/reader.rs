@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use pravega_common::id::ScopedSegment;
+use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::wire::{Reply, Request};
 
 use crate::connection::RpcClient;
@@ -50,6 +51,21 @@ impl std::fmt::Debug for AssignedSegment {
     }
 }
 
+/// Cheap handles to the reader's `client.reader.*` instruments.
+struct ReaderMetrics {
+    events_read: Arc<Counter>,
+    read_nanos: Arc<Histogram>,
+}
+
+impl ReaderMetrics {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        Self {
+            events_read: metrics.counter("client.reader.events_read"),
+            read_nanos: metrics.histogram("client.reader.read_nanos"),
+        }
+    }
+}
+
 /// A single reader within a reader group.
 pub struct EventStreamReader<T, S: Serializer<T>> {
     reader_id: String,
@@ -58,6 +74,7 @@ pub struct EventStreamReader<T, S: Serializer<T>> {
     assigned: Vec<AssignedSegment>,
     rr_cursor: usize,
     last_acquire: Option<Instant>,
+    metrics: ReaderMetrics,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
@@ -73,6 +90,17 @@ impl<T, S: Serializer<T>> std::fmt::Debug for EventStreamReader<T, S> {
 impl<T, S: Serializer<T>> EventStreamReader<T, S> {
     /// Creates a reader registered in `group`.
     pub fn new(reader_id: &str, group: Arc<ReaderGroup>, serializer: S) -> Self {
+        Self::new_with_metrics(reader_id, group, serializer, &MetricsRegistry::new())
+    }
+
+    /// [`EventStreamReader::new`] with an explicit registry for the reader's
+    /// `client.reader.*` instruments (the cluster passes its shared one).
+    pub fn new_with_metrics(
+        reader_id: &str,
+        group: Arc<ReaderGroup>,
+        serializer: S,
+        metrics: &MetricsRegistry,
+    ) -> Self {
         Self {
             reader_id: reader_id.to_string(),
             group,
@@ -80,6 +108,7 @@ impl<T, S: Serializer<T>> EventStreamReader<T, S> {
             assigned: Vec::new(),
             rr_cursor: 0,
             last_acquire: None,
+            metrics: ReaderMetrics::new(metrics),
             _marker: std::marker::PhantomData,
         }
     }
@@ -135,7 +164,8 @@ impl<T, S: Serializer<T>> EventStreamReader<T, S> {
     ///
     /// Connection/controller failures and deserialization errors.
     pub fn read_next(&mut self, timeout: Duration) -> Result<Option<EventRead<T>>, ClientError> {
-        let deadline = Instant::now() + timeout;
+        let started = Instant::now();
+        let deadline = started + timeout;
         loop {
             let need_sync = match self.last_acquire {
                 None => true,
@@ -149,6 +179,10 @@ impl<T, S: Serializer<T>> EventStreamReader<T, S> {
                 let idx = (self.rr_cursor + i) % self.assigned.len();
                 if let Some(event) = self.pop_event(idx)? {
                     self.rr_cursor = (idx + 1) % self.assigned.len().max(1);
+                    self.metrics.events_read.inc();
+                    self.metrics
+                        .read_nanos
+                        .record(started.elapsed().as_nanos() as u64);
                     return Ok(Some(event));
                 }
             }

@@ -40,8 +40,7 @@ fn decode_segment(buf: &mut Bytes) -> Result<ScopedSegment, ClientError> {
         return Err(ClientError::Serde("truncated segment".into()));
     }
     let id = SegmentId::from_u64(buf.get_u64());
-    let stream =
-        ScopedStream::new(scope, stream).map_err(|e| ClientError::Serde(e.to_string()))?;
+    let stream = ScopedStream::new(scope, stream).map_err(|e| ClientError::Serde(e.to_string()))?;
     Ok(stream.segment(id))
 }
 

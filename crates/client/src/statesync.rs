@@ -194,10 +194,7 @@ impl<T: Synchronized> StateSynchronizer<T> {
     /// # Errors
     ///
     /// Connection/protocol failures; [`ClientError::Serde`].
-    pub fn update(
-        &mut self,
-        mut updater: impl FnMut(&T) -> Option<T>,
-    ) -> Result<T, ClientError> {
+    pub fn update(&mut self, mut updater: impl FnMut(&T) -> Option<T>) -> Result<T, ClientError> {
         loop {
             let current = match self.cached.clone() {
                 Some(c) => c,

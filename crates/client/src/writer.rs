@@ -29,6 +29,7 @@ use parking_lot::Mutex;
 use pravega_common::future::{promise, Completer, Promise};
 use pravega_common::hashing::routing_key_position;
 use pravega_common::id::{ScopedStream, WriterId};
+use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::rate::{EwmaRate, EwmaValue};
 use pravega_common::wire::{Connection, Reply, Request, RequestEnvelope};
 use pravega_controller::{ControllerService, SegmentWithRange};
@@ -46,6 +47,11 @@ pub struct WriterConfig {
     pub max_batch_delay: Duration,
     /// Initial round-trip estimate before any acks arrive.
     pub initial_rtt: Duration,
+    /// Registry the writer's `client.writer.*` instruments register in.
+    ///
+    /// Defaults to a private registry; the cluster substitutes its shared
+    /// one so writer metrics appear in the cluster snapshot.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for WriterConfig {
@@ -54,6 +60,28 @@ impl Default for WriterConfig {
             max_batch_bytes: 1024 * 1024,
             max_batch_delay: Duration::from_millis(5),
             initial_rtt: Duration::from_millis(1),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+}
+
+/// Cheap handles to the writer's instruments, resolved once at construction.
+struct WriterMetrics {
+    events_written: Arc<Counter>,
+    batch_bytes: Arc<Histogram>,
+    batch_estimate_bytes: Arc<Histogram>,
+    rtt_nanos: Arc<Histogram>,
+    flush_nanos: Arc<Histogram>,
+}
+
+impl WriterMetrics {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        Self {
+            events_written: metrics.counter("client.writer.events_written"),
+            batch_bytes: metrics.histogram("client.writer.batch_bytes"),
+            batch_estimate_bytes: metrics.histogram("client.writer.batch_estimate_bytes"),
+            rtt_nanos: metrics.histogram("client.writer.rtt_nanos"),
+            flush_nanos: metrics.histogram("client.writer.flush_nanos"),
         }
     }
 }
@@ -113,6 +141,7 @@ struct WriterShared {
     state: Mutex<WriterState>,
     pending_events: AtomicUsize,
     stopped: AtomicBool,
+    metrics: WriterMetrics,
 }
 
 /// Writes events to a stream. Not thread-safe by design (clone-free,
@@ -143,12 +172,14 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
         serializer: S,
         config: WriterConfig,
     ) -> Self {
+        let metrics = WriterMetrics::new(&config.metrics);
         let shared = Arc::new(WriterShared {
             stream,
             controller,
             factory,
             writer_id: WriterId::random(),
             config,
+            metrics,
             state: Mutex::new(WriterState {
                 segments: Vec::new(),
                 next_event_number: 0,
@@ -189,7 +220,11 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
 
     /// Writes an event with a routing key. Returns immediately with a
     /// promise resolved once the event is durably stored.
-    pub fn write_event(&mut self, routing_key: &str, event: &T) -> Promise<Result<(), ClientError>> {
+    pub fn write_event(
+        &mut self,
+        routing_key: &str,
+        event: &T,
+    ) -> Promise<Result<(), ClientError>> {
         let payload = match self.serializer.serialize(event) {
             Ok(p) => p,
             Err(e) => return Promise::ready(Err(e)),
@@ -198,7 +233,11 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
     }
 
     /// Writes a pre-serialized event payload.
-    pub fn write_raw(&mut self, routing_key: &str, payload: Bytes) -> Promise<Result<(), ClientError>> {
+    pub fn write_raw(
+        &mut self,
+        routing_key: &str,
+        payload: Bytes,
+    ) -> Promise<Result<(), ClientError>> {
         if self.shared.stopped.load(Ordering::SeqCst) {
             return Promise::ready(Err(ClientError::Disconnected("writer closed".into())));
         }
@@ -220,6 +259,7 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
         let event_number = state.next_event_number;
         state.next_event_number += 1;
         self.shared.pending_events.fetch_add(1, Ordering::SeqCst);
+        self.shared.metrics.events_written.inc();
         let pending = PendingEvent {
             event_number,
             routing_key: routing_key.to_string(),
@@ -252,7 +292,10 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
         let mut state = self.shared.state.lock();
         if let Err(e) = ensure_initialized(&self.shared, &mut state) {
             drop(state);
-            return items.iter().map(|_| Promise::ready(Err(e.clone()))).collect();
+            return items
+                .iter()
+                .map(|_| Promise::ready(Err(e.clone())))
+                .collect();
         }
         let mut touched: Vec<usize> = Vec::new();
         for (routing_key, payload) in items {
@@ -263,6 +306,7 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
             let event_number = state.next_event_number;
             state.next_event_number += 1;
             self.shared.pending_events.fetch_add(1, Ordering::SeqCst);
+            self.shared.metrics.events_written.inc();
             let pending = PendingEvent {
                 event_number,
                 routing_key,
@@ -298,6 +342,7 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
     ///
     /// [`ClientError::Timeout`] after 60 s; writer failures.
     pub fn flush(&mut self) -> Result<(), ClientError> {
+        let flush_start = Instant::now();
         {
             let mut state = self.shared.state.lock();
             let max_batch = self.shared.config.max_batch_bytes;
@@ -315,6 +360,10 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
             }
             std::thread::sleep(Duration::from_micros(200));
         }
+        self.shared
+            .metrics
+            .flush_nanos
+            .record(flush_start.elapsed().as_nanos() as u64);
         match self.shared.state.lock().failed.clone() {
             Some(e) => Err(e),
             None => Ok(()),
@@ -498,7 +547,9 @@ fn batch_size_estimate(shared: &Arc<WriterShared>, seg: &OpenSegment, max_batch:
         .byte_rate
         .rate(seg.rate_origin.elapsed().as_nanos() as u64);
     let estimate = (rate * rtt / 2.0) as usize;
-    estimate.clamp(1, max_batch)
+    let clamped = estimate.clamp(1, max_batch);
+    shared.metrics.batch_estimate_bytes.record(clamped as u64);
+    clamped
 }
 
 fn send_block(shared: &Arc<WriterShared>, seg: &mut OpenSegment, _max_batch: usize) {
@@ -508,6 +559,7 @@ fn send_block(shared: &Arc<WriterShared>, seg: &mut OpenSegment, _max_batch: usi
     let data = std::mem::take(&mut seg.block).freeze();
     let events = std::mem::take(&mut seg.block_events);
     seg.block_opened = None;
+    shared.metrics.batch_bytes.record(data.len() as u64);
     let last_event_number = events.last().expect("non-empty block").event_number;
     let request_id = seg.next_request_id;
     seg.next_request_id += 1;
@@ -532,7 +584,10 @@ fn send_block(shared: &Arc<WriterShared>, seg: &mut OpenSegment, _max_batch: usi
     }
 }
 
-fn refresh_segments(shared: &Arc<WriterShared>, state: &mut WriterState) -> Result<(), ClientError> {
+fn refresh_segments(
+    shared: &Arc<WriterShared>,
+    state: &mut WriterState,
+) -> Result<(), ClientError> {
     let current = shared.controller.current_segments(&shared.stream)?;
     for info in current {
         if !state
@@ -644,15 +699,13 @@ fn pump_loop(shared: Arc<WriterShared>) {
                                     if front.last_event_number > last_event_number {
                                         break;
                                     }
-                                    let block =
-                                        seg.inflight.pop_front().expect("front exists");
-                                    let rtt = block.sent_at.elapsed().as_secs_f64();
-                                    seg.rtt_secs.record(rtt);
+                                    let block = seg.inflight.pop_front().expect("front exists");
+                                    let elapsed = block.sent_at.elapsed();
+                                    seg.rtt_secs.record(elapsed.as_secs_f64());
+                                    shared.metrics.rtt_nanos.record(elapsed.as_nanos() as u64);
                                     for mut e in block.events {
                                         if let Some(c) = e.completer.take() {
-                                            shared
-                                                .pending_events
-                                                .fetch_sub(1, Ordering::SeqCst);
+                                            shared.pending_events.fetch_sub(1, Ordering::SeqCst);
                                             c.complete(Ok(()));
                                         }
                                     }

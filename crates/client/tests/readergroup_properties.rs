@@ -11,12 +11,14 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
 use pravega_client::readergroup::ReaderGroupState;
 use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
+use proptest::prelude::*;
 
 fn seg(epoch: u32, n: u32) -> ScopedSegment {
-    ScopedStream::new("p", "s").unwrap().segment(SegmentId::new(epoch, n))
+    ScopedStream::new("p", "s")
+        .unwrap()
+        .segment(SegmentId::new(epoch, n))
 }
 
 #[derive(Debug, Clone)]

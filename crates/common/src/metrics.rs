@@ -6,7 +6,8 @@
 //! two), the same scheme as HdrHistogram, giving <1.6% relative error.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -35,6 +36,42 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time signed value (queue depth, lag bytes, in-flight count).
+///
+/// Unlike [`Counter`] a gauge can go down; `add`/`sub` are used by code that
+/// tracks a level incrementally, `set` by code that recomputes it wholesale.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` to the gauge.
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta` from the gauge.
+    pub fn sub(&self, delta: i64) {
+        self.value.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -172,6 +209,31 @@ impl Histogram {
         self.max()
     }
 
+    /// Folds all of `other`'s recorded values into `self`.
+    ///
+    /// Bucket counts are added; count and sum accumulate; min/max widen.
+    /// `other` is unchanged. Used at snapshot time to aggregate per-component
+    /// histograms (e.g. one journal per bookie) into a cluster-wide view.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Clears all recorded values.
     pub fn reset(&self) {
         for b in &self.buckets {
@@ -193,6 +255,7 @@ pub struct MetricsRegistry {
 #[derive(Debug, Default)]
 struct RegistryInner {
     counters: HashMap<String, Arc<Counter>>,
+    gauges: HashMap<String, Arc<Gauge>>,
     histograms: HashMap<String, Arc<Histogram>>,
 }
 
@@ -222,6 +285,16 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Returns (creating if needed) the gauge with the given name.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut inner = self.inner.lock();
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
     /// Snapshot of all counter values, sorted by name.
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         let inner = self.inner.lock();
@@ -232,6 +305,218 @@ impl MetricsRegistry {
             .collect();
         v.sort();
         v
+    }
+
+    /// Point-in-time capture of every instrument in the registry.
+    ///
+    /// Counters and gauges are read atomically per-instrument; histograms are
+    /// summarised (count/sum/min/max/mean/p50/p95/p99). Everything is sorted
+    /// by name so output is stable across runs.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock();
+        let mut counters: Vec<(String, u64)> = inner
+            .counters
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        counters.sort();
+        let mut gauges: Vec<(String, i64)> = inner
+            .gauges
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        gauges.sort();
+        let mut histograms: Vec<(String, HistogramSummary)> = inner
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), HistogramSummary::of(h)))
+            .collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Summary statistics for one histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 if empty).
+    pub min: u64,
+    /// Largest recorded value (0 if empty).
+    pub max: u64,
+    /// Mean of recorded values (0.0 if empty).
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 95th percentile.
+    pub p95: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Summarises `h` at this moment.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+        }
+    }
+}
+
+/// A point-in-time, serialisable view of a [`MetricsRegistry`].
+///
+/// `Display` renders a human-readable table (used by the examples and the
+/// bench harness); [`Snapshot::to_json`] emits the same data as JSON for
+/// machine consumption.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Value of a named counter, or `None` if it was never created.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of a named gauge, or `None` if it was never created.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Summary of a named histogram, or `None` if it was never created.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Number of instruments that have observed at least one event: counters
+    /// and gauges with non-zero values plus histograms with `count > 0`.
+    pub fn active_instruments(&self) -> usize {
+        self.counters.iter().filter(|(_, v)| *v > 0).count()
+            + self.gauges.iter().filter(|(_, v)| *v != 0).count()
+            + self.histograms.iter().filter(|(_, h)| h.count > 0).count()
+    }
+
+    /// Serialises the snapshot as a JSON object.
+    ///
+    /// Hand-rolled: metric names follow `<crate>.<component>.<name>` and
+    /// contain no characters that need escaping beyond the standard set,
+    /// but escaping is applied anyway for safety.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.3},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                json_string(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain(self.gauges.iter().map(|(k, _)| k.len()))
+            .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .max()
+            .unwrap_or(0);
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (k, v) in &self.counters {
+                writeln!(f, "  {k:<width$}  {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges:")?;
+            for (k, v) in &self.gauges {
+                writeln!(f, "  {k:<width$}  {v}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (k, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {k:<width$}  n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
+                    h.count, h.mean, h.min, h.p50, h.p95, h.p99, h.max
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -250,7 +535,19 @@ mod tests {
     #[test]
     fn bucket_index_is_monotonic() {
         let mut prev = 0usize;
-        for v in [0u64, 1, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 30, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            65_535,
+            1 << 30,
+            u64::MAX,
+        ] {
             let idx = bucket_index(v);
             assert!(idx >= prev, "index not monotonic at {v}");
             prev = idx;
@@ -310,5 +607,221 @@ mod tests {
         assert_eq!(r.counter_values(), vec![("a".to_string(), 2)]);
         r.histogram("h").record(1);
         assert_eq!(r.histogram("h").count(), 1);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0);
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.get(), 7);
+        g.set(-5);
+        assert_eq!(g.get(), -5);
+        g.add(5);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn registry_gauge_is_shared() {
+        let r = MetricsRegistry::new();
+        r.gauge("depth").set(3);
+        r.gauge("depth").add(2);
+        assert_eq!(r.gauge("depth").get(), 5);
+    }
+
+    #[test]
+    fn merge_from_combines_distributions() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 1..=500u64 {
+            a.record(v);
+        }
+        for v in 501..=1000u64 {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 1000);
+        assert_eq!(a.sum(), (1..=1000u64).sum::<u64>());
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1000);
+        let p50 = a.percentile(50.0);
+        assert!(
+            (485..=515).contains(&p50),
+            "merged p50 should be ~500, got {p50}"
+        );
+        // b is unchanged.
+        assert_eq!(b.count(), 500);
+        assert_eq!(b.min(), 501);
+    }
+
+    #[test]
+    fn merge_from_empty_is_noop() {
+        let a = Histogram::new();
+        a.record(7);
+        let empty = Histogram::new();
+        a.merge_from(&empty);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 7);
+        // Merging into an empty histogram adopts the other's min.
+        let target = Histogram::new();
+        target.merge_from(&a);
+        assert_eq!(target.min(), 7);
+        assert_eq!(target.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_captures_all_instrument_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter("x.events").add(3);
+        r.gauge("x.depth").set(-2);
+        for v in [10u64, 20, 30] {
+            r.histogram("x.lat").record(v);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("x.events"), Some(3));
+        assert_eq!(s.gauge("x.depth"), Some(-2));
+        let h = s.histogram("x.lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 60);
+        assert_eq!(h.min, 10);
+        assert_eq!(h.max, 30);
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.active_instruments(), 3);
+    }
+
+    #[test]
+    fn snapshot_json_and_display_are_well_formed() {
+        let r = MetricsRegistry::new();
+        r.counter("a.b.c").inc();
+        r.gauge("a.b.g").set(4);
+        r.histogram("a.b.h").record(100);
+        let s = r.snapshot();
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"a.b.c\":1"));
+        assert!(json.contains("\"a.b.g\":4"));
+        assert!(json.contains("\"count\":1"));
+        // Balanced braces (no nesting surprises in the hand-rolled writer).
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+        let text = s.to_string();
+        assert!(text.contains("counters:"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("a.b.h"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        assert_eq!(json_string("plain.name"), "\"plain.name\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = Arc::new(Histogram::new());
+        let c = Arc::new(Counter::new());
+        let g = Arc::new(Gauge::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = h.clone();
+                let c = c.clone();
+                let g = g.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i + 1);
+                        c.inc();
+                        g.add(1);
+                        g.sub(1);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let total = threads * per_thread;
+        assert_eq!(h.count(), total);
+        assert_eq!(c.get(), total);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), total);
+        let expect_sum: u64 = total * (total + 1) / 2;
+        assert_eq!(h.sum(), expect_sum);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_bucket_round_trip_bounds_error(v in 1u64..u64::MAX / 2) {
+            let idx = bucket_index(v);
+            proptest::prop_assert!(idx < BUCKET_COUNT);
+            let approx = bucket_value(idx);
+            let err = (approx as f64 - v as f64).abs() / v as f64;
+            proptest::prop_assert!(
+                err < 0.016,
+                "value {} approx {} relative error {}",
+                v, approx, err
+            );
+        }
+
+        #[test]
+        fn prop_bucket_index_is_monotonic(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            proptest::prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        }
+
+        #[test]
+        fn prop_percentile_error_bound(values in proptest::prop::collection::vec(1u64..1_000_000, 10..200)) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for p in [50.0f64, 95.0, 99.0] {
+                let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+                let exact = sorted[rank - 1];
+                let got = h.percentile(p);
+                let err = (got as f64 - exact as f64).abs() / exact as f64;
+                proptest::prop_assert!(
+                    err < 0.016,
+                    "p{}: exact {} got {} err {}",
+                    p, exact, got, err
+                );
+            }
+        }
+
+        #[test]
+        fn prop_merge_equals_combined_recording(
+            xs in proptest::prop::collection::vec(1u64..1_000_000, 0..100),
+            ys in proptest::prop::collection::vec(1u64..1_000_000, 0..100),
+        ) {
+            let separate_a = Histogram::new();
+            let separate_b = Histogram::new();
+            let combined = Histogram::new();
+            for &v in &xs {
+                separate_a.record(v);
+                combined.record(v);
+            }
+            for &v in &ys {
+                separate_b.record(v);
+                combined.record(v);
+            }
+            separate_a.merge_from(&separate_b);
+            proptest::prop_assert_eq!(separate_a.count(), combined.count());
+            proptest::prop_assert_eq!(separate_a.sum(), combined.sum());
+            proptest::prop_assert_eq!(separate_a.min(), combined.min());
+            proptest::prop_assert_eq!(separate_a.max(), combined.max());
+            for p in [50.0f64, 95.0, 99.0] {
+                proptest::prop_assert_eq!(separate_a.percentile(p), combined.percentile(p));
+            }
+        }
     }
 }

@@ -413,7 +413,9 @@ mod tests {
     use crate::id::{ScopedStream, SegmentId};
 
     fn seg() -> ScopedSegment {
-        ScopedStream::new("s", "t").unwrap().segment(SegmentId::new(0, 0))
+        ScopedStream::new("s", "t")
+            .unwrap()
+            .segment(SegmentId::new(0, 0))
     }
 
     #[test]

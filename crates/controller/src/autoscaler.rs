@@ -345,10 +345,7 @@ mod tests {
     #[test]
     fn merge_requires_adjacent_sustained_cold_pair() {
         let policy = rate_policy(100);
-        let current = vec![
-            record(0, 0, 0.0, 0.5),
-            record(0, 1, 0.5, 1.0),
-        ];
+        let current = vec![record(0, 0, 0.0, 0.5), record(0, 1, 0.5, 1.0)];
         let mut history = HashMap::new();
         let config = AutoScalerConfig {
             cold_threshold: 2,

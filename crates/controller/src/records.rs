@@ -105,7 +105,9 @@ impl StreamMetadata {
 
     /// The open segment owning key-space position `pos`.
     pub fn segment_for_position(&self, pos: f64) -> Option<&StreamSegmentRecord> {
-        self.current_segments().iter().find(|s| s.range.contains(pos))
+        self.current_segments()
+            .iter()
+            .find(|s| s.range.contains(pos))
     }
 
     /// Looks a segment record up anywhere in history.
@@ -300,8 +302,7 @@ impl StreamMetadata {
         let mut buf = data.clone();
         let scope = get_string(&mut buf, "scope")?;
         let name = get_string(&mut buf, "stream")?;
-        let stream =
-            ScopedStream::new(scope, name).map_err(|_| DecodeError::new("stream name"))?;
+        let stream = ScopedStream::new(scope, name).map_err(|_| DecodeError::new("stream name"))?;
         let config = decode_config(&mut buf)?;
         if buf.remaining() < 9 {
             return Err(DecodeError::new("stream header"));

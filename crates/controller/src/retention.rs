@@ -116,8 +116,7 @@ pub(crate) fn plan_by_size(
                         .unwrap_or(0);
                     let capacity = retained(id).saturating_sub(already);
                     let share = if pass == 0 {
-                        ((retained(id) as f64 / current_total as f64) * excess as f64).ceil()
-                            as u64
+                        ((retained(id) as f64 / current_total as f64) * excess as f64).ceil() as u64
                     } else {
                         capacity
                     };
@@ -250,8 +249,7 @@ mod tests {
 
     #[test]
     fn size_retention_truncates_current_segment() {
-        let (mock, service, manager, _, stream) =
-            setup(RetentionPolicy::BySize { max_bytes: 100 });
+        let (mock, service, manager, _, stream) = setup(RetentionPolicy::BySize { max_bytes: 100 });
         let seg = service.current_segments(&stream).unwrap()[0].clone();
         mock.set_length(&seg.segment, 250);
         let plan = manager.run_once(&stream).unwrap();
@@ -266,8 +264,7 @@ mod tests {
 
     #[test]
     fn size_retention_deletes_superseded_segments_first() {
-        let (mock, service, manager, _, stream) =
-            setup(RetentionPolicy::BySize { max_bytes: 100 });
+        let (mock, service, manager, _, stream) = setup(RetentionPolicy::BySize { max_bytes: 100 });
         let old = service.current_segments(&stream).unwrap()[0].clone();
         mock.set_length(&old.segment, 500);
         // Scale so `old` becomes superseded.
@@ -309,11 +306,8 @@ mod tests {
     fn size_plan_is_pure_and_conservative() {
         // Direct unit test of the planner.
         let stream = ScopedStream::new("s", "t").unwrap();
-        let metadata = StreamMetadata::new(
-            stream,
-            StreamConfiguration::new(ScalingPolicy::fixed(2)),
-            0,
-        );
+        let metadata =
+            StreamMetadata::new(stream, StreamConfiguration::new(ScalingPolicy::fixed(2)), 0);
         let ids: Vec<SegmentId> = metadata.current_segments().iter().map(|s| s.id).collect();
         let mut sizes = BTreeMap::new();
         sizes.insert(ids[0], (100u64, 0u64));

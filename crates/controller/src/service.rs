@@ -118,7 +118,12 @@ impl ControllerService {
         }
     }
 
-    fn with_range(&self, stream: &ScopedStream, id: SegmentId, range: KeyRange) -> SegmentWithRange {
+    fn with_range(
+        &self,
+        stream: &ScopedStream,
+        id: SegmentId,
+        range: KeyRange,
+    ) -> SegmentWithRange {
         let segment = stream.segment(id);
         let endpoint = self.resolver.endpoint_for(&segment);
         SegmentWithRange {
@@ -183,7 +188,10 @@ impl ControllerService {
     /// # Errors
     ///
     /// [`ControllerError::StreamNotFound`].
-    pub fn stream_metadata(&self, stream: &ScopedStream) -> Result<StreamMetadata, ControllerError> {
+    pub fn stream_metadata(
+        &self,
+        stream: &ScopedStream,
+    ) -> Result<StreamMetadata, ControllerError> {
         self.backend
             .load(stream)
             .map(|(m, _)| m)
@@ -250,9 +258,10 @@ impl ControllerService {
                 if covered.iter().any(|c| c.overlaps(&s.range)) {
                     continue;
                 }
-                if head.iter().any(|(sw, _): &(SegmentWithRange, u64)| {
-                    sw.segment.segment_id() == s.id
-                }) {
+                if head
+                    .iter()
+                    .any(|(sw, _): &(SegmentWithRange, u64)| sw.segment.segment_id() == s.id)
+                {
                     continue;
                 }
                 head.push((
@@ -361,8 +370,7 @@ impl ControllerService {
             return Err(ControllerError::StreamNotSealed);
         }
         for id in metadata.all_segment_ids() {
-            let already_deleted =
-                metadata.truncation.get(&id.as_u64()).copied() == Some(DELETED);
+            let already_deleted = metadata.truncation.get(&id.as_u64()).copied() == Some(DELETED);
             if !already_deleted {
                 self.segments
                     .delete_segment(&stream.segment(id))
@@ -665,7 +673,8 @@ mod tests {
         let s0 = svc.current_segments(&stream()).unwrap()[0].clone();
         let mut offsets = BTreeMap::new();
         offsets.insert(s0.segment.segment_id(), 100u64);
-        svc.truncate_stream(&stream(), offsets.clone(), vec![]).unwrap();
+        svc.truncate_stream(&stream(), offsets.clone(), vec![])
+            .unwrap();
         assert_eq!(mock.get(&s0.segment).unwrap().start_offset, 100);
         let head = svc.head_segments(&stream()).unwrap();
         assert_eq!(head[0].1, 100);

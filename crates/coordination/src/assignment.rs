@@ -31,10 +31,7 @@ pub fn compute_assignment(hosts: &[String], container_count: u32) -> BTreeMap<u3
         return map;
     }
     for container in 0..container_count {
-        map.insert(
-            container,
-            sorted[container as usize % sorted.len()].clone(),
-        );
+        map.insert(container, sorted[container as usize % sorted.len()].clone());
     }
     map
 }

@@ -44,7 +44,8 @@ impl LeaderElection {
     }
 
     fn candidates(&self) -> Vec<String> {
-        self.coord.list(&format!("{}/candidate-", self.election_path))
+        self.coord
+            .list(&format!("{}/candidate-", self.election_path))
     }
 
     /// Whether this participant currently holds leadership.

@@ -106,12 +106,11 @@ impl StoreInner {
     fn notify(&mut self, path: &str, kind: WatchKind) {
         self.watchers.retain(|w| {
             if path.starts_with(&w.prefix) {
-                w.tx
-                    .send(WatchEvent {
-                        path: path.to_string(),
-                        kind,
-                    })
-                    .is_ok()
+                w.tx.send(WatchEvent {
+                    path: path.to_string(),
+                    kind,
+                })
+                .is_ok()
             } else {
                 true
             }
@@ -348,7 +347,8 @@ mod tests {
     #[test]
     fn create_get_set_delete_lifecycle() {
         let c = CoordinationService::new();
-        c.create("/a", b"1".to_vec(), CreateMode::Persistent).unwrap();
+        c.create("/a", b"1".to_vec(), CreateMode::Persistent)
+            .unwrap();
         assert_eq!(c.get("/a"), Some((b"1".to_vec(), 0)));
         assert_eq!(c.set("/a", b"2".to_vec(), Some(0)).unwrap(), 1);
         assert_eq!(c.get("/a"), Some((b"2".to_vec(), 1)));
@@ -406,7 +406,8 @@ mod tests {
     fn ephemeral_nodes_die_with_session() {
         let c = CoordinationService::new();
         let s = c.create_session();
-        c.create("/e", vec![], CreateMode::Ephemeral(s.id())).unwrap();
+        c.create("/e", vec![], CreateMode::Ephemeral(s.id()))
+            .unwrap();
         c.create("/p", vec![], CreateMode::Persistent).unwrap();
         c.expire_session(s.id());
         assert!(!c.exists("/e"));

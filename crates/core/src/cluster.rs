@@ -11,6 +11,7 @@ use pravega_client::{
 };
 use pravega_common::clock::SystemClock;
 use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
+use pravega_common::metrics::{Histogram, HistogramSummary, MetricsRegistry, Snapshot};
 use pravega_common::policy::StreamConfiguration;
 use pravega_controller::{
     AutoScaler, AutoScalerConfig, ControllerService, InMemoryMetadataBackend, MetadataBackend,
@@ -22,11 +23,9 @@ use pravega_lts::{
     InMemoryChunkStorage, InMemoryMetadataStore, NoOpChunkStorage, ThrottleModel,
     ThrottledChunkStorage,
 };
-use pravega_segmentstore::{
-    ContainerConfig, SegmentContainer, SegmentStore, SegmentStoreConfig,
-};
-use pravega_wal::bookie::MemBookie;
+use pravega_segmentstore::{ContainerConfig, SegmentContainer, SegmentStore, SegmentStoreConfig};
 use pravega_wal::bookie::Bookie;
+use pravega_wal::bookie::MemBookie;
 use pravega_wal::journal::JournalConfig;
 use pravega_wal::ledger::{BookiePool, ReplicationConfig};
 use pravega_wal::log::{BookkeeperLog, DurableDataLog, LogConfig};
@@ -34,7 +33,7 @@ use pravega_wal::log::{BookkeeperLog, DurableDataLog, LogConfig};
 use crate::error::ClusterError;
 use crate::tablebackend::TableMetadataBackend;
 use crate::wiring::{
-    Routing, RoutedConnectionFactory, RoutedEndpointResolver, RoutedSegmentManager, StoreHandle,
+    RoutedConnectionFactory, RoutedEndpointResolver, RoutedSegmentManager, Routing, StoreHandle,
 };
 
 /// Which long-term storage backend the cluster tiers to.
@@ -107,6 +106,46 @@ pub struct PravegaCluster {
     retention: RetentionManager,
     factory: Arc<dyn ConnectionFactory>,
     lts: ChunkedSegmentStorage,
+    metrics: MetricsRegistry,
+}
+
+/// Handle to a cluster's end-to-end metrics: the shared registry every stage
+/// records into, plus per-bookie journal histograms that are folded in at
+/// snapshot time (they live inside the WAL journals, outside the registry).
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    registry: MetricsRegistry,
+    bookies: Vec<Arc<MemBookie>>,
+}
+
+impl ClusterMetrics {
+    /// The shared registry (for registering extra instruments or asserting
+    /// on individual handles in tests).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Point-in-time view of every instrument in the cluster, including the
+    /// WAL journals' group-commit histograms merged across bookies
+    /// (`wal.journal.group_commit_entries`) and the total journal sync count
+    /// (`wal.journal.syncs`).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = self.registry.snapshot();
+        let merged = Histogram::new();
+        let mut syncs = 0u64;
+        for bookie in &self.bookies {
+            merged.merge_from(&bookie.journal_group_sizes());
+            syncs += bookie.journal_syncs();
+        }
+        snap.counters.push(("wal.journal.syncs".to_string(), syncs));
+        snap.counters.sort();
+        snap.histograms.push((
+            "wal.journal.group_commit_entries".to_string(),
+            HistogramSummary::of(&merged),
+        ));
+        snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        snap
+    }
 }
 
 impl std::fmt::Debug for PravegaCluster {
@@ -126,9 +165,15 @@ impl PravegaCluster {
     ///
     /// Propagates substrate bootstrap failures.
     pub fn start(config: ClusterConfig) -> Result<Self, ClusterError> {
+        let metrics = MetricsRegistry::new();
         let coord = CoordinationService::new();
         let bookies: Vec<Arc<MemBookie>> = (0..config.bookie_count)
-            .map(|i| Arc::new(MemBookie::new(&format!("bookie-{i}"), config.journal.clone())))
+            .map(|i| {
+                Arc::new(MemBookie::new(
+                    &format!("bookie-{i}"),
+                    config.journal.clone(),
+                ))
+            })
             .collect();
         let pool = BookiePool::new(
             bookies
@@ -140,9 +185,10 @@ impl PravegaCluster {
         let chunks: Arc<dyn ChunkStorage> = match &config.lts {
             LtsKind::InMemory => Arc::new(InMemoryChunkStorage::new()),
             LtsKind::File(path) => Arc::new(FileChunkStorage::open(path.clone())?),
-            LtsKind::Throttled(model) => {
-                Arc::new(ThrottledChunkStorage::new(InMemoryChunkStorage::new(), *model))
-            }
+            LtsKind::Throttled(model) => Arc::new(ThrottledChunkStorage::new(
+                InMemoryChunkStorage::new(),
+                *model,
+            )),
             LtsKind::NoOp => Arc::new(NoOpChunkStorage::new()),
         };
         // Chunk *metadata* lives in an in-memory conditional-update store;
@@ -154,7 +200,8 @@ impl PravegaCluster {
             ChunkedStorageConfig {
                 max_chunk_bytes: config.max_chunk_bytes,
             },
-        );
+        )
+        .with_metrics(&metrics);
 
         let routing = Arc::new(Routing {
             container_count: config.container_count,
@@ -165,7 +212,7 @@ impl PravegaCluster {
         // Segment stores.
         for i in 0..config.segment_store_count {
             let host = format!("segmentstore-{i}");
-            Self::add_store(&config, &coord, &pool, &lts, &routing, &host)?;
+            Self::add_store(&config, &coord, &pool, &lts, &routing, &host, &metrics)?;
         }
         Self::rebalance(&config, &coord, &routing)?;
 
@@ -193,7 +240,8 @@ impl PravegaCluster {
             }),
             clock.clone(),
         ));
-        let autoscaler = AutoScaler::new(controller.clone(), clock.clone(), config.autoscaler.clone());
+        let autoscaler =
+            AutoScaler::new(controller.clone(), clock.clone(), config.autoscaler.clone());
         let retention = RetentionManager::new(controller.clone(), clock);
 
         Ok(Self {
@@ -206,6 +254,7 @@ impl PravegaCluster {
             retention,
             factory,
             lts,
+            metrics,
         })
     }
 
@@ -216,6 +265,7 @@ impl PravegaCluster {
         lts: &ChunkedSegmentStorage,
         routing: &Arc<Routing>,
         host: &str,
+        metrics: &MetricsRegistry,
     ) -> Result<(), ClusterError> {
         let session = coord.create_session();
         ContainerAssigner::register_host(coord, host, session.id())
@@ -226,6 +276,7 @@ impl PravegaCluster {
         let container_config = config.container.clone();
         let replication = config.replication;
         let rollover = config.log_rollover_bytes;
+        let factory_metrics = metrics.clone();
         let store = SegmentStore::new(
             SegmentStoreConfig {
                 host_id: host.to_string(),
@@ -245,12 +296,13 @@ impl PravegaCluster {
                     )
                     .map_err(pravega_segmentstore::SegmentError::Wal)?,
                 );
-                SegmentContainer::start(
+                SegmentContainer::start_with_metrics(
                     id,
                     wal,
                     factory_lts.clone(),
                     Arc::new(SystemClock::new()),
                     container_config.clone(),
+                    &factory_metrics,
                 )
             }),
         );
@@ -307,6 +359,17 @@ impl PravegaCluster {
         &self.lts
     }
 
+    /// The cluster's end-to-end metrics: every pipeline stage — client
+    /// writer, operation pipeline, WAL, storage writer, LTS, read path,
+    /// client reader — records into one shared registry;
+    /// [`ClusterMetrics::snapshot`] captures all of it at once.
+    pub fn metrics(&self) -> ClusterMetrics {
+        ClusterMetrics {
+            registry: self.metrics.clone(),
+            bookies: self.bookies.clone(),
+        }
+    }
+
     /// Host ids of all (live and dead) registered stores.
     pub fn store_hosts(&self) -> Vec<String> {
         let mut hosts: Vec<String> = self.routing.stores.lock().keys().cloned().collect();
@@ -353,13 +416,16 @@ impl PravegaCluster {
         Ok(())
     }
 
-    /// Creates an event writer for `stream`.
+    /// Creates an event writer for `stream`. The writer's instruments are
+    /// re-homed into the cluster's shared registry so they show up in
+    /// [`PravegaCluster::metrics`] snapshots.
     pub fn create_writer<T, S: Serializer<T>>(
         &self,
         stream: ScopedStream,
         serializer: S,
-        config: WriterConfig,
+        mut config: WriterConfig,
     ) -> EventStreamWriter<T, S> {
+        config.metrics = self.metrics.clone();
         EventStreamWriter::new(
             stream,
             self.controller.clone(),
@@ -389,14 +455,15 @@ impl PravegaCluster {
         )?)
     }
 
-    /// Creates a reader within a group.
+    /// Creates a reader within a group, recording into the cluster's shared
+    /// metrics registry.
     pub fn create_reader<T, S: Serializer<T>>(
         &self,
         group: &Arc<ReaderGroup>,
         reader_id: &str,
         serializer: S,
     ) -> EventStreamReader<T, S> {
-        EventStreamReader::new(reader_id, group.clone(), serializer)
+        EventStreamReader::new_with_metrics(reader_id, group.clone(), serializer, &self.metrics)
     }
 
     /// One auto-scaler pass: collects data-plane load reports (the feedback
@@ -415,14 +482,13 @@ impl PravegaCluster {
                     let Ok(segment) = ScopedSegment::parse(&load.segment) else {
                         continue;
                     };
-                    by_stream
-                        .entry(segment.stream().clone())
-                        .or_default()
-                        .push(SegmentLoadSample {
+                    by_stream.entry(segment.stream().clone()).or_default().push(
+                        SegmentLoadSample {
                             segment: segment.segment_id(),
                             events_per_sec: load.events_per_sec,
                             bytes_per_sec: load.bytes_per_sec,
-                        });
+                        },
+                    );
                 }
             }
         }
@@ -477,7 +543,11 @@ impl PravegaCluster {
 
     /// Direct access to a segment store (tests/diagnostics).
     pub fn store(&self, host: &str) -> Option<Arc<SegmentStore>> {
-        self.routing.stores.lock().get(host).map(|h| h.store.clone())
+        self.routing
+            .stores
+            .lock()
+            .get(host)
+            .map(|h| h.store.clone())
     }
 
     /// Kills a segment store (failure injection): its session expires, its

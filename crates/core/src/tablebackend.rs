@@ -39,7 +39,10 @@ fn stream_key(stream: &ScopedStream) -> Bytes {
 }
 
 impl TableMetadataBackend {
-    pub(crate) fn create(routing: Arc<Routing>, table: ScopedSegment) -> Result<Self, ControllerError> {
+    pub(crate) fn create(
+        routing: Arc<Routing>,
+        table: ScopedSegment,
+    ) -> Result<Self, ControllerError> {
         match call_store(
             &routing,
             Request::CreateSegment {
@@ -102,30 +105,25 @@ impl TableMetadataBackend {
     fn iterate_keys(&self, prefix: &str) -> Vec<(Bytes, Bytes)> {
         let mut out = Vec::new();
         let mut continuation: Option<Bytes> = None;
-        loop {
-            match call_store(
-                &self.routing,
-                Request::TableIterate {
-                    segment: self.table.clone(),
-                    continuation: continuation.clone(),
-                    limit: 256,
-                },
-            ) {
-                Ok(Reply::TableIterated {
-                    entries,
-                    continuation: next,
-                }) => {
-                    for (k, v, _) in entries {
-                        if k.starts_with(prefix.as_bytes()) {
-                            out.push((k, v));
-                        }
-                    }
-                    match next {
-                        Some(c) => continuation = Some(c),
-                        None => break,
-                    }
+        while let Ok(Reply::TableIterated {
+            entries,
+            continuation: next,
+        }) = call_store(
+            &self.routing,
+            Request::TableIterate {
+                segment: self.table.clone(),
+                continuation: continuation.clone(),
+                limit: 256,
+            },
+        ) {
+            for (k, v, _) in entries {
+                if k.starts_with(prefix.as_bytes()) {
+                    out.push((k, v));
                 }
-                _ => break,
+            }
+            match next {
+                Some(c) => continuation = Some(c),
+                None => break,
             }
         }
         out

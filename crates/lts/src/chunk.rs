@@ -242,7 +242,8 @@ impl ChunkStorage for FileChunkStorage {
                 actual: offset,
             });
         }
-        file.write_all(data).map_err(|e| LtsError::Io(e.to_string()))?;
+        file.write_all(data)
+            .map_err(|e| LtsError::Io(e.to_string()))?;
         file.sync_data().map_err(|e| LtsError::Io(e.to_string()))?;
         Ok(())
     }
@@ -252,8 +253,7 @@ impl ChunkStorage for FileChunkStorage {
         if !path.exists() {
             return Err(LtsError::NoSuchChunk);
         }
-        let mut file =
-            std::fs::File::open(&path).map_err(|e| LtsError::Io(e.to_string()))?;
+        let mut file = std::fs::File::open(&path).map_err(|e| LtsError::Io(e.to_string()))?;
         let total = file
             .metadata()
             .map_err(|e| LtsError::Io(e.to_string()))?
@@ -339,7 +339,8 @@ impl<S: ChunkStorage> ThrottledChunkStorage<S> {
     }
 
     fn charge(&self, bytes: usize) {
-        let cost = Duration::from_secs_f64(bytes as f64 / self.model.bandwidth_bytes_per_sec as f64);
+        let cost =
+            Duration::from_secs_f64(bytes as f64 / self.model.bandwidth_bytes_per_sec as f64);
         let wake = {
             let mut next_free = self.next_free.lock();
             let start = (*next_free).max(Instant::now());

@@ -44,8 +44,8 @@ pub mod metadata;
 pub mod segment;
 
 pub use chunk::{
-    ChunkStorage, FileChunkStorage, InMemoryChunkStorage, NoOpChunkStorage, ThrottledChunkStorage,
-    ThrottleModel,
+    ChunkStorage, FileChunkStorage, InMemoryChunkStorage, NoOpChunkStorage, ThrottleModel,
+    ThrottledChunkStorage,
 };
 pub use error::LtsError;
 pub use metadata::{InMemoryMetadataStore, MetadataStore, MetadataUpdate};

@@ -163,7 +163,11 @@ mod tests {
             .unwrap()[0];
         assert_eq!(v, 0);
         let v2 = s
-            .commit(vec![MetadataUpdate::replace("k", Bytes::from_static(b"2"), 0)])
+            .commit(vec![MetadataUpdate::replace(
+                "k",
+                Bytes::from_static(b"2"),
+                0,
+            )])
             .unwrap()[0];
         assert_eq!(v2, 1);
         assert_eq!(
@@ -212,7 +216,8 @@ mod tests {
             s.commit(vec![MetadataUpdate::remove("k", Some(5))]),
             Err(LtsError::MetadataConflict)
         );
-        s.commit(vec![MetadataUpdate::remove("k", Some(0))]).unwrap();
+        s.commit(vec![MetadataUpdate::remove("k", Some(0))])
+            .unwrap();
         assert!(s.get("k").is_none());
     }
 
@@ -223,7 +228,11 @@ mod tests {
             s.commit(vec![MetadataUpdate::put(k, Bytes::from_static(b"v"))])
                 .unwrap();
         }
-        let keys: Vec<String> = s.list_prefix("seg/").into_iter().map(|(k, _, _)| k).collect();
+        let keys: Vec<String> = s
+            .list_prefix("seg/")
+            .into_iter()
+            .map(|(k, _, _)| k)
+            .collect();
         assert_eq!(keys, vec!["seg/a", "seg/b", "seg/c"]);
     }
 }

@@ -9,6 +9,8 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
+use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
+
 use crate::chunk::ChunkStorage;
 use crate::error::LtsError;
 use crate::metadata::{MetadataStore, MetadataUpdate};
@@ -123,6 +125,27 @@ pub struct ChunkedSegmentStorage {
     chunks: Arc<dyn ChunkStorage>,
     metadata: Arc<dyn MetadataStore>,
     config: ChunkedStorageConfig,
+    metrics: LtsMetrics,
+}
+
+/// Cheap handles to the `lts.chunked.*` instruments.
+#[derive(Debug, Clone)]
+struct LtsMetrics {
+    write_nanos: Arc<Histogram>,
+    write_bytes: Arc<Counter>,
+    read_nanos: Arc<Histogram>,
+    read_bytes: Arc<Counter>,
+}
+
+impl LtsMetrics {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        Self {
+            write_nanos: metrics.histogram("lts.chunked.write_nanos"),
+            write_bytes: metrics.counter("lts.chunked.write_bytes"),
+            read_nanos: metrics.histogram("lts.chunked.read_nanos"),
+            read_bytes: metrics.counter("lts.chunked.read_bytes"),
+        }
+    }
 }
 
 fn record_key(segment: &str) -> String {
@@ -140,7 +163,18 @@ impl ChunkedSegmentStorage {
             chunks,
             metadata,
             config,
+            metrics: LtsMetrics::new(&MetricsRegistry::new()),
         }
+    }
+
+    /// Re-homes this storage's `lts.chunked.*` instruments in `metrics`.
+    ///
+    /// The cluster calls this with its shared registry; clones made
+    /// afterwards keep recording into the same instruments.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Self {
+        self.metrics = LtsMetrics::new(metrics);
+        self
     }
 
     /// The underlying chunk storage (for parallel historical reads).
@@ -198,6 +232,7 @@ impl ChunkedSegmentStorage {
     /// chunk-backend failures (e.g. [`LtsError::Unavailable`]) propagate and
     /// leave metadata untouched.
     pub fn write(&self, segment: &str, offset: u64, data: &[u8]) -> Result<u64, LtsError> {
+        let start = std::time::Instant::now();
         let (mut record, version) = self.load(segment)?;
         if record.sealed {
             return Err(LtsError::Sealed);
@@ -227,12 +262,17 @@ impl ChunkedSegmentStorage {
             let last = record.chunks.last_mut().expect("chunk exists");
             let capacity = (self.config.max_chunk_bytes - last.length) as usize;
             let take = remaining.len().min(capacity);
-            self.chunks.write(&last.name, last.length, &remaining[..take])?;
+            self.chunks
+                .write(&last.name, last.length, &remaining[..take])?;
             last.length += take as u64;
             record.length += take as u64;
             remaining = &remaining[take..];
         }
         self.store(segment, &record, version)?;
+        self.metrics
+            .write_nanos
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.write_bytes.add(data.len() as u64);
         Ok(record.length)
     }
 
@@ -244,6 +284,7 @@ impl ChunkedSegmentStorage {
     /// [`LtsError::Truncated`] below the start offset; [`LtsError::BeyondEnd`]
     /// past the tail.
     pub fn read(&self, segment: &str, offset: u64, len: usize) -> Result<Bytes, LtsError> {
+        let start = std::time::Instant::now();
         let (record, _) = self.load(segment)?;
         if offset < record.start_offset {
             return Err(LtsError::Truncated {
@@ -272,6 +313,10 @@ impl ChunkedSegmentStorage {
                 break;
             }
         }
+        self.metrics
+            .read_nanos
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.read_bytes.add(out.len() as u64);
         Ok(out.freeze())
     }
 
@@ -427,7 +472,10 @@ mod tests {
         let (s, chunks) = storage(8);
         s.create("seg").unwrap();
         s.write("seg", 0, b"the quick brown fox jumps").unwrap();
-        assert_eq!(s.read("seg", 0, 25).unwrap().as_ref(), b"the quick brown fox jumps");
+        assert_eq!(
+            s.read("seg", 0, 25).unwrap().as_ref(),
+            b"the quick brown fox jumps"
+        );
         assert_eq!(s.read("seg", 4, 5).unwrap().as_ref(), b"quick");
         assert_eq!(s.read("seg", 10, 9).unwrap().as_ref(), b"brown fox");
         let info = s.info("seg").unwrap();
@@ -482,7 +530,10 @@ mod tests {
         assert_eq!(chunks.chunk_names().len(), 2);
         assert_eq!(s.info("seg").unwrap().start_offset, 9);
         assert_eq!(s.read("seg", 9, 7).unwrap().as_ref(), b"9abcdef");
-        assert_eq!(s.read("seg", 2, 2), Err(LtsError::Truncated { start_offset: 9 }));
+        assert_eq!(
+            s.read("seg", 2, 2),
+            Err(LtsError::Truncated { start_offset: 9 })
+        );
         // Truncating backwards is a no-op.
         s.truncate("seg", 3).unwrap();
         assert_eq!(s.info("seg").unwrap().start_offset, 9);
@@ -538,7 +589,9 @@ mod tests {
         let s = ChunkedSegmentStorage::new(
             chunks.clone(),
             Arc::new(InMemoryMetadataStore::new()),
-            ChunkedStorageConfig { max_chunk_bytes: 16 },
+            ChunkedStorageConfig {
+                max_chunk_bytes: 16,
+            },
         );
         s.create("seg").unwrap();
         s.write("seg", 0, b"ok").unwrap();

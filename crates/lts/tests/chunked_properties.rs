@@ -5,10 +5,10 @@
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use pravega_lts::{
     ChunkedSegmentStorage, ChunkedStorageConfig, InMemoryChunkStorage, InMemoryMetadataStore,
 };
+use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {

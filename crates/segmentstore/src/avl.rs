@@ -88,11 +88,7 @@ fn rebalance<V>(mut node: Box<Node<V>>) -> Box<Node<V>> {
     }
 }
 
-fn insert_node<V>(
-    node: Option<Box<Node<V>>>,
-    key: u64,
-    value: V,
-) -> (Box<Node<V>>, Option<V>) {
+fn insert_node<V>(node: Option<Box<Node<V>>>, key: u64, value: V) -> (Box<Node<V>>, Option<V>) {
     match node {
         None => (Node::new(key, value), None),
         Some(mut n) => {

@@ -29,7 +29,7 @@ use parking_lot::Mutex;
 use pravega_common::clock::Clock;
 use pravega_common::future::{promise, Promise, WaitError};
 use pravega_common::id::{ContainerId, WriterId};
-use pravega_common::metrics::Histogram;
+use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use pravega_common::rate::EwmaRate;
 use pravega_lts::ChunkedSegmentStorage;
 use pravega_wal::log::DurableDataLog;
@@ -206,6 +206,36 @@ impl Core {
     }
 }
 
+/// Cheap handles to the container's instruments, resolved once at startup.
+///
+/// All containers of a cluster share one [`MetricsRegistry`] and register
+/// under the same names, so their recordings aggregate naturally.
+pub(crate) struct ContainerMetrics {
+    pub(crate) throttle_engaged: Arc<Counter>,
+    pub(crate) throttle_wait_nanos: Arc<Histogram>,
+    pub(crate) cache_hits: Arc<Counter>,
+    pub(crate) cache_misses: Arc<Counter>,
+    pub(crate) tail_read_waits: Arc<Counter>,
+    pub(crate) flush_pass_nanos: Arc<Histogram>,
+    pub(crate) flushed_bytes: Arc<Counter>,
+    pub(crate) flush_lag_bytes: Arc<Gauge>,
+}
+
+impl ContainerMetrics {
+    fn new(metrics: &MetricsRegistry) -> Self {
+        Self {
+            throttle_engaged: metrics.counter("segmentstore.container.throttle_engaged"),
+            throttle_wait_nanos: metrics.histogram("segmentstore.container.throttle_wait_nanos"),
+            cache_hits: metrics.counter("segmentstore.readindex.cache_hits"),
+            cache_misses: metrics.counter("segmentstore.readindex.cache_misses"),
+            tail_read_waits: metrics.counter("segmentstore.readindex.tail_read_waits"),
+            flush_pass_nanos: metrics.histogram("segmentstore.storagewriter.flush_pass_nanos"),
+            flushed_bytes: metrics.counter("segmentstore.storagewriter.flushed_bytes"),
+            flush_lag_bytes: metrics.gauge("segmentstore.storagewriter.flush_lag_bytes"),
+        }
+    }
+}
+
 pub(crate) struct ContainerInner {
     pub(crate) id: ContainerId,
     pub(crate) config: ContainerConfig,
@@ -218,11 +248,14 @@ pub(crate) struct ContainerInner {
     pub(crate) ops_since_checkpoint: AtomicU64,
     loads: Mutex<HashMap<String, (EwmaRate, EwmaRate)>>,
     pub(crate) log: OnceLock<Arc<DurableLog>>,
+    pub(crate) metrics: ContainerMetrics,
 }
 
 impl std::fmt::Debug for ContainerInner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ContainerInner").field("id", &self.id).finish()
+        f.debug_struct("ContainerInner")
+            .field("id", &self.id)
+            .finish()
     }
 }
 
@@ -250,18 +283,31 @@ impl ContainerInner {
     /// the integrated-tiering backpressure of §4.3.
     fn throttle_wait(&self) -> Result<(), SegmentError> {
         let limit = self.config.throttle_threshold_bytes;
+        if self.unflushed_bytes.load(Ordering::Relaxed) <= limit {
+            return Ok(());
+        }
+        self.metrics.throttle_engaged.inc();
+        let start = std::time::Instant::now();
         let mut waited = Duration::ZERO;
-        while self.unflushed_bytes.load(Ordering::Relaxed) > limit {
-            self.check_running()?;
+        let result = loop {
+            if self.unflushed_bytes.load(Ordering::Relaxed) <= limit {
+                break Ok(());
+            }
+            if let Err(e) = self.check_running() {
+                break Err(e);
+            }
             std::thread::sleep(Duration::from_millis(1));
             waited += Duration::from_millis(1);
             if waited > Duration::from_secs(120) {
-                return Err(SegmentError::Internal(
+                break Err(SegmentError::Internal(
                     "throttled for too long: LTS cannot absorb the ingest rate".into(),
                 ));
             }
-        }
-        Ok(())
+        };
+        self.metrics
+            .throttle_wait_nanos
+            .record(start.elapsed().as_nanos() as u64);
+        result
     }
 
     /// Applies one committed operation. Idempotent, so recovery can replay
@@ -274,16 +320,18 @@ impl ContainerInner {
             let core = &mut *guard;
             match op {
                 Operation::CreateSegment { segment, is_table } => {
-                    core.segments.entry(segment.clone()).or_insert_with(|| SegmentState {
-                        meta: SegmentMetadata {
-                            name: segment.clone(),
-                            is_table: *is_table,
-                            last_modified_nanos: now,
-                            ..SegmentMetadata::default()
-                        },
-                        index: ReadIndex::new(),
-                        table: is_table.then(TableState::new),
-                    });
+                    core.segments
+                        .entry(segment.clone())
+                        .or_insert_with(|| SegmentState {
+                            meta: SegmentMetadata {
+                                name: segment.clone(),
+                                is_table: *is_table,
+                                last_modified_nanos: now,
+                                ..SegmentMetadata::default()
+                            },
+                            index: ReadIndex::new(),
+                            table: is_table.then(TableState::new),
+                        });
                     core.flushed.entry(segment.clone()).or_insert(0);
                 }
                 Operation::Append {
@@ -414,8 +462,8 @@ impl ContainerInner {
             return;
         }
         // Evict down to 80% of the high watermark.
-        let low = (core.cache.capacity_bytes() as f64 * self.config.cache_high_watermark * 0.8)
-            as u64;
+        let low =
+            (core.cache.capacity_bytes() as f64 * self.config.cache_high_watermark * 0.8) as u64;
         let target = (core.cache.used_bytes() as u64).saturating_sub(low).max(1);
         let mut freed = 0u64;
         let names: Vec<String> = core.segments.keys().cloned().collect();
@@ -425,9 +473,7 @@ impl ContainerInner {
             }
             let flushed = core.flushed.get(&name).copied().unwrap_or(0);
             if let Some(st) = core.segments.get_mut(&name) {
-                freed += st
-                    .index
-                    .evict_lru(&mut core.cache, flushed, target - freed);
+                freed += st.index.evict_lru(&mut core.cache, flushed, target - freed);
             }
         }
     }
@@ -478,17 +524,22 @@ impl ContainerInner {
                 .entry(segment.to_string())
                 .or_default()
                 .push(completer);
+            self.metrics.tail_read_waits.inc();
             return ReadDecision::Wait(pr);
         }
         let available = ((st.meta.length - offset) as usize).min(max_len);
         match st.index.read(&core.cache, offset, available) {
-            IndexRead::Hit(data) => ReadDecision::Return(ReadResult {
-                offset,
-                data,
-                end_of_segment: false,
-                at_tail: false,
-            }),
+            IndexRead::Hit(data) => {
+                self.metrics.cache_hits.inc();
+                ReadDecision::Return(ReadResult {
+                    offset,
+                    data,
+                    end_of_segment: false,
+                    at_tail: false,
+                })
+            }
             IndexRead::Miss => {
+                self.metrics.cache_misses.inc();
                 // Resident data never misses above the flushed offset, so
                 // this range is in LTS. Cap the fetch at the flushed point.
                 let flushed = core.flushed.get(segment).copied().unwrap_or(0);
@@ -560,7 +611,8 @@ impl ContainerInner {
                     let mut guard = self.core.lock();
                     let core = &mut *guard;
                     if let Some(st) = core.segments.get_mut(segment) {
-                        st.index.insert_from_storage(&mut core.cache, read_offset, &data);
+                        st.index
+                            .insert_from_storage(&mut core.cache, read_offset, &data);
                     }
                     return Ok(ReadResult {
                         offset: read_offset,
@@ -707,6 +759,26 @@ impl SegmentContainer {
         clock: Arc<dyn Clock>,
         config: ContainerConfig,
     ) -> Result<Self, SegmentError> {
+        Self::start_with_metrics(id, wal, lts, clock, config, &MetricsRegistry::new())
+    }
+
+    /// [`SegmentContainer::start`] with an explicit metrics registry.
+    ///
+    /// The cluster passes one shared registry to every container; instruments
+    /// register under fixed `segmentstore.*` names so recordings from all
+    /// containers aggregate into the same counters and histograms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL/LTS failures and corrupt-frame errors.
+    pub fn start_with_metrics(
+        id: ContainerId,
+        wal: Arc<dyn DurableDataLog>,
+        lts: ChunkedSegmentStorage,
+        clock: Arc<dyn Clock>,
+        config: ContainerConfig,
+        metrics: &MetricsRegistry,
+    ) -> Result<Self, SegmentError> {
         // ---- Recovery: read the retained log -----------------------------
         let records = wal.read_after(None)?;
         let mut ops: Vec<(u64, Operation)> = Vec::new();
@@ -763,6 +835,7 @@ impl SegmentContainer {
             ops_since_checkpoint: AtomicU64::new(0),
             loads: Mutex::new(HashMap::new()),
             log: OnceLock::new(),
+            metrics: ContainerMetrics::new(metrics),
             config,
         });
 
@@ -821,6 +894,7 @@ impl SegmentContainer {
                 max_frame_bytes: inner.config.max_frame_bytes,
                 max_batch_delay: inner.config.max_batch_delay,
             },
+            metrics,
         );
         inner
             .log
@@ -898,7 +972,11 @@ impl SegmentContainer {
         event_count: u32,
         expected_offset: Option<u64>,
     ) -> AppendHandle {
-        if let Err(e) = self.inner.check_running().and_then(|()| self.inner.throttle_wait()) {
+        if let Err(e) = self
+            .inner
+            .check_running()
+            .and_then(|()| self.inner.throttle_wait())
+        {
             return AppendHandle {
                 inner: Promise::ready(Err(e)),
             };
@@ -1166,10 +1244,9 @@ impl SegmentContainer {
                     .cloned()
                     .unwrap_or_default();
                 let overlay = processor.table_overlay.get(name);
-                table.check_versions(
-                    entries.iter().map(|(k, _, v)| (k.as_ref(), *v)),
-                    |key| overlay.and_then(|o| o.get(key).copied()),
-                )?;
+                table.check_versions(entries.iter().map(|(k, _, v)| (k.as_ref(), *v)), |key| {
+                    overlay.and_then(|o| o.get(key).copied())
+                })?;
             }
             let seq = processor.next_seq;
             processor.next_seq += 1;
@@ -1232,18 +1309,15 @@ impl SegmentContainer {
                     .cloned()
                     .unwrap_or_default();
                 let overlay = processor.table_overlay.get(name);
-                table.check_versions(
-                    keys.iter().map(|(k, v)| (k.as_ref(), *v)),
-                    |key| {
-                        overlay.and_then(|o| o.get(key).copied()).map(|v| {
-                            if v < 0 {
-                                crate::tablesegment::VERSION_NOT_EXISTS
-                            } else {
-                                v
-                            }
-                        })
-                    },
-                )?;
+                table.check_versions(keys.iter().map(|(k, v)| (k.as_ref(), *v)), |key| {
+                    overlay.and_then(|o| o.get(key).copied()).map(|v| {
+                        if v < 0 {
+                            crate::tablesegment::VERSION_NOT_EXISTS
+                        } else {
+                            v
+                        }
+                    })
+                })?;
             }
             let seq = processor.next_seq;
             processor.next_seq += 1;
@@ -1288,6 +1362,7 @@ impl SegmentContainer {
     /// # Errors
     ///
     /// [`SegmentError::NotATable`], [`SegmentError::NoSuchSegment`].
+    #[allow(clippy::type_complexity)]
     pub fn table_iterate(
         &self,
         name: &str,

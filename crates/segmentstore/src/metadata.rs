@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn empty_snapshot_roundtrip() {
         let snap = ContainerSnapshot::default();
-        assert_eq!(
-            ContainerSnapshot::decode(&snap.encode()).unwrap(),
-            snap
-        );
+        assert_eq!(ContainerSnapshot::decode(&snap.encode()).unwrap(), snap);
     }
 
     #[test]

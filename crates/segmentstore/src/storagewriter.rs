@@ -40,6 +40,7 @@ struct FlushTarget {
 
 /// One flush pass. Returns whether any data moved to LTS.
 pub(crate) fn flush_pass(inner: &Arc<ContainerInner>) -> Result<bool, SegmentError> {
+    let pass_start = std::time::Instant::now();
     let (targets, deletes) = snapshot_targets(inner);
     let mut worked = false;
     let mut flush_error: Option<SegmentError> = None;
@@ -72,12 +73,20 @@ pub(crate) fn flush_pass(inner: &Arc<ContainerInner>) -> Result<bool, SegmentErr
         && !inner.stopped.load(Ordering::SeqCst)
     {
         inner.write_checkpoint()?;
-        let flushed_map: std::collections::HashMap<String, u64> =
-            inner.core.lock().flushed.clone();
+        let flushed_map: std::collections::HashMap<String, u64> = inner.core.lock().flushed.clone();
         if let Some(log) = inner.log.get() {
             let _ = log.truncate_flushed(|segment| flushed_map.get(segment).copied());
         }
     }
+
+    inner
+        .metrics
+        .flush_pass_nanos
+        .record(pass_start.elapsed().as_nanos() as u64);
+    inner
+        .metrics
+        .flush_lag_bytes
+        .set(inner.unflushed_bytes.load(Ordering::Relaxed) as i64);
 
     match flush_error {
         Some(e) => Err(e),
@@ -129,7 +138,12 @@ fn flush_segment(inner: &Arc<ContainerInner>, target: &FlushTarget) -> Result<bo
             .map_err(SegmentError::Lts)?;
         let moved = new_len - flushed;
         flushed = new_len;
-        inner.core.lock().flushed.insert(target.name.clone(), flushed);
+        inner.metrics.flushed_bytes.add(moved);
+        inner
+            .core
+            .lock()
+            .flushed
+            .insert(target.name.clone(), flushed);
         let _ = inner
             .unflushed_bytes
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {

@@ -135,7 +135,10 @@ impl SegmentStore {
     }
 
     /// The container that owns `segment`, if it runs here.
-    fn container_for(&self, segment_name: &pravega_common::id::ScopedSegment) -> Option<Arc<SegmentContainer>> {
+    fn container_for(
+        &self,
+        segment_name: &pravega_common::id::ScopedSegment,
+    ) -> Option<Arc<SegmentContainer>> {
         let id = container_for_segment(segment_name, self.config.container_count);
         self.containers.lock().get(&id).cloned()
     }
@@ -316,8 +319,7 @@ fn dispatch(container: &SegmentContainer, request: Request) -> Reply {
             continuation,
             limit,
         } => {
-            match container.table_iterate(&segment.qualified_name(), continuation, limit as usize)
-            {
+            match container.table_iterate(&segment.qualified_name(), continuation, limit as usize) {
                 Ok((entries, continuation)) => Reply::TableIterated {
                     entries,
                     continuation,

@@ -35,7 +35,10 @@ impl TableState {
     /// Rebuilds a table from snapshot entries.
     pub fn from_entries(entries: Vec<(Bytes, Bytes, i64)>) -> Self {
         Self {
-            entries: entries.into_iter().map(|(k, v, ver)| (k, (v, ver))).collect(),
+            entries: entries
+                .into_iter()
+                .map(|(k, v, ver)| (k, (v, ver)))
+                .collect(),
         }
     }
 
@@ -46,7 +49,10 @@ impl TableState {
 
     /// Current version of a key, or [`VERSION_NOT_EXISTS`].
     pub fn version(&self, key: &[u8]) -> i64 {
-        self.entries.get(key).map(|(_, v)| *v).unwrap_or(VERSION_NOT_EXISTS)
+        self.entries
+            .get(key)
+            .map(|(_, v)| *v)
+            .unwrap_or(VERSION_NOT_EXISTS)
     }
 
     /// Number of keys.
@@ -86,7 +92,8 @@ impl TableState {
     /// Applies a committed `TableUpdate`: every key gets version `version`.
     pub fn apply_update(&mut self, version: i64, entries: &[TableEntryUpdate]) {
         for e in entries {
-            self.entries.insert(e.key.clone(), (e.value.clone(), version));
+            self.entries
+                .insert(e.key.clone(), (e.value.clone(), version));
         }
     }
 

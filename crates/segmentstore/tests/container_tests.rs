@@ -62,16 +62,9 @@ fn append_then_read_roundtrip() {
     for i in 0..50 {
         let payload = format!("event-{i:03};");
         expected.extend_from_slice(payload.as_bytes());
-        c.append(
-            "s/t/0",
-            Bytes::from(payload),
-            w,
-            i as i64,
-            1,
-            None,
-        )
-        .wait()
-        .unwrap();
+        c.append("s/t/0", Bytes::from(payload), w, i as i64, 1, None)
+            .wait()
+            .unwrap();
     }
     let info = c.get_info("s/t/0").unwrap();
     assert_eq!(info.length, expected.len() as u64);
@@ -353,9 +346,16 @@ fn container_recovers_from_wal_after_crash() {
         let c = start_container(wal.clone(), lts.clone());
         c.create_segment("seg", false).unwrap();
         for i in 0..20 {
-            c.append("seg", Bytes::from(format!("ev{i:02}")), w, i as i64, 1, None)
-                .wait()
-                .unwrap();
+            c.append(
+                "seg",
+                Bytes::from(format!("ev{i:02}")),
+                w,
+                i as i64,
+                1,
+                None,
+            )
+            .wait()
+            .unwrap();
         }
         c.seal("seg").unwrap();
         // Simulate a crash: drop without stopping cleanly (stop() is called
@@ -483,7 +483,10 @@ fn table_segment_conditional_updates() {
     )
     .unwrap();
     let values = c
-        .table_get("tbl", &[Bytes::from_static(b"k1"), Bytes::from_static(b"nope")])
+        .table_get(
+            "tbl",
+            &[Bytes::from_static(b"k1"), Bytes::from_static(b"nope")],
+        )
         .unwrap();
     assert_eq!(values[0].as_ref().unwrap().0.as_ref(), b"v1-new");
     assert!(values[1].is_none());
@@ -656,9 +659,7 @@ fn frame_batching_multiplexes_many_segments() {
     }
     let w = WriterId::random();
     let handles: Vec<_> = (0..20)
-        .flat_map(|i| {
-            (0..10).map(move |j| (i, j))
-        })
+        .flat_map(|i| (0..10).map(move |j| (i, j)))
         .map(|(i, j)| {
             c.append(
                 &format!("seg-{i}"),

@@ -105,13 +105,25 @@ fn wire_protocol_full_lifecycle_over_a_connection() {
 
     // Create.
     assert!(matches!(
-        conn.call(1, Request::CreateSegment { segment: seg.clone(), is_table: false })
-            .unwrap(),
+        conn.call(
+            1,
+            Request::CreateSegment {
+                segment: seg.clone(),
+                is_table: false
+            }
+        )
+        .unwrap(),
         Reply::SegmentCreated
     ));
     // Handshake: fresh writer.
     match conn
-        .call(2, Request::SetupAppend { writer_id: writer, segment: seg.clone() })
+        .call(
+            2,
+            Request::SetupAppend {
+                writer_id: writer,
+                segment: seg.clone(),
+            },
+        )
         .unwrap()
     {
         Reply::AppendSetup { last_event_number } => assert_eq!(last_event_number, -1),
@@ -157,15 +169,35 @@ fn wire_protocol_full_lifecycle_over_a_connection() {
     }
     // Seal, verify, truncate, info, delete.
     assert!(matches!(
-        conn.call(21, Request::SealSegment { segment: seg.clone() }).unwrap(),
+        conn.call(
+            21,
+            Request::SealSegment {
+                segment: seg.clone()
+            }
+        )
+        .unwrap(),
         Reply::SegmentSealed { final_length: 10 }
     ));
     assert!(matches!(
-        conn.call(22, Request::TruncateSegment { segment: seg.clone(), offset: 4 })
-            .unwrap(),
+        conn.call(
+            22,
+            Request::TruncateSegment {
+                segment: seg.clone(),
+                offset: 4
+            }
+        )
+        .unwrap(),
         Reply::SegmentTruncated
     ));
-    match conn.call(23, Request::GetSegmentInfo { segment: seg.clone() }).unwrap() {
+    match conn
+        .call(
+            23,
+            Request::GetSegmentInfo {
+                segment: seg.clone(),
+            },
+        )
+        .unwrap()
+    {
         Reply::SegmentInfo(info) => {
             assert_eq!(info.length, 10);
             assert_eq!(info.start_offset, 4);
@@ -174,11 +206,18 @@ fn wire_protocol_full_lifecycle_over_a_connection() {
         other => panic!("{other:?}"),
     }
     assert!(matches!(
-        conn.call(24, Request::DeleteSegment { segment: seg.clone() }).unwrap(),
+        conn.call(
+            24,
+            Request::DeleteSegment {
+                segment: seg.clone()
+            }
+        )
+        .unwrap(),
         Reply::SegmentDeleted
     ));
     assert!(matches!(
-        conn.call(25, Request::GetSegmentInfo { segment: seg }).unwrap(),
+        conn.call(25, Request::GetSegmentInfo { segment: seg })
+            .unwrap(),
         Reply::NoSuchSegment
     ));
     store.shutdown();
@@ -191,8 +230,14 @@ fn wire_table_operations() {
     let conn = store.connect();
     let seg = segment("table");
     assert!(matches!(
-        conn.call(1, Request::CreateSegment { segment: seg.clone(), is_table: true })
-            .unwrap(),
+        conn.call(
+            1,
+            Request::CreateSegment {
+                segment: seg.clone(),
+                is_table: true
+            }
+        )
+        .unwrap(),
         Reply::SegmentCreated
     ));
     // Insert two keys atomically.
@@ -238,7 +283,13 @@ fn wire_table_operations() {
     ));
     // Point read + iterate.
     match conn
-        .call(4, Request::TableGet { segment: seg.clone(), keys: vec![Bytes::from_static(b"a")] })
+        .call(
+            4,
+            Request::TableGet {
+                segment: seg.clone(),
+                keys: vec![Bytes::from_static(b"a")],
+            },
+        )
         .unwrap()
     {
         Reply::TableRead { values } => {
@@ -249,10 +300,20 @@ fn wire_table_operations() {
         other => panic!("{other:?}"),
     }
     match conn
-        .call(5, Request::TableIterate { segment: seg.clone(), continuation: None, limit: 10 })
+        .call(
+            5,
+            Request::TableIterate {
+                segment: seg.clone(),
+                continuation: None,
+                limit: 10,
+            },
+        )
         .unwrap()
     {
-        Reply::TableIterated { entries, continuation } => {
+        Reply::TableIterated {
+            entries,
+            continuation,
+        } => {
             assert_eq!(entries.len(), 2);
             assert!(continuation.is_none());
         }
@@ -279,8 +340,14 @@ fn tail_read_over_the_wire_does_not_block_the_connection() {
     store.reconcile_containers(&[0]).unwrap();
     let conn = store.connect();
     let seg = segment("tail");
-    conn.call(1, Request::CreateSegment { segment: seg.clone(), is_table: false })
-        .unwrap();
+    conn.call(
+        1,
+        Request::CreateSegment {
+            segment: seg.clone(),
+            is_table: false,
+        },
+    )
+    .unwrap();
     // Issue a blocking tail read...
     conn.send(RequestEnvelope {
         request_id: 2,

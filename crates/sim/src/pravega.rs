@@ -168,11 +168,11 @@ fn simulate_once(
         let producer_slot = producer % producers_cpu.len();
         let t_client = producers_cpu[producer_slot]
             .process(block.close_time, CLIENT_PER_EVENT * block.count as f64);
-        let t_net = nics[vm].process(t_client, block.bytes / env.net.nic_bandwidth)
-            + env.net.rtt / 2.0;
+        let t_net =
+            nics[vm].process(t_client, block.bytes / env.net.nic_bandwidth) + env.net.rtt / 2.0;
         let t_disp = dispatch[store].process(t_net, env.cpu.per_request);
-        let t_cpu = container_cpu[container]
-            .process(t_disp, CONTAINER_PER_EVENT * block.count as f64);
+        let t_cpu =
+            container_cpu[container].process(t_disp, CONTAINER_PER_EVENT * block.count as f64);
         block_ready.push((t_cpu, bi));
     }
     block_ready.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));

@@ -79,7 +79,11 @@ const BROKER_MEMORY_LIMIT: f64 = 2e9;
 const SESSION_SOFT_LIMIT: f64 = 150_000.0;
 
 /// Simulates one Pulsar run.
-pub fn simulate_pulsar(env: &CalibratedEnv, spec: &WorkloadSpec, opts: &PulsarOptions) -> RunResult {
+pub fn simulate_pulsar(
+    env: &CalibratedEnv,
+    spec: &WorkloadSpec,
+    opts: &PulsarOptions,
+) -> RunResult {
     let duration = env.duration;
     let arrivals = workload::generate(spec, duration, 3);
     if arrivals.is_empty() {
@@ -139,12 +143,7 @@ pub fn simulate_pulsar(env: &CalibratedEnv, spec: &WorkloadSpec, opts: &PulsarOp
     let mut bookie_cpu = FifoResource::new();
     let journal_items: Vec<(f64, f64)> = entry_arrivals
         .iter()
-        .map(|&(t, bytes, _)| {
-            (
-                bookie_cpu.process(t, BOOKIE_PER_ENTRY),
-                bytes + 64.0,
-            )
-        })
+        .map(|&(t, bytes, _)| (bookie_cpu.process(t, BOOKIE_PER_ENTRY), bytes + 64.0))
         .collect();
     let journal_done = group_commit(
         &journal_items,
@@ -184,14 +183,10 @@ pub fn simulate_pulsar(env: &CalibratedEnv, spec: &WorkloadSpec, opts: &PulsarOp
         // backlog grows, extrapolate to the experiment's timescale (the
         // paper ran minutes-long workloads) and crash on OOM.
         let completed_rate = completed_in_window as f64 / duration;
-        let backlog_growth =
-            (spec.rate_eps - completed_rate).max(0.0) * spec.event_size;
+        let backlog_growth = (spec.rate_eps - completed_rate).max(0.0) * spec.event_size;
         let projected = peak_outstanding + backlog_growth * 300.0;
         if projected > BROKER_MEMORY_LIMIT && backlog_growth > 0.03 * spec.rate_bytes() {
-            return RunResult::crashed(
-                spec,
-                "broker OOM: unacknowledged entries exceeded memory",
-            );
+            return RunResult::crashed(spec, "broker OOM: unacknowledged entries exceeded memory");
         }
     }
 

@@ -74,12 +74,7 @@ pub(crate) struct ReadModel {
 
 /// Runs acknowledged events through a single consumer, returning per-event
 /// consume-completion times (in ack order).
-pub(crate) fn consume(
-    arrivals: &[Arrival],
-    acks: &[f64],
-    model: ReadModel,
-    rtt: f64,
-) -> Vec<f64> {
+pub(crate) fn consume(arrivals: &[Arrival], acks: &[f64], model: ReadModel, rtt: f64) -> Vec<f64> {
     let mut order: Vec<usize> = (0..acks.len()).filter(|&i| acks[i].is_finite()).collect();
     order.sort_by(|&a, &b| acks[a].partial_cmp(&acks[b]).expect("finite acks"));
     let mut consumer = FifoResource::new();
@@ -206,7 +201,13 @@ mod tests {
         let acks: Vec<f64> = arrivals
             .iter()
             .enumerate()
-            .map(|(i, a)| if i % 2 == 0 { a.t + 0.001 } else { f64::INFINITY })
+            .map(|(i, a)| {
+                if i % 2 == 0 {
+                    a.t + 0.001
+                } else {
+                    f64::INFINITY
+                }
+            })
             .collect();
         let r = assemble(&spec, 1.0, &arrivals, &acks, None, "");
         assert!(!r.stable);
@@ -234,7 +235,10 @@ mod tests {
             300e-6,
         );
         let last = consumed.iter().cloned().fold(0.0, f64::max);
-        assert!(last > 1.5, "backlog should push completion past 1.5s: {last}");
+        assert!(
+            last > 1.5,
+            "backlog should push completion past 1.5s: {last}"
+        );
     }
 
     #[test]

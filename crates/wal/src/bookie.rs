@@ -109,6 +109,11 @@ impl MemBookie {
         self.journal.sync_count.get()
     }
 
+    /// Histogram of entries per journal sync (the group-commit batch size).
+    pub fn journal_group_sizes(&self) -> std::sync::Arc<pravega_common::metrics::Histogram> {
+        self.journal.group_sizes.clone()
+    }
+
     fn check_available(&self) -> Result<(), BookieError> {
         if self.state.lock().available {
             Ok(())
@@ -142,7 +147,8 @@ impl Bookie for MemBookie {
             }
         }
         // Journal first (group commit), then index.
-        self.journal.append(encode_journal_add(ledger, entry, &data))?;
+        self.journal
+            .append(encode_journal_add(ledger, entry, &data))?;
         let mut state = self.state.lock();
         if !state.available {
             return Err(BookieError::Unavailable);
@@ -162,7 +168,10 @@ impl Bookie for MemBookie {
     fn read_entry(&self, ledger: LedgerId, entry: u64) -> Result<Bytes, BookieError> {
         self.check_available()?;
         let state = self.state.lock();
-        let ls = state.ledgers.get(&ledger).ok_or(BookieError::NoSuchLedger)?;
+        let ls = state
+            .ledgers
+            .get(&ledger)
+            .ok_or(BookieError::NoSuchLedger)?;
         ls.entries
             .get(&entry)
             .cloned()
@@ -275,7 +284,11 @@ impl FileBookie {
                     if crc32c(&data) != crc {
                         return Err(BookieError::Io("journal crc mismatch".into()));
                     }
-                    ledgers.entry(ledger).or_default().entries.insert(entry, data);
+                    ledgers
+                        .entry(ledger)
+                        .or_default()
+                        .entries
+                        .insert(entry, data);
                 }
                 b'D' => {
                     if buf.remaining() < 8 {
@@ -316,7 +329,8 @@ impl Bookie for FileBookie {
                 });
             }
         }
-        self.journal.append(encode_journal_add(ledger, entry, &data))?;
+        self.journal
+            .append(encode_journal_add(ledger, entry, &data))?;
         let mut state = self.state.lock();
         let ls = state.ledgers.entry(ledger).or_default();
         if fence_token < ls.fence_token {
@@ -334,7 +348,10 @@ impl Bookie for FileBookie {
         if !state.available {
             return Err(BookieError::Unavailable);
         }
-        let ls = state.ledgers.get(&ledger).ok_or(BookieError::NoSuchLedger)?;
+        let ls = state
+            .ledgers
+            .get(&ledger)
+            .ok_or(BookieError::NoSuchLedger)?;
         ls.entries
             .get(&entry)
             .cloned()
@@ -373,7 +390,9 @@ impl Bookie for FileBookie {
 /// Convenience: builds `n` in-memory bookies sharing one journal config.
 pub fn mem_bookies(n: usize, config: JournalConfig) -> Vec<Arc<dyn Bookie>> {
     (0..n)
-        .map(|i| Arc::new(MemBookie::new(&format!("bookie-{i}"), config.clone())) as Arc<dyn Bookie>)
+        .map(|i| {
+            Arc::new(MemBookie::new(&format!("bookie-{i}"), config.clone())) as Arc<dyn Bookie>
+        })
         .collect()
 }
 
@@ -388,24 +407,21 @@ mod tests {
     #[test]
     fn add_read_roundtrip() {
         let b = bookie();
-        b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"e0")).unwrap();
-        b.add_entry(LedgerId(1), 1, 0, Bytes::from_static(b"e1")).unwrap();
+        b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"e0"))
+            .unwrap();
+        b.add_entry(LedgerId(1), 1, 0, Bytes::from_static(b"e1"))
+            .unwrap();
         assert_eq!(b.read_entry(LedgerId(1), 0).unwrap().as_ref(), b"e0");
         assert_eq!(b.last_entry(LedgerId(1)).unwrap(), Some(1));
-        assert_eq!(
-            b.read_entry(LedgerId(1), 9),
-            Err(BookieError::NoSuchEntry)
-        );
-        assert_eq!(
-            b.read_entry(LedgerId(9), 0),
-            Err(BookieError::NoSuchLedger)
-        );
+        assert_eq!(b.read_entry(LedgerId(1), 9), Err(BookieError::NoSuchEntry));
+        assert_eq!(b.read_entry(LedgerId(9), 0), Err(BookieError::NoSuchLedger));
     }
 
     #[test]
     fn fencing_rejects_old_tokens() {
         let b = bookie();
-        b.add_entry(LedgerId(1), 0, 1, Bytes::from_static(b"x")).unwrap();
+        b.add_entry(LedgerId(1), 0, 1, Bytes::from_static(b"x"))
+            .unwrap();
         assert_eq!(b.fence(LedgerId(1), 2).unwrap(), Some(0));
         let err = b.add_entry(LedgerId(1), 1, 1, Bytes::from_static(b"y"));
         assert_eq!(
@@ -416,7 +432,8 @@ mod tests {
             })
         );
         // The new owner's token still works.
-        b.add_entry(LedgerId(1), 1, 2, Bytes::from_static(b"y")).unwrap();
+        b.add_entry(LedgerId(1), 1, 2, Bytes::from_static(b"y"))
+            .unwrap();
     }
 
     #[test]
@@ -443,7 +460,8 @@ mod tests {
     #[test]
     fn delete_removes_ledger() {
         let b = bookie();
-        b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"x")).unwrap();
+        b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"x"))
+            .unwrap();
         b.delete_ledger(LedgerId(1)).unwrap();
         assert_eq!(b.read_entry(LedgerId(1), 0), Err(BookieError::NoSuchLedger));
     }
@@ -471,8 +489,10 @@ mod tests {
         ));
         {
             let b = FileBookie::open("fb", &dir, JournalConfig::default()).unwrap();
-            b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"persisted")).unwrap();
-            b.add_entry(LedgerId(2), 0, 0, Bytes::from_static(b"doomed")).unwrap();
+            b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"persisted"))
+                .unwrap();
+            b.add_entry(LedgerId(2), 0, 0, Bytes::from_static(b"doomed"))
+                .unwrap();
             b.delete_ledger(LedgerId(2)).unwrap();
         }
         let b = FileBookie::open("fb", &dir, JournalConfig::default()).unwrap();
@@ -490,12 +510,16 @@ mod tests {
         ));
         let path = {
             let b = FileBookie::open("fb", &dir, JournalConfig::default()).unwrap();
-            b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"good")).unwrap();
+            b.add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"good"))
+                .unwrap();
             b.journal_path().clone()
         };
         // Simulate a torn write: append a partial record header.
         use std::io::Write;
-        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
         f.write_all(&[b'A', 0, 0, 1]).unwrap();
         drop(f);
         let b = FileBookie::open("fb", &dir, JournalConfig::default()).unwrap();

@@ -191,10 +191,7 @@ impl Journal {
         let (completer, pr) = promise();
         match &self.tx {
             Some(tx) => {
-                if tx
-                    .send(JournalRequest { record, completer })
-                    .is_err()
-                {
+                if tx.send(JournalRequest { record, completer }).is_err() {
                     return Promise::ready(Err(BookieError::Unavailable));
                 }
             }

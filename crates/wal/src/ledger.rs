@@ -253,11 +253,7 @@ impl std::fmt::Debug for LedgerWriter {
 }
 
 impl LedgerWriter {
-    fn start(
-        metadata: LedgerMetadata,
-        ensemble: Vec<Arc<dyn Bookie>>,
-        fence_token: u64,
-    ) -> Self {
+    fn start(metadata: LedgerMetadata, ensemble: Vec<Arc<dyn Bookie>>, fence_token: u64) -> Self {
         let shared = Arc::new(WriterShared {
             pending: Mutex::new(BTreeMap::new()),
             lac: AtomicI64::new(-1),
@@ -481,7 +477,11 @@ impl LedgerManager {
                 None => {
                     if self
                         .coord
-                        .create(LEDGER_COUNTER, 1u64.to_be_bytes().to_vec(), pravega_coordination::CreateMode::Persistent)
+                        .create(
+                            LEDGER_COUNTER,
+                            1u64.to_be_bytes().to_vec(),
+                            pravega_coordination::CreateMode::Persistent,
+                        )
                         .is_ok()
                     {
                         return LedgerId(0);
@@ -491,7 +491,11 @@ impl LedgerManager {
                     let current = u64::from_be_bytes(data.try_into().unwrap_or([0; 8]));
                     if self
                         .coord
-                        .set(LEDGER_COUNTER, (current + 1).to_be_bytes().to_vec(), Some(version))
+                        .set(
+                            LEDGER_COUNTER,
+                            (current + 1).to_be_bytes().to_vec(),
+                            Some(version),
+                        )
                         .is_ok()
                     {
                         return LedgerId(current);
@@ -579,9 +583,7 @@ impl LedgerManager {
         let Some(last) = last_entry else {
             return Ok(Vec::new());
         };
-        (0..=last)
-            .map(|e| self.read_entry(metadata, e))
-            .collect()
+        (0..=last).map(|e| self.read_entry(metadata, e)).collect()
     }
 
     /// Fences the ledger with `fence_token` and closes it at the highest
@@ -612,14 +614,9 @@ impl LedgerManager {
         // Forward scan: accept an entry if any replica serves it.
         let mut last: Option<u64> = None;
         let mut entry = 0u64;
-        loop {
-            match self.read_entry(&metadata, entry) {
-                Ok(_) => {
-                    last = Some(entry);
-                    entry += 1;
-                }
-                Err(_) => break,
-            }
+        while self.read_entry(&metadata, entry).is_ok() {
+            last = Some(entry);
+            entry += 1;
         }
         metadata.state = LedgerState::Closed { last_entry: last };
         self.coord.put(&Self::metadata_path(id), metadata.encode());
@@ -690,11 +687,20 @@ mod tests {
         let bookies: Vec<Arc<MemBookie>> = (0..3)
             .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default())))
             .collect();
-        let pool = BookiePool::new(bookies.iter().map(|b| b.clone() as Arc<dyn Bookie>).collect());
+        let pool = BookiePool::new(
+            bookies
+                .iter()
+                .map(|b| b.clone() as Arc<dyn Bookie>)
+                .collect(),
+        );
         let coord = CoordinationService::new();
         let mgr = LedgerManager::new(&coord, &pool);
         let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
-        writer.append(Bytes::from_static(b"before")).wait().unwrap().unwrap();
+        writer
+            .append(Bytes::from_static(b"before"))
+            .wait()
+            .unwrap()
+            .unwrap();
         // Take one bookie down: ack quorum 2/3 still reachable.
         bookies[2].set_available(false);
         let r = writer.append(Bytes::from_static(b"after")).wait().unwrap();
@@ -706,7 +712,12 @@ mod tests {
         let bookies: Vec<Arc<MemBookie>> = (0..3)
             .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default())))
             .collect();
-        let pool = BookiePool::new(bookies.iter().map(|b| b.clone() as Arc<dyn Bookie>).collect());
+        let pool = BookiePool::new(
+            bookies
+                .iter()
+                .map(|b| b.clone() as Arc<dyn Bookie>)
+                .collect(),
+        );
         let coord = CoordinationService::new();
         let mgr = LedgerManager::new(&coord, &pool);
         let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
@@ -716,20 +727,37 @@ mod tests {
         assert_eq!(r, Err(WalError::QuorumLost));
         assert!(writer.is_failed());
         // Subsequent appends fail fast.
-        assert!(writer.append(Bytes::from_static(b"y")).wait().unwrap().is_err());
+        assert!(writer
+            .append(Bytes::from_static(b"y"))
+            .wait()
+            .unwrap()
+            .is_err());
     }
 
     #[test]
     fn recovery_fences_old_writer() {
         let (_c, _p, mgr) = setup(3);
         let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
-        writer.append(Bytes::from_static(b"a")).wait().unwrap().unwrap();
-        writer.append(Bytes::from_static(b"b")).wait().unwrap().unwrap();
+        writer
+            .append(Bytes::from_static(b"a"))
+            .wait()
+            .unwrap()
+            .unwrap();
+        writer
+            .append(Bytes::from_static(b"b"))
+            .wait()
+            .unwrap()
+            .unwrap();
         let id = writer.metadata().id;
 
         // A new owner fences and recovers with a higher token.
         let closed = mgr.recover_and_close(id, 2).unwrap();
-        assert_eq!(closed.state, LedgerState::Closed { last_entry: Some(1) });
+        assert_eq!(
+            closed.state,
+            LedgerState::Closed {
+                last_entry: Some(1)
+            }
+        );
 
         // The zombie writer is now rejected.
         let r = writer.append(Bytes::from_static(b"zombie")).wait().unwrap();
@@ -756,7 +784,11 @@ mod tests {
     fn recover_is_idempotent() {
         let (_c, _p, mgr) = setup(3);
         let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
-        writer.append(Bytes::from_static(b"x")).wait().unwrap().unwrap();
+        writer
+            .append(Bytes::from_static(b"x"))
+            .wait()
+            .unwrap()
+            .unwrap();
         let id = writer.metadata().id;
         let first = mgr.recover_and_close(id, 2).unwrap();
         let second = mgr.recover_and_close(id, 3).unwrap();
@@ -767,7 +799,11 @@ mod tests {
     fn delete_removes_data_and_metadata() {
         let (_c, pool, mgr) = setup(3);
         let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
-        writer.append(Bytes::from_static(b"x")).wait().unwrap().unwrap();
+        writer
+            .append(Bytes::from_static(b"x"))
+            .wait()
+            .unwrap()
+            .unwrap();
         let meta = writer.metadata().clone();
         let id = meta.id;
         drop(writer);

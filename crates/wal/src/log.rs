@@ -275,7 +275,11 @@ impl BookkeeperLog {
             .push((inner.current_seq, writer.metadata().id));
         inner.meta_version = self
             .coord
-            .set(&self.path, inner.metadata.encode(), Some(inner.meta_version))
+            .set(
+                &self.path,
+                inner.metadata.encode(),
+                Some(inner.meta_version),
+            )
             .map_err(|_| {
                 inner.fenced = true;
                 WalError::Fenced
@@ -384,7 +388,11 @@ impl DurableDataLog for BookkeeperLog {
                 .retain(|(seq, _)| *seq >= up_to.ledger_seq);
             inner.meta_version = self
                 .coord
-                .set(&self.path, inner.metadata.encode(), Some(inner.meta_version))
+                .set(
+                    &self.path,
+                    inner.metadata.encode(),
+                    Some(inner.meta_version),
+                )
                 .map_err(|_| {
                     inner.fenced = true;
                     WalError::Fenced
@@ -399,7 +407,12 @@ impl DurableDataLog for BookkeeperLog {
 
     fn is_fenced(&self) -> bool {
         let inner = self.inner.lock();
-        inner.fenced || inner.writer.as_ref().map(|w| w.is_fenced()).unwrap_or(false)
+        inner.fenced
+            || inner
+                .writer
+                .as_ref()
+                .map(|w| w.is_fenced())
+                .unwrap_or(false)
     }
 }
 

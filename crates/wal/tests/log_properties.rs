@@ -4,12 +4,12 @@
 //! truncation never removes records above the truncation point.
 
 use bytes::Bytes;
-use proptest::prelude::*;
 use pravega_coordination::CoordinationService;
 use pravega_wal::bookie::mem_bookies;
 use pravega_wal::journal::JournalConfig;
 use pravega_wal::ledger::{BookiePool, ReplicationConfig};
 use pravega_wal::log::{BookkeeperLog, DurableDataLog, LogAddress, LogConfig};
+use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {

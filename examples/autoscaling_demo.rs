@@ -34,7 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }),
     )?;
 
-    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+    let mut writer =
+        cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
     println!("phase      round  segments  scale-events");
 
     // Phase 1: heavy load — expect splits.
@@ -48,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let decisions = cluster.run_autoscaler_once()?;
         let segments = cluster.controller().current_segments(&stream)?.len();
         if !decisions.is_empty() || round % 5 == 0 {
-            println!("ramp-up    {round:>5}  {segments:>8}  {:?}", decisions.len());
+            println!(
+                "ramp-up    {round:>5}  {segments:>8}  {:?}",
+                decisions.len()
+            );
         }
         std::thread::sleep(Duration::from_millis(40));
     }

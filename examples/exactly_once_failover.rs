@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.create_scope("bank")?;
     cluster.create_stream(&stream, StreamConfiguration::new(ScalingPolicy::fixed(4)))?;
 
-    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+    let mut writer =
+        cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
 
     // Phase 1: normal operation.
     for txn in 0..500 {
@@ -38,7 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 2: a new writer session resumes (the handshake deduplicates).
     drop(writer);
-    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+    let mut writer =
+        cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
     for txn in 500..1000 {
         writer.write_event(&format!("account-{}", txn % 20), &format!("txn-{txn:05}"));
     }

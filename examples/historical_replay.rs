@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.create_stream(&stream, StreamConfiguration::new(ScalingPolicy::fixed(4)))?;
 
     // Build the backlog.
-    let mut writer = cluster.create_writer(stream.clone(), BytesSerializer, WriterConfig::default());
+    let mut writer =
+        cluster.create_writer(stream.clone(), BytesSerializer, WriterConfig::default());
     let ingest_start = Instant::now();
     for i in 0..EVENTS {
         writer.write_event(

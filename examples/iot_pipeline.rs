@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stream = ScopedStream::new("iot", "telemetry")?;
     cluster.create_scope("iot")?;
-    cluster.create_stream(
-        &stream,
-        StreamConfiguration::new(ScalingPolicy::fixed(8)),
-    )?;
+    cluster.create_stream(&stream, StreamConfiguration::new(ScalingPolicy::fixed(8)))?;
 
     // --- Ingest: two writer "gateways" share the device population. -------
     let start = Instant::now();
@@ -66,22 +63,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let reader = cluster.create_reader(&group, &format!("analyzer-{r}"), StringSerializer);
             scope.spawn(move || {
                 let mut reader = reader;
-                loop {
-                    match reader.read_next(Duration::from_millis(1000)).unwrap() {
-                        Some(event) => {
-                            let mut parts = event.event.split(';');
-                            let device = parts.next().unwrap().to_string();
-                            let seq: usize = parts
-                                .next()
-                                .unwrap()
-                                .strip_prefix("seq=")
-                                .unwrap()
-                                .parse()
-                                .unwrap();
-                            tx.send((device, seq)).unwrap();
-                        }
-                        None => break,
-                    }
+                // Drain until the stream quiesces (None = timed out).
+                while let Some(event) = reader.read_next(Duration::from_millis(1000)).unwrap() {
+                    let mut parts = event.event.split(';');
+                    let device = parts.next().unwrap().to_string();
+                    let seq: usize = parts
+                        .next()
+                        .unwrap()
+                        .strip_prefix("seq=")
+                        .unwrap()
+                        .parse()
+                        .unwrap();
+                    tx.send((device, seq)).unwrap();
                 }
             });
         }

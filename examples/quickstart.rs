@@ -17,14 +17,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stream = ScopedStream::new("quickstart", "events")?;
     cluster.create_scope("quickstart")?;
-    cluster.create_stream(
-        &stream,
-        StreamConfiguration::new(ScalingPolicy::fixed(2)),
-    )?;
+    cluster.create_stream(&stream, StreamConfiguration::new(ScalingPolicy::fixed(2)))?;
     println!("created {stream} with 2 parallel segments");
 
     // Write: events with the same routing key keep their order.
-    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+    let mut writer =
+        cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
     for i in 0..10 {
         let key = format!("sensor-{}", i % 3);
         writer.write_event(&key, &format!("reading {i} from {key}"));
@@ -46,6 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Wait for the storage writer to tier everything to long-term storage.
     cluster.wait_for_tiering(Duration::from_secs(10))?;
     println!("all data tiered to LTS; WAL truncated");
+
+    // Every stage of the pipeline records into one shared registry; the
+    // snapshot shows the whole write/read path end to end.
+    println!(
+        "\n== end-to-end metrics ==\n{}",
+        cluster.metrics().snapshot()
+    );
     cluster.shutdown();
     Ok(())
 }

@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cluster.create_scope("bank")?;
     cluster.create_stream(&stream, StreamConfiguration::new(ScalingPolicy::fixed(2)))?;
 
-    let mut writer = cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
+    let mut writer =
+        cluster.create_writer(stream.clone(), StringSerializer, WriterConfig::default());
 
     // A committed transfer: both entries become visible atomically
     // (per segment — both keys may share or split segments).

@@ -40,14 +40,19 @@ fn hot_stream_scales_up() {
     assert_eq!(cluster.controller().current_segments(&s).unwrap().len(), 1);
 
     let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
-    // Drive well above 2× the 50 e/s target while running scaler passes.
+    // Drive well above 2× the 50 e/s target while running scaler passes,
+    // against a wall-clock deadline rather than a fixed round count so slow
+    // machines get the full allowance.
     let mut scaled = 0;
-    for round in 0..40 {
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    let mut round = 0;
+    while scaled < 2 && std::time::Instant::now() < deadline {
         for i in 0..200 {
             writer.write_event(&format!("key-{}", i % 31), &format!("r{round}e{i}"));
         }
         writer.flush().unwrap();
         scaled += cluster.run_autoscaler_once().unwrap().len();
+        round += 1;
         if scaled >= 2 {
             break;
         }
@@ -148,7 +153,8 @@ fn cold_stream_scales_down() {
     // Trickle a little traffic so load reports exist, then run passes.
     let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
     let mut merged = false;
-    for _ in 0..30 {
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while std::time::Instant::now() < deadline {
         writer.write_event("some-key", &"tick".to_string());
         writer.flush().unwrap();
         if !cluster.run_autoscaler_once().unwrap().is_empty() {

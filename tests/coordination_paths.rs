@@ -128,7 +128,13 @@ fn concurrent_controllers_share_one_metadata_backend() {
     // Metadata is consistent: exactly one epoch advanced per win.
     let metadata = controller.stream_metadata(&s).unwrap();
     assert_eq!(metadata.epochs.len(), 1 + wins);
-    let ranges: Vec<_> = metadata.current_segments().iter().map(|x| x.range).collect();
-    assert!(pravega::common::keyspace::ranges_partition_keyspace(&ranges));
+    let ranges: Vec<_> = metadata
+        .current_segments()
+        .iter()
+        .map(|x| x.range)
+        .collect();
+    assert!(pravega::common::keyspace::ranges_partition_keyspace(
+        &ranges
+    ));
     cluster.shutdown();
 }

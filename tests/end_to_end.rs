@@ -113,9 +113,7 @@ fn two_readers_split_the_stream_without_duplicates() {
     }
     writer.flush().unwrap();
 
-    let group = cluster
-        .create_reader_group("it", "g-two", vec![s])
-        .unwrap();
+    let group = cluster.create_reader_group("it", "g-two", vec![s]).unwrap();
     let g1 = group.clone();
     let cluster_ref = &cluster;
     let (tx, rx) = std::sync::mpsc::channel::<Vec<String>>();
@@ -127,11 +125,9 @@ fn two_readers_split_the_stream_without_duplicates() {
             scope.spawn(move || {
                 let mut reader = reader;
                 let mut got = Vec::new();
-                loop {
-                    match reader.read_next(Duration::from_millis(1500)).unwrap() {
-                        Some(e) => got.push(e.event),
-                        None => break, // quiesced
-                    }
+                // Drain until the group quiesces (None = timed out, no data).
+                while let Some(e) = reader.read_next(Duration::from_millis(1500)).unwrap() {
+                    got.push(e.event);
                 }
                 tx.send(got).unwrap();
             });
@@ -217,11 +213,7 @@ fn data_tiers_to_lts_and_remains_readable() {
     cluster
         .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
         .unwrap();
-    let mut writer = cluster.create_writer(
-        s.clone(),
-        BytesSerializer,
-        WriterConfig::default(),
-    );
+    let mut writer = cluster.create_writer(s.clone(), BytesSerializer, WriterConfig::default());
     for i in 0..200u32 {
         writer.write_event(
             &format!("key-{}", i % 11),
@@ -308,7 +300,10 @@ fn controller_metadata_lives_in_pravega_tables() {
     cluster.create_scope("it").unwrap();
     for name in ["a", "b", "c"] {
         cluster
-            .create_stream(&stream(name), StreamConfiguration::new(ScalingPolicy::fixed(1)))
+            .create_stream(
+                &stream(name),
+                StreamConfiguration::new(ScalingPolicy::fixed(1)),
+            )
             .unwrap();
     }
     let mut streams = cluster.controller().list_streams("it");
@@ -343,7 +338,10 @@ fn sealed_stream_rejects_writes_and_signals_readers() {
     let mut reader = cluster.create_reader(&group, "r1", StringSerializer);
     let e = reader.read_next(Duration::from_secs(5)).unwrap().unwrap();
     assert_eq!(e.event, "last");
-    assert!(reader.read_next(Duration::from_millis(300)).unwrap().is_none());
+    assert!(reader
+        .read_next(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
     cluster.shutdown();
 }
 
@@ -375,8 +373,10 @@ fn size_retention_truncates_stream_head() {
 
 #[test]
 fn noop_lts_accepts_writes_without_storing_data() {
-    let mut config = ClusterConfig::default();
-    config.lts = LtsKind::NoOp;
+    let mut config = ClusterConfig {
+        lts: LtsKind::NoOp,
+        ..ClusterConfig::default()
+    };
     config.container.flush_interval = Duration::from_millis(5);
     let cluster = PravegaCluster::start(config).unwrap();
     let s = stream("noop");

@@ -4,8 +4,8 @@
 
 use std::time::Duration;
 
-use pravega::common::hashing::container_for_segment;
 use pravega::client::{StringSerializer, WriterConfig};
+use pravega::common::hashing::container_for_segment;
 use pravega::common::id::ScopedStream;
 use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
 use pravega::core::{ClusterConfig, PravegaCluster};
@@ -122,10 +122,8 @@ fn split_brain_container_ownership_is_fenced() {
     );
     let result = handle.wait();
     assert!(result.is_err(), "zombie write must fail: {result:?}");
-    for _ in 0..200 {
-        if zombie_container.is_stopped() {
-            break;
-        }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !zombie_container.is_stopped() && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert!(zombie_container.is_stopped(), "zombie shuts down");
@@ -157,7 +155,12 @@ fn cascading_store_failures_leave_one_survivor_serving() {
     let survivors: Vec<String> = cluster
         .store_hosts()
         .into_iter()
-        .filter(|h| cluster.store(h).map(|s| !s.running_containers().is_empty()).unwrap_or(false))
+        .filter(|h| {
+            cluster
+                .store(h)
+                .map(|s| !s.running_containers().is_empty())
+                .unwrap_or(false)
+        })
         .collect();
     assert_eq!(survivors.len(), 1, "one store holds all containers");
     let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());

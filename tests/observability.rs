@@ -1,0 +1,312 @@
+//! Metrics-asserting integration tests: drive the embedded cluster through
+//! realistic load shapes and assert on what the per-stage instruments report,
+//! not just on the data path's outputs. This is the test layer that keeps the
+//! metrics pipeline honest — a refactor that silently stops recording a stage
+//! fails here even if the data path still works.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use pravega::client::{BytesSerializer, StringSerializer, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::metrics::Snapshot;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::core::{ClusterConfig, LtsKind, PravegaCluster};
+use pravega::lts::ThrottleModel;
+
+fn stream(name: &str) -> ScopedStream {
+    ScopedStream::new("obs", name).unwrap()
+}
+
+/// Polls `cond` against fresh snapshots until it holds or `timeout` elapses.
+/// Returns the last snapshot either way so assertion messages can include it.
+fn poll_snapshot(
+    cluster: &PravegaCluster,
+    timeout: Duration,
+    mut cond: impl FnMut(&Snapshot) -> bool,
+) -> (bool, Snapshot) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let snap = cluster.metrics().snapshot();
+        if cond(&snap) {
+            return (true, snap);
+        }
+        if Instant::now() > deadline {
+            return (false, snap);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// A slow LTS makes unflushed bytes pile up past the throttle threshold, so
+/// the container must push back on writers (§4.3); once the burst ends the
+/// storage writer drains the backlog and the flush lag returns to zero.
+#[test]
+fn throttled_lts_engages_writer_throttling_and_drains() {
+    // ~4 MB/s LTS against a 64 KiB throttle threshold: any burst larger than
+    // the threshold must engage throttling almost immediately.
+    let mut config = ClusterConfig {
+        lts: LtsKind::Throttled(ThrottleModel {
+            bandwidth_bytes_per_sec: 4 * 1024 * 1024,
+            per_op_latency: Duration::from_millis(1),
+        }),
+        ..ClusterConfig::default()
+    };
+    config.container.throttle_threshold_bytes = 64 * 1024;
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(1);
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("throttled");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+
+    // Phase 1: burst ~1.5 MB and wait for durability. The whole burst rides
+    // the pipeline, so by the time `flush` returns the backlog is committed
+    // to the WAL but barely drained to the 4 MB/s LTS (needs ~360 ms).
+    let mut writer = cluster.create_writer(s, BytesSerializer, WriterConfig::default());
+    let payload = Bytes::from(vec![0x5a; 8 * 1024]);
+    for i in 0..192 {
+        writer.write_raw(&format!("key-{}", i % 7), payload.clone());
+    }
+    writer.flush().unwrap();
+
+    // Phase 2: appends arriving while the backlog exceeds the threshold must
+    // block in the container until the storage writer drains it (§4.3) —
+    // backpressure applies to new appends, not ones already in the pipeline.
+    for i in 0..4 {
+        writer.write_raw(&format!("key-{i}"), payload.clone());
+    }
+    writer.flush().unwrap();
+
+    let snap = cluster.metrics().snapshot();
+    let engaged = snap
+        .counter("segmentstore.container.throttle_engaged")
+        .unwrap_or(0);
+    assert!(
+        engaged > 0,
+        "appends behind a 1.5 MB committed backlog (64 KiB threshold, 4 MB/s \
+         LTS) must engage throttling at least once\n{snap}"
+    );
+    let waited = snap.histogram("segmentstore.container.throttle_wait_nanos");
+    assert!(
+        waited.is_some_and(|h| h.count > 0 && h.sum > 0),
+        "engaged throttling must also record time spent waiting\n{snap}"
+    );
+
+    // After the burst the storage writer catches up: the flush lag gauge must
+    // come back to (exactly) zero once a flush pass observes a drained
+    // backlog. 1.5 MB / 4 MB/s plus jitter fits comfortably in 30 s.
+    cluster.wait_for_tiering(Duration::from_secs(30)).unwrap();
+    let (drained, snap) = poll_snapshot(&cluster, Duration::from_secs(10), |s| {
+        s.gauge("segmentstore.storagewriter.flush_lag_bytes") == Some(0)
+    });
+    assert!(
+        drained,
+        "flush lag must return to 0 after the burst is tiered\n{snap}"
+    );
+    cluster.shutdown();
+}
+
+/// Under saturating load frames should seal because they are full, not
+/// because the batch delay expired: the median fill ratio stays above 50%.
+#[test]
+fn frames_fill_up_under_saturating_load() {
+    let mut config = ClusterConfig::default();
+    config.container.max_frame_bytes = 32 * 1024;
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(5);
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("saturated");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+
+    // 2 MB of 1 KiB appends with no pacing and no per-event waits: the frame
+    // builder always has queued work, so frames seal at capacity.
+    let mut writer = cluster.create_writer(s, BytesSerializer, WriterConfig::default());
+    let payload = Bytes::from(vec![0x42; 1024]);
+    for i in 0..2048 {
+        writer.write_raw(&format!("key-{}", i % 11), payload.clone());
+    }
+    writer.flush().unwrap();
+
+    let snap = cluster.metrics().snapshot();
+    let fill = snap
+        .histogram("segmentstore.durablelog.frame_fill_pct")
+        .expect("fill ratio histogram exists");
+    assert!(fill.count > 0, "saturating load must seal frames\n{snap}");
+    assert!(
+        fill.p50 > 50,
+        "median frame fill {}% is not saturated (expected > 50%)\n{snap}",
+        fill.p50
+    );
+    cluster.shutdown();
+}
+
+/// One full write → tier → read pass lights up every stage of the pipeline:
+/// the snapshot must report non-zero values for at least 8 distinct
+/// instruments, and the stage-level ones must be consistent with the load.
+#[test]
+fn end_to_end_pass_activates_instruments_at_every_stage() {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(1);
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("e2e");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
+        .unwrap();
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..50 {
+        writer.write_event(&format!("key-{}", i % 5), &format!("event-{i}"));
+    }
+    writer.flush().unwrap();
+
+    let group = cluster
+        .create_reader_group("obs", "g-e2e", vec![s])
+        .unwrap();
+    let mut reader = cluster.create_reader(&group, "r1", StringSerializer);
+    let mut read = 0;
+    while read < 50 {
+        match reader.read_next(Duration::from_secs(5)).unwrap() {
+            Some(_) => read += 1,
+            None => panic!("timed out after {read} events"),
+        }
+    }
+    cluster.wait_for_tiering(Duration::from_secs(10)).unwrap();
+
+    let snap = cluster.metrics().snapshot();
+    assert!(
+        snap.active_instruments() >= 8,
+        "expected >= 8 active instruments after an end-to-end pass, got {}\n{snap}",
+        snap.active_instruments()
+    );
+
+    // Client edges agree with the workload.
+    assert_eq!(
+        snap.counter("client.writer.events_written"),
+        Some(50),
+        "\n{snap}"
+    );
+    assert_eq!(
+        snap.counter("client.reader.events_read"),
+        Some(50),
+        "\n{snap}"
+    );
+
+    // Middle stages all saw traffic.
+    for hist in [
+        "client.writer.flush_nanos",
+        "client.writer.rtt_nanos",
+        "segmentstore.durablelog.frame_bytes",
+        "segmentstore.durablelog.wal_append_nanos",
+        "segmentstore.storagewriter.flush_pass_nanos",
+        "lts.chunked.write_nanos",
+        "wal.journal.group_commit_entries",
+    ] {
+        assert!(
+            snap.histogram(hist).is_some_and(|h| h.count > 0),
+            "histogram {hist} recorded nothing\n{snap}"
+        );
+    }
+    for counter in [
+        "segmentstore.storagewriter.flushed_bytes",
+        "lts.chunked.write_bytes",
+        "wal.journal.syncs",
+    ] {
+        assert!(
+            snap.counter(counter).unwrap_or(0) > 0,
+            "counter {counter} recorded nothing\n{snap}"
+        );
+    }
+
+    // The snapshot serialises to well-formed JSON with every section present.
+    let json = snap.to_json();
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "client.writer.events_written",
+    ] {
+        assert!(json.contains(key), "JSON snapshot missing {key}: {json}");
+    }
+    cluster.shutdown();
+}
+
+/// Blocking reads at the tail park a future in the read index (the store's
+/// long-poll path uses these); the parked wait is observable, and reads of
+/// freshly appended data hit the block cache. The event reader deliberately
+/// polls with `wait_for_data: false`, so this drives the container directly.
+#[test]
+fn tail_read_waits_and_cache_hits_are_observable() {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(1);
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("tail");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..20 {
+        writer.write_event("key", &format!("event-{i}"));
+    }
+    writer.flush().unwrap();
+
+    // Find the stream's segment and issue a blocking read at its tail: the
+    // read index parks a future, counts the wait, and times out at_tail.
+    let (container, segment, length) = cluster
+        .containers()
+        .into_iter()
+        .find_map(|c| {
+            c.segment_names()
+                .into_iter()
+                .find(|n| n.contains("obs/tail"))
+                .map(|n| {
+                    let len = c.get_info(&n).unwrap().length;
+                    (c, n, len)
+                })
+        })
+        .expect("the stream's segment lives in some container");
+    let result = container
+        .read(&segment, length, 1024, Some(Duration::from_millis(50)))
+        .unwrap();
+    assert!(
+        result.at_tail,
+        "a tail read with no new data reports at_tail"
+    );
+
+    let group = cluster
+        .create_reader_group("obs", "g-tail", vec![s])
+        .unwrap();
+    let mut reader = cluster.create_reader(&group, "r1", StringSerializer);
+    let mut read = 0;
+    while read < 20 {
+        match reader.read_next(Duration::from_secs(5)).unwrap() {
+            Some(_) => read += 1,
+            None => panic!("timed out after {read} events"),
+        }
+    }
+
+    let snap = cluster.metrics().snapshot();
+    assert!(
+        snap.counter("segmentstore.readindex.tail_read_waits")
+            .unwrap_or(0)
+            > 0,
+        "a blocking read at the tail must register a tail-read wait\n{snap}"
+    );
+    assert!(
+        snap.counter("segmentstore.readindex.cache_hits")
+            .unwrap_or(0)
+            > 0,
+        "reads of freshly appended data must hit the block cache\n{snap}"
+    );
+    cluster.shutdown();
+}

@@ -52,7 +52,10 @@ fn committed_transaction_delivers_everything_in_key_order() {
         assert!(got.contains(&format!("txn-{i:02}")), "missing txn-{i:02}");
     }
     // Per key, transactional events keep their write order.
-    let key0: Vec<&String> = got.iter().filter(|e| e.ends_with('0') && e.starts_with("txn-")).collect();
+    let key0: Vec<&String> = got
+        .iter()
+        .filter(|e| e.ends_with('0') && e.starts_with("txn-"))
+        .collect();
     let mut sorted = key0.clone();
     sorted.sort();
     assert_eq!(key0, sorted, "per-key txn order");
@@ -88,7 +91,10 @@ fn aborted_transaction_writes_nothing() {
     let mut reader = cluster.create_reader(&group, "r", StringSerializer);
     let e = reader.read_next(Duration::from_secs(5)).unwrap().unwrap();
     assert_eq!(e.event, "survivor");
-    assert!(reader.read_next(Duration::from_millis(300)).unwrap().is_none());
+    assert!(reader
+        .read_next(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
     cluster.shutdown();
 }
 

@@ -1,0 +1,145 @@
+//! Offline shim of the criterion API used by `crates/bench/benches/micro.rs`.
+//!
+//! Runs each benchmark closure in a short calibrated loop and prints
+//! mean-per-iteration timings (plus derived throughput) to stdout. No
+//! statistics, plots, or baselines — just enough to keep `cargo bench`
+//! usable offline. See `vendor/README.md` for why the workspace vendors
+//! shims.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly for the group's measurement window,
+    /// recording total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up briefly, then measure in growing batches until the window
+        // is filled.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        while Instant::now() < warmup_end {
+            black_box(routine());
+        }
+        let mut batch = 16u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement_time {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.iters_done += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let iters = bencher.iters_done.max(1);
+        let per_iter = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        let mut line = format!(
+            "{}/{}: {:.0} ns/iter ({} iters)",
+            self.name, id, per_iter, iters
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                let mibps = n as f64 / per_iter * 1e9 / (1024.0 * 1024.0);
+                line.push_str(&format!(", {mibps:.1} MiB/s"));
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                let eps = n as f64 / per_iter * 1e9;
+                line.push_str(&format!(", {eps:.0} elem/s"));
+            }
+            _ => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting the benchmark
+/// body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

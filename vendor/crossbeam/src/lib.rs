@@ -1,0 +1,367 @@
+//! Offline shim for the `crossbeam::channel` API surface this workspace uses.
+//!
+//! Implements an MPMC channel (both [`channel::Sender`] and
+//! [`channel::Receiver`] are `Clone + Send + Sync`, like crossbeam's) on top
+//! of a `Mutex<VecDeque>` + `Condvar`. Capacity-bounded senders block when
+//! full. See `vendor/README.md` for why the workspace vendors shims.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        recv_signal: Condvar,
+        send_signal: Condvar,
+        capacity: Option<usize>,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        fn new(capacity: Option<usize>) -> Arc<Self> {
+            Arc::new(Self {
+                queue: Mutex::new(VecDeque::new()),
+                recv_signal: Condvar::new(),
+                send_signal: Condvar::new(),
+                capacity,
+                senders: AtomicUsize::new(1),
+                receivers: AtomicUsize::new(1),
+            })
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and all
+    /// senders are gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Shared::new(None);
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Shared::new(Some(cap.max(1)));
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let shared = &self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                match shared.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = shared
+                            .send_signal
+                            .wait(queue)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                    _ => break,
+                }
+            }
+            queue.push_back(value);
+            drop(queue);
+            shared.recv_signal.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let shared = &self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    shared.send_signal.notify_one();
+                    return Ok(v);
+                }
+                if shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = shared
+                    .recv_signal
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let shared = &self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(v) = queue.pop_front() {
+                shared.send_signal.notify_one();
+                Ok(v)
+            } else if shared.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let shared = &self.shared;
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    shared.send_signal.notify_one();
+                    return Ok(v);
+                }
+                if shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, _res) = shared
+                    .recv_signal
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                queue = q;
+            }
+        }
+
+        /// Blocking iterator over messages; ends when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// Non-blocking iterator draining currently queued messages.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Non-blocking iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+
+    /// Owning iterator over a receiver.
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Self {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Self {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.recv_signal.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.shared.send_signal.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_is_observed() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let h = thread::spawn(move || tx.send(2));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            h.join().unwrap().unwrap();
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn iter_ends_on_disconnect() {
+            let (tx, rx) = unbounded();
+            for i in 0..3 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Offline mini-proptest covering the API surface this workspace uses:
+//! `proptest! { #![proptest_config(...)] #[test] fn f(x in strategy) {...} }`,
+//! range/tuple/`any`/`Just` strategies, `prop_map`, `prop_oneof!` (weighted),
+//! `prop::collection::vec`, `prop::sample::Index`, and the `prop_assert*`
+//! macros.
+//!
+//! Unlike real proptest there is NO shrinking and NO regression persistence:
+//! cases are generated from a deterministic per-test seed (derived from the
+//! test name) so failures reproduce exactly across runs; the failing case
+//! index is reported in the panic message. See `vendor/README.md` for why
+//! the workspace vendors shims.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Test-case generation settings; accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic per-case RNG; called from the `proptest!`
+/// expansion so user crates don't need their own `rand` dependency.
+pub fn rng_for(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Derives a stable 64-bit seed from a test's module path and name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a; stable across runs and platforms so failures reproduce.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A value generator. This shim's strategies are plain generators — no
+/// shrinking trees.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
+    }
+}
+
+/// Type-erased strategy produced by [`Strategy::boxed`] and `prop_oneof!`.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.inner)(rng)
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_filter`]; rejection-samples
+/// with a retry cap.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive candidates");
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen::<f64>()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Namespaced strategy helpers mirroring `proptest::prop`.
+pub mod prop {
+    pub mod collection {
+        use super::super::*;
+
+        /// Strategy for `Vec<T>` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        use super::super::*;
+
+        /// An index usable against any slice, mirroring
+        /// `proptest::sample::Index`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Maps this index onto `0..len`.
+            ///
+            /// # Panics
+            ///
+            /// Panics when `len == 0` — an index into nothing is a test bug.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+
+            /// Picks an element of the (non-empty) slice.
+            pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+                &slice[self.index(slice.len())]
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.gen::<usize>())
+            }
+        }
+    }
+}
+
+/// Everything test files import.
+pub mod prelude {
+    pub use super::prop;
+    pub use super::{
+        any, seed_for, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand::{Rng, SeedableRng};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {{
+        let options = vec![ $(($weight as u32, $crate::Strategy::boxed($strat))),+ ];
+        $crate::one_of(options)
+    }};
+    ($($strat:expr),+ $(,)?) => {{
+        let options = vec![ $((1u32, $crate::Strategy::boxed($strat))),+ ];
+        $crate::one_of(options)
+    }};
+}
+
+/// Weighted union backing `prop_oneof!`; picks an arm per case in proportion
+/// to its weight.
+pub fn one_of<T: 'static>(options: Vec<(u32, BoxedStrategy<T>)>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    let total: u32 = options.iter().map(|(w, _)| *w).sum();
+    BoxedStrategy {
+        inner: std::rc::Rc::new(move |rng: &mut TestRng| {
+            let mut pick = rng.gen_range(0u32..total.max(1));
+            for (w, strat) in &options {
+                if pick < *w {
+                    return strat.generate(rng);
+                }
+                pick -= w;
+            }
+            options[0].1.generate(rng)
+        }),
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        ($config:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        let mut rng = $crate::rng_for(
+                            seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        $(
+                            let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                        )+
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest shim: {} failed at case {case}/{} (seed base {seed:#x})",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn ranges_and_vecs_compose(
+            x in 3u32..10,
+            v in prop::collection::vec(any::<u8>(), 1..20),
+            pair in (0u8..4, 0u64..100),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(pair.0 < 4 && pair.1 < 100);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(op in prop_oneof![
+            2 => (1u16..300).prop_map(|n| n as u32),
+            1 => Just(0u32),
+        ]) {
+            prop_assert!(op == 0 || (1..300).contains(&op));
+        }
+    }
+
+    #[test]
+    fn index_picks_within_bounds() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            let idx = <prop::sample::Index as Arbitrary>::arbitrary(&mut rng);
+            assert!(items.contains(idx.get(&items)));
+            assert!(idx.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::seed_from_u64(seed_for("x"));
+        let mut b = TestRng::seed_from_u64(seed_for("x"));
+        let s = prop::collection::vec(any::<u64>(), 5..6);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

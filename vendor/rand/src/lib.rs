@@ -1,0 +1,256 @@
+//! Offline shim for the `rand` API surface this workspace uses:
+//! `rand::random()`, [`Rng::gen_range`], [`SeedableRng::seed_from_u64`] and
+//! [`rngs::StdRng`]. Backed by splitmix64 — statistically fine for workload
+//! generation and id assignment, NOT cryptographically secure.
+//! See `vendor/README.md` for why the workspace vendors shims.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types producible by [`random`] and [`Rng::gen`].
+pub trait Standard: Sized {
+    fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self {
+        ((next() as u128) << 64) | next() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self {
+        u128::from_u64_stream(next) as i128
+    }
+}
+
+impl Standard for bool {
+    fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64_stream(next: &mut dyn FnMut() -> u64) -> Self {
+        f64::from_u64_stream(next) as f32
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (((rng() as u128) << 64) | rng() as u128) % span;
+                (self.start as i128 + r as i128) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = (((rng() as u128) << 64) | rng() as u128) % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let unit = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let unit = (rng() >> 11) as f32 / (1u64 << 53) as f32;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// The subset of rand's `Rng` trait the workspace uses.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_u64_stream(&mut || self.next_u64())
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(&mut || self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// The subset of rand's `SeedableRng` trait the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::*;
+
+    /// Deterministic PRNG (splitmix64), seedable for reproducible workloads.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                // Avoid the all-zero fixed point and decorrelate small seeds.
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+
+    /// Process-global RNG backing [`random`](super::random).
+    #[derive(Debug, Clone, Default)]
+    pub struct ThreadRng;
+
+    impl Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            global_next_u64()
+        }
+    }
+}
+
+static GLOBAL_STATE: AtomicU64 = AtomicU64::new(0);
+
+fn global_next_u64() -> u64 {
+    let mut cur = GLOBAL_STATE.load(Ordering::Relaxed);
+    if cur == 0 {
+        // Seed once from wall clock + a stack address so separate processes
+        // diverge; losers of the race just reuse the winner's seed.
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x1234_5678);
+        let addr = &cur as *const _ as u64;
+        let _ = GLOBAL_STATE.compare_exchange(
+            0,
+            t ^ addr.rotate_left(32) | 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+        cur = GLOBAL_STATE.load(Ordering::Relaxed);
+    }
+    loop {
+        let mut next = cur;
+        let out = splitmix64(&mut next);
+        match GLOBAL_STATE.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return out,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Returns a handle to the process-global RNG.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng
+}
+
+/// Generates a random value of type `T` from the process-global RNG.
+pub fn random<T: Standard>() -> T {
+    T::from_u64_stream(&mut global_next_u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::StdRng;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn random_values_differ() {
+        let a: u128 = random();
+        let b: u128 = random();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline shim for serde: the workspace derives `Serialize`/`Deserialize` on
+//! identifier and policy types but never feeds them to a serde serializer (no
+//! `serde_json` dependency), so marker traits with blanket impls plus no-op
+//! derives preserve the API without crates.io access.
+//!
+//! Anything that actually needs a wire or display encoding in this codebase
+//! uses its own explicit codecs (`encode`/`decode` on the types, or
+//! `pravega_common::metrics::Snapshot::to_json`). See `vendor/README.md`.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+// Derive macros live in the macro namespace, the traits above in the type
+// namespace; both can share the names, exactly like real serde.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline vendored build.
+//!
+//! The vendored `serde` shim blanket-implements its marker traits for every
+//! type, so these derives have nothing to generate; they exist so that
+//! `#[derive(Serialize, Deserialize)]` keeps compiling without crates.io
+//! access. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
