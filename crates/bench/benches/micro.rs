@@ -135,7 +135,7 @@ fn bench_wal(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(1024));
     group.bench_function("replicated_append_1k_q3a2", |b| {
         let coord = CoordinationService::new();
-        let pool = BookiePool::new(mem_bookies(3, JournalConfig::default()));
+        let pool = BookiePool::new(mem_bookies(3, JournalConfig::default()).unwrap());
         let mgr = LedgerManager::new(&coord, &pool);
         let writer = mgr.create(ReplicationConfig::default(), 1).expect("ledger");
         let data = Bytes::from(vec![0u8; 1024]);

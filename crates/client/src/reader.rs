@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use pravega_common::clock;
 use pravega_common::id::ScopedSegment;
 use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::wire::{Reply, Request};
@@ -152,7 +153,7 @@ impl<T, S: Serializer<T>> EventStreamReader<T, S> {
                 end_seen: false,
             });
         }
-        self.last_acquire = Some(Instant::now());
+        self.last_acquire = Some(clock::monotonic_now());
         Ok(())
     }
 
@@ -164,7 +165,7 @@ impl<T, S: Serializer<T>> EventStreamReader<T, S> {
     ///
     /// Connection/controller failures and deserialization errors.
     pub fn read_next(&mut self, timeout: Duration) -> Result<Option<EventRead<T>>, ClientError> {
-        let started = Instant::now();
+        let started = clock::monotonic_now();
         let deadline = started + timeout;
         loop {
             let need_sync = match self.last_acquire {
@@ -208,7 +209,7 @@ impl<T, S: Serializer<T>> EventStreamReader<T, S> {
                 self.last_acquire = None;
             }
             if !fetched_any {
-                if Instant::now() >= deadline {
+                if clock::monotonic_now() >= deadline {
                     return Ok(None);
                 }
                 std::thread::sleep(Duration::from_millis(1));

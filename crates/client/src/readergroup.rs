@@ -16,10 +16,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
 use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
 use pravega_common::wire::{Reply, Request};
 use pravega_controller::ControllerService;
+use pravega_sync::{rank, Mutex};
 
 use crate::connection::{RpcClient, SharedConnectionFactory};
 use crate::error::ClientError;
@@ -327,7 +327,7 @@ impl ReaderGroup {
             streams,
             controller: controller.clone(),
             factory,
-            sync: Mutex::new(sync),
+            sync: Mutex::new(rank::CLIENT_READER_GROUP, sync),
         }))
     }
 

@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::{BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
+use pravega_common::clock;
 use pravega_common::future::{promise, Completer, Promise};
 use pravega_common::hashing::routing_key_position;
 use pravega_common::id::{ScopedStream, WriterId};
@@ -33,6 +33,7 @@ use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::rate::{EwmaRate, EwmaValue};
 use pravega_common::wire::{Connection, Reply, Request, RequestEnvelope};
 use pravega_controller::{ControllerService, SegmentWithRange};
+use pravega_sync::{rank, Mutex};
 
 use crate::connection::SharedConnectionFactory;
 use crate::error::ClientError;
@@ -180,12 +181,15 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
             writer_id: WriterId::random(),
             config,
             metrics,
-            state: Mutex::new(WriterState {
-                segments: Vec::new(),
-                next_event_number: 0,
-                initialized: false,
-                failed: None,
-            }),
+            state: Mutex::new(
+                rank::CLIENT_WRITER,
+                WriterState {
+                    segments: Vec::new(),
+                    next_event_number: 0,
+                    initialized: false,
+                    failed: None,
+                },
+            ),
             pending_events: AtomicUsize::new(0),
             stopped: AtomicBool::new(false),
         });
@@ -342,7 +346,7 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
     ///
     /// [`ClientError::Timeout`] after 60 s; writer failures.
     pub fn flush(&mut self) -> Result<(), ClientError> {
-        let flush_start = Instant::now();
+        let flush_start = clock::monotonic_now();
         {
             let mut state = self.shared.state.lock();
             let max_batch = self.shared.config.max_batch_bytes;
@@ -350,12 +354,12 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
                 send_block(&self.shared, seg, max_batch);
             }
         }
-        let deadline = Instant::now() + Duration::from_secs(60);
+        let deadline = clock::monotonic_now() + Duration::from_secs(60);
         while self.shared.pending_events.load(Ordering::SeqCst) > 0 {
             if let Some(e) = self.shared.state.lock().failed.clone() {
                 return Err(e);
             }
-            if Instant::now() > deadline {
+            if clock::monotonic_now() > deadline {
                 return Err(ClientError::Timeout);
             }
             std::thread::sleep(Duration::from_micros(200));
@@ -412,7 +416,7 @@ fn open_segment(
         sealed: false,
         rtt_secs: EwmaValue::new(0.3),
         byte_rate: EwmaRate::new(Duration::from_secs(1)),
-        rate_origin: Instant::now(),
+        rate_origin: clock::monotonic_now(),
     };
     // Handshake: learn the last durable event number for this writer.
     let _last = handshake(shared, &mut seg)?;
@@ -528,7 +532,7 @@ fn route_event_inner(
 
 fn append_to_block(_shared: &Arc<WriterShared>, seg: &mut OpenSegment, event: PendingEvent) {
     if seg.block_opened.is_none() {
-        seg.block_opened = Some(Instant::now());
+        seg.block_opened = Some(clock::monotonic_now());
     }
     seg.byte_rate.record(
         event.framed.len() as u64,
@@ -577,7 +581,7 @@ fn send_block(shared: &Arc<WriterShared>, seg: &mut OpenSegment, _max_batch: usi
     seg.inflight.push_back(InflightBlock {
         last_event_number,
         events,
-        sent_at: Instant::now(),
+        sent_at: clock::monotonic_now(),
     });
     if sent.is_err() {
         // Connection is gone; the pump will reconnect and resend.

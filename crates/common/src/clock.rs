@@ -10,6 +10,25 @@ use std::time::{Duration, Instant};
 /// Nanoseconds since an arbitrary (per-clock) origin.
 pub type Timestamp = u64;
 
+/// The single sanctioned source of raw monotonic time in the workspace.
+///
+/// Components that make *policy* decisions on time (batching delays,
+/// cooldowns, retention) must take a [`Clock`] so tests can drive time
+/// manually. Mechanical uses that need an [`Instant`] (condvar deadlines,
+/// latency stopwatches) go through this function instead of calling
+/// `Instant::now()` directly, so every raw time read in the tree flows
+/// through one choke point — `xtask lint` rejects `Instant::now()` anywhere
+/// else, which keeps the deterministic-simulation discipline auditable.
+pub fn monotonic_now() -> Instant {
+    Instant::now()
+}
+
+/// Wall-clock counterpart of [`monotonic_now`]: the only sanctioned
+/// `SystemTime::now()` call site in the workspace.
+pub fn wall_now() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
 /// A monotonic time source.
 pub trait Clock: Send + Sync + std::fmt::Debug {
     /// Current time in nanoseconds since the clock's origin.

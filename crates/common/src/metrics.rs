@@ -10,7 +10,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use pravega_sync::{rank, Mutex};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -247,9 +247,17 @@ impl Histogram {
 }
 
 /// A named registry of counters and histograms.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct MetricsRegistry {
     inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(rank::METRICS_REGISTRY, RegistryInner::default())),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

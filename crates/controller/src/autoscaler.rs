@@ -11,11 +11,11 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use pravega_common::clock::Clock;
 use pravega_common::id::{ScopedStream, SegmentId};
 use pravega_common::keyspace::KeyRange;
 use pravega_common::policy::ScalingPolicy;
+use pravega_sync::{rank, Mutex};
 
 use crate::error::ControllerError;
 use crate::records::StreamSegmentRecord;
@@ -205,7 +205,7 @@ impl AutoScaler {
             service,
             clock,
             config,
-            state: Mutex::new(HashMap::new()),
+            state: Mutex::new(rank::CONTROLLER_AUTOSCALER, HashMap::new()),
         }
     }
 

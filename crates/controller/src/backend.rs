@@ -8,8 +8,8 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
 use pravega_common::id::ScopedStream;
+use pravega_sync::{rank, Mutex};
 
 use crate::error::ControllerError;
 use crate::records::StreamMetadata;
@@ -52,10 +52,19 @@ pub trait MetadataBackend: Send + Sync + std::fmt::Debug {
 }
 
 /// In-memory [`MetadataBackend`] for tests and single-process clusters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemoryMetadataBackend {
     scopes: Mutex<BTreeMap<String, ()>>,
     streams: Mutex<BTreeMap<String, (StreamMetadata, i64)>>,
+}
+
+impl Default for InMemoryMetadataBackend {
+    fn default() -> Self {
+        Self {
+            scopes: Mutex::new(rank::CONTROLLER_BACKEND_SCOPES, BTreeMap::new()),
+            streams: Mutex::new(rank::CONTROLLER_BACKEND_STREAMS, BTreeMap::new()),
+        }
+    }
 }
 
 impl InMemoryMetadataBackend {

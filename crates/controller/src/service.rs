@@ -449,13 +449,21 @@ impl ControllerService {
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
-    use parking_lot::Mutex;
+    use pravega_sync::{rank, Mutex};
     use std::collections::HashMap;
 
     /// An in-memory [`SegmentManager`] recording calls for assertions.
-    #[derive(Debug, Default)]
+    #[derive(Debug)]
     pub struct MockSegmentManager {
         pub segments: Mutex<HashMap<String, MockSegment>>,
+    }
+
+    impl Default for MockSegmentManager {
+        fn default() -> Self {
+            Self {
+                segments: Mutex::new(rank::TEST_FIXTURE, HashMap::new()),
+            }
+        }
     }
 
     #[derive(Debug, Clone, Default)]

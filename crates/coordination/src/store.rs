@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use pravega_sync::{rank, Mutex};
 
 /// Identifier of a client session. Ephemeral nodes die with their session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -134,15 +134,23 @@ impl Session {
 }
 
 /// The coordination service: a shared, versioned, watched KV tree.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CoordinationService {
     inner: Arc<Mutex<StoreInner>>,
+}
+
+impl Default for CoordinationService {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CoordinationService {
     /// Creates an empty coordination service.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            inner: Arc::new(Mutex::new(rank::COORDINATION_STORE, StoreInner::default())),
+        }
     }
 
     /// Opens a new session.

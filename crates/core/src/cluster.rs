@@ -3,13 +3,13 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pravega_client::{
     ClientError, ConnectionFactory, EventStreamReader, EventStreamWriter, ReaderGroup, Serializer,
     WriterConfig,
 };
-use pravega_common::clock::SystemClock;
+use pravega_common::clock::{self, SystemClock};
 use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId};
 use pravega_common::metrics::{Histogram, HistogramSummary, MetricsRegistry, Snapshot};
 use pravega_common::policy::StreamConfiguration;
@@ -24,6 +24,7 @@ use pravega_lts::{
     ThrottledChunkStorage,
 };
 use pravega_segmentstore::{ContainerConfig, SegmentContainer, SegmentStore, SegmentStoreConfig};
+use pravega_sync::{rank, Mutex};
 use pravega_wal::bookie::Bookie;
 use pravega_wal::bookie::MemBookie;
 use pravega_wal::journal::JournalConfig;
@@ -169,12 +170,11 @@ impl PravegaCluster {
         let coord = CoordinationService::new();
         let bookies: Vec<Arc<MemBookie>> = (0..config.bookie_count)
             .map(|i| {
-                Arc::new(MemBookie::new(
-                    &format!("bookie-{i}"),
-                    config.journal.clone(),
-                ))
+                MemBookie::new(&format!("bookie-{i}"), config.journal.clone())
+                    .map(Arc::new)
+                    .map_err(|e| ClusterError::Other(format!("start bookie-{i}: {e}")))
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let pool = BookiePool::new(
             bookies
                 .iter()
@@ -205,8 +205,8 @@ impl PravegaCluster {
 
         let routing = Arc::new(Routing {
             container_count: config.container_count,
-            stores: parking_lot::Mutex::new(HashMap::new()),
-            assignment: parking_lot::Mutex::new(BTreeMap::new()),
+            stores: Mutex::new(rank::CORE_CLUSTER_STORES, HashMap::new()),
+            assignment: Mutex::new(rank::CORE_CLUSTER_ASSIGNMENT, BTreeMap::new()),
         });
 
         // Segment stores.
@@ -583,12 +583,12 @@ impl PravegaCluster {
     ///
     /// [`ClusterError::Other`] on timeout.
     pub fn wait_for_tiering(&self, timeout: Duration) -> Result<(), ClusterError> {
-        let deadline = Instant::now() + timeout;
+        let deadline = clock::monotonic_now() + timeout;
         loop {
             if self.unflushed_bytes() == 0 {
                 return Ok(());
             }
-            if Instant::now() > deadline {
+            if clock::monotonic_now() > deadline {
                 return Err(ClusterError::Other(format!(
                     "tiering did not drain in {timeout:?} ({} bytes left)",
                     self.unflushed_bytes()

@@ -4,7 +4,6 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use pravega_client::{ClientError, ConnectionFactory};
 use pravega_common::hashing::container_for_segment;
 use pravega_common::id::ScopedSegment;
@@ -12,6 +11,7 @@ use pravega_common::wire::{Connection, Reply, Request};
 use pravega_controller::{EndpointResolver, SegmentManager};
 use pravega_coordination::Session;
 use pravega_segmentstore::SegmentStore;
+use pravega_sync::Mutex;
 
 /// A registered segment store instance plus its cluster session.
 pub(crate) struct StoreHandle {
@@ -173,6 +173,9 @@ impl ConnectionFactory for RoutedConnectionFactory {
         if !handle.alive {
             return Err(ClientError::Disconnected(format!("{endpoint} is down")));
         }
-        Ok(handle.store.connect())
+        handle
+            .store
+            .connect()
+            .map_err(|e| ClientError::Disconnected(format!("connect to {endpoint}: {e}")))
     }
 }

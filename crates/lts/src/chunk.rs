@@ -13,7 +13,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use pravega_common::clock;
+use pravega_sync::{rank, Mutex};
 
 use crate::error::LtsError;
 
@@ -74,10 +75,19 @@ struct MemChunk {
 }
 
 /// In-memory chunk storage for tests.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemoryChunkStorage {
     chunks: Mutex<HashMap<String, MemChunk>>,
     unavailable: AtomicBool,
+}
+
+impl Default for InMemoryChunkStorage {
+    fn default() -> Self {
+        Self {
+            chunks: Mutex::new(rank::LTS_CHUNKS, HashMap::new()),
+            unavailable: AtomicBool::new(false),
+        }
+    }
 }
 
 impl InMemoryChunkStorage {
@@ -201,7 +211,7 @@ impl FileChunkStorage {
         std::fs::create_dir_all(&root).map_err(|e| LtsError::Io(e.to_string()))?;
         Ok(Self {
             root,
-            sealed: Mutex::new(HashMap::new()),
+            sealed: Mutex::new(rank::LTS_CHUNK_SEALED, HashMap::new()),
         })
     }
 
@@ -334,7 +344,7 @@ impl<S: ChunkStorage> ThrottledChunkStorage<S> {
         Self {
             inner,
             model,
-            next_free: Arc::new(Mutex::new(Instant::now())),
+            next_free: Arc::new(Mutex::new(rank::LTS_CHUNK_THROTTLE, clock::monotonic_now())),
         }
     }
 
@@ -343,12 +353,12 @@ impl<S: ChunkStorage> ThrottledChunkStorage<S> {
             Duration::from_secs_f64(bytes as f64 / self.model.bandwidth_bytes_per_sec as f64);
         let wake = {
             let mut next_free = self.next_free.lock();
-            let start = (*next_free).max(Instant::now());
+            let start = (*next_free).max(clock::monotonic_now());
             *next_free = start + cost;
             *next_free
         };
         let deadline = wake + self.model.per_op_latency;
-        let now = Instant::now();
+        let now = clock::monotonic_now();
         if deadline > now {
             std::thread::sleep(deadline - now);
         }
@@ -392,9 +402,17 @@ impl<S: ChunkStorage> ChunkStorage for ThrottledChunkStorage<S> {
 /// The paper's "NoOp LTS" test feature (§5.4): chunk *lengths* are tracked,
 /// data is discarded. Reads return zero bytes of the correct length, so this
 /// backend must only be used for write-path experiments.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct NoOpChunkStorage {
     lengths: Mutex<HashMap<String, (u64, bool)>>,
+}
+
+impl Default for NoOpChunkStorage {
+    fn default() -> Self {
+        Self {
+            lengths: Mutex::new(rank::LTS_CHUNK_LENGTHS, HashMap::new()),
+        }
+    }
 }
 
 impl NoOpChunkStorage {

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use pravega_sync::{rank, Mutex};
 
 use crate::error::LtsError;
 
@@ -84,9 +84,17 @@ pub trait MetadataStore: Send + Sync + std::fmt::Debug {
 }
 
 /// In-memory [`MetadataStore`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemoryMetadataStore {
     entries: Mutex<BTreeMap<String, (Bytes, i64)>>,
+}
+
+impl Default for InMemoryMetadataStore {
+    fn default() -> Self {
+        Self {
+            entries: Mutex::new(rank::LTS_METADATA, BTreeMap::new()),
+        }
+    }
 }
 
 impl InMemoryMetadataStore {

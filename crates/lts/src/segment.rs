@@ -9,6 +9,7 @@
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
+use pravega_common::clock;
 use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 
 use crate::chunk::ChunkStorage;
@@ -232,7 +233,7 @@ impl ChunkedSegmentStorage {
     /// chunk-backend failures (e.g. [`LtsError::Unavailable`]) propagate and
     /// leave metadata untouched.
     pub fn write(&self, segment: &str, offset: u64, data: &[u8]) -> Result<u64, LtsError> {
-        let start = std::time::Instant::now();
+        let start = clock::monotonic_now();
         let (mut record, version) = self.load(segment)?;
         if record.sealed {
             return Err(LtsError::Sealed);
@@ -259,7 +260,13 @@ impl ChunkedSegmentStorage {
                     length: 0,
                 });
             }
-            let last = record.chunks.last_mut().expect("chunk exists");
+            // A chunk was rolled above if the list was empty or full, so the
+            // list is non-empty here; guard anyway rather than panic.
+            let Some(last) = record.chunks.last_mut() else {
+                return Err(LtsError::Metadata(format!(
+                    "segment {segment}: chunk list empty after roll"
+                )));
+            };
             let capacity = (self.config.max_chunk_bytes - last.length) as usize;
             let take = remaining.len().min(capacity);
             self.chunks
@@ -284,7 +291,7 @@ impl ChunkedSegmentStorage {
     /// [`LtsError::Truncated`] below the start offset; [`LtsError::BeyondEnd`]
     /// past the tail.
     pub fn read(&self, segment: &str, offset: u64, len: usize) -> Result<Bytes, LtsError> {
-        let start = std::time::Instant::now();
+        let start = clock::monotonic_now();
         let (record, _) = self.load(segment)?;
         if offset < record.start_offset {
             return Err(LtsError::Truncated {

@@ -25,13 +25,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
-use pravega_common::clock::Clock;
+use pravega_common::clock::{self, Clock};
 use pravega_common::future::{promise, Promise, WaitError};
 use pravega_common::id::{ContainerId, WriterId};
 use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use pravega_common::rate::EwmaRate;
 use pravega_lts::ChunkedSegmentStorage;
+use pravega_sync::{rank, Mutex};
 use pravega_wal::log::DurableDataLog;
 
 use crate::cache::{BlockCache, CacheConfig};
@@ -287,7 +287,7 @@ impl ContainerInner {
             return Ok(());
         }
         self.metrics.throttle_engaged.inc();
-        let start = std::time::Instant::now();
+        let start = clock::monotonic_now();
         let mut waited = Duration::ZERO;
         let result = loop {
             if self.unflushed_bytes.load(Ordering::Relaxed) <= limit {
@@ -564,7 +564,7 @@ impl ContainerInner {
         max_len: usize,
         wait: Option<Duration>,
     ) -> Result<ReadResult, SegmentError> {
-        let deadline = wait.map(|d| std::time::Instant::now() + d);
+        let deadline = wait.map(|d| clock::monotonic_now() + d);
         loop {
             self.check_running()?;
             match self.decide_read(segment, offset, max_len, deadline.is_some()) {
@@ -573,7 +573,7 @@ impl ContainerInner {
                 ReadDecision::Wait(pr) => {
                     let remaining = deadline
                         .expect("wait decision only with deadline")
-                        .saturating_duration_since(std::time::Instant::now());
+                        .saturating_duration_since(clock::monotonic_now());
                     if remaining.is_zero() {
                         return Ok(ReadResult {
                             offset,
@@ -820,20 +820,23 @@ impl SegmentContainer {
         let inner = Arc::new(ContainerInner {
             id,
             clock,
-            core: Mutex::new(Core {
-                cache: BlockCache::new(config.cache),
-                segments,
-                applied_seq: snapshot.applied_seq,
-                flushed,
-                tail_waiters: HashMap::new(),
-                pending_lts_deletes: Vec::new(),
-            }),
-            processor: Mutex::new(Processor::default()),
+            core: Mutex::new(
+                rank::CONTAINER_CORE,
+                Core {
+                    cache: BlockCache::new(config.cache),
+                    segments,
+                    applied_seq: snapshot.applied_seq,
+                    flushed,
+                    tail_waiters: HashMap::new(),
+                    pending_lts_deletes: Vec::new(),
+                },
+            ),
+            processor: Mutex::new(rank::CONTAINER_PROCESSOR, Processor::default()),
             lts,
             stopped: AtomicBool::new(false),
             unflushed_bytes: AtomicU64::new(0),
             ops_since_checkpoint: AtomicU64::new(0),
-            loads: Mutex::new(HashMap::new()),
+            loads: Mutex::new(rank::CONTAINER_LOADS, HashMap::new()),
             log: OnceLock::new(),
             metrics: ContainerMetrics::new(metrics),
             config,
@@ -868,22 +871,34 @@ impl SegmentContainer {
             inner.unflushed_bytes.store(backlog, Ordering::Relaxed);
         }
 
-        // Seed the operation processor from committed state.
+        // Seed the operation processor from committed state. Copy the seed
+        // out before taking the processor lock: the canonical lock order is
+        // processor before core (see `table_update`), never the reverse.
         {
-            let core = inner.core.lock();
+            let (applied_seq, seed) = {
+                let core = inner.core.lock();
+                let seed: Vec<(String, PendingSegment)> = core
+                    .segments
+                    .iter()
+                    .map(|(name, st)| {
+                        (
+                            name.clone(),
+                            PendingSegment {
+                                tail: st.meta.length,
+                                sealed: st.meta.sealed,
+                                deleted: false,
+                                is_table: st.meta.is_table,
+                                attributes: st.meta.attributes.clone(),
+                            },
+                        )
+                    })
+                    .collect();
+                (core.applied_seq, seed)
+            };
             let mut processor = inner.processor.lock();
-            processor.next_seq = core.applied_seq.max(max_seq) + 1;
-            for (name, st) in &core.segments {
-                processor.segments.insert(
-                    name.clone(),
-                    PendingSegment {
-                        tail: st.meta.length,
-                        sealed: st.meta.sealed,
-                        deleted: false,
-                        is_table: st.meta.is_table,
-                        attributes: st.meta.attributes.clone(),
-                    },
-                );
+            processor.next_seq = applied_seq.max(max_seq) + 1;
+            for (name, pending) in seed {
+                processor.segments.insert(name, pending);
             }
         }
 
@@ -895,17 +910,17 @@ impl SegmentContainer {
                 max_batch_delay: inner.config.max_batch_delay,
             },
             metrics,
-        );
+        )?;
         inner
             .log
             .set(log.clone())
             .expect("log set exactly once at startup");
 
-        let flusher = storagewriter::start_flusher(inner.clone());
+        let flusher = storagewriter::start_flusher(inner.clone())?;
         Ok(Self {
             inner,
             log,
-            flusher: Mutex::new(Some(flusher)),
+            flusher: Mutex::new(rank::CONTAINER_FLUSHER, Some(flusher)),
         })
     }
 

@@ -17,10 +17,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::Mutex;
+use pravega_common::clock;
 use pravega_common::future::Completer;
 use pravega_common::metrics::{Gauge, Histogram, MetricsRegistry};
 use pravega_common::rate::EwmaValue;
+use pravega_sync::{rank, Mutex};
 use pravega_wal::log::{DurableDataLog, LogAddress};
 
 use crate::dataframe::{batch_delay, DataFrameBuilder};
@@ -139,12 +140,12 @@ impl DurableLog {
         sink: Arc<dyn CommitSink>,
         config: DurableLogConfig,
         metrics: &MetricsRegistry,
-    ) -> Arc<Self> {
+    ) -> Result<Arc<Self>, SegmentError> {
         let shared = Arc::new(LogShared {
             wal: wal.clone(),
-            frames: Mutex::new(VecDeque::new()),
-            recent_latency_secs: Mutex::new(EwmaValue::new(0.3)),
-            avg_frame_size: Mutex::new(EwmaValue::new(0.3)),
+            frames: Mutex::new(rank::DURABLE_LOG_FRAMES, VecDeque::new()),
+            recent_latency_secs: Mutex::new(rank::DURABLE_LOG_LATENCY, EwmaValue::new(0.3)),
+            avg_frame_size: Mutex::new(rank::DURABLE_LOG_FRAME_SIZE, EwmaValue::new(0.3)),
             failed: AtomicBool::new(false),
             queued_ops: AtomicUsize::new(0),
             queued_bytes: AtomicU64::new(0),
@@ -162,20 +163,29 @@ impl DurableLog {
         let builder_handle = std::thread::Builder::new()
             .name("durablelog-builder".into())
             .spawn(move || builder_loop(op_rx, commit_tx, builder_shared, config))
-            .expect("spawn frame builder");
+            .map_err(|e| SegmentError::Internal(format!("spawn frame builder: {e}")))?;
 
         let commit_shared = shared.clone();
         let commit_handle = std::thread::Builder::new()
             .name("durablelog-commit".into())
-            .spawn(move || commit_loop(commit_rx, commit_shared, sink))
-            .expect("spawn committer");
+            .spawn(move || commit_loop(commit_rx, commit_shared, sink));
+        let commit_handle = match commit_handle {
+            Ok(handle) => handle,
+            Err(e) => {
+                // Closing the op channel makes the builder exit; join it
+                // before reporting the failure.
+                drop(op_tx);
+                let _ = builder_handle.join();
+                return Err(SegmentError::Internal(format!("spawn committer: {e}")));
+            }
+        };
 
-        Arc::new(Self {
-            tx: Mutex::new(Some(op_tx)),
+        Ok(Arc::new(Self {
+            tx: Mutex::new(rank::DURABLE_LOG_TX, Some(op_tx)),
             shared,
-            builder_handle: Mutex::new(Some(builder_handle)),
-            commit_handle: Mutex::new(Some(commit_handle)),
-        })
+            builder_handle: Mutex::new(rank::DURABLE_LOG_BUILDER_HANDLE, Some(builder_handle)),
+            commit_handle: Mutex::new(rank::DURABLE_LOG_COMMIT_HANDLE, Some(commit_handle)),
+        }))
     }
 
     /// Queues an operation.
@@ -293,7 +303,7 @@ fn builder_loop(
         let mut items = Vec::new();
         builder.add(first.seq, &first.op);
         items.push(first);
-        let enqueued_at = Instant::now();
+        let enqueued_at = clock::monotonic_now();
         let mut disconnected = false;
         // A frame closes no later than `max_batch_delay` after its first
         // operation: the adaptive delay only decides how long to wait when
@@ -327,7 +337,8 @@ fn builder_loop(
                         config.max_frame_bytes as f64,
                         config.max_batch_delay,
                     );
-                    let until_deadline = frame_deadline.saturating_duration_since(Instant::now());
+                    let until_deadline =
+                        frame_deadline.saturating_duration_since(clock::monotonic_now());
                     let delay = adaptive.min(until_deadline);
                     if delay.is_zero() {
                         break;
@@ -462,10 +473,19 @@ mod tests {
     use pravega_common::id::WriterId;
     use pravega_wal::log::InMemoryLog;
 
-    #[derive(Debug, Default)]
+    #[derive(Debug)]
     struct RecordingSink {
         applied: Mutex<Vec<(u64, Operation)>>,
         failures: AtomicUsize,
+    }
+
+    impl Default for RecordingSink {
+        fn default() -> Self {
+            Self {
+                applied: Mutex::new(rank::TEST_FIXTURE, Vec::new()),
+                failures: AtomicUsize::new(0),
+            }
+        }
     }
 
     impl CommitSink for RecordingSink {
@@ -497,7 +517,8 @@ mod tests {
             sink.clone(),
             DurableLogConfig::default(),
             &MetricsRegistry::new(),
-        );
+        )
+        .unwrap();
         let mut promises = Vec::new();
         for seq in 0..50u64 {
             let (completer, pr) = promise();
@@ -518,10 +539,12 @@ mod tests {
                 other => panic!("unexpected ack {other:?}"),
             }
         }
-        let applied = sink.applied.lock();
-        assert_eq!(applied.len(), 50);
-        for (i, (seq, _)) in applied.iter().enumerate() {
-            assert_eq!(*seq, i as u64);
+        {
+            let applied = sink.applied.lock();
+            assert_eq!(applied.len(), 50);
+            for (i, (seq, _)) in applied.iter().enumerate() {
+                assert_eq!(*seq, i as u64);
+            }
         }
         assert_eq!(log.pending_ops(), 0);
         log.stop();
@@ -536,7 +559,8 @@ mod tests {
             sink.clone(),
             DurableLogConfig::default(),
             &MetricsRegistry::new(),
-        );
+        )
+        .unwrap();
         // First op succeeds.
         let (c1, p1) = promise();
         log.enqueue(EnqueuedOp {
@@ -592,7 +616,8 @@ mod tests {
                 max_batch_delay: Duration::ZERO,
             },
             &MetricsRegistry::new(),
-        );
+        )
+        .unwrap();
         let mut wait_all = Vec::new();
         for seq in 0..4u64 {
             let (c, p) = promise();
@@ -652,7 +677,8 @@ mod tests {
                 max_batch_delay: Duration::from_millis(10),
             },
             &MetricsRegistry::new(),
-        );
+        )
+        .unwrap();
         // Trickle: one op every 2 ms for ~200 ms — far below the frame size.
         let start = Instant::now();
         let mut promises = Vec::new();
@@ -698,7 +724,8 @@ mod tests {
             sink,
             DurableLogConfig::default(),
             &MetricsRegistry::new(),
-        );
+        )
+        .unwrap();
         let mut promises = Vec::new();
         for seq in 0..200u64 {
             let (c, p) = promise();

@@ -11,13 +11,14 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use pravega_common::clock;
 use pravega_lts::LtsError;
 
 use crate::container::ContainerInner;
 use crate::error::SegmentError;
 
 /// Starts the background flusher thread for a container.
-pub(crate) fn start_flusher(inner: Arc<ContainerInner>) -> JoinHandle<()> {
+pub(crate) fn start_flusher(inner: Arc<ContainerInner>) -> Result<JoinHandle<()>, SegmentError> {
     std::thread::Builder::new()
         .name(format!("storage-writer-{}", inner.id))
         .spawn(move || {
@@ -26,7 +27,7 @@ pub(crate) fn start_flusher(inner: Arc<ContainerInner>) -> JoinHandle<()> {
                 std::thread::sleep(inner.config.flush_interval);
             }
         })
-        .expect("spawn storage writer")
+        .map_err(|e| SegmentError::Internal(format!("spawn storage writer: {e}")))
 }
 
 #[derive(Debug, Clone)]
@@ -40,7 +41,7 @@ struct FlushTarget {
 
 /// One flush pass. Returns whether any data moved to LTS.
 pub(crate) fn flush_pass(inner: &Arc<ContainerInner>) -> Result<bool, SegmentError> {
-    let pass_start = std::time::Instant::now();
+    let pass_start = clock::monotonic_now();
     let (targets, deletes) = snapshot_targets(inner);
     let mut worked = false;
     let mut flush_error: Option<SegmentError> = None;

@@ -12,12 +12,12 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::unbounded;
-use parking_lot::Mutex;
 use pravega_common::hashing::container_for_segment;
 use pravega_common::id::ContainerId;
 use pravega_common::wire::{
     connection_pair, Connection, Reply, ReplyEnvelope, Request, SegmentInfo, ServerEnd,
 };
+use pravega_sync::{rank, Mutex};
 
 use crate::container::{ContainerConfig, SegmentContainer, SegmentLoad};
 use crate::error::SegmentError;
@@ -70,7 +70,7 @@ impl SegmentStore {
         Arc::new(Self {
             config,
             factory,
-            containers: Mutex::new(HashMap::new()),
+            containers: Mutex::new(rank::SEGMENTSTORE_STORE, HashMap::new()),
         })
     }
 
@@ -166,14 +166,19 @@ impl SegmentStore {
     /// Opens an in-process connection to this store. Requests are processed
     /// in order; appends are pipelined (acknowledged asynchronously once
     /// durable) and blocking tail reads do not stall the connection.
-    pub fn connect(self: &Arc<Self>) -> Connection {
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::Internal`] if the connection-handler thread cannot
+    /// be spawned.
+    pub fn connect(self: &Arc<Self>) -> Result<Connection, SegmentError> {
         let (client, server) = connection_pair();
         let store = self.clone();
         std::thread::Builder::new()
             .name(format!("conn-{}", self.config.host_id))
             .spawn(move || connection_loop(store, server))
-            .expect("spawn connection handler");
-        client
+            .map_err(|e| SegmentError::Internal(format!("spawn connection handler: {e}")))?;
+        Ok(client)
     }
 
     /// Stops all containers.
@@ -344,7 +349,7 @@ fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
     }
     let (ack_tx, ack_rx) = unbounded::<AckItem>();
     let ack_server = server.clone();
-    let pump = std::thread::Builder::new()
+    let pump_result = std::thread::Builder::new()
         .name("conn-ack-pump".into())
         .spawn(move || {
             while let Ok(item) = ack_rx.recv() {
@@ -372,8 +377,12 @@ fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
                     }
                 }
             }
-        })
-        .expect("spawn ack pump");
+        });
+    let Ok(pump) = pump_result else {
+        // No ack pump means no append can ever be acknowledged: refuse the
+        // connection rather than hang clients.
+        return;
+    };
 
     while let Ok(envelope) = server.recv() {
         let request_id = envelope.request_id;
@@ -428,7 +437,7 @@ fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
                 // connection keeps flowing.
                 let store = store.clone();
                 let reply_server = server.clone();
-                std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("conn-tail-read".into())
                     .spawn(move || {
                         let reply = store.call(Request::ReadSegment {
@@ -438,8 +447,13 @@ fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
                             wait_for_data: true,
                         });
                         let _ = reply_server.send(ReplyEnvelope { request_id, reply });
-                    })
-                    .expect("spawn tail read");
+                    });
+                if let Err(e) = spawned {
+                    let reply = Reply::InternalError(format!("spawn tail read: {e}"));
+                    if server.send(ReplyEnvelope { request_id, reply }).is_err() {
+                        break;
+                    }
+                }
             }
             other => {
                 let reply = store.call(other);

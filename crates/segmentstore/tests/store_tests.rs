@@ -99,7 +99,7 @@ fn requests_for_unowned_containers_get_wrong_host() {
 fn wire_protocol_full_lifecycle_over_a_connection() {
     let store = new_store(2);
     store.reconcile_containers(&[0, 1]).unwrap();
-    let conn = store.connect();
+    let conn = store.connect().unwrap();
     let seg = segment("wire");
     let writer = WriterId::random();
 
@@ -227,7 +227,7 @@ fn wire_protocol_full_lifecycle_over_a_connection() {
 fn wire_table_operations() {
     let store = new_store(2);
     store.reconcile_containers(&[0, 1]).unwrap();
-    let conn = store.connect();
+    let conn = store.connect().unwrap();
     let seg = segment("table");
     assert!(matches!(
         conn.call(
@@ -338,7 +338,7 @@ fn wire_table_operations() {
 fn tail_read_over_the_wire_does_not_block_the_connection() {
     let store = new_store(1);
     store.reconcile_containers(&[0]).unwrap();
-    let conn = store.connect();
+    let conn = store.connect().unwrap();
     let seg = segment("tail");
     conn.call(
         1,

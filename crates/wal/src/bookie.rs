@@ -10,8 +10,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
 use pravega_common::buf::crc32c;
+use pravega_sync::{rank, Mutex};
 
 use crate::error::BookieError;
 use crate::journal::{FileSink, Journal, JournalConfig, MemSink};
@@ -87,16 +87,23 @@ pub struct MemBookie {
 
 impl MemBookie {
     /// Creates a bookie journaling to memory.
-    pub fn new(id: &str, config: JournalConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`BookieError::Io`] if the journal thread cannot be spawned.
+    pub fn new(id: &str, config: JournalConfig) -> Result<Self, BookieError> {
         let sink = Box::new(MemSink::new(config.simulated_sync_latency));
-        Self {
+        Ok(Self {
             id: id.to_string(),
-            journal: Journal::start(sink, config),
-            state: Mutex::new(BookieState {
-                ledgers: BTreeMap::new(),
-                available: true,
-            }),
-        }
+            journal: Journal::start(sink, config)?,
+            state: Mutex::new(
+                rank::WAL_BOOKIE,
+                BookieState {
+                    ledgers: BTreeMap::new(),
+                    available: true,
+                },
+            ),
+        })
     }
 
     /// Failure injection: mark the bookie down (`false`) or back up (`true`).
@@ -244,11 +251,14 @@ impl FileBookie {
         let sink = Box::new(FileSink::open(&journal_path)?);
         Ok(Self {
             id: id.to_string(),
-            journal: Journal::start(sink, config),
-            state: Mutex::new(BookieState {
-                ledgers,
-                available: true,
-            }),
+            journal: Journal::start(sink, config)?,
+            state: Mutex::new(
+                rank::WAL_BOOKIE,
+                BookieState {
+                    ledgers,
+                    available: true,
+                },
+            ),
             journal_path,
         })
     }
@@ -388,10 +398,15 @@ impl Bookie for FileBookie {
 }
 
 /// Convenience: builds `n` in-memory bookies sharing one journal config.
-pub fn mem_bookies(n: usize, config: JournalConfig) -> Vec<Arc<dyn Bookie>> {
+///
+/// # Errors
+///
+/// [`BookieError::Io`] if a journal thread cannot be spawned.
+pub fn mem_bookies(n: usize, config: JournalConfig) -> Result<Vec<Arc<dyn Bookie>>, BookieError> {
     (0..n)
         .map(|i| {
-            Arc::new(MemBookie::new(&format!("bookie-{i}"), config.clone())) as Arc<dyn Bookie>
+            MemBookie::new(&format!("bookie-{i}"), config.clone())
+                .map(|b| Arc::new(b) as Arc<dyn Bookie>)
         })
         .collect()
 }
@@ -401,7 +416,7 @@ mod tests {
     use super::*;
 
     fn bookie() -> MemBookie {
-        MemBookie::new("b0", JournalConfig::default())
+        MemBookie::new("b0", JournalConfig::default()).unwrap()
     }
 
     #[test]

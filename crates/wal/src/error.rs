@@ -59,6 +59,8 @@ pub enum WalError {
     Metadata(String),
     /// Underlying bookie failure.
     Bookie(BookieError),
+    /// A pipeline worker thread could not be spawned (resource exhaustion).
+    Spawn(String),
 }
 
 impl fmt::Display for WalError {
@@ -72,6 +74,7 @@ impl fmt::Display for WalError {
             WalError::Closed => write!(f, "log closed"),
             WalError::Metadata(msg) => write!(f, "ledger metadata error: {msg}"),
             WalError::Bookie(e) => write!(f, "bookie error: {e}"),
+            WalError::Spawn(msg) => write!(f, "failed to spawn pipeline worker: {msg}"),
         }
     }
 }

@@ -144,7 +144,14 @@ impl std::fmt::Debug for Journal {
 
 impl Journal {
     /// Starts the journal thread writing to `sink`.
-    pub fn start(mut sink: Box<dyn JournalSink>, config: JournalConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`BookieError::Io`] if the journal thread cannot be spawned.
+    pub fn start(
+        mut sink: Box<dyn JournalSink>,
+        config: JournalConfig,
+    ) -> Result<Self, BookieError> {
         let (tx, rx): (Sender<JournalRequest>, Receiver<JournalRequest>) = unbounded();
         let sync_count = Arc::new(Counter::new());
         let group_sizes = Arc::new(Histogram::new());
@@ -177,13 +184,13 @@ impl Journal {
                     }
                 }
             })
-            .expect("spawn journal thread");
-        Self {
+            .map_err(|e| BookieError::Io(format!("spawn journal thread: {e}")))?;
+        Ok(Self {
             tx: Some(tx),
             handle: Some(handle),
             sync_count,
             group_sizes,
-        }
+        })
     }
 
     /// Queues a record and returns a promise completed once it is persisted.
@@ -228,7 +235,7 @@ mod tests {
 
     #[test]
     fn journal_persists_and_acks() {
-        let j = Journal::start(Box::new(MemSink::default()), JournalConfig::default());
+        let j = Journal::start(Box::new(MemSink::default()), JournalConfig::default()).unwrap();
         for i in 0..100u32 {
             j.append(Bytes::from(i.to_be_bytes().to_vec())).unwrap();
         }
@@ -240,10 +247,13 @@ mod tests {
     fn concurrent_appends_group_commit() {
         // With a slow sync, concurrent appenders pile up behind the first
         // sync and get committed together: far fewer syncs than appends.
-        let j = Arc::new(Journal::start(
-            Box::new(MemSink::new(Duration::from_millis(2))),
-            JournalConfig::default(),
-        ));
+        let j = Arc::new(
+            Journal::start(
+                Box::new(MemSink::new(Duration::from_millis(2))),
+                JournalConfig::default(),
+            )
+            .unwrap(),
+        );
         let mut handles = Vec::new();
         for _ in 0..8 {
             let j = j.clone();
@@ -267,7 +277,7 @@ mod tests {
             sync_on_add: false,
             ..JournalConfig::default()
         };
-        let j = Journal::start(Box::new(MemSink::default()), cfg);
+        let j = Journal::start(Box::new(MemSink::default()), cfg).unwrap();
         j.append(Bytes::from_static(b"x")).unwrap();
         assert_eq!(j.sync_count.get(), 0);
     }
@@ -282,7 +292,8 @@ mod tests {
             let j = Journal::start(
                 Box::new(FileSink::open(&path).unwrap()),
                 JournalConfig::default(),
-            );
+            )
+            .unwrap();
             j.append(Bytes::from_static(b"hello")).unwrap();
             j.append(Bytes::from_static(b"world")).unwrap();
         }
@@ -293,7 +304,7 @@ mod tests {
 
     #[test]
     fn append_after_drop_reports_unavailable() {
-        let j = Journal::start(Box::new(MemSink::default()), JournalConfig::default());
+        let j = Journal::start(Box::new(MemSink::default()), JournalConfig::default()).unwrap();
         let sync_count = j.sync_count.clone();
         drop(j);
         let _ = sync_count; // journal thread joined cleanly

@@ -9,10 +9,10 @@ use std::thread::JoinHandle;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
 use pravega_common::buf::{get_string, get_u64, get_u8};
 use pravega_common::future::{promise, Completer, Promise};
 use pravega_coordination::CoordinationService;
+use pravega_sync::{rank, Mutex};
 
 use crate::bookie::Bookie;
 use crate::error::{BookieError, WalError};
@@ -253,21 +253,25 @@ impl std::fmt::Debug for LedgerWriter {
 }
 
 impl LedgerWriter {
-    fn start(metadata: LedgerMetadata, ensemble: Vec<Arc<dyn Bookie>>, fence_token: u64) -> Self {
+    fn start(
+        metadata: LedgerMetadata,
+        ensemble: Vec<Arc<dyn Bookie>>,
+        fence_token: u64,
+    ) -> Result<Self, WalError> {
         let shared = Arc::new(WriterShared {
-            pending: Mutex::new(BTreeMap::new()),
+            pending: Mutex::new(rank::WAL_LEDGER_PENDING, BTreeMap::new()),
             lac: AtomicI64::new(-1),
             failed: AtomicBool::new(false),
             fenced: AtomicBool::new(false),
         });
         let (ack_tx, ack_rx) = unbounded::<AckMsg>();
         let ledger = metadata.id;
-        let mut worker_txs = Vec::new();
+        let mut worker_txs: Vec<Option<Sender<(u64, Bytes)>>> = Vec::new();
         let mut worker_handles = Vec::new();
         for bookie in ensemble {
             let (tx, rx) = unbounded::<(u64, Bytes)>();
             let ack_tx = ack_tx.clone();
-            let handle = std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("ledger-{}-{}", ledger.0, bookie.id()))
                 .spawn(move || {
                     while let Ok((entry, data)) = rx.recv() {
@@ -276,10 +280,23 @@ impl LedgerWriter {
                             break;
                         }
                     }
-                })
-                .expect("spawn ledger worker");
-            worker_txs.push(Some(tx));
-            worker_handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => {
+                    worker_txs.push(Some(tx));
+                    worker_handles.push(handle);
+                }
+                Err(e) => {
+                    // Unwind the workers spawned so far: closing their
+                    // channels makes them exit, then join.
+                    drop(tx);
+                    worker_txs.clear();
+                    for handle in worker_handles {
+                        let _ = handle.join();
+                    }
+                    return Err(WalError::Spawn(e.to_string()));
+                }
+            }
         }
         drop(ack_tx);
 
@@ -329,9 +346,10 @@ impl LedgerWriter {
                             .map(|(e, p)| (*e, p.acks >= config.ack_quorum))
                             .filter(|(_, ready)| *ready)
                             .map(|(e, _)| e);
-                        match head_ready {
-                            Some(entry) => {
-                                let p = pending.remove(&entry).expect("head exists");
+                        match head_ready
+                            .and_then(|entry| pending.remove(&entry).map(|p| (entry, p)))
+                        {
+                            Some((entry, p)) => {
                                 collector_shared.lac.store(entry as i64, Ordering::SeqCst);
                                 p.completer.complete(Ok(entry));
                             }
@@ -339,18 +357,29 @@ impl LedgerWriter {
                         }
                     }
                 }
-            })
-            .expect("spawn ack collector");
+            });
+        let collector_handle = match collector_handle {
+            Ok(handle) => handle,
+            Err(e) => {
+                for tx in &mut worker_txs {
+                    tx.take();
+                }
+                for handle in worker_handles {
+                    let _ = handle.join();
+                }
+                return Err(WalError::Spawn(e.to_string()));
+            }
+        };
 
-        Self {
+        Ok(Self {
             metadata,
             fence_token,
             shared,
             worker_txs,
             worker_handles,
             collector_handle: Some(collector_handle),
-            sequencer: Mutex::new(0),
-        }
+            sequencer: Mutex::new(rank::WAL_LEDGER_SEQUENCER, 0),
+        })
     }
 
     /// This writer's ledger metadata.
@@ -535,7 +564,7 @@ impl LedgerManager {
                 pravega_coordination::CreateMode::Persistent,
             )
             .map_err(|e| WalError::Metadata(e.to_string()))?;
-        Ok(LedgerWriter::start(metadata, ensemble, fence_token))
+        LedgerWriter::start(metadata, ensemble, fence_token)
     }
 
     /// Loads ledger metadata.
@@ -656,7 +685,7 @@ mod tests {
 
     fn setup(n: usize) -> (CoordinationService, BookiePool, LedgerManager) {
         let coord = CoordinationService::new();
-        let pool = BookiePool::new(mem_bookies(n, JournalConfig::default()));
+        let pool = BookiePool::new(mem_bookies(n, JournalConfig::default()).unwrap());
         let mgr = LedgerManager::new(&coord, &pool);
         (coord, pool, mgr)
     }
@@ -685,7 +714,7 @@ mod tests {
     #[test]
     fn survives_one_bookie_failure_with_ack_quorum_two() {
         let bookies: Vec<Arc<MemBookie>> = (0..3)
-            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default())))
+            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default()).unwrap()))
             .collect();
         let pool = BookiePool::new(
             bookies
@@ -710,7 +739,7 @@ mod tests {
     #[test]
     fn loses_quorum_with_two_failures() {
         let bookies: Vec<Arc<MemBookie>> = (0..3)
-            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default())))
+            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default()).unwrap()))
             .collect();
         let pool = BookiePool::new(
             bookies

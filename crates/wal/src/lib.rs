@@ -30,7 +30,7 @@
 //! use std::sync::Arc;
 //!
 //! let pool = BookiePool::new(
-//!     (0..3).map(|i| Arc::new(MemBookie::new(&format!("bookie-{i}"), JournalConfig::default())) as _).collect(),
+//!     (0..3).map(|i| Arc::new(MemBookie::new(&format!("bookie-{i}"), JournalConfig::default()).unwrap()) as _).collect(),
 //! );
 //! let coord = CoordinationService::new();
 //! let log = BookkeeperLog::open("container-0", &pool, &coord, LogConfig::default()).unwrap();

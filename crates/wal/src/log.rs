@@ -15,9 +15,9 @@
 use std::collections::VecDeque;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
 use pravega_common::future::Promise;
 use pravega_coordination::{CoordError, CoordinationService};
+use pravega_sync::{rank, Mutex};
 
 use crate::error::WalError;
 use crate::ledger::{
@@ -249,19 +249,24 @@ impl BookkeeperLog {
             coord: coord.clone(),
             manager,
             config,
-            inner: Mutex::new(BkLogInner {
-                metadata,
-                meta_version: version,
-                writer: Some(writer),
-                current_seq,
-                bytes_in_current: 0,
-                fenced: false,
-            }),
+            inner: Mutex::new(
+                rank::WAL_LOG,
+                BkLogInner {
+                    metadata,
+                    meta_version: version,
+                    writer: Some(writer),
+                    current_seq,
+                    bytes_in_current: 0,
+                    fenced: false,
+                },
+            ),
         })
     }
 
     fn rollover_locked(&self, inner: &mut BkLogInner) -> Result<(), WalError> {
-        let old = inner.writer.take().expect("writer present");
+        let Some(old) = inner.writer.take() else {
+            return Err(WalError::Closed);
+        };
         let old_id = old.metadata().id;
         let last = old.close();
         self.manager.close(old_id, last)?;
@@ -313,7 +318,14 @@ impl DurableDataLog for BookkeeperLog {
             }
         }
         inner.bytes_in_current += data.len() as u64;
-        let writer = inner.writer.as_ref().expect("writer present");
+        // `writer.is_none()` was rejected above and rollover re-installs a
+        // writer on success, so this branch is unreachable in practice.
+        let Some(writer) = inner.writer.as_ref() else {
+            return AppendFuture {
+                inner: Promise::ready(Err(WalError::Closed)),
+                ledger_seq: inner.current_seq,
+            };
+        };
         let promise = writer.append(data);
         let fenced_now = writer.is_fenced();
         if fenced_now {
@@ -418,9 +430,17 @@ impl DurableDataLog for BookkeeperLog {
 
 /// An in-memory [`DurableDataLog`] for unit tests: appends complete
 /// immediately and durability is simulated.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemoryLog {
     inner: Mutex<MemLogInner>,
+}
+
+impl Default for InMemoryLog {
+    fn default() -> Self {
+        Self {
+            inner: Mutex::new(rank::WAL_LOG, MemLogInner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -527,7 +547,7 @@ mod tests {
     fn setup() -> (CoordinationService, BookiePool) {
         (
             CoordinationService::new(),
-            BookiePool::new(mem_bookies(3, JournalConfig::default())),
+            BookiePool::new(mem_bookies(3, JournalConfig::default()).unwrap()),
         )
     }
 

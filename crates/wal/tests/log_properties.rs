@@ -37,7 +37,7 @@ proptest! {
         ops in prop::collection::vec(op_strategy(), 1..30),
     ) {
         let coord = CoordinationService::new();
-        let pool = BookiePool::new(mem_bookies(3, JournalConfig::default()));
+        let pool = BookiePool::new(mem_bookies(3, JournalConfig::default()).unwrap());
         let config = LogConfig {
             rollover_bytes: rollover,
             replication: ReplicationConfig::default(),

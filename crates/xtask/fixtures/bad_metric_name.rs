@@ -1,0 +1,7 @@
+//! Fixture: trips the `metric-name` rule. Registered metric names must be
+//! `<crate>.<component>.<name>` so dashboards can group them per stage.
+
+pub fn register(registry: &pravega_common::metrics::MetricsRegistry) {
+    let _ = registry.counter("events_written");
+    let _ = registry.histogram("Writer.FlushNanos");
+}

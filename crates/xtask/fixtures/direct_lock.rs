@@ -1,0 +1,12 @@
+//! Fixture: trips the `direct-lock` rule. Blocking locks must go through
+//! `pravega_sync` so the rank checker observes the acquisition.
+
+use parking_lot::Mutex;
+
+pub fn locked_counter() -> Mutex<u64> {
+    Mutex::new(0)
+}
+
+pub fn std_lock() -> std::sync::RwLock<u64> {
+    std::sync::RwLock::new(0)
+}

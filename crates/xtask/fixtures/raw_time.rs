@@ -1,0 +1,8 @@
+//! Fixture: trips the `raw-time` rule. Time must be read through
+//! `pravega_common::clock` so tests and the simulator can virtualise it.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    (Instant::now(), SystemTime::now())
+}

@@ -1,0 +1,11 @@
+//! Fixture: trips the `no-unwrap` rule. Write/flush-path code must return
+//! typed errors instead of panicking on recoverable conditions.
+
+pub fn flush_tail(chunks: &[u64]) -> u64 {
+    let last = chunks.last().unwrap();
+    *last
+}
+
+pub fn sealed_offset(offset: Option<u64>) -> u64 {
+    offset.expect("segment sealed")
+}

@@ -1,0 +1,554 @@
+//! The lint rules and the line scanner that applies them.
+//!
+//! Four rules, each mapping to one clause of the concurrency discipline:
+//!
+//! * `direct-lock` — blocking synchronisation must go through the
+//!   `pravega_sync` facade so the rank checker sees every acquisition. Direct
+//!   `parking_lot` or `std::sync` `Mutex`/`RwLock`/`Condvar` use is banned
+//!   everywhere except inside the facade itself.
+//! * `no-unwrap` — the write/flush path (`wal`, `lts`, `segmentstore`) must
+//!   not panic on recoverable conditions: `.unwrap()` / `.expect(` are banned
+//!   in non-test code there, unless listed in `lint-allowlist.txt` with a
+//!   justification.
+//! * `raw-time` — time must flow through `pravega_common::clock` so tests and
+//!   simulations can virtualise it. `Instant::now()` / `SystemTime::now()`
+//!   are banned outside the clock module.
+//! * `metric-name` — metric names registered on the registry must follow
+//!   `<crate>.<component>.<name>` (three lowercase dotted segments) so the
+//!   per-stage pipeline dashboards can group them.
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions), `tests/`,
+//! `benches/`, `examples/` and `vendor/` are exempt from every rule.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, printed as `path:line: [rule] message`.
+#[derive(Debug)]
+pub struct Violation {
+    pub path: PathBuf,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Sanctioned `no-unwrap` sites: `path-suffix: line-substring` entries.
+#[derive(Default)]
+pub struct Allowlist {
+    entries: Vec<(String, String)>,
+}
+
+impl Allowlist {
+    /// Loads the allowlist; a missing file is an empty allowlist.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Self::default()),
+            Err(e) => return Err(e),
+        };
+        Ok(Self::parse(&text))
+    }
+
+    pub fn parse(text: &str) -> Self {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((path, needle)) = line.split_once(": ") {
+                entries.push((path.trim().to_string(), needle.trim().to_string()));
+            }
+        }
+        Self { entries }
+    }
+
+    fn permits(&self, path: &Path, line: &str) -> bool {
+        let path = path.to_string_lossy().replace('\\', "/");
+        self.entries
+            .iter()
+            .any(|(p, needle)| path.ends_with(p.as_str()) && line.contains(needle.as_str()))
+    }
+}
+
+/// Result of a tree scan.
+pub struct ScanReport {
+    pub violations: Vec<Violation>,
+    pub files: usize,
+}
+
+/// Scans every `.rs` file under `root`.
+///
+/// In `fixture_mode` (a `--root` override) every rule applies to every file,
+/// so the violation fixtures trip their rule without needing to live on the
+/// real write path.
+pub fn scan_tree(
+    root: &Path,
+    fixture_mode: bool,
+    allow: &Allowlist,
+) -> std::io::Result<ScanReport> {
+    let mut files = Vec::new();
+    collect_rs_files(root, fixture_mode, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file)?;
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        scan_file(rel, &text, fixture_mode, allow, &mut violations);
+    }
+    Ok(ScanReport {
+        violations,
+        files: files.len(),
+    })
+}
+
+fn collect_rs_files(dir: &Path, fixture_mode: bool, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Exempt trees. In fixture mode only VCS/build litter is skipped,
+            // so a fixtures directory passed as --root is fully scanned.
+            let skip = if fixture_mode {
+                matches!(name.as_ref(), ".git" | "target")
+            } else {
+                matches!(
+                    name.as_ref(),
+                    ".git" | "target" | "vendor" | "tests" | "benches" | "examples" | "fixtures"
+                ) || name.as_ref() == "xtask"
+            };
+            if !skip {
+                collect_rs_files(&path, fixture_mode, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Whether the `no-unwrap` rule applies to this file: the durability and
+/// tiering write path. In fixture mode every file is on the write path.
+fn on_write_path(rel: &Path, fixture_mode: bool) -> bool {
+    if fixture_mode {
+        return true;
+    }
+    let p = rel.to_string_lossy().replace('\\', "/");
+    p.starts_with("crates/wal/src")
+        || p.starts_with("crates/lts/src")
+        || p.starts_with("crates/segmentstore/src")
+}
+
+/// Whether the file is exempt from the `direct-lock` rule (the facade itself
+/// wraps parking_lot) or the `raw-time` rule (the clock module is the one
+/// sanctioned caller of `Instant::now`).
+fn lock_exempt(rel: &Path, fixture_mode: bool) -> bool {
+    !fixture_mode
+        && rel
+            .to_string_lossy()
+            .replace('\\', "/")
+            .starts_with("crates/sync/")
+}
+
+fn time_exempt(rel: &Path, fixture_mode: bool) -> bool {
+    !fixture_mode
+        && rel
+            .to_string_lossy()
+            .replace('\\', "/")
+            .ends_with("crates/common/src/clock.rs")
+}
+
+pub fn scan_file(
+    rel: &Path,
+    text: &str,
+    fixture_mode: bool,
+    allow: &Allowlist,
+    out: &mut Vec<Violation>,
+) {
+    let write_path = on_write_path(rel, fixture_mode);
+    let lock_rule = !lock_exempt(rel, fixture_mode);
+    let time_rule = !time_exempt(rel, fixture_mode);
+
+    // Brace-depth tracker for `#[cfg(test)]` / `#[test]` blocks: once the
+    // attribute is seen, everything from the next `{` to its matching `}` is
+    // test code and exempt. Format-string braces are balanced so the naive
+    // per-line count stays correct in practice.
+    let mut test_depth: i64 = 0;
+    let mut test_pending = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Strip line comments; no rule matches inside a comment.
+        let line = raw.split("//").next().unwrap_or(raw);
+
+        if test_depth > 0 {
+            test_depth += brace_delta(line);
+            continue;
+        }
+        if is_test_attr(line) {
+            test_pending = true;
+            continue;
+        }
+        if test_pending {
+            let delta = brace_delta(line);
+            if line.contains('{') {
+                test_pending = false;
+                test_depth = delta.max(0);
+                if test_depth == 0 && delta == 0 {
+                    // `fn f() {}` on one line: block opened and closed.
+                }
+                continue;
+            }
+            // Still between the attribute and the item body (signature lines,
+            // further attributes).
+            continue;
+        }
+
+        if lock_rule {
+            check_direct_lock(rel, line_no, line, out);
+        }
+        if time_rule {
+            check_raw_time(rel, line_no, line, out);
+        }
+        if write_path {
+            check_unwrap(rel, line_no, line, raw, allow, out);
+        }
+        check_metric_name(rel, line_no, line, out);
+    }
+}
+
+fn is_test_attr(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("#[cfg(test)]")
+        || t.starts_with("#[cfg(any(test")
+        || t.starts_with("#[test]")
+        || t.starts_with("#[bench]")
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut delta = 0i64;
+    for c in line.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
+fn check_direct_lock(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
+    let banned = if line.contains("parking_lot") {
+        Some("parking_lot")
+    } else if line.contains("std::sync::")
+        && ["Mutex", "RwLock", "Condvar"]
+            .iter()
+            .any(|t| line.contains(t))
+    {
+        Some("std::sync")
+    } else {
+        None
+    };
+    if let Some(src) = banned {
+        out.push(Violation {
+            path: rel.to_path_buf(),
+            line: line_no,
+            rule: "direct-lock",
+            message: format!(
+                "direct {src} lock use; go through pravega_sync so the rank checker sees it"
+            ),
+        });
+    }
+}
+
+fn check_raw_time(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
+    for call in ["Instant::now()", "SystemTime::now()"] {
+        if line.contains(call) {
+            out.push(Violation {
+                path: rel.to_path_buf(),
+                line: line_no,
+                rule: "raw-time",
+                message: format!(
+                    "{call} outside pravega_common::clock; use clock::monotonic_now()/wall_now()"
+                ),
+            });
+        }
+    }
+}
+
+fn check_unwrap(
+    rel: &Path,
+    line_no: usize,
+    line: &str,
+    raw: &str,
+    allow: &Allowlist,
+    out: &mut Vec<Violation>,
+) {
+    let hit = if line.contains(".unwrap()") {
+        Some(".unwrap()")
+    } else if line.contains(".expect(") {
+        Some(".expect(…)")
+    } else {
+        None
+    };
+    if let Some(call) = hit {
+        if allow.permits(rel, raw) {
+            return;
+        }
+        out.push(Violation {
+            path: rel.to_path_buf(),
+            line: line_no,
+            rule: "no-unwrap",
+            message: format!(
+                "{call} on the write/flush path; return a typed error or add an allowlist entry"
+            ),
+        });
+    }
+}
+
+fn check_metric_name(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
+    for method in [".counter(\"", ".histogram(\"", ".gauge(\""] {
+        let mut rest = line;
+        while let Some(pos) = rest.find(method) {
+            let after = &rest[pos + method.len()..];
+            if let Some(end) = after.find('"') {
+                let name = &after[..end];
+                if !valid_metric_name(name) {
+                    out.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "metric-name",
+                        message: format!(
+                            "metric name `{name}` must match <crate>.<component>.<name>"
+                        ),
+                    });
+                }
+                rest = &after[end..];
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() == 3
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_snippet(snippet: &str, fixture_mode: bool, allow: &Allowlist) -> Vec<Violation> {
+        let mut out = Vec::new();
+        scan_file(
+            Path::new("crates/wal/src/sample.rs"),
+            snippet,
+            fixture_mode,
+            allow,
+            &mut out,
+        );
+        out
+    }
+
+    #[test]
+    fn clean_code_passes() {
+        let v = scan_snippet(
+            "use pravega_sync::{rank, Mutex};\n\
+             fn f(m: &Mutex<u32>) -> u32 { *m.lock() }\n\
+             fn m(r: &MetricsRegistry) { r.counter(\"wal.ledger.appends\"); }\n",
+            false,
+            &Allowlist::default(),
+        );
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn direct_lock_flagged() {
+        for line in [
+            "use parking_lot::Mutex;",
+            "use std::sync::Mutex;",
+            "let m = std::sync::RwLock::new(0);",
+            "static C: std::sync::Condvar = std::sync::Condvar::new();",
+        ] {
+            let v = scan_snippet(line, false, &Allowlist::default());
+            assert_eq!(v.len(), 1, "expected 1 violation for {line}: {v:?}");
+            assert_eq!(v[0].rule, "direct-lock");
+        }
+        // Non-lock std::sync items are fine.
+        let v = scan_snippet(
+            "use std::sync::Arc;\nuse std::sync::atomic::AtomicBool;\nuse std::sync::mpsc;\n",
+            false,
+            &Allowlist::default(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn raw_time_flagged() {
+        let v = scan_snippet("let t = Instant::now();", false, &Allowlist::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "raw-time");
+        let v = scan_snippet(
+            "let t = std::time::SystemTime::now();",
+            false,
+            &Allowlist::default(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "raw-time");
+    }
+
+    #[test]
+    fn unwrap_flagged_on_write_path_only() {
+        let snippet = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        let v = scan_snippet(snippet, false, &Allowlist::default());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap");
+
+        // Same code off the write path is not flagged.
+        let mut out = Vec::new();
+        scan_file(
+            Path::new("crates/client/src/sample.rs"),
+            snippet,
+            false,
+            &Allowlist::default(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allowlist_suppresses_unwrap() {
+        let allow = Allowlist::parse(
+            "# sanctioned: invariant established at startup\n\
+             crates/wal/src/sample.rs: x.expect(\"set at startup\")\n",
+        );
+        let v = scan_snippet(
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"set at startup\") }",
+            false,
+            &allow,
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // A different expect in the same file still trips.
+        let v = scan_snippet(
+            "fn f(x: Option<u32>) -> u32 { x.expect(\"other\") }",
+            false,
+            &allow,
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn metric_name_shape_enforced() {
+        let v = scan_snippet(
+            "let c = registry.counter(\"events\");",
+            false,
+            &Allowlist::default(),
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "metric-name");
+        for bad in [
+            "r.histogram(\"a.b\");",
+            "r.gauge(\"a.b.c.d\");",
+            "r.counter(\"A.B.C\");",
+            "r.counter(\"a..c\");",
+        ] {
+            let v = scan_snippet(bad, false, &Allowlist::default());
+            assert_eq!(v.len(), 1, "expected violation for {bad}");
+        }
+        let v = scan_snippet(
+            "r.counter(\"segmentstore.durablelog.queued_ops\");",
+            false,
+            &Allowlist::default(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_blocks_exempt() {
+        let snippet = "\
+fn prod(x: Option<u32>) -> Option<u32> { x }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        let t = Instant::now();
+        let m = parking_lot::Mutex::new(x);
+        registry.counter(\"bad\");
+        let _ = (t, m);
+    }
+}
+";
+        let v = scan_snippet(snippet, false, &Allowlist::default());
+        assert!(v.is_empty(), "test code must be exempt: {v:?}");
+    }
+
+    #[test]
+    fn test_attr_fn_exempt() {
+        let snippet = "\
+#[test]
+fn t() {
+    let x = Some(1).unwrap();
+}
+fn prod(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let v = scan_snippet(snippet, false, &Allowlist::default());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn fixtures_each_trip_their_rule() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let report = scan_tree(&fixtures, true, &Allowlist::default()).unwrap();
+        let rules: std::collections::BTreeSet<&str> =
+            report.violations.iter().map(|v| v.rule).collect();
+        for rule in ["direct-lock", "no-unwrap", "raw-time", "metric-name"] {
+            assert!(rules.contains(rule), "fixture missing for rule {rule}");
+        }
+    }
+
+    #[test]
+    fn real_tree_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let allow = Allowlist::load(&root.join("crates/xtask/lint-allowlist.txt")).unwrap();
+        let report = scan_tree(root, false, &allow).unwrap();
+        assert!(
+            report.violations.is_empty(),
+            "lint violations in tree:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Repo automation tasks (`cargo run -p xtask -- <task>`).
+//!
+//! The only task today is `lint`: a source-level static-analysis pass that
+//! enforces the concurrency discipline documented in `DESIGN.md`
+//! ("Concurrency discipline"). It is deliberately a line scanner, not a full
+//! parser: the rules it checks are textual by construction (imports, call
+//! spellings, string literals) and a scanner keeps the tool dependency-free.
+
+mod lints;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut task = None;
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist: Option<PathBuf> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--root" => root = iter.next().map(PathBuf::from),
+            "--allowlist" => allowlist = iter.next().map(PathBuf::from),
+            "lint" => task = Some("lint"),
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match task {
+        Some("lint") => run_lint(root, allowlist),
+        _ => {
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!("usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE]");
+    eprintln!();
+    eprintln!("Lints the workspace sources. With --root, scans an arbitrary");
+    eprintln!("directory with every rule applied to every file (used for the");
+    eprintln!("violation fixtures under crates/xtask/fixtures).");
+}
+
+fn run_lint(root: Option<PathBuf>, allowlist: Option<PathBuf>) -> ExitCode {
+    // Default to the workspace root: xtask lives at <root>/crates/xtask.
+    let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask sits two levels under the workspace root")
+        .to_path_buf();
+    let fixture_mode = root.is_some();
+    let scan_root = root.unwrap_or_else(|| workspace_root.clone());
+    let allowlist_path =
+        allowlist.unwrap_or_else(|| workspace_root.join("crates/xtask/lint-allowlist.txt"));
+
+    let allow = match lints::Allowlist::load(&allowlist_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read allowlist {}: {e}",
+                allowlist_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = match lints::scan_tree(&scan_root, fixture_mode, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.violations.is_empty() {
+        println!("xtask lint: clean ({} files scanned)", report.files);
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", report.violations.len());
+        ExitCode::FAILURE
+    }
+}
