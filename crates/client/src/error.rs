@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use pravega_common::retry::{ErrorClass, RetryClass};
 use pravega_controller::ControllerError;
 
 /// Errors surfaced by the client library.
@@ -51,6 +52,22 @@ impl std::error::Error for ClientError {
 impl From<ControllerError> for ClientError {
     fn from(e: ControllerError) -> Self {
         ClientError::Controller(e)
+    }
+}
+
+impl RetryClass for ClientError {
+    /// Transient: lost connections and timeouts — a reconnect with the
+    /// event-number handshake can resume exactly-once. Logical errors
+    /// (sealed, not found, protocol/serde mismatches) are permanent.
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            ClientError::Disconnected(_) | ClientError::Timeout => ErrorClass::Transient,
+            ClientError::Controller(_)
+            | ClientError::Protocol(_)
+            | ClientError::NotFound
+            | ClientError::Sealed
+            | ClientError::Serde(_) => ErrorClass::Permanent,
+        }
     }
 }
 

@@ -31,6 +31,7 @@ use pravega_common::hashing::routing_key_position;
 use pravega_common::id::{ScopedStream, WriterId};
 use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::rate::{EwmaRate, EwmaValue};
+use pravega_common::retry::RetryPolicy;
 use pravega_common::wire::{Connection, Reply, Request, RequestEnvelope};
 use pravega_controller::{ControllerService, SegmentWithRange};
 use pravega_sync::{rank, Mutex};
@@ -72,6 +73,8 @@ struct WriterMetrics {
     batch_bytes: Arc<Histogram>,
     batch_estimate_bytes: Arc<Histogram>,
     rtt_nanos: Arc<Histogram>,
+    reconnects: Arc<Counter>,
+    permanent_failures: Arc<Counter>,
     flush_nanos: Arc<Histogram>,
 }
 
@@ -83,6 +86,8 @@ impl WriterMetrics {
             batch_estimate_bytes: metrics.histogram("client.writer.batch_estimate_bytes"),
             rtt_nanos: metrics.histogram("client.writer.rtt_nanos"),
             flush_nanos: metrics.histogram("client.writer.flush_nanos"),
+            reconnects: metrics.counter("client.writer.reconnects"),
+            permanent_failures: metrics.counter("client.writer.permanent_failures"),
         }
     }
 }
@@ -653,6 +658,19 @@ fn handle_sealed(
     Ok(())
 }
 
+/// Backoff budget for re-establishing a segment connection. Transient
+/// failures (lost connection, timeout) are retried; logical errors like
+/// `Sealed` or protocol mismatches surface immediately.
+fn reconnect_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 5,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+        multiplier: 2.0,
+        jitter: 0.2,
+    }
+}
+
 /// Rebuilds and resends everything unacknowledged after a reconnect, using
 /// the handshake watermark to drop already-durable events.
 fn reconnect(shared: &Arc<WriterShared>, seg: &mut OpenSegment) -> Result<(), ClientError> {
@@ -755,19 +773,29 @@ fn pump_loop(shared: Arc<WriterShared>) {
                     }
                 }
             }
-            // Handle reconnects.
+            // Handle reconnects: bounded backoff, re-resolving the endpoint
+            // before each retry (the segment's container may have moved).
+            // Exactly-once is preserved by the event-number handshake inside
+            // `reconnect`, so repeating the whole sequence is safe.
             broken_indices.sort_unstable();
             broken_indices.dedup();
             for idx in broken_indices.into_iter().rev() {
                 if idx < state.segments.len() {
                     let seg = &mut state.segments[idx];
-                    if let Err(e) = reconnect(&shared, seg) {
-                        // Endpoint may have moved: re-resolve once.
-                        let endpoint = shared.controller.endpoint_for(&seg.info.segment);
-                        seg.info.endpoint = endpoint;
-                        if reconnect(&shared, seg).is_err() {
-                            state.failed = Some(e);
-                        }
+                    let attempt = std::cell::Cell::new(0u32);
+                    let result = reconnect_retry_policy().run(
+                        |_, _| shared.metrics.reconnects.inc(),
+                        || {
+                            if attempt.replace(attempt.get() + 1) > 0 {
+                                seg.info.endpoint =
+                                    shared.controller.endpoint_for(&seg.info.segment);
+                            }
+                            reconnect(&shared, seg)
+                        },
+                    );
+                    if let Err(e) = result {
+                        shared.metrics.permanent_failures.inc();
+                        state.failed = Some(e);
                     }
                 }
             }

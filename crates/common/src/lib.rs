@@ -31,6 +31,7 @@ pub mod keyspace;
 pub mod metrics;
 pub mod policy;
 pub mod rate;
+pub mod retry;
 pub mod wire;
 
 pub use clock::{Clock, ManualClock, SystemClock, Timestamp};

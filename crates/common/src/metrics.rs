@@ -76,6 +76,47 @@ impl Gauge {
     }
 }
 
+/// A named slot holding one free-form string (e.g. the last error seen by a
+/// background worker), exposed through the metrics snapshot.
+///
+/// Unlike counters/gauges the value is not numeric, so reads take a short
+/// mutex; writers replace the whole string. An empty string means "nothing
+/// recorded yet".
+#[derive(Debug)]
+pub struct TextSlot {
+    value: Mutex<String>,
+}
+
+impl Default for TextSlot {
+    fn default() -> Self {
+        Self {
+            value: Mutex::new(rank::METRICS_TEXT, String::new()),
+        }
+    }
+}
+
+impl TextSlot {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the slot's value.
+    pub fn set(&self, value: impl Into<String>) {
+        *self.value.lock() = value.into();
+    }
+
+    /// Clears the slot.
+    pub fn clear(&self) {
+        self.value.lock().clear();
+    }
+
+    /// Current value (empty string if never set).
+    pub fn get(&self) -> String {
+        self.value.lock().clone()
+    }
+}
+
 const SUB_BUCKET_BITS: u32 = 6;
 const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS; // 64
 const BUCKET_COUNT: usize = (64 - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS;
@@ -265,6 +306,7 @@ struct RegistryInner {
     counters: HashMap<String, Arc<Counter>>,
     gauges: HashMap<String, Arc<Gauge>>,
     histograms: HashMap<String, Arc<Histogram>>,
+    texts: HashMap<String, Arc<TextSlot>>,
 }
 
 impl MetricsRegistry {
@@ -300,6 +342,16 @@ impl MetricsRegistry {
             .gauges
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(Gauge::new()))
+            .clone()
+    }
+
+    /// Returns (creating if needed) the text slot with the given name.
+    pub fn text(&self, name: &str) -> Arc<TextSlot> {
+        let mut inner = self.inner.lock();
+        inner
+            .texts
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(TextSlot::new()))
             .clone()
     }
 
@@ -340,10 +392,17 @@ impl MetricsRegistry {
             .map(|(k, h)| (k.clone(), HistogramSummary::of(h)))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut texts: Vec<(String, String)> = inner
+            .texts
+            .iter()
+            .map(|(k, t)| (k.clone(), t.get()))
+            .collect();
+        texts.sort();
         Snapshot {
             counters,
             gauges,
             histograms,
+            texts,
         }
     }
 }
@@ -398,6 +457,8 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Text-slot values, sorted by name (empty string = never set).
+    pub texts: Vec<(String, String)>,
 }
 
 impl Snapshot {
@@ -422,12 +483,22 @@ impl Snapshot {
             .map(|(_, v)| v)
     }
 
+    /// Value of a named text slot, or `None` if it was never created.
+    pub fn text(&self, name: &str) -> Option<&str> {
+        self.texts
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Number of instruments that have observed at least one event: counters
-    /// and gauges with non-zero values plus histograms with `count > 0`.
+    /// and gauges with non-zero values, histograms with `count > 0`, and
+    /// non-empty text slots.
     pub fn active_instruments(&self) -> usize {
         self.counters.iter().filter(|(_, v)| *v > 0).count()
             + self.gauges.iter().filter(|(_, v)| *v != 0).count()
             + self.histograms.iter().filter(|(_, h)| h.count > 0).count()
+            + self.texts.iter().filter(|(_, t)| !t.is_empty()).count()
     }
 
     /// Serialises the snapshot as a JSON object.
@@ -469,6 +540,13 @@ impl Snapshot {
                 h.p99
             ));
         }
+        out.push_str("},\"texts\":{");
+        for (i, (k, v)) in self.texts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(k), json_string(v)));
+        }
         out.push_str("}}");
         out
     }
@@ -500,6 +578,7 @@ impl fmt::Display for Snapshot {
             .map(|(k, _)| k.len())
             .chain(self.gauges.iter().map(|(k, _)| k.len()))
             .chain(self.histograms.iter().map(|(k, _)| k.len()))
+            .chain(self.texts.iter().map(|(k, _)| k.len()))
             .max()
             .unwrap_or(0);
         if !self.counters.is_empty() {
@@ -522,6 +601,13 @@ impl fmt::Display for Snapshot {
                     "  {k:<width$}  n={} mean={:.1} min={} p50={} p95={} p99={} max={}",
                     h.count, h.mean, h.min, h.p50, h.p95, h.p99, h.max
                 )?;
+            }
+        }
+        let set_texts: Vec<_> = self.texts.iter().filter(|(_, v)| !v.is_empty()).collect();
+        if !set_texts.is_empty() {
+            writeln!(f, "texts:")?;
+            for (k, v) in set_texts {
+                writeln!(f, "  {k:<width$}  {v}")?;
             }
         }
         Ok(())
@@ -628,6 +714,22 @@ mod tests {
         assert_eq!(g.get(), -5);
         g.add(5);
         assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn text_slot_records_last_value() {
+        let r = MetricsRegistry::new();
+        assert_eq!(r.text("x.last.error").get(), "");
+        r.text("x.last.error").set("chunk store unavailable");
+        r.text("x.last.error").set("torn write");
+        let s = r.snapshot();
+        assert_eq!(s.text("x.last.error"), Some("torn write"));
+        assert_eq!(s.text("missing"), None);
+        assert_eq!(s.active_instruments(), 1);
+        assert!(s.to_json().contains("\"x.last.error\":\"torn write\""));
+        assert!(s.to_string().contains("torn write"));
+        r.text("x.last.error").clear();
+        assert_eq!(r.snapshot().active_instruments(), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use pravega_controller::{
     RetentionManager, ScaleDecision, SegmentLoadSample,
 };
 use pravega_coordination::{ContainerAssigner, CoordinationService};
+use pravega_faults::{FaultPlan, FaultyBookie, FaultyChunkStorage};
 use pravega_lts::{
     ChunkStorage, ChunkedSegmentStorage, ChunkedStorageConfig, FileChunkStorage,
     InMemoryChunkStorage, InMemoryMetadataStore, NoOpChunkStorage, ThrottleModel,
@@ -76,6 +77,14 @@ pub struct ClusterConfig {
     pub table_metadata: bool,
     /// Auto-scaler tuning.
     pub autoscaler: AutoScalerConfig,
+    /// Deterministic fault injection on the LTS chunk backend (chaos tests).
+    /// When set, every chunk operation passes through the plan's decorator
+    /// and the plan's counters register in the cluster metrics.
+    pub lts_faults: Option<Arc<FaultPlan>>,
+    /// Deterministic fault injection on the WAL. The plan decorates a single
+    /// bookie (the first), so with the default 3/3/2 replication the ack
+    /// quorum survives every injected fault and appends ride through.
+    pub wal_faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +101,8 @@ impl Default for ClusterConfig {
             log_rollover_bytes: 1024 * 1024,
             table_metadata: true,
             autoscaler: AutoScalerConfig::default(),
+            lts_faults: None,
+            wal_faults: None,
         }
     }
 }
@@ -175,14 +186,21 @@ impl PravegaCluster {
                     .map_err(|e| ClusterError::Other(format!("start bookie-{i}: {e}")))
             })
             .collect::<Result<_, _>>()?;
-        let pool = BookiePool::new(
-            bookies
-                .iter()
-                .map(|b| b.clone() as Arc<dyn Bookie>)
-                .collect(),
-        );
+        let mut pool_members: Vec<Arc<dyn Bookie>> = bookies
+            .iter()
+            .map(|b| b.clone() as Arc<dyn Bookie>)
+            .collect();
+        if let Some(plan) = &config.wal_faults {
+            // One faulty bookie keeps the 3/3/2 ack quorum intact, so WAL
+            // appends survive injected faults instead of losing quorum.
+            if let Some(first) = pool_members.first_mut() {
+                *first = Arc::new(FaultyBookie::new(first.clone(), plan.clone()));
+            }
+            plan.bind_metrics(&metrics);
+        }
+        let pool = BookiePool::new(pool_members);
 
-        let chunks: Arc<dyn ChunkStorage> = match &config.lts {
+        let mut chunks: Arc<dyn ChunkStorage> = match &config.lts {
             LtsKind::InMemory => Arc::new(InMemoryChunkStorage::new()),
             LtsKind::File(path) => Arc::new(FileChunkStorage::open(path.clone())?),
             LtsKind::Throttled(model) => Arc::new(ThrottledChunkStorage::new(
@@ -191,6 +209,10 @@ impl PravegaCluster {
             )),
             LtsKind::NoOp => Arc::new(NoOpChunkStorage::new()),
         };
+        if let Some(plan) = &config.lts_faults {
+            chunks = Arc::new(FaultyChunkStorage::new(chunks, plan.clone()));
+            plan.bind_metrics(&metrics);
+        }
         // Chunk *metadata* lives in an in-memory conditional-update store;
         // the paper keeps it in Pravega's own tables (see DESIGN.md for the
         // substitution rationale).

@@ -1,0 +1,621 @@
+#![warn(missing_docs)]
+//! Deterministic fault injection for the tiering write path.
+//!
+//! The paper's resilience claims (§4.3–§4.4: tiering is on the write path and
+//! the system throttles rather than fails when a tier misbehaves) can only be
+//! tested by provoking the misbehavior. This crate provides a seeded
+//! [`FaultPlan`] — per-operation probabilistic transient errors, latency
+//! spikes, and partial (torn) writes, plus scripted "fail the next N ops" and
+//! all-or-nothing unavailability — and decorator wrappers implementing the
+//! [`ChunkStorage`] and [`Bookie`] traits so any LTS backend or WAL bookie
+//! can be wrapped without touching its code.
+//!
+//! Every probabilistic decision is a pure function of `(seed, op_index)`, so
+//! the same seed over the same operation sequence reproduces the same fault
+//! sequence byte-for-byte; the plan keeps an injection log that tests can
+//! compare across runs to prove it.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pravega_faults::{FaultPlan, FaultSpec, FaultyChunkStorage};
+//! use pravega_lts::{ChunkStorage, InMemoryChunkStorage};
+//!
+//! let plan = Arc::new(FaultPlan::new(42, FaultSpec::default()));
+//! let chunks = FaultyChunkStorage::new(Arc::new(InMemoryChunkStorage::new()), plan.clone());
+//! chunks.create("c0").unwrap();
+//! plan.set_unavailable(true);
+//! assert!(chunks.write("c0", 0, b"x").is_err());
+//! plan.set_unavailable(false);
+//! chunks.write("c0", 0, b"x").unwrap();
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use bytes::Bytes;
+use pravega_common::metrics::{Counter, MetricsRegistry};
+use pravega_lts::{ChunkStorage, LtsError};
+use pravega_sync::{rank, Mutex};
+use pravega_wal::{Bookie, BookieError, LedgerId};
+use rand::{Rng, SeedableRng};
+
+/// Probabilistic fault rates for a [`FaultPlan`].
+///
+/// Rates are per-operation probabilities in `[0, 1]`; at most one fault fires
+/// per operation (torn writes are considered first, then transient errors,
+/// then latency spikes).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSpec {
+    /// Probability that an operation fails with a transient error.
+    pub transient_error_rate: f64,
+    /// Probability that an operation is delayed by [`latency_spike`](Self::latency_spike).
+    pub latency_spike_rate: f64,
+    /// Injected delay for latency-spike faults.
+    pub latency_spike: Duration,
+    /// Probability that a write is torn: a strict prefix reaches the backend
+    /// but the call still reports a transient failure. Only applies to writes
+    /// carrying at least 2 bytes.
+    pub torn_write_rate: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            transient_error_rate: 0.0,
+            latency_spike_rate: 0.0,
+            latency_spike: Duration::from_millis(1),
+            torn_write_rate: 0.0,
+        }
+    }
+}
+
+/// What the plan decided to do to one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Let the operation through untouched.
+    None,
+    /// Delay the operation by the given duration, then let it through.
+    Latency(Duration),
+    /// Fail the operation with a transient error; the backend is untouched.
+    Transient,
+    /// Tear the write: apply only the first `keep` bytes to the backend,
+    /// then report a transient failure.
+    Torn {
+        /// Number of payload bytes that reach the backend (a strict prefix).
+        keep: usize,
+    },
+}
+
+/// One entry of a plan's injection log: which fault hit which operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// The probabilistic op index the decision was drawn for, or the current
+    /// index at the time for scripted (non-probabilistic) faults.
+    pub op_index: u64,
+    /// The decorated operation, e.g. `"chunk.write"`.
+    pub operation: String,
+    /// The injected fault (never [`FaultDecision::None`]).
+    pub decision: FaultDecision,
+}
+
+/// A seeded, deterministic fault plan.
+///
+/// Probabilistic decisions are a pure function of `(seed, op_index)`: every
+/// operation that reaches an *enabled* plan consumes one index and draws its
+/// fate from a PRNG seeded by mixing the index into the plan seed. Scripted
+/// faults ([`set_unavailable`](Self::set_unavailable),
+/// [`fail_next_ops`](Self::fail_next_ops)) take precedence and do **not**
+/// consume an index, so toggling them never shifts the probabilistic
+/// sequence.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: FaultSpec,
+    enabled: AtomicBool,
+    always_fail: AtomicBool,
+    fail_next: AtomicU64,
+    ops: AtomicU64,
+    injected: AtomicU64,
+    log: Mutex<Vec<FaultRecord>>,
+    injected_counter: OnceLock<Arc<Counter>>,
+}
+
+impl FaultPlan {
+    /// Creates an enabled plan drawing probabilistic faults from `seed`.
+    pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        Self {
+            seed,
+            spec,
+            enabled: AtomicBool::new(true),
+            always_fail: AtomicBool::new(false),
+            fail_next: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            log: Mutex::new(rank::FAULTS_PLAN, Vec::new()),
+            injected_counter: OnceLock::new(),
+        }
+    }
+
+    /// A plan with no probabilistic faults: everything passes until scripted
+    /// faults are armed. This reproduces the old `set_unavailable` toggle.
+    pub fn manual() -> Self {
+        Self::new(0, FaultSpec::default())
+    }
+
+    /// The seed this plan draws from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Turns the whole plan on or off. While disabled every operation passes
+    /// through and no op index is consumed, so re-enabling resumes the
+    /// probabilistic sequence exactly where it left off.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Scripted all-or-nothing unavailability: while `true`, every operation
+    /// fails with a transient error (the old `AtomicBool` toggle semantics).
+    pub fn set_unavailable(&self, unavailable: bool) {
+        self.always_fail.store(unavailable, Ordering::SeqCst);
+    }
+
+    /// Scripted burst: the next `n` operations fail with transient errors,
+    /// then the plan reverts to probabilistic behavior.
+    pub fn fail_next_ops(&self, n: u64) {
+        self.fail_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Total faults injected so far (all kinds).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Copy of the injection log, in injection order.
+    pub fn log(&self) -> Vec<FaultRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Registers this plan's fault counter as `faults.plan.faults_injected`
+    /// on `registry`. Faults injected before binding are counted too.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry) {
+        let counter = registry.counter("faults.plan.faults_injected");
+        counter.add(self.injected.load(Ordering::SeqCst));
+        let _ = self.injected_counter.set(counter);
+    }
+
+    fn record(&self, op_index: u64, operation: &str, decision: FaultDecision) {
+        self.injected.fetch_add(1, Ordering::SeqCst);
+        if let Some(c) = self.injected_counter.get() {
+            c.inc();
+        }
+        self.log.lock().push(FaultRecord {
+            op_index,
+            operation: operation.to_string(),
+            decision,
+        });
+    }
+
+    /// Decides the fate of one operation. `payload_len` is the write payload
+    /// size (0 for non-writes); torn faults require at least 2 bytes so the
+    /// kept prefix is a strict, non-empty prefix.
+    pub fn decide(&self, operation: &str, payload_len: usize) -> FaultDecision {
+        if !self.enabled.load(Ordering::SeqCst) {
+            return FaultDecision::None;
+        }
+        if self.always_fail.load(Ordering::SeqCst) {
+            self.record(
+                self.ops.load(Ordering::SeqCst),
+                operation,
+                FaultDecision::Transient,
+            );
+            return FaultDecision::Transient;
+        }
+        if self
+            .fail_next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            self.record(
+                self.ops.load(Ordering::SeqCst),
+                operation,
+                FaultDecision::Transient,
+            );
+            return FaultDecision::Transient;
+        }
+        let i = self.ops.fetch_add(1, Ordering::SeqCst);
+        // Pure function of (seed, i): mix the index into the seed with a
+        // splitmix increment so consecutive indices decorrelate.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+        );
+        let decision = if payload_len >= 2 && rng.gen_bool(self.spec.torn_write_rate) {
+            let keep = 1 + (rng.next_u64() % (payload_len as u64 - 1)) as usize;
+            FaultDecision::Torn { keep }
+        } else if rng.gen_bool(self.spec.transient_error_rate) {
+            FaultDecision::Transient
+        } else if rng.gen_bool(self.spec.latency_spike_rate) {
+            FaultDecision::Latency(self.spec.latency_spike)
+        } else {
+            FaultDecision::None
+        };
+        if decision != FaultDecision::None {
+            self.record(i, operation, decision.clone());
+        }
+        decision
+    }
+}
+
+fn spike(duration: Duration) {
+    // Latency-spike injection point; allowlisted for the retry-sleep lint
+    // (it simulates a slow backend, it is not a retry loop).
+    std::thread::sleep(duration);
+}
+
+/// [`ChunkStorage`] decorator injecting faults from a [`FaultPlan`].
+///
+/// Transient faults surface as [`LtsError::Unavailable`]; torn writes apply a
+/// strict prefix of the payload to the inner backend and surface as
+/// [`LtsError::Io`], leaving the physical chunk ahead of what the caller
+/// believes was written — exactly the state a crashed PUT leaves on an object
+/// store.
+#[derive(Debug)]
+pub struct FaultyChunkStorage {
+    inner: Arc<dyn ChunkStorage>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyChunkStorage {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: Arc<dyn ChunkStorage>, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+
+    /// The plan driving this decorator.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    fn gate(&self, operation: &str) -> Result<(), LtsError> {
+        match self.plan.decide(operation, 0) {
+            FaultDecision::None => Ok(()),
+            FaultDecision::Latency(d) => {
+                spike(d);
+                Ok(())
+            }
+            FaultDecision::Transient | FaultDecision::Torn { .. } => Err(LtsError::Unavailable),
+        }
+    }
+}
+
+impl ChunkStorage for FaultyChunkStorage {
+    fn create(&self, name: &str) -> Result<(), LtsError> {
+        self.gate("chunk.create")?;
+        self.inner.create(name)
+    }
+
+    fn write(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), LtsError> {
+        match self.plan.decide("chunk.write", data.len()) {
+            FaultDecision::None => self.inner.write(name, offset, data),
+            FaultDecision::Latency(d) => {
+                spike(d);
+                self.inner.write(name, offset, data)
+            }
+            FaultDecision::Transient => Err(LtsError::Unavailable),
+            FaultDecision::Torn { keep } => {
+                // Apply the prefix, then report failure: the caller cannot
+                // tell how much landed, like a connection cut mid-PUT. If the
+                // prefix write itself fails the chunk is simply untouched.
+                let _ = self
+                    .inner
+                    .write(name, offset, &data[..keep.min(data.len())]);
+                Err(LtsError::Io("injected torn write".to_string()))
+            }
+        }
+    }
+
+    fn read(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, LtsError> {
+        self.gate("chunk.read")?;
+        self.inner.read(name, offset, len)
+    }
+
+    fn length(&self, name: &str) -> Result<u64, LtsError> {
+        self.gate("chunk.length")?;
+        self.inner.length(name)
+    }
+
+    fn seal(&self, name: &str) -> Result<(), LtsError> {
+        self.gate("chunk.seal")?;
+        self.inner.seal(name)
+    }
+
+    fn delete(&self, name: &str) -> Result<(), LtsError> {
+        self.gate("chunk.delete")?;
+        self.inner.delete(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        // Existence probes are metadata-cheap and not a useful fault point:
+        // they cannot report an error through this signature.
+        self.inner.exists(name)
+    }
+}
+
+/// [`Bookie`] decorator injecting faults from a [`FaultPlan`].
+///
+/// All faults (including torn draws — bookie entries are atomic, there is no
+/// partial append) surface as [`BookieError::Unavailable`]; the quorum layer
+/// above decides whether the ensemble still acks.
+#[derive(Debug)]
+pub struct FaultyBookie {
+    inner: Arc<dyn Bookie>,
+    plan: Arc<FaultPlan>,
+}
+
+impl FaultyBookie {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: Arc<dyn Bookie>, plan: Arc<FaultPlan>) -> Self {
+        Self { inner, plan }
+    }
+
+    /// The plan driving this decorator.
+    pub fn plan(&self) -> &Arc<FaultPlan> {
+        &self.plan
+    }
+
+    fn gate(&self, operation: &str, payload_len: usize) -> Result<(), BookieError> {
+        match self.plan.decide(operation, payload_len) {
+            FaultDecision::None => Ok(()),
+            FaultDecision::Latency(d) => {
+                spike(d);
+                Ok(())
+            }
+            FaultDecision::Transient | FaultDecision::Torn { .. } => Err(BookieError::Unavailable),
+        }
+    }
+}
+
+impl Bookie for FaultyBookie {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn add_entry(
+        &self,
+        ledger: LedgerId,
+        entry: u64,
+        fence_token: u64,
+        data: Bytes,
+    ) -> Result<(), BookieError> {
+        // Entries are atomic: a "torn" draw degrades to plain unavailability
+        // (pass payload_len 0 so torn is never drawn and the op consumes the
+        // same kind of draw as other bookie ops).
+        self.gate("bookie.add_entry", 0)?;
+        self.inner.add_entry(ledger, entry, fence_token, data)
+    }
+
+    fn read_entry(&self, ledger: LedgerId, entry: u64) -> Result<Bytes, BookieError> {
+        self.gate("bookie.read_entry", 0)?;
+        self.inner.read_entry(ledger, entry)
+    }
+
+    fn last_entry(&self, ledger: LedgerId) -> Result<Option<u64>, BookieError> {
+        self.gate("bookie.last_entry", 0)?;
+        self.inner.last_entry(ledger)
+    }
+
+    fn fence(&self, ledger: LedgerId, token: u64) -> Result<Option<u64>, BookieError> {
+        self.gate("bookie.fence", 0)?;
+        self.inner.fence(ledger, token)
+    }
+
+    fn delete_ledger(&self, ledger: LedgerId) -> Result<(), BookieError> {
+        self.gate("bookie.delete_ledger", 0)?;
+        self.inner.delete_ledger(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pravega_lts::InMemoryChunkStorage;
+
+    fn lossy_spec() -> FaultSpec {
+        FaultSpec {
+            transient_error_rate: 0.3,
+            latency_spike_rate: 0.1,
+            latency_spike: Duration::from_micros(10),
+            torn_write_rate: 0.2,
+        }
+    }
+
+    fn drive(plan: &FaultPlan, ops: usize) -> Vec<FaultDecision> {
+        (0..ops)
+            .map(|i| plan.decide("chunk.write", 64 + i % 7))
+            .collect()
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let a = FaultPlan::new(0xfeed, lossy_spec());
+        let b = FaultPlan::new(0xfeed, lossy_spec());
+        assert_eq!(drive(&a, 500), drive(&b, 500));
+        assert_eq!(a.log(), b.log());
+        assert!(
+            a.injected_faults() > 0,
+            "lossy spec should inject something"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(1, lossy_spec());
+        let b = FaultPlan::new(2, lossy_spec());
+        assert_ne!(drive(&a, 500), drive(&b, 500));
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::new(7, lossy_spec());
+        let decisions = drive(&plan, 4000);
+        let transient = decisions
+            .iter()
+            .filter(|d| matches!(d, FaultDecision::Transient))
+            .count() as f64
+            / 4000.0;
+        // Torn is drawn first at 0.2, so transient lands near 0.8 * 0.3.
+        assert!(
+            (0.15..0.35).contains(&transient),
+            "transient rate {transient} out of band"
+        );
+    }
+
+    #[test]
+    fn disabled_plan_is_transparent_and_resumes_in_place() {
+        let plan = FaultPlan::new(9, lossy_spec());
+        let first = plan.decide("chunk.write", 64);
+        plan.set_enabled(false);
+        for _ in 0..100 {
+            assert_eq!(plan.decide("chunk.write", 64), FaultDecision::None);
+        }
+        plan.set_enabled(true);
+        let second = plan.decide("chunk.write", 64);
+        // Indices 0 and 1 of a fresh identical plan must match: the disabled
+        // stretch consumed no indices.
+        let fresh = FaultPlan::new(9, lossy_spec());
+        assert_eq!(fresh.decide("chunk.write", 64), first);
+        assert_eq!(fresh.decide("chunk.write", 64), second);
+    }
+
+    #[test]
+    fn fail_next_ops_scripts_a_burst() {
+        let plan = FaultPlan::manual();
+        plan.fail_next_ops(3);
+        for _ in 0..3 {
+            assert_eq!(plan.decide("op", 0), FaultDecision::Transient);
+        }
+        assert_eq!(plan.decide("op", 0), FaultDecision::None);
+        assert_eq!(plan.injected_faults(), 3);
+    }
+
+    #[test]
+    fn trivial_plan_reproduces_set_unavailable() {
+        let plan = Arc::new(FaultPlan::manual());
+        let chunks = FaultyChunkStorage::new(Arc::new(InMemoryChunkStorage::new()), plan.clone());
+        chunks.create("c").unwrap();
+        chunks.write("c", 0, b"ab").unwrap();
+        plan.set_unavailable(true);
+        assert!(matches!(
+            chunks.write("c", 2, b"cd"),
+            Err(LtsError::Unavailable)
+        ));
+        assert!(matches!(chunks.read("c", 0, 2), Err(LtsError::Unavailable)));
+        plan.set_unavailable(false);
+        chunks.write("c", 2, b"cd").unwrap();
+        assert_eq!(&chunks.read("c", 0, 4).unwrap()[..], b"abcd");
+    }
+
+    #[test]
+    fn torn_write_applies_strict_prefix() {
+        // Find a seed/op where the first write draw is Torn, then verify the
+        // backend holds exactly the prefix.
+        for seed in 0..200u64 {
+            let probe = FaultPlan::new(
+                seed,
+                FaultSpec {
+                    torn_write_rate: 1.0,
+                    ..FaultSpec::default()
+                },
+            );
+            let payload = b"0123456789";
+            let FaultDecision::Torn { keep } = probe.decide("chunk.write", payload.len()) else {
+                continue;
+            };
+            assert!(
+                keep >= 1 && keep < payload.len(),
+                "keep {keep} not a strict prefix"
+            );
+            let plan = Arc::new(FaultPlan::new(
+                seed,
+                FaultSpec {
+                    torn_write_rate: 1.0,
+                    ..FaultSpec::default()
+                },
+            ));
+            let inner = Arc::new(InMemoryChunkStorage::new());
+            let chunks = FaultyChunkStorage::new(inner.clone(), plan);
+            inner.create("c").unwrap();
+            assert!(matches!(
+                chunks.write("c", 0, payload),
+                Err(LtsError::Io(_))
+            ));
+            assert_eq!(inner.length("c").unwrap(), keep as u64);
+            assert_eq!(&inner.read("c", 0, keep).unwrap()[..], &payload[..keep]);
+            return;
+        }
+        panic!("no torn draw in 200 seeds with torn_write_rate = 1.0");
+    }
+
+    #[test]
+    fn metrics_binding_counts_faults() {
+        let registry = MetricsRegistry::new();
+        let plan = FaultPlan::manual();
+        plan.fail_next_ops(2);
+        let _ = plan.decide("op", 0);
+        plan.bind_metrics(&registry);
+        let _ = plan.decide("op", 0);
+        assert_eq!(
+            registry.counter("faults.plan.faults_injected").get(),
+            2,
+            "pre-binding faults folded in, post-binding faults counted live"
+        );
+    }
+
+    #[derive(Debug)]
+    struct StubBookie;
+
+    impl Bookie for StubBookie {
+        fn id(&self) -> &str {
+            "stub"
+        }
+        fn add_entry(&self, _: LedgerId, _: u64, _: u64, _: Bytes) -> Result<(), BookieError> {
+            Ok(())
+        }
+        fn read_entry(&self, _: LedgerId, _: u64) -> Result<Bytes, BookieError> {
+            Ok(Bytes::new())
+        }
+        fn last_entry(&self, _: LedgerId) -> Result<Option<u64>, BookieError> {
+            Ok(None)
+        }
+        fn fence(&self, _: LedgerId, _: u64) -> Result<Option<u64>, BookieError> {
+            Ok(None)
+        }
+        fn delete_ledger(&self, _: LedgerId) -> Result<(), BookieError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn faulty_bookie_surfaces_unavailable() {
+        let plan = Arc::new(FaultPlan::manual());
+        let bookie = FaultyBookie::new(Arc::new(StubBookie), plan.clone());
+        assert_eq!(bookie.id(), "stub");
+        bookie
+            .add_entry(LedgerId(1), 0, 0, Bytes::from_static(b"e"))
+            .unwrap();
+        plan.set_unavailable(true);
+        assert!(matches!(
+            bookie.add_entry(LedgerId(1), 1, 0, Bytes::from_static(b"e")),
+            Err(BookieError::Unavailable)
+        ));
+        assert!(matches!(
+            bookie.last_entry(LedgerId(1)),
+            Err(BookieError::Unavailable)
+        ));
+        plan.set_unavailable(false);
+        bookie.fence(LedgerId(1), 1).unwrap();
+    }
+}

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pravega_common::retry::{ErrorClass, RetryClass};
+
 /// Errors produced by chunk storage and the chunked segment layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LtsError {
@@ -69,6 +71,29 @@ impl fmt::Display for LtsError {
 
 impl std::error::Error for LtsError {}
 
+impl RetryClass for LtsError {
+    /// Transient: the backend being unreachable ([`LtsError::Unavailable`]),
+    /// an interrupted transfer ([`LtsError::Io`], which covers torn writes),
+    /// and losing a conditional-update race ([`LtsError::MetadataConflict`]).
+    /// Everything else is a logical outcome that retrying cannot change.
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            LtsError::Unavailable | LtsError::Io(_) | LtsError::MetadataConflict => {
+                ErrorClass::Transient
+            }
+            LtsError::NoSuchChunk
+            | LtsError::ChunkExists
+            | LtsError::NoSuchSegment
+            | LtsError::SegmentExists
+            | LtsError::Sealed
+            | LtsError::BadOffset { .. }
+            | LtsError::Truncated { .. }
+            | LtsError::BeyondEnd { .. }
+            | LtsError::Metadata(_) => ErrorClass::Permanent,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +106,19 @@ mod tests {
         }
         .to_string()
         .contains("expected 10"));
+    }
+
+    #[test]
+    fn classification_splits_transient_from_permanent() {
+        assert!(LtsError::Unavailable.is_transient());
+        assert!(LtsError::Io("torn".into()).is_transient());
+        assert!(LtsError::MetadataConflict.is_transient());
+        assert!(!LtsError::Sealed.is_transient());
+        assert!(!LtsError::NoSuchChunk.is_transient());
+        assert!(!LtsError::BadOffset {
+            expected: 1,
+            actual: 0
+        }
+        .is_transient());
     }
 }

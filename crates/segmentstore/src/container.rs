@@ -28,7 +28,7 @@ use bytes::Bytes;
 use pravega_common::clock::{self, Clock};
 use pravega_common::future::{promise, Promise, WaitError};
 use pravega_common::id::{ContainerId, WriterId};
-use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry, TextSlot};
 use pravega_common::rate::EwmaRate;
 use pravega_lts::ChunkedSegmentStorage;
 use pravega_sync::{rank, Mutex};
@@ -219,6 +219,9 @@ pub(crate) struct ContainerMetrics {
     pub(crate) flush_pass_nanos: Arc<Histogram>,
     pub(crate) flushed_bytes: Arc<Counter>,
     pub(crate) flush_lag_bytes: Arc<Gauge>,
+    pub(crate) flush_errors: Arc<Counter>,
+    pub(crate) last_flush_error: Arc<TextSlot>,
+    pub(crate) flush_retries: Arc<Counter>,
 }
 
 impl ContainerMetrics {
@@ -232,6 +235,9 @@ impl ContainerMetrics {
             flush_pass_nanos: metrics.histogram("segmentstore.storagewriter.flush_pass_nanos"),
             flushed_bytes: metrics.counter("segmentstore.storagewriter.flushed_bytes"),
             flush_lag_bytes: metrics.gauge("segmentstore.storagewriter.flush_lag_bytes"),
+            flush_errors: metrics.counter("segmentstore.storagewriter.flush_errors"),
+            last_flush_error: metrics.text("segmentstore.storagewriter.last_flush_error"),
+            flush_retries: metrics.counter("segmentstore.storagewriter.retries"),
         }
     }
 }

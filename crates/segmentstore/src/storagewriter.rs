@@ -7,11 +7,14 @@
 //! backlog grows and the container throttles its writers rather than letting
 //! the backlog grow without bound.
 
+use std::cell::Cell;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use pravega_common::clock;
+use pravega_common::retry::RetryPolicy;
 use pravega_lts::LtsError;
 
 use crate::container::ContainerInner;
@@ -23,11 +26,31 @@ pub(crate) fn start_flusher(inner: Arc<ContainerInner>) -> Result<JoinHandle<()>
         .name(format!("storage-writer-{}", inner.id))
         .spawn(move || {
             while !inner.stopped.load(Ordering::SeqCst) {
-                let _ = flush_pass(&inner);
+                if let Err(e) = flush_pass(&inner) {
+                    // A failed pass is not fatal — the backlog stays and
+                    // throttling takes over — but it must not be silent:
+                    // record it so a stuck tiering path is observable.
+                    inner.metrics.flush_errors.inc();
+                    inner.metrics.last_flush_error.set(e.to_string());
+                }
                 std::thread::sleep(inner.config.flush_interval);
             }
         })
         .map_err(|e| SegmentError::Internal(format!("spawn storage writer: {e}")))
+}
+
+/// Retry budget for a single LTS write within a flush pass. The chunked LTS
+/// layer already retries transient chunk errors internally, so this is a
+/// second, coarser line of defence; once it is exhausted the error surfaces,
+/// the backlog grows and the container throttles its writers (§4.3).
+fn flush_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        initial_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(20),
+        multiplier: 2.0,
+        jitter: 0.2,
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -133,9 +156,31 @@ fn flush_segment(inner: &Arc<ContainerInner>, target: &FlushTarget) -> Result<bo
         }
         let n = ((target.committed_len - flushed) as usize).min(inner.config.max_flush_bytes);
         let data = inner.read_committed_range(&target.name, flushed, n)?;
-        let new_len = inner
-            .lts
-            .write(&target.name, flushed, &data)
+        // Retry transient LTS errors with backoff. Between attempts the
+        // durable offset is re-verified against LTS: a torn write may have
+        // landed a prefix of the batch, so the retry resumes from whatever
+        // actually committed instead of re-sending (and duplicating) it.
+        let attempt_offset = Cell::new(flushed);
+        let new_len = flush_retry_policy()
+            .run(
+                |_, _| {
+                    inner.metrics.flush_retries.inc();
+                    if let Ok(info) = inner.lts.info(&target.name) {
+                        if info.length > attempt_offset.get() {
+                            attempt_offset.set(info.length.min(target.committed_len));
+                        }
+                    }
+                },
+                || {
+                    let from = attempt_offset.get();
+                    let already = (from - flushed) as usize;
+                    if already >= data.len() {
+                        // A previous torn attempt landed the whole batch.
+                        return Ok(from);
+                    }
+                    inner.lts.write(&target.name, from, &data[already..])
+                },
+            )
             .map_err(SegmentError::Lts)?;
         let moved = new_len - flushed;
         flushed = new_len;

@@ -106,6 +106,12 @@ pub const COORDINATION_STORE: LockRank = LockRank::new(800, "coordination.store"
 /// Metrics registry instrument table (registration/snapshot only; recording
 /// is lock-free).
 pub const METRICS_REGISTRY: LockRank = LockRank::new(900, "common.metrics.registry");
+/// Text-slot instrument value; read by `snapshot()` while the registry lock
+/// is held, so it must rank above [`METRICS_REGISTRY`]. Writers take it alone.
+pub const METRICS_TEXT: LockRank = LockRank::new(910, "common.metrics.text");
+/// Fault-plan injection log; a leaf — decorators append to it before
+/// delegating and never call into the wrapped backend while holding it.
+pub const FAULTS_PLAN: LockRank = LockRank::new(930, "faults.plan.log");
 
 /// Rank for test fixtures (mocks recording calls, assertion buffers). Higher
 /// than every production rank except nothing: fixtures are leaves that must

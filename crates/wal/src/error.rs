@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use pravega_common::retry::{ErrorClass, RetryClass};
+
 /// Errors produced by a single bookie.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BookieError {
@@ -38,6 +40,19 @@ impl fmt::Display for BookieError {
 }
 
 impl std::error::Error for BookieError {}
+
+impl RetryClass for BookieError {
+    /// Transient: the bookie being down or an I/O hiccup. Fencing and missing
+    /// ledgers/entries are logical outcomes a retry cannot change.
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            BookieError::Unavailable | BookieError::Io(_) => ErrorClass::Transient,
+            BookieError::Fenced { .. } | BookieError::NoSuchLedger | BookieError::NoSuchEntry => {
+                ErrorClass::Permanent
+            }
+        }
+    }
+}
 
 /// Errors produced by the replicated log layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,6 +109,20 @@ impl From<BookieError> for WalError {
     }
 }
 
+impl RetryClass for WalError {
+    /// Transient: quorum shortfalls (bookies may come back) and transient
+    /// bookie failures. Fencing and closure are terminal for this handle.
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            WalError::NotEnoughBookies { .. } | WalError::QuorumLost => ErrorClass::Transient,
+            WalError::Bookie(e) => e.error_class(),
+            WalError::Fenced | WalError::Closed | WalError::Metadata(_) | WalError::Spawn(_) => {
+                ErrorClass::Permanent
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +137,21 @@ mod tests {
         let w: WalError = e.into();
         assert!(w.to_string().contains("bookie error"));
         assert!(std::error::Error::source(&w).is_some());
+    }
+
+    #[test]
+    fn classification_splits_transient_from_permanent() {
+        assert!(BookieError::Unavailable.is_transient());
+        assert!(BookieError::Io("disk".into()).is_transient());
+        assert!(!BookieError::NoSuchEntry.is_transient());
+        assert!(WalError::QuorumLost.is_transient());
+        assert!(WalError::Bookie(BookieError::Unavailable).is_transient());
+        assert!(!WalError::Fenced.is_transient());
+        assert!(!WalError::Closed.is_transient());
+        assert!(!WalError::Bookie(BookieError::Fenced {
+            presented: 1,
+            current: 2
+        })
+        .is_transient());
     }
 }

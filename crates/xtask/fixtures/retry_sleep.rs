@@ -1,0 +1,17 @@
+//! Fixture: trips the `retry-sleep` rule. Hand-rolled sleep-retry loops skip
+//! error classification, attempt bounds and jitter; retries must go through
+//! `pravega_common::retry::RetryPolicy`.
+
+pub fn fetch_with_naive_retry() -> Result<(), String> {
+    for _ in 0..10 {
+        if try_fetch().is_ok() {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    Err("gave up".to_string())
+}
+
+fn try_fetch() -> Result<(), String> {
+    Err("unavailable".to_string())
+}

@@ -1,6 +1,6 @@
 //! The lint rules and the line scanner that applies them.
 //!
-//! Four rules, each mapping to one clause of the concurrency discipline:
+//! Five rules, each mapping to one clause of the concurrency discipline:
 //!
 //! * `direct-lock` — blocking synchronisation must go through the
 //!   `pravega_sync` facade so the rank checker sees every acquisition. Direct
@@ -16,6 +16,11 @@
 //! * `metric-name` — metric names registered on the registry must follow
 //!   `<crate>.<component>.<name>` (three lowercase dotted segments) so the
 //!   per-stage pipeline dashboards can group them.
+//! * `retry-sleep` — ad-hoc `thread::sleep` retry loops are banned outside
+//!   `pravega_common::retry`, the one sanctioned backoff implementation
+//!   (typed error classification, bounded attempts, jitter). Pacing and
+//!   polling sleeps that are *not* retry loops are sanctioned via
+//!   `lint-allowlist.txt` entries.
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions), `tests/`,
 //! `benches/`, `examples/` and `vendor/` are exempt from every rule.
@@ -174,6 +179,15 @@ fn time_exempt(rel: &Path, fixture_mode: bool) -> bool {
             .ends_with("crates/common/src/clock.rs")
 }
 
+/// The retry module is the one place allowed to sleep between attempts.
+fn retry_sleep_exempt(rel: &Path, fixture_mode: bool) -> bool {
+    !fixture_mode
+        && rel
+            .to_string_lossy()
+            .replace('\\', "/")
+            .ends_with("crates/common/src/retry.rs")
+}
+
 pub fn scan_file(
     rel: &Path,
     text: &str,
@@ -184,6 +198,7 @@ pub fn scan_file(
     let write_path = on_write_path(rel, fixture_mode);
     let lock_rule = !lock_exempt(rel, fixture_mode);
     let time_rule = !time_exempt(rel, fixture_mode);
+    let sleep_rule = !retry_sleep_exempt(rel, fixture_mode);
 
     // Brace-depth tracker for `#[cfg(test)]` / `#[test]` blocks: once the
     // attribute is seen, everything from the next `{` to its matching `}` is
@@ -228,6 +243,9 @@ pub fn scan_file(
         }
         if write_path {
             check_unwrap(rel, line_no, line, raw, allow, out);
+        }
+        if sleep_rule {
+            check_retry_sleep(rel, line_no, line, raw, allow, out);
         }
         check_metric_name(rel, line_no, line, out);
     }
@@ -322,8 +340,31 @@ fn check_unwrap(
     }
 }
 
+fn check_retry_sleep(
+    rel: &Path,
+    line_no: usize,
+    line: &str,
+    raw: &str,
+    allow: &Allowlist,
+    out: &mut Vec<Violation>,
+) {
+    if line.contains("thread::sleep") {
+        if allow.permits(rel, raw) {
+            return;
+        }
+        out.push(Violation {
+            path: rel.to_path_buf(),
+            line: line_no,
+            rule: "retry-sleep",
+            message: "thread::sleep outside pravega_common::retry; use RetryPolicy for retries, \
+                      or allowlist a pacing/polling sleep"
+                .to_string(),
+        });
+    }
+}
+
 fn check_metric_name(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
-    for method in [".counter(\"", ".histogram(\"", ".gauge(\""] {
+    for method in [".counter(\"", ".histogram(\"", ".gauge(\"", ".text(\""] {
         let mut rest = line;
         while let Some(pos) = rest.find(method) {
             let after = &rest[pos + method.len()..];
@@ -487,6 +528,55 @@ mod tests {
     }
 
     #[test]
+    fn retry_sleep_flagged_outside_retry_module() {
+        let v = scan_snippet(
+            "fn f() { std::thread::sleep(Duration::from_millis(5)); }",
+            false,
+            &Allowlist::default(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "retry-sleep");
+
+        // The sanctioned backoff implementation is exempt.
+        let mut out = Vec::new();
+        scan_file(
+            Path::new("crates/common/src/retry.rs"),
+            "fn f() { std::thread::sleep(Duration::from_millis(5)); }",
+            false,
+            &Allowlist::default(),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+
+        // A pacing sleep is sanctioned through the allowlist.
+        let allow =
+            Allowlist::parse("crates/wal/src/sample.rs: thread::sleep(self.pacing_interval)\n");
+        let v = scan_snippet(
+            "fn f(&self) { std::thread::sleep(self.pacing_interval); }",
+            false,
+            &allow,
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn text_slot_names_follow_metric_shape() {
+        let v = scan_snippet(
+            "let t = registry.text(\"last_error\");",
+            false,
+            &Allowlist::default(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "metric-name");
+        let v = scan_snippet(
+            "let t = registry.text(\"segmentstore.storagewriter.last_flush_error\");",
+            false,
+            &Allowlist::default(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn cfg_test_blocks_exempt() {
         let snippet = "\
 fn prod(x: Option<u32>) -> Option<u32> { x }
@@ -527,7 +617,13 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
         let report = scan_tree(&fixtures, true, &Allowlist::default()).unwrap();
         let rules: std::collections::BTreeSet<&str> =
             report.violations.iter().map(|v| v.rule).collect();
-        for rule in ["direct-lock", "no-unwrap", "raw-time", "metric-name"] {
+        for rule in [
+            "direct-lock",
+            "no-unwrap",
+            "raw-time",
+            "metric-name",
+            "retry-sleep",
+        ] {
             assert!(rules.contains(rule), "fixture missing for rule {rule}");
         }
     }

@@ -1,0 +1,271 @@
+//! Chaos tests: write → flush → read → recover cycles under seeded,
+//! deterministic fault plans (see DESIGN.md, "Fault model and retry
+//! taxonomy").
+//!
+//! Every test derives its fault sequence from one `u64` seed. CI runs the
+//! suite under several fixed seeds plus one random seed; any failure prints
+//! the seed, and `CHAOS_SEED=<n> cargo test --test chaos` replays the exact
+//! same fault sequence byte-for-byte.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pravega::client::{StringSerializer, WriterConfig};
+use pravega::common::id::ScopedStream;
+use pravega::common::policy::{ScalingPolicy, StreamConfiguration};
+use pravega::common::retry::RetryClass;
+use pravega::core::{ClusterConfig, PravegaCluster};
+use pravega::faults::{FaultPlan, FaultSpec, FaultyChunkStorage};
+use pravega::lts::{ChunkStorage, InMemoryChunkStorage};
+
+/// The seed every plan in this file draws from. `CHAOS_SEED=<n>` overrides
+/// the built-in default so a CI failure can be replayed locally.
+fn chaos_seed() -> u64 {
+    let seed = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FF_EE00);
+    eprintln!("chaos seed: {seed} (replay with CHAOS_SEED={seed})");
+    seed
+}
+
+/// The issue's floor: at least a 10% transient error rate, plus latency
+/// spikes and torn writes.
+fn chaos_spec() -> FaultSpec {
+    FaultSpec {
+        transient_error_rate: 0.12,
+        latency_spike_rate: 0.05,
+        latency_spike: Duration::from_micros(300),
+        torn_write_rate: 0.05,
+    }
+}
+
+fn chaos_cluster(
+    lts_faults: Option<Arc<FaultPlan>>,
+    wal_faults: Option<Arc<FaultPlan>>,
+) -> PravegaCluster {
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(1);
+    // Small flush batches and chunks so tiering issues many chunk-storage
+    // operations — each one a fresh roll of the fault plan's dice.
+    config.container.max_flush_bytes = 1024;
+    config.max_chunk_bytes = 4096;
+    config.lts_faults = lts_faults;
+    config.wal_faults = wal_faults;
+    PravegaCluster::start(config).unwrap()
+}
+
+fn stream(name: &str) -> ScopedStream {
+    ScopedStream::new("chaos", name).unwrap()
+}
+
+/// Drains `total` events, retrying transient read errors (faults are still
+/// firing while we read) but never tolerating loss, duplication or
+/// corruption.
+fn read_all(
+    cluster: &PravegaCluster,
+    s: &ScopedStream,
+    group_name: &str,
+    total: usize,
+) -> Vec<String> {
+    let group = cluster
+        .create_reader_group("chaos", group_name, vec![s.clone()])
+        .unwrap();
+    let mut reader = cluster.create_reader(&group, "r1", StringSerializer);
+    let mut got = Vec::new();
+    let mut transient_strikes = 0;
+    while got.len() < total {
+        match reader.read_next(Duration::from_secs(10)) {
+            Ok(Some(e)) => got.push(e.event),
+            Ok(None) => panic!("timed out after {} of {total} events", got.len()),
+            Err(e) if e.is_transient() && transient_strikes < 50 => {
+                transient_strikes += 1;
+            }
+            Err(e) => panic!("read failed after {} events: {e}", got.len()),
+        }
+    }
+    got
+}
+
+#[test]
+fn acked_events_survive_lts_chaos_and_wal_truncates_once_faults_clear() {
+    let seed = chaos_seed();
+    let plan = Arc::new(FaultPlan::new(seed, chaos_spec()));
+    let cluster = chaos_cluster(Some(plan.clone()), None);
+    let s = stream("lts");
+    cluster.create_scope("chaos").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
+        .unwrap();
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    let total = 300;
+    for i in 0..total {
+        writer.write_event(&format!("k{}", i % 13), &format!("event-{i:04}"));
+    }
+    // Every event below is *acknowledged*: flush() returns only once the
+    // store has made them durable.
+    writer.flush().unwrap();
+
+    // Tier everything to LTS while faults keep firing: the retry/healing
+    // machinery must ride out every injected error, spike and torn write.
+    cluster.wait_for_tiering(Duration::from_secs(60)).unwrap();
+
+    // Read back with faults still firing: exactly once, in per-key order.
+    let mut got = read_all(&cluster, &s, "g-lts", total);
+    got.sort();
+    got.dedup();
+    assert_eq!(got.len(), total, "zero loss, zero duplicates under chaos");
+
+    // The plan really was active on the write path.
+    assert!(
+        plan.injected_faults() > 0,
+        "a {:.0}% error rate over {total} events must inject faults",
+        chaos_spec().transient_error_rate * 100.0
+    );
+    let snap = cluster.metrics().snapshot();
+    let injected = snap
+        .counters
+        .iter()
+        .find(|(n, _)| n == "faults.plan.faults_injected")
+        .map(|(_, v)| *v)
+        .unwrap_or(0);
+    assert!(
+        injected > 0,
+        "fault counter must be wired into the registry"
+    );
+
+    // Faults clear: tiering drains and the WAL truncates.
+    plan.set_enabled(false);
+    cluster.wait_for_tiering(Duration::from_secs(30)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let frames: usize = cluster
+            .containers()
+            .iter()
+            .map(|c| c.retained_wal_frames())
+            .sum();
+        // A drained, checkpointed container retains at most its most recent
+        // checkpoint frame.
+        if frames <= cluster.containers().len() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "WAL did not truncate after faults cleared ({frames} frames retained)"
+        );
+        for c in cluster.containers() {
+            let _ = c.flush_once();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn wal_chaos_on_one_bookie_rides_on_the_ack_quorum() {
+    let seed = chaos_seed();
+    let plan = Arc::new(FaultPlan::new(seed, chaos_spec()));
+    let cluster = chaos_cluster(None, Some(plan.clone()));
+    let s = stream("wal");
+    cluster.create_scope("chaos").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
+        .unwrap();
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    let total = 200;
+    for i in 0..total {
+        writer.write_event(&format!("k{}", i % 7), &format!("event-{i:04}"));
+    }
+    // 3/3/2 replication: one faulty bookie never breaks the ack quorum, so
+    // every append still lands durably.
+    writer.flush().unwrap();
+
+    let mut got = read_all(&cluster, &s, "g-wal", total);
+    got.sort();
+    got.dedup();
+    assert_eq!(
+        got.len(),
+        total,
+        "zero loss, zero duplicates under WAL chaos"
+    );
+    assert!(plan.injected_faults() > 0, "bookie plan must have fired");
+
+    plan.set_enabled(false);
+    cluster.wait_for_tiering(Duration::from_secs(30)).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn store_failover_under_lts_chaos_loses_nothing() {
+    let seed = chaos_seed();
+    let plan = Arc::new(FaultPlan::new(seed, chaos_spec()));
+    let cluster = chaos_cluster(Some(plan.clone()), None);
+    let s = stream("failover");
+    cluster.create_scope("chaos").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(2)))
+        .unwrap();
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..120 {
+        writer.write_event(&format!("k{}", i % 5), &format!("pre-{i:03}"));
+    }
+    writer.flush().unwrap();
+    drop(writer);
+
+    // Kill a store mid-chaos: its containers move and recover from the WAL
+    // while LTS faults keep firing.
+    let victim = cluster.store_hosts()[0].clone();
+    cluster.kill_store(&victim).unwrap();
+
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..120 {
+        writer.write_event(&format!("k{}", i % 5), &format!("post-{i:03}"));
+    }
+    writer.flush().unwrap();
+
+    let mut got = read_all(&cluster, &s, "g-failover", 240);
+    got.sort();
+    got.dedup();
+    assert_eq!(got.len(), 240, "no loss or duplication across failover");
+
+    plan.set_enabled(false);
+    cluster.wait_for_tiering(Duration::from_secs(30)).unwrap();
+    cluster.shutdown();
+}
+
+#[test]
+fn same_seed_reproduces_the_same_fault_sequence_byte_for_byte() {
+    // Drive two identically seeded plans through an identical,
+    // single-threaded operation sequence and compare their injection logs.
+    let seed = chaos_seed();
+    let spec = FaultSpec {
+        transient_error_rate: 0.3,
+        latency_spike_rate: 0.1,
+        latency_spike: Duration::from_micros(10),
+        torn_write_rate: 0.3,
+    };
+    let run = |seed: u64| {
+        let plan = Arc::new(FaultPlan::new(seed, spec));
+        let storage = FaultyChunkStorage::new(Arc::new(InMemoryChunkStorage::new()), plan.clone());
+        let _ = storage.create("seg");
+        let mut offset = 0;
+        for i in 0..100u64 {
+            let payload = vec![i as u8; 16];
+            if let Ok(()) = storage.write("seg", offset, &payload) {
+                offset += 16;
+            }
+            let _ = storage.read("seg", 0, 8);
+        }
+        plan.log()
+    };
+    let a = run(seed);
+    let b = run(seed);
+    assert!(!a.is_empty(), "plan must have injected something");
+    assert_eq!(a, b, "same seed must reproduce the identical log");
+    let c = run(seed ^ 0xDEAD_BEEF);
+    assert_ne!(a, c, "different seeds must diverge");
+}
