@@ -1473,7 +1473,10 @@ impl SegmentContainer {
     pub fn stop(&self) {
         self.inner.stopped.store(true, Ordering::SeqCst);
         self.log.stop();
-        if let Some(h) = self.flusher.lock().take() {
+        // Take the handle out first: the guard on `flusher` is a statement
+        // temporary that dies at the `;`, so the join below runs unlocked.
+        let flusher = self.flusher.lock().take();
+        if let Some(h) = flusher {
             let _ = h.join();
         }
     }

@@ -279,10 +279,15 @@ impl DurableLog {
     /// Stops the pipeline, draining in-flight operations first.
     pub fn stop(&self) {
         self.tx.lock().take();
-        if let Some(h) = self.builder_handle.lock().take() {
+        // Copy the handles out before joining: `lock().take()` inside an
+        // `if let` keeps the guard alive for the whole body, which would
+        // hold the handle lock across the joins.
+        let builder = self.builder_handle.lock().take();
+        if let Some(h) = builder {
             let _ = h.join();
         }
-        if let Some(h) = self.commit_handle.lock().take() {
+        let commit = self.commit_handle.lock().take();
+        if let Some(h) = commit {
             let _ = h.join();
         }
     }

@@ -102,7 +102,10 @@ impl SegmentStore {
 
     /// Stops a container (its WAL handle is released; a new owner can fence).
     pub fn stop_container(&self, id: u32) {
-        if let Some(c) = self.containers.lock().remove(&id) {
+        // Remove under the lock, stop (which joins threads) outside it: the
+        // guard from `lock().remove()` would otherwise live through the body.
+        let container = self.containers.lock().remove(&id);
+        if let Some(c) = container {
             c.stop();
         }
     }

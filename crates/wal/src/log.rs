@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use pravega_common::future::Promise;
 use pravega_coordination::{CoordError, CoordinationService};
-use pravega_sync::{rank, Mutex};
+use pravega_sync::{rank, Condvar, Mutex};
 
 use crate::error::WalError;
 use crate::ledger::{
@@ -166,6 +166,10 @@ struct BkLogInner {
     current_seq: u64,
     bytes_in_current: u64,
     fenced: bool,
+    /// True while an appender is swapping ledgers with the lock released.
+    /// Concurrent appenders wait on `rollover_done` instead of holding the
+    /// lock across the bookie/metadata I/O of the rollover.
+    rolling: bool,
 }
 
 /// A [`DurableDataLog`] built from rolling BookKeeper ledgers.
@@ -176,6 +180,7 @@ pub struct BookkeeperLog {
     manager: LedgerManager,
     config: LogConfig,
     inner: Mutex<BkLogInner>,
+    rollover_done: Condvar,
 }
 
 impl BookkeeperLog {
@@ -258,40 +263,25 @@ impl BookkeeperLog {
                     current_seq,
                     bytes_in_current: 0,
                     fenced: false,
+                    rolling: false,
                 },
             ),
+            rollover_done: Condvar::new(),
         })
     }
 
-    fn rollover_locked(&self, inner: &mut BkLogInner) -> Result<(), WalError> {
-        let Some(old) = inner.writer.take() else {
-            return Err(WalError::Closed);
-        };
+    /// Seals `old` and creates its successor. Runs with **no lock held**:
+    /// closing a ledger joins its writer threads and both the close and the
+    /// create round-trip to the bookies.
+    fn swap_ledger_unlocked(
+        &self,
+        old: LedgerWriter,
+        epoch: u64,
+    ) -> Result<LedgerWriter, WalError> {
         let old_id = old.metadata().id;
         let last = old.close();
         self.manager.close(old_id, last)?;
-        let writer = self
-            .manager
-            .create(self.config.replication, inner.metadata.epoch)?;
-        inner.current_seq += 1;
-        inner
-            .metadata
-            .ledgers
-            .push((inner.current_seq, writer.metadata().id));
-        inner.meta_version = self
-            .coord
-            .set(
-                &self.path,
-                inner.metadata.encode(),
-                Some(inner.meta_version),
-            )
-            .map_err(|_| {
-                inner.fenced = true;
-                WalError::Fenced
-            })?;
-        inner.bytes_in_current = 0;
-        inner.writer = Some(writer);
-        Ok(())
+        self.manager.create(self.config.replication, epoch)
     }
 
     /// Number of ledgers currently backing the log (exposed for tests).
@@ -303,19 +293,81 @@ impl BookkeeperLog {
 impl DurableDataLog for BookkeeperLog {
     fn append(&self, data: Bytes) -> AppendFuture {
         let mut inner = self.inner.lock();
-        if inner.fenced || inner.writer.is_none() {
-            return AppendFuture {
-                inner: Promise::ready(Err(WalError::Fenced)),
-                ledger_seq: inner.current_seq,
+        loop {
+            if inner.fenced {
+                return AppendFuture {
+                    inner: Promise::ready(Err(WalError::Fenced)),
+                    ledger_seq: inner.current_seq,
+                };
+            }
+            if inner.rolling {
+                // Another appender is swapping ledgers with the lock
+                // released; park until it finishes rather than racing it.
+                self.rollover_done.wait(&mut inner);
+                continue;
+            }
+            if inner.writer.is_none() {
+                return AppendFuture {
+                    inner: Promise::ready(Err(WalError::Closed)),
+                    ledger_seq: inner.current_seq,
+                };
+            }
+            if inner.bytes_in_current < self.config.rollover_bytes {
+                break;
+            }
+
+            // Rollover, in three phases so the bookie I/O runs unlocked.
+            // Phase 1 (locked): claim the rollover and take the old writer.
+            inner.rolling = true;
+            let Some(old) = inner.writer.take() else {
+                // Unreachable: `writer.is_none()` was rejected above.
+                inner.rolling = false;
+                return AppendFuture {
+                    inner: Promise::ready(Err(WalError::Closed)),
+                    ledger_seq: inner.current_seq,
+                };
             };
-        }
-        if inner.bytes_in_current >= self.config.rollover_bytes {
-            if let Err(e) = self.rollover_locked(&mut inner) {
+            let epoch = inner.metadata.epoch;
+            drop(inner);
+
+            // Phase 2 (unlocked): seal the old ledger, create the new one.
+            let swapped = self.swap_ledger_unlocked(old, epoch);
+
+            // Phase 3 (locked): publish the new ledger in the metadata (a
+            // concurrent truncate may have rewritten it, so apply a delta to
+            // the current state rather than installing a snapshot) and
+            // install the writer.
+            inner = self.inner.lock();
+            inner.rolling = false;
+            let result = swapped.and_then(|writer| {
+                inner.current_seq += 1;
+                let seq = inner.current_seq;
+                inner.metadata.ledgers.push((seq, writer.metadata().id));
+                match self.coord.set(
+                    &self.path,
+                    inner.metadata.encode(),
+                    Some(inner.meta_version),
+                ) {
+                    Ok(v) => {
+                        inner.meta_version = v;
+                        inner.bytes_in_current = 0;
+                        inner.writer = Some(writer);
+                        Ok(())
+                    }
+                    Err(_) => {
+                        inner.fenced = true;
+                        Err(WalError::Fenced)
+                    }
+                }
+            });
+            self.rollover_done.notify_all();
+            if let Err(e) = result {
                 return AppendFuture {
                     inner: Promise::ready(Err(e)),
                     ledger_seq: inner.current_seq,
                 };
             }
+            // Loop back to re-run the state checks with the fresh writer.
         }
         inner.bytes_in_current += data.len() as u64;
         // `writer.is_none()` was rejected above and rollover re-installs a

@@ -1,0 +1,30 @@
+//! Fixture: must trip `guard-across-blocking`.
+//!
+//! `flush` performs file I/O with the journal lock held, and `drain` parks
+//! on a sleep with the same guard live — both are stalls every other
+//! journal user inherits.
+
+use pravega_sync::{rank, Mutex};
+
+struct Journal {
+    entries: Mutex<Vec<u8>>,
+}
+
+impl Journal {
+    fn new() -> Self {
+        Self {
+            entries: Mutex::new(rank::WAL_LOG, Vec::new()),
+        }
+    }
+
+    fn flush(&self, path: &str) {
+        let entries = self.entries.lock();
+        std::fs::write(path, &*entries).ok();
+    }
+
+    fn drain(&self) {
+        let mut entries = self.entries.lock();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        entries.clear();
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: must trip `guard-escape` twice — a guard type stored in a
+//! struct field and one named in return position. Outside the sync facade
+//! both let a critical section outlive the function that opened it.
+
+use pravega_sync::{Mutex, MutexGuard};
+
+struct LeasedBatch<'a> {
+    entries: MutexGuard<'a, Vec<u8>>,
+}
+
+fn lease(m: &Mutex<Vec<u8>>) -> MutexGuard<'_, Vec<u8>> {
+    m.lock()
+}

@@ -1,0 +1,33 @@
+//! Fixture: must trip `lock-order` (both a rank contradiction and a cycle).
+//!
+//! Reproduces the container processor/core inversion the rank facade was
+//! introduced to prevent: one path takes processor (310) then core (320),
+//! the other takes them in the opposite order, closing a cycle.
+
+use pravega_sync::{rank, Mutex};
+
+struct Pipeline {
+    queue: Mutex<Vec<u64>>,
+    segments: Mutex<Vec<u64>>,
+}
+
+impl Pipeline {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(rank::CONTAINER_PROCESSOR, Vec::new()),
+            segments: Mutex::new(rank::CONTAINER_CORE, Vec::new()),
+        }
+    }
+
+    fn forward(&self) {
+        let queue = self.queue.lock();
+        let mut segments = self.segments.lock();
+        segments.extend(queue.iter().copied());
+    }
+
+    fn inverted(&self) {
+        let segments = self.segments.lock();
+        let mut queue = self.queue.lock();
+        queue.extend(segments.iter().copied());
+    }
+}

@@ -22,39 +22,73 @@
 //!   polling sleeps that are *not* retry loops are sanctioned via
 //!   `lint-allowlist.txt` entries.
 //!
+//! On top of the line rules, three token-level passes (see `lexer`, `guards`
+//! and `lockgraph`) enforce guard discipline:
+//!
+//! * `guard-across-blocking` — no `pravega_sync` guard may be live across a
+//!   blocking operation: sleeps, channel `recv`, `thread::join`, `Condvar`
+//!   waits on *other* locks, retry executions, or calls into functions that
+//!   transitively perform file I/O. The append path must never stall behind
+//!   a held lock.
+//! * `lock-order` — the static acquired-while-held graph (direct edges plus
+//!   one level of call propagation) must be acyclic and must agree with the
+//!   rank hierarchy in `crates/sync/src/rank.rs`.
+//! * `guard-escape` — guard types must not be returned or stored in structs
+//!   outside the sync facade; a guard that escapes its function has an
+//!   unauditable live range.
+//!
+//! Finally `allowlist-stale` keeps `lint-allowlist.txt` honest: an entry
+//! that no longer matches any would-be violation is itself an error.
+//!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions), `tests/`,
 //! `benches/`, `examples/` and `vendor/` are exempt from every rule.
 
+use crate::{guards, lockgraph};
+use std::cell::RefCell;
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// One rule violation, printed as `path:line: [rule] message`.
+/// One rule violation, printed as `path:line:col: [rule] message`.
 #[derive(Debug)]
 pub struct Violation {
     pub path: PathBuf,
     pub line: usize,
+    pub col: usize,
     pub rule: &'static str,
     pub message: String,
+    /// The trimmed source line, for human output and the JSON artifact.
+    pub snippet: String,
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: [{}] {}",
             self.path.display(),
             self.line,
+            self.col,
             self.rule,
             self.message
         )
     }
 }
 
-/// Sanctioned `no-unwrap` sites: `path-suffix: line-substring` entries.
+/// Sanctioned lint sites: `path-suffix: line-substring` entries. Every rule
+/// that supports suppression consults the same list; `mark`s record which
+/// entries earned their keep so stale ones can be reported.
 #[derive(Default)]
 pub struct Allowlist {
-    entries: Vec<(String, String)>,
+    entries: Vec<AllowEntry>,
+    used: RefCell<Vec<bool>>,
+}
+
+struct AllowEntry {
+    path_suffix: String,
+    needle: String,
+    /// 1-based line in `lint-allowlist.txt`, for `allowlist-stale` reports.
+    file_line: usize,
 }
 
 impl Allowlist {
@@ -70,23 +104,44 @@ impl Allowlist {
 
     pub fn parse(text: &str) -> Self {
         let mut entries = Vec::new();
-        for line in text.lines() {
+        for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             if let Some((path, needle)) = line.split_once(": ") {
-                entries.push((path.trim().to_string(), needle.trim().to_string()));
+                entries.push(AllowEntry {
+                    path_suffix: path.trim().to_string(),
+                    needle: needle.trim().to_string(),
+                    file_line: idx + 1,
+                });
             }
         }
-        Self { entries }
+        let used = RefCell::new(vec![false; entries.len()]);
+        Self { entries, used }
     }
 
     fn permits(&self, path: &Path, line: &str) -> bool {
         let path = path.to_string_lossy().replace('\\', "/");
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if path.ends_with(e.path_suffix.as_str()) && line.contains(e.needle.as_str()) {
+                self.used.borrow_mut()[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched anything: `(allowlist line, entry text)`.
+    fn stale_entries(&self) -> Vec<(usize, String)> {
+        let used = self.used.borrow();
         self.entries
             .iter()
-            .any(|(p, needle)| path.ends_with(p.as_str()) && line.contains(needle.as_str()))
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(_, e)| (e.file_line, format!("{}: {}", e.path_suffix, e.needle)))
+            .collect()
     }
 }
 
@@ -94,6 +149,8 @@ impl Allowlist {
 pub struct ScanReport {
     pub violations: Vec<Violation>,
     pub files: usize,
+    /// The rendered static lock-order graph, one edge per line.
+    pub graph: Vec<String>,
 }
 
 /// Scans every `.rs` file under `root`.
@@ -109,16 +166,195 @@ pub fn scan_tree(
     let mut files = Vec::new();
     collect_rs_files(root, fixture_mode, &mut files)?;
     files.sort();
-    let mut violations = Vec::new();
+    let mut texts: Vec<(PathBuf, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let text = fs::read_to_string(file)?;
-        let rel = file.strip_prefix(root).unwrap_or(file);
-        scan_file(rel, &text, fixture_mode, allow, &mut violations);
+        let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
+        texts.push((rel, text));
     }
+
+    let mut violations = Vec::new();
+    for (rel, text) in &texts {
+        scan_file(rel, text, fixture_mode, allow, &mut violations);
+    }
+
+    let graph = guard_pass(root, &texts, fixture_mode, allow, &mut violations);
+
+    // Staleness only applies to the real tree: fixture scans deliberately
+    // run against an allowlist written for the workspace.
+    if !fixture_mode {
+        for (file_line, entry) in allow.stale_entries() {
+            violations.push(Violation {
+                path: PathBuf::from("crates/xtask/lint-allowlist.txt"),
+                line: file_line,
+                col: 1,
+                rule: "allowlist-stale",
+                message: format!(
+                    "allowlist entry `{entry}` matches no current violation; remove it"
+                ),
+                snippet: entry,
+            });
+        }
+    }
+
+    violations
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
     Ok(ScanReport {
         violations,
-        files: files.len(),
+        files: texts.len(),
+        graph,
     })
+}
+
+/// The token-level passes: guard liveness, blocking propagation, escapes and
+/// the whole-program lock-order graph. Returns the rendered graph.
+fn guard_pass(
+    root: &Path,
+    texts: &[(PathBuf, String)],
+    fixture_mode: bool,
+    allow: &Allowlist,
+    out: &mut Vec<Violation>,
+) -> Vec<String> {
+    let applicable: Vec<&(PathBuf, String)> = texts
+        .iter()
+        .filter(|(rel, _)| guards::guard_analysis_applies(rel, fixture_mode))
+        .collect();
+
+    // Pass A: workspace-wide field → rank map (fallback for files that
+    // acquire locks declared elsewhere).
+    let mut lock_map = guards::LockMap::default();
+    for (rel, text) in &applicable {
+        let _ = rel;
+        let toks = crate::lexer::lex(text);
+        lock_map.add_file(&guards::lock_fields_of(&toks));
+    }
+
+    // Pass B: full per-file analysis with the global map available.
+    let mut all_fns = Vec::new();
+    let mut escapes: Vec<(PathBuf, guards::EscapeSite)> = Vec::new();
+    for (rel, text) in &applicable {
+        let toks = crate::lexer::lex(text);
+        let analysis = guards::analyze_file(rel, &toks, &lock_map);
+        all_fns.extend(analysis.fns);
+        escapes.extend(analysis.escapes.into_iter().map(|e| (rel.clone(), e)));
+    }
+
+    let line_text = |rel: &Path, line: u32| -> String {
+        texts
+            .iter()
+            .find(|(r, _)| r == rel)
+            .and_then(|(_, t)| t.lines().nth(line as usize - 1))
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+
+    // guard-escape.
+    for (rel, e) in &escapes {
+        let snippet = line_text(rel, e.line);
+        if allow.permits(rel, &snippet) {
+            continue;
+        }
+        out.push(Violation {
+            path: rel.clone(),
+            line: e.line as usize,
+            col: e.col as usize,
+            rule: "guard-escape",
+            message: format!(
+                "`{}` {} outside the sync facade; guards must not outlive their function",
+                e.type_name, e.how
+            ),
+            snippet,
+        });
+    }
+
+    // guard-across-blocking: direct blocking primitives under a live guard…
+    for f in &all_fns {
+        for b in &f.blocking_held {
+            let snippet = line_text(&f.file, b.line);
+            if allow.permits(&f.file, &snippet) {
+                continue;
+            }
+            out.push(Violation {
+                path: f.file.clone(),
+                line: b.line as usize,
+                col: b.col as usize,
+                rule: "guard-across-blocking",
+                message: format!(
+                    "{} in `{}` while holding {}; drop the guard (copy out, then block) \
+                     or narrow the critical section",
+                    b.what,
+                    f.name,
+                    b.held.join(", ")
+                ),
+                snippet,
+            });
+        }
+    }
+
+    // …and calls into functions that transitively block (file I/O, fsync,
+    // retry executions, pacing sleeps), matched by bare callee name.
+    let blocking = guards::blocking_callees(&all_fns);
+    for f in &all_fns {
+        for c in &f.calls_held {
+            // A call to a callee sharing the caller's own name is almost
+            // always wrapper delegation to another type's method; bare-name
+            // matching would pin the caller's own summary on it, so skip it.
+            if !blocking.contains(&c.callee)
+                || guards::CALL_STOPLIST.contains(&c.callee.as_str())
+                || c.callee == f.name
+            {
+                continue;
+            }
+            let snippet = line_text(&f.file, c.line);
+            if allow.permits(&f.file, &snippet) {
+                continue;
+            }
+            out.push(Violation {
+                path: f.file.clone(),
+                line: c.line as usize,
+                col: c.col as usize,
+                rule: "guard-across-blocking",
+                message: format!(
+                    "call to `{}` (reaches blocking I/O or a sleep) in `{}` while holding {}; \
+                     drop the guard first or allowlist with a justification",
+                    c.callee,
+                    f.name,
+                    c.held_labels.join(", ")
+                ),
+                snippet,
+            });
+        }
+    }
+
+    // lock-order: assemble the graph, drop allowlisted edges, then check.
+    let table = load_rank_table(root);
+    let edges: Vec<lockgraph::GraphEdge> = lockgraph::build_edges(&all_fns)
+        .into_iter()
+        .filter(|e| !allow.permits(&e.file, &line_text(&e.file, e.line)))
+        .collect();
+    for p in lockgraph::check(&edges, &table) {
+        out.push(Violation {
+            path: p.file.clone(),
+            line: p.line as usize,
+            col: p.col as usize,
+            rule: "lock-order",
+            message: format!("{}: {}", p.kind, p.message),
+            snippet: line_text(&p.file, p.line),
+        });
+    }
+    lockgraph::render(&edges, &table)
+}
+
+/// Loads the rank table from the scanned tree, falling back to the
+/// workspace's own `rank.rs` so fixture scans still resolve real ranks.
+fn load_rank_table(root: &Path) -> lockgraph::RankTable {
+    let in_tree = root.join("crates/sync/src/rank.rs");
+    let fallback = Path::new(env!("CARGO_MANIFEST_DIR")).join("../sync/src/rank.rs");
+    fs::read_to_string(&in_tree)
+        .or_else(|_| fs::read_to_string(&fallback))
+        .map(|src| lockgraph::RankTable::parse(&src))
+        .unwrap_or_default()
 }
 
 fn collect_rs_files(dir: &Path, fixture_mode: bool, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -236,10 +472,10 @@ pub fn scan_file(
         }
 
         if lock_rule {
-            check_direct_lock(rel, line_no, line, out);
+            check_direct_lock(rel, line_no, line, raw, out);
         }
         if time_rule {
-            check_raw_time(rel, line_no, line, out);
+            check_raw_time(rel, line_no, line, raw, out);
         }
         if write_path {
             check_unwrap(rel, line_no, line, raw, allow, out);
@@ -247,7 +483,7 @@ pub fn scan_file(
         if sleep_rule {
             check_retry_sleep(rel, line_no, line, raw, allow, out);
         }
-        check_metric_name(rel, line_no, line, out);
+        check_metric_name(rel, line_no, line, raw, out);
     }
 }
 
@@ -271,40 +507,50 @@ fn brace_delta(line: &str) -> i64 {
     delta
 }
 
-fn check_direct_lock(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
+/// 1-based column of `needle` in `line` (1 when absent, for synthesized
+/// matches).
+fn col_of(line: &str, needle: &str) -> usize {
+    line.find(needle).map(|p| p + 1).unwrap_or(1)
+}
+
+fn check_direct_lock(rel: &Path, line_no: usize, line: &str, raw: &str, out: &mut Vec<Violation>) {
     let banned = if line.contains("parking_lot") {
-        Some("parking_lot")
+        Some(("parking_lot", "parking_lot"))
     } else if line.contains("std::sync::")
         && ["Mutex", "RwLock", "Condvar"]
             .iter()
             .any(|t| line.contains(t))
     {
-        Some("std::sync")
+        Some(("std::sync", "std::sync::"))
     } else {
         None
     };
-    if let Some(src) = banned {
+    if let Some((src, needle)) = banned {
         out.push(Violation {
             path: rel.to_path_buf(),
             line: line_no,
+            col: col_of(line, needle),
             rule: "direct-lock",
             message: format!(
                 "direct {src} lock use; go through pravega_sync so the rank checker sees it"
             ),
+            snippet: raw.trim().to_string(),
         });
     }
 }
 
-fn check_raw_time(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
+fn check_raw_time(rel: &Path, line_no: usize, line: &str, raw: &str, out: &mut Vec<Violation>) {
     for call in ["Instant::now()", "SystemTime::now()"] {
         if line.contains(call) {
             out.push(Violation {
                 path: rel.to_path_buf(),
                 line: line_no,
+                col: col_of(line, call),
                 rule: "raw-time",
                 message: format!(
                     "{call} outside pravega_common::clock; use clock::monotonic_now()/wall_now()"
                 ),
+                snippet: raw.trim().to_string(),
             });
         }
     }
@@ -319,23 +565,25 @@ fn check_unwrap(
     out: &mut Vec<Violation>,
 ) {
     let hit = if line.contains(".unwrap()") {
-        Some(".unwrap()")
+        Some((".unwrap()", ".unwrap()"))
     } else if line.contains(".expect(") {
-        Some(".expect(…)")
+        Some((".expect(…)", ".expect("))
     } else {
         None
     };
-    if let Some(call) = hit {
+    if let Some((call, needle)) = hit {
         if allow.permits(rel, raw) {
             return;
         }
         out.push(Violation {
             path: rel.to_path_buf(),
             line: line_no,
+            col: col_of(line, needle),
             rule: "no-unwrap",
             message: format!(
                 "{call} on the write/flush path; return a typed error or add an allowlist entry"
             ),
+            snippet: raw.trim().to_string(),
         });
     }
 }
@@ -355,17 +603,20 @@ fn check_retry_sleep(
         out.push(Violation {
             path: rel.to_path_buf(),
             line: line_no,
+            col: col_of(line, "thread::sleep"),
             rule: "retry-sleep",
             message: "thread::sleep outside pravega_common::retry; use RetryPolicy for retries, \
                       or allowlist a pacing/polling sleep"
                 .to_string(),
+            snippet: raw.trim().to_string(),
         });
     }
 }
 
-fn check_metric_name(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Violation>) {
+fn check_metric_name(rel: &Path, line_no: usize, line: &str, raw: &str, out: &mut Vec<Violation>) {
     for method in [".counter(\"", ".histogram(\"", ".gauge(\"", ".text(\""] {
         let mut rest = line;
+        let mut consumed = 0usize;
         while let Some(pos) = rest.find(method) {
             let after = &rest[pos + method.len()..];
             if let Some(end) = after.find('"') {
@@ -374,12 +625,15 @@ fn check_metric_name(rel: &Path, line_no: usize, line: &str, out: &mut Vec<Viola
                     out.push(Violation {
                         path: rel.to_path_buf(),
                         line: line_no,
+                        col: consumed + pos + method.len() + 1,
                         rule: "metric-name",
                         message: format!(
                             "metric name `{name}` must match <crate>.<component>.<name>"
                         ),
+                        snippet: raw.trim().to_string(),
                     });
                 }
+                consumed += pos + method.len() + end;
                 rest = &after[end..];
             } else {
                 break;
@@ -615,16 +869,130 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
     fn fixtures_each_trip_their_rule() {
         let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
         let report = scan_tree(&fixtures, true, &Allowlist::default()).unwrap();
-        let rules: std::collections::BTreeSet<&str> =
-            report.violations.iter().map(|v| v.rule).collect();
-        for rule in [
-            "direct-lock",
-            "no-unwrap",
-            "raw-time",
-            "metric-name",
-            "retry-sleep",
+        // Each fixture file must trip the rule it is named for.
+        for (file, rule) in [
+            ("direct_lock.rs", "direct-lock"),
+            ("unwrap_flush_path.rs", "no-unwrap"),
+            ("raw_time.rs", "raw-time"),
+            ("bad_metric_name.rs", "metric-name"),
+            ("retry_sleep.rs", "retry-sleep"),
+            ("guard_across_blocking.rs", "guard-across-blocking"),
+            ("guard_escape.rs", "guard-escape"),
+            ("lock_graph_cycle.rs", "lock-order"),
         ] {
-            assert!(rules.contains(rule), "fixture missing for rule {rule}");
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.path.to_string_lossy() == file && v.rule == rule),
+                "fixture {file} did not trip {rule}:\n{}",
+                report
+                    .violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
+        // The cycle fixture must report both lock-order flavours.
+        for kind in ["cycle:", "rank-contradiction:"] {
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|v| v.path.to_string_lossy() == "lock_graph_cycle.rs"
+                        && v.message.starts_with(kind)),
+                "lock_graph_cycle.rs missing a `{kind}` finding"
+            );
+        }
+        // The escape fixture covers both escape positions.
+        let escapes = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "guard-escape")
+            .count();
+        assert_eq!(escapes, 2, "expected struct-field and return escapes");
+    }
+
+    #[test]
+    fn violations_are_sorted_and_carry_columns() {
+        let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+        let report = scan_tree(&fixtures, true, &Allowlist::default()).unwrap();
+        assert!(!report.violations.is_empty());
+        let keys: Vec<_> = report
+            .violations
+            .iter()
+            .map(|v| (v.path.clone(), v.line, v.col, v.rule))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "scan output must be deterministically sorted");
+        assert!(report.violations.iter().all(|v| v.col >= 1));
+        assert!(report.violations.iter().all(|v| !v.snippet.is_empty()));
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_reported() {
+        let allow = Allowlist::parse(
+            "# comment\n\
+             crates/nowhere/src/lib.rs: .unwrap()\n",
+        );
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let report = scan_tree(root, false, &allow).unwrap();
+        let stale: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "allowlist-stale")
+            .collect();
+        assert_eq!(stale.len(), 1, "{stale:?}");
+        // Reported against the allowlist file at the entry's own line.
+        assert_eq!(stale[0].line, 2);
+        assert!(stale[0].message.contains("crates/nowhere/src/lib.rs"));
+    }
+
+    /// DESIGN.md §10 embeds the generated lock-order graph and §7 the rank
+    /// table; both must track the analyzer and `rank.rs` exactly.
+    #[test]
+    fn design_doc_graph_is_current() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let allow = Allowlist::load(&root.join("crates/xtask/lint-allowlist.txt")).unwrap();
+        let report = scan_tree(root, false, &allow).unwrap();
+        let design = fs::read_to_string(root.join("DESIGN.md")).unwrap();
+
+        let begin = design
+            .find("<!-- lock-order-graph:begin -->")
+            .expect("DESIGN.md is missing the lock-order-graph:begin marker");
+        let end = design
+            .find("<!-- lock-order-graph:end -->")
+            .expect("DESIGN.md is missing the lock-order-graph:end marker");
+        let documented: Vec<&str> = design[begin..end]
+            .lines()
+            .filter(|l| l.contains(" -> "))
+            .map(str::trim)
+            .collect();
+        let generated: Vec<&str> = report.graph.iter().map(String::as_str).collect();
+        assert_eq!(
+            documented, generated,
+            "DESIGN.md §10 lock-order graph is stale; replace the block with \
+             the output of `cargo run -p xtask -- lint --graph`"
+        );
+
+        // Every rank constant must appear (backticked) in the §7 table.
+        let rank_src = fs::read_to_string(root.join("crates/sync/src/rank.rs")).unwrap();
+        let table = lockgraph::RankTable::parse(&rank_src);
+        assert!(!table.is_empty());
+        for (name, order, dotted) in table.names() {
+            assert!(
+                design.contains(&format!("`{name}`")),
+                "rank constant {name} ({order}, {dotted}) missing from the \
+                 DESIGN.md §7 hierarchy table"
+            );
         }
     }
 

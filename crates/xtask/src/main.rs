@@ -2,25 +2,55 @@
 //!
 //! The only task today is `lint`: a source-level static-analysis pass that
 //! enforces the concurrency discipline documented in `DESIGN.md`
-//! ("Concurrency discipline"). It is deliberately a line scanner, not a full
-//! parser: the rules it checks are textual by construction (imports, call
-//! spellings, string literals) and a scanner keeps the tool dependency-free.
+//! ("Concurrency discipline" and "Static concurrency analysis"). It layers
+//! two engines:
+//!
+//! - a line scanner for the textual rules (imports, call spellings, string
+//!   literals), and
+//! - a token-level analyzer (`lexer` + `guards` + `lockgraph`) for the
+//!   guard-liveness and lock-order rules.
+//!
+//! Both are dependency-free by design so the tool builds instantly anywhere.
+//!
+//! Exit codes are per rule category so CI and scripts can tell failure
+//! classes apart without parsing output:
+//!
+//! | code | meaning                                        |
+//! |------|------------------------------------------------|
+//! | 0    | clean                                          |
+//! | 1    | violations from more than one category         |
+//! | 2    | usage or I/O error                             |
+//! | 3    | textual rules only (`direct-lock`, `raw-time`, |
+//! |      | `no-unwrap`, `retry-sleep`, `metric-name`)     |
+//! | 4    | `guard-across-blocking` only                   |
+//! | 5    | `guard-escape` only                            |
+//! | 6    | `lock-order` only                              |
+//! | 7    | `allowlist-stale` only                         |
 
+mod guards;
+mod lexer;
 mod lints;
+mod lockgraph;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const EXIT_ERROR: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut task = None;
     let mut root: Option<PathBuf> = None;
     let mut allowlist: Option<PathBuf> = None;
+    let mut json = false;
+    let mut graph = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--root" => root = iter.next().map(PathBuf::from),
             "--allowlist" => allowlist = iter.next().map(PathBuf::from),
+            "--json" => json = true,
+            "--graph" => graph = true,
             "lint" => task = Some("lint"),
             "--help" | "-h" => {
                 print_usage();
@@ -29,29 +59,39 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("unknown argument: {other}");
                 print_usage();
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_ERROR);
             }
         }
     }
 
     match task {
-        Some("lint") => run_lint(root, allowlist),
+        Some("lint") => run_lint(root, allowlist, json, graph),
         _ => {
             print_usage();
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_ERROR)
         }
     }
 }
 
 fn print_usage() {
-    eprintln!("usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE]");
+    eprintln!(
+        "usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE] [--json] [--graph]"
+    );
     eprintln!();
     eprintln!("Lints the workspace sources. With --root, scans an arbitrary");
     eprintln!("directory with every rule applied to every file (used for the");
     eprintln!("violation fixtures under crates/xtask/fixtures).");
+    eprintln!();
+    eprintln!("  --json    emit machine-readable JSON on stdout instead of text");
+    eprintln!("  --graph   print the inferred lock-order graph after the scan");
 }
 
-fn run_lint(root: Option<PathBuf>, allowlist: Option<PathBuf>) -> ExitCode {
+fn run_lint(
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    graph: bool,
+) -> ExitCode {
     // Default to the workspace root: xtask lives at <root>/crates/xtask.
     let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
@@ -70,7 +110,7 @@ fn run_lint(root: Option<PathBuf>, allowlist: Option<PathBuf>) -> ExitCode {
                 "error: cannot read allowlist {}: {e}",
                 allowlist_path.display()
             );
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
 
@@ -78,18 +118,187 @@ fn run_lint(root: Option<PathBuf>, allowlist: Option<PathBuf>) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_ERROR);
         }
     };
 
-    for v in &report.violations {
-        println!("{v}");
-    }
-    if report.violations.is_empty() {
-        println!("xtask lint: clean ({} files scanned)", report.files);
-        ExitCode::SUCCESS
+    if json {
+        println!("{}", report_to_json(&report));
     } else {
-        println!("xtask lint: {} violation(s)", report.violations.len());
-        ExitCode::FAILURE
+        for v in &report.violations {
+            println!("{v}");
+        }
+        if graph {
+            println!("lock-order graph ({} edges):", report.graph.len());
+            for line in &report.graph {
+                println!("  {line}");
+            }
+        }
+        if report.violations.is_empty() {
+            println!("xtask lint: clean ({} files scanned)", report.files);
+        } else {
+            println!("xtask lint: {} violation(s)", report.violations.len());
+        }
+    }
+    ExitCode::from(exit_code_for(&report.violations))
+}
+
+/// Maps the violation set to the per-category exit code documented in the
+/// module header.
+fn exit_code_for(violations: &[lints::Violation]) -> u8 {
+    if violations.is_empty() {
+        return 0;
+    }
+    let mut codes: Vec<u8> = violations
+        .iter()
+        .map(|v| match v.rule {
+            "guard-across-blocking" => 4,
+            "guard-escape" => 5,
+            "lock-order" => 6,
+            "allowlist-stale" => 7,
+            _ => 3,
+        })
+        .collect();
+    codes.sort_unstable();
+    codes.dedup();
+    if codes.len() == 1 {
+        codes[0]
+    } else {
+        1
+    }
+}
+
+/// Serializes the report by hand (the tool is dependency-free). Violations
+/// are already sorted by (path, line, col, rule), so the output is stable
+/// across runs and machines.
+fn report_to_json(report: &lints::ScanReport) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let path = v.path.to_string_lossy().replace('\\', "/");
+        out.push_str(&format!("\"file\": {}, ", json_str(&path)));
+        out.push_str(&format!("\"line\": {}, ", v.line));
+        out.push_str(&format!("\"col\": {}, ", v.col));
+        out.push_str(&format!("\"rule\": {}, ", json_str(v.rule)));
+        out.push_str(&format!("\"message\": {}, ", json_str(&v.message)));
+        out.push_str(&format!("\"snippet\": {}", json_str(v.snippet.trim())));
+        out.push('}');
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files));
+    out.push_str("  \"lock_order_graph\": [");
+    for (i, edge) in report.graph.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_str(edge));
+    }
+    if !report.graph.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str) -> lints::Violation {
+        lints::Violation {
+            path: "crates/x/src/lib.rs".into(),
+            line: 1,
+            col: 1,
+            rule,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
+    #[test]
+    fn exit_codes_per_category() {
+        assert_eq!(exit_code_for(&[]), 0);
+        assert_eq!(exit_code_for(&[violation("no-unwrap")]), 3);
+        assert_eq!(exit_code_for(&[violation("guard-across-blocking")]), 4);
+        assert_eq!(exit_code_for(&[violation("guard-escape")]), 5);
+        assert_eq!(exit_code_for(&[violation("lock-order")]), 6);
+        assert_eq!(exit_code_for(&[violation("allowlist-stale")]), 7);
+        assert_eq!(
+            exit_code_for(&[violation("no-unwrap"), violation("lock-order")]),
+            1
+        );
+        assert_eq!(
+            exit_code_for(&[violation("raw-time"), violation("retry-sleep")]),
+            3
+        );
+    }
+
+    #[test]
+    fn json_output_is_valid_and_escaped() {
+        let report = lints::ScanReport {
+            violations: vec![lints::Violation {
+                path: "a\\b.rs".into(),
+                line: 3,
+                col: 7,
+                rule: "no-unwrap",
+                message: "say \"no\"".into(),
+                snippet: "\tx.unwrap()".into(),
+            }],
+            files: 1,
+            graph: vec!["a (1) -> b (2) via `c`  [f.rs:1]".into()],
+        };
+        let json = report_to_json(&report);
+        // Windows separators are normalized, never escaped.
+        assert!(json.contains("\"file\": \"a/b.rs\""));
+        assert!(json.contains("\"line\": 3, \"col\": 7"));
+        assert!(json.contains("\"message\": \"say \\\"no\\\"\""));
+        // Snippet is trimmed, so the tab disappears rather than escaping.
+        assert!(json.contains("\"snippet\": \"x.unwrap()\""));
+        assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"lock_order_graph\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_serializes_to_empty_arrays() {
+        let report = lints::ScanReport {
+            violations: Vec::new(),
+            files: 0,
+            graph: Vec::new(),
+        };
+        let json = report_to_json(&report);
+        assert!(json.contains("\"violations\": []"));
+        assert!(json.contains("\"lock_order_graph\": []"));
     }
 }
