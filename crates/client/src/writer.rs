@@ -799,6 +799,12 @@ fn pump_loop(shared: Arc<WriterShared>) {
                     }
                 }
             }
+            // A permanently failed writer resolves everything outstanding
+            // *now*: a caller blocked on an append promise would otherwise
+            // wait until the writer is dropped (or forever, if it never is).
+            if let Some(e) = state.failed.clone() {
+                fail_all_pending(&shared, &mut state, &e);
+            }
         }
         idle_sleep = if did_work {
             Duration::from_micros(200)
@@ -809,19 +815,28 @@ fn pump_loop(shared: Arc<WriterShared>) {
     }
     // Fail anything still pending on shutdown.
     let mut state = shared.state.lock();
+    fail_all_pending(
+        &shared,
+        &mut state,
+        &ClientError::Disconnected("writer closed".into()),
+    );
+}
+
+/// Fails every queued and inflight event promise with `error`.
+fn fail_all_pending(shared: &Arc<WriterShared>, state: &mut WriterState, error: &ClientError) {
     for seg in &mut state.segments {
         for block in seg.inflight.drain(..) {
             for mut e in block.events {
                 if let Some(c) = e.completer.take() {
                     shared.pending_events.fetch_sub(1, Ordering::SeqCst);
-                    c.complete(Err(ClientError::Disconnected("writer closed".into())));
+                    c.complete(Err(error.clone()));
                 }
             }
         }
         for mut e in seg.block_events.drain(..) {
             if let Some(c) = e.completer.take() {
                 shared.pending_events.fetch_sub(1, Ordering::SeqCst);
-                c.complete(Err(ClientError::Disconnected("writer closed".into())));
+                c.complete(Err(error.clone()));
             }
         }
     }

@@ -24,6 +24,7 @@
 
 pub mod buf;
 pub mod clock;
+pub mod crashpoints;
 pub mod future;
 pub mod hashing;
 pub mod id;

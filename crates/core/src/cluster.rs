@@ -85,6 +85,11 @@ pub struct ClusterConfig {
     /// bookie (the first), so with the default 3/3/2 replication the ack
     /// quorum survives every injected fault and appends ride through.
     pub wal_faults: Option<Arc<FaultPlan>>,
+    /// Seeded crash-point schedules (crash tests). When set, the plan's
+    /// crash hook is armed at every named crash point — bookie journals,
+    /// container pipeline/storage writer/seal path, and LTS chunk rolls —
+    /// so a seed reproduces the same crash schedule run after run.
+    pub crash_faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ClusterConfig {
@@ -103,6 +108,7 @@ impl Default for ClusterConfig {
             autoscaler: AutoScalerConfig::default(),
             lts_faults: None,
             wal_faults: None,
+            crash_faults: None,
         }
     }
 }
@@ -179,26 +185,17 @@ impl PravegaCluster {
     pub fn start(config: ClusterConfig) -> Result<Self, ClusterError> {
         let metrics = MetricsRegistry::new();
         let coord = CoordinationService::new();
+        let mut journal = config.journal.clone();
+        if let Some(plan) = &config.crash_faults {
+            journal.crash_hook = plan.crash_hook();
+        }
         let bookies: Vec<Arc<MemBookie>> = (0..config.bookie_count)
             .map(|i| {
-                MemBookie::new(&format!("bookie-{i}"), config.journal.clone())
+                MemBookie::new(&format!("bookie-{i}"), journal.clone())
                     .map(Arc::new)
                     .map_err(|e| ClusterError::Other(format!("start bookie-{i}: {e}")))
             })
             .collect::<Result<_, _>>()?;
-        let mut pool_members: Vec<Arc<dyn Bookie>> = bookies
-            .iter()
-            .map(|b| b.clone() as Arc<dyn Bookie>)
-            .collect();
-        if let Some(plan) = &config.wal_faults {
-            // One faulty bookie keeps the 3/3/2 ack quorum intact, so WAL
-            // appends survive injected faults instead of losing quorum.
-            if let Some(first) = pool_members.first_mut() {
-                *first = Arc::new(FaultyBookie::new(first.clone(), plan.clone()));
-            }
-            plan.bind_metrics(&metrics);
-        }
-        let pool = BookiePool::new(pool_members);
 
         let mut chunks: Arc<dyn ChunkStorage> = match &config.lts {
             LtsKind::InMemory => Arc::new(InMemoryChunkStorage::new()),
@@ -216,7 +213,7 @@ impl PravegaCluster {
         // Chunk *metadata* lives in an in-memory conditional-update store;
         // the paper keeps it in Pravega's own tables (see DESIGN.md for the
         // substitution rationale).
-        let lts = ChunkedSegmentStorage::new(
+        let mut lts = ChunkedSegmentStorage::new(
             chunks,
             Arc::new(InMemoryMetadataStore::new()),
             ChunkedStorageConfig {
@@ -224,6 +221,45 @@ impl PravegaCluster {
             },
         )
         .with_metrics(&metrics);
+        if let Some(plan) = &config.crash_faults {
+            lts = lts.with_crash_hook(plan.crash_hook());
+            plan.bind_metrics(&metrics);
+        }
+
+        Self::boot(config, coord, bookies, lts, metrics)
+    }
+
+    /// Builds the volatile tier — stores, containers, controller, routing —
+    /// over an existing durable substrate (bookie pool, LTS chunk storage
+    /// and metadata, coordination store). [`PravegaCluster::start`] calls
+    /// this with a fresh substrate; [`PravegaCluster::crash_and_restart`]
+    /// re-calls it with the substrate that survived the crash, so recovered
+    /// state comes exclusively from what was durable.
+    fn boot(
+        config: ClusterConfig,
+        coord: CoordinationService,
+        bookies: Vec<Arc<MemBookie>>,
+        lts: ChunkedSegmentStorage,
+        metrics: MetricsRegistry,
+    ) -> Result<Self, ClusterError> {
+        let mut pool_members: Vec<Arc<dyn Bookie>> = bookies
+            .iter()
+            .map(|b| b.clone() as Arc<dyn Bookie>)
+            .collect();
+        if let Some(plan) = &config.wal_faults {
+            // One faulty bookie keeps the 3/3/2 ack quorum intact, so WAL
+            // appends survive injected faults instead of losing quorum.
+            if let Some(first) = pool_members.first_mut() {
+                *first = Arc::new(FaultyBookie::new(first.clone(), plan.clone()));
+            }
+            plan.bind_metrics(&metrics);
+        }
+        let pool = BookiePool::new(pool_members);
+
+        let mut config = config;
+        if let Some(hook) = config.crash_faults.as_ref().map(|p| p.crash_hook()) {
+            config.container.crash_hook = hook;
+        }
 
         let routing = Arc::new(Routing {
             container_count: config.container_count,
@@ -572,26 +608,97 @@ impl PravegaCluster {
             .map(|h| h.store.clone())
     }
 
-    /// Kills a segment store (failure injection): its session expires, its
+    /// Gracefully stops a segment store: its containers drain their
+    /// pipelines and join their threads, its session expires, and its
     /// containers are re-assigned to the survivors, which recover them from
-    /// the WAL (§4.4).
+    /// the WAL (§4.4). For an *abrupt* failure — no draining, no flushing —
+    /// use [`PravegaCluster::crash_store`].
     ///
     /// # Errors
     ///
     /// Rebalance failures.
-    pub fn kill_store(&self, host: &str) -> Result<(), ClusterError> {
-        let (store, session_id) = {
-            let mut stores = self.routing.stores.lock();
-            let handle = stores
-                .get_mut(host)
-                .ok_or_else(|| ClusterError::Other(format!("unknown host {host}")))?;
-            handle.alive = false;
-            (handle.store.clone(), handle.session.id())
-        };
+    pub fn stop_store(&self, host: &str) -> Result<(), ClusterError> {
+        let (store, session_id) = self.take_store(host)?;
         store.shutdown();
         self.coord.expire_session(session_id);
         Self::rebalance(&self.config, &self.coord, &self.routing)?;
         Ok(())
+    }
+
+    /// Abruptly crashes a segment store, as if its process died: in-flight
+    /// operations are abandoned (no flush, no checkpoint, workers torn down
+    /// without draining, an in-flight journal frame may be left torn in the
+    /// WAL). Its session expires and the survivors recover its containers
+    /// from durable state, fencing the crashed store's WAL logs (§4.4).
+    ///
+    /// Returns the crashed containers' WAL handles — the lingering "zombie"
+    /// writers. Appends through them must fail with
+    /// [`pravega_wal::error::WalError::Fenced`] once recovery has fenced
+    /// the logs.
+    ///
+    /// # Errors
+    ///
+    /// Rebalance failures.
+    pub fn crash_store(&self, host: &str) -> Result<Vec<Arc<dyn DurableDataLog>>, ClusterError> {
+        let (store, session_id) = self.take_store(host)?;
+        let zombies = store.crash();
+        self.coord.expire_session(session_id);
+        Self::rebalance(&self.config, &self.coord, &self.routing)?;
+        Ok(zombies)
+    }
+
+    /// Marks `host` dead in routing and returns its store + session id.
+    fn take_store(
+        &self,
+        host: &str,
+    ) -> Result<(Arc<SegmentStore>, pravega_coordination::SessionId), ClusterError> {
+        let mut stores = self.routing.stores.lock();
+        let handle = stores
+            .get_mut(host)
+            .ok_or_else(|| ClusterError::Other(format!("unknown host {host}")))?;
+        handle.alive = false;
+        Ok((handle.store.clone(), handle.session.id()))
+    }
+
+    /// Crashes the **whole cluster** abruptly and rebuilds it from durable
+    /// state only: the same bookie pool (WAL), the same LTS chunk storage
+    /// and chunk metadata, and the same coordination store survive; every
+    /// store, container, controller and routing table is rebuilt from
+    /// scratch. Anything that was only in volatile memory — unacked
+    /// in-flight operations, read caches, in-memory indices — is lost,
+    /// exactly as in a power failure. Every event that was acknowledged
+    /// before the crash must be readable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Substrate re-bootstrap failures.
+    pub fn crash_and_restart(self) -> Result<Self, ClusterError> {
+        // Crash every store abruptly; the zombie WAL handles are dropped
+        // (crash_store is the API for holding on to them).
+        let handles: Vec<(Arc<SegmentStore>, pravega_coordination::SessionId)> = {
+            let mut stores = self.routing.stores.lock();
+            stores
+                .values_mut()
+                .map(|h| {
+                    h.alive = false;
+                    (h.store.clone(), h.session.id())
+                })
+                .collect()
+        };
+        for (store, session_id) in handles {
+            let _ = store.crash();
+            self.coord.expire_session(session_id);
+        }
+        // Only the durable substrate crosses the restart.
+        let config = self.config.clone();
+        let coord = self.coord.clone();
+        let bookies = self.bookies.clone();
+        let lts = self.lts.clone();
+        let metrics = self.metrics.clone();
+        // The old handle's Drop runs shutdown(), which is a no-op on the
+        // already-crashed (drained) stores.
+        drop(self);
+        Self::boot(config, coord, bookies, lts, metrics)
     }
 
     /// Total bytes committed but not yet tiered to LTS across the cluster.

@@ -36,6 +36,7 @@ use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use bytes::Bytes;
+use pravega_common::crashpoints::CrashHook;
 use pravega_common::metrics::{Counter, MetricsRegistry};
 use pravega_lts::{ChunkStorage, LtsError};
 use pravega_sync::{rank, Mutex};
@@ -87,6 +88,29 @@ pub enum FaultDecision {
         /// Number of payload bytes that reach the backend (a strict prefix).
         keep: usize,
     },
+    /// Simulate a process crash at a named crash point: the firing site
+    /// abandons the operation exactly as an abrupt death would. Only emitted
+    /// by [`FaultPlan::decide_crash`], never by [`FaultPlan::decide`].
+    Crash,
+}
+
+/// Seeded crash-point schedule for a [`FaultPlan`].
+///
+/// Each time production code reaches a named crash point
+/// ([`pravega_common::crashpoints`]) with this plan's hook armed, the plan
+/// draws from `(seed, crash_index)` — a stream independent of the
+/// operation-fault stream, so arming crashes never shifts the transient /
+/// torn / latency sequence.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSpec {
+    /// Per-occurrence probability that an eligible crash point fires.
+    pub crash_rate: f64,
+    /// Ceiling on fired crashes over the plan's lifetime (a crashed process
+    /// stays dead; without a ceiling a probabilistic schedule would keep
+    /// "crashing" the replacement too).
+    pub max_crashes: u64,
+    /// When non-empty, only these points are eligible to fire.
+    pub points: Vec<&'static str>,
 }
 
 /// One entry of a plan's injection log: which fault hit which operation.
@@ -114,10 +138,17 @@ pub struct FaultRecord {
 pub struct FaultPlan {
     seed: u64,
     spec: FaultSpec,
+    crash: CrashSpec,
     enabled: AtomicBool,
     always_fail: AtomicBool,
     fail_next: AtomicU64,
+    /// One-shot scripted crash targets: the next occurrence of a listed
+    /// point fires unconditionally (and is removed). Under FAULTS_PLAN rank —
+    /// same leaf discipline as the log.
+    crash_script: Mutex<Vec<&'static str>>,
     ops: AtomicU64,
+    crash_ops: AtomicU64,
+    crashes: AtomicU64,
     injected: AtomicU64,
     log: Mutex<Vec<FaultRecord>>,
     injected_counter: OnceLock<Arc<Counter>>,
@@ -126,13 +157,23 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Creates an enabled plan drawing probabilistic faults from `seed`.
     pub fn new(seed: u64, spec: FaultSpec) -> Self {
+        Self::with_crashes(seed, spec, CrashSpec::default())
+    }
+
+    /// Creates an enabled plan with both an operation-fault spec and a
+    /// crash-point schedule.
+    pub fn with_crashes(seed: u64, spec: FaultSpec, crash: CrashSpec) -> Self {
         Self {
             seed,
             spec,
+            crash,
             enabled: AtomicBool::new(true),
             always_fail: AtomicBool::new(false),
             fail_next: AtomicU64::new(0),
+            crash_script: Mutex::new(rank::FAULTS_PLAN, Vec::new()),
             ops: AtomicU64::new(0),
+            crash_ops: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             log: Mutex::new(rank::FAULTS_PLAN, Vec::new()),
             injected_counter: OnceLock::new(),
@@ -169,7 +210,20 @@ impl FaultPlan {
         self.fail_next.store(n, Ordering::SeqCst);
     }
 
-    /// Total faults injected so far (all kinds).
+    /// Scripted one-shot crash: the next time production code reaches the
+    /// named crash `point`, it fires unconditionally (then the script entry
+    /// is consumed). Scripted crashes bypass the probabilistic stream and
+    /// consume no crash index, and they ignore [`CrashSpec::max_crashes`].
+    pub fn crash_at_next(&self, point: &'static str) {
+        self.crash_script.lock().push(point);
+    }
+
+    /// Number of crash points fired so far.
+    pub fn injected_crashes(&self) -> u64 {
+        self.crashes.load(Ordering::SeqCst)
+    }
+
+    /// Total faults injected so far (all kinds, crashes included).
     pub fn injected_faults(&self) -> u64 {
         self.injected.load(Ordering::SeqCst)
     }
@@ -247,6 +301,81 @@ impl FaultPlan {
         }
         decision
     }
+
+    /// Decides whether the named crash `point` fires.
+    ///
+    /// Scripted targets ([`crash_at_next`](Self::crash_at_next)) fire first
+    /// and consume no crash index. Otherwise eligible points (per
+    /// [`CrashSpec::points`]) consume one index from the crash stream — a
+    /// pure function of `(seed, crash_index)`, independent of the
+    /// operation-fault stream — and fire with
+    /// [`CrashSpec::crash_rate`] probability, capped at
+    /// [`CrashSpec::max_crashes`] lifetime firings. Every firing is appended
+    /// to the injection log as [`FaultDecision::Crash`].
+    pub fn decide_crash(&self, point: &'static str) -> bool {
+        if !self.enabled.load(Ordering::SeqCst) {
+            return false;
+        }
+        let scripted = {
+            let mut script = self.crash_script.lock();
+            match script.iter().position(|p| *p == point) {
+                Some(at) => {
+                    script.remove(at);
+                    true
+                }
+                None => false,
+            }
+        };
+        if scripted {
+            self.crashes.fetch_add(1, Ordering::SeqCst);
+            self.record(
+                self.crash_ops.load(Ordering::SeqCst),
+                point,
+                FaultDecision::Crash,
+            );
+            return true;
+        }
+        if !self.crash.points.is_empty() && !self.crash.points.contains(&point) {
+            return false;
+        }
+        if self.crash.crash_rate <= 0.0 {
+            return false;
+        }
+        let i = self.crash_ops.fetch_add(1, Ordering::SeqCst);
+        // Same splitmix mixing as `decide`, offset into a disjoint stream so
+        // crash draws never correlate with operation-fault draws.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            (self.seed ^ 0xC4A5_11FA_u64.rotate_left(32))
+                ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+        );
+        if !rng.gen_bool(self.crash.crash_rate) {
+            return false;
+        }
+        // A crashed process stays dead: respect the lifetime ceiling even
+        // when concurrent sites draw a firing at the same time.
+        if self
+            .crashes
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.crash.max_crashes).then_some(n + 1)
+            })
+            .is_err()
+        {
+            return false;
+        }
+        self.record(i, point, FaultDecision::Crash);
+        true
+    }
+
+    /// An armed [`CrashHook`] driving crash points from this plan.
+    ///
+    /// This is the sanctioned way to arm crash machinery: production crates
+    /// thread the hook through their configs and fire it, while the arming
+    /// itself stays inside `pravega-faults` (enforced by the xtask
+    /// `crash-point` lint rule).
+    pub fn crash_hook(self: &Arc<Self>) -> CrashHook {
+        let plan = Arc::clone(self);
+        CrashHook::armed(move |point| plan.decide_crash(point))
+    }
 }
 
 fn spike(duration: Duration) {
@@ -286,7 +415,11 @@ impl FaultyChunkStorage {
                 spike(d);
                 Ok(())
             }
-            FaultDecision::Transient | FaultDecision::Torn { .. } => Err(LtsError::Unavailable),
+            // `decide` never emits Crash; treat it as unavailability if it
+            // ever appears rather than panicking inside a decorator.
+            FaultDecision::Transient | FaultDecision::Torn { .. } | FaultDecision::Crash => {
+                Err(LtsError::Unavailable)
+            }
         }
     }
 }
@@ -304,7 +437,7 @@ impl ChunkStorage for FaultyChunkStorage {
                 spike(d);
                 self.inner.write(name, offset, data)
             }
-            FaultDecision::Transient => Err(LtsError::Unavailable),
+            FaultDecision::Transient | FaultDecision::Crash => Err(LtsError::Unavailable),
             FaultDecision::Torn { keep } => {
                 // Apply the prefix, then report failure: the caller cannot
                 // tell how much landed, like a connection cut mid-PUT. If the
@@ -373,7 +506,9 @@ impl FaultyBookie {
                 spike(d);
                 Ok(())
             }
-            FaultDecision::Transient | FaultDecision::Torn { .. } => Err(BookieError::Unavailable),
+            FaultDecision::Transient | FaultDecision::Torn { .. } | FaultDecision::Crash => {
+                Err(BookieError::Unavailable)
+            }
         }
     }
 }
@@ -557,6 +692,89 @@ mod tests {
             return;
         }
         panic!("no torn draw in 200 seeds with torn_write_rate = 1.0");
+    }
+
+    #[test]
+    fn crash_schedule_is_a_pure_function_of_the_seed() {
+        use pravega_common::crashpoints::ALL_CRASH_POINTS;
+        let spec = CrashSpec {
+            crash_rate: 0.25,
+            max_crashes: u64::MAX,
+            points: Vec::new(),
+        };
+        let drive = |plan: &FaultPlan| -> Vec<bool> {
+            (0..400)
+                .map(|i| plan.decide_crash(ALL_CRASH_POINTS[i % ALL_CRASH_POINTS.len()]))
+                .collect()
+        };
+        let a = FaultPlan::with_crashes(0xbeef, FaultSpec::default(), spec.clone());
+        let b = FaultPlan::with_crashes(0xbeef, FaultSpec::default(), spec.clone());
+        assert_eq!(drive(&a), drive(&b));
+        assert_eq!(a.log(), b.log());
+        assert!(a.injected_crashes() > 0, "25% over 400 draws should fire");
+        let c = FaultPlan::with_crashes(0xcafe, FaultSpec::default(), spec);
+        assert_ne!(drive(&a), drive(&c), "different seeds should diverge");
+    }
+
+    #[test]
+    fn crash_stream_does_not_shift_operation_faults() {
+        let with = FaultPlan::with_crashes(
+            11,
+            lossy_spec(),
+            CrashSpec {
+                crash_rate: 1.0,
+                max_crashes: u64::MAX,
+                points: Vec::new(),
+            },
+        );
+        let without = FaultPlan::new(11, lossy_spec());
+        for _ in 0..50 {
+            let _ = with.decide_crash(pravega_common::crashpoints::WAL_JOURNAL_MID_WRITE);
+        }
+        assert_eq!(drive(&with, 200), drive(&without, 200));
+    }
+
+    #[test]
+    fn scripted_crash_fires_once_at_the_named_point() {
+        use pravega_common::crashpoints as cp;
+        let plan = Arc::new(FaultPlan::manual());
+        plan.crash_at_next(cp::SEGMENTSTORE_STORAGEWRITER_MID_FLUSH);
+        let hook = plan.crash_hook();
+        assert!(hook.is_armed());
+        // Other points pass through without consuming the script entry.
+        assert!(!hook.fire(cp::WAL_JOURNAL_MID_WRITE));
+        assert!(hook.fire(cp::SEGMENTSTORE_STORAGEWRITER_MID_FLUSH));
+        // One-shot: the next occurrence passes.
+        assert!(!hook.fire(cp::SEGMENTSTORE_STORAGEWRITER_MID_FLUSH));
+        assert_eq!(plan.injected_crashes(), 1);
+        let log = plan.log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].operation, cp::SEGMENTSTORE_STORAGEWRITER_MID_FLUSH);
+        assert_eq!(log[0].decision, FaultDecision::Crash);
+    }
+
+    #[test]
+    fn max_crashes_caps_probabilistic_firings() {
+        use pravega_common::crashpoints::WAL_JOURNAL_WRITE_NO_ACK;
+        let plan = FaultPlan::with_crashes(
+            3,
+            FaultSpec::default(),
+            CrashSpec {
+                crash_rate: 1.0,
+                max_crashes: 2,
+                points: vec![WAL_JOURNAL_WRITE_NO_ACK],
+            },
+        );
+        let fired: usize = (0..10)
+            .filter(|_| plan.decide_crash(WAL_JOURNAL_WRITE_NO_ACK))
+            .count();
+        assert_eq!(fired, 2);
+        // Points outside the eligibility list never fire.
+        assert!(!plan.decide_crash(pravega_common::crashpoints::WAL_JOURNAL_MID_WRITE));
+        // Disabled plans pass everything through, even scripted crashes.
+        plan.crash_at_next(WAL_JOURNAL_WRITE_NO_ACK);
+        plan.set_enabled(false);
+        assert!(!plan.decide_crash(WAL_JOURNAL_WRITE_NO_ACK));
     }
 
     #[test]

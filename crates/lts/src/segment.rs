@@ -10,6 +10,7 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
 use pravega_common::clock;
+use pravega_common::crashpoints::{self, CrashHook};
 use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::retry::RetryPolicy;
 
@@ -129,6 +130,7 @@ pub struct ChunkedSegmentStorage {
     config: ChunkedStorageConfig,
     retry: RetryPolicy,
     metrics: LtsMetrics,
+    crash_hook: CrashHook,
 }
 
 /// Cheap handles to the `lts.chunked.*` instruments.
@@ -170,6 +172,7 @@ impl ChunkedSegmentStorage {
             config,
             retry: RetryPolicy::default(),
             metrics: LtsMetrics::new(&MetricsRegistry::new()),
+            crash_hook: CrashHook::disarmed(),
         }
     }
 
@@ -187,6 +190,14 @@ impl ChunkedSegmentStorage {
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Arms the crash-point hook
+    /// ([`crashpoints::LTS_SEGMENT_MID_CHUNK_ROLL`]); disarmed by default.
+    #[must_use]
+    pub fn with_crash_hook(mut self, hook: CrashHook) -> Self {
+        self.crash_hook = hook;
         self
     }
 
@@ -296,6 +307,16 @@ impl ChunkedSegmentStorage {
                     // Adopt it; any torn prefix it holds is skipped below.
                     Err(LtsError::ChunkExists) => {}
                     Err(e) => return Err(e),
+                }
+                if self
+                    .crash_hook
+                    .fire(crashpoints::LTS_SEGMENT_MID_CHUNK_ROLL)
+                {
+                    // Simulated crash mid chunk-roll: the physical chunk was
+                    // created but the metadata commit never happened. On the
+                    // next write attempt the deterministic chunk name hits
+                    // `ChunkExists` above and the orphan is adopted.
+                    return Err(LtsError::Unavailable);
                 }
                 record.chunks.push(ChunkRecord {
                     name,

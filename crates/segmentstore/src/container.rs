@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use pravega_common::clock::{self, Clock};
+use pravega_common::crashpoints::{self, CrashHook};
 use pravega_common::future::{promise, Promise, WaitError};
 use pravega_common::id::{ContainerId, WriterId};
 use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry, TextSlot};
@@ -65,6 +66,9 @@ pub struct ContainerConfig {
     pub max_flush_bytes: usize,
     /// Unflushed-byte level at which appends block (writer throttling).
     pub throttle_threshold_bytes: u64,
+    /// Crash-point hook for the container's pipeline, storage writer and
+    /// seal path (`segmentstore.*` points); disarmed in production.
+    pub crash_hook: CrashHook,
 }
 
 impl Default for ContainerConfig {
@@ -78,6 +82,7 @@ impl Default for ContainerConfig {
             flush_interval: Duration::from_millis(10),
             max_flush_bytes: 1024 * 1024,
             throttle_threshold_bytes: 64 * 1024 * 1024,
+            crash_hook: CrashHook::disarmed(),
         }
     }
 }
@@ -222,6 +227,9 @@ pub(crate) struct ContainerMetrics {
     pub(crate) flush_errors: Arc<Counter>,
     pub(crate) last_flush_error: Arc<TextSlot>,
     pub(crate) flush_retries: Arc<Counter>,
+    pub(crate) recoveries: Arc<Counter>,
+    pub(crate) replayed_ops: Arc<Counter>,
+    pub(crate) recovery_nanos: Arc<Histogram>,
 }
 
 impl ContainerMetrics {
@@ -238,6 +246,9 @@ impl ContainerMetrics {
             flush_errors: metrics.counter("segmentstore.storagewriter.flush_errors"),
             last_flush_error: metrics.text("segmentstore.storagewriter.last_flush_error"),
             flush_retries: metrics.counter("segmentstore.storagewriter.retries"),
+            recoveries: metrics.counter("segmentstore.container.recoveries"),
+            replayed_ops: metrics.counter("segmentstore.container.replayed_ops"),
+            recovery_nanos: metrics.histogram("segmentstore.container.recovery_nanos"),
         }
     }
 }
@@ -353,8 +364,12 @@ impl ContainerInner {
                         let end = offset + data.len() as u64;
                         if end <= st.meta.length {
                             // Replay of an op already reflected in metadata
-                            // (recovery): re-insert only unflushed bytes.
-                            if *offset >= flushed {
+                            // (recovery): re-insert any record with unflushed
+                            // bytes. A crash mid-flush leaves the LTS length
+                            // (the recovered flush point) in the *middle* of
+                            // a record; such a straddling record must stay
+                            // resident or its suffix would exist nowhere.
+                            if end > flushed {
                                 st.index.append(&mut core.cache, *offset, data);
                             }
                         } else if *offset == st.meta.length {
@@ -786,12 +801,22 @@ impl SegmentContainer {
         metrics: &MetricsRegistry,
     ) -> Result<Self, SegmentError> {
         // ---- Recovery: read the retained log -----------------------------
+        let recovery_start = clock::monotonic_now();
         let records = wal.read_after(None)?;
         let mut ops: Vec<(u64, Operation)> = Vec::new();
-        for (_, frame) in &records {
-            let items = decode_frame(frame)
-                .map_err(|e| SegmentError::Internal(format!("corrupt WAL frame: {e}")))?;
-            ops.extend(items);
+        let last = records.len().saturating_sub(1);
+        for (i, (_, frame)) in records.iter().enumerate() {
+            match decode_frame(frame) {
+                Ok(items) => ops.extend(items),
+                // A torn *final* frame is the expected signature of a crash
+                // mid WAL append: its operations were never acknowledged,
+                // so dropping them loses nothing. Corruption anywhere else
+                // in the log stays fatal.
+                Err(_) if i == last => break,
+                Err(e) => {
+                    return Err(SegmentError::Internal(format!("corrupt WAL frame: {e}")));
+                }
+            }
         }
         // Seed from the last checkpoint, if any.
         let mut snapshot = ContainerSnapshot::default();
@@ -850,6 +875,7 @@ impl SegmentContainer {
 
         // Replay every retained operation idempotently.
         let max_seq = ops.iter().map(|(s, _)| *s).max().unwrap_or(0);
+        let mut replayed = 0u64;
         for (seq, op) in &ops {
             if matches!(op, Operation::MetadataCheckpoint { .. }) {
                 continue;
@@ -860,7 +886,16 @@ impl SegmentContainer {
                 inner.core.lock().flushed.insert(segment.clone(), lts_len);
             }
             inner.apply_committed(*seq, op);
+            replayed += 1;
         }
+        if !records.is_empty() {
+            inner.metrics.recoveries.inc();
+            inner.metrics.replayed_ops.add(replayed);
+        }
+        inner
+            .metrics
+            .recovery_nanos
+            .record(recovery_start.elapsed().as_nanos() as u64);
         // Recompute the unflushed backlog from scratch (replay double-counts
         // are possible through the idempotent path).
         {
@@ -914,6 +949,7 @@ impl SegmentContainer {
             DurableLogConfig {
                 max_frame_bytes: inner.config.max_frame_bytes,
                 max_batch_delay: inner.config.max_batch_delay,
+                crash_hook: inner.config.crash_hook.clone(),
             },
             metrics,
         )?;
@@ -1149,6 +1185,19 @@ impl SegmentContainer {
             })?;
             (pr, final_len)
         };
+        if self
+            .inner
+            .config
+            .crash_hook
+            .fire(crashpoints::SEGMENTSTORE_CONTAINER_MID_SEAL)
+        {
+            // Simulated crash mid-seal: the Seal op is already in the WAL
+            // pipeline (it may or may not commit) but the acknowledgement
+            // never reaches the caller. Recovery must tolerate either
+            // outcome, and sealing again after restart is idempotent.
+            drop(pr);
+            return Err(SegmentError::ContainerStopped);
+        }
         wait_done(pr)?;
         Ok(final_len)
     }
@@ -1479,6 +1528,22 @@ impl SegmentContainer {
         if let Some(h) = flusher {
             let _ = h.join();
         }
+    }
+
+    /// Abruptly crashes the container: **no drain, no flush, no
+    /// checkpoint**. Queued operations fail without being applied, exactly
+    /// as if the process died. Returns the WAL handle so callers can keep
+    /// it as a "zombie writer" — once a new owner fences the log, appends
+    /// through this handle must fail with
+    /// [`pravega_wal::error::WalError::Fenced`].
+    pub fn crash(&self) -> Arc<dyn DurableDataLog> {
+        self.inner.stopped.store(true, Ordering::SeqCst);
+        self.log.crash();
+        let flusher = self.flusher.lock().take();
+        if let Some(h) = flusher {
+            let _ = h.join();
+        }
+        self.log.wal_handle()
     }
 }
 

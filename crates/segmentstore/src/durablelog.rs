@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use pravega_common::clock;
+use pravega_common::crashpoints::{self, CrashHook};
 use pravega_common::future::Completer;
 use pravega_common::metrics::{Gauge, Histogram, MetricsRegistry};
 use pravega_common::rate::EwmaValue;
@@ -83,6 +84,9 @@ pub struct DurableLogConfig {
     pub max_frame_bytes: usize,
     /// Upper bound on the adaptive batching delay.
     pub max_batch_delay: Duration,
+    /// Crash-point hook ([`crashpoints::SEGMENTSTORE_DURABLELOG_MID_FRAME`]);
+    /// disarmed in production.
+    pub crash_hook: CrashHook,
 }
 
 impl Default for DurableLogConfig {
@@ -90,6 +94,7 @@ impl Default for DurableLogConfig {
         Self {
             max_frame_bytes: 1024 * 1024,
             max_batch_delay: Duration::from_millis(20),
+            crash_hook: CrashHook::disarmed(),
         }
     }
 }
@@ -204,7 +209,16 @@ impl DurableLog {
                 self.shared.queued_ops.fetch_add(1, Ordering::Relaxed);
                 self.shared.queued_bytes.fetch_add(size, Ordering::Relaxed);
                 self.shared.queue_depth.add(1);
-                tx.send(op).map_err(|_| SegmentError::ContainerStopped)
+                tx.send(op).map_err(|_| SegmentError::ContainerStopped)?;
+                // Re-check *after* the send: if the pipeline died in the
+                // window since the check above, the builder's final drain may
+                // already have run, leaving this op queued with nobody to
+                // fail it. Erroring here means no caller ever blocks on a
+                // promise the dead pipeline cannot resolve.
+                if self.shared.failed.load(Ordering::SeqCst) {
+                    return Err(SegmentError::ContainerStopped);
+                }
+                Ok(())
             }
             None => Err(SegmentError::ContainerStopped),
         }
@@ -274,6 +288,32 @@ impl DurableLog {
     /// Number of committed frames retained (not yet truncated).
     pub fn retained_frames(&self) -> usize {
         self.shared.frames.lock().len()
+    }
+
+    /// Abruptly kills the pipeline **without draining**: queued and in-flight
+    /// operations fail with [`SegmentError::ContainerStopped`] and are never
+    /// applied, modelling a process crash. Unlike [`DurableLog::stop`], no
+    /// attempt is made to commit what was enqueued.
+    pub fn crash(&self) {
+        // Mark failed *first* so the commit loop fails any batch it has not
+        // yet applied instead of committing it during teardown.
+        self.shared.failed.store(true, Ordering::SeqCst);
+        self.tx.lock().take();
+        let builder = self.builder_handle.lock().take();
+        if let Some(h) = builder {
+            let _ = h.join();
+        }
+        let commit = self.commit_handle.lock().take();
+        if let Some(h) = commit {
+            let _ = h.join();
+        }
+    }
+
+    /// The underlying WAL handle. A crashed store's handle is kept by tests
+    /// as a "zombie writer": once a new owner fences the log, its appends
+    /// must fail with [`pravega_wal::error::WalError::Fenced`].
+    pub fn wal_handle(&self) -> Arc<dyn DurableDataLog> {
+        self.shared.wal.clone()
     }
 
     /// Stops the pipeline, draining in-flight operations first.
@@ -374,6 +414,28 @@ fn builder_loop(
         shared
             .fill_pct_hist
             .record((frame.len() as u64 * 100) / config.max_frame_bytes.max(1) as u64);
+        if config
+            .crash_hook
+            .fire(crashpoints::SEGMENTSTORE_DURABLELOG_MID_FRAME)
+        {
+            // Simulated crash mid-frame-append: a strict prefix of the frame
+            // reaches the WAL as a torn final record (replay must tolerate
+            // it), the pipeline dies, and none of the frame's ops are acked.
+            // Waiting for the torn write makes the torn state deterministic.
+            let torn = frame.slice(..frame.len() / 2);
+            let _ = shared.wal.append(torn).wait();
+            shared.failed.store(true, Ordering::SeqCst);
+            // The commit loop sees `failed` and fails these completers
+            // without applying anything.
+            let _ = commit_tx.send(CommitBatch {
+                items,
+                future: pravega_wal::log::AppendFuture::failed(
+                    pravega_wal::error::WalError::Closed,
+                ),
+                enqueued_at,
+            });
+            break;
+        }
         let future = shared.wal.append(frame);
         if commit_tx
             .send(CommitBatch {
@@ -383,10 +445,30 @@ fn builder_loop(
             })
             .is_err()
         {
+            // The committer is gone: nothing downstream can resolve promises
+            // any more, so the pipeline is dead.
+            shared.failed.store(true, Ordering::SeqCst);
             break;
         }
         if disconnected {
             break;
+        }
+    }
+    // Abnormal exits (crash point, dead committer) abandon whatever is still
+    // queued behind the frame under construction. Those ops hold completers
+    // that nobody else can reach — the queue itself outlives this thread via
+    // the sender half — so fail them here; otherwise `wait_done` callers
+    // (conn handlers, checkpoints, flush passes) block forever on promises a
+    // dead pipeline can never resolve. On graceful exits the queue is empty
+    // and this drain is a no-op.
+    while let Ok(op) = op_rx.try_recv() {
+        shared.queued_ops.fetch_sub(1, Ordering::Relaxed);
+        shared.queue_depth.sub(1);
+        shared
+            .queued_bytes
+            .fetch_sub(op.op.encoded_len() as u64, Ordering::Relaxed);
+        if let Some(completer) = op.completer {
+            completer.complete(Err(SegmentError::ContainerStopped));
         }
     }
 }
@@ -619,6 +701,7 @@ mod tests {
             DurableLogConfig {
                 max_frame_bytes: 1,
                 max_batch_delay: Duration::ZERO,
+                ..DurableLogConfig::default()
             },
             &MetricsRegistry::new(),
         )
@@ -680,6 +763,7 @@ mod tests {
             DurableLogConfig {
                 max_frame_bytes: 1 << 20,
                 max_batch_delay: Duration::from_millis(10),
+                ..DurableLogConfig::default()
             },
             &MetricsRegistry::new(),
         )

@@ -14,6 +14,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pravega_common::clock;
+use pravega_common::crashpoints;
 use pravega_common::retry::RetryPolicy;
 use pravega_lts::LtsError;
 
@@ -90,12 +91,30 @@ pub(crate) fn flush_pass(inner: &Arc<ContainerInner>) -> Result<bool, SegmentErr
         }
     }
 
-    // Checkpoint + WAL truncation when useful.
+    // Checkpoint + WAL truncation when useful. A quiesced container (no
+    // flush backlog) still checkpoints while ops are outstanding: a trailing
+    // op that moves no segment data — a reader-group position update, an
+    // attribute write — would otherwise never satisfy `worked` nor reach the
+    // ops interval, pinning its WAL frame (and the whole tail behind it)
+    // forever.
     let ops_since = inner.ops_since_checkpoint.load(Ordering::Relaxed);
-    if (worked || ops_since >= inner.config.checkpoint_interval_ops)
+    let quiesced = inner.unflushed_bytes.load(Ordering::Relaxed) == 0;
+    if (worked || quiesced || ops_since >= inner.config.checkpoint_interval_ops)
         && ops_since > 0
         && !inner.stopped.load(Ordering::SeqCst)
     {
+        if inner
+            .config
+            .crash_hook
+            .fire(crashpoints::SEGMENTSTORE_CONTAINER_MID_CHECKPOINT)
+        {
+            // Simulated crash between tiering and the metadata checkpoint:
+            // data is in LTS but the WAL still holds (and will replay) the
+            // corresponding operations. Replay must be idempotent.
+            return Err(SegmentError::Internal(
+                "crash injected before metadata checkpoint".into(),
+            ));
+        }
         inner.write_checkpoint()?;
         let flushed_map: std::collections::HashMap<String, u64> = inner.core.lock().flushed.clone();
         if let Some(log) = inner.log.get() {
@@ -182,6 +201,19 @@ fn flush_segment(inner: &Arc<ContainerInner>, target: &FlushTarget) -> Result<bo
                 },
             )
             .map_err(SegmentError::Lts)?;
+        if inner
+            .config
+            .crash_hook
+            .fire(crashpoints::SEGMENTSTORE_STORAGEWRITER_MID_FLUSH)
+        {
+            // Simulated crash mid-flush: the LTS write landed but none of
+            // the flush bookkeeping (nor any later checkpoint) did. After
+            // restart the flusher re-reads LTS and resumes from the length
+            // that actually committed, so nothing is duplicated.
+            return Err(SegmentError::Internal(
+                "crash injected mid storage-writer flush".into(),
+            ));
+        }
         let moved = new_len - flushed;
         flushed = new_len;
         inner.metrics.flushed_bytes.add(moved);

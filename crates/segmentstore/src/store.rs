@@ -191,6 +191,18 @@ impl SegmentStore {
             self.stop_container(id);
         }
     }
+
+    /// Abruptly crashes every container: no draining, no flushing, no
+    /// checkpointing — in-flight operations fail without being applied.
+    /// Returns the crashed containers' WAL handles ("zombie writers"): once
+    /// a new owner fences those logs, appends through them must fail with
+    /// [`pravega_wal::error::WalError::Fenced`].
+    pub fn crash(&self) -> Vec<Arc<dyn pravega_wal::log::DurableDataLog>> {
+        // Drain the map under the lock; crash (which joins threads) outside.
+        let containers: Vec<Arc<SegmentContainer>> =
+            self.containers.lock().drain().map(|(_, c)| c).collect();
+        containers.iter().map(|c| c.crash()).collect()
+    }
 }
 
 fn error_reply(e: SegmentError) -> Reply {

@@ -154,8 +154,17 @@ impl Bookie for MemBookie {
             }
         }
         // Journal first (group commit), then index.
-        self.journal
-            .append(encode_journal_add(ledger, entry, &data))?;
+        let journaled = match self
+            .journal
+            .append(encode_journal_add(ledger, entry, &data))
+        {
+            Ok(()) => Ok(()),
+            // Crash injection between journal write and ack: the record is
+            // durable on this bookie, so index it — the caller still sees a
+            // failed add, which is exactly the asymmetry a real crash leaves.
+            Err(BookieError::AckLost) => Err(BookieError::AckLost),
+            Err(e) => return Err(e),
+        };
         let mut state = self.state.lock();
         if !state.available {
             return Err(BookieError::Unavailable);
@@ -169,7 +178,7 @@ impl Bookie for MemBookie {
             });
         }
         ls.entries.insert(entry, data);
-        Ok(())
+        journaled
     }
 
     fn read_entry(&self, ledger: LedgerId, entry: u64) -> Result<Bytes, BookieError> {
@@ -339,8 +348,16 @@ impl Bookie for FileBookie {
                 });
             }
         }
-        self.journal
-            .append(encode_journal_add(ledger, entry, &data))?;
+        let journaled = match self
+            .journal
+            .append(encode_journal_add(ledger, entry, &data))
+        {
+            Ok(()) => Ok(()),
+            // The journal file holds the record (replay will recover it), so
+            // index it now and surface the lost ack to the caller.
+            Err(BookieError::AckLost) => Err(BookieError::AckLost),
+            Err(e) => return Err(e),
+        };
         let mut state = self.state.lock();
         let ls = state.ledgers.entry(ledger).or_default();
         if fence_token < ls.fence_token {
@@ -350,7 +367,7 @@ impl Bookie for FileBookie {
             });
         }
         ls.entries.insert(entry, data);
-        Ok(())
+        journaled
     }
 
     fn read_entry(&self, ledger: LedgerId, entry: u64) -> Result<Bytes, BookieError> {

@@ -21,6 +21,11 @@ pub enum BookieError {
     NoSuchEntry,
     /// The bookie is unavailable (crashed / partitioned — failure injection).
     Unavailable,
+    /// The record was durably journaled, but the bookie crashed before the
+    /// acknowledgement left the process (crash injection between journal
+    /// write and ack). The caller must treat this as a failed add even
+    /// though the entry survives on this bookie.
+    AckLost,
     /// Underlying storage failure.
     Io(String),
 }
@@ -34,6 +39,9 @@ impl fmt::Display for BookieError {
             BookieError::NoSuchLedger => write!(f, "no such ledger"),
             BookieError::NoSuchEntry => write!(f, "no such entry"),
             BookieError::Unavailable => write!(f, "bookie unavailable"),
+            BookieError::AckLost => {
+                write!(f, "record journaled but the acknowledgement was lost")
+            }
             BookieError::Io(msg) => write!(f, "bookie io error: {msg}"),
         }
     }
@@ -46,7 +54,9 @@ impl RetryClass for BookieError {
     /// ledgers/entries are logical outcomes a retry cannot change.
     fn error_class(&self) -> ErrorClass {
         match self {
-            BookieError::Unavailable | BookieError::Io(_) => ErrorClass::Transient,
+            BookieError::Unavailable | BookieError::AckLost | BookieError::Io(_) => {
+                ErrorClass::Transient
+            }
             BookieError::Fenced { .. } | BookieError::NoSuchLedger | BookieError::NoSuchEntry => {
                 ErrorClass::Permanent
             }

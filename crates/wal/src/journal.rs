@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use pravega_common::crashpoints::{self, CrashHook};
 use pravega_common::future::{promise, Completer, Promise};
 use pravega_common::metrics::{Counter, Histogram};
 
@@ -31,6 +32,9 @@ pub struct JournalConfig {
     pub simulated_sync_latency: Duration,
     /// Maximum requests drained into a single group commit.
     pub max_group_size: usize,
+    /// Crash-point hook ([`crashpoints::WAL_JOURNAL_MID_WRITE`],
+    /// [`crashpoints::WAL_JOURNAL_WRITE_NO_ACK`]); disarmed in production.
+    pub crash_hook: CrashHook,
 }
 
 impl Default for JournalConfig {
@@ -39,6 +43,7 @@ impl Default for JournalConfig {
             sync_on_add: true,
             simulated_sync_latency: Duration::ZERO,
             max_group_size: 4096,
+            crash_hook: CrashHook::disarmed(),
         }
     }
 }
@@ -171,14 +176,34 @@ impl Journal {
                     let mut result: Result<(), BookieError> = Ok(());
                     for req in &batch {
                         if result.is_ok() {
-                            result = sink.write(&req.record);
+                            if config.crash_hook.fire(crashpoints::WAL_JOURNAL_MID_WRITE) {
+                                // Simulated crash mid-write: a strict prefix
+                                // of the record reaches the device, nothing
+                                // is synced, nothing is acked.
+                                let keep = req.record.len() / 2;
+                                let _ = sink.write(&req.record[..keep]);
+                                result =
+                                    Err(BookieError::Io("crash injected mid journal write".into()));
+                            } else {
+                                result = sink.write(&req.record);
+                            }
                         }
                     }
+                    // Crash between journal write and ack: the batch is fully
+                    // written (and synced below, so it is durable on this
+                    // bookie) but the acks never leave the process.
+                    let crash_before_ack = result.is_ok()
+                        && config
+                            .crash_hook
+                            .fire(crashpoints::WAL_JOURNAL_WRITE_NO_ACK);
                     if result.is_ok() && config.sync_on_add {
                         result = sink.sync();
                         syncs.inc();
                     }
                     sizes.record(batch.len() as u64);
+                    if crash_before_ack && result.is_ok() {
+                        result = Err(BookieError::AckLost);
+                    }
                     for req in batch {
                         req.completer.complete(result.clone());
                     }

@@ -618,13 +618,24 @@ impl LedgerManager {
     /// Fences the ledger with `fence_token` and closes it at the highest
     /// recoverable entry. Returns the closed metadata.
     ///
-    /// All entries that were ever acknowledged are guaranteed recovered
-    /// (an acked entry lives on ≥ `ack_quorum` bookies; a forward scan
-    /// accepting any readable replica therefore cannot miss it).
+    /// A tail entry is included **iff** it can be restored to a full ack
+    /// quorum: entries confirm strictly in order, so acked entries form a
+    /// prefix, and each readable entry is re-replicated to its stripe
+    /// bookies under the recovery token before being accepted. Recovery
+    /// refuses to run with fewer reachable ensemble members than can prove
+    /// what was acked (`max(ack_quorum, ensemble − ack_quorum + 1)`): with
+    /// `r` reachable members an acked entry — present on ≥ `ack_quorum`
+    /// replicas — has at least `ack_quorum + r − ensemble ≥ 1` reachable
+    /// replicas, so the scan cannot silently cut acked data. Repeated
+    /// recoveries agree on the close offset by construction: the first
+    /// close wins and later (higher-token) recoveries return it unchanged,
+    /// so a sub-quorum tail beyond the close point never resurrects.
     ///
     /// # Errors
     ///
-    /// [`WalError::Metadata`] on metadata failures.
+    /// [`WalError::QuorumLost`] when too few ensemble members are reachable
+    /// to recover safely (or a readable tail entry cannot be restored to
+    /// quorum); [`WalError::Metadata`] on metadata failures.
     pub fn recover_and_close(
         &self,
         id: LedgerId,
@@ -632,18 +643,49 @@ impl LedgerManager {
     ) -> Result<LedgerMetadata, WalError> {
         let mut metadata = self.metadata(id)?;
         if let LedgerState::Closed { .. } = metadata.state {
-            return Ok(metadata); // already closed
+            return Ok(metadata); // already closed: the first close wins
         }
-        // Fence every reachable ensemble member.
+        // Fence every reachable ensemble member and count them.
+        let mut reachable = 0usize;
         for bid in &metadata.ensemble {
             if let Some(bookie) = self.pool.get(bid) {
-                let _ = bookie.fence(id, fence_token);
+                if bookie.fence(id, fence_token).is_ok() {
+                    reachable += 1;
+                }
             }
         }
-        // Forward scan: accept an entry if any replica serves it.
+        let config = metadata.config;
+        let needed = config
+            .ack_quorum
+            .max(config.ensemble - config.ack_quorum + 1);
+        if reachable < needed {
+            return Err(WalError::QuorumLost);
+        }
+        // Forward scan with re-replication: the first unreadable entry is
+        // the end of the recoverable log (acked entries form a prefix).
         let mut last: Option<u64> = None;
         let mut entry = 0u64;
-        while self.read_entry(&metadata, entry).is_ok() {
+        while let Ok(data) = self.read_entry(&metadata, entry) {
+            // Restore the entry to a full ack quorum under the recovery
+            // token (the bookies were just fenced with it, so it passes
+            // their check; a concurrent higher-token recovery rejects it).
+            let mut replicas = 0usize;
+            for idx in metadata.stripe_indices(entry) {
+                let Some(bookie) = self.pool.get(&metadata.ensemble[idx]) else {
+                    continue;
+                };
+                if bookie
+                    .add_entry(id, entry, fence_token, data.clone())
+                    .is_ok()
+                {
+                    replicas += 1;
+                }
+            }
+            if replicas < config.ack_quorum {
+                // Readable but not restorable: bookies failed mid-recovery
+                // or a newer owner fenced us. Do not close at a guess.
+                return Err(WalError::QuorumLost);
+            }
             last = Some(entry);
             entry += 1;
         }

@@ -50,6 +50,15 @@ pub struct AppendFuture {
 }
 
 impl AppendFuture {
+    /// An already-failed append (used when a crash is injected before the
+    /// record ever reaches the log).
+    pub fn failed(error: WalError) -> Self {
+        Self {
+            inner: Promise::ready(Err(error)),
+            ledger_seq: 0,
+        }
+    }
+
     /// Blocks until the append is durable (or failed).
     ///
     /// # Errors

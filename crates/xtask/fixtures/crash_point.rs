@@ -1,0 +1,9 @@
+//! Fixture: trips the `crash-point` rule. Arming a crash hook directly
+//! bypasses the seeded `FaultPlan`, so the injected crash schedule is no
+//! longer a pure function of the run's u64 seed and cannot be replayed from
+//! the injection log. Production code must wire hooks with
+//! `FaultPlan::crash_hook()`.
+
+pub fn wire_journal_hook() -> CrashHook {
+    CrashHook::armed(|point| point == "wal.journal.mid_write")
+}

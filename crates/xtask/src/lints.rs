@@ -1,6 +1,7 @@
 //! The lint rules and the line scanner that applies them.
 //!
-//! Five rules, each mapping to one clause of the concurrency discipline:
+//! Six rules, each mapping to one clause of the concurrency or fault
+//! discipline:
 //!
 //! * `direct-lock` — blocking synchronisation must go through the
 //!   `pravega_sync` facade so the rank checker sees every acquisition. Direct
@@ -21,6 +22,11 @@
 //!   (typed error classification, bounded attempts, jitter). Pacing and
 //!   polling sleeps that are *not* retry loops are sanctioned via
 //!   `lint-allowlist.txt` entries.
+//! * `crash-point` — `CrashHook::armed(` may only be called inside
+//!   `pravega-faults` (and the hook's own module): every armed crash hook
+//!   must flow from a seeded `FaultPlan` so crash schedules stay
+//!   reproducible from a single u64 seed. Production code wires hooks with
+//!   `FaultPlan::crash_hook()`, never by arming one directly.
 //!
 //! On top of the line rules, three token-level passes (see `lexer`, `guards`
 //! and `lockgraph`) enforce guard discipline:
@@ -424,6 +430,16 @@ fn retry_sleep_exempt(rel: &Path, fixture_mode: bool) -> bool {
             .ends_with("crates/common/src/retry.rs")
 }
 
+/// The fault-injection crate (seeded `FaultPlan`) and the hook module itself
+/// are the only places allowed to arm a crash hook directly.
+fn crash_point_exempt(rel: &Path, fixture_mode: bool) -> bool {
+    if fixture_mode {
+        return false;
+    }
+    let p = rel.to_string_lossy().replace('\\', "/");
+    p.starts_with("crates/faults/src") || p.ends_with("crates/common/src/crashpoints.rs")
+}
+
 pub fn scan_file(
     rel: &Path,
     text: &str,
@@ -435,6 +451,7 @@ pub fn scan_file(
     let lock_rule = !lock_exempt(rel, fixture_mode);
     let time_rule = !time_exempt(rel, fixture_mode);
     let sleep_rule = !retry_sleep_exempt(rel, fixture_mode);
+    let crash_rule = !crash_point_exempt(rel, fixture_mode);
 
     // Brace-depth tracker for `#[cfg(test)]` / `#[test]` blocks: once the
     // attribute is seen, everything from the next `{` to its matching `}` is
@@ -482,6 +499,9 @@ pub fn scan_file(
         }
         if sleep_rule {
             check_retry_sleep(rel, line_no, line, raw, allow, out);
+        }
+        if crash_rule {
+            check_crash_point(rel, line_no, line, raw, out);
         }
         check_metric_name(rel, line_no, line, raw, out);
     }
@@ -607,6 +627,21 @@ fn check_retry_sleep(
             rule: "retry-sleep",
             message: "thread::sleep outside pravega_common::retry; use RetryPolicy for retries, \
                       or allowlist a pacing/polling sleep"
+                .to_string(),
+            snippet: raw.trim().to_string(),
+        });
+    }
+}
+
+fn check_crash_point(rel: &Path, line_no: usize, line: &str, raw: &str, out: &mut Vec<Violation>) {
+    if line.contains("CrashHook::armed(") {
+        out.push(Violation {
+            path: rel.to_path_buf(),
+            line: line_no,
+            col: col_of(line, "CrashHook::armed("),
+            rule: "crash-point",
+            message: "CrashHook::armed(…) outside pravega-faults; wire hooks with \
+                      FaultPlan::crash_hook() so crash schedules stay seed-reproducible"
                 .to_string(),
             snippet: raw.trim().to_string(),
         });
@@ -814,6 +849,41 @@ mod tests {
     }
 
     #[test]
+    fn crash_point_arming_flagged_outside_faults_crate() {
+        let v = scan_snippet(
+            "fn f() { let h = CrashHook::armed(|_| true); }",
+            false,
+            &Allowlist::default(),
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "crash-point");
+
+        // The seeded FaultPlan crate and the hook's own module are exempt.
+        for path in [
+            "crates/faults/src/lib.rs",
+            "crates/common/src/crashpoints.rs",
+        ] {
+            let mut out = Vec::new();
+            scan_file(
+                Path::new(path),
+                "fn f() { let h = CrashHook::armed(|_| true); }",
+                false,
+                &Allowlist::default(),
+                &mut out,
+            );
+            assert!(out.is_empty(), "{path}: {out:?}");
+        }
+
+        // The sanctioned wiring API is fine anywhere.
+        let v = scan_snippet(
+            "fn f(plan: &Arc<FaultPlan>) { let h = plan.crash_hook(); }",
+            false,
+            &Allowlist::default(),
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
     fn text_slot_names_follow_metric_shape() {
         let v = scan_snippet(
             "let t = registry.text(\"last_error\");",
@@ -876,6 +946,7 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
             ("raw_time.rs", "raw-time"),
             ("bad_metric_name.rs", "metric-name"),
             ("retry_sleep.rs", "retry-sleep"),
+            ("crash_point.rs", "crash-point"),
             ("guard_across_blocking.rs", "guard-across-blocking"),
             ("guard_escape.rs", "guard-escape"),
             ("lock_graph_cycle.rs", "lock-order"),

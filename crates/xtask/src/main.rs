@@ -21,7 +21,8 @@
 //! | 1    | violations from more than one category         |
 //! | 2    | usage or I/O error                             |
 //! | 3    | textual rules only (`direct-lock`, `raw-time`, |
-//! |      | `no-unwrap`, `retry-sleep`, `metric-name`)     |
+//! |      | `no-unwrap`, `retry-sleep`, `metric-name`,     |
+//! |      | `crash-point`)                                 |
 //! | 4    | `guard-across-blocking` only                   |
 //! | 5    | `guard-escape` only                            |
 //! | 6    | `lock-order` only                              |

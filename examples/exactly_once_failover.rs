@@ -32,10 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     writer.flush()?;
     println!("500 transactions committed");
 
-    // Failure: kill one of the three segment stores.
+    // Failure: crash one of the three segment stores abruptly.
     let victim = cluster.store_hosts()[1].clone();
-    println!("killing {victim} — containers will fail over and recover from the WAL");
-    cluster.kill_store(&victim)?;
+    println!("crashing {victim} — containers will fail over and recover from the WAL");
+    cluster.crash_store(&victim)?;
 
     // Phase 2: a new writer session resumes (the handshake deduplicates).
     drop(writer);

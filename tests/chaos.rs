@@ -216,10 +216,10 @@ fn store_failover_under_lts_chaos_loses_nothing() {
     writer.flush().unwrap();
     drop(writer);
 
-    // Kill a store mid-chaos: its containers move and recover from the WAL
-    // while LTS faults keep firing.
+    // Crash a store abruptly mid-chaos: its containers move and recover
+    // from the WAL while LTS faults keep firing.
     let victim = cluster.store_hosts()[0].clone();
-    cluster.kill_store(&victim).unwrap();
+    cluster.crash_store(&victim).unwrap();
 
     let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
     for i in 0..120 {

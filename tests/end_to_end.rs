@@ -263,9 +263,9 @@ fn store_failure_recovers_containers_without_data_loss() {
     writer.flush().unwrap();
     drop(writer);
 
-    // Kill one store: its containers move and recover from the WAL.
+    // Crash one store abruptly: its containers move and recover from the WAL.
     let victim = cluster.store_hosts()[0].clone();
-    cluster.kill_store(&victim).unwrap();
+    cluster.crash_store(&victim).unwrap();
 
     // A fresh writer keeps working after failover.
     let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());

@@ -149,7 +149,7 @@ fn cascading_store_failures_leave_one_survivor_serving() {
         }
         writer.flush().unwrap();
         drop(writer);
-        cluster.kill_store(victim).unwrap();
+        cluster.crash_store(victim).unwrap();
     }
     // One store left, running all containers; everything still readable.
     let survivors: Vec<String> = cluster
