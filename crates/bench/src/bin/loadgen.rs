@@ -1,0 +1,359 @@
+//! OpenMessaging-style load generator for the TCP segment-store frontend.
+//!
+//! Boots a segment store in-process, exposes it through [`TcpFrontend`], and
+//! drives it over *real loopback TCP* with a bounded pool of framed
+//! connections. Thousands of **logical writers** — each with its own
+//! `WriterId`, `SetupAppend` handshake and event-number sequence — multiplex
+//! onto the pool, and the key-to-writer choice per append follows a zipfian
+//! distribution so a handful of writers carry most of the traffic, as
+//! production stream workloads do.
+//!
+//! Each worker thread owns one connection and pipelines appends up to a
+//! fixed window, matching `DataAppended` acks back to send timestamps by
+//! request id to measure full round-trip append latency. The run reports
+//! throughput plus p50/p95/p999 latency and leaves a metrics snapshot in
+//! `bench_results/loadgen.metrics.json`.
+//!
+//! ```text
+//! cargo run --release -p pravega-bench --bin loadgen            # full run
+//! cargo run --release -p pravega-bench --bin loadgen -- --smoke # CI smoke
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use pravega_bench::{emit_metrics_snapshot, fmt, FigureTable};
+use pravega_common::clock;
+use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId, WriterId};
+use pravega_common::metrics::MetricsRegistry;
+use pravega_common::wire::{Reply, Request, RequestEnvelope};
+use pravega_segmentstore::container::ContainerConfig;
+use pravega_segmentstore::store::{ContainerFactory, SegmentStore, SegmentStoreConfig};
+use pravega_segmentstore::TcpFrontend;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One run's knobs. `--smoke` picks a CI-sized run; every knob can also be
+/// set individually (`--writers`, `--connections`, `--events`,
+/// `--payload-bytes`, `--pipeline`, `--segments`, `--seed`).
+#[derive(Debug, Clone)]
+struct Config {
+    writers: usize,
+    connections: usize,
+    events: usize,
+    payload_bytes: usize,
+    pipeline: usize,
+    segments: usize,
+    seed: u64,
+}
+
+impl Config {
+    fn full() -> Self {
+        Config {
+            writers: 10_000,
+            connections: 16,
+            events: 200_000,
+            payload_bytes: 256,
+            pipeline: 128,
+            segments: 64,
+            seed: 0x10AD_0001,
+        }
+    }
+
+    fn smoke() -> Self {
+        Config {
+            writers: 10_000,
+            connections: 8,
+            events: 20_000,
+            payload_bytes: 128,
+            pipeline: 64,
+            segments: 32,
+            seed: 0x10AD_0001,
+        }
+    }
+
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut cfg = if args.iter().any(|a| a == "--smoke") {
+            Config::smoke()
+        } else {
+            Config::full()
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = |field: &mut usize| {
+                let v = it.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+                *field = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad value for {arg}: {v}"));
+            };
+            match arg.as_str() {
+                "--writers" => take(&mut cfg.writers),
+                "--connections" => take(&mut cfg.connections),
+                "--events" => take(&mut cfg.events),
+                "--payload-bytes" => take(&mut cfg.payload_bytes),
+                "--pipeline" => take(&mut cfg.pipeline),
+                "--segments" => take(&mut cfg.segments),
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    cfg.seed = v.parse().expect("--seed takes a u64");
+                }
+                "--smoke" => {}
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        assert!(cfg.connections > 0 && cfg.writers >= cfg.connections);
+        assert!(cfg.segments > 0 && cfg.pipeline > 0 && cfg.payload_bytes > 0);
+        cfg
+    }
+}
+
+/// Cumulative zipf(s=1.0) distribution over `n` ranks. Sampling returns a
+/// rank in `0..n` where rank 0 is drawn ~`H(n)`× more often than rank n-1.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / rank as f64;
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+fn start_store(containers: u32) -> Arc<SegmentStore> {
+    let config = SegmentStoreConfig {
+        host_id: "loadgen".into(),
+        container_count: containers,
+        container: ContainerConfig::default(),
+    };
+    let lts = pravega_lts::ChunkedSegmentStorage::new(
+        Arc::new(pravega_lts::InMemoryChunkStorage::new()),
+        Arc::new(pravega_lts::InMemoryMetadataStore::new()),
+        pravega_lts::ChunkedStorageConfig::default(),
+    );
+    let factory: ContainerFactory = Arc::new(move |id| {
+        pravega_segmentstore::container::SegmentContainer::start(
+            id,
+            Arc::new(pravega_wal::log::InMemoryLog::new()),
+            lts.clone(),
+            Arc::new(pravega_common::clock::SystemClock::new()),
+            ContainerConfig::default(),
+        )
+    });
+    let store = SegmentStore::new(config, factory);
+    for id in 0..containers {
+        store.start_container(id).expect("start container");
+    }
+    store
+}
+
+fn segment_name(i: usize) -> ScopedSegment {
+    ScopedStream::new("loadgen", "firehose")
+        .expect("valid stream name")
+        .segment(SegmentId::new(i as u32, 0))
+}
+
+/// Per-worker state: one connection, a shard of the logical writers, and a
+/// pipelined append loop.
+struct WorkerReport {
+    events: u64,
+    bytes: u64,
+}
+
+fn run_worker(
+    worker_id: usize,
+    cfg: &Config,
+    addr: std::net::SocketAddr,
+    metrics: &MetricsRegistry,
+) -> WorkerReport {
+    let conn = pravega_common::tcp::connect(addr).expect("dial frontend");
+    let zipf = Zipf::new(cfg.writers / cfg.connections + 1);
+    let rng = &mut StdRng::seed_from_u64(cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9));
+
+    // This worker's shard of the logical writer population: global writer
+    // index w for every w ≡ worker_id (mod connections).
+    let my_writers: Vec<usize> = (0..cfg.writers)
+        .filter(|w| w % cfg.connections == worker_id)
+        .collect();
+
+    // Handshake every logical writer: SetupAppend returns the last durable
+    // event number (-1 on a fresh segment), which seeds each sequence.
+    let mut next_event: Vec<i64> = Vec::with_capacity(my_writers.len());
+    let handshakes = metrics.counter("bench.loadgen.handshakes");
+    for &w in &my_writers {
+        let reply = conn
+            .call(
+                w as u64,
+                Request::SetupAppend {
+                    writer_id: WriterId(w as u128),
+                    segment: segment_name(w % cfg.segments),
+                },
+            )
+            .expect("handshake");
+        match reply {
+            Reply::AppendSetup { last_event_number } => next_event.push(last_event_number + 1),
+            other => panic!("writer {w}: unexpected handshake reply {other:?}"),
+        }
+        handshakes.inc();
+    }
+
+    let append_nanos = metrics.histogram("bench.loadgen.append_nanos");
+    let events_total = metrics.counter("bench.loadgen.events_total");
+    let bytes_total = metrics.counter("bench.loadgen.bytes_total");
+    let payload = Bytes::from(vec![0xABu8; cfg.payload_bytes]);
+    let quota = cfg.events / cfg.connections;
+
+    let mut in_flight: HashMap<u64, std::time::Instant> = HashMap::new();
+    let mut report = WorkerReport {
+        events: 0,
+        bytes: 0,
+    };
+    let drain = |conn: &pravega_common::wire::Connection,
+                 in_flight: &mut HashMap<u64, std::time::Instant>| {
+        let env = conn.recv().expect("frontend closed mid-run");
+        let started = in_flight
+            .remove(&env.request_id)
+            .expect("reply for unknown request id");
+        match env.reply {
+            Reply::DataAppended { .. } => {
+                append_nanos.record(started.elapsed().as_nanos() as u64);
+            }
+            other => panic!("append {}: unexpected reply {other:?}", env.request_id),
+        }
+    };
+
+    for i in 0..quota {
+        // Zipfian writer choice: a few hot writers dominate the shard.
+        let slot = zipf.sample(rng).min(my_writers.len() - 1);
+        let w = my_writers[slot];
+        let event_number = next_event[slot];
+        next_event[slot] += 1;
+        let request_id = (1 << 32) | i as u64;
+        in_flight.insert(request_id, clock::monotonic_now());
+        conn.send(RequestEnvelope {
+            request_id,
+            request: Request::AppendBlock {
+                writer_id: WriterId(w as u128),
+                segment: segment_name(w % cfg.segments),
+                last_event_number: event_number,
+                event_count: 1,
+                data: payload.clone(),
+                expected_offset: None,
+            },
+        })
+        .expect("frontend closed mid-run");
+        report.events += 1;
+        report.bytes += cfg.payload_bytes as u64;
+        events_total.inc();
+        bytes_total.add(cfg.payload_bytes as u64);
+        // Keep at most `pipeline` appends outstanding.
+        while in_flight.len() >= cfg.pipeline {
+            drain(&conn, &mut in_flight);
+        }
+    }
+    while !in_flight.is_empty() {
+        drain(&conn, &mut in_flight);
+    }
+    report
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!("loadgen config: {cfg:?}");
+
+    let metrics = MetricsRegistry::new();
+    let store = start_store(4);
+    let frontend = TcpFrontend::start(store, &metrics).expect("start frontend");
+    let addr = frontend.local_addr();
+
+    // Create the target segments over the wire, like any other client.
+    let setup = pravega_common::tcp::connect(addr).expect("dial frontend");
+    for i in 0..cfg.segments {
+        let reply = setup
+            .call(
+                i as u64,
+                Request::CreateSegment {
+                    segment: segment_name(i),
+                    is_table: false,
+                },
+            )
+            .expect("create segment");
+        assert_eq!(reply, Reply::SegmentCreated, "segment {i}");
+    }
+    drop(setup);
+
+    let started = clock::monotonic_now();
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.connections)
+            .map(|worker_id| {
+                let cfg = &cfg;
+                let metrics = &metrics;
+                scope.spawn(move || run_worker(worker_id, cfg, addr, metrics))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let events: u64 = reports.iter().map(|r| r.events).sum();
+    let bytes: u64 = reports.iter().map(|r| r.bytes).sum();
+    let hist = metrics.histogram("bench.loadgen.append_nanos");
+    let secs = elapsed.as_secs_f64();
+    let to_ms = |nanos: u64| nanos as f64 / 1e6;
+
+    let mut table = FigureTable::new(
+        "loadgen",
+        "TCP frontend load run (append latency in ms)",
+        &[
+            "writers",
+            "conns",
+            "events",
+            "throughput/s",
+            "MB/s",
+            "p50",
+            "p95",
+            "p999",
+        ],
+    );
+    table.row(vec![
+        cfg.writers.to_string(),
+        cfg.connections.to_string(),
+        events.to_string(),
+        fmt(events as f64 / secs, 0),
+        fmt(bytes as f64 / 1e6 / secs, 1),
+        fmt(to_ms(hist.percentile(50.0)), 3),
+        fmt(to_ms(hist.percentile(95.0)), 3),
+        fmt(to_ms(hist.percentile(99.9)), 3),
+    ]);
+    table.emit();
+    emit_metrics_snapshot("loadgen", &metrics.snapshot());
+
+    frontend.stop();
+    assert_eq!(
+        events as usize,
+        (cfg.events / cfg.connections) * cfg.connections
+    );
+    assert_eq!(hist.count(), events, "every append must be acked");
+    println!(
+        "loadgen complete: {events} appends over {} logical writers in {:.2}s",
+        cfg.writers, secs
+    );
+}

@@ -741,7 +741,7 @@ fn pump_loop(shared: Arc<WriterShared>) {
                                 seg.sealed = true;
                                 sealed_indices.push(i);
                             }
-                            Reply::ContainerNotReady | Reply::WrongHost => {
+                            Reply::ContainerNotReady | Reply::WrongHost | Reply::WriterFenced => {
                                 broken_indices.push(i);
                             }
                             _ => {}

@@ -31,8 +31,10 @@ pub mod id;
 pub mod keyspace;
 pub mod metrics;
 pub mod policy;
+pub mod protocol;
 pub mod rate;
 pub mod retry;
+pub mod tcp;
 pub mod wire;
 
 pub use clock::{Clock, ManualClock, SystemClock, Timestamp};

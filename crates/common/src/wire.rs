@@ -1,10 +1,18 @@
 //! The wire protocol spoken between clients and segment stores.
 //!
-//! Connections are in-process: a pair of crossbeam channels standing in for a
-//! TCP connection. Requests carry a `request_id` so replies can be matched
-//! out of order, which lets the writer pipeline appends (the client keeps
-//! sending append blocks while earlier ones are still being made durable —
-//! the "batch data collected on the server side" design of §4.1).
+//! Messages carry a `request_id` so replies can be matched out of order,
+//! which lets the writer pipeline appends (the client keeps sending append
+//! blocks while earlier ones are still being made durable — the "batch data
+//! collected on the server side" design of §4.1).
+//!
+//! A connection is an abstract [`Transport`]: the same [`Connection`] /
+//! [`ServerEnd`] handles work over an in-process channel pair (the default,
+//! used by every embedded test — see [`connection_pair`]) or over a framed
+//! TCP socket (see [`crate::protocol`] for the frame layout and
+//! `pravega_segmentstore`'s frontend for the server side). Client code never
+//! sees which one it got.
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -24,7 +32,7 @@ pub struct TableUpdateEntry {
 }
 
 /// Requests a client can send to a segment store.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Creates a new, empty segment.
     CreateSegment {
@@ -170,7 +178,7 @@ pub struct SegmentInfo {
 }
 
 /// Replies a segment store sends back to a client.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
     /// Segment created.
     SegmentCreated,
@@ -255,12 +263,16 @@ pub enum Reply {
     WrongHost,
     /// The container is (re)starting and cannot serve yet.
     ContainerNotReady,
+    /// The writer's append session was superseded by a newer `SetupAppend`
+    /// (a reconnect fenced this connection out); reconnect and re-handshake
+    /// to resume.
+    WriterFenced,
     /// Unexpected server-side failure.
     InternalError(String),
 }
 
 /// A request tagged with a client-chosen id for pipelined matching.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RequestEnvelope {
     /// Client-chosen correlation id.
     pub request_id: u64,
@@ -269,19 +281,12 @@ pub struct RequestEnvelope {
 }
 
 /// A reply tagged with the id of the request it answers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplyEnvelope {
     /// Correlation id of the request this answers.
     pub request_id: u64,
     /// The reply payload.
     pub reply: Reply,
-}
-
-/// Client end of a connection to a segment store.
-#[derive(Debug, Clone)]
-pub struct Connection {
-    tx: Sender<RequestEnvelope>,
-    rx: Receiver<ReplyEnvelope>,
 }
 
 /// Error returned when the peer has gone away.
@@ -296,14 +301,89 @@ impl std::fmt::Display for ConnectionClosed {
 
 impl std::error::Error for ConnectionClosed {}
 
+/// Client side of a duplex message link to a segment store.
+///
+/// Implementations: the in-process channel pair ([`connection_pair`]) and
+/// the framed TCP transport (`pravega_common::tcp`). All methods may be
+/// called concurrently from multiple threads.
+pub trait Transport: Send + Sync {
+    /// Sends a request without waiting for the reply (pipelining).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectionClosed`] if the peer has gone away.
+    fn send(&self, envelope: RequestEnvelope) -> Result<(), ConnectionClosed>;
+
+    /// Blocks until the next reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectionClosed`] if the peer has gone away.
+    fn recv(&self) -> Result<ReplyEnvelope, ConnectionClosed>;
+
+    /// Waits up to `timeout` for the next reply; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectionClosed`] if the peer has gone away.
+    fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<ReplyEnvelope>, ConnectionClosed>;
+
+    /// Non-blocking receive; `Ok(None)` when no reply is pending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectionClosed`] if the peer has gone away.
+    fn try_recv(&self) -> Result<Option<ReplyEnvelope>, ConnectionClosed>;
+}
+
+/// Server side of a duplex message link: receives requests, sends replies.
+pub trait ServerTransport: Send + Sync {
+    /// Blocks for the next request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectionClosed`] if the client has gone away.
+    fn recv(&self) -> Result<RequestEnvelope, ConnectionClosed>;
+
+    /// Sends a reply back to the client.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConnectionClosed`] if the client has gone away.
+    fn send(&self, envelope: ReplyEnvelope) -> Result<(), ConnectionClosed>;
+}
+
+/// Client end of a connection to a segment store.
+///
+/// A thin handle over an [`Transport`] implementation; cloning shares the
+/// underlying link (like a duplicated socket fd).
+#[derive(Clone)]
+pub struct Connection {
+    inner: Arc<dyn Transport>,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection").finish_non_exhaustive()
+    }
+}
+
 impl Connection {
+    /// Wraps an arbitrary transport implementation.
+    pub fn from_transport(inner: Arc<dyn Transport>) -> Self {
+        Connection { inner }
+    }
+
     /// Sends a request without waiting for the reply (pipelining).
     ///
     /// # Errors
     ///
     /// Returns [`ConnectionClosed`] if the server end was dropped.
     pub fn send(&self, envelope: RequestEnvelope) -> Result<(), ConnectionClosed> {
-        self.tx.send(envelope).map_err(|_| ConnectionClosed)
+        self.inner.send(envelope)
     }
 
     /// Blocks until the next reply arrives.
@@ -312,7 +392,7 @@ impl Connection {
     ///
     /// Returns [`ConnectionClosed`] if the server end was dropped.
     pub fn recv(&self) -> Result<ReplyEnvelope, ConnectionClosed> {
-        self.rx.recv().map_err(|_| ConnectionClosed)
+        self.inner.recv()
     }
 
     /// Waits up to `timeout` for the next reply; `Ok(None)` on timeout.
@@ -324,11 +404,7 @@ impl Connection {
         &self,
         timeout: std::time::Duration,
     ) -> Result<Option<ReplyEnvelope>, ConnectionClosed> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(env) => Ok(Some(env)),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(ConnectionClosed),
-        }
+        self.inner.recv_timeout(timeout)
     }
 
     /// Non-blocking receive; `Ok(None)` when no reply is pending.
@@ -337,11 +413,7 @@ impl Connection {
     ///
     /// Returns [`ConnectionClosed`] if the server end was dropped.
     pub fn try_recv(&self) -> Result<Option<ReplyEnvelope>, ConnectionClosed> {
-        match self.rx.try_recv() {
-            Ok(env) => Ok(Some(env)),
-            Err(TryRecvError::Empty) => Ok(None),
-            Err(TryRecvError::Disconnected) => Err(ConnectionClosed),
-        }
+        self.inner.try_recv()
     }
 
     /// Convenience: send one request and block for its (matching) reply.
@@ -365,20 +437,33 @@ impl Connection {
 }
 
 /// Server end of a connection: receives requests, sends replies.
-#[derive(Debug, Clone)]
+///
+/// A thin handle over a [`ServerTransport`] implementation; cloning shares
+/// the underlying link.
+#[derive(Clone)]
 pub struct ServerEnd {
-    rx: Receiver<RequestEnvelope>,
-    tx: Sender<ReplyEnvelope>,
+    inner: Arc<dyn ServerTransport>,
+}
+
+impl std::fmt::Debug for ServerEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerEnd").finish_non_exhaustive()
+    }
 }
 
 impl ServerEnd {
+    /// Wraps an arbitrary server-side transport implementation.
+    pub fn from_transport(inner: Arc<dyn ServerTransport>) -> Self {
+        ServerEnd { inner }
+    }
+
     /// Blocks for the next request; `Err` when the client hung up.
     ///
     /// # Errors
     ///
     /// Returns [`ConnectionClosed`] if the client end was dropped.
     pub fn recv(&self) -> Result<RequestEnvelope, ConnectionClosed> {
-        self.rx.recv().map_err(|_| ConnectionClosed)
+        self.inner.recv()
     }
 
     /// Sends a reply back to the client.
@@ -387,22 +472,80 @@ impl ServerEnd {
     ///
     /// Returns [`ConnectionClosed`] if the client end was dropped.
     pub fn send(&self, envelope: ReplyEnvelope) -> Result<(), ConnectionClosed> {
+        self.inner.send(envelope)
+    }
+}
+
+/// In-process client transport: a pair of crossbeam channels standing in for
+/// a socket.
+struct ChannelTransport {
+    tx: Sender<RequestEnvelope>,
+    rx: Receiver<ReplyEnvelope>,
+}
+
+impl Transport for ChannelTransport {
+    fn send(&self, envelope: RequestEnvelope) -> Result<(), ConnectionClosed> {
+        self.tx.send(envelope).map_err(|_| ConnectionClosed)
+    }
+
+    fn recv(&self) -> Result<ReplyEnvelope, ConnectionClosed> {
+        self.rx.recv().map_err(|_| ConnectionClosed)
+    }
+
+    fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<ReplyEnvelope>, ConnectionClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(ConnectionClosed),
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<ReplyEnvelope>, ConnectionClosed> {
+        match self.rx.try_recv() {
+            Ok(env) => Ok(Some(env)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ConnectionClosed),
+        }
+    }
+}
+
+/// In-process server transport: the other two channel halves.
+struct ChannelServerTransport {
+    rx: Receiver<RequestEnvelope>,
+    tx: Sender<ReplyEnvelope>,
+}
+
+impl ServerTransport for ChannelServerTransport {
+    fn recv(&self) -> Result<RequestEnvelope, ConnectionClosed> {
+        self.rx.recv().map_err(|_| ConnectionClosed)
+    }
+
+    fn send(&self, envelope: ReplyEnvelope) -> Result<(), ConnectionClosed> {
         self.tx.send(envelope).map_err(|_| ConnectionClosed)
     }
 }
 
-/// Creates a connected (client, server) pair, like `socketpair(2)`.
+/// Creates a connected in-process (client, server) pair, like
+/// `socketpair(2)`. This is the embedded transport every in-process cluster
+/// uses.
 pub fn connection_pair() -> (Connection, ServerEnd) {
     let (req_tx, req_rx) = unbounded();
     let (rep_tx, rep_rx) = unbounded();
     (
         Connection {
-            tx: req_tx,
-            rx: rep_rx,
+            inner: Arc::new(ChannelTransport {
+                tx: req_tx,
+                rx: rep_rx,
+            }),
         },
         ServerEnd {
-            rx: req_rx,
-            tx: rep_tx,
+            inner: Arc::new(ChannelServerTransport {
+                rx: req_rx,
+                tx: rep_tx,
+            }),
         },
     )
 }

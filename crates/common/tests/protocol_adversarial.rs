@@ -1,0 +1,250 @@
+//! Adversarial decode tests: hostile or damaged byte streams must produce
+//! typed [`CodecError`]s — never a panic, never a hang, never unbounded
+//! memory. A decoder that survives this file can face a raw socket.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pravega_common::id::{ScopedStream, SegmentId};
+use pravega_common::protocol::{
+    encode_request, CodecError, FrameDecoder, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use pravega_common::wire::{Request, RequestEnvelope};
+
+fn sample_frame() -> Vec<u8> {
+    let env = RequestEnvelope {
+        request_id: 99,
+        request: Request::SetupAppend {
+            writer_id: pravega_common::id::WriterId(7),
+            segment: ScopedStream::new("s", "t")
+                .expect("valid")
+                .segment(SegmentId::new(0, 1)),
+        },
+    };
+    let mut out = BytesMut::new();
+    encode_request(&env, &mut out);
+    out.as_slice().to_vec()
+}
+
+#[test]
+fn truncated_frame_waits_for_more_bytes_then_completes() {
+    // A prefix of a valid frame is not an error — it is an incomplete read.
+    // The decoder must return Ok(None) at every cut point and still decode
+    // once the remainder arrives.
+    let frame = sample_frame();
+    for cut in 0..frame.len() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame[..cut]);
+        assert_eq!(
+            dec.next_request().expect("prefix is never an error"),
+            None,
+            "cut at {cut} must be incomplete, not a message"
+        );
+        dec.feed(&frame[cut..]);
+        let env = dec
+            .next_request()
+            .expect("completed frame decodes")
+            .expect("message present");
+        assert_eq!(env.request_id, 99);
+    }
+}
+
+#[test]
+fn truncated_stream_that_never_completes_never_blocks() {
+    // EOF-mid-frame: the caller sees Ok(None) forever (and hangs up at the
+    // transport layer); repeated polling must not spin-error or panic.
+    let frame = sample_frame();
+    let mut dec = FrameDecoder::new();
+    dec.feed(&frame[..frame.len() - 1]);
+    for _ in 0..3 {
+        assert_eq!(dec.next_request().expect("incomplete, not error"), None);
+    }
+    assert_eq!(
+        dec.buffered(),
+        frame.len() - 1,
+        "partial frame stays buffered"
+    );
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_without_allocation() {
+    for declared in [MAX_FRAME_BYTES as u32 + 1, u32::MAX, 0x8000_0000] {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&declared.to_be_bytes());
+        match dec.next_request() {
+            Err(CodecError::BadLength { declared: got }) => {
+                assert_eq!(got, declared as u64);
+            }
+            other => panic!("length {declared:#x}: expected BadLength, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn undersized_length_prefix_is_rejected() {
+    // A frame cannot be smaller than its fixed header (version + tag +
+    // request id + crc = 14 bytes).
+    for declared in [0u32, 1, 13] {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&declared.to_be_bytes());
+        assert!(
+            matches!(dec.next_request(), Err(CodecError::BadLength { .. })),
+            "declared {declared} must be BadLength"
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_caught_by_the_checksum_or_structure() {
+    // Flip each byte of a valid frame: the result must be a typed error or
+    // (for flips in the length prefix that enlarge the frame) an incomplete
+    // read — never a silently-different message, never a panic.
+    let frame = sample_frame();
+    for i in 0..frame.len() {
+        let mut corrupt = frame.clone();
+        corrupt[i] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&corrupt);
+        match dec.next_request() {
+            Err(_) => {}   // typed CodecError: checksum, length, version…
+            Ok(None) => {} // length grew: now an incomplete frame
+            Ok(Some(env)) => {
+                panic!("bit flip at byte {i} produced a decoded message: {env:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bad_checksum_reports_both_values() {
+    let mut frame = sample_frame();
+    let last = frame.len() - 1;
+    frame[last] ^= 0xFF; // corrupt the crc itself
+    let mut dec = FrameDecoder::new();
+    dec.feed(&frame);
+    match dec.next_request() {
+        Err(CodecError::BadChecksum { expected, actual }) => {
+            assert_ne!(expected, actual);
+        }
+        other => panic!("expected BadChecksum, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_tag_is_a_typed_error() {
+    // Build a frame with a valid checksum but an unassigned tag byte.
+    let mut frame = sample_frame();
+    frame[5] = 0x7F; // unassigned request tag
+                     // Recompute the crc over version..payload so only the tag is "wrong".
+    let declared = u32::from_be_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    let crc = pravega_common::buf::crc32c(&frame[4..4 + declared - 4]);
+    let crc_at = 4 + declared - 4;
+    frame[crc_at..].copy_from_slice(&crc.to_be_bytes());
+    let mut dec = FrameDecoder::new();
+    dec.feed(&frame);
+    match dec.next_request() {
+        Err(CodecError::UnknownTag { tag }) => assert_eq!(tag, 0x7F),
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_version_is_a_typed_error() {
+    let mut frame = sample_frame();
+    frame[4] = PROTOCOL_VERSION + 1;
+    let declared = u32::from_be_bytes(frame[..4].try_into().expect("4 bytes")) as usize;
+    let crc = pravega_common::buf::crc32c(&frame[4..4 + declared - 4]);
+    let crc_at = 4 + declared - 4;
+    frame[crc_at..].copy_from_slice(&crc.to_be_bytes());
+    let mut dec = FrameDecoder::new();
+    dec.feed(&frame);
+    match dec.next_request() {
+        Err(CodecError::BadVersion { got }) => assert_eq!(got, PROTOCOL_VERSION + 1),
+        other => panic!("expected BadVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn split_across_every_boundary_pair_still_decodes() {
+    // Two frames split across three feeds at arbitrary boundaries: both
+    // messages must come out intact, in order.
+    let frame = sample_frame();
+    let mut stream = frame.clone();
+    stream.extend_from_slice(&frame);
+    for cut_a in (0..stream.len()).step_by(7) {
+        for cut_b in (cut_a..stream.len()).step_by(11) {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&stream[..cut_a]);
+            let _ = dec.next_request().expect("prefix never errors");
+            dec.feed(&stream[cut_a..cut_b]);
+            let _ = dec.next_request().expect("mid never errors");
+            dec.feed(&stream[cut_b..]);
+            let mut count = 0;
+            while let Some(env) = dec.next_request().expect("full stream decodes") {
+                assert_eq!(env.request_id, 99);
+                count += 1;
+            }
+            // Some may have decoded during earlier polls; drain proved the
+            // tail is clean. Re-total by decoding from scratch:
+            let mut full = FrameDecoder::new();
+            full.feed(&stream);
+            let mut total = 0;
+            while full.next_request().expect("clean").is_some() {
+                total += 1;
+            }
+            assert_eq!(total, 2);
+            assert!(count <= 2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn random_garbage_never_panics_or_yields_messages_silently(seed in any::<u64>()) {
+        // Pure noise: any outcome is fine except a panic. (A decoded message
+        // from noise would require forging a crc32c, vanishingly unlikely —
+        // but not *impossible*, so only absence-of-panic is asserted.)
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0..512usize);
+        let mut bytes = vec![0u8; len];
+        for b in &mut bytes {
+            *b = rng.gen();
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        for _ in 0..8 {
+            match dec.next_request() {
+                Ok(Some(_)) | Ok(None) => {}
+                Err(_) => break, // typed error: stream condemned, stop
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn valid_frame_with_garbage_tail_decodes_then_errors_cleanly(seed in any::<u64>()) {
+        let rng = &mut StdRng::seed_from_u64(seed);
+        let mut stream = sample_frame();
+        // Garbage tail whose "length prefix" is in-range, forcing the
+        // decoder to engage with it rather than reject outright.
+        let garbage_len = rng.gen_range(14u32..64);
+        stream.extend_from_slice(&garbage_len.to_be_bytes());
+        for _ in 0..garbage_len {
+            stream.push(rng.gen());
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let first = dec.next_request().expect("first frame is valid").expect("present");
+        prop_assert_eq!(first.request_id, 99);
+        // The tail is noise: must never be a second message.
+        match dec.next_request() {
+            Ok(Some(env)) => panic!("garbage tail decoded: {env:?}"),
+            Ok(None) | Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Protocol conformance: every `Request`/`Reply` survives
+//! encode → decode unchanged, and the frame layout itself is pinned by
+//! golden-bytes fixtures so an accidental format change fails loudly
+//! instead of silently breaking cross-version peers.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId, WriterId};
+use pravega_common::protocol::{encode_reply, encode_request, FrameDecoder, PROTOCOL_VERSION};
+use pravega_common::wire::{
+    Reply, ReplyEnvelope, Request, RequestEnvelope, SegmentInfo, TableUpdateEntry,
+};
+
+// ── random message generators ───────────────────────────────────────────────
+//
+// One seed fully determines one message, so `any::<u64>()` gives a uniform
+// strategy over the whole Request/Reply space without hand-writing a
+// combinator tree per variant.
+
+fn arb_segment(rng: &mut StdRng) -> ScopedSegment {
+    let scopes = ["s", "iot", "scope-a", "x_1"];
+    let streams = ["t", "sensors", "stream.b", "S2"];
+    let scope = scopes[rng.gen_range(0..scopes.len())];
+    let stream = streams[rng.gen_range(0..streams.len())];
+    ScopedStream::new(scope, stream)
+        .expect("static names are valid")
+        .segment(SegmentId::new(
+            rng.gen_range(0u32..5),
+            rng.gen_range(0u32..100),
+        ))
+}
+
+fn arb_bytes(rng: &mut StdRng) -> Bytes {
+    let len = rng.gen_range(0..64usize);
+    let mut v = vec![0u8; len];
+    for b in &mut v {
+        *b = rng.gen();
+    }
+    Bytes::from(v)
+}
+
+fn arb_opt_version(rng: &mut StdRng) -> Option<i64> {
+    match rng.gen_range(0..3u8) {
+        0 => None,
+        1 => Some(-1),
+        _ => Some(rng.gen_range(0..i64::MAX)),
+    }
+}
+
+fn arb_request(seed: u64) -> Request {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    match rng.gen_range(0..13u8) {
+        0 => Request::CreateSegment {
+            segment: arb_segment(rng),
+            is_table: rng.gen(),
+        },
+        1 => Request::SetupAppend {
+            writer_id: WriterId(rng.gen()),
+            segment: arb_segment(rng),
+        },
+        2 => Request::AppendBlock {
+            writer_id: WriterId(rng.gen()),
+            segment: arb_segment(rng),
+            last_event_number: rng.gen(),
+            event_count: rng.gen(),
+            data: arb_bytes(rng),
+            expected_offset: rng.gen::<bool>().then(|| rng.gen()),
+        },
+        3 => Request::ReadSegment {
+            segment: arb_segment(rng),
+            offset: rng.gen(),
+            max_bytes: rng.gen(),
+            wait_for_data: rng.gen(),
+        },
+        4 => Request::GetSegmentInfo {
+            segment: arb_segment(rng),
+        },
+        5 => Request::SealSegment {
+            segment: arb_segment(rng),
+        },
+        6 => Request::TruncateSegment {
+            segment: arb_segment(rng),
+            offset: rng.gen(),
+        },
+        7 => Request::DeleteSegment {
+            segment: arb_segment(rng),
+        },
+        8 => Request::GetWriterAttribute {
+            segment: arb_segment(rng),
+            writer_id: WriterId(rng.gen()),
+        },
+        9 => Request::TableUpdate {
+            segment: arb_segment(rng),
+            entries: (0..rng.gen_range(0..5usize))
+                .map(|_| TableUpdateEntry {
+                    key: arb_bytes(rng),
+                    value: arb_bytes(rng),
+                    expected_version: arb_opt_version(rng),
+                })
+                .collect(),
+        },
+        10 => Request::TableRemove {
+            segment: arb_segment(rng),
+            keys: (0..rng.gen_range(0..5usize))
+                .map(|_| (arb_bytes(rng), arb_opt_version(rng)))
+                .collect(),
+        },
+        11 => Request::TableGet {
+            segment: arb_segment(rng),
+            keys: (0..rng.gen_range(0..5usize))
+                .map(|_| arb_bytes(rng))
+                .collect(),
+        },
+        _ => Request::TableIterate {
+            segment: arb_segment(rng),
+            continuation: rng.gen::<bool>().then(|| arb_bytes(rng)),
+            limit: rng.gen(),
+        },
+    }
+}
+
+fn arb_reply(seed: u64) -> Reply {
+    let rng = &mut StdRng::seed_from_u64(seed);
+    match rng.gen_range(0..22u8) {
+        0 => Reply::SegmentCreated,
+        1 => Reply::AppendSetup {
+            last_event_number: rng.gen(),
+        },
+        2 => Reply::DataAppended {
+            writer_id: WriterId(rng.gen()),
+            last_event_number: rng.gen(),
+            current_tail: rng.gen(),
+        },
+        3 => Reply::SegmentRead {
+            offset: rng.gen(),
+            data: arb_bytes(rng),
+            end_of_segment: rng.gen(),
+            at_tail: rng.gen(),
+        },
+        4 => Reply::SegmentInfo(SegmentInfo {
+            segment: arb_segment(rng),
+            length: rng.gen(),
+            start_offset: rng.gen(),
+            sealed: rng.gen(),
+            last_modified_nanos: rng.gen(),
+        }),
+        5 => Reply::SegmentSealed {
+            final_length: rng.gen(),
+        },
+        6 => Reply::SegmentTruncated,
+        7 => Reply::SegmentDeleted,
+        8 => Reply::WriterAttribute {
+            last_event_number: rng.gen(),
+        },
+        9 => Reply::TableUpdated {
+            versions: (0..rng.gen_range(0..5usize)).map(|_| rng.gen()).collect(),
+        },
+        10 => Reply::TableRemoved,
+        11 => Reply::TableRead {
+            values: (0..rng.gen_range(0..5usize))
+                .map(|_| rng.gen::<bool>().then(|| (arb_bytes(rng), rng.gen())))
+                .collect(),
+        },
+        12 => Reply::TableIterated {
+            entries: (0..rng.gen_range(0..5usize))
+                .map(|_| (arb_bytes(rng), arb_bytes(rng), rng.gen()))
+                .collect(),
+            continuation: rng.gen::<bool>().then(|| arb_bytes(rng)),
+        },
+        13 => Reply::NoSuchSegment,
+        14 => Reply::SegmentAlreadyExists,
+        15 => Reply::SegmentIsSealed,
+        16 => Reply::ConditionalCheckFailed,
+        17 => Reply::OffsetTruncated {
+            start_offset: rng.gen(),
+        },
+        18 => Reply::WrongHost,
+        19 => Reply::ContainerNotReady,
+        20 => Reply::WriterFenced,
+        _ => Reply::InternalError(format!("err-{}", rng.gen::<u32>())),
+    }
+}
+
+// ── property: encode ∘ decode = id ──────────────────────────────────────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn request_roundtrips(seed in any::<u64>(), request_id in any::<u64>()) {
+        let env = RequestEnvelope {
+            request_id,
+            request: arb_request(seed),
+        };
+        let mut out = BytesMut::new();
+        encode_request(&env, &mut out);
+        let mut dec = FrameDecoder::new();
+        dec.feed(out.as_slice());
+        let got = dec.next_request().expect("well-formed frame").expect("complete frame");
+        prop_assert_eq!(got, env);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn reply_roundtrips(seed in any::<u64>(), request_id in any::<u64>()) {
+        let env = ReplyEnvelope {
+            request_id,
+            reply: arb_reply(seed),
+        };
+        let mut out = BytesMut::new();
+        encode_reply(&env, &mut out);
+        let mut dec = FrameDecoder::new();
+        dec.feed(out.as_slice());
+        let got = dec.next_reply().expect("well-formed frame").expect("complete frame");
+        prop_assert_eq!(got, env);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn many_frames_roundtrip_through_one_buffer(seeds in prop::collection::vec(any::<u64>(), 1..20)) {
+        // Coalesced frames (many per read) must decode in order.
+        let envs: Vec<RequestEnvelope> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| RequestEnvelope { request_id: i as u64, request: arb_request(*s) })
+            .collect();
+        let mut out = BytesMut::new();
+        for env in &envs {
+            encode_request(env, &mut out);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(out.as_slice());
+        for env in &envs {
+            let got = dec.next_request().expect("well-formed").expect("complete");
+            prop_assert_eq!(&got, env);
+        }
+        prop_assert!(dec.next_request().expect("clean tail").is_none());
+    }
+}
+
+// ── golden bytes: the frame layout, pinned ──────────────────────────────────
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn seg_fixed() -> ScopedSegment {
+    ScopedStream::new("s", "t")
+        .expect("valid")
+        .segment(SegmentId::new(1, 2))
+}
+
+/// `SealSegment{s/t/2.#epoch.1}` with request id 0x0102030405060708. Layout:
+/// `[u32 len][u8 version=1][u8 tag=0x06][u64 request_id][u32 name_len]["s/t/2.#epoch.1"][u32 crc32c]`.
+const GOLDEN_SEAL_REQUEST: &str =
+    "00000020010601020304050607080000000e732f742f322e2365706f63682e319b91e62d";
+
+#[test]
+fn golden_seal_request_frame() {
+    let env = RequestEnvelope {
+        request_id: 0x0102_0304_0506_0708,
+        request: Request::SealSegment {
+            segment: seg_fixed(),
+        },
+    };
+    let mut out = BytesMut::new();
+    encode_request(&env, &mut out);
+    let got = hex(out.as_slice());
+    assert_eq!(
+        got, GOLDEN_SEAL_REQUEST,
+        "frame layout changed: bump PROTOCOL_VERSION and update the fixture"
+    );
+}
+
+/// `AppendSetup{last_event_number: -1}` with request id 7.
+const GOLDEN_APPEND_SETUP_REPLY: &str = "0000001601820000000000000007ffffffffffffffff03ac4619";
+
+#[test]
+fn golden_append_setup_reply_frame() {
+    let env = ReplyEnvelope {
+        request_id: 7,
+        reply: Reply::AppendSetup {
+            last_event_number: -1,
+        },
+    };
+    let mut out = BytesMut::new();
+    encode_reply(&env, &mut out);
+    let got = hex(out.as_slice());
+    assert_eq!(
+        got, GOLDEN_APPEND_SETUP_REPLY,
+        "frame layout changed: bump PROTOCOL_VERSION and update the fixture"
+    );
+}
+
+#[test]
+fn golden_frame_structure_offsets() {
+    // Structural pins that hold for every frame, independent of fixtures:
+    // byte 4 is the version, byte 5 the tag, bytes 6..14 the request id,
+    // and the u32 length prefix counts everything after itself.
+    let env = RequestEnvelope {
+        request_id: 0xDEAD_BEEF_0000_0001,
+        request: Request::GetSegmentInfo {
+            segment: seg_fixed(),
+        },
+    };
+    let mut out = BytesMut::new();
+    encode_request(&env, &mut out);
+    let b = out.as_slice();
+    let declared = u32::from_be_bytes(b[..4].try_into().expect("4 bytes")) as usize;
+    assert_eq!(b.len(), 4 + declared, "length counts version..crc");
+    assert_eq!(b[4], PROTOCOL_VERSION, "version byte at offset 4");
+    assert_eq!(b[5], 0x05, "GetSegmentInfo tag at offset 5");
+    assert_eq!(
+        u64::from_be_bytes(b[6..14].try_into().expect("8 bytes")),
+        0xDEAD_BEEF_0000_0001,
+        "request id at offsets 6..14, big-endian"
+    );
+}
+
+#[test]
+fn tags_never_collide_across_request_and_reply_spaces() {
+    // Request tags live in 0x01..=0x7F, reply tags in 0x81..=0xFF: feeding
+    // a reply stream to a request decoder must fail with UnknownTag, not
+    // alias to a different message.
+    let env = ReplyEnvelope {
+        request_id: 1,
+        reply: Reply::SegmentCreated,
+    };
+    let mut out = BytesMut::new();
+    encode_reply(&env, &mut out);
+    let mut dec = FrameDecoder::new();
+    dec.feed(out.as_slice());
+    assert!(matches!(
+        dec.next_request(),
+        Err(pravega_common::protocol::CodecError::UnknownTag { .. })
+    ));
+}

@@ -38,6 +38,18 @@ use crate::wiring::{
     RoutedConnectionFactory, RoutedEndpointResolver, RoutedSegmentManager, Routing, StoreHandle,
 };
 
+/// Which transport clients use to reach segment stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process channel pairs (the embedded default; zero sockets).
+    #[default]
+    InProcess,
+    /// Framed TCP: every store runs a loopback
+    /// [`pravega_segmentstore::TcpFrontend`] and clients dial it with the
+    /// binary codec (`pravega_common::protocol`).
+    Tcp,
+}
+
 /// Which long-term storage backend the cluster tiers to.
 #[derive(Debug, Clone)]
 pub enum LtsKind {
@@ -90,6 +102,8 @@ pub struct ClusterConfig {
     /// container pipeline/storage writer/seal path, and LTS chunk rolls —
     /// so a seed reproduces the same crash schedule run after run.
     pub crash_faults: Option<Arc<FaultPlan>>,
+    /// Transport between clients and segment stores.
+    pub transport: TransportKind,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +123,7 @@ impl Default for ClusterConfig {
             lts_faults: None,
             wal_faults: None,
             crash_faults: None,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -364,12 +379,20 @@ impl PravegaCluster {
                 )
             }),
         );
+        let frontend = match config.transport {
+            TransportKind::InProcess => None,
+            TransportKind::Tcp => Some(
+                pravega_segmentstore::TcpFrontend::start(store.clone(), metrics)
+                    .map_err(|e| ClusterError::Other(format!("start frontend on {host}: {e}")))?,
+            ),
+        };
         routing.stores.lock().insert(
             host.to_string(),
             StoreHandle {
                 store,
                 session,
                 alive: true,
+                frontend,
             },
         );
         Ok(())
@@ -648,16 +671,28 @@ impl PravegaCluster {
     }
 
     /// Marks `host` dead in routing and returns its store + session id.
+    /// Any TCP frontend stops too (its clients see `ConnectionClosed`, just
+    /// like a remote process death).
     fn take_store(
         &self,
         host: &str,
     ) -> Result<(Arc<SegmentStore>, pravega_coordination::SessionId), ClusterError> {
-        let mut stores = self.routing.stores.lock();
-        let handle = stores
-            .get_mut(host)
-            .ok_or_else(|| ClusterError::Other(format!("unknown host {host}")))?;
-        handle.alive = false;
-        Ok((handle.store.clone(), handle.session.id()))
+        let (store, session_id, frontend) = {
+            let mut stores = self.routing.stores.lock();
+            let handle = stores
+                .get_mut(host)
+                .ok_or_else(|| ClusterError::Other(format!("unknown host {host}")))?;
+            handle.alive = false;
+            (
+                handle.store.clone(),
+                handle.session.id(),
+                handle.frontend.take(),
+            )
+        };
+        if let Some(frontend) = frontend {
+            frontend.stop();
+        }
+        Ok((store, session_id))
     }
 
     /// Crashes the **whole cluster** abruptly and rebuilds it from durable
@@ -675,17 +710,25 @@ impl PravegaCluster {
     pub fn crash_and_restart(self) -> Result<Self, ClusterError> {
         // Crash every store abruptly; the zombie WAL handles are dropped
         // (crash_store is the API for holding on to them).
-        let handles: Vec<(Arc<SegmentStore>, pravega_coordination::SessionId)> = {
+        type Taken = (
+            Arc<SegmentStore>,
+            pravega_coordination::SessionId,
+            Option<Arc<pravega_segmentstore::TcpFrontend>>,
+        );
+        let handles: Vec<Taken> = {
             let mut stores = self.routing.stores.lock();
             stores
                 .values_mut()
                 .map(|h| {
                     h.alive = false;
-                    (h.store.clone(), h.session.id())
+                    (h.store.clone(), h.session.id(), h.frontend.take())
                 })
                 .collect()
         };
-        for (store, session_id) in handles {
+        for (store, session_id, frontend) in handles {
+            if let Some(frontend) = frontend {
+                frontend.stop();
+            }
             let _ = store.crash();
             self.coord.expire_session(session_id);
         }
@@ -727,16 +770,52 @@ impl PravegaCluster {
         }
     }
 
-    /// Stops every store.
+    /// TCP listener addresses per live store (empty on the embedded
+    /// transport). Load generators dial these directly.
+    pub fn tcp_endpoints(&self) -> Vec<(String, std::net::SocketAddr)> {
+        let stores = self.routing.stores.lock();
+        let mut endpoints: Vec<(String, std::net::SocketAddr)> = stores
+            .iter()
+            .filter(|(_, h)| h.alive)
+            .filter_map(|(host, h)| h.frontend.as_ref().map(|f| (host.clone(), f.local_addr())))
+            .collect();
+        endpoints.sort_by(|a, b| a.0.cmp(&b.0));
+        endpoints
+    }
+
+    /// Failure injection: severs every live TCP connection on every store's
+    /// frontend mid-flight. Returns how many were cut. A no-op (returning 0)
+    /// on the embedded transport. Clients must reconnect and re-handshake;
+    /// the event-number handshake keeps appends exactly-once across the cut.
+    pub fn kill_tcp_connections(&self) -> usize {
+        let frontends: Vec<Arc<pravega_segmentstore::TcpFrontend>> = {
+            let stores = self.routing.stores.lock();
+            stores
+                .values()
+                .filter(|h| h.alive)
+                .filter_map(|h| h.frontend.clone())
+                .collect()
+        };
+        frontends.iter().map(|f| f.kill_connections()).sum()
+    }
+
+    /// Stops every store (and any TCP frontends).
     pub fn shutdown(&self) {
-        let stores: Vec<Arc<SegmentStore>> = self
+        type Running = (
+            Arc<SegmentStore>,
+            Option<Arc<pravega_segmentstore::TcpFrontend>>,
+        );
+        let stores: Vec<Running> = self
             .routing
             .stores
             .lock()
             .values()
-            .map(|h| h.store.clone())
+            .map(|h| (h.store.clone(), h.frontend.clone()))
             .collect();
-        for store in stores {
+        for (store, frontend) in stores {
+            if let Some(frontend) = frontend {
+                frontend.stop();
+            }
             store.shutdown();
         }
     }

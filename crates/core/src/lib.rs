@@ -42,6 +42,6 @@ pub mod error;
 pub mod tablebackend;
 mod wiring;
 
-pub use cluster::{ClusterConfig, ClusterMetrics, LtsKind, PravegaCluster};
+pub use cluster::{ClusterConfig, ClusterMetrics, LtsKind, PravegaCluster, TransportKind};
 pub use error::ClusterError;
 pub use tablebackend::TableMetadataBackend;

@@ -10,7 +10,7 @@ use pravega_common::id::ScopedSegment;
 use pravega_common::wire::{Connection, Reply, Request};
 use pravega_controller::{EndpointResolver, SegmentManager};
 use pravega_coordination::Session;
-use pravega_segmentstore::SegmentStore;
+use pravega_segmentstore::{SegmentStore, TcpFrontend};
 use pravega_sync::Mutex;
 
 /// A registered segment store instance plus its cluster session.
@@ -18,6 +18,9 @@ pub(crate) struct StoreHandle {
     pub store: Arc<SegmentStore>,
     pub session: Session,
     pub alive: bool,
+    /// Present when the cluster runs the TCP transport: the store's framed
+    /// TCP listener. `None` on the embedded (in-process) transport.
+    pub frontend: Option<Arc<TcpFrontend>>,
 }
 
 /// Shared cluster routing state.
@@ -159,23 +162,36 @@ impl EndpointResolver for RoutedEndpointResolver {
     }
 }
 
-/// [`ConnectionFactory`] handing out in-process connections to stores.
+/// [`ConnectionFactory`] handing out connections to stores: framed TCP when
+/// the store runs a frontend, in-process channel pairs otherwise. Client
+/// code (writer, reader, RPC) cannot tell which transport it got.
 pub(crate) struct RoutedConnectionFactory {
     pub routing: Arc<Routing>,
 }
 
 impl ConnectionFactory for RoutedConnectionFactory {
     fn connect(&self, endpoint: &str) -> Result<Connection, ClientError> {
-        let stores = self.routing.stores.lock();
-        let handle = stores
-            .get(endpoint)
-            .ok_or_else(|| ClientError::Disconnected(format!("unknown endpoint {endpoint}")))?;
-        if !handle.alive {
-            return Err(ClientError::Disconnected(format!("{endpoint} is down")));
+        // Resolve under the lock, dial outside it: a TCP connect must never
+        // hold the routing map hostage.
+        let (store, tcp_addr) = {
+            let stores = self.routing.stores.lock();
+            let handle = stores
+                .get(endpoint)
+                .ok_or_else(|| ClientError::Disconnected(format!("unknown endpoint {endpoint}")))?;
+            if !handle.alive {
+                return Err(ClientError::Disconnected(format!("{endpoint} is down")));
+            }
+            (
+                handle.store.clone(),
+                handle.frontend.as_ref().map(|f| f.local_addr()),
+            )
+        };
+        match tcp_addr {
+            Some(addr) => pravega_common::tcp::connect(addr)
+                .map_err(|e| ClientError::Disconnected(format!("dial {endpoint} ({addr}): {e}"))),
+            None => store
+                .connect()
+                .map_err(|e| ClientError::Disconnected(format!("connect to {endpoint}: {e}"))),
         }
-        handle
-            .store
-            .connect()
-            .map_err(|e| ClientError::Disconnected(format!("connect to {endpoint}: {e}")))
     }
 }

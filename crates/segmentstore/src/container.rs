@@ -158,6 +158,12 @@ struct PendingSegment {
     deleted: bool,
     is_table: bool,
     attributes: HashMap<WriterId, i64>,
+    /// Per-writer append-session fence: [`SegmentContainer::handshake`] bumps
+    /// the writer's session, and sessioned appends carrying an older value
+    /// are refused ([`SegmentError::WriterFenced`]). This keeps a dead
+    /// connection's still-queued blocks from re-applying events that the
+    /// reconnected writer is about to resend.
+    sessions: HashMap<WriterId, u64>,
 }
 
 #[derive(Debug, Default)]
@@ -930,6 +936,10 @@ impl SegmentContainer {
                                 deleted: false,
                                 is_table: st.meta.is_table,
                                 attributes: st.meta.attributes.clone(),
+                                // Sessions do not survive recovery: every
+                                // connection died with the old process, so
+                                // writers re-handshake from session 1.
+                                sessions: HashMap::new(),
                             },
                         )
                     })
@@ -1020,6 +1030,10 @@ impl SegmentContainer {
     /// Deduplication: if `last_event_number` is not beyond the writer's
     /// recorded watermark the append is acknowledged without re-writing
     /// (exactly-once, §3.2). Blocks while LTS backpressure is active.
+    ///
+    /// Unfenced: callers that hold no append session (direct embedders,
+    /// tests). Connections serving writers must use [`Self::append_sessioned`]
+    /// with the session from [`Self::handshake`].
     pub fn append(
         &self,
         name: &str,
@@ -1028,6 +1042,33 @@ impl SegmentContainer {
         last_event_number: i64,
         event_count: u32,
         expected_offset: Option<u64>,
+    ) -> AppendHandle {
+        self.append_sessioned(
+            name,
+            data,
+            writer_id,
+            last_event_number,
+            event_count,
+            expected_offset,
+            None,
+        )
+    }
+
+    /// [`Self::append`] carrying the connection's append session for
+    /// `writer_id` (from [`Self::handshake`]): if a newer handshake has
+    /// bumped the writer's session since, the append is refused with
+    /// [`SegmentError::WriterFenced`] instead of enqueued. `None` skips the
+    /// fence (a caller that never handshook).
+    #[allow(clippy::too_many_arguments)] // the wire append verb, plus its fence
+    pub fn append_sessioned(
+        &self,
+        name: &str,
+        data: Bytes,
+        writer_id: WriterId,
+        last_event_number: i64,
+        event_count: u32,
+        expected_offset: Option<u64>,
+        session: Option<u64>,
     ) -> AppendHandle {
         if let Err(e) = self
             .inner
@@ -1054,6 +1095,16 @@ impl SegmentContainer {
                 return AppendHandle {
                     inner: Promise::ready(Err(SegmentError::SegmentSealed)),
                 };
+            }
+            if let Some(session) = session {
+                // Fenced before dedup: a stale connection must not be able
+                // to advance the watermark (or ack anything) after a newer
+                // handshake has taken over the writer.
+                if pending.sessions.get(&writer_id).copied().unwrap_or(0) != session {
+                    return AppendHandle {
+                        inner: Promise::ready(Err(SegmentError::WriterFenced)),
+                    };
+                }
             }
             if let Some(expected) = expected_offset {
                 if pending.tail != expected {
@@ -1117,6 +1168,76 @@ impl SegmentContainer {
         let core = self.inner.core.lock();
         let st = core.segments.get(name).ok_or(SegmentError::NoSuchSegment)?;
         Ok(st.meta.attributes.get(&writer_id).copied().unwrap_or(-1))
+    }
+
+    /// Fencing writer handshake for connection-serving callers: bumps the
+    /// writer's append session (so blocks still queued by an older
+    /// connection are refused with [`SegmentError::WriterFenced`]), waits
+    /// until everything the writer had in flight is durable, and returns
+    /// `(last durable event number, new session)`.
+    ///
+    /// The barrier is what makes the returned watermark *complete*: without
+    /// it, a block enqueued by the dead connection but not yet committed
+    /// could straddle the watermark, and the reconnected writer's resend
+    /// would partially re-apply it (duplicates). With fence + barrier a
+    /// resend can only be a full duplicate (acked, not re-written) or
+    /// entirely new events.
+    ///
+    /// # Errors
+    ///
+    /// [`SegmentError::NoSuchSegment`]; [`SegmentError::ContainerStopped`]
+    /// if the container dies while the barrier waits.
+    pub fn handshake(&self, name: &str, writer_id: WriterId) -> Result<(i64, u64), SegmentError> {
+        self.inner.check_running()?;
+        // Fence first (processor lock), then barrier (core lock) — taken
+        // sequentially in the canonical processor-before-core order. After
+        // the bump no older-session append can be enqueued, so the pending
+        // watermark read here is the writer's final in-flight high mark.
+        let (session, pending_mark) = {
+            let mut processor = self.inner.processor.lock();
+            let pending = processor
+                .segments
+                .get_mut(name)
+                .ok_or(SegmentError::NoSuchSegment)?;
+            if pending.deleted {
+                return Err(SegmentError::NoSuchSegment);
+            }
+            let slot = pending.sessions.entry(writer_id).or_insert(0);
+            *slot += 1;
+            (
+                *slot,
+                pending.attributes.get(&writer_id).copied().unwrap_or(-1),
+            )
+        };
+        loop {
+            let waiter = {
+                let mut core = self.inner.core.lock();
+                let committed = core
+                    .segments
+                    .get(name)
+                    .ok_or(SegmentError::NoSuchSegment)?
+                    .meta
+                    .attributes
+                    .get(&writer_id)
+                    .copied()
+                    .unwrap_or(-1);
+                if committed >= pending_mark {
+                    return Ok((committed, session));
+                }
+                // Register for the next apply on this segment (the writer's
+                // pending op will trigger it), then wait outside the lock.
+                let (completer, pr) = promise();
+                core.tail_waiters
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(completer);
+                pr
+            };
+            // Bounded slice so a condemned pipeline (op never applies) is
+            // noticed via check_running instead of hanging the handshake.
+            let _ = waiter.wait_for(Duration::from_millis(50));
+            self.inner.check_running()?;
+        }
     }
 
     /// Reads committed data. With `wait`, a read at the tail blocks up to

@@ -39,6 +39,11 @@ pub enum SegmentError {
     /// The container does not own this segment (stateless hash says another
     /// container does).
     WrongContainer,
+    /// The writer's append session was superseded by a newer handshake
+    /// (exactly-once fencing): a later `SetupAppend` for the same writer and
+    /// segment invalidated this connection's session, so its appends are
+    /// refused rather than risk partially re-applying a resent block.
+    WriterFenced,
     /// The addressed segment is not a table segment (or vice versa).
     NotATable,
     /// WAL failure.
@@ -70,6 +75,9 @@ impl fmt::Display for SegmentError {
             }
             SegmentError::ContainerStopped => write!(f, "segment container stopped"),
             SegmentError::WrongContainer => write!(f, "segment owned by another container"),
+            SegmentError::WriterFenced => {
+                write!(f, "writer session fenced by a newer handshake")
+            }
             SegmentError::NotATable => write!(f, "segment kind mismatch (table vs event)"),
             SegmentError::Wal(e) => write!(f, "wal error: {e}"),
             SegmentError::Lts(e) => write!(f, "lts error: {e}"),

@@ -30,6 +30,7 @@ pub mod cache;
 pub mod container;
 pub mod dataframe;
 pub mod error;
+pub mod frontend;
 pub mod metadata;
 pub mod operations;
 pub mod readindex;
@@ -39,6 +40,7 @@ pub mod tablesegment;
 pub use cache::{BlockCache, CacheAddress, CacheConfig};
 pub use container::{ContainerConfig, SegmentContainer};
 pub use error::SegmentError;
+pub use frontend::TcpFrontend;
 pub use metadata::SegmentInfoSnapshot;
 pub use store::{SegmentStore, SegmentStoreConfig};
 

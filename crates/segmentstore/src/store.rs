@@ -216,6 +216,7 @@ fn error_reply(e: SegmentError) -> Reply {
         SegmentError::OffsetTruncated { start_offset } => Reply::OffsetTruncated { start_offset },
         SegmentError::WrongContainer => Reply::WrongHost,
         SegmentError::ContainerStopped => Reply::ContainerNotReady,
+        SegmentError::WriterFenced => Reply::WriterFenced,
         other => Reply::InternalError(other.to_string()),
     }
 }
@@ -350,7 +351,7 @@ fn dispatch(container: &SegmentContainer, request: Request) -> Reply {
     }
 }
 
-fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
+pub(crate) fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
     // Appends are acknowledged by a dedicated pump so the request loop never
     // blocks on durability — this is what lets a writer keep the batch
     // in-flight on the wire while the server collects it (§4.1).
@@ -399,9 +400,31 @@ fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
         return;
     };
 
+    // Append sessions held by THIS connection, per (writer, segment), from
+    // its `SetupAppend` handshakes. Appends carry the session so a newer
+    // handshake (the writer reconnected elsewhere) fences this connection's
+    // still-queued blocks out instead of letting them race the resend.
+    let mut sessions: HashMap<(pravega_common::id::WriterId, String), u64> = HashMap::new();
+
     while let Ok(envelope) = server.recv() {
         let request_id = envelope.request_id;
         match envelope.request {
+            Request::SetupAppend { writer_id, segment } => {
+                let name = segment.qualified_name();
+                let reply = match store.container_for(&segment) {
+                    None => Reply::WrongHost,
+                    Some(container) => match container.handshake(&name, writer_id) {
+                        Ok((last_event_number, session)) => {
+                            sessions.insert((writer_id, name), session);
+                            Reply::AppendSetup { last_event_number }
+                        }
+                        Err(e) => error_reply(e),
+                    },
+                };
+                if server.send(ReplyEnvelope { request_id, reply }).is_err() {
+                    break;
+                }
+            }
             Request::AppendBlock {
                 writer_id,
                 segment,
@@ -410,15 +433,18 @@ fn connection_loop(store: Arc<SegmentStore>, server: ServerEnd) {
                 data,
                 expected_offset,
             } => {
+                let name = segment.qualified_name();
+                let session = sessions.get(&(writer_id, name.clone())).copied();
                 let reply_or_handle = match store.container_for(&segment) {
                     None => Err(Reply::WrongHost),
-                    Some(container) => Ok(container.append(
-                        &segment.qualified_name(),
+                    Some(container) => Ok(container.append_sessioned(
+                        &name,
                         data,
                         writer_id,
                         last_event_number,
                         event_count,
                         expected_offset,
+                        session,
                     )),
                 };
                 match reply_or_handle {

@@ -123,6 +123,84 @@ fn duplicate_appends_are_acked_but_not_written() {
 }
 
 #[test]
+fn handshake_fences_stale_append_sessions() {
+    let c = basic_container();
+    c.create_segment("seg", false).unwrap();
+    let w = WriterId::random();
+
+    // First connection handshakes: fresh segment, session 1.
+    let (watermark, s1) = c.handshake("seg", w).unwrap();
+    assert_eq!(watermark, -1);
+    c.append_sessioned("seg", Bytes::from_static(b"e0"), w, 0, 1, None, Some(s1))
+        .wait()
+        .unwrap();
+
+    // The writer reconnects: the new handshake returns the now-durable
+    // watermark and bumps the session, fencing the old connection out.
+    let (watermark, s2) = c.handshake("seg", w).unwrap();
+    assert_eq!(watermark, 0);
+    assert!(s2 > s1);
+    let err = c
+        .append_sessioned("seg", Bytes::from_static(b"e1"), w, 1, 1, None, Some(s1))
+        .wait()
+        .unwrap_err();
+    assert_eq!(err, SegmentError::WriterFenced);
+    // The fenced block must not have advanced the watermark or the tail.
+    assert_eq!(c.setup_append("seg", w).unwrap(), 0);
+    assert_eq!(c.get_info("seg").unwrap().length, 2);
+
+    // The current session (and unfenced callers) still append fine.
+    c.append_sessioned("seg", Bytes::from_static(b"e1"), w, 1, 1, None, Some(s2))
+        .wait()
+        .unwrap();
+    c.append("seg", Bytes::from_static(b"e2"), w, 2, 1, None)
+        .wait()
+        .unwrap();
+    assert_eq!(c.get_info("seg").unwrap().length, 6);
+
+    // Sessions are per writer: another writer's handshake starts at 1 and
+    // is unaffected by w's reconnects.
+    let other = WriterId::random();
+    let (watermark, os) = c.handshake("seg", other).unwrap();
+    assert_eq!((watermark, os), (-1, 1));
+    c.stop();
+}
+
+#[test]
+fn handshake_waits_out_the_writers_pending_appends() {
+    // The barrier half of the handshake: the returned watermark must cover
+    // every block the writer had in flight, even ones enqueued but not yet
+    // durable when the reconnect lands — otherwise a resend could straddle
+    // the watermark and partially re-apply (duplicates).
+    let c = basic_container();
+    c.create_segment("seg", false).unwrap();
+    let w = WriterId::random();
+    let (_, s1) = c.handshake("seg", w).unwrap();
+    // Pipeline a burst without waiting on any handle (still pending).
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            c.append_sessioned(
+                "seg",
+                Bytes::from(vec![b'x'; 8]),
+                w,
+                i as i64,
+                1,
+                None,
+                Some(s1),
+            )
+        })
+        .collect();
+    // Reconnect immediately: the handshake must not return until event 31
+    // is durable, so the watermark is complete.
+    let (watermark, _) = c.handshake("seg", w).unwrap();
+    assert_eq!(watermark, 31);
+    for h in handles {
+        h.wait().unwrap();
+    }
+    c.stop();
+}
+
+#[test]
 fn conditional_appends_enforce_offsets() {
     let c = basic_container();
     c.create_segment("seg", false).unwrap();

@@ -47,6 +47,9 @@ pub const CONTROLLER_BACKEND_STREAMS: LockRank = LockRank::new(230, "controller.
 // ── segment store band ──────────────────────────────────────────────────────
 /// Store's container-id → container map.
 pub const SEGMENTSTORE_STORE: LockRank = LockRank::new(300, "segmentstore.store");
+/// TCP frontend's live-connection registry (socket handles for kill/stop);
+/// a leaf within the band — nothing is acquired while holding it.
+pub const SEGMENTSTORE_FRONTEND: LockRank = LockRank::new(305, "segmentstore.frontend.conns");
 /// Container operation-processor state. Acquired *before* the committed
 /// core state: table updates validate pending ops against committed state
 /// while holding the processor lock (see `SegmentContainer::table_update`).
