@@ -119,9 +119,9 @@ fn bench_dataframe(c: &mut Criterion) {
         b.iter(|| {
             let mut builder = DataFrameBuilder::new(1 << 20);
             for seq in 0..128 {
-                builder.add(seq, &op);
+                builder.push_op(seq, &op);
             }
-            builder.seal().expect("non-empty")
+            builder.seal_frame().expect("non-empty")
         });
     });
     group.finish();

@@ -1,0 +1,179 @@
+//! Micro-benchmarks for the wire-protocol hot path: frame encode, frame
+//! decode, and durable-log data-frame build. These are the functions the
+//! `hot-path-alloc` lint audits; the numbers here are what that budget
+//! protects.
+//!
+//! Unlike the other bench targets this one has a hand-rolled `main` so it
+//! can persist a machine-readable summary to `BENCH_protocol.json` at the
+//! repository root (committed, so regressions show up in review diffs).
+
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use criterion::{black_box, BenchResult, Criterion, Throughput};
+use pravega_common::id::{ScopedSegment, ScopedStream, SegmentId, WriterId};
+use pravega_common::protocol::{encode_reply, encode_request, FrameDecoder};
+use pravega_common::wire::{Reply, ReplyEnvelope, Request, RequestEnvelope};
+use pravega_segmentstore::dataframe::DataFrameBuilder;
+use pravega_segmentstore::operations::Operation;
+
+const PAYLOAD_BYTES: usize = 1024;
+
+fn seg() -> ScopedSegment {
+    ScopedStream::new("scope", "stream")
+        .expect("valid stream name")
+        .segment(SegmentId::new(0, 7))
+}
+
+fn append_request() -> RequestEnvelope {
+    RequestEnvelope {
+        request_id: 42,
+        request: Request::AppendBlock {
+            writer_id: WriterId(7),
+            segment: seg(),
+            last_event_number: 9,
+            event_count: 4,
+            expected_offset: Some(4096),
+            data: Bytes::from(vec![0xa5u8; PAYLOAD_BYTES]),
+        },
+    }
+}
+
+fn read_reply() -> ReplyEnvelope {
+    ReplyEnvelope {
+        request_id: 42,
+        reply: Reply::SegmentRead {
+            offset: 4096,
+            end_of_segment: false,
+            at_tail: true,
+            data: Bytes::from(vec![0x5au8; PAYLOAD_BYTES]),
+        },
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_encode");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+
+    group.throughput(Throughput::Bytes(PAYLOAD_BYTES as u64));
+    group.bench_function("request_append_1k", |b| {
+        let env = append_request();
+        let mut out = BytesMut::new();
+        b.iter(|| {
+            out.clear();
+            encode_request(black_box(&env), &mut out);
+            black_box(out.len())
+        });
+    });
+
+    group.bench_function("reply_read_1k", |b| {
+        let env = read_reply();
+        let mut out = BytesMut::new();
+        b.iter(|| {
+            out.clear();
+            encode_reply(black_box(&env), &mut out);
+            black_box(out.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_decode");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+
+    group.throughput(Throughput::Bytes(PAYLOAD_BYTES as u64));
+    group.bench_function("request_append_1k", |b| {
+        let mut bytes = BytesMut::new();
+        encode_request(&append_request(), &mut bytes);
+        let bytes = bytes.freeze();
+        let mut dec = FrameDecoder::new();
+        b.iter(|| {
+            dec.feed(&bytes);
+            black_box(dec.next_request().expect("valid frame"))
+        });
+    });
+
+    group.bench_function("reply_read_1k", |b| {
+        let mut bytes = BytesMut::new();
+        encode_reply(&read_reply(), &mut bytes);
+        let bytes = bytes.freeze();
+        let mut dec = FrameDecoder::new();
+        b.iter(|| {
+            dec.feed(&bytes);
+            black_box(dec.next_reply().expect("valid frame"))
+        });
+    });
+    group.finish();
+}
+
+fn bench_frame_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durable_log_frames");
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.throughput(Throughput::Bytes((PAYLOAD_BYTES * 128) as u64));
+    group.bench_function("build_frame_128x1k", |b| {
+        let op = Operation::Append {
+            segment: "scope/stream/0.#epoch.0".into(),
+            offset: 0,
+            data: Bytes::from(vec![0u8; PAYLOAD_BYTES]),
+            writer_id: WriterId(42),
+            last_event_number: 1,
+            event_count: 1,
+        };
+        let mut builder = DataFrameBuilder::new(1 << 20);
+        b.iter(|| {
+            for seq in 0..128 {
+                builder.push_op(seq, &op);
+            }
+            black_box(builder.seal_frame().expect("non-empty"))
+        });
+    });
+    group.finish();
+}
+
+/// Renders results as a stable, committed JSON report. Hand-rolled so the
+/// bench crate stays free of serialization dependencies.
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benchmark\": \"protocol\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let mib_per_s = match r.throughput {
+            Some(Throughput::Bytes(n)) if r.ns_per_iter > 0.0 => {
+                n as f64 / r.ns_per_iter * 1e9 / (1024.0 * 1024.0)
+            }
+            _ => 0.0,
+        };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}, \"mib_per_s\": {:.1}}}{}\n",
+            r.group,
+            r.id,
+            r.ns_per_iter,
+            r.iters,
+            mib_per_s,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_encode(&mut criterion);
+    bench_decode(&mut criterion);
+    bench_frame_build(&mut criterion);
+    let results = criterion.take_results();
+    let report = render_json(&results);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_protocol.json");
+    match std::fs::write(&path, &report) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

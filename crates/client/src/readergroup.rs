@@ -93,7 +93,9 @@ impl ReaderGroupState {
     ) -> BTreeMap<ScopedSegment, u64> {
         self.add_reader(reader);
         let quota = self.quota();
-        let owned = self.readers.get_mut(reader).expect("reader added");
+        let Some(owned) = self.readers.get_mut(reader) else {
+            return BTreeMap::new(); // unreachable: add_reader inserted it
+        };
         // Record progress.
         for (segment, offset) in offsets {
             if let Some(o) = owned.get_mut(segment) {
@@ -102,23 +104,22 @@ impl ReaderGroupState {
         }
         // Release over-quota (the most recently acquired go back first).
         while owned.len() > quota {
-            let victim = owned
-                .keys()
-                .next_back()
-                .cloned()
-                .expect("non-empty over quota");
-            let offset = owned.remove(&victim).expect("victim owned");
+            let Some(victim) = owned.keys().next_back().cloned() else {
+                break;
+            };
+            let Some(offset) = owned.remove(&victim) else {
+                break;
+            };
             self.unassigned.insert(victim, offset);
         }
         // Acquire up to quota.
         while owned.len() < quota && !self.unassigned.is_empty() {
-            let segment = self
-                .unassigned
-                .keys()
-                .next()
-                .cloned()
-                .expect("non-empty unassigned");
-            let offset = self.unassigned.remove(&segment).expect("present");
+            let Some(segment) = self.unassigned.keys().next().cloned() else {
+                break;
+            };
+            let Some(offset) = self.unassigned.remove(&segment) else {
+                break;
+            };
             owned.insert(segment, offset);
         }
         owned.clone()

@@ -84,7 +84,8 @@ impl EventDeframer {
         if self.buffer.len() < 4 {
             return None;
         }
-        let len = u32::from_be_bytes(self.buffer[0..4].try_into().expect("4 bytes")) as usize;
+        let len_bytes = self.buffer.get(0..4)?;
+        let len = u32::from_be_bytes(len_bytes.try_into().ok()?) as usize;
         if self.buffer.len() < 4 + len {
             return None;
         }

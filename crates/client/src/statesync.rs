@@ -151,8 +151,13 @@ impl<T: Synchronized> StateSynchronizer<T> {
         // we parse greedily and re-read from the first unparsed byte.
         let mut cursor = 0usize;
         while cursor + 4 <= data.len() {
-            let len =
-                u32::from_be_bytes(data[cursor..cursor + 4].try_into().expect("4 bytes")) as usize;
+            let len = match data
+                .get(cursor..cursor + 4)
+                .and_then(|b| <[u8; 4]>::try_from(b).ok())
+            {
+                Some(b) => u32::from_be_bytes(b) as usize,
+                None => break, // partial length prefix: next fetch re-reads
+            };
             if cursor + 4 + len > data.len() {
                 break; // partial record: next fetch re-reads from here
             }

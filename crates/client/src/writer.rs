@@ -199,14 +199,23 @@ impl<T, S: Serializer<T>> EventStreamWriter<T, S> {
             stopped: AtomicBool::new(false),
         });
         let pump_shared = shared.clone();
-        let pump = std::thread::Builder::new()
+        let pump = match std::thread::Builder::new()
             .name("writer-pump".into())
             .spawn(move || pump_loop(pump_shared))
-            .expect("spawn writer pump");
+        {
+            Ok(handle) => Some(handle),
+            Err(e) => {
+                // No pump thread means nothing will ever flush: fail the
+                // writer up front so every write surfaces a typed error.
+                shared.state.lock().failed =
+                    Some(ClientError::Disconnected(format!("spawn writer pump: {e}")));
+                None
+            }
+        };
         Self {
             serializer,
             shared,
-            pump: Some(pump),
+            pump,
             _marker: PhantomData,
         }
     }
@@ -569,7 +578,10 @@ fn send_block(shared: &Arc<WriterShared>, seg: &mut OpenSegment, _max_batch: usi
     let events = std::mem::take(&mut seg.block_events);
     seg.block_opened = None;
     shared.metrics.batch_bytes.record(data.len() as u64);
-    let last_event_number = events.last().expect("non-empty block").event_number;
+    let Some(last) = events.last() else {
+        return; // unreachable: block_events checked non-empty above
+    };
+    let last_event_number = last.event_number;
     let request_id = seg.next_request_id;
     seg.next_request_id += 1;
     let sent = seg.connection.send(RequestEnvelope {
@@ -721,7 +733,9 @@ fn pump_loop(shared: Arc<WriterShared>) {
                                     if front.last_event_number > last_event_number {
                                         break;
                                     }
-                                    let block = seg.inflight.pop_front().expect("front exists");
+                                    let Some(block) = seg.inflight.pop_front() else {
+                                        break;
+                                    };
                                     let elapsed = block.sent_at.elapsed();
                                     seg.rtt_secs.record(elapsed.as_secs_f64());
                                     shared.metrics.rtt_nanos.record(elapsed.as_nanos() as u64);

@@ -135,7 +135,7 @@ impl fmt::Display for KeyRange {
 /// range begins where the previous ends, starting at 0 and ending at 1.
 pub fn ranges_partition_keyspace(ranges: &[KeyRange]) -> bool {
     let mut sorted: Vec<&KeyRange> = ranges.iter().collect();
-    sorted.sort_by(|a, b| a.low.partial_cmp(&b.low).expect("ranges are finite"));
+    sorted.sort_by(|a, b| a.low.total_cmp(&b.low));
     let mut cursor = 0.0;
     for r in sorted {
         if (r.low - cursor).abs() > 1e-12 {
@@ -152,7 +152,7 @@ pub fn ranges_partition_keyspace(ranges: &[KeyRange]) -> bool {
 pub fn ranges_cover_same_span(a: &[KeyRange], b: &[KeyRange]) -> bool {
     fn span(ranges: &[KeyRange]) -> Option<(f64, f64)> {
         let mut sorted: Vec<&KeyRange> = ranges.iter().collect();
-        sorted.sort_by(|x, y| x.low.partial_cmp(&y.low).expect("finite"));
+        sorted.sort_by(|x, y| x.low.total_cmp(&y.low));
         let first = sorted.first()?;
         let mut cursor = first.low;
         for r in &sorted {

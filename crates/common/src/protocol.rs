@@ -449,31 +449,52 @@ fn encode_reply_payload(reply: &Reply, buf: &mut BytesMut) -> u8 {
     }
 }
 
-fn finish_frame(out: &mut BytesMut, tag: u8, request_id: u64, payload: &[u8]) {
-    let length = FRAME_OVERHEAD + payload.len();
-    out.reserve(4 + length);
-    out.put_u32(length as u32);
-    let body_start = out.len();
+/// Backfills a big-endian u32 at `at`; silently skips an out-of-range slot
+/// (cannot happen for in-bounds frame offsets, and must not panic).
+fn backfill_u32(out: &mut BytesMut, at: usize, v: u32) {
+    if let Some(slot) = out.get_mut(at..at.saturating_add(4)) {
+        slot.copy_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Writes the frame prefix (length + version + tag + request id) with the
+/// length and tag slots zeroed, returning the frame's start offset. The
+/// payload is then encoded directly into `out` and [`end_frame`] backfills
+/// the slots — no staging buffer, no payload copy.
+fn start_frame(out: &mut BytesMut, request_id: u64) -> usize {
+    let frame_start = out.len();
+    out.put_u32(0); // length slot, backfilled by end_frame
     out.put_u8(PROTOCOL_VERSION);
-    out.put_u8(tag);
+    out.put_u8(0); // tag slot, backfilled by end_frame
     out.put_u64(request_id);
-    out.put_slice(payload);
-    let crc = crc32c(&out.as_slice()[body_start..]);
+    frame_start
+}
+
+/// Appends the checksum and backfills the length and tag slots written by
+/// [`start_frame`].
+fn end_frame(out: &mut BytesMut, frame_start: usize, tag: u8) {
+    let body_start = frame_start.saturating_add(4);
+    if let Some(slot) = out.get_mut(body_start.saturating_add(1)) {
+        *slot = tag;
+    }
+    let crc = crc32c(out.as_slice().get(body_start..).unwrap_or(&[]));
     out.put_u32(crc);
+    let length = out.len().saturating_sub(body_start);
+    backfill_u32(out, frame_start, length as u32);
 }
 
 /// Encodes a request envelope as one frame appended to `out`.
 pub fn encode_request(envelope: &RequestEnvelope, out: &mut BytesMut) {
-    let mut payload = BytesMut::new();
-    let tag = encode_request_payload(&envelope.request, &mut payload);
-    finish_frame(out, tag, envelope.request_id, payload.as_slice());
+    let frame_start = start_frame(out, envelope.request_id);
+    let tag = encode_request_payload(&envelope.request, out);
+    end_frame(out, frame_start, tag);
 }
 
 /// Encodes a reply envelope as one frame appended to `out`.
 pub fn encode_reply(envelope: &ReplyEnvelope, out: &mut BytesMut) {
-    let mut payload = BytesMut::new();
-    let tag = encode_reply_payload(&envelope.reply, &mut payload);
-    finish_frame(out, tag, envelope.request_id, payload.as_slice());
+    let frame_start = start_frame(out, envelope.request_id);
+    let tag = encode_reply_payload(&envelope.reply, out);
+    end_frame(out, frame_start, tag);
 }
 
 // ── decoding ────────────────────────────────────────────────────────────────
@@ -701,31 +722,48 @@ impl FrameDecoder {
 
     /// Pulls the next whole frame out of the buffer, if one is complete.
     fn next_frame(&mut self) -> Result<Option<RawFrame>, CodecError> {
-        if self.buf.len() < 4 {
+        let Some(length_bytes) = self.buf.as_slice().get(..4) else {
             return Ok(None);
-        }
-        let declared = u32::from_be_bytes(self.buf.as_slice()[..4].try_into().map_err(|_| {
-            CodecError::Malformed {
+        };
+        let declared =
+            u32::from_be_bytes(length_bytes.try_into().map_err(|_| CodecError::Malformed {
                 context: "frame.length",
-            }
-        })?) as usize;
+            })?) as usize;
         if !(FRAME_OVERHEAD..=MAX_FRAME_BYTES).contains(&declared) {
             return Err(CodecError::BadLength {
                 declared: declared as u64,
             });
         }
-        if self.buf.len() < 4 + declared {
+        // Both checked ops are unreachable given the range check above, but
+        // the decode path must be panic-free by construction, not by proof.
+        let whole = declared.checked_add(4).ok_or(CodecError::Malformed {
+            context: "frame.length",
+        })?;
+        let covered_len = declared.checked_sub(4).ok_or(CodecError::Malformed {
+            context: "frame.length",
+        })?;
+        if self.buf.len() < whole {
             return Ok(None);
         }
-        let mut frame = self.buf.split_to(4 + declared).freeze();
+        let mut frame = self.buf.split_to(whole).freeze();
         frame.advance(4);
         let crc_declared = {
-            let tail = &frame.as_slice()[declared - 4..];
+            let tail = frame
+                .as_slice()
+                .get(covered_len..)
+                .ok_or(CodecError::Malformed {
+                    context: "frame.crc",
+                })?;
             u32::from_be_bytes(tail.try_into().map_err(|_| CodecError::Malformed {
                 context: "frame.crc",
             })?)
         };
-        let covered = &frame.as_slice()[..declared - 4];
+        let covered = frame
+            .as_slice()
+            .get(..covered_len)
+            .ok_or(CodecError::Malformed {
+                context: "frame.crc",
+            })?;
         let crc_actual = crc32c(covered);
         if crc_actual != crc_declared {
             return Err(CodecError::BadChecksum {
@@ -733,7 +771,7 @@ impl FrameDecoder {
                 actual: crc_actual,
             });
         }
-        let mut body = frame.slice(..declared - 4);
+        let mut body = frame.slice(..covered_len);
         let version = get_u8(&mut body, "frame.version")?;
         if version != PROTOCOL_VERSION {
             return Err(CodecError::BadVersion { got: version });

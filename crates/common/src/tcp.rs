@@ -98,7 +98,8 @@ fn read_pump<T>(
             Ok(0) | Err(_) => break,
             Ok(n) => n,
         };
-        decoder.feed(&buf[..n]);
+        let Some(read) = buf.get(..n) else { break };
+        decoder.feed(read);
         loop {
             match next(&mut decoder) {
                 Ok(Some(msg)) => {

@@ -21,6 +21,25 @@ use crate::operations::Operation;
 
 const FRAME_MAGIC: u32 = 0x5052_4652; // "PRFR"
 
+/// Frame header: magic, op count, payload CRC, payload length (u32 each).
+const FRAME_HEADER_BYTES: usize = 16;
+
+/// A frame buffer with the header region reserved; fields are backfilled at
+/// seal time so the payload never has to be copied behind a header.
+fn fresh_frame_buf() -> BytesMut {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_BYTES);
+    buf.put_slice(&[0u8; FRAME_HEADER_BYTES]);
+    buf
+}
+
+/// Backfills a big-endian u32 at `at`; silently skips an out-of-range slot
+/// (cannot happen for in-bounds header offsets, and must not panic).
+fn put_u32_at(buf: &mut BytesMut, at: usize, v: u32) {
+    if let Some(slot) = buf.get_mut(at..at + 4) {
+        slot.copy_from_slice(&v.to_be_bytes());
+    }
+}
+
 /// Computes the adaptive batching delay of §4.1.
 ///
 /// `recent_latency` is the smoothed recent WAL append latency,
@@ -38,10 +57,16 @@ pub fn batch_delay(
 }
 
 /// Accumulates serialized operations into a frame.
+///
+/// The frame buffer starts with [`FRAME_HEADER_BYTES`] reserved bytes and
+/// operations are encoded directly behind them, so sealing backfills the
+/// header in place instead of copying the payload into a fresh buffer, and
+/// each operation encodes straight into the frame instead of staging
+/// through a per-op scratch buffer (its length slot is backfilled too).
 #[derive(Debug)]
 pub struct DataFrameBuilder {
     max_frame_bytes: usize,
-    payload: BytesMut,
+    buf: BytesMut,
     ops: u32,
     first_seq: Option<u64>,
     last_seq: Option<u64>,
@@ -52,20 +77,22 @@ impl DataFrameBuilder {
     pub fn new(max_frame_bytes: usize) -> Self {
         Self {
             max_frame_bytes,
-            payload: BytesMut::new(),
+            buf: fresh_frame_buf(),
             ops: 0,
             first_seq: None,
             last_seq: None,
         }
     }
 
-    /// Adds `(seq, op)` to the frame.
-    pub fn add(&mut self, seq: u64, op: &Operation) {
-        self.payload.put_u64(seq);
-        let mut op_buf = BytesMut::with_capacity(op.encoded_len());
-        op.encode(&mut op_buf);
-        self.payload.put_u32(op_buf.len() as u32);
-        self.payload.put_slice(&op_buf);
+    /// Appends `(seq, op)` to the frame, encoding the operation in place.
+    pub fn push_op(&mut self, seq: u64, op: &Operation) {
+        self.buf.put_u64(seq);
+        let len_at = self.buf.len();
+        self.buf.put_u32(0); // length slot, backfilled below
+        let op_start = self.buf.len();
+        op.encode(&mut self.buf);
+        let op_len = self.buf.len().saturating_sub(op_start);
+        put_u32_at(&mut self.buf, len_at, op_len as u32);
         self.ops += 1;
         if self.first_seq.is_none() {
             self.first_seq = Some(seq);
@@ -75,7 +102,7 @@ impl DataFrameBuilder {
 
     /// Current payload size in bytes.
     pub fn len(&self) -> usize {
-        self.payload.len()
+        self.buf.len().saturating_sub(FRAME_HEADER_BYTES)
     }
 
     /// Whether the builder holds no operations.
@@ -90,24 +117,26 @@ impl DataFrameBuilder {
 
     /// Whether adding more data would exceed the frame capacity.
     pub fn is_full(&self) -> bool {
-        self.payload.len() >= self.max_frame_bytes
+        self.len() >= self.max_frame_bytes
     }
 
-    /// Serializes the frame and resets the builder. Returns `None` if empty.
-    pub fn seal(&mut self) -> Option<Bytes> {
+    /// Seals the frame (header backfill, no payload copy) and resets the
+    /// builder. Returns `None` if empty.
+    pub fn seal_frame(&mut self) -> Option<Bytes> {
         if self.is_empty() {
             return None;
         }
-        let payload = std::mem::take(&mut self.payload).freeze();
-        let mut frame = BytesMut::with_capacity(payload.len() + 16);
-        frame.put_u32(FRAME_MAGIC);
-        frame.put_u32(self.ops);
-        frame.put_u32(crc32c(&payload));
-        frame.put_u32(payload.len() as u32);
-        frame.put_slice(&payload);
+        let ops = self.ops;
+        let mut frame = std::mem::replace(&mut self.buf, fresh_frame_buf());
         self.ops = 0;
         self.first_seq = None;
         self.last_seq = None;
+        let crc = crc32c(frame.get(FRAME_HEADER_BYTES..).unwrap_or(&[]));
+        let payload_len = frame.len().saturating_sub(FRAME_HEADER_BYTES);
+        put_u32_at(&mut frame, 0, FRAME_MAGIC);
+        put_u32_at(&mut frame, 4, ops);
+        put_u32_at(&mut frame, 8, crc);
+        put_u32_at(&mut frame, 12, payload_len as u32);
         Some(frame.freeze())
     }
 }
@@ -128,7 +157,9 @@ pub fn decode_frame(frame: &Bytes) -> Result<Vec<(u64, Operation)>, DecodeError>
     if crc32c(&payload) != crc {
         return Err(DecodeError::new("frame crc mismatch"));
     }
-    let mut items = Vec::with_capacity(count as usize);
+    // Cap the pre-allocation: `count` is attacker-ish (read from disk before
+    // the per-op decode validates it), so never trust it for a huge reserve.
+    let mut items = Vec::with_capacity((count as usize).min(1024));
     let mut p = payload;
     for _ in 0..count {
         let seq = get_u64(&mut p, "op seq")?;
@@ -159,10 +190,10 @@ mod tests {
     fn frame_roundtrip() {
         let mut b = DataFrameBuilder::new(1 << 20);
         for i in 0..10u64 {
-            b.add(i, &sample_op(i));
+            b.push_op(i, &sample_op(i));
         }
         assert_eq!(b.op_count(), 10);
-        let frame = b.seal().unwrap();
+        let frame = b.seal_frame().unwrap();
         assert!(b.is_empty());
         let items = decode_frame(&frame).unwrap();
         assert_eq!(items.len(), 10);
@@ -175,22 +206,22 @@ mod tests {
     #[test]
     fn empty_builder_seals_to_none() {
         let mut b = DataFrameBuilder::new(1024);
-        assert!(b.seal().is_none());
+        assert!(b.seal_frame().is_none());
     }
 
     #[test]
     fn full_detection() {
         let mut b = DataFrameBuilder::new(64);
         assert!(!b.is_full());
-        b.add(0, &sample_op(0));
+        b.push_op(0, &sample_op(0));
         assert!(b.is_full());
     }
 
     #[test]
     fn corrupt_frame_detected() {
         let mut b = DataFrameBuilder::new(1024);
-        b.add(0, &sample_op(0));
-        let frame = b.seal().unwrap();
+        b.push_op(0, &sample_op(0));
+        let frame = b.seal_frame().unwrap();
         let mut bad = frame.to_vec();
         let last = bad.len() - 1;
         bad[last] ^= 0xff;

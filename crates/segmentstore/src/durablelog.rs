@@ -346,7 +346,7 @@ fn builder_loop(
             Err(_) => break,
         };
         let mut items = Vec::new();
-        builder.add(first.seq, &first.op);
+        builder.push_op(first.seq, &first.op);
         items.push(first);
         let enqueued_at = clock::monotonic_now();
         let mut disconnected = false;
@@ -363,7 +363,7 @@ fn builder_loop(
             }
             match op_rx.try_recv() {
                 Ok(op) => {
-                    builder.add(op.seq, &op.op);
+                    builder.push_op(op.seq, &op.op);
                     items.push(op);
                 }
                 Err(TryRecvError::Empty) => {
@@ -391,7 +391,7 @@ fn builder_loop(
                     shared.batch_delay_nanos.record(adaptive.as_nanos() as u64);
                     match op_rx.recv_timeout(delay) {
                         Ok(op) => {
-                            builder.add(op.seq, &op.op);
+                            builder.push_op(op.seq, &op.op);
                             items.push(op);
                         }
                         Err(RecvTimeoutError::Timeout) => break,
@@ -408,7 +408,7 @@ fn builder_loop(
             }
         }
 
-        let frame = builder.seal().expect("frame has at least one op");
+        let frame = builder.seal_frame().expect("frame has at least one op");
         shared.avg_frame_size.lock().record(frame.len() as f64);
         shared.frame_size_hist.record(frame.len() as u64);
         shared
@@ -527,7 +527,7 @@ fn commit_loop(
                         .queued_bytes
                         .fetch_sub(item.op.encoded_len() as u64, Ordering::Relaxed);
                     if let Some(completer) = item.completer {
-                        completer.complete(Ok(item.ack.clone()));
+                        completer.complete(Ok(item.ack));
                     }
                 }
             }

@@ -128,6 +128,59 @@ struct JournalRequest {
     completer: Completer<Result<(), BookieError>>,
 }
 
+/// The journal thread's group-commit loop: drain a batch, write every
+/// record, sync once, then complete all acks with the shared result.
+fn journal_commit_loop(
+    sink: &mut dyn JournalSink,
+    rx: &Receiver<JournalRequest>,
+    config: &JournalConfig,
+    syncs: &Counter,
+    sizes: &Histogram,
+) {
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < config.max_group_size {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        let mut result: Result<(), BookieError> = Ok(());
+        for req in &batch {
+            if result.is_ok() {
+                if config.crash_hook.fire(crashpoints::WAL_JOURNAL_MID_WRITE) {
+                    // Simulated crash mid-write: a strict prefix of the
+                    // record reaches the device, nothing is synced, nothing
+                    // is acked.
+                    let keep = req.record.len() / 2;
+                    let _ = sink.write(req.record.get(..keep).unwrap_or(&req.record));
+                    result = Err(BookieError::Io("crash injected mid journal write".into()));
+                } else {
+                    result = sink.write(&req.record);
+                }
+            }
+        }
+        // Crash between journal write and ack: the batch is fully written
+        // (and synced below, so it is durable on this bookie) but the acks
+        // never leave the process.
+        let crash_before_ack = result.is_ok()
+            && config
+                .crash_hook
+                .fire(crashpoints::WAL_JOURNAL_WRITE_NO_ACK);
+        if result.is_ok() && config.sync_on_add {
+            result = sink.sync();
+            syncs.inc();
+        }
+        sizes.record(batch.len() as u64);
+        if crash_before_ack && result.is_ok() {
+            result = Err(BookieError::AckLost);
+        }
+        for req in batch {
+            req.completer.complete(result.clone());
+        }
+    }
+}
+
 /// A group-committing journal. `append` blocks until the record is durable
 /// (or, with `sync_on_add = false`, merely written).
 pub struct Journal {
@@ -164,51 +217,7 @@ impl Journal {
         let sizes = group_sizes.clone();
         let handle = thread::Builder::new()
             .name("bookie-journal".into())
-            .spawn(move || {
-                while let Ok(first) = rx.recv() {
-                    let mut batch = vec![first];
-                    while batch.len() < config.max_group_size {
-                        match rx.try_recv() {
-                            Ok(req) => batch.push(req),
-                            Err(_) => break,
-                        }
-                    }
-                    let mut result: Result<(), BookieError> = Ok(());
-                    for req in &batch {
-                        if result.is_ok() {
-                            if config.crash_hook.fire(crashpoints::WAL_JOURNAL_MID_WRITE) {
-                                // Simulated crash mid-write: a strict prefix
-                                // of the record reaches the device, nothing
-                                // is synced, nothing is acked.
-                                let keep = req.record.len() / 2;
-                                let _ = sink.write(&req.record[..keep]);
-                                result =
-                                    Err(BookieError::Io("crash injected mid journal write".into()));
-                            } else {
-                                result = sink.write(&req.record);
-                            }
-                        }
-                    }
-                    // Crash between journal write and ack: the batch is fully
-                    // written (and synced below, so it is durable on this
-                    // bookie) but the acks never leave the process.
-                    let crash_before_ack = result.is_ok()
-                        && config
-                            .crash_hook
-                            .fire(crashpoints::WAL_JOURNAL_WRITE_NO_ACK);
-                    if result.is_ok() && config.sync_on_add {
-                        result = sink.sync();
-                        syncs.inc();
-                    }
-                    sizes.record(batch.len() as u64);
-                    if crash_before_ack && result.is_ok() {
-                        result = Err(BookieError::AckLost);
-                    }
-                    for req in batch {
-                        req.completer.complete(result.clone());
-                    }
-                }
-            })
+            .spawn(move || journal_commit_loop(&mut *sink, &rx, &config, &syncs, &sizes))
             .map_err(|e| BookieError::Io(format!("spawn journal thread: {e}")))?;
         Ok(Self {
             tx: Some(tx),

@@ -1,0 +1,13 @@
+//! Violation fixture for `hot-path-alloc`: heap allocations and copies in a
+//! function on the (fixture-mode) hot path. Each marked line must be
+//! reported; the self-test in `lints.rs` asserts the file trips the rule.
+
+pub fn build_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::new(); // hot-path-alloc: owned-container ctor
+    frame.extend_from_slice(payload);
+    let copied = payload.to_vec(); // hot-path-alloc: to_vec copy
+    let label = format!("frame:{}", copied.capacity()); // hot-path-alloc: format!
+    drop(label);
+    let doubled = frame.clone(); // hot-path-alloc: clone of buffer-ish receiver
+    doubled
+}

@@ -1,0 +1,10 @@
+//! Violation fixture for `panic-surface`: panicking constructs in a decode
+//! function. Each marked line must be reported; the self-test in `lints.rs`
+//! asserts the file trips the rule.
+
+pub fn decode_header(buf: &[u8], offset: usize) -> u32 {
+    let first = buf[offset]; // panic-surface: slice indexing
+    let total = offset + 4; // panic-surface: unchecked add on an offset
+    let narrowed = total as u32; // panic-surface: narrowing `as` cast
+    u32::from(first).wrapping_add(narrowed)
+}

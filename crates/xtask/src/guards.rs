@@ -378,7 +378,7 @@ fn binding_before(sig: &[&Token<'_>], ctor: usize) -> Option<String> {
 
 /// Token-index ranges (over the significant stream) that are test code:
 /// items annotated `#[test]` / `#[cfg(test)]` / `#[cfg(any(test, …))]`.
-fn collect_test_ranges(sig: &[&Token<'_>]) -> Vec<(usize, usize)> {
+pub(crate) fn collect_test_ranges(sig: &[&Token<'_>]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < sig.len() {
@@ -508,7 +508,7 @@ fn collect_escapes(sig: &[&Token<'_>], test_ranges: &[(usize, usize)], out: &mut
 /// `(name, header_end, body_start, body_end)` as significant-token indices,
 /// where `body_start` points at the opening `{` and `body_end` one past the
 /// matching `}`. Returns `None` for trait-method declarations (no body).
-fn fn_item(sig: &[&Token<'_>], i: usize) -> Option<(String, usize, usize, usize)> {
+pub(crate) fn fn_item(sig: &[&Token<'_>], i: usize) -> Option<(String, usize, usize, usize)> {
     if sig[i].text != "fn" || sig[i].kind != TokenKind::Ident {
         return None;
     }

@@ -1,14 +1,15 @@
 //! The lint rules and the line scanner that applies them.
 //!
-//! Six rules, each mapping to one clause of the concurrency or fault
+//! The line rules, each mapping to one clause of the concurrency or fault
 //! discipline:
 //!
 //! * `direct-lock` — blocking synchronisation must go through the
 //!   `pravega_sync` facade so the rank checker sees every acquisition. Direct
 //!   `parking_lot` or `std::sync` `Mutex`/`RwLock`/`Condvar` use is banned
 //!   everywhere except inside the facade itself.
-//! * `no-unwrap` — the write/flush path (`wal`, `lts`, `segmentstore`) must
-//!   not panic on recoverable conditions: `.unwrap()` / `.expect(` are banned
+//! * `no-unwrap` — the write/flush path (`wal`, `lts`, `segmentstore`), the
+//!   shared protocol/transport crate (`common`) and the client must not
+//!   panic on recoverable conditions: `.unwrap()` / `.expect(` are banned
 //!   in non-test code there, unless listed in `lint-allowlist.txt` with a
 //!   justification.
 //! * `raw-time` — time must flow through `pravega_common::clock` so tests and
@@ -42,6 +43,15 @@
 //! * `guard-escape` — guard types must not be returned or stored in structs
 //!   outside the sync facade; a guard that escapes its function has an
 //!   unauditable live range.
+//!
+//! Two whole-program perf/robustness rules ride on the same call graph:
+//!
+//! * `hot-path-alloc` (see `hotpath`) — allocations and copies inside the
+//!   append/read hot paths are counted per function and gated by the
+//!   ratcheted baseline in `crates/xtask/hotpath-baseline.txt`.
+//! * `panic-surface` (see `panics`) — the wire-facing codecs must not index
+//!   slices, do unchecked length arithmetic, or narrow with `as` in decode
+//!   functions; malformed bytes must surface as typed errors.
 //!
 //! Finally `allowlist-stale` keeps `lint-allowlist.txt` honest: an entry
 //! that no longer matches any would-be violation is itself an error.
@@ -127,7 +137,7 @@ impl Allowlist {
         Self { entries, used }
     }
 
-    fn permits(&self, path: &Path, line: &str) -> bool {
+    pub(crate) fn permits(&self, path: &Path, line: &str) -> bool {
         let path = path.to_string_lossy().replace('\\', "/");
         let mut hit = false;
         for (i, e) in self.entries.iter().enumerate() {
@@ -157,6 +167,10 @@ pub struct ScanReport {
     pub files: usize,
     /// The rendered static lock-order graph, one edge per line.
     pub graph: Vec<String>,
+    /// The hot-path dump: one `file::fn allocs=N` line per hot function.
+    pub hot: Vec<String>,
+    /// Per-function hot-path allocation counts (the baseline content model).
+    pub hotpath_counts: std::collections::BTreeMap<String, usize>,
 }
 
 /// Scans every `.rs` file under `root`.
@@ -182,9 +196,25 @@ pub fn scan_tree(
     let mut violations = Vec::new();
     for (rel, text) in &texts {
         scan_file(rel, text, fixture_mode, allow, &mut violations);
+        if crate::panics::applies(rel, fixture_mode) {
+            crate::panics::scan(rel, text, allow, &mut violations);
+        }
     }
 
-    let graph = guard_pass(root, &texts, fixture_mode, allow, &mut violations);
+    let (graph, all_fns) = guard_pass(root, &texts, fixture_mode, allow, &mut violations);
+
+    // hot-path-alloc: reachability from the root list, allocation sites,
+    // ratcheted baseline (fixture mode: every site is a violation).
+    let hp = crate::hotpath::audit(&texts, &all_fns, fixture_mode, allow);
+    if fixture_mode {
+        crate::hotpath::check_fixture(&hp, &mut violations);
+    } else {
+        let baseline =
+            fs::read_to_string(root.join("crates/xtask/hotpath-baseline.txt")).unwrap_or_default();
+        crate::hotpath::check(&hp, &baseline, &mut violations);
+    }
+    let hot = crate::hotpath::render(&hp);
+    let hotpath_counts = crate::hotpath::counts(&hp);
 
     // Staleness only applies to the real tree: fixture scans deliberately
     // run against an allowlist written for the workspace.
@@ -209,6 +239,8 @@ pub fn scan_tree(
         violations,
         files: texts.len(),
         graph,
+        hot,
+        hotpath_counts,
     })
 }
 
@@ -220,7 +252,7 @@ fn guard_pass(
     fixture_mode: bool,
     allow: &Allowlist,
     out: &mut Vec<Violation>,
-) -> Vec<String> {
+) -> (Vec<String>, Vec<guards::FnSummary>) {
     let applicable: Vec<&(PathBuf, String)> = texts
         .iter()
         .filter(|(rel, _)| guards::guard_analysis_applies(rel, fixture_mode))
@@ -349,7 +381,7 @@ fn guard_pass(
             snippet: line_text(&p.file, p.line),
         });
     }
-    lockgraph::render(&edges, &table)
+    (lockgraph::render(&edges, &table), all_fns)
 }
 
 /// Loads the rank table from the scanned tree, falling back to the
@@ -391,7 +423,9 @@ fn collect_rs_files(dir: &Path, fixture_mode: bool, out: &mut Vec<PathBuf>) -> s
 }
 
 /// Whether the `no-unwrap` rule applies to this file: the durability and
-/// tiering write path. In fixture mode every file is on the write path.
+/// tiering write path, the shared protocol/transport crate, and the client
+/// (whose decode paths are fed by the network). In fixture mode every file
+/// is on the write path.
 fn on_write_path(rel: &Path, fixture_mode: bool) -> bool {
     if fixture_mode {
         return true;
@@ -400,6 +434,8 @@ fn on_write_path(rel: &Path, fixture_mode: bool) -> bool {
     p.starts_with("crates/wal/src")
         || p.starts_with("crates/lts/src")
         || p.starts_with("crates/segmentstore/src")
+        || p.starts_with("crates/common/src")
+        || p.starts_with("crates/client/src")
 }
 
 /// Whether the file is exempt from the `direct-lock` rule (the facade itself
@@ -757,10 +793,24 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "no-unwrap");
 
-        // Same code off the write path is not flagged.
+        // The client and common crates are in scope too.
+        for path in ["crates/client/src/sample.rs", "crates/common/src/sample.rs"] {
+            let mut out = Vec::new();
+            scan_file(
+                Path::new(path),
+                snippet,
+                false,
+                &Allowlist::default(),
+                &mut out,
+            );
+            assert_eq!(out.len(), 1, "{path} should be on the write path");
+            assert_eq!(out[0].rule, "no-unwrap");
+        }
+
+        // Same code off the write path (control plane) is not flagged.
         let mut out = Vec::new();
         scan_file(
-            Path::new("crates/client/src/sample.rs"),
+            Path::new("crates/controller/src/sample.rs"),
             snippet,
             false,
             &Allowlist::default(),
@@ -950,6 +1000,8 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
             ("guard_across_blocking.rs", "guard-across-blocking"),
             ("guard_escape.rs", "guard-escape"),
             ("lock_graph_cycle.rs", "lock-order"),
+            ("hot_path_alloc.rs", "hot-path-alloc"),
+            ("panic_surface.rs", "panic-surface"),
         ] {
             assert!(
                 report
@@ -1065,6 +1117,35 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
                  DESIGN.md §7 hierarchy table"
             );
         }
+    }
+
+    #[test]
+    fn design_doc_hot_path_roots_are_current() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let design = fs::read_to_string(root.join("DESIGN.md")).unwrap();
+        let begin = design
+            .find("<!-- hot-path-roots:begin -->")
+            .expect("DESIGN.md is missing the hot-path-roots:begin marker");
+        let end = design
+            .find("<!-- hot-path-roots:end -->")
+            .expect("DESIGN.md is missing the hot-path-roots:end marker");
+        let documented: Vec<&str> = design[begin..end]
+            .lines()
+            .filter(|l| l.contains("::"))
+            .map(str::trim)
+            .collect();
+        let actual: Vec<String> = crate::hotpath::HOT_PATH_ROOTS
+            .iter()
+            .map(|(file, name)| format!("{file}::{name}"))
+            .collect();
+        assert_eq!(
+            documented, actual,
+            "DESIGN.md §10 hot-path root list is stale; update the block to \
+             match hotpath::HOT_PATH_ROOTS"
+        );
     }
 
     #[test]

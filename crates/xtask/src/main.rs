@@ -27,11 +27,15 @@
 //! | 5    | `guard-escape` only                            |
 //! | 6    | `lock-order` only                              |
 //! | 7    | `allowlist-stale` only                         |
+//! | 8    | `hot-path-alloc` only                          |
+//! | 9    | `panic-surface` only                           |
 
 mod guards;
+mod hotpath;
 mod lexer;
 mod lints;
 mod lockgraph;
+mod panics;
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -45,6 +49,8 @@ fn main() -> ExitCode {
     let mut allowlist: Option<PathBuf> = None;
     let mut json = false;
     let mut graph = false;
+    let mut hot = false;
+    let mut write_baseline = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -52,6 +58,8 @@ fn main() -> ExitCode {
             "--allowlist" => allowlist = iter.next().map(PathBuf::from),
             "--json" => json = true,
             "--graph" => graph = true,
+            "--hot" => hot = true,
+            "--write-hotpath-baseline" => write_baseline = true,
             "lint" => task = Some("lint"),
             "--help" | "-h" => {
                 print_usage();
@@ -66,7 +74,7 @@ fn main() -> ExitCode {
     }
 
     match task {
-        Some("lint") => run_lint(root, allowlist, json, graph),
+        Some("lint") => run_lint(root, allowlist, json, graph, hot, write_baseline),
         _ => {
             print_usage();
             ExitCode::from(EXIT_ERROR)
@@ -76,7 +84,8 @@ fn main() -> ExitCode {
 
 fn print_usage() {
     eprintln!(
-        "usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE] [--json] [--graph]"
+        "usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE] [--json] [--graph] \
+         [--hot] [--write-hotpath-baseline]"
     );
     eprintln!();
     eprintln!("Lints the workspace sources. With --root, scans an arbitrary");
@@ -85,6 +94,10 @@ fn print_usage() {
     eprintln!();
     eprintln!("  --json    emit machine-readable JSON on stdout instead of text");
     eprintln!("  --graph   print the inferred lock-order graph after the scan");
+    eprintln!("  --hot     print the hot-path function dump (allocation counts)");
+    eprintln!("  --write-hotpath-baseline");
+    eprintln!("            rewrite crates/xtask/hotpath-baseline.txt with the");
+    eprintln!("            current counts (use after removing allocations)");
 }
 
 fn run_lint(
@@ -92,6 +105,8 @@ fn run_lint(
     allowlist: Option<PathBuf>,
     json: bool,
     graph: bool,
+    hot: bool,
+    write_baseline: bool,
 ) -> ExitCode {
     // Default to the workspace root: xtask lives at <root>/crates/xtask.
     let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -115,13 +130,43 @@ fn run_lint(
         }
     };
 
-    let report = match lints::scan_tree(&scan_root, fixture_mode, &allow) {
+    let mut report = match lints::scan_tree(&scan_root, fixture_mode, &allow) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(EXIT_ERROR);
         }
     };
+
+    // Ratchet helper: rewrite the committed baseline from the counts just
+    // measured, then rescan so the report reflects the new baseline.
+    if write_baseline && !fixture_mode {
+        let path = workspace_root.join("crates/xtask/hotpath-baseline.txt");
+        let rendered = hotpath::render_baseline(&report.hotpath_counts);
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(EXIT_ERROR);
+        }
+        eprintln!(
+            "wrote {} ({} entries)",
+            path.display(),
+            report.hotpath_counts.len()
+        );
+        let allow = match lints::Allowlist::load(&allowlist_path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: cannot re-read allowlist: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+        report = match lints::scan_tree(&scan_root, fixture_mode, &allow) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(EXIT_ERROR);
+            }
+        };
+    }
 
     if json {
         println!("{}", report_to_json(&report));
@@ -132,6 +177,12 @@ fn run_lint(
         if graph {
             println!("lock-order graph ({} edges):", report.graph.len());
             for line in &report.graph {
+                println!("  {line}");
+            }
+        }
+        if hot {
+            println!("hot-path functions ({}):", report.hot.len());
+            for line in &report.hot {
                 println!("  {line}");
             }
         }
@@ -157,6 +208,8 @@ fn exit_code_for(violations: &[lints::Violation]) -> u8 {
             "guard-escape" => 5,
             "lock-order" => 6,
             "allowlist-stale" => 7,
+            "hot-path-alloc" => 8,
+            "panic-surface" => 9,
             _ => 3,
         })
         .collect();
@@ -204,6 +257,18 @@ fn report_to_json(report: &lints::ScanReport) -> String {
     if !report.graph.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n");
+    out.push_str("  \"hot_path\": [");
+    for (i, line) in report.hot.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_str(line));
+    }
+    if !report.hot.is_empty() {
+        out.push_str("\n  ");
+    }
     out.push_str("]\n}");
     out
 }
@@ -249,6 +314,12 @@ mod tests {
         assert_eq!(exit_code_for(&[violation("guard-escape")]), 5);
         assert_eq!(exit_code_for(&[violation("lock-order")]), 6);
         assert_eq!(exit_code_for(&[violation("allowlist-stale")]), 7);
+        assert_eq!(exit_code_for(&[violation("hot-path-alloc")]), 8);
+        assert_eq!(exit_code_for(&[violation("panic-surface")]), 9);
+        assert_eq!(
+            exit_code_for(&[violation("hot-path-alloc"), violation("panic-surface")]),
+            1
+        );
         assert_eq!(
             exit_code_for(&[violation("no-unwrap"), violation("lock-order")]),
             1
@@ -272,6 +343,8 @@ mod tests {
             }],
             files: 1,
             graph: vec!["a (1) -> b (2) via `c`  [f.rs:1]".into()],
+            hot: vec!["f.rs::f allocs=1  [root]".into()],
+            hotpath_counts: std::collections::BTreeMap::new(),
         };
         let json = report_to_json(&report);
         // Windows separators are normalized, never escaped.
@@ -282,6 +355,8 @@ mod tests {
         assert!(json.contains("\"snippet\": \"x.unwrap()\""));
         assert!(json.contains("\"files_scanned\": 1"));
         assert!(json.contains("\"lock_order_graph\""));
+        assert!(json.contains("\"hot_path\""));
+        assert!(json.contains("f.rs::f allocs=1"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),
@@ -297,9 +372,12 @@ mod tests {
             violations: Vec::new(),
             files: 0,
             graph: Vec::new(),
+            hot: Vec::new(),
+            hotpath_counts: std::collections::BTreeMap::new(),
         };
         let json = report_to_json(&report);
         assert!(json.contains("\"violations\": []"));
         assert!(json.contains("\"lock_order_graph\": []"));
+        assert!(json.contains("\"hot_path\": []"));
     }
 }

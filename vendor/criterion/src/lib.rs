@@ -45,12 +45,30 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark: mean wall time per iteration plus the group's
+/// throughput annotation. Collected on [`Criterion`] so harness `main`s can
+/// persist machine-readable reports (real criterion writes these under
+/// `target/criterion/`; the shim hands them to the caller instead).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name as passed to `benchmark_group`.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+    /// The group's throughput annotation, if any.
+    pub throughput: Option<Throughput>,
+}
+
 /// A named group of benchmarks sharing measurement settings.
 pub struct BenchmarkGroup<'a> {
     name: String,
     measurement_time: Duration,
     throughput: Option<Throughput>,
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -93,6 +111,13 @@ impl BenchmarkGroup<'_> {
             _ => {}
         }
         println!("{line}");
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            id: id.to_string(),
+            ns_per_iter: per_iter,
+            iters,
+            throughput: self.throughput,
+        });
         self
     }
 
@@ -101,7 +126,9 @@ impl BenchmarkGroup<'_> {
 
 /// Top-level benchmark driver.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
@@ -109,8 +136,13 @@ impl Criterion {
             name: name.to_string(),
             measurement_time: Duration::from_secs(1),
             throughput: None,
-            _criterion: self,
+            criterion: self,
         }
+    }
+
+    /// Drains the results recorded so far, in run order.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
     }
 
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
