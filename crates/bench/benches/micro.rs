@@ -121,7 +121,7 @@ fn bench_dataframe(c: &mut Criterion) {
             for seq in 0..128 {
                 builder.push_op(seq, &op);
             }
-            builder.seal_frame().expect("non-empty")
+            builder.seal_frame().expect("seals").expect("non-empty")
         });
     });
     group.finish();

@@ -131,7 +131,7 @@ fn bench_frame_build(c: &mut Criterion) {
             for seq in 0..128 {
                 builder.push_op(seq, &op);
             }
-            black_box(builder.seal_frame().expect("non-empty"))
+            black_box(builder.seal_frame().expect("seals").expect("non-empty"))
         });
     });
     group.finish();

@@ -1,5 +1,6 @@
 //! Rate estimation used by the writer batching heuristic (§4.1) and the
-//! auto-scaler's per-segment load tracking (§3.1).
+//! auto-scaler's per-segment load tracking (§3.1), plus the token bucket
+//! that paces background maintenance work (the LTS scrubber).
 
 use std::time::Duration;
 
@@ -100,6 +101,81 @@ impl EwmaValue {
     }
 }
 
+/// A classic token bucket: `rate` tokens/second accrue up to `burst`, and
+/// work proceeds by taking tokens. Background maintenance (the LTS scrubber)
+/// uses one token per scanned byte so scrubbing is paced, not burst — the
+/// LSM-stability result that burst compaction wrecks p999 applies equally to
+/// burst scrubbing.
+///
+/// Time is passed in explicitly (nanosecond [`Timestamp`]s) so pacing logic
+/// is deterministic under test.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: Option<Timestamp>,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that refills at `rate_per_sec` tokens/second up to a
+    /// capacity of `burst` tokens. The bucket starts full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_sec` or `burst` is not strictly positive.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0, "rate must be positive");
+        assert!(burst > 0.0, "burst must be positive");
+        Self {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: None,
+        }
+    }
+
+    fn refill(&mut self, now: Timestamp) {
+        if let Some(prev) = self.last_refill {
+            let dt = now.saturating_sub(prev) as f64 / 1e9;
+            self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+        }
+        self.last_refill = Some(now);
+    }
+
+    /// Takes `n` tokens if available at `now`; returns whether it succeeded.
+    pub fn try_take(&mut self, n: f64, now: Timestamp) -> bool {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes `n` tokens unconditionally (the balance may go negative) and
+    /// returns how long the caller must wait before proceeding so the
+    /// long-run rate holds. Oversized requests (`n > burst`) are allowed and
+    /// simply incur a proportionally longer wait.
+    pub fn take_and_wait(&mut self, n: f64, now: Timestamp) -> Duration {
+        self.refill(now);
+        self.tokens -= n;
+        if self.tokens >= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(-self.tokens / self.rate_per_sec)
+        }
+    }
+
+    /// Current token balance at `now` (may be negative after
+    /// [`TokenBucket::take_and_wait`]).
+    pub fn balance(&mut self, now: Timestamp) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +241,42 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn ewma_value_rejects_bad_alpha() {
         let _ = EwmaValue::new(0.0);
+    }
+
+    #[test]
+    fn token_bucket_starts_full_and_refills_at_rate() {
+        let mut b = TokenBucket::new(100.0, 50.0);
+        assert!(b.try_take(50.0, SEC));
+        assert!(!b.try_take(1.0, SEC));
+        // 100 tokens/s: after 0.2s, 20 tokens are back (capped at burst).
+        assert!(b.try_take(20.0, SEC + SEC / 5));
+        assert!(!b.try_take(1.0, SEC + SEC / 5));
+        // A long idle period refills only to the burst cap.
+        assert!((b.balance(100 * SEC) - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn token_bucket_take_and_wait_paces_oversized_work() {
+        let mut b = TokenBucket::new(1000.0, 100.0);
+        // Drain the burst, then take 500 more: must wait 0.5s.
+        assert_eq!(b.take_and_wait(100.0, SEC), Duration::ZERO);
+        let wait = b.take_and_wait(500.0, SEC);
+        assert!((wait.as_secs_f64() - 0.5).abs() < 1e-6, "{wait:?}");
+        // After serving that wait, the balance is back to zero.
+        assert!(b.balance(SEC + SEC / 2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn token_bucket_long_run_rate_is_bounded() {
+        let mut b = TokenBucket::new(100.0, 10.0);
+        let mut now = SEC;
+        let mut waited = Duration::ZERO;
+        for _ in 0..100 {
+            let w = b.take_and_wait(10.0, now);
+            waited += w;
+            now += w.as_nanos() as Timestamp;
+        }
+        // 1000 tokens at 100/s needs ~10s of pacing (minus the 10 burst).
+        assert!(waited.as_secs_f64() > 9.0, "{waited:?}");
     }
 }

@@ -92,6 +92,23 @@ pub enum FaultDecision {
     /// abandons the operation exactly as an abrupt death would. Only emitted
     /// by [`FaultPlan::decide_crash`], never by [`FaultPlan::decide`].
     Crash,
+    /// Silent corruption: flip one bit of already-stored state (a chunk or a
+    /// bookie entry) behind the system's back. Only emitted by
+    /// [`FaultPlan::draw_corruption`], never by [`FaultPlan::decide`].
+    FlipBit {
+        /// Byte offset of the corrupted byte within the stored blob.
+        offset: u64,
+        /// Single-bit mask XORed into that byte.
+        mask: u8,
+    },
+    /// Silent corruption: drop the last `drop` bytes of already-stored state,
+    /// as a lost tail write would. Only emitted by
+    /// [`FaultPlan::draw_corruption`], never by [`FaultPlan::decide`].
+    TruncateTail {
+        /// Number of trailing bytes discarded (at least 1, less than the
+        /// blob length).
+        drop: u64,
+    },
 }
 
 /// Seeded crash-point schedule for a [`FaultPlan`].
@@ -148,6 +165,7 @@ pub struct FaultPlan {
     crash_script: Mutex<Vec<&'static str>>,
     ops: AtomicU64,
     crash_ops: AtomicU64,
+    corrupt_ops: AtomicU64,
     crashes: AtomicU64,
     injected: AtomicU64,
     log: Mutex<Vec<FaultRecord>>,
@@ -173,6 +191,7 @@ impl FaultPlan {
             crash_script: Mutex::new(rank::FAULTS_PLAN, Vec::new()),
             ops: AtomicU64::new(0),
             crash_ops: AtomicU64::new(0),
+            corrupt_ops: AtomicU64::new(0),
             crashes: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             log: Mutex::new(rank::FAULTS_PLAN, Vec::new()),
@@ -366,6 +385,42 @@ impl FaultPlan {
         true
     }
 
+    /// Draws one silent corruption for a stored blob of `len` bytes.
+    ///
+    /// Consumes one index from the corruption stream — a pure function of
+    /// `(seed, corrupt_index)`, disjoint from both the operation-fault and
+    /// crash streams, so arming corruption never shifts either. Returns
+    /// [`FaultDecision::FlipBit`] or [`FaultDecision::TruncateTail`] sized to
+    /// the blob, or `None` when the blob is too small to corrupt without
+    /// erasing it (under 2 bytes). `target` names the victim in the injection
+    /// log (e.g. `"chunk:lts/segments/s/c-0"` or `"bookie:b0/7/3"`).
+    pub fn draw_corruption(&self, target: &str, len: u64) -> Option<FaultDecision> {
+        if !self.enabled.load(Ordering::SeqCst) || len < 2 {
+            return None;
+        }
+        let i = self.corrupt_ops.fetch_add(1, Ordering::SeqCst);
+        // Same splitmix mixing as `decide`, offset into a third disjoint
+        // stream.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            (self.seed ^ 0xB17F_11B5_u64.rotate_left(24))
+                ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17),
+        );
+        let decision = if rng.gen_bool(0.5) {
+            FaultDecision::FlipBit {
+                offset: rng.next_u64() % len,
+                mask: 1u8 << (rng.next_u64() % 8),
+            }
+        } else {
+            // Keep at least one byte so the blob still exists, drop at least
+            // one so something is actually lost.
+            FaultDecision::TruncateTail {
+                drop: 1 + rng.next_u64() % (len - 1),
+            }
+        };
+        self.record(i, target, decision.clone());
+        Some(decision)
+    }
+
     /// An armed [`CrashHook`] driving crash points from this plan.
     ///
     /// This is the sanctioned way to arm crash machinery: production crates
@@ -376,6 +431,51 @@ impl FaultPlan {
         let plan = Arc::clone(self);
         CrashHook::armed(move |point| plan.decide_crash(point))
     }
+}
+
+/// Draws one corruption from `plan` and applies it to a stored chunk.
+///
+/// Returns the applied decision, or `None` when the plan drew nothing
+/// (disabled or the chunk is too small) or the chunk is gone. The decision
+/// lands in the plan's injection log either way it was drawn, so a seed
+/// reproduces the same corruption sequence byte for byte.
+pub fn corrupt_chunk(
+    plan: &FaultPlan,
+    storage: &pravega_lts::InMemoryChunkStorage,
+    name: &str,
+) -> Option<FaultDecision> {
+    let len = storage.length(name).ok()?;
+    let decision = plan.draw_corruption(&format!("chunk:{name}"), len)?;
+    let applied = match decision {
+        FaultDecision::FlipBit { offset, mask } => storage.flip_bit(name, offset, mask),
+        FaultDecision::TruncateTail { drop } => storage.truncate_tail(name, drop),
+        _ => false,
+    };
+    applied.then_some(decision)
+}
+
+/// Draws one corruption from `plan` and applies it to a bookie's stored
+/// entry (the checksummed envelope as replicated, not the logical payload).
+///
+/// Returns the applied decision, or `None` when the plan drew nothing or
+/// the entry is absent.
+pub fn corrupt_entry(
+    plan: &FaultPlan,
+    bookie: &pravega_wal::MemBookie,
+    ledger: LedgerId,
+    entry: u64,
+) -> Option<FaultDecision> {
+    let stored = bookie.raw_entry(ledger, entry)?;
+    let target = format!("bookie:{}/{}/{entry}", bookie.id(), ledger.0);
+    let decision = plan.draw_corruption(&target, stored.len() as u64)?;
+    let applied = match decision {
+        FaultDecision::FlipBit { offset, mask } => {
+            bookie.flip_entry_bit(ledger, entry, offset, mask)
+        }
+        FaultDecision::TruncateTail { drop } => bookie.truncate_entry_tail(ledger, entry, drop),
+        _ => false,
+    };
+    applied.then_some(decision)
 }
 
 fn spike(duration: Duration) {
@@ -415,11 +515,14 @@ impl FaultyChunkStorage {
                 spike(d);
                 Ok(())
             }
-            // `decide` never emits Crash; treat it as unavailability if it
-            // ever appears rather than panicking inside a decorator.
-            FaultDecision::Transient | FaultDecision::Torn { .. } | FaultDecision::Crash => {
-                Err(LtsError::Unavailable)
-            }
+            // `decide` never emits Crash or corruption; treat them as
+            // unavailability if they ever appear rather than panicking inside
+            // a decorator.
+            FaultDecision::Transient
+            | FaultDecision::Torn { .. }
+            | FaultDecision::Crash
+            | FaultDecision::FlipBit { .. }
+            | FaultDecision::TruncateTail { .. } => Err(LtsError::Unavailable),
         }
     }
 }
@@ -437,7 +540,10 @@ impl ChunkStorage for FaultyChunkStorage {
                 spike(d);
                 self.inner.write(name, offset, data)
             }
-            FaultDecision::Transient | FaultDecision::Crash => Err(LtsError::Unavailable),
+            FaultDecision::Transient
+            | FaultDecision::Crash
+            | FaultDecision::FlipBit { .. }
+            | FaultDecision::TruncateTail { .. } => Err(LtsError::Unavailable),
             FaultDecision::Torn { keep } => {
                 // Apply the prefix, then report failure: the caller cannot
                 // tell how much landed, like a connection cut mid-PUT. If the
@@ -458,6 +564,11 @@ impl ChunkStorage for FaultyChunkStorage {
     fn length(&self, name: &str) -> Result<u64, LtsError> {
         self.gate("chunk.length")?;
         self.inner.length(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), LtsError> {
+        self.gate("chunk.truncate")?;
+        self.inner.truncate(name, len)
     }
 
     fn seal(&self, name: &str) -> Result<(), LtsError> {
@@ -506,9 +617,11 @@ impl FaultyBookie {
                 spike(d);
                 Ok(())
             }
-            FaultDecision::Transient | FaultDecision::Torn { .. } | FaultDecision::Crash => {
-                Err(BookieError::Unavailable)
-            }
+            FaultDecision::Transient
+            | FaultDecision::Torn { .. }
+            | FaultDecision::Crash
+            | FaultDecision::FlipBit { .. }
+            | FaultDecision::TruncateTail { .. } => Err(BookieError::Unavailable),
         }
     }
 }
@@ -835,5 +948,100 @@ mod tests {
         ));
         plan.set_unavailable(false);
         bookie.fence(LedgerId(1), 1).unwrap();
+    }
+
+    #[test]
+    fn corruption_stream_is_deterministic_and_disjoint() {
+        let a = FaultPlan::new(0xC0DE, lossy_spec());
+        let b = FaultPlan::new(0xC0DE, lossy_spec());
+        let da: Vec<_> = (0..40).map(|i| a.draw_corruption("blob", 2 + i)).collect();
+        // `b` burns 123 operation faults first: the corruption stream is
+        // disjoint, so its draws must still match `a`'s byte for byte.
+        drive(&b, 123);
+        let db: Vec<_> = (0..40).map(|i| b.draw_corruption("blob", 2 + i)).collect();
+        assert_eq!(da, db);
+        let corruption_log = |p: &FaultPlan| -> Vec<FaultRecord> {
+            p.log()
+                .into_iter()
+                .filter(|r| {
+                    matches!(
+                        r.decision,
+                        FaultDecision::FlipBit { .. } | FaultDecision::TruncateTail { .. }
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(corruption_log(&a), corruption_log(&b));
+        let c = FaultPlan::new(0xD00D, lossy_spec());
+        let dc: Vec<_> = (0..40).map(|i| c.draw_corruption("blob", 2 + i)).collect();
+        assert_ne!(da, dc, "different seeds should draw different corruption");
+    }
+
+    #[test]
+    fn corruption_draws_do_not_shift_operation_faults() {
+        let with = FaultPlan::new(5, lossy_spec());
+        let without = FaultPlan::new(5, lossy_spec());
+        for i in 0..50 {
+            let _ = with.draw_corruption("blob", 64 + i);
+        }
+        assert_eq!(drive(&with, 300), drive(&without, 300));
+    }
+
+    #[test]
+    fn draw_corruption_respects_bounds_and_tiny_blobs() {
+        let plan = FaultPlan::new(42, lossy_spec());
+        assert_eq!(plan.draw_corruption("blob", 0), None);
+        assert_eq!(plan.draw_corruption("blob", 1), None);
+        for i in 0..200 {
+            let len = 2 + i % 13;
+            match plan.draw_corruption("blob", len) {
+                Some(FaultDecision::FlipBit { offset, mask }) => {
+                    assert!(offset < len);
+                    assert_eq!(mask.count_ones(), 1);
+                }
+                Some(FaultDecision::TruncateTail { drop }) => {
+                    assert!(drop >= 1 && drop < len, "drop {drop} of {len}");
+                }
+                other => panic!("unexpected draw {other:?}"),
+            }
+        }
+        // Disabled plans draw nothing and consume no index.
+        plan.set_enabled(false);
+        assert_eq!(plan.draw_corruption("blob", 64), None);
+    }
+
+    #[test]
+    fn corrupt_chunk_applies_the_drawn_decision() {
+        let plan = FaultPlan::new(3, lossy_spec());
+        let chunks = InMemoryChunkStorage::new();
+        chunks.create("c").unwrap();
+        chunks.write("c", 0, &[7u8; 64]).unwrap();
+        let decision = corrupt_chunk(&plan, &chunks, "c").expect("chunk is corruptible");
+        match decision {
+            FaultDecision::FlipBit { offset, mask } => {
+                let data = chunks.read("c", 0, 64).unwrap();
+                assert_eq!(data[offset as usize], 7u8 ^ mask);
+            }
+            FaultDecision::TruncateTail { drop } => {
+                assert_eq!(chunks.length("c").unwrap(), 64 - drop);
+            }
+            other => panic!("unexpected corruption {other:?}"),
+        }
+        assert_eq!(corrupt_chunk(&plan, &chunks, "missing"), None);
+    }
+
+    #[test]
+    fn corrupt_entry_mutates_the_stored_envelope() {
+        let plan = FaultPlan::new(4, lossy_spec());
+        let bookie =
+            pravega_wal::MemBookie::new("b0", pravega_wal::JournalConfig::default()).unwrap();
+        bookie
+            .add_entry(LedgerId(1), 0, 0, Bytes::from(vec![9u8; 32]))
+            .unwrap();
+        let before = bookie.raw_entry(LedgerId(1), 0).unwrap();
+        let decision = corrupt_entry(&plan, &bookie, LedgerId(1), 0).expect("entry exists");
+        let after = bookie.raw_entry(LedgerId(1), 0).unwrap();
+        assert_ne!(before, after, "{decision:?} must change the stored bytes");
+        assert_eq!(corrupt_entry(&plan, &bookie, LedgerId(1), 99), None);
     }
 }

@@ -65,6 +65,16 @@ pub trait ChunkStorage: Send + Sync + std::fmt::Debug {
 
     /// Whether the chunk exists.
     fn exists(&self, name: &str) -> bool;
+
+    /// Discards all bytes at and beyond `len`, shrinking the chunk. Used to
+    /// drop an uncommitted tail left by a torn or abandoned write before
+    /// re-appending; never applied below committed metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::NoSuchChunk`] if absent; [`LtsError::Sealed`] after
+    /// sealing; [`LtsError::BadOffset`] if `len` exceeds the current length.
+    fn truncate(&self, name: &str, len: u64) -> Result<(), LtsError>;
 }
 
 #[derive(Debug, Default)]
@@ -102,6 +112,39 @@ impl InMemoryChunkStorage {
         let mut names: Vec<String> = self.chunks.lock().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Silent-corruption injection: flips the bits selected by `mask` in the
+    /// byte at `offset`. Ignores seals — bit rot does not respect them.
+    /// Returns false if the chunk is absent or shorter than `offset`.
+    pub fn flip_bit(&self, name: &str, offset: u64, mask: u8) -> bool {
+        let mut chunks = self.chunks.lock();
+        let Some(chunk) = chunks.get_mut(name) else {
+            return false;
+        };
+        match chunk.data.get_mut(offset as usize) {
+            Some(byte) => {
+                *byte ^= mask;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Silent-corruption injection: drops the last `drop` bytes of the chunk
+    /// (a torn sector / lost tail). Returns false if the chunk is absent or
+    /// has fewer than `drop` bytes.
+    pub fn truncate_tail(&self, name: &str, drop: u64) -> bool {
+        let mut chunks = self.chunks.lock();
+        let Some(chunk) = chunks.get_mut(name) else {
+            return false;
+        };
+        let len = chunk.data.len() as u64;
+        if drop > len {
+            return false;
+        }
+        chunk.data.truncate((len - drop) as usize);
+        true
     }
 }
 
@@ -167,6 +210,22 @@ impl ChunkStorage for InMemoryChunkStorage {
 
     fn exists(&self, name: &str) -> bool {
         self.chunks.lock().contains_key(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), LtsError> {
+        let mut chunks = self.chunks.lock();
+        let chunk = chunks.get_mut(name).ok_or(LtsError::NoSuchChunk)?;
+        if chunk.sealed {
+            return Err(LtsError::Sealed);
+        }
+        if len > chunk.data.len() as u64 {
+            return Err(LtsError::BadOffset {
+                expected: chunk.data.len() as u64,
+                actual: len,
+            });
+        }
+        chunk.data.truncate(len as usize);
+        Ok(())
     }
 }
 
@@ -287,6 +346,33 @@ impl ChunkStorage for FileChunkStorage {
     fn exists(&self, name: &str) -> bool {
         self.path(name).exists()
     }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), LtsError> {
+        if *self.sealed.lock().get(name).unwrap_or(&false) {
+            return Err(LtsError::Sealed);
+        }
+        let path = self.path(name);
+        if !path.exists() {
+            return Err(LtsError::NoSuchChunk);
+        }
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| LtsError::Io(e.to_string()))?;
+        let current = file
+            .metadata()
+            .map_err(|e| LtsError::Io(e.to_string()))?
+            .len();
+        if len > current {
+            return Err(LtsError::BadOffset {
+                expected: current,
+                actual: len,
+            });
+        }
+        file.set_len(len).map_err(|e| LtsError::Io(e.to_string()))?;
+        file.sync_data().map_err(|e| LtsError::Io(e.to_string()))?;
+        Ok(())
+    }
 }
 
 /// Bandwidth/latency model for [`ThrottledChunkStorage`].
@@ -379,6 +465,11 @@ impl<S: ChunkStorage> ChunkStorage for ThrottledChunkStorage<S> {
     fn exists(&self, name: &str) -> bool {
         self.inner.exists(name)
     }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), LtsError> {
+        self.charge(0);
+        self.inner.truncate(name, len)
+    }
 }
 
 /// The paper's "NoOp LTS" test feature (§5.4): chunk *lengths* are tracked,
@@ -467,6 +558,22 @@ impl ChunkStorage for NoOpChunkStorage {
     fn exists(&self, name: &str) -> bool {
         self.lengths.lock().contains_key(name)
     }
+
+    fn truncate(&self, name: &str, len: u64) -> Result<(), LtsError> {
+        let mut lengths = self.lengths.lock();
+        let (total, sealed) = lengths.get_mut(name).ok_or(LtsError::NoSuchChunk)?;
+        if *sealed {
+            return Err(LtsError::Sealed);
+        }
+        if len > *total {
+            return Err(LtsError::BadOffset {
+                expected: *total,
+                actual: len,
+            });
+        }
+        *total = len;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -492,8 +599,18 @@ mod tests {
             storage.read("c1", 50, 1),
             Err(LtsError::BeyondEnd { length: 11 })
         ));
+        // Truncate drops the tail and re-opens it for appends.
+        assert!(matches!(
+            storage.truncate("c1", 50),
+            Err(LtsError::BadOffset { .. })
+        ));
+        storage.truncate("c1", 5).unwrap();
+        assert_eq!(storage.length("c1").unwrap(), 5);
+        storage.write("c1", 5, b" world").unwrap();
+        assert_eq!(storage.length("c1").unwrap(), 11);
         storage.seal("c1").unwrap();
         assert_eq!(storage.write("c1", 11, b"!"), Err(LtsError::Sealed));
+        assert_eq!(storage.truncate("c1", 0), Err(LtsError::Sealed));
         storage.delete("c1").unwrap();
         assert!(!storage.exists("c1"));
         assert_eq!(storage.read("c1", 0, 1), Err(LtsError::NoSuchChunk));

@@ -42,6 +42,20 @@ pub enum LtsError {
     Unavailable,
     /// Underlying I/O failure.
     Io(String),
+    /// A block read from `chunk` failed checksum verification at the given
+    /// physical offset within the chunk. The chunk is quarantined.
+    ChecksumMismatch {
+        /// Name of the corrupt chunk.
+        chunk: String,
+        /// Physical offset within the chunk of the corrupt block.
+        offset: u64,
+    },
+    /// A corrupt chunk could not be repaired from any healthy copy: the
+    /// acked bytes are gone. Surfaced instead of garbage.
+    DataLoss {
+        /// Name of the unrepairable chunk.
+        chunk: String,
+    },
 }
 
 impl fmt::Display for LtsError {
@@ -65,6 +79,12 @@ impl fmt::Display for LtsError {
             LtsError::Metadata(msg) => write!(f, "metadata error: {msg}"),
             LtsError::Unavailable => write!(f, "long-term storage unavailable"),
             LtsError::Io(msg) => write!(f, "io error: {msg}"),
+            LtsError::ChecksumMismatch { chunk, offset } => {
+                write!(f, "checksum mismatch in chunk {chunk} at offset {offset}")
+            }
+            LtsError::DataLoss { chunk } => {
+                write!(f, "data loss: chunk {chunk} is corrupt and unrepairable")
+            }
         }
     }
 }
@@ -89,7 +109,9 @@ impl RetryClass for LtsError {
             | LtsError::BadOffset { .. }
             | LtsError::Truncated { .. }
             | LtsError::BeyondEnd { .. }
-            | LtsError::Metadata(_) => ErrorClass::Permanent,
+            | LtsError::Metadata(_)
+            | LtsError::ChecksumMismatch { .. }
+            | LtsError::DataLoss { .. } => ErrorClass::Permanent,
         }
     }
 }
@@ -120,5 +142,13 @@ mod tests {
             actual: 0
         }
         .is_transient());
+        // Corruption is never retried: re-reading a rotten chunk cannot
+        // un-rot it, and retry loops spinning on it would mask data loss.
+        assert!(!LtsError::ChecksumMismatch {
+            chunk: "c".into(),
+            offset: 8
+        }
+        .is_transient());
+        assert!(!LtsError::DataLoss { chunk: "c".into() }.is_transient());
     }
 }

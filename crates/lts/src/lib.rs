@@ -40,7 +40,9 @@
 
 pub mod chunk;
 pub mod error;
+pub mod format;
 pub mod metadata;
+pub mod scrub;
 pub mod segment;
 
 pub use chunk::{
@@ -49,4 +51,5 @@ pub use chunk::{
 };
 pub use error::LtsError;
 pub use metadata::{InMemoryMetadataStore, MetadataStore, MetadataUpdate};
+pub use scrub::{RepairSource, ScrubConfig, ScrubReport, Scrubber, ScrubberHandle};
 pub use segment::{ChunkedSegmentStorage, ChunkedStorageConfig, SegmentStorageInfo};

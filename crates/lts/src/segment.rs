@@ -5,17 +5,33 @@
 //! live in a [`MetadataStore`] record updated with conditional writes, so a
 //! crashed flush can never corrupt the layout: chunk data written without a
 //! committed metadata update is simply unreferenced.
+//!
+//! # Integrity
+//!
+//! Chunk bytes are stored framed in the checksummed block format of
+//! [`crate::format`]: the metadata record keeps each block's `(len, crc)`
+//! captured at ack time, every cold read verifies the blocks it touches
+//! before returning a byte, and a chunk that fails verification is
+//! *quarantined* — all further reads fail fast with
+//! [`LtsError::ChecksumMismatch`] until [`ChunkedSegmentStorage::repair_chunk`]
+//! installs bytes that match the acked checksums. Offsets and lengths in the
+//! metadata record and all public APIs stay *logical* (payload bytes);
+//! framing overhead exists only inside the chunk.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pravega_common::buf::crc32c;
 use pravega_common::clock;
 use pravega_common::crashpoints::{self, CrashHook};
 use pravega_common::metrics::{Counter, Histogram, MetricsRegistry};
 use pravega_common::retry::RetryPolicy;
+use pravega_sync::{rank, Mutex};
 
 use crate::chunk::ChunkStorage;
 use crate::error::LtsError;
+use crate::format::{self, BlockInfo};
 use crate::metadata::{MetadataStore, MetadataUpdate};
 
 /// Configuration for the chunked layout.
@@ -50,7 +66,25 @@ pub struct SegmentStorageInfo {
 struct ChunkRecord {
     name: String,
     start: u64,
+    /// Logical (payload) bytes in the chunk; framing overhead excluded.
     length: u64,
+    /// `(payload_len, crc32c)` of every committed block, in physical order.
+    blocks: Vec<BlockInfo>,
+    /// Whether the footer has been appended (chunk full or segment sealed).
+    finalized: bool,
+}
+
+impl ChunkRecord {
+    /// Physical bytes the committed blocks (and footer, once finalized)
+    /// occupy in chunk storage.
+    fn physical_len(&self) -> u64 {
+        let data = format::physical_data_len(&self.blocks);
+        if self.finalized {
+            data + format::footer_physical_len(self.blocks.len())
+        } else {
+            data
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +118,12 @@ impl SegmentRecord {
             pravega_common::buf::put_string(&mut buf, &c.name);
             buf.put_u64(c.start);
             buf.put_u64(c.length);
+            buf.put_u8(c.finalized as u8);
+            buf.put_u32(c.blocks.len() as u32);
+            for &(len, crc) in &c.blocks {
+                buf.put_u32(len);
+                buf.put_u32(crc);
+            }
         }
         buf.freeze()
     }
@@ -102,13 +142,26 @@ impl SegmentRecord {
         let mut chunks = Vec::with_capacity(n);
         for _ in 0..n {
             let name = pravega_common::buf::get_string(&mut buf, "chunk name").map_err(err)?;
-            if buf.remaining() < 16 {
+            if buf.remaining() < 21 {
                 return Err(LtsError::Metadata("corrupt segment record".into()));
+            }
+            let start = buf.get_u64();
+            let length = buf.get_u64();
+            let finalized = buf.get_u8() != 0;
+            let block_count = buf.get_u32() as usize;
+            if buf.remaining() < block_count * 8 {
+                return Err(LtsError::Metadata("corrupt segment record".into()));
+            }
+            let mut blocks = Vec::with_capacity(block_count);
+            for _ in 0..block_count {
+                blocks.push((buf.get_u32(), buf.get_u32()));
             }
             chunks.push(ChunkRecord {
                 name,
-                start: buf.get_u64(),
-                length: buf.get_u64(),
+                start,
+                length,
+                blocks,
+                finalized,
             });
         }
         Ok(Self {
@@ -131,6 +184,10 @@ pub struct ChunkedSegmentStorage {
     retry: RetryPolicy,
     metrics: LtsMetrics,
     crash_hook: CrashHook,
+    /// Chunks that failed checksum verification, mapped to the physical
+    /// offset of the first corrupt block. Shared across clones so a chunk
+    /// detected corrupt anywhere is never silently re-read anywhere.
+    quarantine: Arc<Mutex<HashMap<String, u64>>>,
 }
 
 /// Cheap handles to the `lts.chunked.*` instruments.
@@ -173,6 +230,7 @@ impl ChunkedSegmentStorage {
             retry: RetryPolicy::default(),
             metrics: LtsMetrics::new(&MetricsRegistry::new()),
             crash_hook: CrashHook::disarmed(),
+            quarantine: Arc::new(Mutex::new(rank::LTS_QUARANTINE, HashMap::new())),
         }
     }
 
@@ -277,7 +335,8 @@ impl ChunkedSegmentStorage {
         Ok(length)
     }
 
-    /// One write attempt: reload committed metadata, land the payload, commit.
+    /// One write attempt: reload committed metadata, land the payload as
+    /// checksummed blocks, commit.
     fn try_write(&self, segment: &str, offset: u64, data: &[u8]) -> Result<u64, LtsError> {
         let (mut record, version) = self.load(segment)?;
         if record.sealed {
@@ -293,9 +352,18 @@ impl ChunkedSegmentStorage {
         while !remaining.is_empty() {
             let need_new_chunk = match record.chunks.last() {
                 None => true,
-                Some(last) => last.length >= self.config.max_chunk_bytes,
+                Some(last) => last.finalized || last.length >= self.config.max_chunk_bytes,
             };
             if need_new_chunk {
+                // Finalize the chunk being rolled away from: append its
+                // footer so it verifies standalone from now on. Footer bytes
+                // are deterministic from committed metadata, so a crash here
+                // is healed by the same torn-frame logic as data blocks.
+                if let Some(last) = record.chunks.last_mut() {
+                    if !last.finalized {
+                        self.finalize_chunk(last)?;
+                    }
+                }
                 let name = format!("{segment}.chunk-{:08}", record.next_chunk_index);
                 record.next_chunk_index += 1;
                 match self.chunks.create(&name) {
@@ -304,7 +372,7 @@ impl ChunkedSegmentStorage {
                     // which only advances when metadata commits — so an
                     // existing chunk here is leftover from an earlier,
                     // uncommitted attempt of this very write (single writer).
-                    // Adopt it; any torn prefix it holds is skipped below.
+                    // Adopt it; any torn frame it holds is healed below.
                     Err(LtsError::ChunkExists) => {}
                     Err(e) => return Err(e),
                 }
@@ -322,6 +390,8 @@ impl ChunkedSegmentStorage {
                     name,
                     start: record.length,
                     length: 0,
+                    blocks: Vec::new(),
+                    finalized: false,
                 });
             }
             // A chunk was rolled above if the list was empty or full, so the
@@ -333,34 +403,64 @@ impl ChunkedSegmentStorage {
             };
             let capacity = (self.config.max_chunk_bytes - last.length) as usize;
             let take = remaining.len().min(capacity);
-            match self
-                .chunks
-                .write(&last.name, last.length, &remaining[..take])
-            {
-                Ok(()) => {
-                    last.length += take as u64;
-                    record.length += take as u64;
-                    remaining = &remaining[take..];
-                }
-                // Torn-write healing: the physical chunk is ahead of
-                // committed metadata because a previous attempt landed bytes
-                // [actual..expected) before failing. Those bytes are a prefix
-                // of what we are writing right now (same single writer, same
-                // logical stream), so account for them and move on instead of
-                // re-appending them.
-                Err(LtsError::BadOffset { expected, actual })
-                    if expected > actual && expected <= actual + take as u64 =>
-                {
-                    let healed = (expected - actual) as usize;
-                    last.length += healed as u64;
-                    record.length += healed as u64;
-                    remaining = &remaining[healed..];
-                }
-                Err(e) => return Err(e),
-            }
+            let payload = &remaining[..take];
+            let frame = format::encode_block(payload);
+            self.write_frame(&last.name, format::physical_data_len(&last.blocks), &frame)?;
+            last.blocks.push((take as u32, crc32c(payload)));
+            last.length += take as u64;
+            record.length += take as u64;
+            remaining = &remaining[take..];
         }
         self.store(segment, &record, version)?;
         Ok(record.length)
+    }
+
+    /// Lands one frame at physical offset `at` of `chunk`, healing leftovers
+    /// from earlier uncommitted attempts.
+    ///
+    /// The physical chunk can be ahead of committed metadata when a previous
+    /// attempt landed bytes before failing. If those bytes are a prefix of
+    /// this very frame (the common case: retries recompute identical frames
+    /// from committed metadata), they are adopted and only the missing
+    /// suffix is appended. If they differ — a re-flush framed the same
+    /// logical bytes into different block boundaries — the uncommitted tail
+    /// is discarded with [`ChunkStorage::truncate`] and the frame rewritten.
+    fn write_frame(&self, chunk: &str, at: u64, frame: &[u8]) -> Result<(), LtsError> {
+        let end = at + frame.len() as u64;
+        match self.chunks.write(chunk, at, frame) {
+            Ok(()) => Ok(()),
+            Err(LtsError::BadOffset { expected, actual }) if actual == at && expected > at => {
+                let overlap = ((expected - at) as usize).min(frame.len());
+                let leftover = self.chunks.read(chunk, at, overlap)?;
+                if leftover.as_ref() == &frame[..overlap] {
+                    if expected >= end {
+                        // The whole frame landed in a previous attempt (any
+                        // bytes past it belong to later frames of that same
+                        // attempt and are healed on their own turn).
+                        Ok(())
+                    } else {
+                        self.chunks.write(chunk, expected, &frame[overlap..])
+                    }
+                } else {
+                    self.chunks.truncate(chunk, at)?;
+                    self.chunks.write(chunk, at, frame)
+                }
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Appends the footer to a chunk and marks it finalized (in the caller's
+    /// record; committing that record is the caller's job).
+    fn finalize_chunk(&self, chunk: &mut ChunkRecord) -> Result<(), LtsError> {
+        let footer = format::encode_footer(&chunk.blocks);
+        self.write_frame(
+            &chunk.name,
+            format::physical_data_len(&chunk.blocks),
+            &footer,
+        )?;
+        chunk.finalized = true;
+        Ok(())
     }
 
     /// Reads up to `len` bytes at `offset`, crossing chunk boundaries.
@@ -383,7 +483,8 @@ impl ChunkedSegmentStorage {
         Ok(out)
     }
 
-    /// One read attempt (reads are naturally idempotent).
+    /// One read attempt (reads are naturally idempotent). Every block the
+    /// read touches is checksum verified before any byte is returned.
     fn try_read(&self, segment: &str, offset: u64, len: usize) -> Result<Bytes, LtsError> {
         let (record, _) = self.load(segment)?;
         if offset < record.start_offset {
@@ -406,7 +507,7 @@ impl ChunkedSegmentStorage {
             }
             let within = cursor - chunk.start;
             let take = (chunk_end.min(end) - cursor) as usize;
-            let piece = self.chunks.read(&chunk.name, within, take)?;
+            let piece = self.read_verified(chunk, within, take)?;
             out.put_slice(&piece);
             cursor += piece.len() as u64;
             if cursor >= end {
@@ -416,17 +517,89 @@ impl ChunkedSegmentStorage {
         Ok(out.freeze())
     }
 
-    /// Seals the segment in LTS: no further writes.
+    /// Reads logical bytes `[within, within + take)` of one chunk, decoding
+    /// and verifying every block the range touches. Corruption quarantines
+    /// the chunk; a quarantined chunk fails fast without touching storage.
+    fn read_verified(
+        &self,
+        chunk: &ChunkRecord,
+        within: u64,
+        take: usize,
+    ) -> Result<Bytes, LtsError> {
+        if let Some(&offset) = self.quarantine.lock().get(&chunk.name) {
+            return Err(LtsError::ChecksumMismatch {
+                chunk: chunk.name.clone(),
+                offset,
+            });
+        }
+        let want_end = within + take as u64;
+        // Locate the touched blocks: (logical start, physical offset, info).
+        let mut touched: Vec<(u64, u64, BlockInfo)> = Vec::new();
+        let mut logical = 0u64;
+        let mut phys = 0u64;
+        for &(blen, bcrc) in &chunk.blocks {
+            let bl = blen as u64;
+            if logical < want_end && logical + bl > within {
+                touched.push((logical, phys, (blen, bcrc)));
+            }
+            logical += bl;
+            phys += format::BLOCK_OVERHEAD + bl;
+            if logical >= want_end {
+                break;
+            }
+        }
+        let (Some(&(_, span_start, _)), Some(&(_, last_phys, (last_len, _)))) =
+            (touched.first(), touched.last())
+        else {
+            return Ok(Bytes::new());
+        };
+        let span_end = last_phys + format::BLOCK_OVERHEAD + last_len as u64;
+        let raw = self
+            .chunks
+            .read(&chunk.name, span_start, (span_end - span_start) as usize)?;
+        let mut out = BytesMut::with_capacity(take);
+        for (block_logical, block_phys, info) in touched {
+            let payload = format::decode_block(&raw, block_phys - span_start, info)
+                .map_err(|_| self.mark_corrupt(&chunk.name, block_phys))?;
+            let from = within.saturating_sub(block_logical) as usize;
+            let to = ((want_end - block_logical) as usize).min(payload.len());
+            out.put_slice(&payload[from..to]);
+        }
+        Ok(out.freeze())
+    }
+
+    /// Quarantines `chunk` and returns the error to surface. Detection is
+    /// sticky: until repaired, every read of the chunk fails fast.
+    fn mark_corrupt(&self, chunk: &str, offset: u64) -> LtsError {
+        self.quarantine
+            .lock()
+            .entry(chunk.to_string())
+            .or_insert(offset);
+        LtsError::ChecksumMismatch {
+            chunk: chunk.to_string(),
+            offset,
+        }
+    }
+
+    /// Seals the segment in LTS: no further writes. The last chunk is
+    /// finalized (footer appended) so every chunk of a sealed segment
+    /// verifies standalone.
     ///
     /// # Errors
     ///
     /// [`LtsError::NoSuchSegment`] if absent.
     pub fn seal(&self, segment: &str) -> Result<(), LtsError> {
-        // Reload-and-reapply on conflict: sealing is idempotent.
+        // Reload-and-reapply on conflict: sealing is idempotent, and the
+        // footer write is healed like any other frame on a retry.
         self.retry.run(
             |_, _| self.metrics.retries.inc(),
             || {
                 let (mut record, version) = self.load(segment)?;
+                if let Some(last) = record.chunks.last_mut() {
+                    if !last.finalized {
+                        self.finalize_chunk(last)?;
+                    }
+                }
                 record.sealed = true;
                 self.store(segment, &record, version)
             },
@@ -468,6 +641,7 @@ impl ChunkedSegmentStorage {
         )?;
         for chunk in doomed {
             let _ = self.chunks.delete(&chunk.name);
+            self.quarantine.lock().remove(&chunk.name);
         }
         Ok(())
     }
@@ -483,6 +657,7 @@ impl ChunkedSegmentStorage {
             .commit(vec![MetadataUpdate::remove(record_key(segment), None)])?;
         for chunk in record.chunks {
             let _ = self.chunks.delete(&chunk.name);
+            self.quarantine.lock().remove(&chunk.name);
         }
         Ok(())
     }
@@ -516,6 +691,11 @@ impl ChunkedSegmentStorage {
                 name: chunk.name.clone(),
                 start: base + chunk.start,
                 length: chunk.length,
+                blocks: chunk.blocks.clone(),
+                // The source was sealed, so all its chunks are finalized;
+                // carrying the flag keeps the tail chunk un-appendable and
+                // forces the next write to roll a fresh chunk.
+                finalized: chunk.finalized,
             });
         }
         target_record.length += source_record.length;
@@ -555,6 +735,116 @@ impl ChunkedSegmentStorage {
             .iter()
             .map(|c| (c.name.clone(), c.start, c.length))
             .collect())
+    }
+
+    /// All segments registered in this store's LTS metadata (scrubber walk).
+    pub fn segment_names(&self) -> Vec<String> {
+        self.metadata
+            .list_prefix("lts/segments/")
+            .into_iter()
+            .filter_map(|(key, _, _)| key.strip_prefix("lts/segments/").map(str::to_string))
+            .collect()
+    }
+
+    /// Chunks currently quarantined, with the physical offset of the first
+    /// corrupt block detected in each.
+    pub fn quarantined_chunks(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .quarantine
+            .lock()
+            .iter()
+            .map(|(name, &offset)| (name.clone(), offset))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Verifies every committed block of `chunk` (and its footer, when
+    /// finalized) against the checksums recorded at ack time. Returns the
+    /// physical bytes scanned. Physical bytes beyond the committed blocks of
+    /// an *unfinalized* chunk are ignored: they are uncommitted leftovers of
+    /// an in-flight or torn write, not corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::ChecksumMismatch`] on corruption (the chunk is
+    /// quarantined); [`LtsError::NoSuchSegment`] / [`LtsError::NoSuchChunk`]
+    /// if the segment or chunk is gone.
+    pub fn verify_chunk(&self, segment: &str, chunk: &str) -> Result<u64, LtsError> {
+        let (record, _) = self.load(segment)?;
+        let rec = record
+            .chunks
+            .iter()
+            .find(|c| c.name == chunk)
+            .ok_or(LtsError::NoSuchChunk)?;
+        if let Some(&offset) = self.quarantine.lock().get(chunk) {
+            return Err(LtsError::ChecksumMismatch {
+                chunk: chunk.to_string(),
+                offset,
+            });
+        }
+        let total = rec.physical_len();
+        let raw = self.chunks.read(chunk, 0, total as usize)?;
+        let mut phys = 0u64;
+        for &(blen, bcrc) in &rec.blocks {
+            format::decode_block(&raw, phys, (blen, bcrc))
+                .map_err(|_| self.mark_corrupt(chunk, phys))?;
+            phys += format::BLOCK_OVERHEAD + blen as u64;
+        }
+        if rec.finalized {
+            format::decode_footer(&raw, phys, &rec.blocks)
+                .map_err(|_| self.mark_corrupt(chunk, phys))?;
+        }
+        Ok(total)
+    }
+
+    /// Replaces the physical bytes of `chunk` with a re-framed copy of
+    /// `data`, which must be the chunk's complete logical contents. The
+    /// supplied bytes are verified against the block checksums recorded at
+    /// ack time *before* anything is rewritten — repair can never launder
+    /// wrong bytes into a chunk — and on success the quarantine is lifted.
+    ///
+    /// # Errors
+    ///
+    /// [`LtsError::Metadata`] if `data` has the wrong length or does not
+    /// match the acked checksums; storage errors from the rewrite.
+    pub fn repair_chunk(&self, segment: &str, chunk: &str, data: &[u8]) -> Result<(), LtsError> {
+        let (record, _) = self.load(segment)?;
+        let rec = record
+            .chunks
+            .iter()
+            .find(|c| c.name == chunk)
+            .ok_or(LtsError::NoSuchChunk)?;
+        if data.len() as u64 != rec.length {
+            return Err(LtsError::Metadata(format!(
+                "repair data for {chunk} is {} bytes, chunk holds {}",
+                data.len(),
+                rec.length
+            )));
+        }
+        let mut frames = BytesMut::new();
+        let mut off = 0usize;
+        for &(blen, bcrc) in &rec.blocks {
+            let payload = &data[off..off + blen as usize];
+            if crc32c(payload) != bcrc {
+                return Err(LtsError::Metadata(format!(
+                    "repair data for {chunk} does not match acked checksums"
+                )));
+            }
+            frames.extend_from_slice(&format::encode_block(payload));
+            off += blen as usize;
+        }
+        if rec.finalized {
+            frames.extend_from_slice(&format::encode_footer(&rec.blocks));
+        }
+        match self.chunks.delete(chunk) {
+            Ok(()) | Err(LtsError::NoSuchChunk) => {}
+            Err(e) => return Err(e),
+        }
+        self.chunks.create(chunk)?;
+        self.chunks.write(chunk, 0, &frames)?;
+        self.quarantine.lock().remove(chunk);
+        Ok(())
     }
 }
 
@@ -710,5 +1000,112 @@ mod tests {
         assert_eq!(names[0].1, 0);
         assert_eq!(names[1].1, 4);
         assert_eq!(names[2], (names[2].0.clone(), 8, 2));
+    }
+
+    #[test]
+    fn corrupt_block_is_detected_quarantined_and_repairable() {
+        let (s, chunks) = storage(8);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"the quick brown fox jumps").unwrap();
+        // Flip a payload bit in the second chunk (logical bytes [8, 16)).
+        let name = s.chunk_names("seg").unwrap()[1].0.clone();
+        assert!(chunks.flip_bit(&name, 6, 0x04));
+        let err = s.read("seg", 0, 25).unwrap_err();
+        assert!(
+            matches!(err, LtsError::ChecksumMismatch { ref chunk, .. } if *chunk == name),
+            "{err}"
+        );
+        // Quarantine is sticky: reads touching the corrupt chunk fail fast,
+        // reads confined to healthy chunks still succeed.
+        assert!(matches!(
+            s.read("seg", 8, 8),
+            Err(LtsError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(s.read("seg", 0, 8).unwrap().as_ref(), b"the quic");
+        assert_eq!(s.quarantined_chunks().len(), 1);
+        // Repair refuses bytes that do not match the acked checksums, then
+        // heals with the true bytes and lifts the quarantine.
+        assert!(s.repair_chunk("seg", &name, b"X brown ").is_err());
+        s.repair_chunk("seg", &name, b"k brown ").unwrap();
+        assert!(s.quarantined_chunks().is_empty());
+        assert_eq!(
+            s.read("seg", 0, 25).unwrap().as_ref(),
+            b"the quick brown fox jumps"
+        );
+    }
+
+    #[test]
+    fn torn_tail_truncation_is_detected() {
+        let (s, chunks) = storage(1024);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"hello world").unwrap();
+        let name = s.chunk_names("seg").unwrap()[0].0.clone();
+        assert!(chunks.truncate_tail(&name, 3)); // tears the CRC trailer
+        assert!(matches!(
+            s.read("seg", 0, 11),
+            Err(LtsError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn verify_chunk_scans_blocks_and_footer() {
+        let (s, chunks) = storage(8);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"0123456789abcdef").unwrap();
+        s.seal("seg").unwrap();
+        let names = s.chunk_names("seg").unwrap();
+        for (name, _, _) in &names {
+            s.verify_chunk("seg", name).unwrap();
+        }
+        // One 8-byte block per chunk: data frame is 16 bytes, so offset 20
+        // lands inside the appended footer.
+        assert!(chunks.flip_bit(&names[0].0, 20, 0x01));
+        assert!(matches!(
+            s.verify_chunk("seg", &names[0].0),
+            Err(LtsError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(s.quarantined_chunks().len(), 1);
+    }
+
+    #[test]
+    fn sealed_segment_chunks_are_finalized_and_verify() {
+        let (s, _) = storage(8);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"short").unwrap();
+        s.seal("seg").unwrap();
+        // Sealing twice is still idempotent with footer finalization.
+        s.seal("seg").unwrap();
+        let names = s.chunk_names("seg").unwrap();
+        assert_eq!(names.len(), 1);
+        s.verify_chunk("seg", &names[0].0).unwrap();
+        assert_eq!(s.read("seg", 0, 5).unwrap().as_ref(), b"short");
+    }
+
+    #[test]
+    fn uncommitted_leftover_with_different_framing_is_discarded() {
+        let (s, chunks) = storage(1024);
+        s.create("seg").unwrap();
+        s.write("seg", 0, b"abc").unwrap();
+        // Simulate a failed earlier flush that framed different bytes past
+        // the committed tail: the next write must discard it, not adopt it.
+        let name = s.chunk_names("seg").unwrap()[0].0.clone();
+        let phys = chunks.length(&name).unwrap();
+        chunks
+            .write(&name, phys, b"\x00\x00\x00\x02ZZ\xde\xad\xbe\xef")
+            .unwrap();
+        s.write("seg", 3, b"defgh").unwrap();
+        assert_eq!(s.read("seg", 0, 8).unwrap().as_ref(), b"abcdefgh");
+        let names = s.chunk_names("seg").unwrap();
+        s.verify_chunk("seg", &names[0].0).unwrap();
+    }
+
+    #[test]
+    fn segment_names_lists_registered_segments() {
+        let (s, _) = storage(16);
+        s.create("a").unwrap();
+        s.create("b").unwrap();
+        let mut names = s.segment_names();
+        names.sort();
+        assert_eq!(names, vec!["a".to_string(), "b".to_string()]);
     }
 }

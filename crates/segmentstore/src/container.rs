@@ -31,7 +31,7 @@ use pravega_common::future::{promise, Promise, WaitError};
 use pravega_common::id::{ContainerId, WriterId};
 use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry, TextSlot};
 use pravega_common::rate::EwmaRate;
-use pravega_lts::ChunkedSegmentStorage;
+use pravega_lts::{ChunkedSegmentStorage, LtsError};
 use pravega_sync::{rank, Mutex};
 use pravega_wal::log::DurableDataLog;
 
@@ -626,10 +626,24 @@ impl ContainerInner {
                     read_offset,
                     read_len,
                 } => {
-                    let data = self
-                        .lts
-                        .read(segment, read_offset, read_len)
-                        .map_err(SegmentError::Lts)?;
+                    let data = match self.lts.read(segment, read_offset, read_len) {
+                        Ok(data) => data,
+                        Err(LtsError::ChecksumMismatch { chunk, .. }) => {
+                            // A cold read hit a corrupt chunk (now
+                            // quarantined). Rebuild it from the retained WAL
+                            // and retry once; if the bytes are gone, the
+                            // damage is permanent and must surface as typed
+                            // data loss — never as garbage.
+                            if self.repair_chunk_from_wal(segment, &chunk) {
+                                self.lts
+                                    .read(segment, read_offset, read_len)
+                                    .map_err(SegmentError::Lts)?
+                            } else {
+                                return Err(SegmentError::Lts(LtsError::DataLoss { chunk }));
+                            }
+                        }
+                        Err(e) => return Err(SegmentError::Lts(e)),
+                    };
                     if data.is_empty() {
                         return Err(SegmentError::Internal(
                             "LTS returned no data for a flushed range".into(),
@@ -673,6 +687,82 @@ impl ContainerInner {
             out.extend_from_slice(&r.data);
         }
         Ok(out.freeze())
+    }
+
+    /// Reconstructs the logical bytes `[start, start + len)` of `segment`
+    /// from the container's retained WAL frames. Returns `None` unless every
+    /// byte of the range is covered by retained `Append` operations — a
+    /// partial reconstruction cannot repair a chunk. A torn final frame (the
+    /// signature of a crash mid WAL append) is skipped like recovery does.
+    pub(crate) fn rebuild_from_wal(&self, segment: &str, start: u64, len: u64) -> Option<Vec<u8>> {
+        if len == 0 {
+            return Some(Vec::new());
+        }
+        let records = self.log().wal_handle().read_after(None).ok()?;
+        let end = start + len;
+        let mut buf = vec![0u8; len as usize];
+        let mut covered: Vec<(u64, u64)> = Vec::new();
+        for (_, frame) in records {
+            let Ok(items) = decode_frame(&frame) else {
+                continue;
+            };
+            for (_, op) in items {
+                let Operation::Append {
+                    segment: s,
+                    offset,
+                    data,
+                    ..
+                } = op
+                else {
+                    continue;
+                };
+                if s != segment {
+                    continue;
+                }
+                let a = offset.max(start);
+                let b = (offset + data.len() as u64).min(end);
+                if a >= b {
+                    continue;
+                }
+                if let (Some(dst), Some(src)) = (
+                    buf.get_mut((a - start) as usize..(b - start) as usize),
+                    data.get((a - offset) as usize..(b - offset) as usize),
+                ) {
+                    dst.copy_from_slice(src);
+                    covered.push((a, b));
+                }
+            }
+        }
+        covered.sort_unstable();
+        let mut reach = start;
+        for (a, b) in covered {
+            if a > reach {
+                return None;
+            }
+            reach = reach.max(b);
+        }
+        (reach >= end).then_some(buf)
+    }
+
+    /// Attempts to repair a corrupt LTS chunk in place from retained WAL
+    /// data. [`ChunkedSegmentStorage::repair_chunk`] re-verifies the rebuilt
+    /// bytes against the checksums recorded at ack time, so a stale or
+    /// mismatched reconstruction can never be laundered into the chunk.
+    fn repair_chunk_from_wal(&self, segment: &str, chunk: &str) -> bool {
+        let Ok(chunks) = self.lts.chunk_names(segment) else {
+            return false;
+        };
+        let Some((start, len)) = chunks
+            .iter()
+            .find(|(name, _, _)| name == chunk)
+            .map(|&(_, start, len)| (start, len))
+        else {
+            return false;
+        };
+        let Some(bytes) = self.rebuild_from_wal(segment, start, len) else {
+            return false;
+        };
+        self.lts.repair_chunk(segment, chunk, &bytes).is_ok()
     }
 
     fn build_snapshot(&self) -> ContainerSnapshot {
@@ -1637,6 +1727,19 @@ impl SegmentContainer {
         let mut names: Vec<String> = core.segments.keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// A handle to the container's LTS storage (clones share the quarantine
+    /// set) — what the background scrubber walks.
+    pub fn lts_storage(&self) -> ChunkedSegmentStorage {
+        self.inner.lts.clone()
+    }
+
+    /// Rebuilds the logical bytes `[start, start + len)` of `segment` from
+    /// the retained WAL — the scrubber's repair source. `None` when the WAL
+    /// no longer retains the whole range.
+    pub fn rebuild_chunk_bytes(&self, segment: &str, start: u64, len: u64) -> Option<Vec<u8>> {
+        self.inner.rebuild_from_wal(segment, start, len)
     }
 
     /// Stops the container: drains the pipeline and joins threads.

@@ -121,23 +121,35 @@ impl DataFrameBuilder {
     }
 
     /// Seals the frame (header backfill, no payload copy) and resets the
-    /// builder. Returns `None` if empty.
-    pub fn seal_frame(&mut self) -> Option<Bytes> {
+    /// builder. Returns `Ok(None)` if empty.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] if the internal buffer is shorter than the reserved
+    /// header — builder state corruption. CRC-ing a guessed payload here
+    /// would produce a frame that decodes cleanly to the wrong bytes, so a
+    /// short buffer must surface as an error, never be papered over.
+    pub fn seal_frame(&mut self) -> Result<Option<Bytes>, DecodeError> {
         if self.is_empty() {
-            return None;
+            return Ok(None);
         }
         let ops = self.ops;
         let mut frame = std::mem::replace(&mut self.buf, fresh_frame_buf());
         self.ops = 0;
         self.first_seq = None;
         self.last_seq = None;
-        let crc = crc32c(frame.get(FRAME_HEADER_BYTES..).unwrap_or(&[]));
+        let Some(payload) = frame.get(FRAME_HEADER_BYTES..) else {
+            return Err(DecodeError::new(
+                "frame buffer shorter than its header: builder state corrupt",
+            ));
+        };
+        let crc = crc32c(payload);
         let payload_len = frame.len().saturating_sub(FRAME_HEADER_BYTES);
         put_u32_at(&mut frame, 0, FRAME_MAGIC);
         put_u32_at(&mut frame, 4, ops);
         put_u32_at(&mut frame, 8, crc);
         put_u32_at(&mut frame, 12, payload_len as u32);
-        Some(frame.freeze())
+        Ok(Some(frame.freeze()))
     }
 }
 
@@ -193,7 +205,7 @@ mod tests {
             b.push_op(i, &sample_op(i));
         }
         assert_eq!(b.op_count(), 10);
-        let frame = b.seal_frame().unwrap();
+        let frame = b.seal_frame().unwrap().unwrap();
         assert!(b.is_empty());
         let items = decode_frame(&frame).unwrap();
         assert_eq!(items.len(), 10);
@@ -206,7 +218,7 @@ mod tests {
     #[test]
     fn empty_builder_seals_to_none() {
         let mut b = DataFrameBuilder::new(1024);
-        assert!(b.seal_frame().is_none());
+        assert!(b.seal_frame().unwrap().is_none());
     }
 
     #[test]
@@ -221,7 +233,7 @@ mod tests {
     fn corrupt_frame_detected() {
         let mut b = DataFrameBuilder::new(1024);
         b.push_op(0, &sample_op(0));
-        let frame = b.seal_frame().unwrap();
+        let frame = b.seal_frame().unwrap().unwrap();
         let mut bad = frame.to_vec();
         let last = bad.len() - 1;
         bad[last] ^= 0xff;

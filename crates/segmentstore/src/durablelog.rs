@@ -27,6 +27,7 @@ use pravega_wal::log::{DurableDataLog, LogAddress};
 
 use crate::dataframe::{batch_delay, DataFrameBuilder};
 use crate::error::SegmentError;
+use crate::metadata::ContainerSnapshot;
 use crate::operations::Operation;
 
 /// What an acknowledged operation reports back to the caller.
@@ -68,7 +69,14 @@ struct FrameRecord {
     addr: LogAddress,
     /// Highest append end-offset per segment in this frame.
     append_ends: Vec<(String, u64)>,
-    has_checkpoint: bool,
+    /// Highest operation sequence number in this frame.
+    last_seq: u64,
+    /// For a frame carrying a metadata checkpoint: the `applied_seq` its
+    /// snapshot covers. An op can be sequenced between the snapshot build
+    /// and the checkpoint enqueue; its frame precedes the checkpoint frame
+    /// in the WAL yet its effects are NOT in the snapshot, so truncation
+    /// must keep every frame with ops above this bound.
+    checkpoint_covers: Option<u64>,
 }
 
 struct CommitBatch {
@@ -255,7 +263,12 @@ impl DurableLog {
     ) -> Result<usize, SegmentError> {
         let cut_addr = {
             let frames = self.shared.frames.lock();
-            let Some(cp_idx) = frames.iter().rposition(|f| f.has_checkpoint) else {
+            let Some((cp_idx, covers)) = frames
+                .iter()
+                .enumerate()
+                .rev()
+                .find_map(|(i, f)| f.checkpoint_covers.map(|c| (i, c)))
+            else {
                 return Ok(0);
             };
             let mut cut = 0usize;
@@ -264,7 +277,12 @@ impl DurableLog {
                     .append_ends
                     .iter()
                     .all(|(segment, end)| flushed_offset(segment).is_none_or(|fo| *end <= fo));
-                if all_flushed {
+                // `last_seq <= covers` keeps any frame whose ops raced past
+                // the checkpoint's snapshot build (e.g. a seal sequenced
+                // between the snapshot and the checkpoint enqueue): their
+                // effects exist only in these frames until a later
+                // checkpoint covers them.
+                if all_flushed && frame.last_seq <= covers {
                     cut = i + 1;
                 } else {
                     break;
@@ -408,7 +426,24 @@ fn builder_loop(
             }
         }
 
-        let frame = builder.seal_frame().expect("frame has at least one op");
+        let frame = match builder.seal_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => {
+                // A frame that won't seal (empty — can't happen, the loop
+                // pushed at least one op — or a corrupt builder buffer) must
+                // fail the pipeline, never reach the WAL: ack nothing and die
+                // exactly like the crash path above.
+                shared.failed.store(true, Ordering::SeqCst);
+                let _ = commit_tx.send(CommitBatch {
+                    items,
+                    future: pravega_wal::log::AppendFuture::failed(
+                        pravega_wal::error::WalError::Closed,
+                    ),
+                    enqueued_at,
+                });
+                break;
+            }
+        };
         shared.avg_frame_size.lock().record(frame.len() as f64);
         shared.frame_size_hist.record(frame.len() as u64);
         shared
@@ -495,9 +530,11 @@ fn commit_loop(
                     .record(latency.as_secs_f64());
                 shared.wal_latency_nanos.record(latency.as_nanos() as u64);
                 let mut append_ends: Vec<(String, u64)> = Vec::new();
-                let mut has_checkpoint = false;
+                let mut last_seq = 0u64;
+                let mut checkpoint_covers: Option<u64> = None;
                 for item in &batch.items {
                     sink.apply(item.seq, &item.op);
+                    last_seq = last_seq.max(item.seq);
                     match &item.op {
                         Operation::Append {
                             segment,
@@ -511,14 +548,21 @@ fn commit_loop(
                                 None => append_ends.push((segment.clone(), end)),
                             }
                         }
-                        Operation::MetadataCheckpoint { .. } => has_checkpoint = true,
+                        Operation::MetadataCheckpoint { snapshot } => {
+                            // An undecodable snapshot covers nothing: every
+                            // earlier frame stays retained (conservative).
+                            let covers = ContainerSnapshot::applied_seq_of(snapshot).unwrap_or(0);
+                            checkpoint_covers =
+                                Some(checkpoint_covers.map_or(covers, |c| c.max(covers)));
+                        }
                         _ => {}
                     }
                 }
                 shared.frames.lock().push_back(FrameRecord {
                     addr,
                     append_ends,
-                    has_checkpoint,
+                    last_seq,
+                    checkpoint_covers,
                 });
                 for item in batch.items {
                     shared.queued_ops.fetch_sub(1, Ordering::Relaxed);
@@ -722,7 +766,13 @@ mod tests {
         log.enqueue(EnqueuedOp {
             seq: 4,
             op: Operation::MetadataCheckpoint {
-                snapshot: Bytes::from_static(b"snap"),
+                // A snapshot covering ops 0..=3 (truncation compares frame
+                // sequence numbers against this bound).
+                snapshot: ContainerSnapshot {
+                    applied_seq: 3,
+                    segments: Vec::new(),
+                }
+                .encode(),
             },
             completer: Some(c),
             ack: OpAck::Done,
@@ -747,6 +797,80 @@ mod tests {
         assert_eq!(dropped, 2);
         assert_eq!(log.retained_frames(), 1);
         assert_eq!(wal.len(), 1, "only the checkpoint frame is retained");
+        log.stop();
+    }
+
+    /// Regression: an op sequenced between a checkpoint's snapshot build and
+    /// the checkpoint enqueue lands in an earlier WAL frame than the
+    /// checkpoint, yet its effects are NOT in the snapshot. Truncating that
+    /// frame (a seal has no append ends, so the flush test is vacuous) used
+    /// to silently lose the op across recovery.
+    #[test]
+    fn truncation_keeps_frames_the_checkpoint_snapshot_does_not_cover() {
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        let log = DurableLog::start(
+            wal.clone(),
+            sink,
+            DurableLogConfig {
+                max_frame_bytes: 1,
+                max_batch_delay: Duration::ZERO,
+                ..DurableLogConfig::default()
+            },
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
+        let mut wait_all = Vec::new();
+        for seq in 0..2u64 {
+            let (c, p) = promise();
+            log.enqueue(EnqueuedOp {
+                seq,
+                op: append_op(seq),
+                completer: Some(c),
+                ack: OpAck::Done,
+            })
+            .unwrap();
+            wait_all.push(p);
+        }
+        // The racing seal: sequenced after the snapshot was built (it covers
+        // only ops 0..=1) but before the checkpoint op.
+        let (c, p) = promise();
+        log.enqueue(EnqueuedOp {
+            seq: 2,
+            op: Operation::Seal {
+                segment: "s".into(),
+            },
+            completer: Some(c),
+            ack: OpAck::Done,
+        })
+        .unwrap();
+        wait_all.push(p);
+        let (c, p) = promise();
+        log.enqueue(EnqueuedOp {
+            seq: 3,
+            op: Operation::MetadataCheckpoint {
+                snapshot: ContainerSnapshot {
+                    applied_seq: 1,
+                    segments: Vec::new(),
+                }
+                .encode(),
+            },
+            completer: Some(c),
+            ack: OpAck::Done,
+        })
+        .unwrap();
+        wait_all.push(p);
+        for p in wait_all {
+            p.wait().unwrap().unwrap();
+        }
+        assert_eq!(log.retained_frames(), 4);
+
+        // Everything flushed — but the seal frame (seq 2 > covers 1) and the
+        // checkpoint frame must both survive; only the covered appends go.
+        let dropped = log.truncate_flushed(|_| Some(1_000)).unwrap();
+        assert_eq!(dropped, 2, "only the snapshot-covered append frames go");
+        assert_eq!(log.retained_frames(), 2);
+        assert_eq!(wal.len(), 2, "the uncovered seal frame is retained");
         log.stop();
     }
 

@@ -101,6 +101,13 @@ impl ContainerSnapshot {
         buf.freeze()
     }
 
+    /// Reads the `applied_seq` a snapshot encoding covers without decoding
+    /// the whole snapshot (it is the leading u64 — see
+    /// [`ContainerSnapshot::encode`]).
+    pub(crate) fn applied_seq_of(data: &Bytes) -> Option<u64> {
+        Some(u64::from_be_bytes(data.get(..8)?.try_into().ok()?))
+    }
+
     /// Decodes a snapshot.
     ///
     /// # Errors

@@ -34,7 +34,15 @@ pub(crate) fn start_flusher(inner: Arc<ContainerInner>) -> Result<JoinHandle<()>
                     inner.metrics.flush_errors.inc();
                     inner.metrics.last_flush_error.set(e.to_string());
                 }
-                std::thread::sleep(inner.config.flush_interval);
+                // Sleep in short slices so a stopping container joins its
+                // flusher promptly even under a long flush interval.
+                let mut remaining = inner.config.flush_interval;
+                const SLICE: Duration = Duration::from_millis(10);
+                while !remaining.is_zero() && !inner.stopped.load(Ordering::SeqCst) {
+                    let nap = remaining.min(SLICE);
+                    std::thread::sleep(nap);
+                    remaining -= nap;
+                }
             }
         })
         .map_err(|e| SegmentError::Internal(format!("spawn storage writer: {e}")))

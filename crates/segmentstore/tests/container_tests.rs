@@ -407,6 +407,192 @@ fn reads_are_served_from_lts_after_eviction() {
     c.stop();
 }
 
+/// Chunk storage that refuses to materialize chunks of segments named
+/// `pin*`: the pinned segment never flushes, so the WAL retains every frame
+/// from its first append onward (truncation stops at the first unflushed
+/// frame) — a deterministic window where tiered data still has its WAL
+/// repair source.
+#[derive(Debug)]
+struct PinningChunkStorage {
+    inner: Arc<InMemoryChunkStorage>,
+}
+
+impl pravega_lts::ChunkStorage for PinningChunkStorage {
+    fn create(&self, name: &str) -> Result<(), pravega_lts::LtsError> {
+        if name.starts_with("pin") {
+            return Err(pravega_lts::LtsError::Unavailable);
+        }
+        self.inner.create(name)
+    }
+    fn write(&self, name: &str, offset: u64, data: &[u8]) -> Result<(), pravega_lts::LtsError> {
+        if name.starts_with("pin") {
+            return Err(pravega_lts::LtsError::Unavailable);
+        }
+        self.inner.write(name, offset, data)
+    }
+    fn read(&self, name: &str, offset: u64, len: usize) -> Result<Bytes, pravega_lts::LtsError> {
+        self.inner.read(name, offset, len)
+    }
+    fn length(&self, name: &str) -> Result<u64, pravega_lts::LtsError> {
+        self.inner.length(name)
+    }
+    fn seal(&self, name: &str) -> Result<(), pravega_lts::LtsError> {
+        self.inner.seal(name)
+    }
+    fn delete(&self, name: &str) -> Result<(), pravega_lts::LtsError> {
+        self.inner.delete(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        self.inner.exists(name)
+    }
+    fn truncate(&self, name: &str, len: u64) -> Result<(), pravega_lts::LtsError> {
+        self.inner.truncate(name, len)
+    }
+}
+
+#[test]
+fn corrupt_lts_chunk_is_repaired_from_retained_wal_on_read() {
+    // Tiny cache (reads must go to LTS); the pinned segment keeps the WAL
+    // from truncating past its first frame, so every acked op stays
+    // retained — the repair source.
+    let mut config = quick_config();
+    config.cache = CacheConfig {
+        block_size: 64,
+        blocks_per_buffer: 8,
+        max_buffers: 4,
+    };
+    config.cache_high_watermark = 0.5;
+    let chunks = Arc::new(InMemoryChunkStorage::new());
+    let c = SegmentContainer::start(
+        ContainerId(0),
+        Arc::new(InMemoryLog::new()),
+        lts_over(Arc::new(PinningChunkStorage {
+            inner: chunks.clone(),
+        })),
+        Arc::new(SystemClock::new()),
+        config,
+    )
+    .unwrap();
+    let w = WriterId::random();
+    // The pin append rides in the earliest WAL frame: truncation can never
+    // advance past it.
+    c.create_segment("pin", false).unwrap();
+    c.append("pin", Bytes::from(vec![0xAA; 10]), w, 0, 1, None)
+        .wait()
+        .unwrap();
+    c.create_segment("seg", false).unwrap();
+    let mut expected = Vec::new();
+    for i in 0..60u8 {
+        let payload = vec![i; 100];
+        expected.extend_from_slice(&payload);
+        c.append("seg", Bytes::from(payload), w, i as i64 + 1, 1, None)
+            .wait()
+            .unwrap();
+    }
+    // Wait until everything except the pinned append has tiered.
+    for _ in 0..500 {
+        if c.unflushed_bytes() <= 10 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(c.unflushed_bytes(), 10, "only the pinned append may remain");
+    // Silently rot every stored chunk: one flipped bit each, inside the
+    // first block's payload.
+    let names = chunks.chunk_names();
+    assert!(!names.is_empty());
+    for name in &names {
+        assert!(chunks.flip_bit(name, 10, 0x04));
+    }
+    // Every read must return exactly the acked bytes: LTS fetches detect
+    // the rot, rebuild the chunk from the retained WAL, and retry. A read
+    // that returned garbage (or a DataLoss error) fails the test.
+    let mut got = Vec::new();
+    let mut offset = 0u64;
+    while got.len() < expected.len() {
+        let r = c.read("seg", offset, 999, None).unwrap();
+        assert!(!r.data.is_empty(), "unexpected empty read at {offset}");
+        got.extend_from_slice(&r.data);
+        offset += r.data.len() as u64;
+    }
+    assert_eq!(got, expected);
+    // Repair lifts the quarantine; nothing stays fenced off.
+    assert!(c.lts_storage().quarantined_chunks().is_empty());
+    c.stop();
+}
+
+#[test]
+fn corrupt_chunk_beyond_wal_retention_is_typed_data_loss_never_garbage() {
+    // Normal checkpointing: the WAL truncates once data tiers, so a rotten
+    // chunk has no repair source left.
+    let mut config = quick_config();
+    config.cache = CacheConfig {
+        block_size: 64,
+        blocks_per_buffer: 8,
+        max_buffers: 4,
+    };
+    config.cache_high_watermark = 0.5;
+    let chunks = Arc::new(InMemoryChunkStorage::new());
+    let c = SegmentContainer::start(
+        ContainerId(0),
+        Arc::new(InMemoryLog::new()),
+        lts_over(chunks.clone()),
+        Arc::new(SystemClock::new()),
+        config,
+    )
+    .unwrap();
+    c.create_segment("seg", false).unwrap();
+    let w = WriterId::random();
+    let mut expected = Vec::new();
+    for i in 0..100u8 {
+        let payload = vec![i; 100];
+        expected.extend_from_slice(&payload);
+        c.append("seg", Bytes::from(payload), w, i as i64, 1, None)
+            .wait()
+            .unwrap();
+    }
+    for _ in 0..500 {
+        if c.unflushed_bytes() == 0 && c.retained_wal_frames() <= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(c.unflushed_bytes(), 0);
+    for name in chunks.chunk_names() {
+        assert!(chunks.flip_bit(&name, 10, 0x04));
+    }
+    // The integrity contract: every read returns either exactly the acked
+    // bytes (cache) or a typed DataLoss error (unrepairable LTS rot) —
+    // never silently wrong bytes, never a panic.
+    let mut got = Vec::new();
+    let mut offset = 0u64;
+    let mut saw_data_loss = false;
+    while got.len() < expected.len() {
+        match c.read("seg", offset, 999, None) {
+            Ok(r) => {
+                assert!(!r.data.is_empty(), "unexpected empty read at {offset}");
+                assert_eq!(
+                    r.data.as_ref(),
+                    &expected[offset as usize..offset as usize + r.data.len()],
+                    "read returned bytes differing from what was acked"
+                );
+                got.extend_from_slice(&r.data);
+                offset += r.data.len() as u64;
+            }
+            Err(SegmentError::Lts(pravega_lts::LtsError::DataLoss { .. })) => {
+                saw_data_loss = true;
+                break;
+            }
+            Err(e) => panic!("expected DataLoss or correct bytes, got {e:?}"),
+        }
+    }
+    assert!(
+        saw_data_loss || got == expected,
+        "reads must end in typed data loss or return every acked byte"
+    );
+    c.stop();
+}
+
 #[test]
 fn container_recovers_from_wal_after_crash() {
     let wal = Arc::new(InMemoryLog::new());

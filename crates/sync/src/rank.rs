@@ -34,6 +34,11 @@ pub const CLIENT_WRITER: LockRank = LockRank::new(120, "client.writer");
 pub const CORE_CLUSTER_STORES: LockRank = LockRank::new(140, "core.cluster.stores");
 /// Cluster's container → host assignment map.
 pub const CORE_CLUSTER_ASSIGNMENT: LockRank = LockRank::new(150, "core.cluster.assignment");
+/// Cluster's list of per-container WAL logs (WAL scrub walks it). Leaf-ish:
+/// appended to from the container factory, which may run under store locks.
+pub const CORE_CLUSTER_WAL_LOGS: LockRank = LockRank::new(935, "core.cluster.wal_logs");
+/// Cluster's background-scrubber handle (taken once at shutdown).
+pub const CORE_CLUSTER_SCRUBBER: LockRank = LockRank::new(940, "core.cluster.scrubber");
 
 // ── controller band ─────────────────────────────────────────────────────────
 /// Auto-scaler per-stream heat state; held across scale_stream calls that
@@ -98,6 +103,8 @@ pub const LTS_CHUNK_SEALED: LockRank = LockRank::new(610, "lts.chunk.sealed");
 pub const LTS_CHUNK_LENGTHS: LockRank = LockRank::new(620, "lts.chunk.lengths");
 /// In-memory chunk store map (innermost chunk backend).
 pub const LTS_CHUNKS: LockRank = LockRank::new(630, "lts.chunks");
+/// Quarantine set of chunks that failed checksum verification.
+pub const LTS_QUARANTINE: LockRank = LockRank::new(640, "lts.quarantine");
 /// LTS metadata store record map.
 pub const LTS_METADATA: LockRank = LockRank::new(650, "lts.metadata");
 

@@ -128,6 +128,91 @@ impl MemBookie {
             Err(BookieError::Unavailable)
         }
     }
+
+    /// Ledger ids currently stored on this bookie (scrubber enumeration).
+    pub fn ledger_ids(&self) -> Vec<LedgerId> {
+        self.state.lock().ledgers.keys().copied().collect()
+    }
+
+    /// Entry ids stored for `ledger`, in order (scrubber enumeration).
+    pub fn entry_ids(&self, ledger: LedgerId) -> Vec<u64> {
+        self.state
+            .lock()
+            .ledgers
+            .get(&ledger)
+            .map(|ls| ls.entries.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Raw stored bytes of an entry — envelope included, availability gate
+    /// bypassed. Scrub and corruption injection both need the bytes as they
+    /// sit on disk, not as a client read would present them.
+    pub fn raw_entry(&self, ledger: LedgerId, entry: u64) -> Option<Bytes> {
+        self.state
+            .lock()
+            .ledgers
+            .get(&ledger)?
+            .entries
+            .get(&entry)
+            .cloned()
+    }
+
+    /// Corruption injection: XORs `mask` into the byte at `offset` of a
+    /// stored entry, behind the system's back. Returns `false` when the
+    /// entry is absent or `offset` is out of range.
+    pub fn flip_entry_bit(&self, ledger: LedgerId, entry: u64, offset: u64, mask: u8) -> bool {
+        let mut state = self.state.lock();
+        let Some(stored) = state
+            .ledgers
+            .get_mut(&ledger)
+            .and_then(|ls| ls.entries.get_mut(&entry))
+        else {
+            return false;
+        };
+        let mut bytes = stored.to_vec();
+        let Some(byte) = bytes.get_mut(offset as usize) else {
+            return false;
+        };
+        *byte ^= mask;
+        *stored = Bytes::from(bytes);
+        true
+    }
+
+    /// Corruption injection: silently drops the last `drop` bytes of a
+    /// stored entry, as a lost tail write would. Returns `false` when the
+    /// entry is absent or shorter than `drop`.
+    pub fn truncate_entry_tail(&self, ledger: LedgerId, entry: u64, drop: u64) -> bool {
+        let mut state = self.state.lock();
+        let Some(stored) = state
+            .ledgers
+            .get_mut(&ledger)
+            .and_then(|ls| ls.entries.get_mut(&entry))
+        else {
+            return false;
+        };
+        let Some(keep) = (stored.len() as u64).checked_sub(drop) else {
+            return false;
+        };
+        let mut bytes = stored.to_vec();
+        bytes.truncate(keep as usize);
+        *stored = Bytes::from(bytes);
+        true
+    }
+
+    /// Scrub repair: overwrites a stored entry with a healthy enveloped
+    /// copy re-replicated from a peer. Creates the entry if the corruption
+    /// was a lost index record. Fencing is not consulted: the caller has
+    /// already verified `stored` against the acked checksum, and restoring
+    /// byte-identical acked data is fence-neutral.
+    pub fn overwrite_entry(&self, ledger: LedgerId, entry: u64, stored: Bytes) {
+        let mut state = self.state.lock();
+        state
+            .ledgers
+            .entry(ledger)
+            .or_default()
+            .entries
+            .insert(entry, stored);
+    }
 }
 
 impl Bookie for MemBookie {
@@ -218,6 +303,38 @@ impl Bookie for MemBookie {
     }
 }
 
+/// Wraps an entry payload in the stored-entry envelope
+/// `[u32 len][u32 crc32c(payload)][payload]`.
+///
+/// The ledger layer wraps every payload once before replication, so all
+/// replicas hold identical enveloped bytes and any replica's copy can be
+/// verified — and compared against its peers — without consulting the
+/// others.
+pub fn encode_entry_envelope(data: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(data.len() + 8);
+    buf.put_u32(data.len() as u32);
+    buf.put_u32(crc32c(data));
+    buf.put_slice(data);
+    buf.freeze()
+}
+
+/// Verifies and strips a stored-entry envelope, returning the payload.
+/// `None` means the stored bytes are corrupt: torn, truncated, or failing
+/// the checksum.
+pub fn decode_entry_envelope(stored: &Bytes) -> Option<Bytes> {
+    let mut buf = stored.clone();
+    if buf.remaining() < 8 {
+        return None;
+    }
+    let len = buf.get_u32() as usize;
+    let crc = buf.get_u32();
+    if buf.remaining() != len {
+        return None;
+    }
+    let payload = buf.split_to(len);
+    (crc32c(&payload) == crc).then_some(payload)
+}
+
 fn encode_journal_add(ledger: LedgerId, entry: u64, data: &Bytes) -> Bytes {
     let mut buf = BytesMut::with_capacity(data.len() + 28);
     buf.put_u8(b'A');
@@ -301,7 +418,10 @@ impl FileBookie {
                     }
                     let data = buf.split_to(len);
                     if crc32c(&data) != crc {
-                        return Err(BookieError::Io("journal crc mismatch".into()));
+                        return Err(BookieError::EntryCorrupt {
+                            ledger: ledger.0,
+                            entry,
+                        });
                     }
                     ledgers
                         .entry(ledger)
@@ -510,6 +630,92 @@ mod tests {
         assert_eq!(b.fence(LedgerId(1), 1), Err(BookieError::Unavailable));
         b.set_available(true);
         b.add_entry(LedgerId(1), 0, 0, Bytes::new()).unwrap();
+    }
+
+    #[test]
+    fn entry_envelope_roundtrip() {
+        let payload = Bytes::from_static(b"acked payload");
+        let stored = encode_entry_envelope(&payload);
+        assert_eq!(stored.len(), payload.len() + 8);
+        assert_eq!(decode_entry_envelope(&stored).unwrap(), payload);
+        assert_eq!(
+            decode_entry_envelope(&encode_entry_envelope(b"")).unwrap(),
+            Bytes::new()
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_an_envelope_is_detected() {
+        let stored = encode_entry_envelope(b"every bit matters");
+        for i in 0..stored.len() {
+            for bit in 0..8u8 {
+                let mut rotten = stored.to_vec();
+                rotten[i] ^= 1 << bit;
+                assert!(
+                    decode_entry_envelope(&Bytes::from(rotten)).is_none(),
+                    "flip of byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+        // Torn tails (any strict prefix) are detected too.
+        for keep in 0..stored.len() {
+            assert!(
+                decode_entry_envelope(&stored.slice(0..keep)).is_none(),
+                "torn tail at {keep} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn injection_helpers_mutate_stored_entries() {
+        let b = bookie();
+        let stored = encode_entry_envelope(b"victim");
+        b.add_entry(LedgerId(3), 0, 0, stored.clone()).unwrap();
+        assert_eq!(b.ledger_ids(), vec![LedgerId(3)]);
+        assert_eq!(b.entry_ids(LedgerId(3)), vec![0]);
+        assert_eq!(b.raw_entry(LedgerId(3), 0).unwrap(), stored);
+
+        assert!(b.flip_entry_bit(LedgerId(3), 0, 9, 0x04));
+        assert!(decode_entry_envelope(&b.raw_entry(LedgerId(3), 0).unwrap()).is_none());
+        assert!(!b.flip_entry_bit(LedgerId(3), 0, 10_000, 0x04));
+        assert!(!b.flip_entry_bit(LedgerId(3), 7, 0, 0x04));
+
+        // Repair restores the healthy copy over the rotten one.
+        b.overwrite_entry(LedgerId(3), 0, stored.clone());
+        assert_eq!(b.raw_entry(LedgerId(3), 0).unwrap(), stored);
+
+        assert!(b.truncate_entry_tail(LedgerId(3), 0, 3));
+        assert!(decode_entry_envelope(&b.raw_entry(LedgerId(3), 0).unwrap()).is_none());
+        assert!(!b.truncate_entry_tail(LedgerId(3), 0, 10_000));
+    }
+
+    #[test]
+    fn corrupt_journal_replay_is_typed() {
+        let dir = std::env::temp_dir().join(format!(
+            "pravega-rottenbookie-{}-{}",
+            std::process::id(),
+            rand::random::<u32>()
+        ));
+        let path = {
+            let b = FileBookie::open("fb", &dir, JournalConfig::default()).unwrap();
+            b.add_entry(LedgerId(5), 7, 0, Bytes::from_static(b"soon rotten"))
+                .unwrap();
+            b.journal_path().clone()
+        };
+        // Flip one bit of the journaled payload (the record tail).
+        let mut raw = std::fs::read(&path).unwrap();
+        let at = raw.len() - 3;
+        raw[at] ^= 0x40;
+        std::fs::write(&path, raw).unwrap();
+        let err = FileBookie::open("fb", &dir, JournalConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            BookieError::EntryCorrupt {
+                ledger: 5,
+                entry: 7
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

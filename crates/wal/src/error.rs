@@ -26,6 +26,17 @@ pub enum BookieError {
     /// write and ack). The caller must treat this as a failed add even
     /// though the entry survives on this bookie.
     AckLost,
+    /// A stored entry failed checksum verification: the bytes on this
+    /// bookie differ from what was acknowledged (silent corruption). Unlike
+    /// [`BookieError::Unavailable`], retrying the same replica cannot help —
+    /// the rot is in the data, not the path to it. The quorum layer falls
+    /// back to another replica and re-replicates a healthy copy.
+    EntryCorrupt {
+        /// Ledger holding the corrupt entry.
+        ledger: u64,
+        /// Entry id within the ledger.
+        entry: u64,
+    },
     /// Underlying storage failure.
     Io(String),
 }
@@ -42,6 +53,12 @@ impl fmt::Display for BookieError {
             BookieError::AckLost => {
                 write!(f, "record journaled but the acknowledgement was lost")
             }
+            BookieError::EntryCorrupt { ledger, entry } => {
+                write!(
+                    f,
+                    "entry corrupt: ledger {ledger} entry {entry} failed checksum verification"
+                )
+            }
             BookieError::Io(msg) => write!(f, "bookie io error: {msg}"),
         }
     }
@@ -50,16 +67,18 @@ impl fmt::Display for BookieError {
 impl std::error::Error for BookieError {}
 
 impl RetryClass for BookieError {
-    /// Transient: the bookie being down or an I/O hiccup. Fencing and missing
-    /// ledgers/entries are logical outcomes a retry cannot change.
+    /// Transient: the bookie being down or an I/O hiccup. Fencing, missing
+    /// ledgers/entries and corruption are logical outcomes a retry cannot
+    /// change — re-reading a rotten entry cannot un-rot it.
     fn error_class(&self) -> ErrorClass {
         match self {
             BookieError::Unavailable | BookieError::AckLost | BookieError::Io(_) => {
                 ErrorClass::Transient
             }
-            BookieError::Fenced { .. } | BookieError::NoSuchLedger | BookieError::NoSuchEntry => {
-                ErrorClass::Permanent
-            }
+            BookieError::Fenced { .. }
+            | BookieError::NoSuchLedger
+            | BookieError::NoSuchEntry
+            | BookieError::EntryCorrupt { .. } => ErrorClass::Permanent,
         }
     }
 }
@@ -154,6 +173,11 @@ mod tests {
         assert!(BookieError::Unavailable.is_transient());
         assert!(BookieError::Io("disk".into()).is_transient());
         assert!(!BookieError::NoSuchEntry.is_transient());
+        assert!(!BookieError::EntryCorrupt {
+            ledger: 1,
+            entry: 2
+        }
+        .is_transient());
         assert!(WalError::QuorumLost.is_transient());
         assert!(WalError::Bookie(BookieError::Unavailable).is_transient());
         assert!(!WalError::Fenced.is_transient());

@@ -4,17 +4,18 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
 use bytes::{BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Sender};
 use pravega_common::buf::{get_string, get_u64, get_u8};
 use pravega_common::future::{promise, Completer, Promise};
+use pravega_common::metrics::{Counter, MetricsRegistry};
 use pravega_coordination::CoordinationService;
 use pravega_sync::{rank, Mutex};
 
-use crate::bookie::Bookie;
+use crate::bookie::{decode_entry_envelope, encode_entry_envelope, Bookie};
 use crate::error::{BookieError, WalError};
 
 /// Identifier of a ledger, unique within the cluster.
@@ -394,7 +395,12 @@ impl LedgerWriter {
 
     /// Appends an entry; the promise completes with the entry id once the
     /// entry (and all earlier ones) reach the ack quorum.
+    ///
+    /// The payload is wrapped once in the stored-entry envelope
+    /// ([`encode_entry_envelope`]) before replication, so every replica
+    /// holds identical checksummed bytes.
     pub fn append(&self, data: Bytes) -> Promise<Result<u64, WalError>> {
+        let data = encode_entry_envelope(&data);
         if self.shared.failed.load(Ordering::SeqCst) {
             let err = if self.shared.fenced.load(Ordering::SeqCst) {
                 WalError::Fenced
@@ -483,12 +489,26 @@ impl Drop for LedgerWriter {
 const LEDGER_PREFIX: &str = "/wal/ledgers/";
 const LEDGER_COUNTER: &str = "/wal/ledger-counter";
 
+/// What one ledger scrub pass over an ensemble found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerScrubReport {
+    /// Entry replicas whose stored bytes were verified.
+    pub replicas_checked: u64,
+    /// Replicas whose stored bytes failed envelope verification.
+    pub corrupt: u64,
+    /// Corrupt replicas overwritten with a healthy peer copy.
+    pub repaired: u64,
+}
+
 /// Creates, recovers, reads and deletes ledgers; metadata lives in the
 /// coordination service (as it does in BookKeeper/ZooKeeper).
 #[derive(Debug, Clone)]
 pub struct LedgerManager {
     coord: CoordinationService,
     pool: BookiePool,
+    /// `wal.bookie.entry_corrupt`, shared across clones; unset until
+    /// [`LedgerManager::bind_metrics`].
+    entry_corrupt: Arc<OnceLock<Arc<Counter>>>,
 }
 
 impl LedgerManager {
@@ -497,6 +517,22 @@ impl LedgerManager {
         Self {
             coord: coord.clone(),
             pool: pool.clone(),
+            entry_corrupt: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Registers the `wal.bookie.entry_corrupt` counter on `registry`,
+    /// counting every stored replica that fails envelope verification.
+    /// Shared across clones of this manager.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self
+            .entry_corrupt
+            .set(registry.counter("wal.bookie.entry_corrupt"));
+    }
+
+    fn note_corrupt(&self) {
+        if let Some(c) = self.entry_corrupt.get() {
+            c.inc();
         }
     }
 
@@ -580,23 +616,108 @@ impl LedgerManager {
         LedgerMetadata::decode(&data)
     }
 
-    /// Reads one entry, trying each stripe bookie until one succeeds.
+    /// Reads one entry, trying each stripe bookie until one serves bytes
+    /// that pass envelope verification; returns the verified payload.
+    ///
+    /// A replica whose stored bytes fail verification is never trusted:
+    /// the read falls back to the next replica, and once a healthy copy is
+    /// found its enveloped bytes are re-replicated over every corrupt
+    /// replica encountered — so one rotten disk heals instead of rotting
+    /// further. Restoring byte-identical acked data is fence-neutral, so
+    /// repair presents the maximal token rather than threading the owner's
+    /// token through every read path.
     ///
     /// # Errors
     ///
-    /// [`WalError::Bookie`] if no replica can serve the entry.
+    /// [`WalError::Bookie`] if no replica can serve a verified copy —
+    /// [`BookieError::EntryCorrupt`] when at least one replica held rotten
+    /// bytes and none held healthy ones.
     pub fn read_entry(&self, metadata: &LedgerMetadata, entry: u64) -> Result<Bytes, WalError> {
         let mut last_err = BookieError::NoSuchEntry;
+        let mut corrupt: Vec<Arc<dyn Bookie>> = Vec::new();
         for idx in metadata.stripe_indices(entry) {
             let Some(bookie) = self.pool.get(&metadata.ensemble[idx]) else {
                 continue;
             };
             match bookie.read_entry(metadata.id, entry) {
-                Ok(data) => return Ok(data),
+                Ok(stored) => match decode_entry_envelope(&stored) {
+                    Some(payload) => {
+                        for rotten in corrupt {
+                            let _ = rotten.add_entry(metadata.id, entry, u64::MAX, stored.clone());
+                        }
+                        return Ok(payload);
+                    }
+                    None => {
+                        self.note_corrupt();
+                        last_err = BookieError::EntryCorrupt {
+                            ledger: metadata.id.0,
+                            entry,
+                        };
+                        corrupt.push(bookie);
+                    }
+                },
                 Err(e) => last_err = e,
             }
         }
         Err(WalError::Bookie(last_err))
+    }
+
+    /// Scrubs every stored replica of the ledger's entries: verifies each
+    /// replica's envelope and overwrites corrupt copies with a healthy
+    /// peer's bytes. Open ledgers are scanned up to the highest entry any
+    /// reachable replica reports.
+    pub fn scrub_ledger(&self, metadata: &LedgerMetadata) -> LedgerScrubReport {
+        let mut report = LedgerScrubReport::default();
+        let last = match metadata.state {
+            LedgerState::Closed { last_entry } => last_entry,
+            LedgerState::Open => {
+                let mut last: Option<u64> = None;
+                for bid in &metadata.ensemble {
+                    if let Some(bookie) = self.pool.get(bid) {
+                        if let Ok(Some(e)) = bookie.last_entry(metadata.id) {
+                            last = Some(last.map_or(e, |l| l.max(e)));
+                        }
+                    }
+                }
+                last
+            }
+        };
+        let Some(last) = last else {
+            return report;
+        };
+        for entry in 0..=last {
+            let mut healthy: Option<Bytes> = None;
+            let mut corrupt: Vec<Arc<dyn Bookie>> = Vec::new();
+            for idx in metadata.stripe_indices(entry) {
+                let Some(bookie) = self.pool.get(&metadata.ensemble[idx]) else {
+                    continue;
+                };
+                let Ok(stored) = bookie.read_entry(metadata.id, entry) else {
+                    continue; // down or missing: not this scrub's business
+                };
+                report.replicas_checked += 1;
+                if decode_entry_envelope(&stored).is_some() {
+                    if healthy.is_none() {
+                        healthy = Some(stored);
+                    }
+                } else {
+                    report.corrupt += 1;
+                    self.note_corrupt();
+                    corrupt.push(bookie);
+                }
+            }
+            if let Some(stored) = healthy {
+                for rotten in corrupt {
+                    if rotten
+                        .add_entry(metadata.id, entry, u64::MAX, stored.clone())
+                        .is_ok()
+                    {
+                        report.repaired += 1;
+                    }
+                }
+            }
+        }
+        report
     }
 
     /// Reads all entries of a closed ledger, in order.
@@ -669,13 +790,17 @@ impl LedgerManager {
             // Restore the entry to a full ack quorum under the recovery
             // token (the bookies were just fenced with it, so it passes
             // their check; a concurrent higher-token recovery rejects it).
+            // `read_entry` returned the verified payload, so re-enveloping
+            // here re-replicates known-good bytes — overwriting any replica
+            // whose copy had silently rotted.
+            let stored = encode_entry_envelope(&data);
             let mut replicas = 0usize;
             for idx in metadata.stripe_indices(entry) {
                 let Some(bookie) = self.pool.get(&metadata.ensemble[idx]) else {
                     continue;
                 };
                 if bookie
-                    .add_entry(id, entry, fence_token, data.clone())
+                    .add_entry(id, entry, fence_token, stored.clone())
                     .is_ok()
                 {
                     replicas += 1;
@@ -946,6 +1071,122 @@ mod tests {
         assert_eq!(meta.stripe_indices(0), vec![0, 1]);
         assert_eq!(meta.stripe_indices(1), vec![1, 2]);
         assert_eq!(meta.stripe_indices(2), vec![2, 0]);
+    }
+
+    fn concrete_setup(n: usize) -> (Vec<Arc<MemBookie>>, LedgerManager) {
+        let bookies: Vec<Arc<MemBookie>> = (0..n)
+            .map(|i| Arc::new(MemBookie::new(&format!("b{i}"), JournalConfig::default()).unwrap()))
+            .collect();
+        let pool = BookiePool::new(
+            bookies
+                .iter()
+                .map(|b| b.clone() as Arc<dyn Bookie>)
+                .collect(),
+        );
+        let coord = CoordinationService::new();
+        let mgr = LedgerManager::new(&coord, &pool);
+        (bookies, mgr)
+    }
+
+    #[test]
+    fn read_falls_back_and_repairs_a_corrupt_replica() {
+        let (bookies, mgr) = concrete_setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer
+            .append(Bytes::from_static(b"precious"))
+            .wait()
+            .unwrap()
+            .unwrap();
+        let meta = writer.metadata().clone();
+        let id = meta.id;
+        drop(writer);
+        // Silently rot the first stripe replica's copy (offset 9 lands in
+        // the enveloped payload).
+        assert!(bookies[0].flip_entry_bit(id, 0, 9, 0x01));
+        assert_ne!(bookies[0].raw_entry(id, 0), bookies[1].raw_entry(id, 0));
+        // The read never surfaces rotten bytes — and it heals the replica.
+        assert_eq!(mgr.read_entry(&meta, 0).unwrap().as_ref(), b"precious");
+        assert_eq!(bookies[0].raw_entry(id, 0), bookies[1].raw_entry(id, 0));
+    }
+
+    #[test]
+    fn unrepairable_corruption_is_a_typed_error_not_garbage() {
+        use pravega_common::retry::RetryClass;
+        let (bookies, mgr) = concrete_setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer
+            .append(Bytes::from_static(b"doomed"))
+            .wait()
+            .unwrap()
+            .unwrap();
+        let meta = writer.metadata().clone();
+        let id = meta.id;
+        drop(writer);
+        for b in &bookies {
+            assert!(b.flip_entry_bit(id, 0, 3, 0x80));
+        }
+        let err = mgr.read_entry(&meta, 0).unwrap_err();
+        assert_eq!(
+            err,
+            WalError::Bookie(BookieError::EntryCorrupt {
+                ledger: id.0,
+                entry: 0
+            })
+        );
+        assert!(!err.is_transient(), "corruption must not be retried");
+    }
+
+    #[test]
+    fn scrub_ledger_detects_and_repairs_rotten_replicas() {
+        let (bookies, mgr) = concrete_setup(3);
+        let registry = MetricsRegistry::new();
+        mgr.bind_metrics(&registry);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        for i in 0..5u64 {
+            writer
+                .append(Bytes::from(format!("entry-{i}")))
+                .wait()
+                .unwrap()
+                .unwrap();
+        }
+        let id = writer.metadata().id;
+        let last = writer.close();
+        mgr.close(id, last).unwrap();
+        let meta = mgr.metadata(id).unwrap();
+        assert!(bookies[1].flip_entry_bit(id, 2, 10, 0x20));
+        assert!(bookies[2].truncate_entry_tail(id, 4, 3));
+        let report = mgr.scrub_ledger(&meta);
+        assert_eq!(report.replicas_checked, 15);
+        assert_eq!(report.corrupt, 2);
+        assert_eq!(report.repaired, 2);
+        assert_eq!(registry.counter("wal.bookie.entry_corrupt").get(), 2);
+        // Every replica verifies now: a second pass is clean and reads are
+        // byte-identical to what was acked.
+        assert_eq!(mgr.scrub_ledger(&meta).corrupt, 0);
+        assert_eq!(mgr.read_all(&meta).unwrap()[2].as_ref(), b"entry-2");
+        assert_eq!(mgr.read_all(&meta).unwrap()[4].as_ref(), b"entry-4");
+    }
+
+    #[test]
+    fn recovery_re_replicates_verified_bytes_over_rot() {
+        let (bookies, mgr) = concrete_setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        writer
+            .append(Bytes::from_static(b"a"))
+            .wait()
+            .unwrap()
+            .unwrap();
+        let id = writer.metadata().id;
+        assert!(bookies[0].flip_entry_bit(id, 0, 8, 0x01));
+        let closed = mgr.recover_and_close(id, 2).unwrap();
+        assert_eq!(
+            closed.state,
+            LedgerState::Closed {
+                last_entry: Some(0)
+            }
+        );
+        assert_eq!(bookies[0].raw_entry(id, 0), bookies[1].raw_entry(id, 0));
+        assert_eq!(mgr.read_all(&closed).unwrap()[0].as_ref(), b"a");
     }
 
     #[test]

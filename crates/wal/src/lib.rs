@@ -45,8 +45,8 @@ pub mod journal;
 pub mod ledger;
 pub mod log;
 
-pub use bookie::{Bookie, FileBookie, MemBookie};
+pub use bookie::{decode_entry_envelope, encode_entry_envelope, Bookie, FileBookie, MemBookie};
 pub use error::{BookieError, WalError};
 pub use journal::JournalConfig;
-pub use ledger::{BookiePool, LedgerId, LedgerManager, ReplicationConfig};
+pub use ledger::{BookiePool, LedgerId, LedgerManager, LedgerScrubReport, ReplicationConfig};
 pub use log::{BookkeeperLog, DurableDataLog, InMemoryLog, LogAddress, LogConfig};

@@ -21,7 +21,8 @@ use pravega_sync::{rank, Condvar, Mutex};
 
 use crate::error::WalError;
 use crate::ledger::{
-    BookiePool, LedgerId, LedgerManager, LedgerState, LedgerWriter, ReplicationConfig,
+    BookiePool, LedgerId, LedgerManager, LedgerScrubReport, LedgerState, LedgerWriter,
+    ReplicationConfig,
 };
 
 /// Position of a record in a durable log: `(ledger sequence, entry)`.
@@ -296,6 +297,28 @@ impl BookkeeperLog {
     /// Number of ledgers currently backing the log (exposed for tests).
     pub fn ledger_count(&self) -> usize {
         self.inner.lock().metadata.ledgers.len()
+    }
+
+    /// Registers the `wal.bookie.entry_corrupt` counter on `registry`.
+    pub fn bind_metrics(&self, registry: &pravega_common::metrics::MetricsRegistry) {
+        self.manager.bind_metrics(registry);
+    }
+
+    /// Scrubs every ledger backing this log: verifies all stored entry
+    /// replicas against their envelopes and overwrites corrupt copies with
+    /// a healthy peer's bytes.
+    pub fn scrub_ledgers(&self) -> LedgerScrubReport {
+        let ledgers: Vec<(u64, LedgerId)> = self.inner.lock().metadata.ledgers.clone();
+        let mut total = LedgerScrubReport::default();
+        for (_, id) in ledgers {
+            if let Ok(meta) = self.manager.metadata(id) {
+                let r = self.manager.scrub_ledger(&meta);
+                total.replicas_checked += r.replicas_checked;
+                total.corrupt += r.corrupt;
+                total.repaired += r.repaired;
+            }
+        }
+        total
     }
 }
 

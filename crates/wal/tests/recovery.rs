@@ -54,7 +54,9 @@ fn fixture(n_acked: usize, tail_len: usize, tail_bookie: usize) -> Fixture {
     for p in promises {
         p.wait().unwrap().unwrap();
     }
-    // The sub-quorum tail bypasses the writer: it exists on one bookie only.
+    // The sub-quorum tail bypasses the writer: it exists on one bookie only,
+    // stored as a writer would have stored it — wrapped in the checksummed
+    // entry envelope (a crashed writer wraps before replication).
     let id = writer.metadata().id;
     for t in 0..tail_len {
         bookies[tail_bookie]
@@ -62,7 +64,7 @@ fn fixture(n_acked: usize, tail_len: usize, tail_bookie: usize) -> Fixture {
                 id,
                 (n_acked + t) as u64,
                 WRITER_TOKEN,
-                Bytes::from(format!("tail-{t}")),
+                pravega_wal::bookie::encode_entry_envelope(format!("tail-{t}").as_bytes()),
             )
             .unwrap();
     }

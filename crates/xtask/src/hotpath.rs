@@ -92,6 +92,10 @@ pub const COLD_STOPS: &[&str] = &[
     // Failure teardown: runs once when a writer or pipeline dies.
     "fail_all_pending",
     "fail_batch",
+    // Corruption repair: reached from the cold-read path only after a
+    // checksum mismatch, then replays the retained WAL to rebuild the
+    // chunk. Runs per detected corruption, never per append or per read.
+    "repair_chunk_from_wal",
     // Store session/control-plane dispatch reached from connection_loop;
     // appends re-enter through `append_sessioned`, which is a root.
     "handle_request",

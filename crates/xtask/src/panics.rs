@@ -3,9 +3,9 @@
 //!
 //! Scope ([`SCOPE`]): the framed protocol (`protocol.rs`), the TCP pumps
 //! (`tcp.rs`), the in-process transport (`wire.rs`), the shared buffer
-//! helpers (`buf.rs`), and the two WAL/durable-log frame codecs
-//! (`bookie.rs`, `dataframe.rs`). Within those files, non-test code is
-//! checked for:
+//! helpers (`buf.rs`), the two WAL/durable-log frame codecs (`bookie.rs`,
+//! `dataframe.rs`), and the LTS chunk block/footer codec (`format.rs`).
+//! Within those files, non-test code is checked for:
 //!
 //! * **slice indexing** — `x[..]` / `x[i]` panics on out-of-range input;
 //!   decode paths must use `get(..)` / `split_to` after an explicit length
@@ -38,6 +38,7 @@ pub const SCOPE: &[&str] = &[
     "crates/common/src/buf.rs",
     "crates/wal/src/bookie.rs",
     "crates/segmentstore/src/dataframe.rs",
+    "crates/lts/src/format.rs",
 ];
 
 /// Identifier substrings that mark an arithmetic operand as length-ish.
@@ -306,6 +307,7 @@ mod tests {
     fn scope_is_the_codec_files() {
         assert!(applies(Path::new("crates/common/src/protocol.rs"), false));
         assert!(applies(Path::new("crates/wal/src/bookie.rs"), false));
+        assert!(applies(Path::new("crates/lts/src/format.rs"), false));
         assert!(!applies(Path::new("crates/client/src/writer.rs"), false));
         assert!(applies(Path::new("anything.rs"), true));
     }

@@ -310,3 +310,89 @@ fn tail_read_waits_and_cache_hits_are_observable() {
     );
     cluster.shutdown();
 }
+
+/// The integrity instruments (DESIGN.md §13): scrubbing records scan and
+/// detection counts under `lts.scrub.*`, and a corrupt bookie replica bumps
+/// `wal.bookie.entry_corrupt`. Two clusters because the two injection
+/// surfaces need opposite tiering configs: chunks must be tiered to exist,
+/// entries must *not* be tiered so the WAL still retains them.
+#[test]
+fn scrub_instruments_record_detection_and_repair() {
+    // LTS side: tier, corrupt a stored chunk, scrub.
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(1);
+    config.container.max_flush_bytes = 1024;
+    config.max_chunk_bytes = 4096;
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("scrub-lts");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..100 {
+        writer.write_event("k", &format!("event-{i:03}"));
+    }
+    writer.flush().unwrap();
+    cluster.wait_for_tiering(Duration::from_secs(10)).unwrap();
+
+    let backend = cluster.chunk_backend().expect("in-memory LTS");
+    let victim = backend
+        .chunk_names()
+        .into_iter()
+        .find(|n| n.contains("scrub-lts"))
+        .expect("tiering produced a chunk");
+    assert!(backend.flip_bit(&victim, 6, 0x20));
+    let (report, _) = cluster.scrub_now();
+    assert!(report.corruption_detected >= 1);
+
+    let snap = cluster.metrics().snapshot();
+    assert!(
+        snap.counter("lts.scrub.chunks_scanned").unwrap_or(0) > 0,
+        "chunks_scanned must record the pass\n{snap}"
+    );
+    assert!(
+        snap.counter("lts.scrub.corruption_detected").unwrap_or(0) >= 1,
+        "corruption_detected must record the flip\n{snap}"
+    );
+    let handled = snap.counter("lts.scrub.repaired").unwrap_or(0)
+        + snap.counter("lts.scrub.quarantined").unwrap_or(0);
+    assert!(
+        handled >= 1,
+        "a detected chunk is either repaired or quarantined\n{snap}"
+    );
+    cluster.shutdown();
+
+    // WAL side: keep entries WAL-resident, corrupt one replica, scrub.
+    let mut config = ClusterConfig::default();
+    config.container.flush_interval = Duration::from_secs(3600);
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("scrub-wal");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+    let mut writer = cluster.create_writer(s.clone(), StringSerializer, WriterConfig::default());
+    for i in 0..50 {
+        writer.write_event("k", &format!("event-{i:03}"));
+    }
+    writer.flush().unwrap();
+
+    let bookie = &cluster.mem_bookies()[0];
+    let (ledger, entry) = bookie
+        .ledger_ids()
+        .into_iter()
+        .find_map(|l| bookie.entry_ids(l).first().map(|&e| (l, e)))
+        .expect("acked appends left stored entries");
+    assert!(bookie.flip_entry_bit(ledger, entry, 9, 0x01));
+    let (_, ledgers) = cluster.scrub_now();
+    assert!(ledgers.corrupt >= 1);
+
+    let snap = cluster.metrics().snapshot();
+    assert!(
+        snap.counter("wal.bookie.entry_corrupt").unwrap_or(0) >= 1,
+        "entry_corrupt must record the detection\n{snap}"
+    );
+    cluster.shutdown();
+}
