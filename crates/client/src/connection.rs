@@ -84,3 +84,41 @@ impl<F: Fn() -> Connection + Send + Sync> ConnectionFactory for SingleEndpointFa
 
 /// Boxed factory alias used throughout the client.
 pub type SharedConnectionFactory = Arc<dyn ConnectionFactory>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pravega_common::id::{ScopedStream, SegmentId};
+    use pravega_common::wire::connection_pair;
+    use std::time::Duration;
+
+    /// Regression for the shutdown-path `recv()` audit (`blocking-cycle`
+    /// lint): a client blocked in `Connection::recv` must observe disconnect
+    /// when the server end goes away — e.g. a frontend stopping — instead of
+    /// blocking forever. The watchdog turns a hang into a failure.
+    #[test]
+    fn call_errors_on_disconnect_instead_of_hanging() {
+        let (conn, server) = connection_pair();
+        let client = RpcClient::new(conn);
+        let segment = ScopedStream::new("s", "t")
+            .unwrap()
+            .segment(SegmentId::new(0, 0));
+        let caller = std::thread::spawn(move || client.call(Request::GetSegmentInfo { segment }));
+        // Let the caller block in recv() waiting for a reply, then shut the
+        // server side down without answering.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(server);
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !caller.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "RpcClient::call hung after the server end disconnected"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(matches!(
+            caller.join().unwrap(),
+            Err(ClientError::Disconnected(_))
+        ));
+    }
+}

@@ -102,9 +102,13 @@ impl<T> Promise<T> {
     }
 }
 
+/// A promise carries exactly one completion value, so its channel needs
+/// exactly one slot; the completer never blocks.
+const ONESHOT_CAPACITY: usize = 1;
+
 /// Creates a connected `(completer, promise)` pair.
 pub fn promise<T>() -> (Completer<T>, Promise<T>) {
-    let (tx, rx) = bounded(1);
+    let (tx, rx) = bounded(ONESHOT_CAPACITY);
     (Completer { tx }, Promise { rx })
 }
 

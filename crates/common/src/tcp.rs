@@ -34,7 +34,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::BytesMut;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::protocol::FrameDecoder;
 use crate::wire::{
@@ -42,10 +42,9 @@ use crate::wire::{
     Transport,
 };
 
-/// In-flight messages a connection end will queue before `send` blocks.
-/// Small enough that a stalled peer exerts backpressure quickly, large
-/// enough to keep a pipelining writer's window full.
-pub const SEND_QUEUE_DEPTH: usize = 1024;
+// Historically defined here; now shared with the in-process transport so
+// both exhibit the same backpressure envelope.
+pub use crate::wire::SEND_QUEUE_DEPTH;
 
 /// Bytes pulled from the socket per `read` call.
 const READ_BUF_BYTES: usize = 64 * 1024;
@@ -170,7 +169,10 @@ pub fn connect(addr: SocketAddr) -> std::io::Result<Connection> {
 pub fn connect_stream(stream: TcpStream) -> std::io::Result<Connection> {
     stream.set_nodelay(true)?;
     let (req_tx, req_rx) = bounded::<RequestEnvelope>(SEND_QUEUE_DEPTH);
-    let (rep_tx, rep_rx) = unbounded::<ReplyEnvelope>();
+    // Bounded like the request direction: a client that stops consuming
+    // replies stalls the reader pump, which stops reading the socket and
+    // closes the kernel receive window back to the server (§4).
+    let (rep_tx, rep_rx) = bounded::<ReplyEnvelope>(SEND_QUEUE_DEPTH);
 
     let writer_stream = stream.try_clone()?;
     spawn_named("tcp-cli-writer", move || {

@@ -15,9 +15,17 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::id::{ScopedSegment, WriterId};
+
+/// In-flight messages a connection end will queue before `send` blocks.
+/// Small enough that a stalled peer exerts backpressure quickly, large
+/// enough to keep a pipelining writer's window full. Both the in-process
+/// channel pair and the TCP pumps size their queues from this constant, so
+/// the embedded transport exhibits the same §4 structural backpressure as
+/// the socket path.
+pub const SEND_QUEUE_DEPTH: usize = 1024;
 
 /// A single key/value update against a table segment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -530,10 +538,12 @@ impl ServerTransport for ChannelServerTransport {
 
 /// Creates a connected in-process (client, server) pair, like
 /// `socketpair(2)`. This is the embedded transport every in-process cluster
-/// uses.
+/// uses. Both directions are bounded at [`SEND_QUEUE_DEPTH`] so a stalled
+/// server (or client) pushes back on the sender instead of growing an
+/// unbounded queue — the same backpressure contract as the TCP transport.
 pub fn connection_pair() -> (Connection, ServerEnd) {
-    let (req_tx, req_rx) = unbounded();
-    let (rep_tx, rep_rx) = unbounded();
+    let (req_tx, req_rx) = bounded(SEND_QUEUE_DEPTH);
+    let (rep_tx, rep_rx) = bounded(SEND_QUEUE_DEPTH);
     (
         Connection {
             inner: Arc::new(ChannelTransport {
@@ -580,6 +590,37 @@ mod tests {
             .unwrap();
         let rep = client.recv().unwrap();
         assert!(matches!(rep.reply, Reply::NoSuchSegment));
+    }
+
+    /// Regression test for the unbounded in-process transport: with no
+    /// receiver draining, a sender must block once `SEND_QUEUE_DEPTH`
+    /// messages are queued instead of growing the queue forever. A race can
+    /// only produce a false PASS here (the sender blocking is detected by
+    /// the send thread *not* finishing), never a flaky failure.
+    #[test]
+    fn connection_pair_send_blocks_at_queue_depth() {
+        let (client, _server) = connection_pair();
+        let sender = std::thread::spawn(move || {
+            for id in 0..=SEND_QUEUE_DEPTH as u64 {
+                client
+                    .send(RequestEnvelope {
+                        request_id: id,
+                        request: Request::GetSegmentInfo { segment: seg() },
+                    })
+                    .unwrap();
+            }
+        });
+        // The sender fits SEND_QUEUE_DEPTH messages, then blocks on the
+        // final send because nothing drains the server end.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(
+            !sender.is_finished(),
+            "send() returned {} times with no receiver; the queue is unbounded",
+            SEND_QUEUE_DEPTH + 1
+        );
+        // Drain one message to unblock, then let the thread exit cleanly.
+        let _ = _server.recv().unwrap();
+        sender.join().unwrap();
     }
 
     #[test]

@@ -959,3 +959,42 @@ impl Drop for PravegaCluster {
 pub fn client_err(e: ClientError) -> ClusterError {
     ClusterError::Client(e)
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pravega_client::StringSerializer;
+    use pravega_common::policy::ScalingPolicy;
+
+    /// Regression for the shutdown ordering the `blocking-cycle` lint pins
+    /// end to end: with the transport queues now bounded, `shutdown()` must
+    /// stop frontends and stores in an order that releases each pump's
+    /// sender before joining it. A join-before-release reorder anywhere in
+    /// the chain (frontend, durable log, journal, ledger workers) would hang
+    /// here; the watchdog turns that into a failure.
+    #[test]
+    fn shutdown_completes_promptly_after_client_traffic() {
+        let cluster = PravegaCluster::start(ClusterConfig::default()).unwrap();
+        cluster.create_scope("t").unwrap();
+        let s = ScopedStream::new("t", "s").unwrap();
+        cluster
+            .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+            .unwrap();
+        let mut writer = cluster.create_writer(s, StringSerializer, WriterConfig::default());
+        for i in 0..100 {
+            writer.write_event("k", &format!("event-{i}"));
+        }
+        writer.flush().unwrap();
+        drop(writer);
+        let stopper = std::thread::spawn(move || drop(cluster));
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while !stopper.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "PravegaCluster shutdown deadlocked: a pump was joined before its sender was released"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        stopper.join().unwrap();
+    }
+}

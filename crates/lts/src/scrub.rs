@@ -148,7 +148,7 @@ impl Scrubber {
                 continue; // deleted mid-pass
             };
             for (chunk, start, len) in chunks {
-                if stop.load(Ordering::Relaxed) {
+                if stop.load(Ordering::Acquire) {
                     return report;
                 }
                 match self.storage.verify_chunk(&segment, &chunk) {
@@ -207,7 +207,7 @@ impl Scrubber {
             .spawn(move || {
                 let mut bucket =
                     TokenBucket::new(self.config.bytes_per_sec, self.config.burst_bytes);
-                while !stop_thread.load(Ordering::Relaxed) {
+                while !stop_thread.load(Ordering::Acquire) {
                     let _ = self.pass(Some(&mut bucket), &stop_thread);
                     sleep_interruptible(self.config.pass_interval, &stop_thread);
                 }
@@ -225,7 +225,7 @@ fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
     const SLICE: Duration = Duration::from_millis(10);
     let mut remaining = total;
     while !remaining.is_zero() {
-        if stop.load(Ordering::Relaxed) {
+        if stop.load(Ordering::Acquire) {
             return;
         }
         let nap = remaining.min(SLICE);
@@ -249,7 +249,7 @@ impl ScrubberHandle {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }

@@ -639,6 +639,53 @@ mod tests {
         }
     }
 
+    /// Regression for the shutdown ordering the `blocking-cycle` lint pins:
+    /// `stop()` must take the op sender *before* joining the builder thread
+    /// (whose exit drops `commit_tx`, which in turn lets the commit thread
+    /// drain and exit). Joining a pump first would deadlock with it blocked
+    /// in `recv()` on a channel the joiner still owns; the watchdog turns
+    /// that hang into a failure.
+    #[test]
+    fn stop_with_queued_ops_releases_sender_before_join() {
+        let wal = Arc::new(InMemoryLog::new());
+        let sink = Arc::new(RecordingSink::default());
+        let log = DurableLog::start(
+            wal,
+            sink,
+            DurableLogConfig::default(),
+            &MetricsRegistry::new(),
+        )
+        .unwrap();
+        let mut promises = Vec::new();
+        for seq in 0..50u64 {
+            let (completer, pr) = promise();
+            log.enqueue(EnqueuedOp {
+                seq,
+                op: append_op(seq),
+                completer: Some(completer),
+                ack: OpAck::Appended {
+                    tail: (seq + 1) * 10,
+                },
+            })
+            .unwrap();
+            promises.push(pr);
+        }
+        let stopper = std::thread::spawn(move || log.stop());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !stopper.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "DurableLog::stop deadlocked: joined a pump before releasing the op sender"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        stopper.join().unwrap();
+        // Stop drains: everything enqueued before it was committed and acked.
+        for pr in promises {
+            assert!(matches!(pr.wait(), Ok(Ok(_))));
+        }
+    }
+
     #[test]
     fn ops_commit_in_order_and_ack() {
         let wal = Arc::new(InMemoryLog::new());

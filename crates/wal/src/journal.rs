@@ -343,4 +343,36 @@ mod tests {
         drop(j);
         let _ = sync_count; // journal thread joined cleanly
     }
+
+    /// Regression for the shutdown ordering the `blocking-cycle` lint pins:
+    /// `Drop` must release `tx` *before* joining the journal thread, so the
+    /// recv loop sees disconnect once the queue drains. Joining first would
+    /// deadlock forever (the thread blocks in `recv()` on a channel the
+    /// joiner still owns); the watchdog turns that hang into a failure.
+    #[test]
+    fn drop_with_queued_appends_releases_sender_before_join() {
+        let j = Journal::start(
+            Box::new(MemSink::new(Duration::from_millis(1))),
+            JournalConfig::default(),
+        )
+        .unwrap();
+        let mut pending = Vec::new();
+        for _ in 0..32 {
+            pending.push(j.append_async(Bytes::from_static(b"queued")));
+        }
+        let dropper = thread::spawn(move || drop(j));
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !dropper.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "Journal::drop deadlocked: joined the journal thread before releasing tx"
+            );
+            thread::sleep(Duration::from_millis(5));
+        }
+        dropper.join().unwrap();
+        // The queue was drained (not abandoned) before the thread exited.
+        for p in pending {
+            assert!(matches!(p.wait(), Ok(Ok(()))));
+        }
+    }
 }

@@ -857,6 +857,35 @@ mod tests {
         (coord, pool, mgr)
     }
 
+    /// Regression for the shutdown ordering the `blocking-cycle` lint pins:
+    /// `shutdown()` must take every worker `tx` *before* joining the worker
+    /// threads (and only then join the ack collector, whose channel closes
+    /// when the last worker drops its `ack_tx` clone). Joining first would
+    /// deadlock with workers blocked in `recv()`; the watchdog turns that
+    /// hang into a failure.
+    #[test]
+    fn close_with_inflight_appends_releases_senders_before_join() {
+        let (_c, _p, mgr) = setup(3);
+        let writer = mgr.create(ReplicationConfig::default(), 1).unwrap();
+        let pending: Vec<_> = (0..64u64)
+            .map(|i| writer.append(Bytes::from(format!("inflight-{i}"))))
+            .collect();
+        let closer = std::thread::spawn(move || writer.close());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while !closer.is_finished() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "LedgerWriter::close deadlocked: joined workers before releasing their senders"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // In-flight appends were waited for, so every entry confirmed.
+        assert_eq!(closer.join().unwrap(), Some(63));
+        for p in pending {
+            assert!(matches!(p.wait(), Ok(Ok(_))));
+        }
+    }
+
     #[test]
     fn append_confirms_in_order_and_reads_back() {
         let (_c, _p, mgr) = setup(3);

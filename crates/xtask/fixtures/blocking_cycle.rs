@@ -1,0 +1,40 @@
+//! Fixture: `blocking-cycle` — `stop()` joins the pump thread while `self`
+//! still owns the sender the pump's `recv()` is parked on. The pump never
+//! sees a disconnect, so the join never returns: a two-thread deadlock the
+//! unified blocking graph reports as join + recv-empty cycle.
+
+use crossbeam::channel::{bounded, Sender};
+use std::thread::JoinHandle;
+
+const QUEUE_DEPTH: usize = 8;
+
+pub struct Pumped {
+    tx: Option<Sender<u64>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Pumped {
+    pub fn start() -> Option<Pumped> {
+        let (tx, rx) = bounded(QUEUE_DEPTH);
+        let handle = std::thread::Builder::new()
+            .name("fixture-pump".into())
+            .spawn(move || {
+                while let Ok(v) = rx.recv() {
+                    let _ = v;
+                }
+            })
+            .ok()?;
+        Some(Pumped {
+            tx: Some(tx),
+            handle: Some(handle),
+        })
+    }
+
+    pub fn stop(&mut self) {
+        // BUG: `self.tx` is still alive across the join, so the pump's
+        // recv() can never disconnect. The fix is `self.tx.take();` first.
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

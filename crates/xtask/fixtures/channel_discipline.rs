@@ -1,0 +1,17 @@
+//! Fixture: `channel-discipline` — one unbounded queue and one magic-number
+//! capacity, each a violation; the named-constant channel shows the
+//! compliant shape the rule (and the DESIGN.md capacity table) expects.
+
+use crossbeam::channel::{bounded, unbounded};
+
+const REPLY_DEPTH: usize = 32;
+
+pub fn build_queues() {
+    // Compliant: bounded with a named constant.
+    let (good_tx, good_rx) = bounded::<u64>(REPLY_DEPTH);
+    // Violation: unbounded queue with no allowlist justification.
+    let (evt_tx, evt_rx) = unbounded::<u64>();
+    // Violation: bounded, but the capacity is a magic number.
+    let (raw_tx, raw_rx) = bounded::<u64>(64);
+    drop((good_tx, good_rx, evt_tx, evt_rx, raw_tx, raw_rx));
+}

@@ -1,0 +1,14 @@
+//! Fixture: `relaxed-atomics` — a `Relaxed` store on a stop flag publishes
+//! state to the thread that observes it, so it needs Release/Acquire; the
+//! `fetch_add` counter below is the exempt counterexample the rule must
+//! leave alone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn shut_down(running: &AtomicBool, ops_count: &AtomicU64) {
+    // Violation: a flag is not a counter; observers may see stale guarded
+    // state if this store is Relaxed.
+    running.store(false, Ordering::Relaxed);
+    // Exempt: an RMW accumulator with a counter-named receiver.
+    ops_count.fetch_add(1, Ordering::Relaxed);
+}

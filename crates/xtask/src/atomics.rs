@@ -1,0 +1,198 @@
+//! `relaxed-atomics`: `Ordering::Relaxed` is only sound when the atomic is
+//! a pure statistic — nothing else is published or consumed on the strength
+//! of the value. Used on a flag that gates visibility of other writes (a
+//! stop flag, a "ready" latch, a fence substitute), `Relaxed` lets the
+//! compiler and CPU reorder the guarded accesses right past it.
+//!
+//! The rule flags every `Ordering::Relaxed` (or bare `Relaxed` argument to
+//! an atomic op) unless the site is recognizably a counter:
+//!
+//! - read-modify-write accumulators (`fetch_add`/`fetch_sub`/`fetch_min`/
+//!   `fetch_max`), which are atomic regardless of ordering;
+//! - receivers whose name says "statistic" (`count`, `bytes`, `total`, …);
+//! - files ending in `metrics.rs`, which exist to hold counters;
+//! - `#[test]` code.
+//!
+//! Anything else needs a per-entry allowlist justification explaining why
+//! relaxed visibility cannot break an observer.
+
+use crate::guards;
+use crate::lexer::{lex, Token, TokenKind};
+use std::path::Path;
+
+/// Substrings that mark a receiver name as a pure statistic.
+const COUNTER_WORDS: &[&str] = &[
+    "count", "counter", "bytes", "ops", "seq", "next", "total", "token", "hits", "misses", "id",
+    "epoch", "gen", "tick",
+];
+
+/// Atomic RMW accumulators: safe under any ordering for counting purposes.
+const RMW_ACCUMULATORS: &[&str] = &["fetch_add", "fetch_sub", "fetch_min", "fetch_max"];
+
+fn is_counter_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    COUNTER_WORDS.iter().any(|w| lower.contains(w))
+}
+
+/// A flagged `Relaxed` site.
+pub struct RelaxedSite {
+    pub line: u32,
+    pub col: u32,
+    /// The atomic method the ordering was passed to, if identifiable.
+    pub method: String,
+    /// The receiver chain (`self.stop` → "self.stop"), if identifiable.
+    pub receiver: String,
+}
+
+/// Scans one file for non-counter `Relaxed` orderings.
+pub fn scan_file(rel: &Path, text: &str) -> Vec<RelaxedSite> {
+    let name = rel
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    if name.ends_with("metrics.rs") {
+        return Vec::new();
+    }
+    let toks = lex(text);
+    let sig: Vec<&Token<'_>> = toks.iter().filter(|t| !t.is_trivia()).collect();
+    let test_ranges = guards::collect_test_ranges(&sig);
+    let mut out = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text != "Relaxed" {
+            continue;
+        }
+        if test_ranges.iter().any(|&(s, e)| i >= s && i < e) {
+            continue;
+        }
+        // `Relaxed` may appear as `Ordering::Relaxed`, `atomic::Ordering::
+        // Relaxed`, or bare via a `use`. Reject matches that are part of a
+        // *definition* (`enum Ordering { Relaxed, … }` is vendored code the
+        // tree scan never sees, but be safe about pattern arms).
+        if sig.get(i + 1).is_some_and(|n| n.text == "=")
+            && sig.get(i + 2).is_some_and(|n| n.text == ">")
+        {
+            continue; // `Relaxed => …` match arm
+        }
+        // Walk back over the `Ordering::` path to the call argument list.
+        let mut k = i;
+        while k >= 3
+            && sig[k - 1].text == ":"
+            && sig[k - 2].text == ":"
+            && sig[k - 3].kind == TokenKind::Ident
+        {
+            k -= 3;
+        }
+        // Find the method this ordering is an argument of: scan back for
+        // the unbalanced `(` and take the ident before it. Works across
+        // lines and through other arguments (e.g. `store(true, Relaxed)`,
+        // `fetch_update(Relaxed, Relaxed, |v| …)`).
+        let mut depth = 0i32;
+        let mut method = String::new();
+        let mut open = None;
+        let mut j = k;
+        while j > 0 {
+            j -= 1;
+            match sig[j].text {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    if depth == 0 {
+                        open = Some(j);
+                        break;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+        }
+        let mut receiver = String::new();
+        if let Some(open) = open {
+            if open > 0 && sig[open - 1].kind == TokenKind::Ident {
+                method = sig[open - 1].text.to_string();
+                // Receiver chain: idents linked by `.` before the method.
+                let mut names: Vec<&str> = Vec::new();
+                let mut m = open - 1;
+                while m >= 2 && sig[m - 1].text == "." && sig[m - 2].kind == TokenKind::Ident {
+                    names.insert(0, sig[m - 2].text);
+                    m -= 2;
+                }
+                receiver = names.join(".");
+            }
+        }
+        if RMW_ACCUMULATORS.contains(&method.as_str()) {
+            continue;
+        }
+        if !receiver.is_empty() && is_counter_name(&receiver) {
+            continue;
+        }
+        out.push(RelaxedSite {
+            line: t.line,
+            col: t.col,
+            method: if method.is_empty() {
+                "<unknown>".to_string()
+            } else {
+                method
+            },
+            receiver: if receiver.is_empty() {
+                "<unknown>".to_string()
+            } else {
+                receiver
+            },
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn flags_relaxed_store_on_a_flag() {
+        let src = "fn f(stop: &AtomicBool) { stop.store(true, Ordering::Relaxed); }\n";
+        let sites = scan_file(&PathBuf::from("x.rs"), src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].method, "store");
+        assert_eq!(sites[0].receiver, "stop");
+    }
+
+    #[test]
+    fn exempts_fetch_add_and_counter_names() {
+        let src = "fn f(n: &AtomicU64, byte_count: &AtomicU64) {\n\
+                       n.fetch_add(1, Ordering::Relaxed);\n\
+                       let _ = byte_count.load(Ordering::Relaxed);\n\
+                   }\n";
+        assert!(scan_file(&PathBuf::from("x.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn exempts_metrics_files_and_tests() {
+        let src = "fn f(flag: &AtomicBool) { flag.store(true, Ordering::Relaxed); }\n";
+        assert!(scan_file(&PathBuf::from("io_metrics.rs"), src).is_empty());
+        let test_src = "#[test]\nfn t() { FLAG.store(true, Ordering::Relaxed); }\n";
+        assert!(scan_file(&PathBuf::from("x.rs"), test_src).is_empty());
+    }
+
+    #[test]
+    fn flags_multiline_fetch_update_on_a_flag() {
+        let src = "fn f(state: &AtomicU8) {\n\
+                       state.fetch_update(\n\
+                           Ordering::Relaxed,\n\
+                           Ordering::Relaxed,\n\
+                           |v| Some(v | 1),\n\
+                       ).ok();\n\
+                   }\n";
+        let sites = scan_file(&PathBuf::from("x.rs"), src);
+        assert_eq!(sites.len(), 2, "both orderings flagged");
+        assert!(sites.iter().all(|s| s.method == "fetch_update"));
+    }
+
+    #[test]
+    fn resolves_self_field_receivers() {
+        let src = "impl S { fn go(&self) { self.running.store(true, Ordering::Relaxed); } }\n";
+        let sites = scan_file(&PathBuf::from("x.rs"), src);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].receiver, "self.running");
+    }
+}

@@ -1,0 +1,2269 @@
+//! Whole-program blocking-resource graph: channels, joins, condvars and
+//! lock waits unified into one cross-thread wait-for graph.
+//!
+//! The guard pass (`guards.rs`) answers "what lock is held across this
+//! blocking call"; the lock graph (`lockgraph.rs`) answers "do lock ranks
+//! form a cycle". Neither sees the resources the paper's backpressure design
+//! actually blocks on: bounded channel `send`s, empty-channel `recv`s, pump
+//! `JoinHandle::join`s, and condvar waits. This module models all of them.
+//!
+//! Per file, a token-level scan builds *contexts* — one per function body
+//! plus one per `spawn(…)` closure — and records which channel endpoints
+//! each context creates, receives by move/clone, sends on, drains, releases
+//! (`drop`/`take`/`clear`), which handles it joins, and which condvars it
+//! waits on or notifies. Struct literals map endpoints into named fields per
+//! *type* (`impl` self-type aware), so `self.tx.lock().take()` in a `stop()`
+//! method resolves to the channel created in `start()`. One level of
+//! positional argument propagation attributes `write_pump(stream, rx, …)`
+//! ops to the spawning closure that made the call.
+//!
+//! Edges mean "`from` can be blocked waiting for `to` to act":
+//!
+//! - `recv-empty`: `from` blocks in `recv()` on a channel whose sender `to`
+//!   owns — progress requires `to` to send or drop the sender.
+//! - `send-full`: `from` blocks in `send()` on a bounded channel `to`
+//!   drains — progress requires `to` to receive.
+//! - `join`: `from` blocks joining the thread `to`.
+//! - `condvar-wait`: `from` waits on a condvar `to` notifies.
+//! - `lock-wait`: `from` acquires a rank some `to` holds across a blocking
+//!   call (bridged from the guard pass via `BlockingSite::held_ranks`).
+//!
+//! Cycle detection (shared Tarjan) then applies two soundness filters:
+//!
+//! 1. *Release-before-block*: a `recv-empty` edge into a context that
+//!    provably releases the sender **before** every one of its own blocking
+//!    edges cannot deadlock — by the time the owner blocks, the receiver has
+//!    been unblocked by sender drop. This machine-checks the "take the
+//!    sender out, then join" shutdown discipline used across the tree.
+//! 2. *Mode exclusion*: `send-full` and `recv-empty` on the *same* channel
+//!    are mutually exclusive states (a queue cannot be both full and
+//!    empty), so when a strongly-connected component carries both, the
+//!    `send-full` edges are discounted and the component re-checked. A
+//!    cycle that survives on the `recv-empty`/`join` edges alone is real.
+//!
+//! The same scan feeds the `channel-discipline` rule (unbounded channels
+//! banned outside the allowlist; bounded capacities must be named
+//! constants) and renders the generated capacity table in DESIGN.md.
+
+use crate::guards::{self, FnSummary};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::lockgraph::tarjan;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One channel creation site (`bounded(N)` / `unbounded()`).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Sender binding name from the `let (tx, rx) = …` pattern, or a
+    /// synthetic `chan:<line>` when the pattern is not a two-ident tuple.
+    pub name: String,
+    pub file: PathBuf,
+    pub line: u32,
+    pub col: u32,
+    pub bounded: bool,
+    /// For bounded channels: the capacity expression (single token or the
+    /// joined raw tokens).
+    pub capacity: Option<String>,
+    /// The capacity is a single identifier (a named constant).
+    pub capacity_is_const: bool,
+}
+
+/// A resource a binding or struct field can refer to.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Res {
+    Sender(usize),
+    Receiver(usize),
+    /// Join handle for the context with this (full) name.
+    Handle(String),
+    /// Condvar identified by `<file>::<Type>.<field>`.
+    Condvar(String),
+    /// Positional parameter of the enclosing function.
+    Param(usize),
+}
+
+type Env = BTreeMap<String, Vec<Res>>;
+/// `Type -> field -> resources`, per file.
+type Fields = BTreeMap<String, BTreeMap<String, Vec<Res>>>;
+
+/// An operation recorded against a positional parameter, replayed at
+/// same-file call sites with the caller's actual endpoint arguments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ParamOp {
+    Send,
+    Recv,
+    Drain,
+    Join,
+    Release,
+}
+
+#[derive(Debug, Clone)]
+struct Site {
+    chan: usize,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+#[derive(Debug, Clone)]
+struct JoinSite {
+    target: String,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+#[derive(Debug, Clone)]
+struct CvSite {
+    cv: String,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Sender-side ownership of a channel by one context.
+#[derive(Debug, Clone, Copy, Default)]
+struct Touch {
+    /// Earliest position where the context released the sender
+    /// (`drop`/`take`/`clear`); `None` = never released.
+    release: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct CallSite {
+    callee: String,
+    /// Resolved resources per positional argument (empty = unresolvable).
+    args: Vec<Vec<Res>>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// One scanned context: a function body or a spawned closure.
+#[derive(Debug, Default)]
+struct Ctx {
+    /// `name`, `Type::name`, or `<label>@spawn:<line>`.
+    name: String,
+    file_idx: usize,
+    self_type: Option<String>,
+    sends: Vec<Site>,
+    recvs: Vec<Site>,
+    drains: Vec<Site>,
+    joins: Vec<JoinSite>,
+    cv_waits: Vec<CvSite>,
+    cv_notifies: Vec<CvSite>,
+    touches: BTreeMap<usize, Touch>,
+    param_ops: Vec<(usize, ParamOp)>,
+    calls: Vec<CallSite>,
+}
+
+struct FileState {
+    fields: Fields,
+    fns: BTreeSet<String>,
+    /// `(self type, body open, body close)` for every `impl` block.
+    impls: Vec<(String, usize, usize)>,
+}
+
+/// The whole-program analysis result.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub channels: Vec<Channel>,
+    /// `const NAME: usize = …` values harvested across the tree.
+    pub consts: BTreeMap<String, String>,
+    files: Vec<PathBuf>,
+    ctxs: Vec<Ctx>,
+}
+
+/// One wait-for edge: `from` can be blocked waiting for `to`.
+#[derive(Debug, Clone)]
+pub struct BlockEdge {
+    pub from: String,
+    pub to: String,
+    /// `recv-empty` | `send-full` | `join` | `condvar-wait` | `lock-wait`.
+    pub kind: &'static str,
+    /// Resource label (channel `name@file:line`, condvar, or rank name).
+    pub resource: String,
+    /// Blocking site (in `from`'s file), used for messages and allowlist
+    /// filtering.
+    pub file: PathBuf,
+    pub line: u32,
+    pub col: u32,
+    chan: Option<usize>,
+    /// Token position of the blocking site within `from`'s file (0 when
+    /// unknown, e.g. lock-wait edges).
+    pos: usize,
+    from_file: usize,
+    /// For `recv-empty`: the owner's release position (`None` = the owner
+    /// never provably releases the sender).
+    owner_release: Option<Option<usize>>,
+    owner_file: usize,
+}
+
+/// A problem found in the graph or the channel registry.
+#[derive(Debug)]
+pub struct Problem {
+    pub message: String,
+    pub file: PathBuf,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// `crates/common/src/tcp.rs` → `common/tcp.rs`; fixture paths unchanged.
+pub fn short_path(p: &Path) -> String {
+    let s = p.to_string_lossy().replace('\\', "/");
+    let s = s.strip_prefix("crates/").unwrap_or(&s);
+    s.replace("/src/", "/")
+}
+
+// ---------------------------------------------------------------------------
+// Scanning
+// ---------------------------------------------------------------------------
+
+/// Index of the `)`/`}`/`]` matching the opener at `open` (clamped).
+fn close_of(sig: &[&Token<'_>], open: usize) -> usize {
+    let (o, c) = match sig[open].text {
+        "(" => ("(", ")"),
+        "{" => ("{", "}"),
+        "[" => ("[", "]"),
+        _ => return open,
+    };
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < sig.len() {
+        if sig[i].text == o {
+            depth += 1;
+        } else if sig[i].text == c {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    sig.len() - 1
+}
+
+/// Index of the `(` matching the `)` at `close` (or 0).
+fn open_of(sig: &[&Token<'_>], close: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = close;
+    loop {
+        if sig[i].text == ")" {
+            depth += 1;
+        } else if sig[i].text == "(" {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+fn is_lower_ident(t: &Token<'_>) -> bool {
+    t.kind == TokenKind::Ident
+        && t.text
+            .trim_start_matches("r#")
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+        && !matches!(t.text, "mut" | "ref" | "box" | "move" | "self")
+}
+
+/// Skips a `:: < … >` turbofish starting at `j`; returns the index after it.
+fn skip_turbofish(sig: &[&Token<'_>], mut j: usize) -> usize {
+    if j + 2 < sig.len() && sig[j].text == ":" && sig[j + 1].text == ":" && sig[j + 2].text == "<" {
+        let mut angle = 0i32;
+        j += 2;
+        while j < sig.len() {
+            match sig[j].text {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    j
+}
+
+/// Harvests `const NAME: usize = <value>;` declarations.
+fn harvest_consts(sig: &[&Token<'_>], out: &mut BTreeMap<String, String>) {
+    let mut i = 0;
+    while i + 5 < sig.len() {
+        if sig[i].text == "const"
+            && sig[i + 1].kind == TokenKind::Ident
+            && sig[i + 2].text == ":"
+            && sig[i + 3].text == "usize"
+            && sig[i + 4].text == "="
+        {
+            let mut j = i + 5;
+            let mut value = String::new();
+            while j < sig.len() && sig[j].text != ";" {
+                if !value.is_empty() {
+                    value.push(' ');
+                }
+                value.push_str(sig[j].text);
+                j += 1;
+            }
+            out.insert(sig[i + 1].text.to_string(), value);
+            i = j;
+        }
+        i += 1;
+    }
+}
+
+/// `(self type, body open, body close)` for each `impl` block.
+fn impl_ranges(sig: &[&Token<'_>]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].text == "impl" && sig[i].kind == TokenKind::Ident {
+            let mut j = i + 1;
+            // Skip generic params on the impl itself.
+            if sig.get(j).is_some_and(|t| t.text == "<") {
+                let mut angle = 0i32;
+                while j < sig.len() {
+                    match sig[j].text {
+                        "<" => angle += 1,
+                        ">" => {
+                            angle -= 1;
+                            if angle == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            let mut ty: Option<String> = None;
+            let mut angle = 0i32;
+            let mut in_where = false;
+            while j < sig.len() && sig[j].text != "{" && sig[j].text != ";" {
+                match sig[j].text {
+                    "<" => angle += 1,
+                    ">" if angle > 0 => angle -= 1,
+                    "for" => {
+                        // Trait impl: the self type follows `for`.
+                        ty = None;
+                        in_where = false;
+                    }
+                    "where" => in_where = true,
+                    _ => {
+                        if angle == 0
+                            && !in_where
+                            && sig[j].kind == TokenKind::Ident
+                            && sig[j].text != "dyn"
+                        {
+                            ty = Some(sig[j].text.to_string());
+                        }
+                    }
+                }
+                j += 1;
+            }
+            if j < sig.len() && sig[j].text == "{" {
+                let close = close_of(sig, j);
+                if let Some(t) = ty {
+                    out.push((t, j, close));
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Condvar-bearing struct fields from module-level `struct` declarations.
+fn struct_decl_fields(sig: &[&Token<'_>], rel: &Path, out: &mut Fields) {
+    let short = short_path(rel);
+    let mut i = 0;
+    while i + 2 < sig.len() {
+        if sig[i].text == "struct" && sig[i + 1].kind == TokenKind::Ident {
+            let ty = sig[i + 1].text.to_string();
+            // Find the body brace before any `;` (tuple structs have none).
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < sig.len() {
+                match sig[j].text {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    ">" if depth > 0 => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    "{" if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if j < sig.len() && sig[j].text == "{" {
+                let close = close_of(sig, j);
+                let mut m = j + 1;
+                let mut d = 1i32;
+                while m < close {
+                    match sig[m].text {
+                        "{" | "(" | "[" => d += 1,
+                        "}" | ")" | "]" => d -= 1,
+                        _ => {}
+                    }
+                    if d == 1
+                        && sig[m].kind == TokenKind::Ident
+                        && sig.get(m + 1).is_some_and(|t| t.text == ":")
+                        && sig.get(m + 2).is_none_or(|t| t.text != ":")
+                    {
+                        let field = sig[m].text.to_string();
+                        // Value type runs to the next `,` at this depth.
+                        let mut v = m + 2;
+                        let mut vd = d;
+                        let mut has_cv = false;
+                        while v < close {
+                            match sig[v].text {
+                                "{" | "(" | "[" => vd += 1,
+                                "}" | ")" | "]" => vd -= 1,
+                                "," if vd == d => break,
+                                "Condvar" => has_cv = true,
+                                _ => {}
+                            }
+                            v += 1;
+                        }
+                        if has_cv {
+                            out.entry(ty.clone()).or_default().insert(
+                                field.clone(),
+                                vec![Res::Condvar(format!("{short}::{ty}.{field}"))],
+                            );
+                        }
+                        m = v;
+                        continue;
+                    }
+                    m += 1;
+                }
+                i = close;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses the positional (non-self) parameter names of the fn at `i`.
+fn parse_params(sig: &[&Token<'_>], i: usize) -> Vec<String> {
+    let mut j = i + 2;
+    if sig.get(j).is_some_and(|t| t.text == "<") {
+        let mut angle = 0i32;
+        while j < sig.len() {
+            match sig[j].text {
+                "<" => angle += 1,
+                ">" => {
+                    angle -= 1;
+                    if angle == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    let mut params = Vec::new();
+    if sig.get(j).map(|t| t.text) != Some("(") {
+        return params;
+    }
+    let close = close_of(sig, j);
+    let mut seg_start = j + 1;
+    let mut depth = 0i32;
+    let mut m = j + 1;
+    while m <= close {
+        let end_seg = m == close || (depth == 0 && sig[m].text == ",");
+        match sig[m].text {
+            "(" | "[" | "<" => depth += 1,
+            ")" if m != close => depth -= 1,
+            "]" => depth -= 1,
+            ">" if depth > 0 => depth -= 1,
+            _ => {}
+        }
+        if end_seg {
+            let seg = &sig[seg_start..m];
+            let first = seg
+                .iter()
+                .find(|t| !matches!(t.text, "&" | "mut") && t.kind != TokenKind::Lifetime);
+            match first {
+                Some(t) if t.text == "self" => {}
+                Some(t) if t.kind == TokenKind::Ident => params.push(t.text.to_string()),
+                _ => {}
+            }
+            seg_start = m + 1;
+        }
+        m += 1;
+    }
+    params
+}
+
+struct Scanner<'a, 's> {
+    sig: &'s [&'s Token<'a>],
+    file_idx: usize,
+    rel: &'s Path,
+    state: &'s FileState,
+    channels: &'s mut Vec<Channel>,
+    chan_at: &'s mut BTreeMap<usize, usize>,
+    fields_out: &'s mut Fields,
+    fns_out: Option<&'s mut BTreeSet<String>>,
+}
+
+impl Scanner<'_, '_> {
+    fn enclosing_impl(&self, pos: usize) -> Option<&str> {
+        self.state
+            .impls
+            .iter()
+            .find(|(_, s, e)| pos > *s && pos < *e)
+            .map(|(t, _, _)| t.as_str())
+    }
+
+    /// Outer walk: one context per fn item (tests skipped), descending into
+    /// bodies so nested fns become their own contexts.
+    fn walk(&mut self, out: &mut Vec<Ctx>) {
+        let test_ranges = guards::collect_test_ranges(self.sig);
+        let mut i = 0usize;
+        while i < self.sig.len() {
+            if let Some((name, header_end, body_start, body_end)) = guards::fn_item(self.sig, i) {
+                if test_ranges.iter().any(|&(s, e)| i >= s && i < e) {
+                    i = body_end;
+                    continue;
+                }
+                let ty = self.enclosing_impl(i).map(str::to_string);
+                let qname = match &ty {
+                    Some(t) => format!("{t}::{name}"),
+                    None => name.clone(),
+                };
+                let params = parse_params(self.sig, i);
+                if let Some(fns) = self.fns_out.as_deref_mut() {
+                    fns.insert(name.clone());
+                }
+                let mut ctx = Ctx {
+                    name: qname,
+                    file_idx: self.file_idx,
+                    self_type: ty,
+                    ..Default::default()
+                };
+                let mut env = Env::new();
+                for (idx, p) in params.iter().enumerate() {
+                    env.insert(p.clone(), vec![Res::Param(idx)]);
+                }
+                self.scan(
+                    body_start + 1,
+                    body_end.saturating_sub(1),
+                    &mut env,
+                    &mut ctx,
+                    out,
+                );
+                out.push(ctx);
+                i = header_end;
+                continue;
+            }
+            i += 1;
+        }
+    }
+
+    /// Linear scan of one context body.
+    fn scan(&mut self, start: usize, end: usize, env: &mut Env, ctx: &mut Ctx, out: &mut Vec<Ctx>) {
+        let mut i = start;
+        while i < end && i < self.sig.len() {
+            let t = self.sig[i];
+            let prev = if i > 0 { self.sig[i - 1].text } else { "" };
+            let next = self.sig.get(i + 1).map(|t| t.text).unwrap_or("");
+
+            // Nested fn items become their own contexts via the outer walk.
+            if t.text == "fn" && t.kind == TokenKind::Ident {
+                if let Some((_, _, _, body_end)) = guards::fn_item(self.sig, i) {
+                    i = body_end;
+                    continue;
+                }
+            }
+
+            if t.kind == TokenKind::Ident {
+                match t.text {
+                    "bounded" | "unbounded"
+                        if prev != "." && prev != "fn" && self.channel_creation(i, env, ctx) =>
+                    {
+                        i += 1;
+                        continue;
+                    }
+                    "spawn" if prev == "." || prev == ":" => {
+                        if let Some(ni) = self.spawn(i, start, env, ctx, out) {
+                            i = ni;
+                            continue;
+                        }
+                    }
+                    "let" => self.let_binding(i, end, env, ctx),
+                    "for" => self.for_binding(i, end, env, ctx),
+                    "match" => self.match_binding(i, end, env, ctx),
+                    "drop" if next == "(" && prev != "." => self.drop_call(i, env, ctx),
+                    _ => {}
+                }
+                if prev == "." && next == "(" {
+                    self.method_op(i, env, ctx);
+                } else if next == "("
+                    && prev != "."
+                    && prev != "fn"
+                    && t.text != "drop"
+                    && self.state.fns.contains(t.text)
+                    && Some(t.text) != ctx.name.rsplit(':').next()
+                {
+                    self.call_site(i, env, ctx);
+                }
+            }
+            if t.text == "{" {
+                self.struct_literal(i, env, ctx);
+            }
+            i += 1;
+        }
+    }
+
+    /// `bounded(N)` / `unbounded()` creation. Returns true when registered.
+    fn channel_creation(&mut self, i: usize, env: &mut Env, _ctx: &mut Ctx) -> bool {
+        let j = skip_turbofish(self.sig, i + 1);
+        if self.sig.get(j).map(|t| t.text) != Some("(") {
+            return false; // e.g. a `use` import of the name
+        }
+        let close = close_of(self.sig, j);
+        let bounded = self.sig[i].text == "bounded";
+        let (capacity, capacity_is_const) = if bounded {
+            let inner = &self.sig[j + 1..close];
+            match inner {
+                [] => (None, false),
+                [t] if t.kind == TokenKind::Ident => (Some(t.text.to_string()), true),
+                [t] => (Some(t.text.to_string()), false),
+                many => (
+                    Some(many.iter().map(|t| t.text).collect::<Vec<_>>().join(" ")),
+                    false,
+                ),
+            }
+        } else {
+            (None, false)
+        };
+        let ci = match self.chan_at.get(&i) {
+            Some(&ci) => ci,
+            None => {
+                let ci = self.channels.len();
+                self.channels.push(Channel {
+                    name: format!("chan:{}", self.sig[i].line),
+                    file: self.rel.to_path_buf(),
+                    line: self.sig[i].line,
+                    col: self.sig[i].col,
+                    bounded,
+                    capacity,
+                    capacity_is_const,
+                });
+                self.chan_at.insert(i, ci);
+                ci
+            }
+        };
+        if let Some((tx, rx)) = let_pair_before(self.sig, i) {
+            self.channels[ci].name = tx.clone();
+            env.insert(tx, vec![Res::Sender(ci)]);
+            env.insert(rx, vec![Res::Receiver(ci)]);
+        }
+        true
+    }
+
+    /// `.spawn(closure)` / `thread::spawn(closure)`: scans the closure as a
+    /// detached context and binds the handle.
+    fn spawn(
+        &mut self,
+        i: usize,
+        floor: usize,
+        env: &mut Env,
+        ctx: &mut Ctx,
+        out: &mut Vec<Ctx>,
+    ) -> Option<usize> {
+        let j = skip_turbofish(self.sig, i + 1);
+        if self.sig.get(j).map(|t| t.text) != Some("(") {
+            return None;
+        }
+        let close = close_of(self.sig, j);
+        // Thread label: a literal `.name("…")` earlier in the statement.
+        let mut label: Option<String> = None;
+        let lo = floor.max(i.saturating_sub(60));
+        let mut k = i;
+        while k > lo {
+            k -= 1;
+            match self.sig[k].text {
+                ";" | "{" | "}" => break,
+                "name"
+                    if self.sig.get(k + 1).is_some_and(|t| t.text == "(")
+                        && self
+                            .sig
+                            .get(k + 2)
+                            .is_some_and(|t| t.kind == TokenKind::Str) =>
+                {
+                    label = Some(self.sig[k + 2].text.trim_matches('"').to_string());
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let bare = ctx.name.rsplit(':').next().unwrap_or(&ctx.name);
+        let child_name = format!(
+            "{}@spawn:{}",
+            label.unwrap_or_else(|| bare.to_string()),
+            self.sig[i].line
+        );
+        let mut child = Ctx {
+            name: child_name.clone(),
+            file_idx: self.file_idx,
+            self_type: ctx.self_type.clone(),
+            ..Default::default()
+        };
+        let mut cenv = env.clone();
+        self.scan(j + 1, close, &mut cenv, &mut child, out);
+        out.push(child);
+        if let Some(ids) = stmt_let_idents(self.sig, i, floor) {
+            for id in ids {
+                env.insert(id, vec![Res::Handle(child_name.clone())]);
+            }
+        }
+        Some(close + 1)
+    }
+
+    /// `let`/`if let`/`while let` binding: resolves the RHS and binds the
+    /// pattern idents. Bindings whose RHS consumes a message (`recv` family)
+    /// are skipped — the bound value is data, not an endpoint.
+    fn let_binding(&mut self, i: usize, end: usize, env: &mut Env, ctx: &Ctx) {
+        let mut ids = Vec::new();
+        let mut j = i + 1;
+        let mut d = 0i32;
+        let mut eq = None;
+        while j < end && j < i + 80 {
+            let tx = self.sig[j].text;
+            match tx {
+                "=" if d == 0 && self.sig.get(j + 1).is_none_or(|t| t.text != "=") => {
+                    eq = Some(j);
+                    break;
+                }
+                ";" if d == 0 => break,
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                }
+                _ => {
+                    if is_lower_ident(self.sig[j]) {
+                        ids.push(tx.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        let Some(eq) = eq else { return };
+        if ids.is_empty() {
+            return;
+        }
+        let Some(res) = self.resolve_range(eq + 1, end, env, ctx, true) else {
+            return;
+        };
+        if res.is_empty() {
+            return;
+        }
+        for id in ids {
+            env.insert(id, res.clone());
+        }
+    }
+
+    fn for_binding(&mut self, i: usize, end: usize, env: &mut Env, ctx: &Ctx) {
+        let mut ids = Vec::new();
+        let mut j = i + 1;
+        let mut found_in = false;
+        while j < end && j < i + 30 {
+            match self.sig[j].text {
+                "in" => {
+                    found_in = true;
+                    break;
+                }
+                "{" | ";" => break,
+                _ => {
+                    if is_lower_ident(self.sig[j]) {
+                        ids.push(self.sig[j].text.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if !found_in || ids.is_empty() {
+            return;
+        }
+        let Some(res) = self.resolve_range(j + 1, end, env, ctx, true) else {
+            return;
+        };
+        if res.is_empty() {
+            return;
+        }
+        for id in ids {
+            env.insert(id, res.clone());
+        }
+    }
+
+    /// `match <scrutinee> { Some(x) | Ok(x) => … }`: binds the unwrapped
+    /// idents to the scrutinee's resources.
+    fn match_binding(&mut self, i: usize, end: usize, env: &mut Env, ctx: &Ctx) {
+        // Scrutinee runs to the body `{` at depth 0.
+        let mut j = i + 1;
+        let mut d = 0i32;
+        while j < end && j < i + 60 {
+            match self.sig[j].text {
+                "{" if d == 0 => break,
+                "(" | "[" => d += 1,
+                ")" | "]" => d -= 1,
+                ";" if d == 0 => return,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= end || self.sig[j].text != "{" {
+            return;
+        }
+        let Some(res) = self.resolve_span(i + 1, j, env, ctx, true) else {
+            return;
+        };
+        if res.is_empty() {
+            return;
+        }
+        let close = close_of(self.sig, j);
+        let mut m = j + 1;
+        while m + 5 < close {
+            if matches!(self.sig[m].text, "Some" | "Ok")
+                && self.sig[m + 1].text == "("
+                && is_lower_ident(self.sig[m + 2])
+                && self.sig[m + 3].text == ")"
+                && self.sig[m + 4].text == "="
+                && self.sig[m + 5].text == ">"
+            {
+                env.insert(self.sig[m + 2].text.to_string(), res.clone());
+            }
+            m += 1;
+        }
+    }
+
+    /// Resolves an RHS starting at `from`, ending at `;`/`{`/`else` at
+    /// depth 0 (or `end`).
+    fn resolve_range(
+        &mut self,
+        from: usize,
+        end: usize,
+        env: &Env,
+        ctx: &Ctx,
+        consume_filter: bool,
+    ) -> Option<Vec<Res>> {
+        let mut j = from;
+        let mut d = 0i32;
+        while j < end {
+            match self.sig[j].text {
+                ";" | "else" if d == 0 => break,
+                "{" if d == 0 => break,
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => {
+                    if d == 0 {
+                        break;
+                    }
+                    d -= 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        self.resolve_span(from, j, env, ctx, consume_filter)
+    }
+
+    /// Resolves every resource named in `sig[from..to]`. Returns `None` when
+    /// the span consumes a message (the value is data, not an endpoint).
+    fn resolve_span(
+        &mut self,
+        from: usize,
+        to: usize,
+        env: &Env,
+        ctx: &Ctx,
+        consume_filter: bool,
+    ) -> Option<Vec<Res>> {
+        let mut res: Vec<Res> = Vec::new();
+        let mut j = from;
+        while j < to && j < self.sig.len() {
+            let t = self.sig[j];
+            if t.kind == TokenKind::Ident {
+                let prev = if j > 0 { self.sig[j - 1].text } else { "" };
+                if consume_filter
+                    && prev == "."
+                    && matches!(
+                        t.text,
+                        "recv"
+                            | "try_recv"
+                            | "recv_timeout"
+                            | "recv_deadline"
+                            | "iter"
+                            | "try_iter"
+                    )
+                {
+                    return None;
+                }
+                if t.text == "self"
+                    && self.sig.get(j + 1).is_some_and(|t| t.text == ".")
+                    && self
+                        .sig
+                        .get(j + 2)
+                        .is_some_and(|t| t.kind == TokenKind::Ident)
+                {
+                    if let Some(ty) = &ctx.self_type {
+                        if let Some(r) = self
+                            .state
+                            .fields
+                            .get(ty)
+                            .and_then(|m| m.get(self.sig[j + 2].text))
+                        {
+                            res.extend(r.iter().cloned());
+                        }
+                    }
+                    j += 3;
+                    continue;
+                }
+                if prev != "." && prev != ":" {
+                    if let Some(r) = env.get(t.text) {
+                        res.extend(r.iter().cloned());
+                    }
+                }
+            }
+            j += 1;
+        }
+        res.sort();
+        res.dedup();
+        Some(res)
+    }
+
+    fn drop_call(&mut self, i: usize, env: &mut Env, ctx: &mut Ctx) {
+        let close = close_of(self.sig, i + 1);
+        if let Some(res) = self.resolve_span(i + 2, close, env, ctx, false) {
+            for r in res {
+                match r {
+                    Res::Sender(c) => self.release(ctx, c, i),
+                    Res::Param(p) => ctx.param_ops.push((p, ParamOp::Release)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn touch(&self, ctx: &mut Ctx, c: usize) {
+        ctx.touches.entry(c).or_default();
+    }
+
+    fn release(&self, ctx: &mut Ctx, c: usize, pos: usize) {
+        let t = ctx.touches.entry(c).or_default();
+        t.release = Some(t.release.map_or(pos, |q| q.min(pos)));
+    }
+
+    /// Dispatches a `.method(` call on a resolved receiver chain.
+    fn method_op(&mut self, i: usize, env: &mut Env, ctx: &mut Ctx) {
+        let m = self.sig[i].text;
+        let names = receiver_chain(self.sig, i);
+        let res = self.resolve_chain(&names, env, ctx, m);
+        let t = self.sig[i];
+        let site = |chan| Site {
+            chan,
+            pos: i,
+            line: t.line,
+            col: t.col,
+        };
+        for r in &res {
+            match (m, r) {
+                ("send" | "try_send", Res::Sender(c)) => {
+                    self.touch(ctx, *c);
+                    if m == "send" && self.channels[*c].bounded {
+                        ctx.sends.push(site(*c));
+                    }
+                }
+                ("send", Res::Param(p)) => ctx.param_ops.push((*p, ParamOp::Send)),
+                ("recv" | "iter", Res::Receiver(c)) => ctx.recvs.push(site(*c)),
+                ("recv", Res::Param(p)) => ctx.param_ops.push((*p, ParamOp::Recv)),
+                ("recv_timeout" | "recv_deadline" | "try_recv" | "try_iter", Res::Receiver(c)) => {
+                    ctx.drains.push(site(*c))
+                }
+                ("recv_timeout" | "recv_deadline" | "try_recv" | "try_iter", Res::Param(p)) => {
+                    ctx.param_ops.push((*p, ParamOp::Drain))
+                }
+                ("join", Res::Handle(h)) => ctx.joins.push(JoinSite {
+                    target: h.clone(),
+                    pos: i,
+                    line: t.line,
+                    col: t.col,
+                }),
+                ("join", Res::Param(p)) => ctx.param_ops.push((*p, ParamOp::Join)),
+                ("take" | "clear", Res::Sender(c)) => self.release(ctx, *c, i),
+                ("take", Res::Param(p)) => ctx.param_ops.push((*p, ParamOp::Release)),
+                ("wait" | "wait_while", Res::Condvar(v)) => ctx.cv_waits.push(CvSite {
+                    cv: v.clone(),
+                    pos: i,
+                    line: t.line,
+                    col: t.col,
+                }),
+                ("notify_one" | "notify_all", Res::Condvar(v)) => ctx.cv_notifies.push(CvSite {
+                    cv: v.clone(),
+                    pos: i,
+                    line: t.line,
+                    col: t.col,
+                }),
+                (_, Res::Sender(c)) => self.touch(ctx, *c),
+                _ => {}
+            }
+        }
+        // `vec.push(tx)` aliases the pushed endpoints into the receiver
+        // binding so a later `vec.clear()`/iteration resolves them.
+        if matches!(m, "push" | "insert") && names.len() == 1 {
+            let close = close_of(self.sig, i + 1);
+            if let Some(args) = self.resolve_span(i + 2, close, env, ctx, false) {
+                if !args.is_empty() {
+                    let e = env.entry(names[0].clone()).or_default();
+                    e.extend(args);
+                    e.sort();
+                    e.dedup();
+                }
+            }
+        }
+    }
+
+    fn resolve_chain(&self, names: &[String], env: &Env, ctx: &Ctx, method: &str) -> Vec<Res> {
+        if names.is_empty() {
+            return Vec::new();
+        }
+        let primary = if names[0] == "self" {
+            match (&ctx.self_type, names.get(1)) {
+                (Some(ty), Some(f)) => self
+                    .state
+                    .fields
+                    .get(ty)
+                    .and_then(|m| m.get(f.as_str()))
+                    .cloned()
+                    .unwrap_or_default(),
+                _ => Vec::new(),
+            }
+        } else {
+            env.get(&names[0]).cloned().unwrap_or_default()
+        };
+        if !primary.is_empty() {
+            return primary;
+        }
+        // Condvars are often reached through nested shared-state fields
+        // (`self.shared.done.wait_while(…)`); fall back to a field-name
+        // lookup across all types, for condvar resources only.
+        if names.len() >= 2 && matches!(method, "wait" | "wait_while" | "notify_one" | "notify_all")
+        {
+            let last = names.last().map(String::as_str).unwrap_or("");
+            let mut out = Vec::new();
+            for fields in self.state.fields.values() {
+                if let Some(rs) = fields.get(last) {
+                    out.extend(rs.iter().filter(|r| matches!(r, Res::Condvar(_))).cloned());
+                }
+            }
+            out.sort();
+            out.dedup();
+            return out;
+        }
+        Vec::new()
+    }
+
+    /// `callee(a, b, …)` for a same-file fn: records the call with resolved
+    /// positional arguments for one-level op propagation.
+    fn call_site(&mut self, i: usize, env: &mut Env, ctx: &mut Ctx) {
+        let close = close_of(self.sig, i + 1);
+        let mut args: Vec<Vec<Res>> = Vec::new();
+        let mut seg_start = i + 2;
+        let mut depth = 0i32;
+        let mut m = i + 2;
+        while m <= close {
+            let end_seg = m == close || (depth == 0 && self.sig[m].text == ",");
+            match self.sig[m].text {
+                "(" | "[" | "{" => depth += 1,
+                ")" if m != close => depth -= 1,
+                "]" | "}" => depth -= 1,
+                _ => {}
+            }
+            if end_seg {
+                let res = self
+                    .resolve_span(seg_start, m, env, ctx, false)
+                    .unwrap_or_default();
+                if seg_start < m {
+                    args.push(res);
+                }
+                seg_start = m + 1;
+            }
+            m += 1;
+        }
+        let t = self.sig[i];
+        ctx.calls.push(CallSite {
+            callee: t.text.to_string(),
+            args,
+            pos: i,
+            line: t.line,
+            col: t.col,
+        });
+    }
+
+    /// Struct literal `Type { field: value, shorthand, … }`: maps endpoint
+    /// resources into per-type field tables.
+    fn struct_literal(&mut self, i: usize, env: &Env, ctx: &Ctx) {
+        if i == 0 {
+            return;
+        }
+        let mut k = i - 1;
+        if self.sig[k].kind != TokenKind::Ident {
+            return;
+        }
+        let ty_tok = self.sig[k];
+        let upper = ty_tok.text.chars().next().is_some_and(|c| c.is_uppercase());
+        if !upper {
+            return;
+        }
+        // Walk back over the path (`a::b::Type`).
+        while k >= 3
+            && self.sig[k - 1].text == ":"
+            && self.sig[k - 2].text == ":"
+            && self.sig[k - 3].kind == TokenKind::Ident
+        {
+            k -= 3;
+        }
+        let before = if k == 0 { "" } else { self.sig[k - 1].text };
+        if matches!(
+            before,
+            "impl"
+                | "for"
+                | "fn"
+                | "trait"
+                | "mod"
+                | "enum"
+                | "union"
+                | "struct"
+                | "dyn"
+                | "where"
+                | ">"
+                | "-"
+                | "as"
+                | "in"
+        ) {
+            return;
+        }
+        let ty = if ty_tok.text == "Self" {
+            match self.enclosing_impl(i) {
+                Some(t) => t.to_string(),
+                None => return,
+            }
+        } else {
+            ty_tok.text.to_string()
+        };
+        let short = short_path(self.rel);
+        let close = close_of(self.sig, i);
+        let mut m = i + 1;
+        let mut d = 1i32;
+        while m < close {
+            let prev = self.sig[m - 1].text;
+            match self.sig[m].text {
+                "{" | "(" | "[" => {
+                    d += 1;
+                    m += 1;
+                    continue;
+                }
+                "}" | ")" | "]" => {
+                    d -= 1;
+                    m += 1;
+                    continue;
+                }
+                _ => {}
+            }
+            if d == 1 && self.sig[m].kind == TokenKind::Ident && (prev == "{" || prev == ",") {
+                let field = self.sig[m].text.to_string();
+                let nxt = self.sig.get(m + 1).map(|t| t.text).unwrap_or("");
+                if nxt == ":" && self.sig.get(m + 2).is_none_or(|t| t.text != ":") {
+                    // Explicit `field: value` — value runs to `,` at d==1.
+                    let mut v = m + 2;
+                    let mut vd = d;
+                    while v < close {
+                        match self.sig[v].text {
+                            "{" | "(" | "[" => vd += 1,
+                            "}" | ")" | "]" => vd -= 1,
+                            "," if vd == d => break,
+                            _ => {}
+                        }
+                        v += 1;
+                    }
+                    let mut res = self
+                        .resolve_span(m + 2, v, env, ctx, false)
+                        .unwrap_or_default();
+                    if self.sig[m + 2..v].iter().any(|t| t.text == "Condvar") {
+                        res.push(Res::Condvar(format!("{short}::{ty}.{field}")));
+                    }
+                    if !res.is_empty() {
+                        let e = self
+                            .fields_out
+                            .entry(ty.clone())
+                            .or_default()
+                            .entry(field)
+                            .or_default();
+                        e.extend(res);
+                        e.sort();
+                        e.dedup();
+                    }
+                    m = v;
+                    continue;
+                } else if nxt == "," || nxt == "}" {
+                    // Shorthand `field,`.
+                    if let Some(r) = env.get(&field) {
+                        let e = self
+                            .fields_out
+                            .entry(ty.clone())
+                            .or_default()
+                            .entry(field)
+                            .or_default();
+                        e.extend(r.iter().cloned());
+                        e.sort();
+                        e.dedup();
+                    }
+                }
+            }
+            m += 1;
+        }
+    }
+}
+
+/// `let (tx, rx) = [path::]bounded(…)` pattern, walking back from the
+/// creation call (handles `let (a, b): (S, R) = …` type ascription).
+fn let_pair_before(sig: &[&Token<'_>], i: usize) -> Option<(String, String)> {
+    let mut k = i;
+    while k >= 3
+        && sig[k - 1].text == ":"
+        && sig[k - 2].text == ":"
+        && sig[k - 3].kind == TokenKind::Ident
+    {
+        k -= 3;
+    }
+    if k == 0 || sig[k - 1].text != "=" {
+        return None;
+    }
+    if k < 2 {
+        return None;
+    }
+    let group_back = |close: usize| -> Option<(Vec<String>, usize)> {
+        if sig[close].text != ")" {
+            return None;
+        }
+        let open = open_of(sig, close);
+        let mut ids: Vec<String> = Vec::new();
+        for t in &sig[open + 1..close] {
+            if t.kind == TokenKind::Ident && t.text != "mut" {
+                ids.push(t.text.to_string());
+            }
+        }
+        Some((ids, open))
+    };
+    let (mut ids, mut open) = group_back(k - 2)?;
+    if open > 1 && sig[open - 1].text == ":" && sig[open - 2].text == ")" {
+        let (ids2, open2) = group_back(open - 2)?;
+        ids = ids2;
+        open = open2;
+    }
+    if open == 0 || sig[open - 1].text != "let" {
+        return None;
+    }
+    if ids.len() == 2 {
+        Some((ids.remove(0), ids.remove(0)))
+    } else {
+        None
+    }
+}
+
+/// Pattern idents of the `let` statement enclosing position `i`.
+fn stmt_let_idents(sig: &[&Token<'_>], i: usize, floor: usize) -> Option<Vec<String>> {
+    let mut depth = 0i32;
+    let mut k = i;
+    while k > floor {
+        k -= 1;
+        match sig[k].text {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                if depth == 0 {
+                    return None;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return None,
+            "let" if depth == 0 => {
+                let mut ids = Vec::new();
+                let mut m = k + 1;
+                let mut d = 0i32;
+                while m < i {
+                    match sig[m].text {
+                        "=" if d == 0 => {
+                            return if ids.is_empty() { None } else { Some(ids) };
+                        }
+                        ":" if d == 0
+                            && sig.get(m + 1).is_none_or(|t| t.text != ":")
+                            && sig[m - 1].text != ":" =>
+                        {
+                            // Type ascription: stop collecting idents.
+                            while m < i && !(sig[m].text == "=" && d == 0) {
+                                match sig[m].text {
+                                    "(" | "[" => d += 1,
+                                    ")" | "]" => d -= 1,
+                                    _ => {}
+                                }
+                                m += 1;
+                            }
+                            return if ids.is_empty() { None } else { Some(ids) };
+                        }
+                        "(" | "[" => d += 1,
+                        ")" | "]" => d -= 1,
+                        _ => {
+                            if is_lower_ident(sig[m]) {
+                                ids.push(sig[m].text.to_string());
+                            }
+                        }
+                    }
+                    m += 1;
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The receiver chain of the method at `i` (`self.a.b.m()` → `[self, a, b]`),
+/// skipping transparent call links (`x.lock().take()` → `[x]`).
+fn receiver_chain(sig: &[&Token<'_>], i: usize) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    if i == 0 || sig[i - 1].text != "." {
+        return names;
+    }
+    let mut k = i - 1; // the `.`
+    loop {
+        if k == 0 {
+            break;
+        }
+        let mut p = k - 1;
+        if sig[p].text == ")" {
+            let open = open_of(sig, p);
+            if open == 0 {
+                break;
+            }
+            p = open - 1;
+            if sig[p].kind != TokenKind::Ident {
+                names.clear();
+                break;
+            }
+            // `p` is a chained call name (`lock`, `as_ref`, …): transparent.
+            if p == 0 {
+                names.clear();
+                break;
+            }
+            if sig[p - 1].text == "." {
+                k = p - 1;
+                continue;
+            }
+            // Root of the chain is a call (`foo().m()`): unresolvable.
+            names.clear();
+            break;
+        } else if sig[p].kind == TokenKind::Ident {
+            names.insert(0, sig[p].text.to_string());
+            if p == 0 {
+                break;
+            }
+            if sig[p - 1].text == "." {
+                k = p - 1;
+                continue;
+            }
+            break;
+        } else {
+            break;
+        }
+    }
+    names
+}
+
+// ---------------------------------------------------------------------------
+// Analysis entry point
+// ---------------------------------------------------------------------------
+
+/// Scans every applicable file and returns the channel registry plus all
+/// contexts, with call-propagated ops and implicit field ownership applied.
+pub fn analyze(texts: &[(PathBuf, String)], fixture_mode: bool) -> Analysis {
+    let mut an = Analysis::default();
+    for (rel, text) in texts {
+        if !guards::guard_analysis_applies(rel, fixture_mode) {
+            continue;
+        }
+        let fi = an.files.len();
+        an.files.push(rel.clone());
+        let toks = lex(text);
+        let sig: Vec<&Token<'_>> = toks.iter().filter(|t| !t.is_trivia()).collect();
+        harvest_consts(&sig, &mut an.consts);
+        let impls = impl_ranges(&sig);
+        let mut decl_fields = Fields::new();
+        struct_decl_fields(&sig, rel, &mut decl_fields);
+        let mut chan_at = BTreeMap::new();
+
+        // Pass 1: discover fn metas and struct-literal field resources.
+        let mut state = FileState {
+            fields: decl_fields.clone(),
+            fns: BTreeSet::new(),
+            impls,
+        };
+        let mut discovered = decl_fields;
+        let mut fns_meta = BTreeSet::new();
+        {
+            let mut scratch = Vec::new();
+            let mut sc = Scanner {
+                sig: &sig,
+                file_idx: fi,
+                rel,
+                state: &state,
+                channels: &mut an.channels,
+                chan_at: &mut chan_at,
+                fields_out: &mut discovered,
+                fns_out: Some(&mut fns_meta),
+            };
+            sc.walk(&mut scratch);
+        }
+        // Pass 2: full scan with field and fn knowledge.
+        state.fields = discovered.clone();
+        state.fns = fns_meta;
+        let mut ctxs = Vec::new();
+        {
+            let mut sc = Scanner {
+                sig: &sig,
+                file_idx: fi,
+                rel,
+                state: &state,
+                channels: &mut an.channels,
+                chan_at: &mut chan_at,
+                fields_out: &mut discovered,
+                fns_out: None,
+            };
+            sc.walk(&mut ctxs);
+        }
+        propagate_calls(&mut ctxs, &an.channels);
+        implicit_ownership(&mut ctxs, &state.fields);
+        an.ctxs.extend(ctxs);
+    }
+    an
+}
+
+/// Replays callee parameter ops at same-file call sites with the caller's
+/// actual endpoint arguments (one level, free-fn names only).
+fn propagate_calls(ctxs: &mut [Ctx], channels: &[Channel]) {
+    let mut by_bare: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (idx, c) in ctxs.iter().enumerate() {
+        if c.name.contains('@') {
+            continue;
+        }
+        let bare = c.name.rsplit(':').next().unwrap_or(&c.name).to_string();
+        by_bare.entry(bare).or_default().push(idx);
+    }
+    // Collect patches first: (caller idx, op, resource, site info).
+    enum Patch {
+        Send(usize, Site),
+        Recv(usize, Site),
+        Drain(usize, Site),
+        Join(usize, JoinSite),
+        Release(usize, usize, usize), // caller, chan, pos
+        TouchOnly(usize, usize),
+    }
+    let mut patches: Vec<Patch> = Vec::new();
+    for (ci, ctx) in ctxs.iter().enumerate() {
+        for call in &ctx.calls {
+            let Some(callees) = by_bare.get(&call.callee) else {
+                continue;
+            };
+            for &kidx in callees {
+                if kidx == ci {
+                    continue;
+                }
+                for &(pidx, pop) in &ctxs[kidx].param_ops {
+                    let Some(res) = call.args.get(pidx) else {
+                        continue;
+                    };
+                    for r in res {
+                        let site = |chan| Site {
+                            chan,
+                            pos: call.pos,
+                            line: call.line,
+                            col: call.col,
+                        };
+                        match (pop, r) {
+                            (ParamOp::Send, Res::Sender(c)) => {
+                                patches.push(Patch::TouchOnly(ci, *c));
+                                if channels[*c].bounded {
+                                    patches.push(Patch::Send(ci, site(*c)));
+                                }
+                            }
+                            (ParamOp::Recv, Res::Receiver(c)) => {
+                                patches.push(Patch::Recv(ci, site(*c)))
+                            }
+                            (ParamOp::Drain, Res::Receiver(c)) => {
+                                patches.push(Patch::Drain(ci, site(*c)))
+                            }
+                            (ParamOp::Join, Res::Handle(h)) => patches.push(Patch::Join(
+                                ci,
+                                JoinSite {
+                                    target: h.clone(),
+                                    pos: call.pos,
+                                    line: call.line,
+                                    col: call.col,
+                                },
+                            )),
+                            (ParamOp::Release, Res::Sender(c)) => {
+                                patches.push(Patch::Release(ci, *c, call.pos))
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for p in patches {
+        match p {
+            Patch::Send(ci, s) => {
+                ctxs[ci].touches.entry(s.chan).or_default();
+                ctxs[ci].sends.push(s);
+            }
+            Patch::Recv(ci, s) => ctxs[ci].recvs.push(s),
+            Patch::Drain(ci, s) => ctxs[ci].drains.push(s),
+            Patch::Join(ci, j) => ctxs[ci].joins.push(j),
+            Patch::Release(ci, c, pos) => {
+                let t = ctxs[ci].touches.entry(c).or_default();
+                t.release = Some(t.release.map_or(pos, |q| q.min(pos)));
+            }
+            Patch::TouchOnly(ci, c) => {
+                ctxs[ci].touches.entry(c).or_default();
+            }
+        }
+    }
+}
+
+/// A joining method of type `T` implicitly owns every sender stored in `T`'s
+/// fields, even if the method body never names the field: the `self` value
+/// keeps the sender alive across the join.
+fn implicit_ownership(ctxs: &mut [Ctx], fields: &Fields) {
+    for ctx in ctxs.iter_mut() {
+        if ctx.joins.is_empty() {
+            continue;
+        }
+        let Some(ty) = &ctx.self_type else { continue };
+        let Some(fmap) = fields.get(ty) else { continue };
+        for res in fmap.values() {
+            for r in res {
+                if let Res::Sender(c) = r {
+                    ctx.touches.entry(*c).or_default();
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction
+// ---------------------------------------------------------------------------
+
+fn chan_label(a: &Analysis, c: usize) -> String {
+    let ch = &a.channels[c];
+    format!("{}@{}:{}", ch.name, short_path(&ch.file), ch.line)
+}
+
+fn node_name(a: &Analysis, ctx: &Ctx) -> String {
+    format!("{}::{}", short_path(&a.files[ctx.file_idx]), ctx.name)
+}
+
+/// Builds the unified wait-for edge set. `fns` (from the guard pass) adds
+/// lock-wait edges; pass `&[]` for channel/join analysis alone.
+pub fn build_edges(a: &Analysis, fns: &[FnSummary]) -> Vec<BlockEdge> {
+    let mut edges: Vec<BlockEdge> = Vec::new();
+
+    // Per-channel: blocking receivers, drainers, bounded senders, owners.
+    let nchan = a.channels.len();
+    let mut recvers: Vec<Vec<(usize, Site)>> = vec![Vec::new(); nchan];
+    let mut drainers: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nchan];
+    let mut senders: Vec<Vec<(usize, Site)>> = vec![Vec::new(); nchan];
+    let mut owners: Vec<Vec<(usize, Option<usize>)>> = vec![Vec::new(); nchan];
+    for (idx, ctx) in a.ctxs.iter().enumerate() {
+        let mut seen_recv = BTreeSet::new();
+        for s in &ctx.recvs {
+            drainers[s.chan].insert(idx);
+            if seen_recv.insert(s.chan) {
+                recvers[s.chan].push((idx, s.clone()));
+            }
+        }
+        for s in &ctx.drains {
+            drainers[s.chan].insert(idx);
+        }
+        let mut seen_send = BTreeSet::new();
+        for s in &ctx.sends {
+            if seen_send.insert(s.chan) {
+                senders[s.chan].push((idx, s.clone()));
+            }
+        }
+        for (&c, t) in &ctx.touches {
+            owners[c].push((idx, t.release));
+        }
+    }
+
+    for c in 0..nchan {
+        let label = chan_label(a, c);
+        for (r, site) in &recvers[c] {
+            let rctx = &a.ctxs[*r];
+            for (o, release) in &owners[c] {
+                if o == r {
+                    continue;
+                }
+                let octx = &a.ctxs[*o];
+                edges.push(BlockEdge {
+                    from: node_name(a, rctx),
+                    to: node_name(a, octx),
+                    kind: "recv-empty",
+                    resource: label.clone(),
+                    file: a.files[rctx.file_idx].clone(),
+                    line: site.line,
+                    col: site.col,
+                    chan: Some(c),
+                    pos: site.pos,
+                    from_file: rctx.file_idx,
+                    owner_release: Some(*release),
+                    owner_file: octx.file_idx,
+                });
+            }
+        }
+        if a.channels[c].bounded {
+            for (s, site) in &senders[c] {
+                let sctx = &a.ctxs[*s];
+                for d in &drainers[c] {
+                    if d == s {
+                        continue;
+                    }
+                    let dctx = &a.ctxs[*d];
+                    edges.push(BlockEdge {
+                        from: node_name(a, sctx),
+                        to: node_name(a, dctx),
+                        kind: "send-full",
+                        resource: label.clone(),
+                        file: a.files[sctx.file_idx].clone(),
+                        line: site.line,
+                        col: site.col,
+                        chan: Some(c),
+                        pos: site.pos,
+                        from_file: sctx.file_idx,
+                        owner_release: None,
+                        owner_file: dctx.file_idx,
+                    });
+                }
+            }
+        }
+    }
+
+    // Join edges: target contexts resolve by exact name within the file.
+    let mut by_name: BTreeMap<(usize, &str), usize> = BTreeMap::new();
+    for (idx, ctx) in a.ctxs.iter().enumerate() {
+        by_name.insert((ctx.file_idx, ctx.name.as_str()), idx);
+    }
+    for ctx in &a.ctxs {
+        for j in &ctx.joins {
+            let Some(&tidx) = by_name.get(&(ctx.file_idx, j.target.as_str())) else {
+                continue;
+            };
+            let tctx = &a.ctxs[tidx];
+            edges.push(BlockEdge {
+                from: node_name(a, ctx),
+                to: node_name(a, tctx),
+                kind: "join",
+                resource: j.target.clone(),
+                file: a.files[ctx.file_idx].clone(),
+                line: j.line,
+                col: j.col,
+                chan: None,
+                pos: j.pos,
+                from_file: ctx.file_idx,
+                owner_release: None,
+                owner_file: tctx.file_idx,
+            });
+        }
+    }
+
+    // Condvar edges: waiter -> notifier, per condvar label.
+    let mut notifiers: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, ctx) in a.ctxs.iter().enumerate() {
+        for n in &ctx.cv_notifies {
+            notifiers.entry(n.cv.as_str()).or_default().push(idx);
+        }
+    }
+    for (widx, ctx) in a.ctxs.iter().enumerate() {
+        for w in &ctx.cv_waits {
+            for &nidx in notifiers.get(w.cv.as_str()).into_iter().flatten() {
+                if nidx == widx {
+                    continue;
+                }
+                let nctx = &a.ctxs[nidx];
+                edges.push(BlockEdge {
+                    from: node_name(a, ctx),
+                    to: node_name(a, nctx),
+                    kind: "condvar-wait",
+                    resource: w.cv.clone(),
+                    file: a.files[ctx.file_idx].clone(),
+                    line: w.line,
+                    col: w.col,
+                    chan: None,
+                    pos: w.pos,
+                    from_file: ctx.file_idx,
+                    owner_release: None,
+                    owner_file: nctx.file_idx,
+                });
+            }
+        }
+    }
+
+    // Lock-wait edges bridged from the guard pass: f acquires rank R that g
+    // holds across a blocking call → f waits-for g.
+    if !fns.is_empty() {
+        let file_idx: BTreeMap<&Path, usize> = a
+            .files
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.as_path(), i))
+            .collect();
+        let nodes_of = |f: &FnSummary| -> Vec<(String, usize)> {
+            let Some(&fi) = file_idx.get(f.file.as_path()) else {
+                return vec![(format!("{}::{}", short_path(&f.file), f.name), usize::MAX)];
+            };
+            let mut out: Vec<(String, usize)> = Vec::new();
+            if let Some(at) = f.name.find("@spawn:") {
+                let suffix = &f.name[at..];
+                for ctx in &a.ctxs {
+                    if ctx.file_idx == fi && ctx.name.ends_with(suffix) {
+                        out.push((node_name(a, ctx), fi));
+                    }
+                }
+            } else {
+                for ctx in &a.ctxs {
+                    if ctx.file_idx == fi
+                        && ctx.name.rsplit(':').next() == Some(f.name.as_str())
+                        && !ctx.name.contains('@')
+                    {
+                        out.push((node_name(a, ctx), fi));
+                    }
+                }
+            }
+            if out.is_empty() {
+                out.push((format!("{}::{}", short_path(&f.file), f.name), fi));
+            }
+            out
+        };
+        for f in fns {
+            for acq in &f.acquires {
+                let Some(rank) = &acq.rank else { continue };
+                for g in fns {
+                    if g.name == f.name && g.file == f.file {
+                        continue;
+                    }
+                    if !g
+                        .blocking_held
+                        .iter()
+                        .any(|b| b.held_ranks.iter().any(|r| r == rank))
+                    {
+                        continue;
+                    }
+                    for (from, ffi) in nodes_of(f) {
+                        for (to, tfi) in nodes_of(g) {
+                            edges.push(BlockEdge {
+                                from: from.clone(),
+                                to,
+                                kind: "lock-wait",
+                                resource: rank.clone(),
+                                file: f.file.clone(),
+                                line: acq.line,
+                                col: acq.col,
+                                chan: None,
+                                pos: 0,
+                                from_file: ffi,
+                                owner_release: None,
+                                owner_file: tfi,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    edges.sort_by(|x, y| {
+        (&x.from, &x.to, x.kind, &x.resource, &x.file, x.line).cmp(&(
+            &y.from,
+            &y.to,
+            y.kind,
+            &y.resource,
+            &y.file,
+            y.line,
+        ))
+    });
+    edges.dedup_by(|x, y| {
+        x.from == y.from && x.to == y.to && x.kind == y.kind && x.resource == y.resource
+    });
+    edges
+}
+
+// ---------------------------------------------------------------------------
+// Cycle detection
+// ---------------------------------------------------------------------------
+
+/// Detects blocking cycles after applying the release-before-block and
+/// mode-exclusion filters (see module docs).
+pub fn cycles(edges: &[BlockEdge]) -> Vec<Problem> {
+    let mut live: Vec<&BlockEdge> = edges.iter().collect();
+
+    // The two filters interact (dropping a send-full edge can make a
+    // release-before-block discount valid), so both run inside one loop
+    // until the edge set is stable, then cycles are reported.
+    let mut problems = loop {
+        // Filter 1 (to fixpoint): release-before-block. A recv-empty edge
+        // X→A is discounted when A releases the sender before every one of
+        // its own remaining blocking edges: by the time A blocks, X has
+        // been unblocked by sender drop.
+        loop {
+            let mut outs: BTreeMap<&str, Vec<(usize, usize)>> = BTreeMap::new();
+            for e in &live {
+                outs.entry(e.from.as_str())
+                    .or_default()
+                    .push((e.from_file, e.pos));
+            }
+            let before = live.len();
+            live.retain(|e| {
+                if e.kind != "recv-empty" {
+                    return true;
+                }
+                let Some(Some(release)) = e.owner_release else {
+                    return true; // owner never provably releases
+                };
+                let Some(owner_outs) = outs.get(e.to.as_str()) else {
+                    return true;
+                };
+                !owner_outs
+                    .iter()
+                    .all(|&(of, pos)| of == e.owner_file && pos > release)
+            });
+            if live.len() == before {
+                break;
+            }
+        }
+        let mut nodes: Vec<&str> = live
+            .iter()
+            .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        nodes.sort_unstable();
+        let index_of: BTreeMap<&str, usize> =
+            nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for e in &live {
+            adj[index_of[e.from.as_str()]].push(index_of[e.to.as_str()]);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        let sccs = tarjan(&adj);
+        let mut drops: Vec<(BTreeSet<usize>, BTreeSet<String>)> = Vec::new();
+        let mut reported: Vec<Problem> = Vec::new();
+        for scc in sccs {
+            let is_cycle = scc.len() > 1 || adj[scc[0]].contains(&scc[0]);
+            if !is_cycle {
+                continue;
+            }
+            let members: BTreeSet<&str> = scc.iter().map(|&i| nodes[i]).collect();
+            let internal: Vec<&&BlockEdge> = live
+                .iter()
+                .filter(|e| members.contains(e.from.as_str()) && members.contains(e.to.as_str()))
+                .collect();
+            // Mode exclusion: same channel in both full and empty state.
+            let mut modes: BTreeMap<usize, BTreeSet<&str>> = BTreeMap::new();
+            for e in &internal {
+                if let Some(c) = e.chan {
+                    modes.entry(c).or_default().insert(e.kind);
+                }
+            }
+            let excluded: BTreeSet<usize> = modes
+                .iter()
+                .filter(|(_, kinds)| kinds.contains("send-full") && kinds.contains("recv-empty"))
+                .map(|(&c, _)| c)
+                .collect();
+            if !excluded.is_empty() {
+                // Defer the edge drop (can't mutate `live` while borrowed);
+                // the component is re-checked next round.
+                drops.push((excluded, members.iter().map(|s| s.to_string()).collect()));
+                continue;
+            }
+            let mut names: Vec<&str> = members.iter().copied().collect();
+            names.sort_unstable();
+            let site = internal.first().expect("cycle implies an internal edge");
+            let detail: Vec<String> = internal
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{} -[{} {}]-> {} ({}:{})",
+                        e.from,
+                        e.kind,
+                        e.resource,
+                        e.to,
+                        e.file.display(),
+                        e.line
+                    )
+                })
+                .collect();
+            reported.push(Problem {
+                message: format!(
+                    "blocking cycle among {{{}}}: {}",
+                    names.join(", "),
+                    detail.join("; ")
+                ),
+                file: site.file.clone(),
+                line: site.line,
+                col: site.col,
+            });
+        }
+        if drops.is_empty() {
+            break reported;
+        }
+        for (excluded, members) in drops {
+            live.retain(|e| {
+                !(e.kind == "send-full"
+                    && e.chan.is_some_and(|c| excluded.contains(&c))
+                    && members.contains(e.from.as_str())
+                    && members.contains(e.to.as_str()))
+            });
+        }
+    };
+    problems.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    problems
+}
+
+// ---------------------------------------------------------------------------
+// Channel discipline + capacity table
+// ---------------------------------------------------------------------------
+
+/// `channel-discipline`: unbounded channels need an allowlist justification;
+/// bounded capacities must be single named constants.
+pub fn discipline(a: &Analysis) -> Vec<Problem> {
+    let mut out = Vec::new();
+    for ch in &a.channels {
+        if !ch.bounded {
+            out.push(Problem {
+                message: format!(
+                    "unbounded channel `{}`: queues must be bounded with a named-constant \
+                     capacity so backpressure reaches the source (DESIGN.md channel-capacity \
+                     table); if unbounded is load-bearing, justify it in the allowlist",
+                    ch.name
+                ),
+                file: ch.file.clone(),
+                line: ch.line,
+                col: ch.col,
+            });
+        } else if !ch.capacity_is_const {
+            out.push(Problem {
+                message: format!(
+                    "bounded channel `{}` uses magic capacity `{}`: name it as a `const` so \
+                     the DESIGN.md channel-capacity table documents the backpressure budget",
+                    ch.name,
+                    ch.capacity.as_deref().unwrap_or("<none>")
+                ),
+                file: ch.file.clone(),
+                line: ch.line,
+                col: ch.col,
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    out
+}
+
+/// Markdown rows for the generated DESIGN.md capacity/backpressure table.
+pub fn capacity_table(a: &Analysis) -> Vec<String> {
+    let mut rows: BTreeSet<String> = BTreeSet::new();
+    for ch in &a.channels {
+        let spec = if !ch.bounded {
+            "unbounded (allowlisted)".to_string()
+        } else if ch.capacity_is_const {
+            let cap = ch.capacity.as_deref().unwrap_or("?");
+            match a.consts.get(cap) {
+                Some(v) => format!("`{cap}` = {v}"),
+                None => format!("`{cap}`"),
+            }
+        } else {
+            format!("`{}` (unnamed)", ch.capacity.as_deref().unwrap_or("?"))
+        };
+        rows.insert(format!(
+            "| `{}` | `{}` | {} |",
+            short_path(&ch.file),
+            ch.name,
+            spec
+        ));
+    }
+    let mut out = vec![
+        "| file | channel | capacity |".to_string(),
+        "|---|---|---|".to_string(),
+    ];
+    out.extend(rows);
+    out
+}
+
+/// Renders the wait-for graph for `--block-graph` (one line per edge).
+pub fn render(edges: &[BlockEdge]) -> Vec<String> {
+    let mut lines: Vec<String> = edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{} -[{} {}]-> {}  [{}:{}]",
+                e.from,
+                e.kind,
+                e.resource,
+                e.to,
+                e.file.display(),
+                e.line
+            )
+        })
+        .collect();
+    lines.sort();
+    lines.dedup();
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn an(src: &str) -> Analysis {
+        analyze(&[(PathBuf::from("t.rs"), src.to_string())], true)
+    }
+
+    fn edges_of(src: &str) -> Vec<BlockEdge> {
+        build_edges(&an(src), &[])
+    }
+
+    #[test]
+    fn channel_bindings_capacities_and_discipline() {
+        let src = "const CAP: usize = 8;\n\
+                   fn f() {\n\
+                       let (tx, rx) = bounded(CAP);\n\
+                       let (a, b): (Sender<u8>, Receiver<u8>) = unbounded();\n\
+                       let (m, n) = bounded(64);\n\
+                       let _ = (rx, b, n, m, a, tx);\n\
+                   }\n";
+        let a = an(src);
+        assert_eq!(a.channels.len(), 3, "{:?}", a.channels);
+        assert_eq!(a.channels[0].name, "tx");
+        assert!(a.channels[0].bounded && a.channels[0].capacity_is_const);
+        assert_eq!(a.channels[0].capacity.as_deref(), Some("CAP"));
+        assert_eq!(a.channels[1].name, "a");
+        assert!(!a.channels[1].bounded);
+        assert_eq!(a.channels[2].capacity.as_deref(), Some("64"));
+        assert!(!a.channels[2].capacity_is_const);
+        assert_eq!(a.consts.get("CAP").map(String::as_str), Some("8"));
+
+        let problems = discipline(&a);
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        assert!(problems[0].message.contains("unbounded channel `a`"));
+        assert!(problems[1].message.contains("magic capacity `64`"));
+    }
+
+    #[test]
+    fn join_while_owning_sender_is_a_cycle() {
+        let src = "const CAP: usize = 4;\n\
+            struct W { tx: Option<Sender<u8>>, h: Option<JoinHandle<()>> }\n\
+            impl W {\n\
+                fn start() -> W {\n\
+                    let (tx, rx) = bounded(CAP);\n\
+                    let h = std::thread::Builder::new().name(\"pump\").spawn(move || {\n\
+                        while let Ok(v) = rx.recv() { let _ = v; }\n\
+                    }).unwrap();\n\
+                    W { tx: Some(tx), h: Some(h) }\n\
+                }\n\
+                fn stop(&mut self) {\n\
+                    if let Some(h) = self.h.take() { let _ = h.join(); }\n\
+                }\n\
+            }\n";
+        let edges = edges_of(src);
+        let problems = cycles(&edges);
+        assert_eq!(problems.len(), 1, "edges: {:#?}", render(&edges));
+        assert!(
+            problems[0].message.contains("pump@spawn"),
+            "{}",
+            problems[0].message
+        );
+        assert!(
+            problems[0].message.contains("W::stop"),
+            "{}",
+            problems[0].message
+        );
+    }
+
+    #[test]
+    fn sender_release_before_join_suppresses_the_cycle() {
+        let src = "const CAP: usize = 4;\n\
+            struct W { tx: Option<Sender<u8>>, h: Option<JoinHandle<()>> }\n\
+            impl W {\n\
+                fn start() -> W {\n\
+                    let (tx, rx) = bounded(CAP);\n\
+                    let h = std::thread::Builder::new().name(\"pump\").spawn(move || {\n\
+                        while let Ok(v) = rx.recv() { let _ = v; }\n\
+                    }).unwrap();\n\
+                    W { tx: Some(tx), h: Some(h) }\n\
+                }\n\
+                fn stop(&mut self) {\n\
+                    self.tx.take();\n\
+                    if let Some(h) = self.h.take() { let _ = h.join(); }\n\
+                }\n\
+            }\n";
+        let edges = edges_of(src);
+        let problems = cycles(&edges);
+        assert!(problems.is_empty(), "{:#?}", render(&edges));
+    }
+
+    #[test]
+    fn drop_before_join_on_a_local_channel_suppresses() {
+        let good = "const CAP: usize = 4;\n\
+            fn serve() {\n\
+                let (tx, rx) = bounded(CAP);\n\
+                let pump = std::thread::spawn(move || {\n\
+                    while let Ok(v) = rx.recv() { let _ = v; }\n\
+                });\n\
+                tx.send(1).ok();\n\
+                drop(tx);\n\
+                let _ = pump.join();\n\
+            }\n";
+        assert!(cycles(&edges_of(good)).is_empty());
+
+        let bad = "const CAP: usize = 4;\n\
+            fn serve() {\n\
+                let (tx, rx) = bounded(CAP);\n\
+                let pump = std::thread::spawn(move || {\n\
+                    while let Ok(v) = rx.recv() { let _ = v; }\n\
+                });\n\
+                tx.send(1).ok();\n\
+                let _ = pump.join();\n\
+            }\n";
+        let problems = cycles(&edges_of(bad));
+        assert_eq!(problems.len(), 1, "{problems:?}");
+    }
+
+    #[test]
+    fn bounded_pump_pair_is_mode_excluded() {
+        // A bounded channel with a dedicated sender thread and a dedicated
+        // receiver thread produces send-full and recv-empty edges on the
+        // same channel — mutually exclusive states, not a deadlock.
+        let src = "const CAP: usize = 4;\n\
+            fn wire() {\n\
+                let (tx, rx) = bounded(CAP);\n\
+                let w = std::thread::spawn(move || {\n\
+                    while let Ok(v) = rx.recv() { let _ = v; }\n\
+                });\n\
+                std::thread::spawn(move || loop { let _ = tx.send(1); });\n\
+                let _ = w.join();\n\
+            }\n";
+        let edges = edges_of(src);
+        assert!(
+            edges.iter().any(|e| e.kind == "send-full"),
+            "{:#?}",
+            render(&edges)
+        );
+        assert!(edges.iter().any(|e| e.kind == "recv-empty"));
+        assert!(cycles(&edges).is_empty(), "{:#?}", render(&edges));
+    }
+
+    #[test]
+    fn call_propagation_still_reports_the_true_positive() {
+        // The send-full edge is discounted by mode exclusion, but the
+        // join + recv-empty cycle must survive: the pump never exits
+        // because `start` keeps the sender alive across the join.
+        let src = "const CAP: usize = 4;\n\
+            fn pump(rx: Receiver<u8>) { while let Ok(v) = rx.recv() { let _ = v; } }\n\
+            fn start() {\n\
+                let (tx, rx) = bounded(CAP);\n\
+                let h = std::thread::spawn(move || pump(rx));\n\
+                let _ = tx.send(1);\n\
+                let _ = h.join();\n\
+            }\n";
+        let edges = edges_of(src);
+        let problems = cycles(&edges);
+        assert_eq!(problems.len(), 1, "{:#?}", render(&edges));
+        assert!(
+            problems[0].message.contains("join"),
+            "{}",
+            problems[0].message
+        );
+    }
+
+    #[test]
+    fn condvar_wait_edges_point_at_notifiers() {
+        let src = "struct S { cv: Condvar, m: Mutex<u8> }\n\
+            impl S {\n\
+                fn park(&self) { let g = self.m.lock(); let _ = self.cv.wait(g); }\n\
+                fn wake(&self) { self.cv.notify_one(); }\n\
+            }\n";
+        let edges = edges_of(src);
+        let cv: Vec<_> = edges.iter().filter(|e| e.kind == "condvar-wait").collect();
+        assert_eq!(cv.len(), 1, "{:#?}", render(&edges));
+        assert!(cv[0].from.ends_with("S::park"));
+        assert!(cv[0].to.ends_with("S::wake"));
+        assert!(cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn capacity_table_lists_named_and_unbounded_channels() {
+        let src = "const CAP: usize = 8;\n\
+                   fn f() {\n\
+                       let (tx, _rx) = bounded(CAP);\n\
+                       let (evt_tx, _evt_rx) = unbounded();\n\
+                       let _ = (tx, evt_tx);\n\
+                   }\n";
+        let table = capacity_table(&an(src));
+        let joined = table.join("\n");
+        assert!(joined.contains("| `t.rs` | `tx` | `CAP` = 8 |"), "{joined}");
+        assert!(
+            joined.contains("| `t.rs` | `evt_tx` | unbounded (allowlisted) |"),
+            "{joined}"
+        );
+    }
+
+    #[test]
+    fn render_is_sorted_and_labels_resources() {
+        let src = "const CAP: usize = 4;\n\
+            fn serve() {\n\
+                let (tx, rx) = bounded(CAP);\n\
+                let pump = std::thread::spawn(move || {\n\
+                    while let Ok(v) = rx.recv() { let _ = v; }\n\
+                });\n\
+                tx.send(1).ok();\n\
+                let _ = pump.join();\n\
+            }\n";
+        let lines = render(&edges_of(src));
+        assert!(!lines.is_empty());
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted);
+        assert!(lines.iter().any(|l| l.contains("tx@t.rs:")), "{lines:#?}");
+    }
+}

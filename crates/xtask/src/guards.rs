@@ -63,6 +63,9 @@ pub struct BlockingSite {
     pub what: String,
     /// Names (or `<guard>`) of the live guards held across it.
     pub held: Vec<String>,
+    /// Rank constant names of the live guards (unresolvable ranks omitted);
+    /// the blocking graph uses these to draw lock-wait edges.
+    pub held_ranks: Vec<String>,
     pub line: u32,
     pub col: u32,
 }
@@ -944,18 +947,20 @@ fn record_blocking(
     what: &str,
     tok: &Token<'_>,
 ) {
-    let held: Vec<String> = live
+    let kept: Vec<&Guard> = live
         .iter()
         .filter(|g| match (waited, &g.name) {
             (Some(w), Some(n)) => n != w,
             _ => true,
         })
-        .map(|g| g.label())
         .collect();
+    let held: Vec<String> = kept.iter().map(|g| g.label()).collect();
+    let held_ranks: Vec<String> = kept.iter().filter_map(|g| g.rank.clone()).collect();
     if !held.is_empty() {
         summary.blocking_held.push(BlockingSite {
             what: what.to_string(),
             held,
+            held_ranks,
             line: tok.line,
             col: tok.col,
         });

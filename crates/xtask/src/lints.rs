@@ -171,6 +171,10 @@ pub struct ScanReport {
     pub hot: Vec<String>,
     /// Per-function hot-path allocation counts (the baseline content model).
     pub hotpath_counts: std::collections::BTreeMap<String, usize>,
+    /// The unified blocking wait-for graph, one edge per line.
+    pub block_graph: Vec<String>,
+    /// The generated DESIGN.md channel-capacity table rows.
+    pub channel_table: Vec<String>,
 }
 
 /// Scans every `.rs` file under `root`.
@@ -202,6 +206,79 @@ pub fn scan_tree(
     }
 
     let (graph, all_fns) = guard_pass(root, &texts, fixture_mode, allow, &mut violations);
+
+    let line_text = |rel: &Path, line: u32| -> String {
+        texts
+            .iter()
+            .find(|(r, _)| r == rel)
+            .and_then(|(_, t)| t.lines().nth(line as usize - 1))
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    };
+
+    // blocking-cycle / channel-discipline: the unified wait-for graph over
+    // channel endpoints, pump joins, condvars, and guard-pass lock waits.
+    // Edges whose blocking site is allowlisted drop out before cycle
+    // detection, mirroring how lock-order handles justified inversions.
+    let block_an = crate::blockgraph::analyze(&texts, fixture_mode);
+    let block_edges: Vec<crate::blockgraph::BlockEdge> =
+        crate::blockgraph::build_edges(&block_an, &all_fns)
+            .into_iter()
+            .filter(|e| !allow.permits(&e.file, &line_text(&e.file, e.line)))
+            .collect();
+    for p in crate::blockgraph::cycles(&block_edges) {
+        violations.push(Violation {
+            path: p.file.clone(),
+            line: p.line as usize,
+            col: p.col as usize,
+            rule: "blocking-cycle",
+            message: p.message,
+            snippet: line_text(&p.file, p.line),
+        });
+    }
+    for p in crate::blockgraph::discipline(&block_an) {
+        let snippet = line_text(&p.file, p.line);
+        if allow.permits(&p.file, &snippet) {
+            continue;
+        }
+        violations.push(Violation {
+            path: p.file.clone(),
+            line: p.line as usize,
+            col: p.col as usize,
+            rule: "channel-discipline",
+            message: p.message,
+            snippet,
+        });
+    }
+    let block_graph = crate::blockgraph::render(&block_edges);
+    let channel_table = crate::blockgraph::capacity_table(&block_an);
+
+    // relaxed-atomics: Relaxed orderings outside recognizable counters.
+    for (rel, text) in &texts {
+        if !guards::guard_analysis_applies(rel, fixture_mode) {
+            continue;
+        }
+        for s in crate::atomics::scan_file(rel, text) {
+            let snippet = line_text(rel, s.line);
+            if allow.permits(rel, &snippet) {
+                continue;
+            }
+            violations.push(Violation {
+                path: rel.clone(),
+                line: s.line as usize,
+                col: s.col as usize,
+                rule: "relaxed-atomics",
+                message: format!(
+                    "`Ordering::Relaxed` in `{}.{}(…)` is not a recognized counter site; \
+                     flags and latches publish state — use Acquire/Release (or justify the \
+                     entry in the allowlist)",
+                    s.receiver, s.method
+                ),
+                snippet,
+            });
+        }
+    }
 
     // hot-path-alloc: reachability from the root list, allocation sites,
     // ratcheted baseline (fixture mode: every site is a violation).
@@ -241,6 +318,8 @@ pub fn scan_tree(
         graph,
         hot,
         hotpath_counts,
+        block_graph,
+        channel_table,
     })
 }
 
@@ -1002,6 +1081,9 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
             ("lock_graph_cycle.rs", "lock-order"),
             ("hot_path_alloc.rs", "hot-path-alloc"),
             ("panic_surface.rs", "panic-surface"),
+            ("blocking_cycle.rs", "blocking-cycle"),
+            ("channel_discipline.rs", "channel-discipline"),
+            ("relaxed_atomics.rs", "relaxed-atomics"),
         ] {
             assert!(
                 report
@@ -1035,6 +1117,71 @@ fn prod(x: Option<u32>) -> u32 { x.unwrap() }
             .filter(|v| v.rule == "guard-escape")
             .count();
         assert_eq!(escapes, 2, "expected struct-field and return escapes");
+        // Both-direction checks for the new rules: the compliant
+        // counterexamples inside each fixture must NOT fire.
+        let disc: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "channel-discipline")
+            .collect();
+        assert_eq!(disc.len(), 2, "unbounded + magic capacity only: {disc:?}");
+        assert!(disc.iter().all(|v| !v.snippet.contains("REPLY_DEPTH")));
+        let relaxed: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.rule == "relaxed-atomics")
+            .collect();
+        assert_eq!(
+            relaxed.len(),
+            1,
+            "the fetch_add counter is exempt: {relaxed:?}"
+        );
+        assert!(relaxed[0].snippet.contains("running.store"));
+        // The blocking cycle names both parties: the joining stop() and
+        // the pump thread it waits on.
+        let cycle = report
+            .violations
+            .iter()
+            .find(|v| v.rule == "blocking-cycle")
+            .expect("blocking_cycle.rs fixture fires");
+        assert!(
+            cycle.message.contains("fixture-pump@spawn"),
+            "{}",
+            cycle.message
+        );
+        assert!(cycle.message.contains("Pumped::stop"), "{}", cycle.message);
+    }
+
+    /// Pins the DESIGN.md §10 channel-capacity table to the analyzer's
+    /// generated rows, like the lock-order graph block: the doc cannot
+    /// drift from the code's actual queue inventory.
+    #[test]
+    fn design_doc_channel_table_is_current() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .unwrap();
+        let allow = Allowlist::load(&root.join("crates/xtask/lint-allowlist.txt")).unwrap();
+        let report = scan_tree(root, false, &allow).unwrap();
+        let design = fs::read_to_string(root.join("DESIGN.md")).unwrap();
+
+        let begin = design
+            .find("<!-- channel-capacity-table:begin -->")
+            .expect("DESIGN.md is missing the channel-capacity-table:begin marker");
+        let end = design
+            .find("<!-- channel-capacity-table:end -->")
+            .expect("DESIGN.md is missing the channel-capacity-table:end marker");
+        let documented: Vec<&str> = design[begin..end]
+            .lines()
+            .filter(|l| l.trim_start().starts_with('|'))
+            .map(str::trim)
+            .collect();
+        let generated: Vec<&str> = report.channel_table.iter().map(String::as_str).collect();
+        assert_eq!(
+            documented, generated,
+            "DESIGN.md §10 channel-capacity table is stale; replace the block \
+             with the table printed by `cargo run -p xtask -- lint --block-graph`"
+        );
     }
 
     #[test]

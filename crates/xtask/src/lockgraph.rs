@@ -261,8 +261,9 @@ pub fn check(edges: &[GraphEdge], table: &RankTable) -> Vec<GraphProblem> {
 }
 
 /// Iterative Tarjan strongly-connected components; returns SCCs sorted by
-/// their smallest node index for determinism.
-fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+/// their smallest node index for determinism. Shared with the blocking
+/// graph, which runs the same cycle detection over wait-for edges.
+pub(crate) fn tarjan(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let n = adj.len();
     let mut index = vec![usize::MAX; n];
     let mut low = vec![0usize; n];

@@ -29,7 +29,17 @@
 //! | 7    | `allowlist-stale` only                         |
 //! | 8    | `hot-path-alloc` only                          |
 //! | 9    | `panic-surface` only                           |
+//! | 10   | `blocking-cycle` only                          |
+//! | 11   | `channel-discipline` only                      |
+//! | 12   | `relaxed-atomics` only                         |
+//!
+//! A second task, `bench-gate`, compares a fresh criterion report against
+//! the committed `BENCH_protocol.json` baseline and fails on regression
+//! (exit 1) so CI catches performance drift.
 
+mod atomics;
+mod benchgate;
+mod blockgraph;
 mod guards;
 mod hotpath;
 mod lexer;
@@ -50,7 +60,11 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut graph = false;
     let mut hot = false;
+    let mut block_graph = false;
     let mut write_baseline = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut tolerance = 0.5f64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -59,8 +73,19 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--graph" => graph = true,
             "--hot" => hot = true,
+            "--block-graph" => block_graph = true,
             "--write-hotpath-baseline" => write_baseline = true,
+            "--baseline" => baseline = iter.next().map(PathBuf::from),
+            "--fresh" => fresh = iter.next().map(PathBuf::from),
+            "--tolerance" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(t) if t >= 0.0 => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a non-negative number");
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            },
             "lint" => task = Some("lint"),
+            "bench-gate" => task = Some("bench-gate"),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -74,7 +99,16 @@ fn main() -> ExitCode {
     }
 
     match task {
-        Some("lint") => run_lint(root, allowlist, json, graph, hot, write_baseline),
+        Some("lint") => run_lint(
+            root,
+            allowlist,
+            json,
+            graph,
+            hot,
+            block_graph,
+            write_baseline,
+        ),
+        Some("bench-gate") => run_bench_gate(baseline, fresh, tolerance),
         _ => {
             print_usage();
             ExitCode::from(EXIT_ERROR)
@@ -82,10 +116,41 @@ fn main() -> ExitCode {
     }
 }
 
+/// Reads baseline and fresh bench reports and applies the tolerance gate.
+fn run_bench_gate(baseline: Option<PathBuf>, fresh: Option<PathBuf>, tolerance: f64) -> ExitCode {
+    let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask sits two levels under the workspace root")
+        .to_path_buf();
+    let baseline = baseline.unwrap_or_else(|| workspace_root.join("BENCH_protocol.json"));
+    let Some(fresh) = fresh else {
+        eprintln!("bench-gate needs --fresh FILE (the just-generated report)");
+        return ExitCode::from(EXIT_ERROR);
+    };
+    let read = |p: &PathBuf| -> Option<String> {
+        match std::fs::read_to_string(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", p.display());
+                None
+            }
+        }
+    };
+    let (Some(base_text), Some(fresh_text)) = (read(&baseline), read(&fresh)) else {
+        return ExitCode::from(EXIT_ERROR);
+    };
+    ExitCode::from(benchgate::run(&base_text, &fresh_text, tolerance) as u8)
+}
+
 fn print_usage() {
     eprintln!(
         "usage: cargo run -p xtask -- lint [--root DIR] [--allowlist FILE] [--json] [--graph] \
-         [--hot] [--write-hotpath-baseline]"
+         [--hot] [--block-graph] [--write-hotpath-baseline]"
+    );
+    eprintln!(
+        "       cargo run -p xtask -- bench-gate --fresh FILE [--baseline FILE] \
+         [--tolerance F]"
     );
     eprintln!();
     eprintln!("Lints the workspace sources. With --root, scans an arbitrary");
@@ -95,9 +160,16 @@ fn print_usage() {
     eprintln!("  --json    emit machine-readable JSON on stdout instead of text");
     eprintln!("  --graph   print the inferred lock-order graph after the scan");
     eprintln!("  --hot     print the hot-path function dump (allocation counts)");
+    eprintln!("  --block-graph");
+    eprintln!("            print the unified blocking wait-for graph (channels,");
+    eprintln!("            joins, condvars, lock waits) after the scan");
     eprintln!("  --write-hotpath-baseline");
     eprintln!("            rewrite crates/xtask/hotpath-baseline.txt with the");
     eprintln!("            current counts (use after removing allocations)");
+    eprintln!();
+    eprintln!("bench-gate compares a fresh criterion report against the committed");
+    eprintln!("baseline (default BENCH_protocol.json) and exits 1 when any");
+    eprintln!("benchmark slowed past the tolerance band (default 0.5 = +50%).");
 }
 
 fn run_lint(
@@ -106,6 +178,7 @@ fn run_lint(
     json: bool,
     graph: bool,
     hot: bool,
+    block_graph: bool,
     write_baseline: bool,
 ) -> ExitCode {
     // Default to the workspace root: xtask lives at <root>/crates/xtask.
@@ -186,6 +259,19 @@ fn run_lint(
                 println!("  {line}");
             }
         }
+        if block_graph {
+            println!(
+                "blocking wait-for graph ({} edges):",
+                report.block_graph.len()
+            );
+            for line in &report.block_graph {
+                println!("  {line}");
+            }
+            println!("channel capacities (DESIGN.md table):");
+            for line in &report.channel_table {
+                println!("  {line}");
+            }
+        }
         if report.violations.is_empty() {
             println!("xtask lint: clean ({} files scanned)", report.files);
         } else {
@@ -210,6 +296,9 @@ fn exit_code_for(violations: &[lints::Violation]) -> u8 {
             "allowlist-stale" => 7,
             "hot-path-alloc" => 8,
             "panic-surface" => 9,
+            "blocking-cycle" => 10,
+            "channel-discipline" => 11,
+            "relaxed-atomics" => 12,
             _ => 3,
         })
         .collect();
@@ -269,6 +358,18 @@ fn report_to_json(report: &lints::ScanReport) -> String {
     if !report.hot.is_empty() {
         out.push_str("\n  ");
     }
+    out.push_str("],\n");
+    out.push_str("  \"block_graph\": [");
+    for (i, line) in report.block_graph.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&json_str(line));
+    }
+    if !report.block_graph.is_empty() {
+        out.push_str("\n  ");
+    }
     out.push_str("]\n}");
     out
 }
@@ -316,6 +417,13 @@ mod tests {
         assert_eq!(exit_code_for(&[violation("allowlist-stale")]), 7);
         assert_eq!(exit_code_for(&[violation("hot-path-alloc")]), 8);
         assert_eq!(exit_code_for(&[violation("panic-surface")]), 9);
+        assert_eq!(exit_code_for(&[violation("blocking-cycle")]), 10);
+        assert_eq!(exit_code_for(&[violation("channel-discipline")]), 11);
+        assert_eq!(exit_code_for(&[violation("relaxed-atomics")]), 12);
+        assert_eq!(
+            exit_code_for(&[violation("blocking-cycle"), violation("channel-discipline")]),
+            1
+        );
         assert_eq!(
             exit_code_for(&[violation("hot-path-alloc"), violation("panic-surface")]),
             1
@@ -345,6 +453,8 @@ mod tests {
             graph: vec!["a (1) -> b (2) via `c`  [f.rs:1]".into()],
             hot: vec!["f.rs::f allocs=1  [root]".into()],
             hotpath_counts: std::collections::BTreeMap::new(),
+            block_graph: vec!["a -[join pump]-> b  [f.rs:2]".into()],
+            channel_table: Vec::new(),
         };
         let json = report_to_json(&report);
         // Windows separators are normalized, never escaped.
@@ -357,6 +467,8 @@ mod tests {
         assert!(json.contains("\"lock_order_graph\""));
         assert!(json.contains("\"hot_path\""));
         assert!(json.contains("f.rs::f allocs=1"));
+        assert!(json.contains("\"block_graph\""));
+        assert!(json.contains("a -[join pump]-> b"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),
@@ -374,10 +486,13 @@ mod tests {
             graph: Vec::new(),
             hot: Vec::new(),
             hotpath_counts: std::collections::BTreeMap::new(),
+            block_graph: Vec::new(),
+            channel_table: Vec::new(),
         };
         let json = report_to_json(&report);
         assert!(json.contains("\"violations\": []"));
         assert!(json.contains("\"lock_order_graph\": []"));
         assert!(json.contains("\"hot_path\": []"));
+        assert!(json.contains("\"block_graph\": []"));
     }
 }
