@@ -34,6 +34,7 @@ pub mod policy;
 pub mod protocol;
 pub mod rate;
 pub mod retry;
+pub mod stall;
 pub mod tcp;
 pub mod wire;
 

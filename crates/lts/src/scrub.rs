@@ -21,6 +21,7 @@ use std::time::Duration;
 use pravega_common::clock::{Clock, SystemClock};
 use pravega_common::metrics::{Counter, MetricsRegistry};
 use pravega_common::rate::TokenBucket;
+use pravega_common::stall::sleep_interruptible;
 
 use crate::error::LtsError;
 use crate::segment::ChunkedSegmentStorage;
@@ -217,20 +218,6 @@ impl Scrubber {
             stop,
             thread: Some(thread),
         })
-    }
-}
-
-/// Sleeps up to `total`, waking early when `stop` is set.
-fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
-    const SLICE: Duration = Duration::from_millis(10);
-    let mut remaining = total;
-    while !remaining.is_zero() {
-        if stop.load(Ordering::Acquire) {
-            return;
-        }
-        let nap = remaining.min(SLICE);
-        std::thread::sleep(nap);
-        remaining -= nap;
     }
 }
 

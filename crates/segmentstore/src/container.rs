@@ -31,6 +31,7 @@ use pravega_common::future::{promise, Promise, WaitError};
 use pravega_common::id::{ContainerId, WriterId};
 use pravega_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry, TextSlot};
 use pravega_common::rate::EwmaRate;
+use pravega_common::stall::{sleep_interruptible, StallClass, StallTracker};
 use pravega_lts::{ChunkedSegmentStorage, LtsError};
 use pravega_sync::{rank, Mutex};
 use pravega_wal::log::DurableDataLog;
@@ -64,8 +65,24 @@ pub struct ContainerConfig {
     pub flush_interval: Duration,
     /// Largest single write to LTS.
     pub max_flush_bytes: usize,
-    /// Unflushed-byte level at which appends block (writer throttling).
+    /// Unflushed-byte level at which writer throttling engages (§4.3).
     pub throttle_threshold_bytes: u64,
+    /// How throttling engages: gradual per-append delays (default) or the
+    /// legacy on/off cliff.
+    pub throttle_mode: ThrottleMode,
+    /// Multiple of `throttle_threshold_bytes` at which gradual throttling
+    /// stops delaying and blocks outright (the hard limit on backlog).
+    pub throttle_hard_limit_ratio: f64,
+    /// Per-append delay applied as the backlog approaches the hard limit.
+    pub throttle_max_delay: Duration,
+    /// Longest a single append may be held back before it fails with
+    /// [`SegmentError::ThrottleTimeout`].
+    pub throttle_timeout: Duration,
+    /// Sustained storage-writer flush rate in bytes/sec; `0.0` disables
+    /// pacing (whole-backlog bursts, pre-pacing behavior).
+    pub flush_bytes_per_sec: f64,
+    /// Flush pacing burst allowance in bytes.
+    pub flush_burst_bytes: f64,
     /// Crash-point hook for the container's pipeline, storage writer and
     /// seal path (`segmentstore.*` points); disarmed in production.
     pub crash_hook: CrashHook,
@@ -82,9 +99,52 @@ impl Default for ContainerConfig {
             flush_interval: Duration::from_millis(10),
             max_flush_bytes: 1024 * 1024,
             throttle_threshold_bytes: 64 * 1024 * 1024,
+            throttle_mode: ThrottleMode::Gradual,
+            throttle_hard_limit_ratio: 2.0,
+            throttle_max_delay: Duration::from_millis(20),
+            throttle_timeout: Duration::from_secs(120),
+            flush_bytes_per_sec: 256.0 * 1024.0 * 1024.0,
+            flush_burst_bytes: 4.0 * 1024.0 * 1024.0,
             crash_hook: CrashHook::disarmed(),
         }
     }
+}
+
+/// Writer-throttling engagement style (§4.3 backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThrottleMode {
+    /// Progressive engagement: while the backlog is between the threshold
+    /// and the hard limit, each append is delayed proportionally to the
+    /// overage and then admitted; only past the hard limit do appends block.
+    /// Writers degrade smoothly instead of slamming into a wall.
+    Gradual,
+    /// Legacy cliff: appends block outright the moment the backlog crosses
+    /// the threshold. Kept so the soak harness can demonstrate the tail
+    /// latency the cliff causes (`--profile burst`).
+    OnOff,
+}
+
+/// The backlog level at which gradual throttling blocks outright.
+fn hard_limit_bytes(threshold: u64, ratio: f64) -> u64 {
+    (threshold as f64 * ratio.max(1.0)) as u64
+}
+
+/// The per-append delay for a backlog of `backlog` bytes: zero at or below
+/// `threshold`, growing linearly to `max_delay` at `hard_limit`. Monotone
+/// non-decreasing in `backlog`, so heavier backlogs always wait at least as
+/// long — and the delay vanishes the moment the backlog drains.
+pub(crate) fn throttle_delay(
+    backlog: u64,
+    threshold: u64,
+    hard_limit: u64,
+    max_delay: Duration,
+) -> Duration {
+    if backlog <= threshold {
+        return Duration::ZERO;
+    }
+    let span = hard_limit.saturating_sub(threshold).max(1) as f64;
+    let over = (backlog - threshold) as f64;
+    max_delay.mul_f64((over / span).clamp(0.0, 1.0))
 }
 
 /// Result of a segment read.
@@ -236,6 +296,8 @@ pub(crate) struct ContainerMetrics {
     pub(crate) recoveries: Arc<Counter>,
     pub(crate) replayed_ops: Arc<Counter>,
     pub(crate) recovery_nanos: Arc<Histogram>,
+    /// Writer-visible stall taxonomy (`segmentstore.stalls.*`).
+    pub(crate) stalls: StallTracker,
 }
 
 impl ContainerMetrics {
@@ -255,6 +317,7 @@ impl ContainerMetrics {
             recoveries: metrics.counter("segmentstore.container.recoveries"),
             replayed_ops: metrics.counter("segmentstore.container.replayed_ops"),
             recovery_nanos: metrics.histogram("segmentstore.container.recovery_nanos"),
+            stalls: StallTracker::new(metrics),
         }
     }
 }
@@ -262,13 +325,17 @@ impl ContainerMetrics {
 pub(crate) struct ContainerInner {
     pub(crate) id: ContainerId,
     pub(crate) config: ContainerConfig,
-    clock: Arc<dyn Clock>,
+    pub(crate) clock: Arc<dyn Clock>,
     pub(crate) core: Mutex<Core>,
     processor: Mutex<Processor>,
     pub(crate) lts: ChunkedSegmentStorage,
     pub(crate) stopped: AtomicBool,
     pub(crate) unflushed_bytes: AtomicU64,
     pub(crate) ops_since_checkpoint: AtomicU64,
+    /// Set by a storage-writer pass that wants a checkpoint + WAL
+    /// truncation; consumed by the dedicated truncator thread so a slow
+    /// truncate can never extend a flush pass.
+    pub(crate) truncate_pending: AtomicBool,
     loads: Mutex<HashMap<String, (EwmaRate, EwmaRate)>>,
     pub(crate) log: OnceLock<Arc<DurableLog>>,
     pub(crate) metrics: ContainerMetrics,
@@ -302,34 +369,56 @@ impl ContainerInner {
         }
     }
 
-    /// Blocks while the unflushed backlog exceeds the throttle threshold —
-    /// the integrated-tiering backpressure of §4.3.
+    /// Holds the append back while the unflushed backlog exceeds the
+    /// throttle threshold — the integrated-tiering backpressure of §4.3.
+    ///
+    /// In [`ThrottleMode::Gradual`] the append is *delayed* proportionally to
+    /// the overage while the backlog sits between the threshold and the hard
+    /// limit, and blocks only past the hard limit; in [`ThrottleMode::OnOff`]
+    /// it blocks the moment the threshold is crossed. Either way a wait
+    /// longer than `throttle_timeout` fails with
+    /// [`SegmentError::ThrottleTimeout`] (transient — clients back off).
     fn throttle_wait(&self) -> Result<(), SegmentError> {
         let limit = self.config.throttle_threshold_bytes;
-        if self.unflushed_bytes.load(Ordering::Relaxed) <= limit {
+        let mut backlog = self.unflushed_bytes.load(Ordering::Relaxed);
+        if backlog <= limit {
             return Ok(());
         }
         self.metrics.throttle_engaged.inc();
         let start = clock::monotonic_now();
-        let mut waited = Duration::ZERO;
+        let hard_limit = hard_limit_bytes(limit, self.config.throttle_hard_limit_ratio);
         let result = loop {
-            if self.unflushed_bytes.load(Ordering::Relaxed) <= limit {
-                break Ok(());
-            }
             if let Err(e) = self.check_running() {
                 break Err(e);
             }
-            std::thread::sleep(Duration::from_millis(1));
-            waited += Duration::from_millis(1);
-            if waited > Duration::from_secs(120) {
-                break Err(SegmentError::Internal(
-                    "throttled for too long: LTS cannot absorb the ingest rate".into(),
-                ));
+            if backlog <= limit {
+                break Ok(());
             }
+            if self.config.throttle_mode == ThrottleMode::Gradual && backlog <= hard_limit {
+                // Soft zone: hold this append back proportionally to the
+                // overage, then admit it. Ingest slows smoothly toward the
+                // flush rate instead of oscillating against a cliff.
+                let delay =
+                    throttle_delay(backlog, limit, hard_limit, self.config.throttle_max_delay);
+                sleep_interruptible(delay, &self.stopped);
+                break self.check_running();
+            }
+            // Past the hard limit (or legacy on/off past the threshold):
+            // block in short slices until the backlog recedes.
+            sleep_interruptible(Duration::from_millis(1), &self.stopped);
+            if start.elapsed() > self.config.throttle_timeout {
+                break Err(SegmentError::ThrottleTimeout {
+                    waited: start.elapsed(),
+                    backlog_bytes: backlog,
+                });
+            }
+            backlog = self.unflushed_bytes.load(Ordering::Relaxed);
         };
+        let waited = start.elapsed();
         self.metrics
             .throttle_wait_nanos
-            .record(start.elapsed().as_nanos() as u64);
+            .record(waited.as_nanos() as u64);
+        self.metrics.stalls.record(StallClass::Throttle, waited);
         result
     }
 
@@ -488,6 +577,9 @@ impl ContainerInner {
         if core.cache.utilization() <= self.config.cache_high_watermark {
             return;
         }
+        // Eviction runs under the core lock on the apply path, so its cost
+        // is a writer-visible stall — attribute it.
+        let evict_start = clock::monotonic_now();
         // Evict down to 80% of the high watermark.
         let low =
             (core.cache.capacity_bytes() as f64 * self.config.cache_high_watermark * 0.8) as u64;
@@ -503,6 +595,9 @@ impl ContainerInner {
                 freed += st.index.evict_lru(&mut core.cache, flushed, target - freed);
             }
         }
+        self.metrics
+            .stalls
+            .record(StallClass::CacheEvict, evict_start.elapsed());
     }
 
     /// Committed-state read decision (lock scope kept small; LTS fetches
@@ -842,11 +937,20 @@ impl SegmentState {
     }
 }
 
+/// The container's background threads: the storage-writer flusher and the
+/// checkpoint/WAL-truncator. One struct under one lock so stop/crash take
+/// both handles in a single acquisition.
+#[derive(Default)]
+struct BackgroundThreads {
+    flusher: Option<JoinHandle<()>>,
+    truncator: Option<JoinHandle<()>>,
+}
+
 /// A running segment container.
 pub struct SegmentContainer {
     inner: Arc<ContainerInner>,
     log: Arc<DurableLog>,
-    flusher: Mutex<Option<JoinHandle<()>>>,
+    threads: Mutex<BackgroundThreads>,
 }
 
 impl std::fmt::Debug for SegmentContainer {
@@ -963,6 +1067,7 @@ impl SegmentContainer {
             stopped: AtomicBool::new(false),
             unflushed_bytes: AtomicU64::new(0),
             ops_since_checkpoint: AtomicU64::new(0),
+            truncate_pending: AtomicBool::new(false),
             loads: Mutex::new(rank::CONTAINER_LOADS, HashMap::new()),
             log: OnceLock::new(),
             metrics: ContainerMetrics::new(metrics),
@@ -1059,10 +1164,17 @@ impl SegmentContainer {
             .expect("log set exactly once at startup");
 
         let flusher = storagewriter::start_flusher(inner.clone())?;
+        let truncator = storagewriter::start_truncator(inner.clone())?;
         Ok(Self {
             inner,
             log,
-            flusher: Mutex::new(rank::CONTAINER_FLUSHER, Some(flusher)),
+            threads: Mutex::new(
+                rank::CONTAINER_FLUSHER,
+                BackgroundThreads {
+                    flusher: Some(flusher),
+                    truncator: Some(truncator),
+                },
+            ),
         })
     }
 
@@ -1746,10 +1858,23 @@ impl SegmentContainer {
     pub fn stop(&self) {
         self.inner.stopped.store(true, Ordering::SeqCst);
         self.log.stop();
-        // Take the handle out first: the guard on `flusher` is a statement
-        // temporary that dies at the `;`, so the join below runs unlocked.
-        let flusher = self.flusher.lock().take();
-        if let Some(h) = flusher {
+        self.join_background_threads();
+    }
+
+    /// Takes both background-thread handles out under the lock, then joins
+    /// them unlocked (both loops watch `stopped` and exit promptly).
+    fn join_background_threads(&self) {
+        let taken = {
+            let mut guard = self.threads.lock();
+            BackgroundThreads {
+                flusher: guard.flusher.take(),
+                truncator: guard.truncator.take(),
+            }
+        };
+        if let Some(h) = taken.flusher {
+            let _ = h.join();
+        }
+        if let Some(h) = taken.truncator {
             let _ = h.join();
         }
     }
@@ -1763,10 +1888,7 @@ impl SegmentContainer {
     pub fn crash(&self) -> Arc<dyn DurableDataLog> {
         self.inner.stopped.store(true, Ordering::SeqCst);
         self.log.crash();
-        let flusher = self.flusher.lock().take();
-        if let Some(h) = flusher {
-            let _ = h.join();
-        }
+        self.join_background_threads();
         self.log.wal_handle()
     }
 }
@@ -1782,5 +1904,70 @@ fn wait_done(pr: Promise<Result<OpAck, SegmentError>>) -> Result<(), SegmentErro
         Ok(Ok(_)) => Ok(()),
         Ok(Err(e)) => Err(e),
         Err(_) => Err(SegmentError::ContainerStopped),
+    }
+}
+
+#[cfg(test)]
+mod throttle_curve_tests {
+    use super::*;
+
+    const KIB: u64 = 1024;
+
+    #[test]
+    fn delay_is_zero_at_or_below_the_threshold() {
+        let max = Duration::from_millis(20);
+        assert_eq!(throttle_delay(0, 64 * KIB, 128 * KIB, max), Duration::ZERO);
+        assert_eq!(
+            throttle_delay(64 * KIB, 64 * KIB, 128 * KIB, max),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn delay_grows_monotonically_with_backlog() {
+        let max = Duration::from_millis(20);
+        let mut last = Duration::ZERO;
+        for backlog in (64 * KIB..=160 * KIB).step_by(KIB as usize) {
+            let d = throttle_delay(backlog, 64 * KIB, 128 * KIB, max);
+            assert!(
+                d >= last,
+                "delay must be monotone: backlog {backlog} gave {d:?} after {last:?}"
+            );
+            last = d;
+        }
+    }
+
+    #[test]
+    fn delay_saturates_at_max_past_the_hard_limit() {
+        let max = Duration::from_millis(20);
+        assert_eq!(throttle_delay(128 * KIB, 64 * KIB, 128 * KIB, max), max);
+        assert_eq!(throttle_delay(1 << 40, 64 * KIB, 128 * KIB, max), max);
+    }
+
+    #[test]
+    fn delay_releases_the_moment_the_backlog_drains() {
+        let max = Duration::from_millis(20);
+        // One byte over the threshold: a barely-positive delay...
+        let just_over = throttle_delay(64 * KIB + 1, 64 * KIB, 128 * KIB, max);
+        assert!(just_over > Duration::ZERO && just_over < Duration::from_millis(1));
+        // ...and none at all once the backlog is back at the threshold.
+        assert_eq!(
+            throttle_delay(64 * KIB, 64 * KIB, 128 * KIB, max),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn degenerate_span_does_not_divide_by_zero() {
+        let max = Duration::from_millis(20);
+        // hard limit == threshold (ratio 1.0): any overage gets the max.
+        assert_eq!(throttle_delay(65 * KIB, 64 * KIB, 64 * KIB, max), max);
+    }
+
+    #[test]
+    fn hard_limit_respects_the_ratio_floor() {
+        assert_eq!(hard_limit_bytes(64 * KIB, 2.0), 128 * KIB);
+        // Ratios below 1.0 clamp: the hard limit is never below the threshold.
+        assert_eq!(hard_limit_bytes(64 * KIB, 0.5), 64 * KIB);
     }
 }

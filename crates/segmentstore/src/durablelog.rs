@@ -120,6 +120,7 @@ struct LogShared {
     fill_pct_hist: Arc<Histogram>,
     batch_delay_nanos: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
+    truncate_nanos: Arc<Histogram>,
 }
 
 /// The operation pipeline: enqueue → frame → WAL → apply → ack.
@@ -167,6 +168,7 @@ impl DurableLog {
             fill_pct_hist: metrics.histogram("segmentstore.durablelog.frame_fill_pct"),
             batch_delay_nanos: metrics.histogram("segmentstore.durablelog.batch_delay_nanos"),
             queue_depth: metrics.gauge("segmentstore.durablelog.queued_ops"),
+            truncate_nanos: metrics.histogram("segmentstore.durablelog.truncate_nanos"),
         });
 
         let (op_tx, op_rx) = unbounded::<EnqueuedOp>();
@@ -293,7 +295,17 @@ impl DurableLog {
             }
             frames[cut - 1].addr
         };
+        // The WAL truncate runs *without* the frames lock held: ledger
+        // deletion can be slow, and holding the lock here would stall the
+        // commit loop (and through it, every appender) for its duration.
+        // The truncator thread is the only caller in production, so a slow
+        // truncate costs only that thread; the duration is recorded so
+        // soak timelines can see it.
+        let truncate_start = pravega_common::clock::monotonic_now();
         self.shared.wal.truncate(cut_addr)?;
+        self.shared
+            .truncate_nanos
+            .record(truncate_start.elapsed().as_nanos() as u64);
         let mut frames = self.shared.frames.lock();
         let mut dropped = 0;
         while frames.front().map(|f| f.addr <= cut_addr).unwrap_or(false) {

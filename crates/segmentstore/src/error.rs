@@ -1,7 +1,9 @@
 //! Error type for the segment store data plane.
 
 use std::fmt;
+use std::time::Duration;
 
+use pravega_common::retry::{ErrorClass, RetryClass};
 use pravega_lts::LtsError;
 use pravega_wal::WalError;
 
@@ -32,6 +34,15 @@ pub enum SegmentError {
     BeyondTail {
         /// Current tail offset.
         length: u64,
+    },
+    /// Writer throttling (§4.3) held the append back for longer than the
+    /// configured timeout: LTS is not absorbing the ingest rate. Transient —
+    /// clients should back off and retry once the backlog drains.
+    ThrottleTimeout {
+        /// How long the append waited before giving up.
+        waited: Duration,
+        /// Unflushed backlog when the wait gave up.
+        backlog_bytes: u64,
     },
     /// The container has shut down (failure handling, §4.4) and must be
     /// restarted/recovered before serving again.
@@ -73,6 +84,14 @@ impl fmt::Display for SegmentError {
             SegmentError::BeyondTail { length } => {
                 write!(f, "read beyond tail (length {length})")
             }
+            SegmentError::ThrottleTimeout {
+                waited,
+                backlog_bytes,
+            } => write!(
+                f,
+                "writer throttled for {waited:?} with {backlog_bytes} unflushed bytes: \
+                 LTS cannot absorb the ingest rate"
+            ),
             SegmentError::ContainerStopped => write!(f, "segment container stopped"),
             SegmentError::WrongContainer => write!(f, "segment owned by another container"),
             SegmentError::WriterFenced => {
@@ -92,6 +111,19 @@ impl std::error::Error for SegmentError {
             SegmentError::Wal(e) => Some(e),
             SegmentError::Lts(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl RetryClass for SegmentError {
+    fn error_class(&self) -> ErrorClass {
+        match self {
+            // The backlog drains as LTS catches up; a backed-off retry is
+            // exactly the right client response.
+            SegmentError::ThrottleTimeout { .. } => ErrorClass::Transient,
+            SegmentError::Wal(e) => e.error_class(),
+            SegmentError::Lts(e) => e.error_class(),
+            _ => ErrorClass::Permanent,
         }
     }
 }
@@ -120,5 +152,18 @@ mod tests {
         let e: SegmentError = LtsError::NoSuchChunk.into();
         assert!(matches!(e, SegmentError::Lts(_)));
         assert!(e.to_string().contains("lts"));
+    }
+
+    #[test]
+    fn throttle_timeout_is_transient() {
+        let e = SegmentError::ThrottleTimeout {
+            waited: Duration::from_secs(120),
+            backlog_bytes: 1 << 27,
+        };
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("unflushed"));
+        // Logical errors stay permanent.
+        assert!(!SegmentError::SegmentSealed.is_transient());
+        assert!(!SegmentError::NoSuchSegment.is_transient());
     }
 }

@@ -38,7 +38,7 @@ pub mod store;
 pub mod tablesegment;
 
 pub use cache::{BlockCache, CacheAddress, CacheConfig};
-pub use container::{ContainerConfig, SegmentContainer};
+pub use container::{ContainerConfig, SegmentContainer, ThrottleMode};
 pub use error::SegmentError;
 pub use frontend::TcpFrontend;
 pub use metadata::SegmentInfoSnapshot;

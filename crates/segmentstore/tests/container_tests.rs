@@ -13,7 +13,7 @@ use pravega_lts::{
     ThrottleModel, ThrottledChunkStorage,
 };
 use pravega_segmentstore::cache::CacheConfig;
-use pravega_segmentstore::{ContainerConfig, SegmentContainer, SegmentError};
+use pravega_segmentstore::{ContainerConfig, SegmentContainer, SegmentError, ThrottleMode};
 use pravega_wal::log::{DurableDataLog, InMemoryLog};
 
 fn lts_over(chunks: Arc<dyn pravega_lts::ChunkStorage>) -> ChunkedSegmentStorage {
@@ -843,6 +843,10 @@ fn slow_lts_throttles_writers() {
     );
     let mut config = quick_config();
     config.throttle_threshold_bytes = 20_000;
+    // On/off mode holds the historical hard bound: no append is admitted
+    // while the backlog is above the threshold (gradual mode trades this
+    // bound for smooth latency; see the test below).
+    config.throttle_mode = ThrottleMode::OnOff;
     let c = SegmentContainer::start(
         ContainerId(0),
         Arc::new(InMemoryLog::new()),
@@ -865,6 +869,179 @@ fn slow_lts_throttles_writers() {
             c.unflushed_bytes()
         );
     }
+    c.stop();
+}
+
+#[test]
+fn gradual_throttle_bounds_backlog_and_releases_promptly() {
+    // Gradual mode admits appends through the soft zone with a delay that
+    // grows with the backlog: the backlog must stay below the hard limit
+    // (plus one append burst), and once the backlog drains an append must
+    // go through with no residual throttle delay.
+    let slow = ThrottledChunkStorage::new(
+        InMemoryChunkStorage::new(),
+        ThrottleModel {
+            bandwidth_bytes_per_sec: 50_000, // 50 KB/s
+            per_op_latency: Duration::from_millis(1),
+        },
+    );
+    let mut config = quick_config();
+    config.throttle_threshold_bytes = 20_000;
+    config.throttle_mode = ThrottleMode::Gradual;
+    config.throttle_hard_limit_ratio = 2.0;
+    config.throttle_max_delay = Duration::from_millis(20);
+    let hard_limit = 40_000u64;
+    let c = SegmentContainer::start(
+        ContainerId(0),
+        Arc::new(InMemoryLog::new()),
+        lts_over(Arc::new(slow)),
+        Arc::new(SystemClock::new()),
+        config,
+    )
+    .unwrap();
+    c.create_segment("seg", false).unwrap();
+    let w = WriterId::random();
+    for i in 0..100 {
+        c.append("seg", Bytes::from(vec![0u8; 1000]), w, i as i64, 1, None)
+            .wait()
+            .unwrap();
+        assert!(
+            c.unflushed_bytes() <= hard_limit + 2_000,
+            "backlog exceeded the hard limit: {}",
+            c.unflushed_bytes()
+        );
+    }
+    // Let the backlog drain fully...
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while c.unflushed_bytes() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "backlog never drained: {}",
+            c.unflushed_bytes()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // ...then the very next append must be admitted without throttle delay:
+    // gradual engagement is a function of the *current* backlog, never a
+    // lingering penalty.
+    let start = std::time::Instant::now();
+    c.append("seg", Bytes::from(vec![0u8; 100]), w, 100, 1, None)
+        .wait()
+        .unwrap();
+    assert!(
+        start.elapsed() < Duration::from_millis(250),
+        "append after drain took {:?}",
+        start.elapsed()
+    );
+    c.stop();
+}
+
+/// A WAL whose `truncate` blocks until the test opens a gate — used to prove
+/// that a stalled WAL truncation cannot stall the flush path.
+#[derive(Debug)]
+struct GatedTruncateLog {
+    inner: InMemoryLog,
+    gate_open: std::sync::atomic::AtomicBool,
+    truncate_entered: std::sync::atomic::AtomicBool,
+}
+
+impl GatedTruncateLog {
+    fn new() -> Self {
+        Self {
+            inner: InMemoryLog::new(),
+            gate_open: std::sync::atomic::AtomicBool::new(false),
+            truncate_entered: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+}
+
+impl DurableDataLog for GatedTruncateLog {
+    fn append(&self, data: Bytes) -> pravega_wal::log::AppendFuture {
+        self.inner.append(data)
+    }
+
+    fn read_after(
+        &self,
+        from: Option<pravega_wal::log::LogAddress>,
+    ) -> Result<Vec<(pravega_wal::log::LogAddress, Bytes)>, pravega_wal::WalError> {
+        self.inner.read_after(from)
+    }
+
+    fn truncate(&self, up_to: pravega_wal::log::LogAddress) -> Result<(), pravega_wal::WalError> {
+        use std::sync::atomic::Ordering;
+        self.truncate_entered.store(true, Ordering::Release);
+        // Park until the test opens the gate; bail out after a generous
+        // timeout so a regression fails the test instead of hanging it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !self.gate_open.load(Ordering::Acquire) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.truncate(up_to)
+    }
+
+    fn epoch(&self) -> u64 {
+        self.inner.epoch()
+    }
+
+    fn is_fenced(&self) -> bool {
+        self.inner.is_fenced()
+    }
+}
+
+#[test]
+fn stalled_wal_truncation_does_not_block_flushing() {
+    use std::sync::atomic::Ordering;
+    let log = Arc::new(GatedTruncateLog::new());
+    let mut config = quick_config();
+    // Checkpoint eagerly so the truncator engages (and blocks on the gate)
+    // early in the run.
+    config.checkpoint_interval_ops = 5;
+    let c = SegmentContainer::start(
+        ContainerId(0),
+        log.clone(),
+        lts_over(Arc::new(InMemoryChunkStorage::new())),
+        Arc::new(SystemClock::new()),
+        config,
+    )
+    .unwrap();
+    c.create_segment("seg", false).unwrap();
+    let w = WriterId::random();
+    for i in 0..20 {
+        c.append("seg", Bytes::from(vec![0u8; 500]), w, i as i64, 1, None)
+            .wait()
+            .unwrap();
+    }
+    // Wait until the truncator thread is wedged inside the gated truncate.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while !log.truncate_entered.load(Ordering::Acquire) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "truncator never attempted a WAL truncation"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // With the truncation stalled, appends and flush passes must proceed:
+    // new data keeps reaching LTS and the backlog drains to zero.
+    for i in 20..60 {
+        c.append("seg", Bytes::from(vec![0u8; 500]), w, i as i64, 1, None)
+            .wait()
+            .unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while c.unflushed_bytes() > 0 {
+        assert!(
+            !log.gate_open.load(Ordering::Acquire),
+            "gate must stay closed while proving the flush path is free"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flush path stalled behind the blocked WAL truncation: {} bytes unflushed",
+            c.unflushed_bytes()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Release the truncator before teardown so stop() can join it.
+    log.gate_open.store(true, Ordering::Release);
     c.stop();
 }
 

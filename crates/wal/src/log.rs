@@ -13,9 +13,12 @@
 //!   checkpoint) to rebuild container state.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pravega_common::clock;
 use pravega_common::future::Promise;
+use pravega_common::stall::{StallClass, StallTracker};
 use pravega_coordination::{CoordError, CoordinationService};
 use pravega_sync::{rank, Condvar, Mutex};
 
@@ -191,6 +194,11 @@ pub struct BookkeeperLog {
     config: LogConfig,
     inner: Mutex<BkLogInner>,
     rollover_done: Condvar,
+    /// Stall attribution (set by [`Self::bind_metrics`]): time appenders
+    /// spend blocked behind a ledger rollover is recorded under
+    /// `segmentstore.stalls.wal_rollover` so soak-timeline spikes caused by
+    /// ledger swaps are distinguishable from flush/throttle stalls.
+    stalls: OnceLock<StallTracker>,
 }
 
 impl BookkeeperLog {
@@ -277,6 +285,7 @@ impl BookkeeperLog {
                 },
             ),
             rollover_done: Condvar::new(),
+            stalls: OnceLock::new(),
         })
     }
 
@@ -299,9 +308,17 @@ impl BookkeeperLog {
         self.inner.lock().metadata.ledgers.len()
     }
 
-    /// Registers the `wal.bookie.entry_corrupt` counter on `registry`.
+    /// Registers the `wal.bookie.entry_corrupt` counter and the
+    /// `segmentstore.stalls.wal_rollover` stall instruments on `registry`.
     pub fn bind_metrics(&self, registry: &pravega_common::metrics::MetricsRegistry) {
         self.manager.bind_metrics(registry);
+        let _ = self.stalls.set(StallTracker::new(registry));
+    }
+
+    fn record_rollover_stall(&self, start: std::time::Instant) {
+        if let Some(stalls) = self.stalls.get() {
+            stalls.record(StallClass::WalRollover, start.elapsed());
+        }
     }
 
     /// Scrubs every ledger backing this log: verifies all stored entry
@@ -335,7 +352,9 @@ impl DurableDataLog for BookkeeperLog {
             if inner.rolling {
                 // Another appender is swapping ledgers with the lock
                 // released; park until it finishes rather than racing it.
+                let wait_start = clock::monotonic_now();
                 self.rollover_done.wait(&mut inner);
+                self.record_rollover_stall(wait_start);
                 continue;
             }
             if inner.writer.is_none() {
@@ -350,6 +369,7 @@ impl DurableDataLog for BookkeeperLog {
 
             // Rollover, in three phases so the bookie I/O runs unlocked.
             // Phase 1 (locked): claim the rollover and take the old writer.
+            let rollover_start = clock::monotonic_now();
             inner.rolling = true;
             let Some(old) = inner.writer.take() else {
                 // Unreachable: `writer.is_none()` was rejected above.
@@ -393,6 +413,9 @@ impl DurableDataLog for BookkeeperLog {
                 }
             });
             self.rollover_done.notify_all();
+            // The appender that performed the swap stalled for the full
+            // rollover (phases 1-3); attribute it.
+            self.record_rollover_stall(rollover_start);
             if let Err(e) = result {
                 return AppendFuture {
                     inner: Promise::ready(Err(e)),

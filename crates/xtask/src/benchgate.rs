@@ -237,6 +237,190 @@ pub fn run(baseline_text: &str, fresh_text: &str, tolerance: f64) -> i32 {
     }
 }
 
+/// The scalar summary a soak run writes into `BENCH_soak.json` (the
+/// `summary` object; the per-second `timeline` array is checked for
+/// presence/size but not gated row-by-row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakSummary {
+    pub events: f64,
+    pub p50_ms: f64,
+    pub p999_ms: f64,
+    pub dispersion: f64,
+    pub measured_seconds: f64,
+    pub typical_dispersion: f64,
+    pub worst_dispersion: f64,
+    pub spike_seconds: f64,
+    pub unattributed_spike_seconds: f64,
+    pub timeline_rows: usize,
+}
+
+/// Extracts the soak summary from a `BENCH_soak.json`. Returns an error
+/// naming the first missing/unparseable field — a silently-missing field
+/// must fail the gate, never pass it.
+pub fn parse_soak(text: &str) -> Result<SoakSummary, String> {
+    let bytes = text.as_bytes();
+    // Harvest every object's scalars; the summary object is the one that
+    // carries `dispersion`.
+    let mut summary: Option<BTreeMap<String, String>> = None;
+    let mut timeline_rows = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'{' {
+            let (fields, end) = parse_object_scalars(text, i);
+            if fields.contains_key("dispersion") {
+                summary = Some(fields);
+                i = end;
+                continue;
+            }
+            if fields.contains_key("p999_ms") && fields.contains_key("sec") {
+                timeline_rows += 1;
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let summary = summary.ok_or("no summary object (missing `dispersion` field)")?;
+    let num = |name: &str| -> Result<f64, String> {
+        summary
+            .get(name)
+            .ok_or(format!("summary is missing `{name}`"))?
+            .parse::<f64>()
+            .map_err(|_| format!("summary field `{name}` is not a number"))
+    };
+    Ok(SoakSummary {
+        events: num("events")?,
+        p50_ms: num("p50_ms")?,
+        p999_ms: num("p999_ms")?,
+        dispersion: num("dispersion")?,
+        measured_seconds: num("measured_seconds")?,
+        typical_dispersion: num("typical_dispersion")?,
+        worst_dispersion: num("worst_dispersion")?,
+        spike_seconds: num("spike_seconds")?,
+        unattributed_spike_seconds: num("unattributed_spike_seconds")?,
+        timeline_rows,
+    })
+}
+
+/// Overall-p50 ceiling for a soak run. Latency is measured from each event's
+/// *scheduled* slot, so a median in the hundreds of milliseconds means the
+/// writers spent the run queued behind the store — the collapse regime, which
+/// flattens dispersion instead of spiking it.
+pub const MAX_ON_SCHEDULE_P50_MS: f64 = 250.0;
+
+/// Relative-regression floor for the soak gate: a fresh `typical_dispersion`
+/// at or under this never counts as a regression, whatever the baseline
+/// says. A clean run's typical dispersion is a *noise-floor measurement*
+/// (≈ 2–3 on quiet hardware, up to ~20 under shared-runner scheduling
+/// noise), so "3x the baseline" of a lucky-quiet baseline is still a
+/// perfectly healthy run and must not flake the gate.
+pub const SOAK_NOISE_FLOOR_DISPERSION: f64 = 25.0;
+
+/// Runs the soak dispersion gate: absolute bounds on tail dispersion and
+/// spike attribution, plus a relative bound against the committed baseline.
+/// Returns the process exit code (0 pass, 1 fail).
+///
+/// The gated dispersion statistic is `typical_dispersion` — the
+/// 90th-percentile *second's* p999 over the overall p50. The single worst
+/// second (and the overall p999 it drags along) is deliberately not bounded
+/// in absolute terms: a soak under a bursty workload legitimately catches an
+/// occasional flush × surge collision, and a gate keyed to the worst second
+/// would flake on it. What separates a healthy run from an oscillating one
+/// is spike *depth* across the run: host scheduling noise on a shared
+/// machine produces shallow (tens of ms) wobbles, while the on/off throttle
+/// oscillation parks the p90 second at the threshold drain time — hundreds
+/// of ms — which `typical_dispersion` captures and noise cannot reach.
+///
+/// Bounds:
+/// - the fresh timeline must exist, be non-empty, and carry events;
+/// - every latency spike must be attributed to a stall class;
+/// - `typical_dispersion` must not exceed `max_dispersion`;
+/// - overall p50 must stay under [`MAX_ON_SCHEDULE_P50_MS`]: a store whose
+///   writers fall hopelessly behind schedule shows *low* dispersion (every
+///   latency balloons together), so a dispersion bound alone would wave
+///   through exactly the collapse the soak exists to catch;
+/// - `typical_dispersion` must not regress past the baseline by more than
+///   `(1 + tolerance)`, floored at [`SOAK_NOISE_FLOOR_DISPERSION`] — a clean
+///   baseline measures the noise floor (typical ≈ 2–3), and a multiple of
+///   the noise floor is still a healthy run, so the relative check only
+///   bites once the fresh run leaves the band shared-runner noise can
+///   reach. (Skipped with a notice if the baseline lacks a parseable
+///   summary — but an unreadable *fresh* report always fails.)
+pub fn run_soak(baseline_text: &str, fresh_text: &str, tolerance: f64, max_dispersion: f64) -> i32 {
+    let fresh = match parse_soak(fresh_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("soak-gate: fresh report unusable: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "soak-gate: events={} p50={}ms p999={}ms typical={} worst={} spikes={}/{} unattributed={} \
+         timeline_rows={}",
+        fresh.events,
+        fresh.p50_ms,
+        fresh.p999_ms,
+        fresh.typical_dispersion,
+        fresh.worst_dispersion,
+        fresh.spike_seconds,
+        fresh.measured_seconds,
+        fresh.unattributed_spike_seconds,
+        fresh.timeline_rows,
+    );
+    let mut failures = Vec::new();
+    if fresh.events <= 0.0 {
+        failures.push("run recorded no events".to_string());
+    }
+    if fresh.timeline_rows == 0 {
+        failures.push("report carries no per-second timeline".to_string());
+    }
+    if fresh.unattributed_spike_seconds > 0.0 {
+        failures.push(format!(
+            "{} spike second(s) not attributed to any stall class",
+            fresh.unattributed_spike_seconds
+        ));
+    }
+    if fresh.typical_dispersion > max_dispersion {
+        failures.push(format!(
+            "typical (p90-second p999 / p50) dispersion {} exceeds the bound {max_dispersion}",
+            fresh.typical_dispersion
+        ));
+    }
+    if fresh.p50_ms > MAX_ON_SCHEDULE_P50_MS {
+        failures.push(format!(
+            "overall p50 {}ms exceeds the on-schedule ceiling {MAX_ON_SCHEDULE_P50_MS}ms \
+             (writers collapsed behind the store; dispersion is meaningless)",
+            fresh.p50_ms
+        ));
+    }
+    match parse_soak(baseline_text) {
+        Ok(base) => {
+            let allowed =
+                (base.typical_dispersion * (1.0 + tolerance)).max(SOAK_NOISE_FLOOR_DISPERSION);
+            if fresh.typical_dispersion > allowed {
+                failures.push(format!(
+                    "typical dispersion regressed: {} -> {} (allowed {:.2} at +{:.0}% tolerance)",
+                    base.typical_dispersion,
+                    fresh.typical_dispersion,
+                    allowed,
+                    tolerance * 100.0
+                ));
+            }
+        }
+        Err(e) => println!("soak-gate: note: baseline not comparable ({e}); absolute bounds only"),
+    }
+    if failures.is_empty() {
+        println!("soak-gate: pass");
+        0
+    } else {
+        for f in &failures {
+            println!("  FAIL  {f}");
+        }
+        println!("soak-gate: FAILED");
+        1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,5 +489,146 @@ mod tests {
         let (lines, errors) = compare(&base, &fresh, 0.0);
         assert!(errors.is_empty());
         assert!(lines.iter().all(|l| !l.regressed));
+    }
+
+    const SOAK_SAMPLE: &str = r#"{
+      "benchmark": "soak",
+      "summary": {
+        "profile": "paced",
+        "seconds": 35,
+        "writers": 4,
+        "events": 21000,
+        "errors": 0,
+        "p50_ms": 1.500,
+        "p99_ms": 6.000,
+        "p999_ms": 12.000,
+        "dispersion": 8.00,
+        "measured_seconds": 28,
+        "p90_second_p999_ms": 9.000,
+        "typical_dispersion": 6.00,
+        "worst_second_p999_ms": 20.000,
+        "worst_dispersion": 13.33,
+        "spike_seconds": 2,
+        "unattributed_spike_seconds": 0
+      },
+      "timeline": [
+        {"sec": 0, "count": 600, "p50_ms": 1.5, "p99_ms": 5.0, "p999_ms": 8.0, "stall_ms": {"throttle": 0.0, "flush": 2.5, "truncation": 0.1, "cache_evict": 0.0, "wal_rollover": 0.0}},
+        {"sec": 1, "count": 600, "p50_ms": 1.4, "p99_ms": 6.0, "p999_ms": 20.0, "stall_ms": {"throttle": 18.0, "flush": 1.0, "truncation": 0.0, "cache_evict": 0.0, "wal_rollover": 0.0}}
+      ]
+    }"#;
+
+    #[test]
+    fn soak_summary_parses() {
+        let s = parse_soak(SOAK_SAMPLE).unwrap();
+        assert_eq!(s.events, 21000.0);
+        assert_eq!(s.dispersion, 8.0);
+        assert_eq!(s.measured_seconds, 28.0);
+        assert_eq!(s.typical_dispersion, 6.0);
+        assert_eq!(s.worst_dispersion, 13.33);
+        assert_eq!(s.unattributed_spike_seconds, 0.0);
+        assert_eq!(s.timeline_rows, 2);
+    }
+
+    #[test]
+    fn soak_within_bounds_passes() {
+        assert_eq!(run_soak(SOAK_SAMPLE, SOAK_SAMPLE, 0.5, 25.0), 0);
+    }
+
+    #[test]
+    fn soak_dispersion_bound_fails() {
+        let fresh = SOAK_SAMPLE.replace(
+            "\"typical_dispersion\": 6.00,",
+            "\"typical_dispersion\": 120.00,",
+        );
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 10.0, 25.0), 1);
+    }
+
+    #[test]
+    fn soak_single_bad_second_does_not_fail() {
+        // One collision second blows up the worst-second and overall-p999
+        // stats, but the typical (p90-second) dispersion and the spike
+        // fraction stay healthy — the gate must absorb it, not flake.
+        let fresh = SOAK_SAMPLE
+            .replace("\"dispersion\": 8.00,", "\"dispersion\": 110.00,")
+            .replace("\"p999_ms\": 12.000,", "\"p999_ms\": 265.000,")
+            .replace(
+                "\"worst_second_p999_ms\": 20.000,",
+                "\"worst_second_p999_ms\": 274.000,",
+            )
+            .replace(
+                "\"worst_dispersion\": 13.33,",
+                "\"worst_dispersion\": 112.00,",
+            );
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 0.5, 25.0), 0);
+    }
+
+    #[test]
+    fn soak_noise_floor_absorbs_multiples_of_a_quiet_baseline() {
+        // 20 is >3x the baseline's 6, but under the noise floor (25): a
+        // lucky-quiet baseline must not turn ordinary scheduling noise
+        // into a "regression".
+        let fresh = SOAK_SAMPLE.replace(
+            "\"typical_dispersion\": 6.00,",
+            "\"typical_dispersion\": 20.00,",
+        );
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 0.5, 30.0), 0);
+    }
+
+    #[test]
+    fn soak_regression_vs_baseline_fails_within_absolute_bound() {
+        // 27 is inside the absolute bound (30) but past both the baseline
+        // band (6 * 1.5 = 9) and the noise floor (25) — the relative gate
+        // must catch it.
+        let fresh = SOAK_SAMPLE.replace(
+            "\"typical_dispersion\": 6.00,",
+            "\"typical_dispersion\": 27.00,",
+        );
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 0.5, 30.0), 1);
+        // The same run measured against a comparable baseline passes.
+        assert_eq!(run_soak(&fresh, &fresh, 0.5, 30.0), 0);
+    }
+
+    #[test]
+    fn soak_collapsed_schedule_fails_despite_low_dispersion() {
+        // The collapse regime: every latency balloons together, so the
+        // dispersion ratio *shrinks* — only the p50 ceiling catches it.
+        let fresh = SOAK_SAMPLE
+            .replace("\"p50_ms\": 1.500,", "\"p50_ms\": 2900.000,")
+            .replace("\"p999_ms\": 12.000,", "\"p999_ms\": 5800.000,")
+            .replace("\"dispersion\": 8.00,", "\"dispersion\": 2.00,");
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 10.0, 25.0), 1);
+    }
+
+    #[test]
+    fn soak_unattributed_spike_fails() {
+        let fresh = SOAK_SAMPLE.replace(
+            "\"unattributed_spike_seconds\": 0",
+            "\"unattributed_spike_seconds\": 1",
+        );
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 0.5, 25.0), 1);
+    }
+
+    #[test]
+    fn soak_missing_summary_or_timeline_fails() {
+        assert_eq!(run_soak(SOAK_SAMPLE, "{}", 0.5, 25.0), 1);
+        assert_eq!(run_soak(SOAK_SAMPLE, "", 0.5, 25.0), 1);
+        let fresh = SOAK_SAMPLE.replace("\"dispersion\": 8.00,", "");
+        assert_eq!(run_soak(SOAK_SAMPLE, &fresh, 0.5, 25.0), 1);
+        // Summary intact but the timeline array emptied: structural failure.
+        let (head, _) = SOAK_SAMPLE.split_once("\"timeline\"").unwrap();
+        let no_timeline = format!("{head}\"timeline\": []\n    }}");
+        assert_eq!(run_soak(SOAK_SAMPLE, &no_timeline, 0.5, 25.0), 1);
+    }
+
+    #[test]
+    fn soak_bad_baseline_still_applies_absolute_bounds() {
+        // Unparseable baseline: relative check is skipped, absolute still
+        // gates.
+        assert_eq!(run_soak("not json", SOAK_SAMPLE, 0.5, 25.0), 0);
+        let fresh = SOAK_SAMPLE.replace(
+            "\"typical_dispersion\": 6.00,",
+            "\"typical_dispersion\": 120.00,",
+        );
+        assert_eq!(run_soak("not json", &fresh, 0.5, 25.0), 1);
     }
 }

@@ -65,6 +65,8 @@ fn main() -> ExitCode {
     let mut baseline: Option<PathBuf> = None;
     let mut fresh: Option<PathBuf> = None;
     let mut tolerance = 0.5f64;
+    let mut soak = false;
+    let mut max_dispersion = 30.0f64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -81,6 +83,14 @@ fn main() -> ExitCode {
                 Some(t) if t >= 0.0 => tolerance = t,
                 _ => {
                     eprintln!("--tolerance needs a non-negative number");
+                    return ExitCode::from(EXIT_ERROR);
+                }
+            },
+            "--soak" => soak = true,
+            "--max-dispersion" => match iter.next().and_then(|s| s.parse::<f64>().ok()) {
+                Some(d) if d > 0.0 => max_dispersion = d,
+                _ => {
+                    eprintln!("--max-dispersion needs a positive number");
                     return ExitCode::from(EXIT_ERROR);
                 }
             },
@@ -108,7 +118,7 @@ fn main() -> ExitCode {
             block_graph,
             write_baseline,
         ),
-        Some("bench-gate") => run_bench_gate(baseline, fresh, tolerance),
+        Some("bench-gate") => run_bench_gate(baseline, fresh, tolerance, soak, max_dispersion),
         _ => {
             print_usage();
             ExitCode::from(EXIT_ERROR)
@@ -117,13 +127,26 @@ fn main() -> ExitCode {
 }
 
 /// Reads baseline and fresh bench reports and applies the tolerance gate.
-fn run_bench_gate(baseline: Option<PathBuf>, fresh: Option<PathBuf>, tolerance: f64) -> ExitCode {
+/// With `--soak` the reports are soak summaries (`BENCH_soak.json`) and the
+/// gate is the dispersion/attribution bound instead of per-benchmark ns.
+fn run_bench_gate(
+    baseline: Option<PathBuf>,
+    fresh: Option<PathBuf>,
+    tolerance: f64,
+    soak: bool,
+    max_dispersion: f64,
+) -> ExitCode {
     let workspace_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(|p| p.parent())
         .expect("xtask sits two levels under the workspace root")
         .to_path_buf();
-    let baseline = baseline.unwrap_or_else(|| workspace_root.join("BENCH_protocol.json"));
+    let default_baseline = if soak {
+        "BENCH_soak.json"
+    } else {
+        "BENCH_protocol.json"
+    };
+    let baseline = baseline.unwrap_or_else(|| workspace_root.join(default_baseline));
     let Some(fresh) = fresh else {
         eprintln!("bench-gate needs --fresh FILE (the just-generated report)");
         return ExitCode::from(EXIT_ERROR);
@@ -140,7 +163,12 @@ fn run_bench_gate(baseline: Option<PathBuf>, fresh: Option<PathBuf>, tolerance: 
     let (Some(base_text), Some(fresh_text)) = (read(&baseline), read(&fresh)) else {
         return ExitCode::from(EXIT_ERROR);
     };
-    ExitCode::from(benchgate::run(&base_text, &fresh_text, tolerance) as u8)
+    let code = if soak {
+        benchgate::run_soak(&base_text, &fresh_text, tolerance, max_dispersion)
+    } else {
+        benchgate::run(&base_text, &fresh_text, tolerance)
+    };
+    ExitCode::from(code as u8)
 }
 
 fn print_usage() {
@@ -150,7 +178,7 @@ fn print_usage() {
     );
     eprintln!(
         "       cargo run -p xtask -- bench-gate --fresh FILE [--baseline FILE] \
-         [--tolerance F]"
+         [--tolerance F] [--soak] [--max-dispersion F]"
     );
     eprintln!();
     eprintln!("Lints the workspace sources. With --root, scans an arbitrary");

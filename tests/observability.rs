@@ -94,6 +94,17 @@ fn throttled_lts_engages_writer_throttling_and_drains() {
         waited.is_some_and(|h| h.count > 0 && h.sum > 0),
         "engaged throttling must also record time spent waiting\n{snap}"
     );
+    // The same wait must be attributed in the stall taxonomy: a throttled
+    // append is a writer-visible stall of class `throttle`.
+    assert!(
+        snap.counter("segmentstore.stalls.throttle").unwrap_or(0) > 0,
+        "a throttle wait over 1 ms must count a `throttle` stall\n{snap}"
+    );
+    assert!(
+        snap.histogram("segmentstore.stalls.throttle_nanos")
+            .is_some_and(|h| h.count > 0 && h.sum > 0),
+        "throttle stall durations must be recorded\n{snap}"
+    );
 
     // After the burst the storage writer catches up: the flush lag gauge must
     // come back to (exactly) zero once a flush pass observes a drained
@@ -105,6 +116,95 @@ fn throttled_lts_engages_writer_throttling_and_drains() {
     assert!(
         drained,
         "flush lag must return to 0 after the burst is tiered\n{snap}"
+    );
+    cluster.shutdown();
+}
+
+/// The stall taxonomy (DESIGN.md §14): every stall class registers its
+/// counter + duration histogram at startup, and forcing a flush stall (slow
+/// LTS writes) plus throttle engagement (backlog past the threshold) makes
+/// the corresponding classes fire — so a soak-timeline spike is always
+/// attributable to a named cause.
+#[test]
+fn stall_instruments_register_and_fire_under_forced_stalls() {
+    // Every LTS op costs >= 5 ms and small flush chunks force many ops per
+    // pass: each paced LTS write is a flush stall well above the 1 ms
+    // attribution floor. The low bandwidth + tiny threshold also push the
+    // backlog into throttle territory immediately.
+    let mut config = ClusterConfig {
+        lts: LtsKind::Throttled(ThrottleModel {
+            bandwidth_bytes_per_sec: 2 * 1024 * 1024,
+            per_op_latency: Duration::from_millis(5),
+        }),
+        ..ClusterConfig::default()
+    };
+    config.container.throttle_threshold_bytes = 32 * 1024;
+    config.container.flush_interval = Duration::from_millis(5);
+    config.container.max_batch_delay = Duration::from_millis(1);
+    config.container.max_flush_bytes = 16 * 1024;
+    let cluster = PravegaCluster::start(config).unwrap();
+    let s = stream("stalls");
+    cluster.create_scope("obs").unwrap();
+    cluster
+        .create_stream(&s, StreamConfiguration::new(ScalingPolicy::fixed(1)))
+        .unwrap();
+
+    // Before any load: all five stall classes are registered (counter and
+    // duration histogram) — attribution must never depend on a class having
+    // fired before it appears in a snapshot.
+    let snap = cluster.metrics().snapshot();
+    for class in [
+        "throttle",
+        "flush",
+        "truncation",
+        "cache_evict",
+        "wal_rollover",
+    ] {
+        let counter = format!("segmentstore.stalls.{class}");
+        let hist = format!("segmentstore.stalls.{class}_nanos");
+        assert!(
+            snap.counter(&counter).is_some(),
+            "stall counter {counter} must register at startup\n{snap}"
+        );
+        assert!(
+            snap.histogram(&hist).is_some(),
+            "stall histogram {hist} must register at startup\n{snap}"
+        );
+    }
+
+    // Burst ~1 MB: far past the 32 KiB threshold, drained at 2 MB/s in
+    // 16 KiB chunks costing >= 5 ms each.
+    let mut writer = cluster.create_writer(s, BytesSerializer, WriterConfig::default());
+    let payload = Bytes::from(vec![0x3c; 8 * 1024]);
+    for i in 0..128 {
+        writer.write_raw(&format!("key-{}", i % 5), payload.clone());
+    }
+    writer.flush().unwrap();
+    for i in 0..4 {
+        writer.write_raw(&format!("key-{i}"), payload.clone());
+    }
+    writer.flush().unwrap();
+    cluster.wait_for_tiering(Duration::from_secs(30)).unwrap();
+
+    let (fired, snap) = poll_snapshot(&cluster, Duration::from_secs(10), |s| {
+        s.counter("segmentstore.stalls.flush").unwrap_or(0) > 0
+            && s.counter("segmentstore.stalls.throttle").unwrap_or(0) > 0
+    });
+    assert!(
+        fired,
+        "forced slow flushes and an over-threshold backlog must fire the \
+         `flush` and `throttle` stall classes\n{snap}"
+    );
+    assert!(
+        snap.histogram("segmentstore.stalls.flush_nanos")
+            .is_some_and(|h| h.count > 0 && h.sum > 0),
+        "flush stall durations must be recorded\n{snap}"
+    );
+    assert!(
+        snap.histogram("segmentstore.stalls.truncation_nanos")
+            .is_some_and(|h| h.count > 0),
+        "tiering a 1 MB burst must record at least one checkpoint+truncate \
+         duration\n{snap}"
     );
     cluster.shutdown();
 }
